@@ -1,0 +1,46 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper artifact (see DESIGN.md §4) and
+*reports* its rows through the ``report`` fixture, which both prints them
+(uncaptured, so they land in bench_output.txt) and saves them under
+``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report(capsys, request):
+    """Call ``report(text)`` to emit a benchmark's result table."""
+    def _report(text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        out_file = RESULTS_DIR / f"{request.node.name}.txt"
+        out_file.write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n===== {request.node.name} =====")
+            print(text)
+
+    return _report
+
+
+@pytest.fixture(scope="session")
+def tiny_zoo():
+    from repro.topology.zoo import ZooConfig, build_zoo
+
+    return build_zoo(ZooConfig.tiny())
+
+
+@pytest.fixture(scope="session")
+def tiny_workload(tiny_zoo):
+    """Zoo + TM + truthful offers, shared across auction benchmarks."""
+    from repro.experiments.pipeline import offers_for_zoo, traffic_for_zoo
+
+    tm = traffic_for_zoo(tiny_zoo)
+    offers = offers_for_zoo(tiny_zoo)
+    return tiny_zoo, tm, offers

@@ -1,0 +1,45 @@
+"""E1 — Lemma 1: the CSP's optimal price is increasing in the fee.
+
+Regenerates the p*(t) sweep behind §4.4's argument, across the four
+demand families, and asserts the monotonicity (strict for families that
+satisfy all of Lemma 1's hypotheses).
+"""
+
+import pytest
+
+from repro.econ.csp import optimal_price
+from repro.econ.demand import STANDARD_FAMILIES
+
+FEES = [0.0, 1.0, 2.0, 4.0, 6.0, 8.0, 12.0]
+
+
+def sweep():
+    return {
+        name: [optimal_price(demand, t) for t in FEES]
+        for name, demand in STANDARD_FAMILIES.items()
+    }
+
+
+def test_bench_e1_lemma1(benchmark, report):
+    prices = benchmark(sweep)
+
+    header = "family        " + "".join(f"  t={t:<5.1f}" for t in FEES)
+    lines = [header, "-" * len(header)]
+    for name, series in prices.items():
+        lines.append(f"{name:<14}" + "".join(f"{p:8.3f}" for p in series))
+    report("p*(t) by demand family:\n" + "\n".join(lines))
+
+    for name, series in prices.items():
+        for a, b in zip(series, series[1:]):
+            assert b >= a - 1e-9, name
+
+    # Strict increase for the fully-smooth families.
+    for name in ("linear", "exponential", "logit"):
+        series = prices[name]
+        assert all(b > a for a, b in zip(series, series[1:])), name
+
+    # The documented Pareto corner: flat until t = p_min(α−1)/α.
+    pareto = STANDARD_FAMILIES["pareto"]
+    kink = pareto.p_min * (pareto.alpha - 1.0) / pareto.alpha
+    flat = [p for t, p in zip(FEES, prices["pareto"]) if t < kink]
+    assert all(p == pytest.approx(pareto.p_min) for p in flat)

@@ -1,0 +1,57 @@
+"""E2 — §4.3 vs §4.4: NN welfare vs unilateral-fee (double-marginalized) UR.
+
+Shape targets: t* > 0 for every family; prices rise; social welfare falls
+(strictly for Lemma-1 families, weakly at the Pareto corner).
+"""
+
+import pytest
+
+from repro.econ.csp import CSP
+from repro.econ.demand import STANDARD_FAMILIES
+from repro.econ.neutrality import nn_outcome
+from repro.econ.unilateral import unilateral_outcome
+
+
+def run_comparison():
+    csps = [CSP(name=name, demand=d) for name, d in STANDARD_FAMILIES.items()]
+    return nn_outcome(csps), unilateral_outcome(csps)
+
+
+def test_bench_e2_nn_vs_ur(benchmark, report):
+    nn, ur = benchmark(run_comparison)
+
+    header = (f"{'family':<14}{'p_nn':>8}{'p_ur':>8}{'t*':>8}"
+              f"{'W_nn':>9}{'W_ur':>9}{'loss%':>8}")
+    lines = [header, "-" * len(header)]
+    total_nn = total_ur = 0.0
+    for name, demand in STANDARD_FAMILIES.items():
+        from repro.econ.welfare import social_welfare
+
+        w_nn = social_welfare(demand, nn.prices[name])
+        w_ur = social_welfare(demand, ur.prices[name])
+        total_nn += w_nn
+        total_ur += w_ur
+        loss = 100.0 * (w_nn - w_ur) / w_nn if w_nn > 0 else 0.0
+        lines.append(
+            f"{name:<14}{nn.prices[name]:>8.2f}{ur.prices[name]:>8.2f}"
+            f"{ur.fees[name]:>8.2f}{w_nn:>9.3f}{w_ur:>9.3f}{loss:>8.1f}"
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'TOTAL':<14}{'':>8}{'':>8}{'':>8}{total_nn:>9.3f}{total_ur:>9.3f}"
+        f"{100.0 * (total_nn - total_ur) / total_nn:>8.1f}"
+    )
+    report("NN vs UR (unilateral fees):\n" + "\n".join(lines))
+
+    assert all(t > 0 for t in ur.fees.values())
+    for name in nn.prices:
+        assert ur.prices[name] >= nn.prices[name] - 1e-9
+    assert ur.social_welfare < nn.social_welfare
+    # Strict loss on the smooth families individually.
+    from repro.econ.welfare import social_welfare
+
+    for name in ("linear", "exponential", "logit"):
+        demand = STANDARD_FAMILIES[name]
+        assert social_welfare(demand, ur.prices[name]) < social_welfare(
+            demand, nn.prices[name]
+        )

@@ -1,0 +1,58 @@
+"""E4 — §4.5's second model: the population-weighted average fee.
+
+    t_avg = (p − ⟨rc⟩)/2,  ⟨rc⟩ = Σ n_l·r_l·c_l / Σ n_l
+
+Regenerated over a heterogeneous LMP population and verified against the
+explicit per-LMP schedule.
+"""
+
+import pytest
+
+from repro.econ.bargaining import average_fee, fee_schedule
+from repro.econ.csp import CSP
+from repro.econ.demand import LinearDemand
+from repro.econ.lmp import LMP
+
+PRICE = 15.0
+
+
+def build_population():
+    return [
+        LMP(name="mega", num_customers=5.0, access_price=55.0, vulnerability=0.04),
+        LMP(name="cable", num_customers=2.0, access_price=50.0, vulnerability=0.08),
+        LMP(name="regional", num_customers=0.8, access_price=45.0, vulnerability=0.2),
+        LMP(name="muni", num_customers=0.3, access_price=35.0, vulnerability=0.35),
+        LMP(name="startup", num_customers=0.1, access_price=40.0, vulnerability=0.6),
+    ]
+
+
+def run():
+    csp = CSP(name="svc", demand=LinearDemand(v_max=30.0), incumbency=1.0)
+    lmps = build_population()
+    return csp, lmps, fee_schedule(csp, lmps, price=PRICE), average_fee(
+        csp, lmps, price=PRICE
+    )
+
+
+def test_bench_e4_multilmp(benchmark, report):
+    csp, lmps, schedule, t_avg = benchmark(run)
+
+    lines = [f"{'LMP':<10}{'n_l':>7}{'c_l':>7}{'gamma':>7}{'r·c':>8}{'fee':>8}"]
+    for lmp in lmps:
+        rc = lmp.churn_rate(csp) * lmp.access_price
+        lines.append(
+            f"{lmp.name:<10}{lmp.num_customers:>7.2f}{lmp.access_price:>7.0f}"
+            f"{lmp.vulnerability:>7.2f}{rc:>8.2f}{schedule[lmp.name]:>8.3f}"
+        )
+    lines.append(f"\nweighted average fee t_avg = {t_avg:.4f}")
+    report("Per-LMP NBS fees and the aggregate:\n" + "\n".join(lines))
+
+    # The closed-form aggregate equals the population-weighted schedule.
+    total_n = sum(l.num_customers for l in lmps)
+    weighted = sum(l.num_customers * schedule[l.name] for l in lmps) / total_n
+    assert t_avg == pytest.approx(weighted)
+
+    # Fees ordered by incumbency: harder-to-leave LMPs extract more.
+    ordered = sorted(lmps, key=lambda l: l.churn_rate(csp) * l.access_price)
+    fees = [schedule[l.name] for l in ordered]
+    assert fees == sorted(fees, reverse=True)

@@ -1,0 +1,60 @@
+"""E5 — §4.5's third model: the price/fee renegotiation equilibrium.
+
+    t = ( p*(t) − ⟨rc⟩ ) / 2
+
+Shape targets: the fixed point exists and is positive; equilibrium
+welfare sits strictly below NN and weakly above unilateral-UR.
+"""
+
+import pytest
+
+from repro.econ.csp import CSP
+from repro.econ.demand import STANDARD_FAMILIES
+from repro.econ.equilibrium import bargaining_equilibrium, compare_regimes
+from repro.econ.lmp import entrant, incumbent
+
+
+def run_all():
+    lmps = [incumbent(), entrant()]
+    return {
+        name: compare_regimes(CSP(name=name, demand=d), lmps)
+        for name, d in STANDARD_FAMILIES.items()
+    }
+
+
+def test_bench_e5_equilibrium(benchmark, report):
+    comparisons = benchmark(run_all)
+
+    header = (f"{'family':<14}{'t_eq':>8}{'p_eq':>8}{'t_uni':>8}{'p_uni':>8}"
+              f"{'W_nn':>9}{'W_eq':>9}{'W_uni':>9}")
+    lines = [header, "-" * len(header)]
+    for name, rc in comparisons.items():
+        lines.append(
+            f"{name:<14}{rc.bargaining_fee:>8.3f}{rc.bargaining_price:>8.2f}"
+            f"{rc.unilateral_fee:>8.3f}{rc.unilateral_price:>8.2f}"
+            f"{rc.nn_welfare:>9.3f}{rc.bargaining_welfare:>9.3f}"
+            f"{rc.unilateral_welfare:>9.3f}"
+        )
+    report("Renegotiation equilibrium vs NN and unilateral UR:\n" + "\n".join(lines))
+
+    for name, rc in comparisons.items():
+        assert rc.bargaining_fee >= 0
+        assert rc.nn_welfare + 1e-9 >= rc.bargaining_welfare
+        assert rc.bargaining_welfare + 1e-9 >= rc.unilateral_welfare
+        assert rc.bargaining_fee <= rc.unilateral_fee + 1e-9
+    # Strictness on the Lemma-1 families.
+    for name in ("linear", "exponential", "logit"):
+        rc = comparisons[name]
+        assert rc.bargaining_loss > 0
+        assert rc.unilateral_loss > rc.bargaining_loss
+
+
+def test_bench_e5_convergence_speed(benchmark):
+    """The fixed-point iteration is the hot inner loop of the market
+    simulator: keep it fast and convergent."""
+    lmps = [incumbent(), entrant()]
+    csp = CSP(name="exp", demand=STANDARD_FAMILIES["exponential"])
+
+    eq = benchmark(lambda: bargaining_equilibrium(csp, lmps))
+    assert eq.converged
+    assert eq.iterations < 200

@@ -1,0 +1,63 @@
+"""E6 — §4.6's distributional argument, quantified.
+
+Two claims the section makes in prose:
+
+1. fees transfer value from CSPs (and consumers, through higher prices)
+   to LMPs while shrinking the total pie;
+2. "vigorous competition in the LMP and CSP market tends to drive most
+   of the value into consumer welfare."
+"""
+
+import pytest
+
+from repro.econ.csp import CSP
+from repro.econ.demand import STANDARD_FAMILIES
+from repro.econ.distribution import competition_sweep, welfare_split
+from repro.econ.unilateral import unilateral_outcome
+
+GRID = [0.0, 0.25, 0.5, 0.75, 0.95]
+
+
+def catalogue():
+    return [CSP(name=n, demand=d) for n, d in STANDARD_FAMILIES.items()]
+
+
+def run():
+    csps = catalogue()
+    nn = welfare_split(csps, {})
+    ur = welfare_split(csps, unilateral_outcome(csps).fees)
+    sweep = competition_sweep(csps, GRID)
+    return nn, ur, sweep
+
+
+def test_bench_e6_distribution(benchmark, report):
+    nn, ur, sweep = benchmark(run)
+
+    lines = [
+        "Regime split (monopoly pricing):",
+        f"{'regime':<6}{'consumer':>11}{'CSP':>10}{'LMP fees':>10}{'total':>10}"
+        f"{'cons.share':>12}",
+        f"{'NN':<6}{nn.consumer_surplus:>11.2f}{nn.csp_profit:>10.2f}"
+        f"{nn.lmp_fee_revenue:>10.2f}{nn.total:>10.2f}{nn.consumer_share:>12.0%}",
+        f"{'UR':<6}{ur.consumer_surplus:>11.2f}{ur.csp_profit:>10.2f}"
+        f"{ur.lmp_fee_revenue:>10.2f}{ur.total:>10.2f}{ur.consumer_share:>12.0%}",
+        "",
+        "Competition sweep (NN, price from monopoly toward cost):",
+        f"{'kappa':>7}{'total W':>10}{'consumer share':>16}",
+    ]
+    for kappa, split in zip(GRID, sweep):
+        lines.append(f"{kappa:>7.2f}{split.total:>10.2f}{split.consumer_share:>16.0%}")
+    report("\n".join(lines))
+
+    # Claim 1: fees shrink the pie and move value to LMPs.
+    assert ur.total < nn.total
+    assert ur.lmp_fee_revenue > 0
+    assert ur.csp_profit < nn.csp_profit
+    assert ur.consumer_surplus < nn.consumer_surplus
+
+    # Claim 2: competition raises both the pie and the consumer share.
+    shares = [s.consumer_share for s in sweep]
+    totals = [s.total for s in sweep]
+    assert shares == sorted(shares)
+    assert totals == sorted(totals)
+    assert shares[-1] > 0.9

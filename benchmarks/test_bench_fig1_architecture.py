@@ -1,0 +1,64 @@
+"""F1 — Figure 1: the proposal's connectivity structure, audited.
+
+Figure 1 is the architecture diagram: customers → LMPs → POC, large CSPs
+directly on the POC, POC → external transit ISPs for the rest of the
+Internet.  This bench constructs exactly that arrangement on a
+provisioned POC and audits every structural property the figure depicts.
+"""
+
+import pytest
+
+from repro.auction.constraints import make_constraint
+from repro.auction.provider import make_external_contract
+from repro.core.poc import PublicOptionCore
+from repro.experiments.pipeline import offers_for_zoo, traffic_for_zoo
+from repro.topology.zoo import ZooConfig, build_zoo
+
+
+def build_figure1():
+    zoo = build_zoo(ZooConfig.tiny())
+    tm = traffic_for_zoo(zoo)
+    offers = offers_for_zoo(zoo)
+    poc = PublicOptionCore.from_zoo(zoo)
+    sites = [s.router_id for s in zoo.sites]
+    # External transit ISP attached at two locations (virtual link).
+    contract = make_external_contract(
+        "transit-isp", [(sites[0], sites[-1])],
+        capacity_gbps=400.0, price_per_link=200_000.0,
+    )
+    poc.add_external_contract(contract)
+    poc.provision(offers, tm, constraint=1, method="add-prune")
+
+    # Figure 1's parties.
+    poc.attach("lmp-east", sites[0], "lmp")
+    poc.attach("lmp-west", sites[-1], "lmp")
+    poc.attach("lmp-mid", sites[len(sites) // 2], "lmp")
+    poc.attach("big-csp", sites[1], "csp")          # directly attached CSP
+    poc.attach("transit-isp", sites[0], "ext-isp")  # the rest of the Internet
+    return zoo, poc
+
+
+def test_bench_fig1_architecture(benchmark, report):
+    zoo, poc = benchmark.pedantic(build_figure1, rounds=1, iterations=1)
+
+    lines = ["party          kind     site"]
+    for att in poc.attachments:
+        lines.append(f"{att.name:<14} {att.kind:<8} {att.site}")
+    matrix = poc.reachability()
+    reachable = sum(1 for v in matrix.values() if v)
+    lines.append(f"\nreachable attachment pairs: {reachable}/{len(matrix)}")
+    lines.append(f"backbone links: {poc.backbone.num_links} "
+                 f"(from {zoo.num_logical_links} offered)")
+    lines.append(f"monthly cost (auction + contracts): {poc.monthly_cost:,.0f}")
+    report("\n".join(lines))
+
+    # Figure 1's structural claims:
+    # every LMP reaches every other LMP and the direct CSP over the POC;
+    assert all(matrix.values())
+    # the POC interconnects with at least one traditional ISP;
+    assert any(a.kind == "ext-isp" for a in poc.attachments)
+    # large CSPs can attach directly;
+    assert any(a.kind == "csp" for a in poc.attachments)
+    # and the POC acts as a transparent fabric: paths exist pairwise.
+    path = poc.transit_path("lmp-east", "big-csp")
+    assert path is not None

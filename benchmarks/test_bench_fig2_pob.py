@@ -1,0 +1,87 @@
+"""F2 — Figure 2: payment-over-bid margins, 5 largest BPs × 3 constraints.
+
+Paper setup: TopologyZoo → 20 BPs → POC routers at ≥4-BP colocations →
+4674 logical links → synthetic TM → VCG auction under Constraints #1/2/3.
+Reproduction: the seeded SyntheticZoo at the ``tiny`` preset (the
+paper-scale preset is exercised in the T1 bench; the auction itself is
+preset-independent).  Shape targets, per the paper:
+
+- PoB ≥ 0 for every BP (individual rationality);
+- "high variation in the PoB" across BPs and constraints;
+- stricter constraints select weakly costlier link sets.
+"""
+
+import pytest
+
+from repro.experiments.figure2 import Figure2Config, run_figure2
+
+
+@pytest.fixture(scope="module")
+def figure2():
+    return run_figure2(Figure2Config(preset="tiny", seed=2020, method="add-prune"))
+
+
+def test_bench_fig2_pob(benchmark, report, figure2):
+    # The heavy run happened once in the fixture; benchmark the cheap
+    # constraint-1 leg so timing is still recorded without re-running
+    # the full three-constraint sweep.
+    benchmark.pedantic(
+        lambda: run_figure2(
+            Figure2Config(preset="tiny", seed=2020, constraints=(1,))
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(figure2.formatted())
+
+    rows = figure2.rows
+    assert len(rows) == 3 * len(figure2.largest_bps)
+
+    # Individual rationality: every defined PoB is non-negative.
+    for row in rows:
+        if row.pob is not None:
+            assert row.pob >= -1e-9, row
+
+    # The paper's headline: high variation in PoB.
+    variation = figure2.variation()
+    assert variation["spread"] > 0.1
+
+    # Constraint stringency: total declared cost weakly increases
+    # from constraint 1 to the survivability constraints.
+    costs = {s.constraint: s.total_declared_cost for s in figure2.summaries}
+    assert costs["constraint-2"] >= costs["constraint-1"] - 1e-6
+    assert costs["constraint-3"] >= costs["constraint-1"] - 1e-6
+
+
+def test_bench_fig2_largest_bps_ordering(benchmark, figure2):
+    # Shape-check companion: the trivial benchmark call keeps this
+    # test active under --benchmark-only (its value is the asserts).
+    benchmark(lambda: None)
+
+    """Figure 2 lists the five largest BPs in decreasing size order."""
+    shares = figure2.zoo.link_shares
+    sizes = [shares[bp] for bp in figure2.largest_bps]
+    assert sizes == sorted(sizes, reverse=True)
+    assert len(figure2.largest_bps) == 5
+
+
+def test_bench_fig2_tm_ablation(benchmark, report):
+    # Shape-check companion: the trivial benchmark call keeps this
+    # test active under --benchmark-only (its value is the asserts).
+    benchmark(lambda: None)
+
+    """DESIGN.md §5.4: the PoB variation shape holds across TM models."""
+    lines = []
+    for model in ("gravity", "uniform", "hotspot"):
+        result = run_figure2(
+            Figure2Config(preset="tiny", seed=2020, constraints=(1,), tm_model=model)
+        )
+        var = result.variation()
+        lines.append(
+            f"{model:<9} spread={var['spread']:.3f} "
+            f"min={var['min']:.3f} max={var['max']:.3f}"
+        )
+        for row in result.rows:
+            if row.pob is not None:
+                assert row.pob >= -1e-9
+    report("PoB spread by TM model (constraint-1):\n" + "\n".join(lines))

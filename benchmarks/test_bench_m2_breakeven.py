@@ -1,0 +1,68 @@
+"""M2 — §3.2's payment structure: the POC breaks even, money flows align.
+
+Audits the simulator's ledger: the POC's surplus is zero every epoch,
+every payment class flows in the §3.2 direction, and money is conserved
+globally.
+"""
+
+import pytest
+
+from repro.market.entities import founding_catalogue, founding_lmps
+from repro.market.sim import MarketConfig, MarketSim, Regime
+
+EPOCHS = 12
+POC_COST = 7.5
+
+
+def run():
+    sim = MarketSim(
+        MarketConfig(regime=Regime.UR, epochs=EPOCHS, poc_monthly_cost=POC_COST),
+        founding_catalogue(), founding_lmps(),
+    )
+    history = sim.run()
+    return sim, history
+
+
+def test_bench_m2_breakeven(benchmark, report):
+    sim, history = benchmark.pedantic(run, rounds=1, iterations=1)
+    ledger = sim.ledger
+
+    flows = {
+        "service (consumers -> CSPs)": sum(
+            t.amount for t in ledger.journal(memo_prefix="service")
+        ),
+        "access (consumers -> LMPs)": sum(
+            t.amount for t in ledger.journal(memo_prefix="access")
+        ),
+        "termination (CSPs -> LMPs)": sum(
+            t.amount for t in ledger.journal(memo_prefix="termination")
+        ),
+        "transit (all -> POC)": sum(
+            t.amount for t in ledger.journal(memo_prefix="transit")
+        ),
+        "leases (POC -> BPs)": sum(
+            t.amount for t in ledger.journal(memo_prefix="leases")
+        ),
+    }
+    lines = [f"{name:<32}{amount:>12.2f}" for name, amount in flows.items()]
+    lines.append(f"{'POC final balance':<32}{ledger.balance('POC'):>12.2f}")
+    lines.append(f"{'global imbalance':<32}{ledger.total_balance:>12.2e}")
+    report(f"Money flows over {EPOCHS} months (UR regime):\n" + "\n".join(lines))
+
+    # Nonprofit invariant, every epoch and at the end.
+    for record in history.records:
+        assert record.poc_surplus == pytest.approx(0.0, abs=1e-9)
+    assert ledger.balance("POC") == pytest.approx(0.0, abs=1e-6)
+
+    # Transit collected == leases disbursed == cost × months.
+    assert flows["transit (all -> POC)"] == pytest.approx(EPOCHS * POC_COST)
+    assert flows["leases (POC -> BPs)"] == pytest.approx(EPOCHS * POC_COST)
+
+    # Conservation and journal/balance consistency.
+    assert ledger.total_balance == pytest.approx(0.0, abs=1e-6)
+    ledger.audit()
+
+    # Directionality: consumers only pay, BP pool only receives.
+    for name, acct in sorted(ledger.balances_by_kind("consumer").items()):
+        assert acct <= 1e-9, name
+    assert ledger.balance("BP-pool") == pytest.approx(EPOCHS * POC_COST)

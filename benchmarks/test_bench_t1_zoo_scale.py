@@ -1,0 +1,52 @@
+"""T1 — §3.3's in-text facts about the auction input.
+
+Paper: "combined some networks to form 20 BPs ... The resulting POC
+network has 4674 point-to-point connections ... The BPs vary in size,
+contributing from roughly 2% to roughly 12% of the logical links."
+"""
+
+import pytest
+
+from repro.topology.zoo import ZooConfig, build_zoo
+
+
+@pytest.fixture(scope="module")
+def paper_zoo():
+    return build_zoo(ZooConfig.paper())
+
+
+def test_bench_t1_zoo_scale(benchmark, report, paper_zoo):
+    benchmark.pedantic(
+        lambda: build_zoo(ZooConfig.paper()), rounds=1, iterations=1
+    )
+    shares = sorted(paper_zoo.link_shares.values())
+    lines = [
+        f"BPs:                {len(paper_zoo.bps):>6}     (paper: 20)",
+        f"POC router sites:   {len(paper_zoo.sites):>6}",
+        f"logical links:      {paper_zoo.num_logical_links:>6}     (paper: 4674)",
+        f"BP share range:     {shares[0]:.1%} .. {shares[-1]:.1%}  (paper: ~2% .. ~12%)",
+    ]
+    report("\n".join(lines))
+
+    assert len(paper_zoo.bps) == 20
+    assert 3000 <= paper_zoo.num_logical_links <= 7000
+    assert shares[-1] == pytest.approx(0.12, abs=0.04)
+    assert shares[-1] / max(shares[0], 1e-9) >= 3.0  # strong size spread
+
+
+def test_bench_t1_colocation_threshold(benchmark, paper_zoo):
+    # Shape-check companion: the trivial benchmark call keeps this
+    # test active under --benchmark-only (its value is the asserts).
+    benchmark(lambda: None)
+
+    """Every POC router site satisfies the ≥4-BP colocation rule."""
+    for site in paper_zoo.sites:
+        assert len(site.bps) >= 4
+
+
+def test_bench_t1_offered_network_connected(benchmark, paper_zoo):
+    # Shape-check companion: the trivial benchmark call keeps this
+    # test active under --benchmark-only (its value is the asserts).
+    benchmark(lambda: None)
+
+    assert paper_zoo.offered.is_connected()

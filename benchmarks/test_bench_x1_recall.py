@@ -1,0 +1,75 @@
+"""X1 — extension: recurring auctions under capacity recall (§3.3).
+
+The paper argues large CSPs will lease spare capacity to the POC because
+they "can quickly recall it ... when needed."  The operational question
+that raises: how stable are the POC's costs and its selected backbone
+when supply fluctuates?  This bench runs 12 monthly re-clears with two
+cloud BPs subject to hard recalls and reports volatility/churn.
+"""
+
+import pytest
+
+from repro.auction.rounds import RecallModel, RecurringAuction
+
+ROUNDS = 12
+
+
+def run_recurring(zoo, tm, offers, *, recall_probability):
+    cloud = frozenset(zoo.largest_bps(2))
+    recall = RecallModel(
+        cloud_bps=cloud,
+        recall_probability=recall_probability,
+        recall_floor=0.25,
+        min_availability=0.6,
+    )
+    auction = RecurringAuction(
+        zoo.offered, offers, tm, recall=recall, seed=11, engine="greedy",
+        method="add-prune",
+    )
+    return auction.run(ROUNDS)
+
+
+def test_bench_x1_recall(benchmark, report, tiny_workload):
+    zoo, tm, offers = tiny_workload
+    outcome = benchmark.pedantic(
+        lambda: run_recurring(zoo, tm, offers, recall_probability=0.25),
+        rounds=1, iterations=1,
+    )
+
+    costs = outcome.cost_series()
+    lines = [
+        f"rounds:              {ROUNDS}",
+        f"cloud BPs (recall):  {', '.join(sorted(zoo.largest_bps(2)))}",
+        f"POC cost mean:       {sum(costs) / len(costs):>14,.0f}",
+        f"POC cost min..max:   {min(costs):>14,.0f} .. {max(costs):,.0f}",
+        f"cost volatility:     {outcome.cost_volatility():>14.3f} (coeff. of variation)",
+        f"backbone churn:      {outcome.winner_churn():>14.3f} (mean Jaccard distance)",
+        f"fallback rounds:     {outcome.fallback_rate():>14.1%}",
+    ]
+    report("Recurring auction under capacity recall:\n" + "\n".join(lines))
+
+    assert len(costs) == ROUNDS
+    assert all(c > 0 for c in costs)
+    # Re-clearing keeps the POC functional every round.
+    assert all(r.result is not None for r in outcome.rounds)
+    # Fluctuating supply must actually move the backbone (else the recall
+    # model is inert and the bench is vacuous).
+    assert outcome.winner_churn() > 0.05
+
+
+def test_bench_x1_recall_severity(benchmark, report, tiny_workload):
+    # Shape-check companion: the trivial benchmark call keeps this
+    # test active under --benchmark-only (its value is the asserts).
+    benchmark(lambda: None)
+
+    """More recall pressure => weakly more churn (coarse monotonicity)."""
+    zoo, tm, offers = tiny_workload
+    calm = run_recurring(zoo, tm, offers, recall_probability=0.0)
+    stormy = run_recurring(zoo, tm, offers, recall_probability=0.6)
+    report(
+        f"churn calm={calm.winner_churn():.3f} "
+        f"stormy={stormy.winner_churn():.3f}; "
+        f"volatility calm={calm.cost_volatility():.3f} "
+        f"stormy={stormy.cost_volatility():.3f}"
+    )
+    assert stormy.winner_churn() >= calm.winner_churn() - 0.1

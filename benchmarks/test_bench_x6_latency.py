@@ -1,0 +1,63 @@
+"""X6 — extension: the performance of the auctioned backbone (§1.2).
+
+"it is essential that the public Internet continues to offer
+high-performance transit."  Min-cost selection optimizes dollars, not
+milliseconds; this bench measures what that costs: per-pair RTT and
+geographic stretch of the constraint-1 backbone vs the full offer book,
+and the latency effect of buying survivability (constraint-2).
+"""
+
+import pytest
+
+from repro.auction.constraints import make_constraint
+from repro.auction.selection import select_links
+from repro.netflow.latency import latency_report
+
+
+def backbones(zoo, tm, offers):
+    out = {"offer-book": zoo.offered}
+    for number in (1, 2):
+        constraint = make_constraint(number, zoo.offered, tm, engine="greedy")
+        selection = select_links(offers, constraint, method="add-prune")
+        out[f"constraint-{number}"] = zoo.offered.restricted_to_links(
+            selection.selected
+        )
+    return out
+
+
+def test_bench_x6_latency(benchmark, report, tiny_workload):
+    zoo, tm, offers = tiny_workload
+    nets = benchmark.pedantic(
+        lambda: backbones(zoo, tm, offers), rounds=1, iterations=1
+    )
+    reports = {name: latency_report(net) for name, net in nets.items()}
+
+    lines = [f"{'backbone':<14}{'links':>7}{'mean RTT':>10}{'p95 RTT':>10}"
+             f"{'mean stretch':>14}{'unreachable':>13}"]
+    for name, rep in reports.items():
+        lines.append(
+            f"{name:<14}{nets[name].num_links:>7}{rep.mean_rtt_ms():>10.1f}"
+            f"{rep.percentile_rtt_ms(95):>10.1f}{rep.mean_stretch():>14.2f}"
+            f"{len(rep.unreachable):>13}"
+        )
+    report("Backbone latency vs selection (ms, round-trip):\n" + "\n".join(lines))
+
+    book = reports["offer-book"]
+    c1 = reports["constraint-1"]
+    c2 = reports["constraint-2"]
+
+    # Every backbone keeps all sites mutually reachable.
+    for rep in reports.values():
+        assert rep.unreachable == ()
+
+    # Min-cost pruning cannot *improve* on the full book's shortest paths.
+    assert c1.mean_rtt_ms() >= book.mean_rtt_ms() - 1e-9
+
+    # Survivability buys extra links, which can only shorten paths
+    # relative to the leaner constraint-1 backbone... on average the
+    # richer backbone should be at least as fast.
+    assert nets["constraint-2"].num_links >= nets["constraint-1"].num_links
+    assert c2.mean_rtt_ms() <= c1.mean_rtt_ms() * 1.25 + 1e-9
+
+    # Geographic sanity: real fibre routes detour; stretch above 1.
+    assert book.mean_stretch() >= 1.0

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Recurring bandwidth auctions with cloud-provider capacity recall.
+
+§3.3 predicts large CSPs will lease their spare backbone capacity to the
+POC precisely *because* they can recall it when their own traffic surges.
+This example re-clears the auction monthly for a year with the two
+largest BPs acting as such cloud providers, and reports what a POC
+operator would watch: cost stability, backbone churn, and fallback
+events.
+
+Run:  python examples/bandwidth_recall.py
+"""
+
+from repro.auction.rounds import RecallModel, RecurringAuction
+from repro.experiments.pipeline import offers_for_zoo, traffic_for_zoo
+from repro.topology.zoo import ZooConfig, build_zoo
+from repro.units import fmt_money
+
+MONTHS = 12
+
+
+def main() -> None:
+    zoo = build_zoo(ZooConfig.tiny())
+    tm = traffic_for_zoo(zoo)
+    offers = offers_for_zoo(zoo)
+    cloud = frozenset(zoo.largest_bps(2))
+    print(f"zoo: {len(zoo.bps)} BPs over {len(zoo.sites)} POC sites; "
+          f"cloud BPs subject to recall: {', '.join(sorted(cloud))}\n")
+
+    recall = RecallModel(
+        cloud_bps=cloud,
+        recall_probability=0.25,  # ~3 hard recalls per BP per year
+        recall_floor=0.4,
+        min_availability=0.75,
+    )
+    auction = RecurringAuction(
+        zoo.offered, offers, tm,
+        recall=recall, seed=11, engine="greedy", method="add-prune",
+    )
+    outcome = auction.run(MONTHS)
+
+    print(f"{'month':>6}{'offered links':>15}{'POC cost':>16}{'notes':>20}")
+    for r in outcome.rounds:
+        recalled = [
+            bp for bp, a in sorted(r.availability.items())
+            if bp in cloud and a <= recall.recall_floor + 1e-9
+        ]
+        notes = f"recall: {','.join(recalled)}" if recalled else ""
+        if r.fallback:
+            notes = (notes + " FALLBACK").strip()
+        print(f"{r.round_index:>6}{r.offered_links:>15}"
+              f"{fmt_money(r.poc_cost):>16}{notes:>20}")
+
+    costs = outcome.cost_series()
+    print(f"\ncost mean {fmt_money(sum(costs) / len(costs))}, "
+          f"volatility {outcome.cost_volatility():.1%}, "
+          f"backbone churn {outcome.winner_churn():.1%}, "
+          f"fallback months {outcome.fallback_rate():.0%}")
+    print("\ntakeaway: the auction absorbs hard recalls by re-selecting from")
+    print("the remaining supply each month; external contracts (modelled")
+    print("here as reverting to the full offer book) backstop the months")
+    print("when fluctuating supply cannot meet the constraint on its own.")
+
+
+if __name__ == "__main__":
+    main()

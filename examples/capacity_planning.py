@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Capacity planning: growing traffic, periodic re-auctions.
+
+The POC's traffic matrix grows every month; the min-cost auction buys a
+backbone that is exactly tight for whatever it was asked to carry, so a
+real POC provisions against an inflated target (the margin) and
+re-auctions when projected headroom crosses a trigger.  This example
+plans two years at 5%/month growth and prints the schedule.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.core.planning import months_of_headroom, plan_reprovisioning
+from repro.experiments.pipeline import offers_for_zoo, traffic_for_zoo
+from repro.topology.zoo import ZooConfig, build_zoo
+from repro.units import fmt_money
+
+GROWTH = 0.05
+HORIZON = 24
+
+
+def main() -> None:
+    zoo = build_zoo(ZooConfig.tiny())
+    tm = traffic_for_zoo(zoo)
+    offers = offers_for_zoo(zoo)
+    print(f"planning {HORIZON} months at {GROWTH:.0%}/month traffic growth")
+    print(f"offer book: {zoo.num_logical_links} links from {len(zoo.bps)} BPs\n")
+
+    plan = plan_reprovisioning(
+        zoo.offered, offers, tm,
+        monthly_growth=GROWTH,
+        horizon_months=HORIZON,
+        provision_margin=1.6,
+        trigger_headroom=1.15,
+    )
+
+    print(f"{'month':>6}{'TM scale':>10}{'headroom':>10}{'links':>7}"
+          f"{'monthly cost':>16}{'action':>14}")
+    for epoch in plan.epochs:
+        action = "RE-AUCTION" if epoch.reprovisioned else ""
+        print(f"{epoch.month:>6}{epoch.tm_scale:>10.2f}{epoch.headroom:>10.2f}"
+              f"{epoch.selected_links:>7}{fmt_money(epoch.monthly_cost):>16}"
+              f"{action:>14}")
+
+    print(f"\n{plan.num_reprovisions} auctions over {HORIZON} months; "
+          f"cumulative spend {fmt_money(plan.total_cost())}")
+    first = plan.auctions[0]
+    backbone = zoo.offered.restricted_to_links(first.selected)
+    print(f"month-0 backbone would last "
+          f"{months_of_headroom(backbone, tm, GROWTH)} months unattended")
+    print("\nreading: the re-auction cadence is the margin/growth geometry —")
+    print("ln(margin/trigger)/ln(1+g) months between auctions — and each")
+    print("re-auction repriced the whole backbone from the full offer book,")
+    print("so costs track demand rather than ratcheting.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Agent-based ecosystem simulation: NN vs UR with an entrant CSP.
+
+Plays out §4's comparative statics dynamically: the same economy runs for
+24 months under network neutrality and under the unregulated regime; an
+entrant video service joins at month 4.  All money moves through a
+double-entry ledger, and the POC breaks even every month by construction.
+
+Run:  python examples/market_simulation.py
+"""
+
+from repro.econ.demand import LinearDemand
+from repro.market.entities import CSPAgent, founding_catalogue, founding_lmps
+from repro.market.sim import MarketConfig, MarketSim, Regime
+
+EPOCHS = 24
+ENTRY = 4
+
+
+def run(regime: Regime):
+    csps = founding_catalogue()
+    csps.append(
+        CSPAgent(name="entrant", demand=LinearDemand(v_max=25.0),
+                 incumbency=0.15, entry_epoch=ENTRY)
+    )
+    sim = MarketSim(
+        MarketConfig(regime=regime, epochs=EPOCHS, poc_monthly_cost=5.0),
+        csps, founding_lmps(),
+    )
+    return sim, sim.run()
+
+
+def sparkline(values, width: int = 40) -> str:
+    """Render a series as a coarse ASCII sparkline."""
+    if not values:
+        return ""
+    blocks = " ▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    step = max(1, len(values) // width)
+    picks = values[::step]
+    return "".join(blocks[int((v - lo) / span * (len(blocks) - 1))] for v in picks)
+
+
+def main() -> None:
+    runs = {regime: run(regime) for regime in (Regime.NN, Regime.UR)}
+
+    print(f"{EPOCHS} months, entrant CSP joins at month {ENTRY}\n")
+    print(f"{'metric':<40}{'NN':>12}{'UR':>12}")
+    print("-" * 64)
+    rows = [
+        ("entrant cumulative profit",
+         lambda h: h.cumulative_csp_profit("entrant")),
+        ("entrant final incumbency",
+         lambda h: h.csp_incumbency_series("entrant")[-1]),
+        ("incumbent CSP cumulative profit",
+         lambda h: h.cumulative_csp_profit("videostream")),
+        ("incumbent LMP cumulative profit",
+         lambda h: h.cumulative_lmp_profit("metro-cable")),
+        ("final monthly social welfare",
+         lambda h: h.welfare_series()[-1]),
+    ]
+    for label, metric in rows:
+        nn_val = metric(runs[Regime.NN][1])
+        ur_val = metric(runs[Regime.UR][1])
+        print(f"{label:<40}{nn_val:>12.2f}{ur_val:>12.2f}")
+
+    print("\nentrant incumbency trajectory (month {} onward):".format(ENTRY))
+    for regime in (Regime.NN, Regime.UR):
+        series = runs[regime][1].csp_incumbency_series("entrant")
+        print(f"  {regime.value.upper():<4} {sparkline(series)}  "
+              f"{series[0]:.2f} -> {series[-1]:.2f}")
+
+    print("\nledger audit:")
+    for regime, (sim, history) in runs.items():
+        sim.ledger.audit()
+        print(f"  {regime.value.upper():<4} money conserved "
+              f"(imbalance {sim.ledger.total_balance:+.2e}); "
+              f"POC surplus each month = "
+              f"{max(abs(r.poc_surplus) for r in history.records):.2e}")
+
+    print("\ntakeaway: under UR the entrant both earns less and builds")
+    print("incumbency more slowly — the paper's innovation-hindrance claim.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""The Section 4 economic models, end to end.
+
+Reproduces the paper's analytical narrative:
+
+1. NN regime: CSPs post monopoly prices; welfare is the benchmark.
+2. UR with unilateral fees: double marginalization; welfare falls.
+3. UR with Nash bargaining: fees t = (p − r·c)/2, the renegotiation
+   equilibrium, and the incumbency advantage.
+
+Run:  python examples/neutrality_models.py
+"""
+
+from repro.econ.bargaining import fee_schedule, incumbency_comparison
+from repro.econ.csp import CSP
+from repro.econ.demand import STANDARD_FAMILIES, LinearDemand
+from repro.econ.equilibrium import bargaining_equilibrium, compare_regimes
+from repro.econ.lmp import LMP, entrant, incumbent
+
+
+def regime_table() -> None:
+    print("=" * 78)
+    print("Regime comparison across demand families (W = social welfare)")
+    print("=" * 78)
+    lmps = [incumbent(), entrant()]
+    header = (f"{'family':<13}{'W_nn':>8}{'W_barg':>8}{'W_uni':>8}"
+              f"{'t_barg':>8}{'t_uni':>8}{'p_nn':>7}{'p_barg':>8}{'p_uni':>7}")
+    print(header)
+    print("-" * len(header))
+    for name, demand in STANDARD_FAMILIES.items():
+        rc = compare_regimes(CSP(name=name, demand=demand), lmps)
+        print(f"{name:<13}{rc.nn_welfare:>8.2f}{rc.bargaining_welfare:>8.2f}"
+              f"{rc.unilateral_welfare:>8.2f}{rc.bargaining_fee:>8.2f}"
+              f"{rc.unilateral_fee:>8.2f}{rc.nn_price:>7.2f}"
+              f"{rc.bargaining_price:>8.2f}{rc.unilateral_price:>7.2f}")
+    print("\ntakeaway: W_nn >= W_barg >= W_uni in every family; fees always")
+    print("push prices up and welfare down (weakly at the Pareto corner).")
+
+
+def incumbency_table() -> None:
+    print()
+    print("=" * 78)
+    print("The incumbency advantage under bargained termination fees")
+    print("=" * 78)
+    price = 15.0
+    comparison = incumbency_comparison(
+        incumbent(), entrant(),
+        CSP(name="incumbent-csp", demand=LinearDemand(v_max=30.0), incumbency=1.0),
+        CSP(name="entrant-csp", demand=LinearDemand(v_max=30.0), incumbency=0.1),
+        price=price,
+    )
+    print(f"at a posted price of ${price:.0f}/mo:")
+    print(f"  incumbent LMP extracts : ${comparison.incumbent_lmp_fee:6.2f}/subscriber")
+    print(f"  entrant   LMP extracts : ${comparison.entrant_lmp_fee:6.2f}/subscriber")
+    print(f"  -> incumbent LMP advantage ${comparison.lmp_fee_gap:.2f}")
+    print(f"  incumbent CSP pays     : ${comparison.incumbent_csp_fee:6.2f}/subscriber")
+    print(f"  entrant   CSP pays     : ${comparison.entrant_csp_fee:6.2f}/subscriber")
+    print(f"  -> incumbent CSP advantage ${comparison.csp_fee_gap:.2f}")
+    print("\n'it is clear that such fees will systematically favor established")
+    print("incumbents in both the LMP and CSP markets.'  (§4.5)")
+
+
+def equilibrium_walkthrough() -> None:
+    print()
+    print("=" * 78)
+    print("Renegotiation equilibrium for one CSP against a mixed LMP population")
+    print("=" * 78)
+    csp = CSP(name="videoco", demand=LinearDemand(v_max=30.0), incumbency=0.9)
+    lmps = [
+        LMP(name="mega", num_customers=3.0, access_price=55.0, vulnerability=0.05),
+        LMP(name="regional", num_customers=1.0, access_price=45.0, vulnerability=0.2),
+        LMP(name="startup", num_customers=0.2, access_price=40.0, vulnerability=0.5),
+    ]
+    eq = bargaining_equilibrium(csp, lmps)
+    print(f"equilibrium fee t* = {eq.fee:.3f}, price p* = {eq.price:.2f} "
+          f"(converged in {eq.iterations} iterations)")
+    print(f"CSP keeps {eq.csp_revenue:.2f}/customer-mass; "
+          f"LMPs extract {eq.lmp_fee_revenue:.2f}")
+    print("\nper-LMP fees at the equilibrium price:")
+    for name, fee in fee_schedule(csp, lmps, price=eq.price).items():
+        print(f"  {name:<10} t = {max(0.0, fee):6.3f}")
+    print("\nnote the ordering: the harder an LMP is to leave, the more it")
+    print("extracts — market power, not cost, sets the fee.")
+
+
+def main() -> None:
+    regime_table()
+    incumbency_table()
+    equilibrium_walkthrough()
+
+
+if __name__ == "__main__":
+    main()

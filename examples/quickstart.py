@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Quickstart: stand up a Public Option for the Core, end to end.
+
+This walks the whole §3 pipeline on a small synthetic instance:
+
+1. build the synthetic "zoo" (operator networks → 5 BPs → POC routers →
+   offered logical links);
+2. derive a gravity traffic matrix over the POC sites;
+3. collect truthful bids and run the VCG bandwidth auction;
+4. provision the POC's backbone from the selected links;
+5. attach two LMPs and a CSP, route transit between them, and produce
+   break-even invoices.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.poc import PublicOptionCore
+from repro.experiments.pipeline import offers_for_zoo, traffic_for_zoo
+from repro.topology.zoo import ZooConfig, build_zoo
+from repro.units import fmt_bandwidth, fmt_money
+
+
+def main() -> None:
+    # -- 1. the offered infrastructure -----------------------------------
+    zoo = build_zoo(ZooConfig.tiny())
+    print(f"zoo: {len(zoo.bps)} bandwidth providers, "
+          f"{len(zoo.sites)} POC router sites, "
+          f"{zoo.num_logical_links} offered logical links")
+
+    # -- 2. demand ---------------------------------------------------------
+    tm = traffic_for_zoo(zoo)
+    print(f"traffic matrix: {tm.num_pairs} demands, "
+          f"{fmt_bandwidth(tm.total_gbps())} total")
+
+    # -- 3 & 4. auction + provisioning -------------------------------------
+    offers = offers_for_zoo(zoo)
+    poc = PublicOptionCore.from_zoo(zoo)
+    result = poc.provision(offers, tm, constraint=1, method="add-prune")
+    print(f"\nauction: selected {len(result.selected)} links "
+          f"of {zoo.num_logical_links} offered")
+    print(f"declared cost of selection: {fmt_money(result.total_cost)}/mo")
+    print(f"POC disbursement (VCG payments): {fmt_money(result.total_payments)}/mo")
+    for name in result.winners():
+        pr = result.providers[name]
+        pob = pr.payment_over_bid
+        print(f"  {name}: paid {fmt_money(pr.payment)} for "
+              f"{len(pr.selected_links)} links (PoB margin {pob:+.1%})")
+
+    # -- 5. attachment, transit, billing -----------------------------------
+    sites = [s.router_id for s in zoo.sites]
+    poc.attach("eyeball-lmp", sites[0], "lmp")
+    poc.attach("muni-lmp", sites[-1], "lmp")
+    poc.attach("videoco", sites[len(sites) // 2], "csp")
+
+    path = poc.transit_path("eyeball-lmp", "videoco")
+    print(f"\ntransit eyeball-lmp -> videoco: {path.num_hops} hops, "
+          f"{path.length_km(poc.backbone):,.0f} km")
+
+    usage = {"eyeball-lmp": 40.0, "muni-lmp": 10.0, "videoco": 50.0}
+    invoices = poc.monthly_invoices(usage)
+    print("\nmonthly invoices (break-even, usage-proportional):")
+    for name, charge in sorted(invoices.items()):
+        print(f"  {name:<12} {fmt_bandwidth(usage[name]):>10}  ->  {fmt_money(charge)}")
+    total = sum(invoices.values())
+    print(f"  {'TOTAL':<12} {'':>10}      {fmt_money(total)} "
+          f"(= POC cost {fmt_money(poc.monthly_cost)})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""From noisy measurements to an auction-ready traffic bound (§3.3).
+
+"We assume that the POC has some upper-bound estimate of its traffic
+matrix."  This example produces that estimate the way an operator would:
+four days of hourly snapshots with lognormal burstiness, a 95th-
+percentile per-pair figure, a safety factor — then provisions against
+the bound and verifies the real traffic fits with headroom.
+
+Run:  python examples/traffic_estimation.py
+"""
+
+from repro.auction.constraints import make_constraint
+from repro.auction.selection import select_links
+from repro.experiments.pipeline import offers_for_zoo, traffic_for_zoo
+from repro.netflow.mcf import max_concurrent_flow
+from repro.topology.zoo import ZooConfig, build_zoo
+from repro.traffic.estimation import (
+    EstimatorConfig,
+    coverage_ratio,
+    overprovision_factor,
+    simulate_measurement_window,
+)
+from repro.units import fmt_bandwidth, fmt_money
+
+
+def main() -> None:
+    zoo = build_zoo(ZooConfig.tiny())
+    actual = traffic_for_zoo(zoo)
+    offers = offers_for_zoo(zoo)
+    print(f"actual traffic matrix: {actual.num_pairs} pairs, "
+          f"{fmt_bandwidth(actual.total_gbps())}")
+
+    sampler = simulate_measurement_window(
+        actual, snapshots=96, burstiness=0.25, seed=5
+    )
+    print(f"measurement window: {sampler.num_samples} samples "
+          f"(96 snapshots x {actual.num_pairs} pairs)")
+
+    print(f"\n{'safety':>8}{'bound':>12}{'over-prov':>11}{'cost/mo':>14}"
+          f"{'actual λ':>10}")
+    for safety in (1.0, 1.25, 1.5):
+        estimate = sampler.estimate(EstimatorConfig(safety_factor=safety))
+        constraint = make_constraint(1, zoo.offered, estimate, engine="greedy")
+        outcome = select_links(offers, constraint, method="add-prune")
+        backbone = zoo.offered.restricted_to_links(outcome.selected)
+        fit = max_concurrent_flow(backbone, actual)
+        print(f"{safety:>8.2f}{estimate.total_gbps():>8.0f} Gbps"
+              f"{overprovision_factor(estimate, actual):>10.2f}x"
+              f"{fmt_money(outcome.total_cost):>15}{fit.lam:>10.2f}")
+        assert fit.feasible
+
+    estimate = sampler.estimate()
+    print(f"\nper-pair coverage of the default bound: "
+          f"{coverage_ratio(estimate, actual):.0%}")
+    print("\nreading: the 95th-percentile base absorbs burstiness (rare")
+    print("spikes are forgiven, as in commercial transit billing); the")
+    print("safety factor then converts measurement risk into priced,")
+    print("auditable headroom on the provisioned backbone.")
+
+
+if __name__ == "__main__":
+    main()

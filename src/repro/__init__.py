@@ -1,0 +1,28 @@
+"""repro — a reproduction of "A Public Option for the Core" (SIGCOMM 2020).
+
+The library builds, from scratch, every system the paper describes:
+
+- ``repro.topology`` — synthetic TopologyZoo-style operator networks,
+  BP formation, POC router placement, logical links (§3.3's input).
+- ``repro.traffic`` — synthetic traffic matrices.
+- ``repro.netflow`` — multi-commodity-flow feasibility and routing.
+- ``repro.auction`` — the strategy-proof VCG bandwidth auction (§3.3).
+- ``repro.econ`` — the network-neutrality economic model (§4).
+- ``repro.market`` — an agent-based ecosystem simulator with a ledger.
+- ``repro.interdomain`` — the status-quo BGP/transit baseline (§2).
+- ``repro.core`` — the POC itself: provisioning, attachment, transit,
+  break-even billing, and terms-of-service enforcement (§3).
+
+Quick start::
+
+    from repro.topology import ZooConfig, SyntheticZoo
+    from repro.traffic import gravity_matrix
+    from repro.core import PublicOptionCore
+
+See ``examples/quickstart.py`` for a complete walk-through and DESIGN.md
+for the system inventory and experiment index.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

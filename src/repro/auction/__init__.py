@@ -1,0 +1,52 @@
+"""The POC bandwidth auction (Section 3.3).
+
+Bandwidth Providers offer sets of logical links with (possibly
+non-additive) subset pricing; the POC selects the cheapest acceptable
+subset — one that carries the traffic matrix under the chosen
+survivability constraint — and pays each BP by the Clarke pivot rule, the
+strategy-proof VCG payment the paper specifies:
+
+    P_α = C_α(SL_α) + ( C(SL_−α) − C(SL) )
+
+Public entry points:
+
+- :class:`repro.auction.provider.Offer` and the cost functions in
+  :mod:`repro.auction.bids` — the bid language.
+- :func:`repro.auction.constraints.make_constraint` — Constraints #1/#2/#3.
+- :func:`repro.auction.vcg.run_auction` — selection + payments + PoB.
+"""
+
+from repro.auction.bids import (
+    AdditiveCost,
+    CostFunction,
+    FixedPlusAdditiveCost,
+    SubsetOverrideCost,
+    VolumeDiscountCost,
+)
+from repro.auction.constraints import Constraint, make_constraint
+from repro.auction.milp import exact_selection
+from repro.auction.provider import ExternalTransitContract, Offer, default_monthly_cost
+from repro.auction.rounds import RecallModel, RecurringAuction
+from repro.auction.selection import SelectionOutcome, select_links
+from repro.auction.vcg import AuctionConfig, AuctionResult, run_auction
+
+__all__ = [
+    "AdditiveCost",
+    "CostFunction",
+    "FixedPlusAdditiveCost",
+    "SubsetOverrideCost",
+    "VolumeDiscountCost",
+    "Constraint",
+    "make_constraint",
+    "exact_selection",
+    "RecallModel",
+    "RecurringAuction",
+    "ExternalTransitContract",
+    "Offer",
+    "default_monthly_cost",
+    "SelectionOutcome",
+    "select_links",
+    "AuctionConfig",
+    "AuctionResult",
+    "run_auction",
+]

@@ -1,0 +1,227 @@
+"""The bid language: cost functions over subsets of a BP's offered links.
+
+Section 3.3: "each BP α provides a set of links L_α and a mapping C_α from
+the powerset 2^{L_α} to a minimal acceptable price for that subset of
+links ... This allows the BP to offer discounts for multiple links, or
+other non-additive variations in pricing."
+
+A literal powerset table is exponential, so bids are expressed through
+:class:`CostFunction` objects that evaluate any subset on demand.  All
+implementations must satisfy:
+
+- C(∅) = 0 (leasing nothing costs nothing),
+- C(S) >= 0,
+- monotonicity: S ⊆ T ⇒ C(S) <= C(T) (more links never cost less) —
+  enforced by construction in the shipped implementations and checked by
+  property tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Mapping, Sequence, Tuple
+
+from repro.exceptions import BidError
+
+LinkSet = FrozenSet[str]
+
+
+class CostFunction:
+    """Minimal acceptable monthly price for any subset of owned links."""
+
+    #: The link ids this function is defined over.
+    domain: LinkSet = frozenset()
+
+    def cost(self, subset: Iterable[str]) -> float:
+        """Price for ``subset``; raises :class:`BidError` outside the domain."""
+        raise NotImplementedError
+
+    def _validated(self, subset: Iterable[str]) -> LinkSet:
+        s = frozenset(subset)
+        extra = s - self.domain
+        if extra:
+            raise BidError(
+                f"subset contains links outside this bid's domain: {sorted(extra)[:3]}"
+            )
+        return s
+
+    def marginal(self, subset: Iterable[str], link_id: str) -> float:
+        """C(S) − C(S − {link}) for a link inside ``subset``."""
+        s = self._validated(subset)
+        if link_id not in s:
+            raise BidError(f"link {link_id} not in subset")
+        return self.cost(s) - self.cost(s - {link_id})
+
+    def scaled(self, factor: float) -> "ScaledCost":
+        """This bid with every price multiplied by ``factor``.
+
+        The strategy-proofness experiments use this to model uniform
+        over/under-bidding relative to true costs.
+        """
+        return ScaledCost(self, factor)
+
+
+@dataclass(frozen=True)
+class AdditiveCost(CostFunction):
+    """Independent per-link prices: C(S) = Σ price(l)."""
+
+    prices: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        for lid, price in self.prices.items():
+            if price < 0:
+                raise BidError(f"negative price for {lid}: {price}")
+        object.__setattr__(self, "domain", frozenset(self.prices))
+
+    def cost(self, subset: Iterable[str]) -> float:
+        s = self._validated(subset)
+        return sum(self.prices[lid] for lid in s)
+
+
+@dataclass(frozen=True)
+class VolumeDiscountCost(CostFunction):
+    """Additive base prices with a volume-discount schedule.
+
+    ``tiers`` is a sorted sequence of (min_links, discount_fraction):
+    leasing at least ``min_links`` links discounts the whole basket by
+    ``discount_fraction``.  The effective cost stays monotone because the
+    per-extra-link increment remains positive whenever the discount
+    schedule is sane (fractions < 1, checked here; monotonicity of the
+    overall function is covered by property tests).
+    """
+
+    prices: Mapping[str, float]
+    tiers: Tuple[Tuple[int, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        for lid, price in self.prices.items():
+            if price < 0:
+                raise BidError(f"negative price for {lid}: {price}")
+        last_count = 0
+        last_disc = 0.0
+        for count, disc in self.tiers:
+            if count <= last_count:
+                raise BidError("discount tiers must have strictly increasing counts")
+            if not 0.0 <= disc < 1.0:
+                raise BidError(f"discount fraction out of range: {disc}")
+            if disc < last_disc:
+                raise BidError("discount fractions must be non-decreasing")
+            last_count, last_disc = count, disc
+        object.__setattr__(self, "domain", frozenset(self.prices))
+
+    def _discount_for(self, n_links: int) -> float:
+        discount = 0.0
+        for count, disc in self.tiers:
+            if n_links >= count:
+                discount = disc
+        return discount
+
+    def cost(self, subset: Iterable[str]) -> float:
+        s = self._validated(subset)
+        base = sum(self.prices[lid] for lid in s)
+        return base * (1.0 - self._discount_for(len(s)))
+
+
+@dataclass(frozen=True)
+class FixedPlusAdditiveCost(CostFunction):
+    """A fixed participation cost plus per-link prices.
+
+    Models BPs with a setup cost for interconnecting with the POC at all
+    (cross-connects, staffing): C(∅) = 0 but C(S) = fixed + Σ price for
+    non-empty S.
+    """
+
+    prices: Mapping[str, float]
+    fixed: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.fixed < 0:
+            raise BidError(f"negative fixed cost: {self.fixed}")
+        for lid, price in self.prices.items():
+            if price < 0:
+                raise BidError(f"negative price for {lid}: {price}")
+        object.__setattr__(self, "domain", frozenset(self.prices))
+
+    def cost(self, subset: Iterable[str]) -> float:
+        s = self._validated(subset)
+        if not s:
+            return 0.0
+        return self.fixed + sum(self.prices[lid] for lid in s)
+
+
+@dataclass(frozen=True)
+class SubsetOverrideCost(CostFunction):
+    """A base cost function with explicit prices for selected subsets.
+
+    The most general shipped form: start from any base function and
+    override particular subsets (e.g. "these three trans-Atlantic waves
+    together for $90k").  Overrides may only lower the price — a higher
+    override would violate the minimal-acceptable-price semantics, since
+    the BP already accepts the base price.
+    """
+
+    base: CostFunction
+    overrides: Mapping[LinkSet, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for subset, price in self.overrides.items():
+            if not subset <= self.base.domain:
+                raise BidError("override subset outside base domain")
+            if price < 0:
+                raise BidError(f"negative override price: {price}")
+            if price > self.base.cost(subset):
+                raise BidError(
+                    "override must not exceed the base price for that subset"
+                )
+        object.__setattr__(self, "domain", self.base.domain)
+
+    def cost(self, subset: Iterable[str]) -> float:
+        s = self._validated(subset)
+        best = self.base.cost(s)
+        for override_set, price in self.overrides.items():
+            if override_set == s:
+                best = min(best, price)
+            elif override_set <= s:
+                # Pay the bundle price plus base for the remainder.
+                remainder = self.base.cost(s - override_set)
+                best = min(best, price + remainder)
+        return best
+
+
+@dataclass(frozen=True)
+class ScaledCost(CostFunction):
+    """A wrapper multiplying another bid's prices by a constant factor."""
+
+    inner: CostFunction
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.factor < 0:
+            raise BidError(f"negative scale factor: {self.factor}")
+        object.__setattr__(self, "domain", self.inner.domain)
+
+    def cost(self, subset: Iterable[str]) -> float:
+        return self.inner.cost(self._validated(subset)) * self.factor
+
+
+def check_cost_axioms(fn: CostFunction, sample_subsets: Sequence[Iterable[str]]) -> None:
+    """Raise :class:`BidError` if the function violates the bid axioms.
+
+    Checks C(∅) = 0, non-negativity, and pairwise monotonicity over the
+    provided samples.  Used at auction intake to reject malformed bids.
+    """
+    if fn.cost(frozenset()) != 0.0:
+        raise BidError("C(∅) must be 0")
+    frozen = [frozenset(s) for s in sample_subsets]
+    costs = {}
+    for s in frozen:
+        c = fn.cost(s)
+        if c < 0:
+            raise BidError(f"negative cost {c} for subset of size {len(s)}")
+        costs[s] = c
+    for s in frozen:
+        for t in frozen:
+            if s < t and costs[s] > costs[t] + 1e-9:
+                raise BidError(
+                    f"monotonicity violated: C(S)={costs[s]} > C(T)={costs[t]} for S ⊂ T"
+                )

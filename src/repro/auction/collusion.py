@@ -1,0 +1,124 @@
+"""Collusion analysis (Section 3.3's closing discussion).
+
+"If the BPs can guess in advance what the set SL is, they can decide to
+not offer any links not in this set without changing their own payoff,
+but possibly changing that of others. ... If all the BPs do this, they
+could potentially all gain (even without side payments)."
+
+This module replays an auction with colluding BPs withholding their
+non-selected links and reports how everyone's payment moves, plus how the
+external-ISP virtual links cap the damage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Sequence
+
+from repro.auction.bids import AdditiveCost, CostFunction
+from repro.exceptions import AuctionError
+from repro.auction.constraints import Constraint
+from repro.auction.provider import Offer
+from repro.auction.vcg import AuctionConfig, AuctionResult, run_auction
+
+
+def _restrict_cost(fn: CostFunction, keep: FrozenSet[str]) -> CostFunction:
+    """Restrict a cost function's domain to ``keep`` links.
+
+    For additive bids this is a simple dictionary filter; for general
+    bids we sample the restriction as an additive approximation built
+    from singleton prices, which preserves the withheld-links semantics
+    the collusion experiment needs (only singleton and full-set prices
+    are exercised there).
+    """
+    if isinstance(fn, AdditiveCost):
+        return AdditiveCost({lid: fn.prices[lid] for lid in keep})
+    return AdditiveCost({lid: fn.cost(frozenset((lid,))) for lid in keep})
+
+
+def withhold_offer(offer: Offer, keep_links: Iterable[str]) -> Offer:
+    """A copy of ``offer`` that only offers ``keep_links``."""
+    keep = frozenset(keep_links)
+    unknown = keep - offer.link_ids
+    if unknown:
+        raise AuctionError(f"cannot keep links the BP never offered: {sorted(unknown)[:3]}")
+    links = [l for l in offer.links if l.id in keep]
+    return Offer(
+        provider=offer.provider,
+        links=links,
+        bid=_restrict_cost(offer.bid, keep),
+        true_cost=_restrict_cost(offer.true_cost, keep),
+        in_auction=offer.in_auction,
+    )
+
+
+@dataclass(frozen=True)
+class CollusionReport:
+    """Payments before and after BPs withhold non-selected links."""
+
+    baseline: AuctionResult
+    withheld: AuctionResult
+    colluders: FrozenSet[str]
+
+    def payment_delta(self, provider: str) -> float:
+        before = self.baseline.providers.get(provider)
+        after = self.withheld.providers.get(provider)
+        return (after.payment if after else 0.0) - (before.payment if before else 0.0)
+
+    @property
+    def total_payment_delta(self) -> float:
+        providers = set(self.baseline.providers) | set(self.withheld.providers)
+        return sum(self.payment_delta(p) for p in providers)
+
+    @property
+    def poc_cost_delta(self) -> float:
+        """Change in the POC's total disbursement caused by the collusion."""
+        return self.withheld.total_payments - self.baseline.total_payments
+
+    def gainers(self) -> List[str]:
+        providers = set(self.baseline.providers) | set(self.withheld.providers)
+        return sorted(p for p in providers if self.payment_delta(p) > 1e-9)
+
+
+def withholding_collusion(
+    offers: Sequence[Offer],
+    constraint: Constraint,
+    *,
+    colluders: Optional[Iterable[str]] = None,
+    config: Optional[AuctionConfig] = None,
+) -> CollusionReport:
+    """Run the paper's withholding manipulation.
+
+    1. Clear the auction truthfully to learn SL.
+    2. Each colluding BP (default: all auction BPs) re-offers only
+       SL ∩ L_α, withdrawing its losing links.
+    3. Clear again and compare payments.
+
+    Selection cannot change (the same SL is still available and optimal
+    for the same engine), but the leave-one-out alternatives get worse,
+    which can raise pivot terms — the effect the paper warns about.  The
+    external contracts are never withheld, which is exactly the paper's
+    point about virtual links bounding the damage.
+    """
+    cfg = config or AuctionConfig()
+    baseline = run_auction(offers, constraint, config=cfg)
+
+    colluding = set(colluders) if colluders is not None else {
+        o.provider for o in offers if o.in_auction
+    }
+    new_offers: List[Offer] = []
+    for offer in offers:
+        if offer.provider in colluding and offer.in_auction:
+            keep = baseline.selected & offer.link_ids
+            if keep:
+                new_offers.append(withhold_offer(offer, keep))
+            # BPs that won nothing drop out entirely.
+        else:
+            new_offers.append(offer)
+
+    withheld = run_auction(new_offers, constraint, config=cfg)
+    return CollusionReport(
+        baseline=baseline,
+        withheld=withheld,
+        colluders=frozenset(colluding),
+    )

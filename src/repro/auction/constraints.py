@@ -1,0 +1,132 @@
+"""The POC's acceptability constraints A(OL) (Section 3.3, Figure 2).
+
+A candidate link set is *acceptable* when it carries the traffic matrix
+under the required failure tolerance:
+
+- ``Constraint #1`` — carry the offered load.
+- ``Constraint #2`` — carry it under every single-link failure.
+- ``Constraint #3`` — carry it when each router pair's primary path fails
+  (evaluated per pair).
+
+Constraints wrap a feasibility oracle and add scenario logic; all oracle
+calls share one cache per (network, tm, engine), which matters because the
+selection loop probes thousands of overlapping subsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.exceptions import FlowError
+from repro.netflow.failures import primary_path_failures, single_link_failures
+from repro.netflow.feasibility import BaseOracle, make_oracle
+from repro.topology.graph import Network
+from repro.traffic.matrix import TrafficMatrix
+
+
+class Constraint:
+    """Decides acceptability of link subsets for one (network, TM) pair."""
+
+    #: Paper name, e.g. "constraint-1".
+    name: str = "constraint"
+
+    def __init__(self, network: Network, tm: TrafficMatrix, *, engine: str = "mcf") -> None:
+        self.network = network
+        self.tm = tm
+        self.engine = engine
+        self.oracle: BaseOracle = make_oracle(engine, network, tm)
+
+    def satisfied(self, link_ids: Iterable[str]) -> bool:
+        raise NotImplementedError
+
+    @property
+    def oracle_evaluations(self) -> int:
+        """Number of non-cached oracle solves so far (diagnostics)."""
+        return self.oracle.evaluations
+
+
+class TrafficConstraint(Constraint):
+    """Constraint #1: the links carry the traffic matrix."""
+
+    name = "constraint-1"
+
+    def satisfied(self, link_ids: Iterable[str]) -> bool:
+        return self.oracle.feasible(frozenset(link_ids))
+
+
+class SingleLinkSurvivability(Constraint):
+    """Constraint #2: feasible under every single-link failure.
+
+    The no-failure case is implied: removing any one link must still leave
+    a feasible network, and feasibility is monotone in the link set, so
+    the full set is feasible whenever all failure cases are.  We still
+    check the base case first because it is the cheapest rejection.
+    """
+
+    name = "constraint-2"
+
+    def satisfied(self, link_ids: Iterable[str]) -> bool:
+        links = frozenset(link_ids)
+        base = self.oracle.check(links)
+        if not base.feasible:
+            return False
+        # A link carrying zero flow in the base routing can fail for free:
+        # the very same routing certifies feasibility of the reduced set.
+        loads = base.link_loads or {}
+        for scenario in single_link_failures(links):
+            if all(loads.get(lid, 0.0) <= 1e-9 for lid in scenario):
+                continue
+            if not self.oracle.feasible(links - scenario):
+                return False
+        return True
+
+
+class PrimaryPathSurvivability(Constraint):
+    """Constraint #3: feasible when each pair's primary path fails.
+
+    For every router pair with traffic, compute the pair's primary
+    (shortest) path within the candidate set; the candidate minus that
+    path's links must still carry the full TM.  Pairs whose primary paths
+    coincide are deduplicated by the scenario generator.
+    """
+
+    name = "constraint-3"
+
+    def satisfied(self, link_ids: Iterable[str]) -> bool:
+        links = frozenset(link_ids)
+        base = self.oracle.check(links)
+        if not base.feasible:
+            return False
+        loads = base.link_loads or {}
+        for _pair, scenario in primary_path_failures(self.network, links):
+            # If no removed link carried flow, the base routing survives.
+            if all(loads.get(lid, 0.0) <= 1e-9 for lid in scenario):
+                continue
+            if not self.oracle.feasible(links - scenario):
+                return False
+        return True
+
+
+_CONSTRAINTS = {
+    1: TrafficConstraint,
+    2: SingleLinkSurvivability,
+    3: PrimaryPathSurvivability,
+}
+
+
+def make_constraint(
+    number: int,
+    network: Network,
+    tm: TrafficMatrix,
+    *,
+    engine: str = "mcf",
+) -> Constraint:
+    """Constraint #1, #2, or #3 over the given network and TM."""
+    try:
+        cls = _CONSTRAINTS[number]
+    except KeyError:
+        raise FlowError(
+            f"unknown constraint number {number}; expected 1, 2, or 3"
+        ) from None
+    return cls(network, tm, engine=engine)

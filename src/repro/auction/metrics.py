@@ -1,0 +1,116 @@
+"""Auction reporting: payment-over-bid margins and summary tables.
+
+Figure 2 of the paper plots the PoB margin, PoB = (P_α − C_α) / C_α, for
+the five largest BPs under each of the three constraints.  This module
+renders that figure's data as plain rows so benchmarks can print them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.auction.vcg import AuctionResult
+
+
+@dataclass(frozen=True)
+class PoBRow:
+    """One bar of Figure 2: a BP's PoB under one constraint."""
+
+    constraint: str
+    provider: str
+    declared_cost: float
+    payment: float
+    pob: Optional[float]
+
+    def formatted(self) -> str:
+        pob = "   n/a" if self.pob is None else f"{self.pob:6.3f}"
+        return (
+            f"{self.constraint:<14} {self.provider:<8} "
+            f"C={self.declared_cost:>14,.0f}  P={self.payment:>14,.0f}  PoB={pob}"
+        )
+
+
+def pob_rows(
+    results_by_constraint: Mapping[str, AuctionResult],
+    providers: Sequence[str],
+) -> List[PoBRow]:
+    """Figure-2 rows: for each constraint, each listed provider's PoB."""
+    rows: List[PoBRow] = []
+    for cname in results_by_constraint:
+        result = results_by_constraint[cname]
+        for provider in providers:
+            pr = result.providers.get(provider)
+            if pr is None:
+                rows.append(PoBRow(cname, provider, 0.0, 0.0, None))
+            else:
+                rows.append(
+                    PoBRow(
+                        constraint=cname,
+                        provider=provider,
+                        declared_cost=pr.declared_cost,
+                        payment=pr.payment,
+                        pob=pr.payment_over_bid,
+                    )
+                )
+    return rows
+
+
+@dataclass(frozen=True)
+class AuctionSummary:
+    """Aggregate facts about one auction run, for tables and tests."""
+
+    constraint: str
+    links_offered: int
+    links_selected: int
+    total_declared_cost: float
+    total_payments: float
+    external_cost: float
+    winners: int
+    clamped_payments: int
+
+    @property
+    def overpayment_ratio(self) -> float:
+        """Total payments / total declared cost of the selection."""
+        if self.total_declared_cost <= 0:
+            return 0.0
+        return self.total_payments / self.total_declared_cost
+
+
+def summarize(constraint_name: str, links_offered: int, result: AuctionResult) -> AuctionSummary:
+    return AuctionSummary(
+        constraint=constraint_name,
+        links_offered=links_offered,
+        links_selected=len(result.selected),
+        total_declared_cost=result.total_cost,
+        total_payments=result.total_payments,
+        external_cost=result.external_cost,
+        winners=len(result.winners()),
+        clamped_payments=sum(1 for p in result.providers.values() if p.clamped),
+    )
+
+
+def format_summary_table(summaries: Sequence[AuctionSummary]) -> str:
+    """A fixed-width table, one row per constraint."""
+    header = (
+        f"{'constraint':<14}{'offered':>9}{'selected':>10}{'cost':>16}"
+        f"{'payments':>16}{'ext':>12}{'winners':>9}{'clamped':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for s in summaries:
+        lines.append(
+            f"{s.constraint:<14}{s.links_offered:>9}{s.links_selected:>10}"
+            f"{s.total_declared_cost:>16,.0f}{s.total_payments:>16,.0f}"
+            f"{s.external_cost:>12,.0f}{s.winners:>9}{s.clamped_payments:>9}"
+        )
+    return "\n".join(lines)
+
+
+def pob_variation(rows: Sequence[PoBRow]) -> Dict[str, float]:
+    """Spread statistics of the PoB margins (the paper's headline: "high
+    variation in the PoB").  Returns min, max, and max−min over rows with
+    a defined PoB."""
+    values = [r.pob for r in rows if r.pob is not None]
+    if not values:
+        return {"min": 0.0, "max": 0.0, "spread": 0.0}
+    return {"min": min(values), "max": max(values), "spread": max(values) - min(values)}

@@ -1,0 +1,214 @@
+"""Bandwidth Providers, their cost models, and external-ISP contracts.
+
+The auction distinguishes two kinds of capacity source (Section 3.3):
+
+- **BPs** participate in the auction: they declare a bid (a
+  :class:`~repro.auction.bids.CostFunction`) and receive VCG payments.
+- **External ISPs** provide *virtual links* between POC attachment
+  points "dictated by the long-term contract ... not by the auction":
+  their links enter the selection's cost minimization but they are paid
+  their contract price, never a VCG payment.
+
+The default monthly-lease cost model follows the wholesale market's
+stylized facts (TeleGeography, cited by the paper): cost grows roughly
+linearly in distance, concavely in capacity (a 100G wave is far cheaper
+per bit than 10 × 10G), with a fixed per-link component for equipment and
+cross-connects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Sequence
+
+from repro.exceptions import BidError
+from repro.auction.bids import AdditiveCost, CostFunction
+from repro.rand import SeedLike, make_rng
+from repro.topology.graph import Link
+from repro.topology.logical import LogicalLink
+
+#: Default coefficients of the monthly-lease cost model (USD).
+COST_FIXED_PER_LINK = 1_500.0
+COST_PER_KM = 1.1
+COST_PER_GBPS_TO_07_KM = 0.55
+CAPACITY_EXPONENT = 0.7
+
+
+def default_monthly_cost(
+    capacity_gbps: float,
+    length_km: float,
+    *,
+    efficiency: float = 1.0,
+) -> float:
+    """Monthly lease cost of one logical link under the default model.
+
+    ``efficiency`` scales the whole figure: BPs with modern plant or spare
+    capacity (the large CSPs of §3.3) have efficiency < 1, legacy carriers
+    > 1.
+
+        cost = efficiency · (fixed + km·a + km·b·capacity^0.7)
+    """
+    if capacity_gbps <= 0:
+        raise BidError(f"capacity must be positive, got {capacity_gbps}")
+    if length_km < 0:
+        raise BidError(f"length cannot be negative: {length_km}")
+    if efficiency <= 0:
+        raise BidError(f"efficiency must be positive, got {efficiency}")
+    variable = length_km * (COST_PER_KM + COST_PER_GBPS_TO_07_KM * capacity_gbps**CAPACITY_EXPONENT)
+    return efficiency * (COST_FIXED_PER_LINK + variable)
+
+
+@dataclass
+class Offer:
+    """One BP's participation in an auction round."""
+
+    provider: str
+    links: List[Link]
+    #: The declared bid the auction clears on.
+    bid: CostFunction
+    #: The BP's private true costs (equals ``bid`` for truthful bidders).
+    true_cost: CostFunction
+    #: External ISPs are priced by contract, not paid by VCG.
+    in_auction: bool = True
+
+    def __post_init__(self) -> None:
+        link_ids = frozenset(l.id for l in self.links)
+        if len(link_ids) != len(self.links):
+            raise BidError(f"duplicate link ids in offer from {self.provider}")
+        for link in self.links:
+            if link.owner != self.provider:
+                raise BidError(
+                    f"link {link.id} owner {link.owner!r} != provider {self.provider!r}"
+                )
+        if self.bid.domain != link_ids:
+            raise BidError(
+                f"bid domain of {self.provider} does not match its offered links"
+            )
+        if self.true_cost.domain != link_ids:
+            raise BidError(
+                f"true-cost domain of {self.provider} does not match its offered links"
+            )
+
+    @property
+    def link_ids(self) -> FrozenSet[str]:
+        return frozenset(l.id for l in self.links)
+
+    def is_truthful(self) -> bool:
+        return self.bid is self.true_cost
+
+    def with_bid(self, bid: CostFunction) -> "Offer":
+        """The same offer with a different declared bid (misreporting)."""
+        return Offer(
+            provider=self.provider,
+            links=self.links,
+            bid=bid,
+            true_cost=self.true_cost,
+            in_auction=self.in_auction,
+        )
+
+
+def offer_from_logical_links(
+    provider: str,
+    logical_links: Sequence[LogicalLink],
+    *,
+    efficiency: float = 1.0,
+    margin: float = 0.0,
+    cost_noise: float = 0.0,
+    seed: SeedLike = None,
+) -> Offer:
+    """Build a BP's offer from its zoo logical links.
+
+    True per-link costs come from :func:`default_monthly_cost` with the
+    BP's ``efficiency`` and optional lognormal noise (idiosyncratic plant
+    differences).  The declared bid adds ``margin`` (0 = truthful) — VCG
+    makes truthful optimal, and the strategy-proofness benches sweep this.
+    """
+    if margin < 0:
+        raise BidError(f"margin cannot be negative: {margin}")
+    if cost_noise < 0:
+        raise BidError(f"cost_noise cannot be negative: {cost_noise}")
+    rng = make_rng(seed)
+    links = [ll.to_link() for ll in logical_links]
+    true_prices: Dict[str, float] = {}
+    for link in links:
+        noise = float(rng.lognormal(mean=0.0, sigma=cost_noise)) if cost_noise else 1.0
+        true_prices[link.id] = default_monthly_cost(
+            link.capacity_gbps, link.length_km, efficiency=efficiency
+        ) * noise
+    true_cost = AdditiveCost(true_prices)
+    if margin == 0.0:
+        bid = true_cost
+    else:
+        bid = AdditiveCost({lid: p * (1.0 + margin) for lid, p in true_prices.items()})
+    return Offer(provider=provider, links=links, bid=bid, true_cost=true_cost)
+
+
+@dataclass
+class ExternalTransitContract:
+    """An external ISP's virtual links, priced by long-term contract.
+
+    ``per_link_monthly`` gives the contract price of each virtual link;
+    the auction treats these as always-available alternatives whose cost
+    C_v(L ∩ VL) enters the minimization (they bound how much any BP can
+    extract — see the collusion discussion in §3.3).
+    """
+
+    isp: str
+    links: List[Link]
+    per_link_monthly: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        link_ids = {l.id for l in self.links}
+        if set(self.per_link_monthly) != link_ids:
+            raise BidError(
+                f"contract prices of {self.isp} do not match its virtual links"
+            )
+        for link in self.links:
+            if not link.virtual:
+                raise BidError(f"external link {link.id} must be marked virtual")
+        for lid, price in self.per_link_monthly.items():
+            if price < 0:
+                raise BidError(f"negative contract price for {lid}")
+
+    def to_offer(self) -> Offer:
+        """Represent the contract as a non-auction offer for the selector."""
+        cost = AdditiveCost(dict(self.per_link_monthly))
+        return Offer(
+            provider=self.isp,
+            links=self.links,
+            bid=cost,
+            true_cost=cost,
+            in_auction=False,
+        )
+
+
+def make_external_contract(
+    isp: str,
+    attachment_pairs: Sequence,
+    *,
+    capacity_gbps: float,
+    price_per_link: float,
+    length_km: float = 8000.0,
+) -> ExternalTransitContract:
+    """Convenience constructor for a mesh of virtual links.
+
+    ``attachment_pairs`` is a sequence of (node_id, node_id) tuples — the
+    POC attachment points the ISP interconnects (§3.3: "these ISPs attach
+    to the POC in multiple locations and thus they provide virtual links
+    between these attachment points").
+    """
+    links = []
+    prices = {}
+    for idx, (u, v) in enumerate(attachment_pairs):
+        link = Link(
+            id=f"{isp}:VL{idx:03d}",
+            u=u,
+            v=v,
+            capacity_gbps=capacity_gbps,
+            length_km=length_km,
+            owner=isp,
+            virtual=True,
+        )
+        links.append(link)
+        prices[link.id] = price_per_link
+    return ExternalTransitContract(isp=isp, links=links, per_link_monthly=prices)

@@ -1,0 +1,216 @@
+"""Recurring auction rounds with capacity recall (§3.3's supply story).
+
+"The availability of the POC means that they [large CSPs] can overbuy,
+and then lease out (on a temporary basis) their excess bandwidth but can
+quickly recall it from the POC when needed."
+
+The POC therefore re-clears its auction periodically against a
+*fluctuating* supply: each round, every BP offers only the links its own
+business currently spares.  This module models that with a persistent
+(AR(1)-style) per-BP availability process and reports what operators care
+about: cost volatility, winner churn, and how often recalls force the POC
+onto its external fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from repro.exceptions import AuctionError, NoFeasibleSelectionError
+from repro.auction.collusion import withhold_offer
+from repro.auction.constraints import make_constraint
+from repro.auction.provider import Offer
+from repro.auction.vcg import AuctionConfig, AuctionResult, run_auction
+from repro.rand import SeedLike, make_rng
+from repro.topology.graph import Network
+from repro.traffic.matrix import TrafficMatrix
+
+
+@dataclass(frozen=True)
+class RecallModel:
+    """Per-round availability of each BP's links.
+
+    Availability follows a bounded AR(1): a_t = clamp(a_{t-1} + noise),
+    with ``persistence`` controlling how slowly it wanders between
+    ``min_availability`` and 1.  BPs flagged as ``cloud_bps`` (the
+    overbuy-and-recall CSPs) get an extra chance of a sharp recall event
+    that drops their availability to ``recall_floor`` for one round.
+    """
+
+    min_availability: float = 0.6
+    persistence: float = 0.8
+    step: float = 0.15
+    cloud_bps: FrozenSet[str] = frozenset()
+    recall_probability: float = 0.15
+    recall_floor: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_availability <= 1.0:
+            raise AuctionError("min_availability must be in [0, 1]")
+        if not 0.0 <= self.persistence <= 1.0:
+            raise AuctionError("persistence must be in [0, 1]")
+        if not 0.0 <= self.recall_probability <= 1.0:
+            raise AuctionError("recall_probability must be in [0, 1]")
+        if not 0.0 <= self.recall_floor <= 1.0:
+            raise AuctionError("recall_floor must be in [0, 1]")
+
+    def next_availability(self, rng, bp: str, previous: float) -> float:
+        if bp in self.cloud_bps and rng.random() < self.recall_probability:
+            return self.recall_floor
+        drift = (1.0 - self.persistence) * (1.0 - previous)
+        noise = float(rng.uniform(-self.step, self.step))
+        value = previous + drift + noise
+        return min(1.0, max(self.min_availability, value))
+
+
+@dataclass
+class RoundResult:
+    """One cleared round."""
+
+    round_index: int
+    result: Optional[AuctionResult]
+    availability: Dict[str, float]
+    offered_links: int
+    #: True when fluctuating supply could not meet the constraint and the
+    #: round fell back to full availability (the external-fallback event).
+    fallback: bool = False
+
+    @property
+    def poc_cost(self) -> float:
+        return self.result.total_payments if self.result else float("nan")
+
+
+@dataclass
+class RecurringOutcome:
+    """All rounds plus the stability metrics."""
+
+    rounds: List[RoundResult] = field(default_factory=list)
+
+    def cost_series(self) -> List[float]:
+        return [r.poc_cost for r in self.rounds if r.result is not None]
+
+    def payment_series(self, bp: str) -> List[float]:
+        out = []
+        for r in self.rounds:
+            if r.result is None:
+                continue
+            pr = r.result.providers.get(bp)
+            out.append(pr.payment if pr else 0.0)
+        return out
+
+    def cost_volatility(self) -> float:
+        """Coefficient of variation of the POC's per-round disbursement."""
+        series = self.cost_series()
+        if len(series) < 2:
+            return 0.0
+        mean = sum(series) / len(series)
+        if mean == 0:
+            return 0.0
+        var = sum((x - mean) ** 2 for x in series) / (len(series) - 1)
+        return (var**0.5) / mean
+
+    def winner_churn(self) -> float:
+        """Mean Jaccard distance between consecutive selected link sets."""
+        selections = [r.result.selected for r in self.rounds if r.result]
+        if len(selections) < 2:
+            return 0.0
+        distances = []
+        for a, b in zip(selections, selections[1:]):
+            union = a | b
+            if not union:
+                distances.append(0.0)
+            else:
+                distances.append(1.0 - len(a & b) / len(union))
+        return sum(distances) / len(distances)
+
+    def fallback_rate(self) -> float:
+        if not self.rounds:
+            return 0.0
+        return sum(1 for r in self.rounds if r.fallback) / len(self.rounds)
+
+
+class RecurringAuction:
+    """Clears the bandwidth auction every round under fluctuating supply."""
+
+    def __init__(
+        self,
+        network: Network,
+        offers: Sequence[Offer],
+        tm: TrafficMatrix,
+        *,
+        recall: Optional[RecallModel] = None,
+        constraint_number: int = 1,
+        engine: str = "greedy",
+        method: str = "add-prune",
+        seed: SeedLike = 0,
+    ) -> None:
+        if not offers:
+            raise AuctionError("need at least one offer")
+        self.network = network
+        self.offers = list(offers)
+        self.tm = tm
+        self.recall = recall or RecallModel()
+        self.constraint_number = constraint_number
+        self.engine = engine
+        self.config = AuctionConfig(method=method)
+        self.rng = make_rng(seed)
+
+    def _round_offers(self, availability: Dict[str, float]) -> List[Offer]:
+        """Each BP offers a random availability-fraction of its links."""
+        round_offers = []
+        for offer in self.offers:
+            if not offer.in_auction:
+                round_offers.append(offer)  # contracts never fluctuate
+                continue
+            frac = availability[offer.provider]
+            links = sorted(offer.link_ids)
+            keep_n = max(1, int(round(frac * len(links))))
+            idx = self.rng.choice(len(links), size=keep_n, replace=False)
+            keep = [links[int(i)] for i in sorted(idx)]
+            round_offers.append(withhold_offer(offer, keep))
+        return round_offers
+
+    def _clear(self, round_offers: Sequence[Offer]) -> AuctionResult:
+        universe = frozenset().union(*(o.link_ids for o in round_offers))
+        subnet = self.network.restricted_to_links(universe)
+        constraint = make_constraint(
+            self.constraint_number, subnet, self.tm, engine=self.engine
+        )
+        return run_auction(round_offers, constraint, config=self.config)
+
+    def run(self, rounds: int) -> RecurringOutcome:
+        if rounds < 1:
+            raise AuctionError(f"rounds must be >= 1, got {rounds}")
+        outcome = RecurringOutcome()
+        availability = {
+            o.provider: 1.0 for o in self.offers if o.in_auction
+        }
+        for index in range(rounds):
+            availability = {
+                bp: self.recall.next_availability(self.rng, bp, prev)
+                for bp, prev in availability.items()
+            }
+            round_offers = self._round_offers(availability)
+            offered_links = sum(
+                len(o.link_ids) for o in round_offers if o.in_auction
+            )
+            fallback = False
+            try:
+                result = self._clear(round_offers)
+            except NoFeasibleSelectionError:
+                # Supply dipped below what the constraint needs: the POC
+                # falls back to full offers (in reality, to external
+                # transit) for this round.
+                fallback = True
+                result = self._clear(self.offers)
+            outcome.rounds.append(
+                RoundResult(
+                    round_index=index,
+                    result=result,
+                    availability=dict(availability),
+                    offered_links=offered_links,
+                    fallback=fallback,
+                )
+            )
+        return outcome

@@ -1,0 +1,240 @@
+"""Min-cost acceptable link-set selection: SL = argmin C(L), L ∈ A(OL).
+
+Exact minimization is NP-hard (set cover reduces to it), and the paper
+does not specify its optimizer, so we ship three deterministic engines:
+
+- ``greedy-drop`` — start from all offered links, repeatedly drop the
+  link with the largest marginal declared cost whose removal keeps the
+  set acceptable.  The workhorse.
+- ``add-prune`` — binary-search the cheapest prefix of links (ascending
+  standalone cost) that is acceptable — feasibility is monotone in the
+  link set, so the prefix property holds — then run a drop pass.
+- ``local-search`` — greedy-drop followed by bounded 1-swap improvement.
+
+What matters for the VCG stage is that one *fixed* engine is used for the
+full run and every leave-one-provider-out run, so payments are computed
+against a consistent allocation rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.exceptions import AuctionError, NoFeasibleSelectionError
+from repro.auction.constraints import Constraint
+from repro.auction.provider import Offer
+
+LinkSet = FrozenSet[str]
+
+#: Engines accepted by :func:`select_links`.  ``milp`` is exact but only
+#: supports additive bids under Constraint #1 (see repro.auction.milp).
+ENGINES = ("greedy-drop", "add-prune", "local-search", "milp")
+
+
+@dataclass(frozen=True)
+class SelectionOutcome:
+    """A selected link set and its declared-cost breakdown."""
+
+    selected: LinkSet
+    total_cost: float
+    per_provider_cost: Dict[str, float]
+    engine: str
+    oracle_evaluations: int
+
+    def provider_links(self, offers: Sequence[Offer]) -> Dict[str, LinkSet]:
+        """SL ∩ L_α for each provider."""
+        return {
+            offer.provider: self.selected & offer.link_ids for offer in offers
+        }
+
+
+def _owner_index(offers: Sequence[Offer]) -> Dict[str, Offer]:
+    index: Dict[str, Offer] = {}
+    for offer in offers:
+        for lid in offer.link_ids:
+            if lid in index:
+                raise AuctionError(f"link {lid} offered by two providers")
+            index[lid] = offer
+    return index
+
+
+def total_declared_cost(offers: Sequence[Offer], link_ids: Iterable[str]) -> float:
+    """C(L) = Σ_α C_α(L ∩ L_α) over all offers (BPs and external)."""
+    links = frozenset(link_ids)
+    total = 0.0
+    for offer in offers:
+        mine = links & offer.link_ids
+        if mine:
+            total += offer.bid.cost(mine)
+    leftovers = links - frozenset().union(*(o.link_ids for o in offers)) if offers else links
+    if leftovers:
+        raise AuctionError(f"links without an offering provider: {sorted(leftovers)[:3]}")
+    return total
+
+
+def per_provider_cost(offers: Sequence[Offer], link_ids: Iterable[str]) -> Dict[str, float]:
+    links = frozenset(link_ids)
+    return {
+        offer.provider: offer.bid.cost(links & offer.link_ids)
+        for offer in offers
+        if links & offer.link_ids
+    }
+
+
+def _marginals(
+    offers_by_link: Dict[str, Offer], current: LinkSet
+) -> List[Tuple[float, str]]:
+    """(marginal declared cost, link id) for each selected link, desc order."""
+    items: List[Tuple[float, str]] = []
+    for lid in current:
+        offer = offers_by_link[lid]
+        mine = current & offer.link_ids
+        items.append((offer.bid.marginal(mine, lid), lid))
+    items.sort(key=lambda t: (-t[0], t[1]))
+    return items
+
+
+def _greedy_drop(
+    offers: Sequence[Offer],
+    constraint: Constraint,
+    start: LinkSet,
+) -> LinkSet:
+    offers_by_link = _owner_index(offers)
+    current = start
+    if not constraint.satisfied(current):
+        raise NoFeasibleSelectionError(
+            "the full offered link set does not satisfy the constraint; "
+            "add capacity or external transit contracts"
+        )
+    improved = True
+    while improved:
+        improved = False
+        for _marginal, lid in _marginals(offers_by_link, current):
+            if lid not in current:
+                continue
+            candidate = current - {lid}
+            if constraint.satisfied(candidate):
+                current = candidate
+                improved = True
+    return current
+
+
+def _add_prune(
+    offers: Sequence[Offer],
+    constraint: Constraint,
+    universe: LinkSet,
+) -> LinkSet:
+    offers_by_link = _owner_index(offers)
+    ranked = sorted(
+        universe,
+        key=lambda lid: (offers_by_link[lid].bid.cost(frozenset((lid,))), lid),
+    )
+    if not constraint.satisfied(frozenset(ranked)):
+        raise NoFeasibleSelectionError(
+            "the full offered link set does not satisfy the constraint"
+        )
+    # Feasibility is monotone in the set, so binary-search the smallest
+    # acceptable prefix of the cost-ranked ordering.
+    lo, hi = 1, len(ranked)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if constraint.satisfied(frozenset(ranked[:mid])):
+            hi = mid
+        else:
+            lo = mid + 1
+    prefix = frozenset(ranked[:lo])
+    return _greedy_drop(offers, constraint, prefix)
+
+
+def _local_search(
+    offers: Sequence[Offer],
+    constraint: Constraint,
+    universe: LinkSet,
+    *,
+    max_rounds: int = 3,
+    max_swaps_per_round: int = 50,
+) -> LinkSet:
+    offers_by_link = _owner_index(offers)
+    current = _greedy_drop(offers, constraint, universe)
+
+    def cost(links: LinkSet) -> float:
+        return total_declared_cost(offers, links)
+
+    current_cost = cost(current)
+    for _ in range(max_rounds):
+        improved = False
+        outside = sorted(
+            universe - current,
+            key=lambda lid: (offers_by_link[lid].bid.cost(frozenset((lid,))), lid),
+        )
+        swaps = 0
+        for add_lid in outside:
+            if swaps >= max_swaps_per_round:
+                break
+            with_add = current | {add_lid}
+            # Try to drop up to two expensive links in exchange.
+            for _m, drop_lid in _marginals(offers_by_link, current)[:10]:
+                candidate = with_add - {drop_lid}
+                cand_cost = cost(candidate)
+                if cand_cost < current_cost - 1e-9 and constraint.satisfied(candidate):
+                    current, current_cost = frozenset(candidate), cand_cost
+                    improved = True
+                    swaps += 1
+                    break
+        if not improved:
+            break
+    # A final drop pass cleans up anything the swaps made redundant.
+    return _greedy_drop(offers, constraint, current)
+
+
+def select_links(
+    offers: Sequence[Offer],
+    constraint: Constraint,
+    *,
+    method: str = "greedy-drop",
+    exclude_providers: Iterable[str] = (),
+) -> SelectionOutcome:
+    """Select a min-cost acceptable link set from the given offers.
+
+    ``exclude_providers`` implements the VCG leave-one-out runs: those
+    providers' links are removed from the offered universe entirely.
+    Raises :class:`NoFeasibleSelectionError` when no acceptable set exists
+    (the paper assumes A(OL − L_α) is nonempty for every α; external-ISP
+    virtual links are how a real POC guarantees that).
+    """
+    excluded = set(exclude_providers)
+    active = [o for o in offers if o.provider not in excluded]
+    if not active:
+        raise NoFeasibleSelectionError("no offers remain after exclusions")
+    universe: LinkSet = frozenset().union(*(o.link_ids for o in active))
+    if not universe:
+        raise NoFeasibleSelectionError("no links offered")
+
+    before = constraint.oracle_evaluations
+    if method == "greedy-drop":
+        selected = _greedy_drop(active, constraint, universe)
+    elif method == "add-prune":
+        selected = _add_prune(active, constraint, universe)
+    elif method == "local-search":
+        selected = _local_search(active, constraint, universe)
+    elif method == "milp":
+        from repro.auction.constraints import TrafficConstraint
+        from repro.auction.milp import exact_selection
+
+        if type(constraint) is not TrafficConstraint:
+            raise AuctionError(
+                "the milp engine supports only Constraint #1 "
+                "(survivability needs scenario-expanded models)"
+            )
+        selected, _cost = exact_selection(active, constraint.network, constraint.tm)
+    else:
+        raise AuctionError(f"unknown selection method {method!r}; expected {ENGINES}")
+
+    return SelectionOutcome(
+        selected=selected,
+        total_cost=total_declared_cost(active, selected),
+        per_provider_cost=per_provider_cost(active, selected),
+        engine=method,
+        oracle_evaluations=constraint.oracle_evaluations - before,
+    )

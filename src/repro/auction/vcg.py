@@ -1,0 +1,172 @@
+"""The VCG auction: selection plus Clarke-pivot payments (Section 3.3).
+
+For each participating BP α:
+
+    P_α = C_α(SL ∩ L_α) + ( C(SL_−α) − C(SL) )
+
+where SL is the selected set over all offers and SL_−α the selection when
+α's links are withdrawn.  External-ISP contracts take part in both
+selections (their virtual links bound everyone's pivot term) but are paid
+their contract price, not a VCG payment.
+
+With an *exact* optimizer this mechanism is strategy-proof and individually
+rational.  Our selection engines are deterministic heuristics (the paper
+does not specify its optimizer either), so the pivot term can in rare
+cases come out negative; ``AuctionConfig.clamp_individual_rationality``
+(default on) floors each payment at the declared cost, and the result
+records how often clamping fired so benchmarks can report it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from repro.exceptions import AuctionError, NoFeasibleSelectionError
+from repro.auction.constraints import Constraint
+from repro.auction.provider import Offer
+from repro.auction.selection import (
+    SelectionOutcome,
+    select_links,
+    total_declared_cost,
+)
+
+LinkSet = FrozenSet[str]
+
+
+@dataclass(frozen=True)
+class AuctionConfig:
+    """Knobs of one auction run."""
+
+    method: str = "greedy-drop"
+    clamp_individual_rationality: bool = True
+
+
+@dataclass(frozen=True)
+class ProviderResult:
+    """Per-BP outcome of the auction."""
+
+    provider: str
+    selected_links: LinkSet
+    declared_cost: float
+    payment: float
+    pivot_term: float
+    clamped: bool
+
+    @property
+    def won(self) -> bool:
+        return bool(self.selected_links)
+
+    @property
+    def payment_over_bid(self) -> Optional[float]:
+        """PoB = (P_α − C_α) / C_α; None when the BP sold nothing."""
+        if self.declared_cost <= 0:
+            return None
+        return (self.payment - self.declared_cost) / self.declared_cost
+
+
+@dataclass(frozen=True)
+class AuctionResult:
+    """Full outcome: the selection and every provider's payment."""
+
+    selection: SelectionOutcome
+    providers: Dict[str, ProviderResult]
+    external_cost: float
+    config: AuctionConfig
+    leave_one_out_cost: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def selected(self) -> LinkSet:
+        return self.selection.selected
+
+    @property
+    def total_cost(self) -> float:
+        return self.selection.total_cost
+
+    @property
+    def total_payments(self) -> float:
+        """What the POC disburses: VCG payments plus external contracts."""
+        return sum(p.payment for p in self.providers.values()) + self.external_cost
+
+    def payment(self, provider: str) -> float:
+        return self.providers[provider].payment
+
+    def pob(self, provider: str) -> Optional[float]:
+        return self.providers[provider].payment_over_bid
+
+    def winners(self) -> List[str]:
+        return sorted(p.provider for p in self.providers.values() if p.won)
+
+
+def run_auction(
+    offers: Sequence[Offer],
+    constraint: Constraint,
+    *,
+    config: Optional[AuctionConfig] = None,
+) -> AuctionResult:
+    """Clear the auction: select links, compute Clarke-pivot payments.
+
+    The same selection engine is used for the full run and every
+    leave-one-out run.  A BP whose withdrawal makes the problem infeasible
+    violates the paper's standing assumption (A(OL − L_α) nonempty); we
+    surface that as :class:`NoFeasibleSelectionError` with the provider
+    named, rather than inventing an unbounded payment.
+    """
+    cfg = config or AuctionConfig()
+    providers = [o.provider for o in offers]
+    if len(set(providers)) != len(providers):
+        raise AuctionError("duplicate provider names in offers")
+
+    full = select_links(offers, constraint, method=cfg.method)
+    c_sl = full.total_cost
+
+    results: Dict[str, ProviderResult] = {}
+    loo_costs: Dict[str, float] = {}
+    external_cost = 0.0
+    for offer in offers:
+        mine = full.selected & offer.link_ids
+        declared = offer.bid.cost(mine)
+        if not offer.in_auction:
+            external_cost += declared
+            continue
+        try:
+            without = select_links(
+                offers, constraint, method=cfg.method, exclude_providers=(offer.provider,)
+            )
+        except NoFeasibleSelectionError as exc:
+            raise NoFeasibleSelectionError(
+                f"auction cannot price provider {offer.provider}: the constraint "
+                f"cannot be met without it ({exc}); add external transit capacity"
+            ) from exc
+        loo_costs[offer.provider] = without.total_cost
+        pivot = without.total_cost - c_sl
+        payment = declared + pivot
+        clamped = False
+        if cfg.clamp_individual_rationality and payment < declared:
+            payment = declared
+            clamped = True
+        results[offer.provider] = ProviderResult(
+            provider=offer.provider,
+            selected_links=mine,
+            declared_cost=declared,
+            payment=payment,
+            pivot_term=pivot,
+            clamped=clamped,
+        )
+
+    return AuctionResult(
+        selection=full,
+        providers=results,
+        external_cost=external_cost,
+        config=cfg,
+        leave_one_out_cost=loo_costs,
+    )
+
+
+def utility(offer: Offer, result: AuctionResult) -> float:
+    """A BP's realized utility: payment received minus *true* cost incurred."""
+    if offer.provider not in result.providers:
+        return 0.0
+    pr = result.providers[offer.provider]
+    true_cost = offer.true_cost.cost(pr.selected_links)
+    return pr.payment - true_cost

@@ -1,0 +1,250 @@
+"""Command-line experiment runner.
+
+Installed as ``poc-repro``.  Subcommands mirror the experiment index in
+DESIGN.md:
+
+    poc-repro zoo        --preset small            # build & describe a zoo
+    poc-repro figure2    --preset tiny             # reproduce Figure 2
+    poc-repro neutrality                           # §4 regime comparison
+    poc-repro market     --regime ur --epochs 24   # run the market sim
+    poc-repro baseline                             # BGP-world comparison
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+
+
+def _build_zoo(preset: str, seed: int):
+    from repro.topology.zoo import ZooConfig, build_zoo
+
+    presets = {
+        "tiny": ZooConfig.tiny,
+        "small": ZooConfig.small,
+        "paper": ZooConfig.paper,
+    }
+    if preset not in presets:
+        raise SystemExit(f"unknown preset {preset!r}; choose from {sorted(presets)}")
+    return build_zoo(presets[preset](seed=seed))
+
+
+def cmd_zoo(args: argparse.Namespace) -> int:
+    zoo = _build_zoo(args.preset, args.seed)
+    shares = zoo.link_shares
+    print(f"preset={args.preset} seed={args.seed}")
+    print(f"BPs: {len(zoo.bps)}   POC sites: {len(zoo.sites)}   "
+          f"logical links: {zoo.num_logical_links}")
+    print(f"link-share range: {min(shares.values()):.1%} .. {max(shares.values()):.1%}")
+    print("largest BPs:", ", ".join(zoo.largest_bps(5)))
+    return 0
+
+
+def cmd_figure2(args: argparse.Namespace) -> int:
+    from repro.experiments.figure2 import Figure2Config, run_figure2
+
+    cfg = Figure2Config(
+        preset=args.preset,
+        seed=args.seed,
+        constraints=tuple(args.constraints),
+    )
+    result = run_figure2(cfg)
+    print(result.formatted())
+    return 0
+
+
+def cmd_neutrality(args: argparse.Namespace) -> int:
+    from repro.econ.csp import CSP
+    from repro.econ.demand import STANDARD_FAMILIES
+    from repro.econ.equilibrium import compare_regimes
+    from repro.econ.lmp import entrant, incumbent
+
+    lmps = [incumbent(), entrant()]
+    header = (f"{'family':<14}{'W_nn':>10}{'W_barg':>10}{'W_uni':>10}"
+              f"{'t_barg':>9}{'t_uni':>9}{'p_nn':>8}{'p_uni':>8}")
+    print(header)
+    print("-" * len(header))
+    for name, demand in STANDARD_FAMILIES.items():
+        rc = compare_regimes(CSP(name=name, demand=demand), lmps)
+        print(
+            f"{name:<14}{rc.nn_welfare:>10.3f}{rc.bargaining_welfare:>10.3f}"
+            f"{rc.unilateral_welfare:>10.3f}{rc.bargaining_fee:>9.3f}"
+            f"{rc.unilateral_fee:>9.3f}{rc.nn_price:>8.2f}{rc.unilateral_price:>8.2f}"
+        )
+    return 0
+
+
+def cmd_market(args: argparse.Namespace) -> int:
+    from repro.econ.demand import LinearDemand
+    from repro.market.entities import CSPAgent, founding_catalogue, founding_lmps
+    from repro.market.sim import MarketConfig, MarketSim, Regime
+
+    regime = Regime.NN if args.regime == "nn" else Regime.UR
+    csps = founding_catalogue()
+    csps.append(
+        CSPAgent(name="entrant-csp", demand=LinearDemand(v_max=25.0),
+                 incumbency=0.15, entry_epoch=args.entry_epoch)
+    )
+    sim = MarketSim(MarketConfig(regime=regime, epochs=args.epochs,
+                                 poc_monthly_cost=args.poc_cost), csps, founding_lmps())
+    history = sim.run()
+    last = history.records[-1]
+    print(f"regime={args.regime} epochs={args.epochs}")
+    print(f"final social welfare: {last.social_welfare:.2f}")
+    print(f"POC surplus (nonprofit invariant): {last.poc_surplus:.2e}")
+    for name in sorted(last.csps):
+        print(f"  CSP {name:<14} cum profit {history.cumulative_csp_profit(name):>10.2f} "
+              f"incumbency {last.csps[name].incumbency:.2f}")
+    for name in sorted(last.lmps):
+        print(f"  LMP {name:<14} cum profit {history.cumulative_lmp_profit(name):>10.2f} "
+              f"customers {last.lmps[name].customers:.3f}")
+    return 0
+
+
+def cmd_baseline(args: argparse.Namespace) -> int:
+    from repro.interdomain.relationships import small_internet
+    from repro.interdomain.transit import TransitMarket, poc_vs_transit
+
+    graph = small_internet()
+    market = TransitMarket(graph, eyeball_transits={"trA", "trB"})
+    positions = poc_vs_transit(market, "eyeball1", usage_gbps=args.usage,
+                               poc_rate_per_gbps=args.poc_rate)
+    for world, pos in positions.items():
+        print(f"{world:<11} transit=${pos.monthly_transit_cost:,.0f}/mo  "
+              f"full-reach={pos.reaches_all_destinations}  "
+              f"pays-competitor={pos.pays_competitor}  "
+              f"fee-exposure={pos.termination_fee_exposure}")
+    return 0
+
+
+def cmd_adoption(args: argparse.Namespace) -> int:
+    from repro.market.adoption import AdoptionConfig, expected_trajectory
+
+    cfg = AdoptionConfig(
+        num_lmps=args.lmps, epochs=args.epochs, poc_price=args.poc_price
+    )
+    history = expected_trajectory(cfg)
+    print(f"{'epoch':>6}{'share':>8}{'incumbent $/Gbps':>18}")
+    step = max(1, args.epochs // 10)
+    for record in history.records[::step]:
+        print(f"{record.epoch:>6}{record.share:>8.0%}{record.incumbent_price:>18,.0f}")
+    t50 = history.epochs_to_share(0.5)
+    print(f"\nfinal share {history.final_share:.0%}; "
+          f"50% reached at epoch {t50 if t50 is not None else '—'}")
+    return 0
+
+
+def cmd_probe(args: argparse.Namespace) -> int:
+    from repro.dataplane.detection import probe_differential_treatment
+    from repro.dataplane.shaping import DiscriminatoryEdge, NeutralEdge
+    from repro.dataplane.sim import DataplaneSim
+
+    zoo = _build_zoo(args.preset, args.seed)
+    sites = [s.router_id for s in zoo.sites]
+    behavior = NeutralEdge()
+    if args.throttle:
+        behavior = DiscriminatoryEdge(
+            throttle_sources=frozenset(args.throttle), factor=args.factor
+        )
+    sim = DataplaneSim(zoo.offered)
+    sim.attach("csp-a", sites[0], access_gbps=80.0)
+    sim.attach("csp-b", sites[1], access_gbps=80.0)
+    sim.attach("eyeballs", sites[-1], access_gbps=40.0, behavior=behavior)
+    report = probe_differential_treatment(sim, "eyeballs", ["csp-a", "csp-b"])
+    for finding in report.findings:
+        flag = " <-- VIOLATION" if finding.suspicious(report.threshold) else ""
+        print(f"{finding.attribute}={finding.tested_value}: "
+              f"{finding.tested_rate:.1f} vs {finding.control_value}: "
+              f"{finding.control_rate:.1f} Gbps (ratio {finding.ratio:.2f}){flag}")
+    print(report.summary())
+    return 0 if report.clean else 1
+
+
+def cmd_planning(args: argparse.Namespace) -> int:
+    from repro.core.planning import plan_reprovisioning
+    from repro.experiments.pipeline import offers_for_zoo, traffic_for_zoo
+
+    zoo = _build_zoo(args.preset, args.seed)
+    tm = traffic_for_zoo(zoo)
+    offers = offers_for_zoo(zoo)
+    plan = plan_reprovisioning(
+        zoo.offered, offers, tm,
+        monthly_growth=args.growth, horizon_months=args.months,
+    )
+    for epoch in plan.epochs:
+        action = "RE-AUCTION" if epoch.reprovisioned else ""
+        print(f"month {epoch.month:>3}: headroom {epoch.headroom:5.2f}  "
+              f"cost ${epoch.monthly_cost:>12,.0f}  {action}")
+    print(f"\n{plan.num_reprovisions} auctions; total ${plan.total_cost():,.0f}")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="poc-repro",
+        description="Reproduction experiments for 'A Public Option for the Core'",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_zoo = sub.add_parser("zoo", help="build and describe a synthetic zoo")
+    p_zoo.add_argument("--preset", default="small", choices=("tiny", "small", "paper"))
+    p_zoo.add_argument("--seed", type=int, default=2020)
+    p_zoo.set_defaults(fn=cmd_zoo)
+
+    p_f2 = sub.add_parser("figure2", help="reproduce Figure 2 (PoB margins)")
+    p_f2.add_argument("--preset", default="tiny", choices=("tiny", "small", "paper"))
+    p_f2.add_argument("--seed", type=int, default=2020)
+    p_f2.add_argument("--constraints", type=int, nargs="+", default=[1, 2, 3],
+                      choices=(1, 2, 3))
+    p_f2.set_defaults(fn=cmd_figure2)
+
+    p_nn = sub.add_parser("neutrality", help="§4 regime comparison table")
+    p_nn.set_defaults(fn=cmd_neutrality)
+
+    p_mkt = sub.add_parser("market", help="run the agent-based market simulator")
+    p_mkt.add_argument("--regime", default="nn", choices=("nn", "ur"))
+    p_mkt.add_argument("--epochs", type=int, default=24)
+    p_mkt.add_argument("--entry-epoch", type=int, default=4)
+    p_mkt.add_argument("--poc-cost", type=float, default=5.0)
+    p_mkt.set_defaults(fn=cmd_market)
+
+    p_bl = sub.add_parser("baseline", help="status-quo BGP world vs the POC")
+    p_bl.add_argument("--usage", type=float, default=10.0)
+    p_bl.add_argument("--poc-rate", type=float, default=600.0)
+    p_bl.set_defaults(fn=cmd_baseline)
+
+    p_ad = sub.add_parser("adoption", help="POC adoption trajectory (§5)")
+    p_ad.add_argument("--lmps", type=int, default=50)
+    p_ad.add_argument("--epochs", type=int, default=60)
+    p_ad.add_argument("--poc-price", type=float, default=600.0)
+    p_ad.set_defaults(fn=cmd_adoption)
+
+    p_pr = sub.add_parser("probe", help="dataplane neutrality probes (§3.4)")
+    p_pr.add_argument("--preset", default="tiny", choices=("tiny", "small", "paper"))
+    p_pr.add_argument("--seed", type=int, default=2020)
+    p_pr.add_argument("--throttle", nargs="*", default=[],
+                      help="source parties the eyeball edge throttles")
+    p_pr.add_argument("--factor", type=float, default=0.25)
+    p_pr.set_defaults(fn=cmd_probe)
+
+    p_pl = sub.add_parser("planning", help="capacity planning / re-auctions")
+    p_pl.add_argument("--preset", default="tiny", choices=("tiny", "small", "paper"))
+    p_pl.add_argument("--seed", type=int, default=2020)
+    p_pl.add_argument("--growth", type=float, default=0.05)
+    p_pl.add_argument("--months", type=int, default=12)
+    p_pl.set_defaults(fn=cmd_planning)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

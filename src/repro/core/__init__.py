@@ -1,0 +1,47 @@
+"""The Public Option for the Core itself.
+
+This package assembles the substrates into the system of Section 3:
+
+- :mod:`repro.core.poc` — the POC: provisions its backbone through the
+  bandwidth auction, attaches LMPs/CSPs/external ISPs, carries transit,
+  and recoups its costs from attached customers.
+- :mod:`repro.core.tos` — the terms-of-service of §3.4: the three peering
+  conditions, their security/maintenance exceptions, and the distinction
+  between (allowed) posted-price QoS and (forbidden) service
+  discrimination.
+- :mod:`repro.core.billing` — customer charging schemes (flat, usage,
+  tiered) and the POC's break-even transit pricing.
+- :mod:`repro.core.services` — §3.1's optional services: QoS classes,
+  anycast, and multicast, all offered openly at posted prices.
+"""
+
+from repro.core.billing import (
+    BillingScheme,
+    FlatRate,
+    TieredRate,
+    UsageBasedRate,
+    break_even_rate,
+)
+from repro.core.poc import Attachment, PublicOptionCore
+from repro.core.tos import (
+    Clause,
+    PolicyAction,
+    PolicyReason,
+    TermsOfService,
+    TrafficPolicy,
+)
+
+__all__ = [
+    "BillingScheme",
+    "FlatRate",
+    "TieredRate",
+    "UsageBasedRate",
+    "break_even_rate",
+    "Attachment",
+    "PublicOptionCore",
+    "Clause",
+    "PolicyAction",
+    "PolicyReason",
+    "TermsOfService",
+    "TrafficPolicy",
+]

@@ -1,0 +1,154 @@
+"""Billing schemes and the POC's break-even transit pricing (§3.2).
+
+"LMPs might charge home users a flat price, or a strictly usage-based
+charge, or some form of tiered service ... The only requirement is that
+the sum total of revenue from the LMPs is enough to cover the bandwidth
+(and other) costs of the POC."
+
+All schemes price a month of service given the customer's usage; the POC
+helper computes the uniform per-Gbps rate that exactly recovers a cost
+base from a traffic total.  Schemes must be non-discriminatory: price
+depends only on usage, never on who the customer is — which is why the
+interface takes nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.exceptions import MarketError
+
+
+class BillingScheme:
+    """Maps a month's usage (average Gbps, sent+received) to a charge."""
+
+    def monthly_charge(self, usage_gbps: float) -> float:
+        raise NotImplementedError
+
+    @staticmethod
+    def _check_usage(usage_gbps: float) -> None:
+        if usage_gbps < 0:
+            raise MarketError(f"usage cannot be negative: {usage_gbps}")
+
+
+@dataclass(frozen=True)
+class FlatRate(BillingScheme):
+    """One price regardless of usage."""
+
+    monthly_price: float
+
+    def __post_init__(self) -> None:
+        if self.monthly_price < 0:
+            raise MarketError(f"price cannot be negative: {self.monthly_price}")
+
+    def monthly_charge(self, usage_gbps: float) -> float:
+        self._check_usage(usage_gbps)
+        return self.monthly_price
+
+
+@dataclass(frozen=True)
+class UsageBasedRate(BillingScheme):
+    """Strictly usage-based: rate × usage, plus an optional port fee."""
+
+    rate_per_gbps: float
+    port_fee: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_gbps < 0:
+            raise MarketError(f"rate cannot be negative: {self.rate_per_gbps}")
+        if self.port_fee < 0:
+            raise MarketError(f"port fee cannot be negative: {self.port_fee}")
+
+    def monthly_charge(self, usage_gbps: float) -> float:
+        self._check_usage(usage_gbps)
+        return self.port_fee + self.rate_per_gbps * usage_gbps
+
+
+@dataclass(frozen=True)
+class TieredRate(BillingScheme):
+    """Flat price up to an included allowance, then per-Gbps overage.
+
+    The paper's "flat price up to a given level of usage" compromise
+    between predictability and usage alignment.
+    """
+
+    monthly_price: float
+    included_gbps: float
+    overage_per_gbps: float
+
+    def __post_init__(self) -> None:
+        if self.monthly_price < 0 or self.included_gbps < 0 or self.overage_per_gbps < 0:
+            raise MarketError("tiered-rate parameters cannot be negative")
+
+    def monthly_charge(self, usage_gbps: float) -> float:
+        self._check_usage(usage_gbps)
+        overage = max(0.0, usage_gbps - self.included_gbps)
+        return self.monthly_price + overage * self.overage_per_gbps
+
+
+@dataclass(frozen=True)
+class Percentile95Rate(BillingScheme):
+    """Industry-standard 95th-percentile billing.
+
+    The month's usage samples are sorted, the top 5% burst intervals are
+    forgiven, and the bill is rate × the 95th-percentile sample.  Because
+    the scheme needs the whole sample vector, it bills through
+    :meth:`monthly_charge_from_samples`; :meth:`monthly_charge` treats a
+    single figure as a constant month (no bursts to forgive).
+    """
+
+    rate_per_gbps: float
+    port_fee: float = 0.0
+    percentile: float = 95.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_gbps < 0 or self.port_fee < 0:
+            raise MarketError("rates cannot be negative")
+        if not 0.0 < self.percentile <= 100.0:
+            raise MarketError(f"percentile must be in (0, 100], got {self.percentile}")
+
+    def monthly_charge(self, usage_gbps: float) -> float:
+        self._check_usage(usage_gbps)
+        return self.port_fee + self.rate_per_gbps * usage_gbps
+
+    def monthly_charge_from_samples(self, samples_gbps: Sequence[float]) -> float:
+        if not samples_gbps:
+            return self.port_fee
+        clean = sorted(samples_gbps)
+        if clean[0] < 0:
+            raise MarketError("usage samples cannot be negative")
+        import math
+
+        idx = min(len(clean) - 1,
+                  max(0, math.ceil(self.percentile / 100.0 * len(clean)) - 1))
+        return self.port_fee + self.rate_per_gbps * clean[idx]
+
+
+def break_even_rate(total_cost: float, total_usage_gbps: float) -> float:
+    """The uniform per-Gbps rate that exactly recovers ``total_cost``.
+
+    §3.2 leaves the POC's LMP-pricing open; a uniform usage rate is the
+    simplest scheme satisfying the break-even requirement and is what the
+    market simulator charges by default.
+    """
+    if total_cost < 0:
+        raise MarketError(f"cost cannot be negative: {total_cost}")
+    if total_usage_gbps <= 0:
+        raise MarketError(
+            f"total usage must be positive to set a rate, got {total_usage_gbps}"
+        )
+    return total_cost / total_usage_gbps
+
+
+def settlement(
+    usages: Sequence[Tuple[str, float]], total_cost: float
+) -> List[Tuple[str, float]]:
+    """Split ``total_cost`` across attachments in proportion to usage.
+
+    Returns (attachment, charge) pairs summing to exactly ``total_cost``
+    (up to float round-off).  Zero-usage attachments pay nothing.
+    """
+    total_usage = sum(u for _, u in usages)
+    rate = break_even_rate(total_cost, total_usage)
+    return [(name, usage * rate) for name, usage in usages]

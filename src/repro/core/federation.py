@@ -1,0 +1,183 @@
+"""Federated POCs (§1.2).
+
+"We should note that there could be several coexisting (and
+interconnected) POCs, run by different entities but adopting the same
+basic principles (nonprofit, focusing on transit, enforcing network
+neutrality)."
+
+A :class:`POCFederation` joins provisioned POCs through explicitly-priced
+gateway links.  Node ids are namespaced per member (two regional zoos
+can share city names), transit crosses members transparently, and the
+combined books still break even: every member recovers its own cost and
+the gateway costs are split by usage like any other cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import MarketError, ReproError, UnknownNodeError
+from repro.core.billing import settlement
+from repro.core.poc import PublicOptionCore
+from repro.netflow.paths import Path, shortest_path
+from repro.topology.graph import Link, Network, Node
+
+
+def _qualified(member: str, node_id: str) -> str:
+    return f"{member}/{node_id}"
+
+
+@dataclass(frozen=True)
+class GatewayLink:
+    """An interconnect between two member POCs."""
+
+    id: str
+    member_a: str
+    site_a: str
+    member_b: str
+    site_b: str
+    capacity_gbps: float
+    monthly_cost: float
+
+    def __post_init__(self) -> None:
+        if self.member_a == self.member_b:
+            raise MarketError("a gateway must join two different POCs")
+        if self.capacity_gbps <= 0:
+            raise MarketError("gateway capacity must be positive")
+        if self.monthly_cost < 0:
+            raise MarketError("gateway cost cannot be negative")
+
+
+class POCFederation:
+    """Several POCs, one transparent fabric."""
+
+    def __init__(self, members: Dict[str, PublicOptionCore]) -> None:
+        if len(members) < 2:
+            raise MarketError("a federation needs at least two member POCs")
+        for name, poc in members.items():
+            if not poc.provisioned:
+                raise ReproError(f"member {name} is not provisioned yet")
+        self.members = dict(members)
+        self._gateways: List[GatewayLink] = []
+
+    def interconnect(
+        self,
+        member_a: str,
+        site_a: str,
+        member_b: str,
+        site_b: str,
+        *,
+        capacity_gbps: float,
+        monthly_cost: float,
+    ) -> GatewayLink:
+        """Add a gateway between two members' router sites."""
+        for member, site in ((member_a, site_a), (member_b, site_b)):
+            if member not in self.members:
+                raise MarketError(f"unknown federation member: {member}")
+            if not self.members[member].backbone.has_node(site):
+                raise UnknownNodeError(site)
+        gateway = GatewayLink(
+            id=f"gw{len(self._gateways):03d}:{member_a}--{member_b}",
+            member_a=member_a,
+            site_a=site_a,
+            member_b=member_b,
+            site_b=site_b,
+            capacity_gbps=capacity_gbps,
+            monthly_cost=monthly_cost,
+        )
+        self._gateways.append(gateway)
+        return gateway
+
+    @property
+    def gateways(self) -> List[GatewayLink]:
+        return list(self._gateways)
+
+    def combined_backbone(self) -> Network:
+        """The federated fabric: namespaced member backbones + gateways."""
+        net = Network(name="federation")
+        for member, poc in sorted(self.members.items()):
+            backbone = poc.backbone
+            for node in backbone.nodes:
+                net.add_node(
+                    Node(
+                        id=_qualified(member, node.id),
+                        point=node.point,
+                        city=node.city,
+                        kind=node.kind,
+                    )
+                )
+            for link in backbone.iter_links():
+                net.add_link(
+                    Link(
+                        id=_qualified(member, link.id),
+                        u=_qualified(member, link.u),
+                        v=_qualified(member, link.v),
+                        capacity_gbps=link.capacity_gbps,
+                        length_km=link.length_km,
+                        owner=link.owner,
+                    )
+                )
+        for gw in self._gateways:
+            net.add_link(
+                Link(
+                    id=gw.id,
+                    u=_qualified(gw.member_a, gw.site_a),
+                    v=_qualified(gw.member_b, gw.site_b),
+                    capacity_gbps=gw.capacity_gbps,
+                    length_km=0.0,
+                    owner=None,
+                    virtual=True,
+                )
+            )
+        return net
+
+    # -- transit ---------------------------------------------------------------
+
+    def transit_path(
+        self, src: Tuple[str, str], dst: Tuple[str, str]
+    ) -> Optional[Path]:
+        """Path between two attachments, given as (member, attachment).
+
+        Cross-member paths ride the gateways; the federation, like each
+        member, exercises no policy — any attachment reaches any other.
+        """
+        src_member, src_name = src
+        dst_member, dst_name = dst
+        src_att = self.members[src_member].attachment(src_name)
+        dst_att = self.members[dst_member].attachment(dst_name)
+        net = self.combined_backbone()
+        a = _qualified(src_member, src_att.site)
+        b = _qualified(dst_member, dst_att.site)
+        if a == b:
+            return Path(nodes=(a,), link_ids=())
+        return shortest_path(net, a, b)
+
+    def reachable(self, src: Tuple[str, str], dst: Tuple[str, str]) -> bool:
+        return self.transit_path(src, dst) is not None
+
+    # -- economics -----------------------------------------------------------------
+
+    @property
+    def monthly_cost(self) -> float:
+        """All member costs plus all gateway costs."""
+        return (
+            sum(poc.monthly_cost for poc in self.members.values())
+            + sum(gw.monthly_cost for gw in self._gateways)
+        )
+
+    def monthly_invoices(
+        self, usage_gbps: Dict[Tuple[str, str], float]
+    ) -> Dict[Tuple[str, str], float]:
+        """Break-even invoices over all attachments of all members.
+
+        Usage keys are (member, attachment).  The total equals the
+        federation's full cost — each member stays a nonprofit and so
+        does the federation.
+        """
+        for member, name in usage_gbps:
+            if member not in self.members:
+                raise MarketError(f"unknown federation member: {member}")
+            self.members[member].attachment(name)  # validates existence
+        rows = settlement(sorted(usage_gbps.items()), self.monthly_cost)
+        return dict(rows)

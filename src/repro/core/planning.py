@@ -1,0 +1,149 @@
+"""Capacity planning on top of the provisioned backbone.
+
+The POC's TM grows; its backbone has finite headroom (the max-concurrent-
+flow λ of the current TM on the selected links).  This module answers
+the operator questions:
+
+- :func:`months_of_headroom` — how long until growth exhausts λ;
+- :func:`plan_reprovisioning` — a re-auction schedule over a horizon:
+  whenever projected headroom falls below a trigger, re-run the auction
+  against the grown TM, recording each epoch's backbone and cost.
+
+Re-auctioning (rather than incrementally patching) is the honest model
+of §3.3's design: the selection is recomputed from the full offer book.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.exceptions import MarketError, NoFeasibleSelectionError
+from repro.auction.constraints import make_constraint
+from repro.auction.provider import Offer
+from repro.auction.vcg import AuctionConfig, AuctionResult, run_auction
+from repro.netflow.mcf import max_concurrent_flow
+from repro.topology.graph import Network
+from repro.traffic.matrix import TrafficMatrix
+
+
+def months_of_headroom(
+    backbone: Network, tm: TrafficMatrix, monthly_growth: float
+) -> int:
+    """Months until a TM growing at ``monthly_growth`` exhausts λ.
+
+    λ(t) = λ₀ / (1+g)^t ; the backbone saturates when λ(t) < 1, so the
+    answer is ⌊log λ₀ / log (1+g)⌋.  Returns 0 when already infeasible
+    and a large sentinel (1200) for zero growth on a feasible backbone.
+    """
+    if monthly_growth < 0:
+        raise MarketError(f"growth cannot be negative: {monthly_growth}")
+    result = max_concurrent_flow(backbone, tm)
+    if not result.feasible:
+        return 0
+    if monthly_growth == 0:
+        return 1200  # a century: effectively "never" at planning scale
+    return int(math.floor(math.log(result.lam) / math.log(1.0 + monthly_growth)))
+
+
+@dataclass
+class PlanningEpoch:
+    """One month of the plan."""
+
+    month: int
+    tm_scale: float
+    headroom: float
+    reprovisioned: bool
+    monthly_cost: float
+    selected_links: int
+
+
+@dataclass
+class ReprovisioningPlan:
+    epochs: List[PlanningEpoch] = field(default_factory=list)
+    auctions: List[AuctionResult] = field(default_factory=list)
+
+    @property
+    def num_reprovisions(self) -> int:
+        return sum(1 for e in self.epochs if e.reprovisioned)
+
+    def total_cost(self) -> float:
+        return sum(e.monthly_cost for e in self.epochs)
+
+    def cost_series(self) -> List[float]:
+        return [e.monthly_cost for e in self.epochs]
+
+
+def plan_reprovisioning(
+    offered: Network,
+    offers: Sequence[Offer],
+    tm: TrafficMatrix,
+    *,
+    monthly_growth: float,
+    horizon_months: int,
+    trigger_headroom: float = 1.15,
+    provision_margin: float = 1.6,
+    constraint: int = 1,
+    engine: str = "mcf",
+    method: str = "add-prune",
+) -> ReprovisioningPlan:
+    """Simulate ``horizon_months`` of growth with re-auctioning.
+
+    Month 0 always provisions.  Afterwards, whenever the current
+    backbone's headroom λ against the grown TM falls below
+    ``trigger_headroom``, the auction re-runs against the full offer
+    book.  Each auction buys against the current TM scaled by
+    ``provision_margin`` — min-cost selection is exactly tight by
+    construction (λ ≈ 1 on what it was asked to carry), so the margin IS
+    the headroom: without it the plan would re-auction every month.
+    Raises NoFeasibleSelectionError when growth outruns the entire offer
+    book — the signal to procure more links.
+    """
+    if horizon_months < 1:
+        raise MarketError("horizon must be at least one month")
+    if trigger_headroom < 1.0:
+        raise MarketError("trigger headroom below 1.0 would plan for overload")
+    if provision_margin < trigger_headroom:
+        raise MarketError(
+            "provision margin below the trigger would re-auction immediately"
+        )
+    if monthly_growth < 0:
+        raise MarketError("growth cannot be negative")
+
+    plan = ReprovisioningPlan()
+    backbone: Optional[Network] = None
+    monthly_cost = 0.0
+    selected_links = 0
+
+    for month in range(horizon_months):
+        scale = (1.0 + monthly_growth) ** month
+        tm_now = tm.scaled(scale)
+        needs_provision = backbone is None
+        headroom = float("inf")
+        if backbone is not None:
+            headroom = max_concurrent_flow(backbone, tm_now).lam
+            if headroom < trigger_headroom:
+                needs_provision = True
+
+        if needs_provision:
+            tm_target = tm_now.scaled(provision_margin)
+            cons = make_constraint(constraint, offered, tm_target, engine=engine)
+            result = run_auction(offers, cons, config=AuctionConfig(method=method))
+            plan.auctions.append(result)
+            backbone = offered.restricted_to_links(result.selected)
+            monthly_cost = result.total_payments
+            selected_links = len(result.selected)
+            headroom = max_concurrent_flow(backbone, tm_now).lam
+
+        plan.epochs.append(
+            PlanningEpoch(
+                month=month,
+                tm_scale=scale,
+                headroom=headroom,
+                reprovisioned=needs_provision,
+                monthly_cost=monthly_cost,
+                selected_links=selected_links,
+            )
+        )
+    return plan

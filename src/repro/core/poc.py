@@ -1,0 +1,219 @@
+"""The Public Option for the Core: the system of Sections 1.2 and 3.
+
+A :class:`PublicOptionCore` owns no last-mile and sells no content.  It
+
+1. *provisions* a backbone by running the §3.3 bandwidth auction over the
+   offered logical links (plus external-ISP virtual links as fallback),
+2. *attaches* LMPs and CSPs at POC router sites — unconditionally: open
+   attachment is itself a neutrality property, so the API has no
+   admission test beyond "the site exists",
+3. *carries transit* between any two attachments over the provisioned
+   backbone, and
+4. *recoups costs* from attachments in proportion to usage, breaking even
+   as a nonprofit (§3.2).
+
+LMPs agree to the terms-of-service at attach time; :meth:`audit_lmp`
+checks declared policies against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import (
+    AuctionError,
+    MarketError,
+    ReproError,
+    UnknownNodeError,
+)
+from repro.auction.constraints import make_constraint
+from repro.auction.provider import ExternalTransitContract, Offer
+from repro.auction.vcg import AuctionConfig, AuctionResult, run_auction
+from repro.core.billing import settlement
+from repro.core.services import ServiceCatalogue
+from repro.core.tos import ServiceOffering, TermsOfService, TrafficPolicy, Violation
+from repro.netflow.paths import Path, shortest_path
+from repro.topology.graph import Network
+from repro.topology.zoo import ZooResult
+from repro.traffic.matrix import TrafficMatrix
+
+
+@dataclass(frozen=True)
+class Attachment:
+    """An LMP, CSP, or external ISP connected at a POC router site."""
+
+    name: str
+    site: str  # POC router node id
+    kind: str  # "lmp", "csp", or "ext-isp"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("lmp", "csp", "ext-isp"):
+            raise ReproError(f"unknown attachment kind {self.kind!r}")
+
+
+@dataclass
+class PublicOptionCore:
+    """The POC: nonprofit edge-to-edge transit over auctioned links."""
+
+    offered: Network
+    external_contracts: List[ExternalTransitContract] = field(default_factory=list)
+    terms: TermsOfService = field(default_factory=TermsOfService)
+    services: ServiceCatalogue = field(default_factory=ServiceCatalogue.default)
+
+    _attachments: Dict[str, Attachment] = field(default_factory=dict)
+    _auction_result: Optional[AuctionResult] = None
+    _backbone: Optional[Network] = None
+
+    @classmethod
+    def from_zoo(cls, zoo: ZooResult) -> "PublicOptionCore":
+        """A POC over a synthetic-zoo offered network."""
+        return cls(offered=zoo.offered)
+
+    # -- provisioning --------------------------------------------------------
+
+    def add_external_contract(self, contract: ExternalTransitContract) -> None:
+        """Register an external ISP's virtual links (§3.3's VL set)."""
+        for link in contract.links:
+            for end in link.ends:
+                if not self.offered.has_node(end):
+                    raise UnknownNodeError(end)
+            self.offered.add_link(link)
+        self.external_contracts.append(contract)
+
+    def provision(
+        self,
+        offers: Sequence[Offer],
+        tm: TrafficMatrix,
+        *,
+        constraint: int = 1,
+        engine: str = "mcf",
+        method: str = "greedy-drop",
+    ) -> AuctionResult:
+        """Run the bandwidth auction and activate the selected backbone."""
+        all_offers = list(offers) + [c.to_offer() for c in self.external_contracts]
+        offered_ids = set(self.offered.link_ids)
+        for offer in all_offers:
+            missing = offer.link_ids - offered_ids
+            if missing:
+                raise AuctionError(
+                    f"offer from {offer.provider} references links not in the "
+                    f"offered network: {sorted(missing)[:3]}"
+                )
+        cons = make_constraint(constraint, self.offered, tm, engine=engine)
+        result = run_auction(all_offers, cons, config=AuctionConfig(method=method))
+        self._auction_result = result
+        self._backbone = self.offered.restricted_to_links(
+            result.selected, name="poc-backbone"
+        )
+        return result
+
+    @property
+    def provisioned(self) -> bool:
+        return self._backbone is not None
+
+    @property
+    def backbone(self) -> Network:
+        if self._backbone is None:
+            raise ReproError("POC is not provisioned yet; call provision() first")
+        return self._backbone
+
+    @property
+    def auction_result(self) -> AuctionResult:
+        if self._auction_result is None:
+            raise ReproError("POC is not provisioned yet; call provision() first")
+        return self._auction_result
+
+    @property
+    def monthly_cost(self) -> float:
+        """What the POC disburses per month: VCG payments + contracts."""
+        return self.auction_result.total_payments
+
+    # -- attachment ------------------------------------------------------------
+
+    def attach(self, name: str, site: str, kind: str) -> Attachment:
+        """Attach an LMP/CSP/external ISP at a POC router site.
+
+        Admission is unconditional (any party, any site with a router);
+        the only obligations are contractual: LMPs accept the ToS.
+        """
+        if name in self._attachments:
+            raise MarketError(f"attachment name already in use: {name}")
+        if not self.offered.has_node(site):
+            raise UnknownNodeError(site)
+        att = Attachment(name=name, site=site, kind=kind)
+        self._attachments[name] = att
+        return att
+
+    def detach(self, name: str) -> None:
+        if name not in self._attachments:
+            raise MarketError(f"no such attachment: {name}")
+        del self._attachments[name]
+
+    @property
+    def attachments(self) -> List[Attachment]:
+        return [self._attachments[k] for k in sorted(self._attachments)]
+
+    def attachment(self, name: str) -> Attachment:
+        try:
+            return self._attachments[name]
+        except KeyError:
+            raise MarketError(f"no such attachment: {name}") from None
+
+    def lmps(self) -> List[Attachment]:
+        return [a for a in self.attachments if a.kind == "lmp"]
+
+    def csps(self) -> List[Attachment]:
+        return [a for a in self.attachments if a.kind == "csp"]
+
+    # -- transit ------------------------------------------------------------------
+
+    def transit_path(self, src_name: str, dst_name: str) -> Optional[Path]:
+        """The backbone path between two attachments (None if disconnected).
+
+        The POC "exercises no peering policies and merely acts as a
+        transparent fabric": any attachment can reach any other.
+        """
+        src = self.attachment(src_name)
+        dst = self.attachment(dst_name)
+        if src.site == dst.site:
+            return Path(nodes=(src.site,), link_ids=())
+        return shortest_path(self.backbone, src.site, dst.site)
+
+    def reachability(self) -> Dict[Tuple[str, str], bool]:
+        """Pairwise reachability between all attachments over the backbone."""
+        out: Dict[Tuple[str, str], bool] = {}
+        names = [a.name for a in self.attachments]
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                out[(a, b)] = self.transit_path(a, b) is not None
+        return out
+
+    # -- billing ------------------------------------------------------------------
+
+    def monthly_invoices(self, usage_gbps: Dict[str, float]) -> Dict[str, float]:
+        """Break-even invoices in proportion to each attachment's usage.
+
+        ``usage_gbps`` maps attachment name → average sent+received Gbps.
+        The invoice total equals the POC's monthly cost exactly (nonprofit:
+        "we expect it to break even financially").
+        """
+        unknown = set(usage_gbps) - set(self._attachments)
+        if unknown:
+            raise MarketError(f"usage reported for unknown attachments: {sorted(unknown)}")
+        rows = settlement(sorted(usage_gbps.items()), self.monthly_cost)
+        return dict(rows)
+
+    # -- neutrality -----------------------------------------------------------------
+
+    def audit_lmp(
+        self,
+        lmp_name: str,
+        policies: Sequence[TrafficPolicy] = (),
+        offerings: Sequence[ServiceOffering] = (),
+    ) -> List[Violation]:
+        """Audit a connected LMP's declared behaviour against the ToS."""
+        att = self.attachment(lmp_name)
+        if att.kind != "lmp":
+            raise MarketError(f"{lmp_name} is not an LMP attachment")
+        return self.terms.audit(policies, offerings)

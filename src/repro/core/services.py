@@ -1,0 +1,176 @@
+"""Optional POC network services (§3.1): QoS classes, anycast, multicast.
+
+"The POC could support multicast and anycast delivery mechanisms, and any
+other standardized protocols ... What we would require is that these be
+openly offered, so that users could choose their desired level of service
+and pay the resulting price."
+
+All services here are *open*: every class/group carries a posted price
+and admission is never conditioned on who asks — the constructor APIs
+make discriminatory variants inexpressible.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.exceptions import ReproError, UnknownNodeError
+from repro.topology.graph import Network
+from repro.netflow.paths import Path, shortest_path
+
+
+@dataclass(frozen=True)
+class QoSClass:
+    """An openly-offered quality-of-service tier.
+
+    ``weight`` is the scheduling weight relative to best effort (1.0);
+    ``posted_price_per_gbps`` is the open price any customer pays.
+    """
+
+    name: str
+    weight: float
+    posted_price_per_gbps: float
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ReproError(f"QoS weight must be positive: {self.weight}")
+        if self.posted_price_per_gbps < 0:
+            raise ReproError(f"posted price cannot be negative: {self.posted_price_per_gbps}")
+
+
+#: The default open QoS catalogue.
+DEFAULT_QOS_CLASSES: Tuple[QoSClass, ...] = (
+    QoSClass("best-effort", weight=1.0, posted_price_per_gbps=0.0),
+    QoSClass("assured", weight=2.0, posted_price_per_gbps=80.0),
+    QoSClass("premium", weight=4.0, posted_price_per_gbps=250.0),
+)
+
+
+@dataclass
+class AnycastGroup:
+    """One anycast address served from several POC sites.
+
+    Resolution picks the replica nearest (by path length on the active
+    backbone) to the querying site — the standard shortest-exit behaviour.
+    """
+
+    name: str
+    replicas: Set[str]
+    posted_price: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.replicas:
+            raise ReproError(f"anycast group {self.name} needs at least one replica")
+        if self.posted_price < 0:
+            raise ReproError(f"posted price cannot be negative: {self.posted_price}")
+
+    def resolve(self, backbone: Network, from_site: str) -> Tuple[str, Optional[Path]]:
+        """Nearest replica and the path to it (path is None if unreachable).
+
+        A replica at the querying site itself resolves trivially.
+        """
+        backbone.node(from_site)
+        if from_site in self.replicas:
+            return from_site, Path(nodes=(from_site,), link_ids=())
+        best: Tuple[float, str, Optional[Path]] = (float("inf"), "", None)
+        for replica in sorted(self.replicas):
+            if not backbone.has_node(replica):
+                raise UnknownNodeError(replica)
+            path = shortest_path(backbone, from_site, replica)
+            if path is None:
+                continue
+            length = path.length_km(backbone)
+            if length < best[0]:
+                best = (length, replica, path)
+        if best[2] is None:
+            return "", None
+        return best[1], best[2]
+
+
+@dataclass
+class MulticastTree:
+    """A distribution tree from one source site to many member sites."""
+
+    group: str
+    source: str
+    members: FrozenSet[str]
+    links: FrozenSet[str]
+    total_km: float
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+def build_multicast_tree(
+    backbone: Network, group: str, source: str, members: Sequence[str]
+) -> MulticastTree:
+    """Approximate Steiner tree: union of shortest paths source→member,
+    then pruned to a spanning tree of the touched nodes.
+
+    The 2-approximation via the metric closure would be better in the
+    worst case; shortest-path-union is what PIM-SSM actually builds and
+    is exact when paths nest, so it is the honest model here.
+    """
+    backbone.node(source)
+    member_set = {m for m in members if m != source}
+    if not member_set:
+        raise ReproError("multicast group needs at least one member besides the source")
+    used_links: Set[str] = set()
+    for member in sorted(member_set):
+        path = shortest_path(backbone, source, member)
+        if path is None:
+            raise ReproError(f"multicast member {member} unreachable from {source}")
+        used_links.update(path.link_ids)
+
+    # Prune cycles: keep a shortest-path tree within the induced subgraph.
+    g = nx.Graph()
+    for lid in used_links:
+        link = backbone.link(lid)
+        g.add_edge(link.u, link.v, weight=link.length_km, link_id=lid)
+    tree = nx.minimum_spanning_tree(g, weight="weight")
+    tree_links = frozenset(data["link_id"] for _u, _v, data in tree.edges(data=True))
+    total_km = sum(backbone.link(lid).length_km for lid in tree_links)
+    return MulticastTree(
+        group=group,
+        source=source,
+        members=frozenset(member_set),
+        links=tree_links,
+        total_km=total_km,
+    )
+
+
+@dataclass
+class ServiceCatalogue:
+    """The POC's open service offerings, with admission for anyone."""
+
+    qos_classes: Dict[str, QoSClass] = field(default_factory=dict)
+    anycast_groups: Dict[str, AnycastGroup] = field(default_factory=dict)
+
+    @classmethod
+    def default(cls) -> "ServiceCatalogue":
+        return cls(qos_classes={q.name: q for q in DEFAULT_QOS_CLASSES})
+
+    def add_qos_class(self, qos: QoSClass) -> None:
+        if qos.name in self.qos_classes:
+            raise ReproError(f"QoS class {qos.name} already offered")
+        self.qos_classes[qos.name] = qos
+
+    def register_anycast(self, group: AnycastGroup) -> None:
+        if group.name in self.anycast_groups:
+            raise ReproError(f"anycast group {group.name} already registered")
+        self.anycast_groups[group.name] = group
+
+    def qos_charge(self, class_name: str, usage_gbps: float) -> float:
+        """The posted, uniform charge for carrying usage in a QoS class."""
+        try:
+            qos = self.qos_classes[class_name]
+        except KeyError:
+            raise ReproError(f"unknown QoS class {class_name!r}") from None
+        if usage_gbps < 0:
+            raise ReproError(f"usage cannot be negative: {usage_gbps}")
+        return qos.posted_price_per_gbps * usage_gbps

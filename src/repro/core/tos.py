@@ -1,0 +1,225 @@
+"""The POC's terms-of-service: the peering conditions of Section 3.4.
+
+"The peering conditions we impose are that a POC-connected LMP must not:
+
+(i) differentially (in terms of priorities or blocking) treat incoming
+    traffic based on the source or application, nor differentially treat
+    outgoing traffic based on the destination or application; or
+(ii) differentially provide CDN or other application-enhancement services
+    based on the source (for incoming packets) or destination (for
+    outgoing packets); or
+(iii) differentially allow third-parties to provide CDN or other
+    application-enhancement services that only target a subset of traffic
+
+... with the caveat that exceptions should be made for security concerns
+(which may require blocking) or internal maintenance traffic."
+
+An LMP's behaviour is declared as a list of :class:`TrafficPolicy` and
+:class:`ServiceOffering` records; :class:`TermsOfService.audit` returns
+the violations.  Posted-price QoS offered to everyone is explicitly *not*
+a violation (§3.1 distinguishes service discrimination from QoS).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.exceptions import NeutralityViolation, PolicyError
+
+
+class PolicyAction(enum.Enum):
+    """What a traffic policy does to matching packets."""
+
+    PRIORITIZE = "prioritize"
+    DEPRIORITIZE = "deprioritize"
+    THROTTLE = "throttle"
+    BLOCK = "block"
+
+
+class PolicyReason(enum.Enum):
+    """Why the LMP applies the policy; only two reasons are exempt."""
+
+    COMMERCIAL = "commercial"
+    SECURITY = "security"
+    MAINTENANCE = "maintenance"
+
+
+class Clause(enum.Enum):
+    """Which ToS clause a violation falls under."""
+
+    TRAFFIC_DISCRIMINATION = "3.4(i)"
+    SERVICE_DISCRIMINATION = "3.4(ii)"
+    THIRD_PARTY_DISCRIMINATION = "3.4(iii)"
+
+
+#: Selector dimensions that make a policy *discriminatory* under clause
+#: (i).  A policy keyed purely on objective traffic class with a posted
+#: price (QoS) selects on none of these.
+_DISCRIMINATORY_SELECTORS = ("source", "destination", "application")
+
+
+@dataclass(frozen=True)
+class TrafficPolicy:
+    """A differential-treatment rule an LMP applies at its POC edge.
+
+    ``selector_*`` name what the rule matches on; ``None`` means the rule
+    does not discriminate on that dimension.  ``open_offer`` marks rules
+    that implement a QoS tier anyone can buy at ``posted_price``.
+    """
+
+    lmp: str
+    action: PolicyAction
+    direction: str  # "in" or "out"
+    selector_source: Optional[str] = None
+    selector_destination: Optional[str] = None
+    selector_application: Optional[str] = None
+    reason: PolicyReason = PolicyReason.COMMERCIAL
+    open_offer: bool = False
+    posted_price: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("in", "out"):
+            raise PolicyError(f"direction must be 'in' or 'out', got {self.direction!r}")
+        if self.open_offer and self.posted_price is None:
+            raise PolicyError("an open offer must carry a posted price")
+        if self.posted_price is not None and self.posted_price < 0:
+            raise PolicyError(f"posted price cannot be negative: {self.posted_price}")
+
+    @property
+    def discriminates(self) -> bool:
+        """True when the rule keys on source, destination, or application."""
+        if self.direction == "in":
+            return self.selector_source is not None or self.selector_application is not None
+        return self.selector_destination is not None or self.selector_application is not None
+
+
+@dataclass(frozen=True)
+class ServiceOffering:
+    """A CDN or application-enhancement service an LMP provides or hosts.
+
+    ``provider`` is the LMP itself or a third party; ``beneficiaries`` is
+    either the string ``"all"`` (open to every traffic source/destination,
+    at ``posted_price``) or a frozenset of the favored parties.
+    """
+
+    lmp: str
+    service: str  # e.g. "cdn", "transcoding", "nfv"
+    provider: str
+    beneficiaries: object  # "all" or FrozenSet[str]
+    posted_price: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.beneficiaries != "all" and not isinstance(self.beneficiaries, frozenset):
+            raise PolicyError(
+                "beneficiaries must be 'all' or a frozenset of party names"
+            )
+        if self.posted_price is not None and self.posted_price < 0:
+            raise PolicyError(f"posted price cannot be negative: {self.posted_price}")
+
+    @property
+    def is_open(self) -> bool:
+        return self.beneficiaries == "all"
+
+    @property
+    def third_party(self) -> bool:
+        return self.provider != self.lmp
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One audited ToS breach."""
+
+    lmp: str
+    clause: Clause
+    detail: str
+
+    def to_exception(self) -> NeutralityViolation:
+        return NeutralityViolation(self.lmp, self.clause.value, self.detail)
+
+
+@dataclass
+class TermsOfService:
+    """The POC's contractual neutrality terms and their audit logic."""
+
+    #: Exempt reasons per the §3.4 caveat.
+    exempt_reasons: Tuple[PolicyReason, ...] = (
+        PolicyReason.SECURITY,
+        PolicyReason.MAINTENANCE,
+    )
+
+    def audit_policy(self, policy: TrafficPolicy) -> Optional[Violation]:
+        """Clause (i): differential traffic treatment."""
+        if not policy.discriminates:
+            return None
+        if policy.reason in self.exempt_reasons:
+            return None
+        if policy.open_offer:
+            # A QoS tier is only genuinely open if it does not key on who
+            # the counterparty is — an "open offer" restricted to one
+            # source is a sham.
+            if policy.selector_source is None and policy.selector_destination is None:
+                return None
+            detail = "open offer restricted by counterparty is service discrimination"
+        else:
+            dims = []
+            if policy.selector_source:
+                dims.append(f"source={policy.selector_source}")
+            if policy.selector_destination:
+                dims.append(f"destination={policy.selector_destination}")
+            if policy.selector_application:
+                dims.append(f"application={policy.selector_application}")
+            detail = (
+                f"{policy.action.value} on {policy.direction}bound traffic "
+                f"by {', '.join(dims)} for commercial reasons"
+            )
+        return Violation(lmp=policy.lmp, clause=Clause.TRAFFIC_DISCRIMINATION, detail=detail)
+
+    def audit_offering(self, offering: ServiceOffering) -> Optional[Violation]:
+        """Clauses (ii) and (iii): discriminatory (third-party) services."""
+        if offering.is_open:
+            return None
+        if offering.third_party:
+            return Violation(
+                lmp=offering.lmp,
+                clause=Clause.THIRD_PARTY_DISCRIMINATION,
+                detail=(
+                    f"allows {offering.provider} to provide {offering.service} "
+                    f"only for {sorted(offering.beneficiaries)}"
+                ),
+            )
+        return Violation(
+            lmp=offering.lmp,
+            clause=Clause.SERVICE_DISCRIMINATION,
+            detail=(
+                f"provides {offering.service} only for {sorted(offering.beneficiaries)}"
+            ),
+        )
+
+    def audit(
+        self,
+        policies: Sequence[TrafficPolicy] = (),
+        offerings: Sequence[ServiceOffering] = (),
+    ) -> List[Violation]:
+        """Audit an LMP's declared behaviour; returns all violations."""
+        violations: List[Violation] = []
+        for policy in policies:
+            v = self.audit_policy(policy)
+            if v is not None:
+                violations.append(v)
+        for offering in offerings:
+            v = self.audit_offering(offering)
+            if v is not None:
+                violations.append(v)
+        return violations
+
+    def enforce(
+        self,
+        policies: Sequence[TrafficPolicy] = (),
+        offerings: Sequence[ServiceOffering] = (),
+    ) -> None:
+        """Raise on the first violation (strict enforcement mode)."""
+        violations = self.audit(policies, offerings)
+        if violations:
+            raise violations[0].to_exception()

@@ -1,0 +1,48 @@
+"""Dataplane substrate: flow-level bandwidth sharing on the POC.
+
+Sections 3.1 and 3.4 draw an operational line the control-plane models
+cannot test: *open posted-price QoS is allowed; discrimination by source,
+destination, or application is not*.  This package makes that line
+executable:
+
+- :mod:`repro.dataplane.flows` — flows between attachments, with QoS
+  classes and party labels;
+- :mod:`repro.dataplane.fairshare` — weighted max-min (progressive
+  filling) bandwidth allocation over shared links;
+- :mod:`repro.dataplane.shaping` — LMP edge behaviours: neutral, open
+  QoS weighting, and the forbidden source-keyed throttling;
+- :mod:`repro.dataplane.sim` — assembles backbone + access links and
+  computes the resulting allocation;
+- :mod:`repro.dataplane.detection` — probe-based detection of
+  differential treatment from *observed rates only*, in the spirit of
+  the measurement work the paper cites ([37], Li et al.) and of §3.4's
+  worry about LMPs cheating on the ToS.
+"""
+
+from repro.dataplane.bridge import audit_dataplane_conduct, dataplane_for_poc
+from repro.dataplane.fairshare import max_min_allocation
+from repro.dataplane.flows import Flow
+from repro.dataplane.shaping import (
+    DiscriminatoryEdge,
+    NeutralEdge,
+    QoSEdge,
+)
+from repro.dataplane.sim import AllocationResult, DataplaneSim
+from repro.dataplane.detection import DetectionReport, probe_differential_treatment
+from repro.dataplane.timeline import Transfer, simulate_transfers
+
+__all__ = [
+    "audit_dataplane_conduct",
+    "dataplane_for_poc",
+    "max_min_allocation",
+    "Flow",
+    "DiscriminatoryEdge",
+    "NeutralEdge",
+    "QoSEdge",
+    "AllocationResult",
+    "DataplaneSim",
+    "DetectionReport",
+    "probe_differential_treatment",
+    "Transfer",
+    "simulate_transfers",
+]

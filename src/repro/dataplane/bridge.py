@@ -1,0 +1,80 @@
+"""Bridge: a provisioned POC's control plane → a dataplane simulation.
+
+The :class:`~repro.core.poc.PublicOptionCore` knows *who* is attached
+where and what backbone the auction bought; the dataplane needs access
+capacities and edge behaviours on top.  This module assembles the two,
+and closes the enforcement loop: audit every LMP's *observed* conduct
+with detection probes and return the violators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.exceptions import MarketError
+from repro.core.poc import PublicOptionCore
+from repro.dataplane.detection import DetectionReport, probe_differential_treatment
+from repro.dataplane.shaping import EdgeBehavior, NeutralEdge
+from repro.dataplane.sim import DataplaneSim
+
+#: Access capacity assumed when the caller does not specify one.
+DEFAULT_ACCESS_GBPS = 40.0
+
+
+def dataplane_for_poc(
+    poc: PublicOptionCore,
+    *,
+    access_gbps: Optional[Mapping[str, float]] = None,
+    behaviors: Optional[Mapping[str, EdgeBehavior]] = None,
+) -> DataplaneSim:
+    """A dataplane over the POC's provisioned backbone and attachments.
+
+    Every POC attachment becomes a dataplane attachment at its site;
+    ``access_gbps`` and ``behaviors`` override the defaults per party.
+    """
+    access = dict(access_gbps or {})
+    shaping = dict(behaviors or {})
+    unknown = (set(access) | set(shaping)) - {a.name for a in poc.attachments}
+    if unknown:
+        raise MarketError(
+            f"overrides for parties not attached to the POC: {sorted(unknown)}"
+        )
+    sim = DataplaneSim(poc.backbone)
+    for attachment in poc.attachments:
+        sim.attach(
+            attachment.name,
+            attachment.site,
+            access_gbps=access.get(attachment.name, DEFAULT_ACCESS_GBPS),
+            behavior=shaping.get(attachment.name, NeutralEdge()),
+        )
+    return sim
+
+
+def audit_dataplane_conduct(
+    poc: PublicOptionCore,
+    sim: DataplaneSim,
+    *,
+    threshold: float = 0.8,
+) -> Dict[str, DetectionReport]:
+    """Probe every attached LMP's edge against every other party.
+
+    Returns a report per LMP; reports with violations identify LMPs
+    whose *dataplane conduct* breaks the ToS, regardless of what they
+    declared — the §3.4 cheating countermeasure, run fleet-wide.
+    """
+    lmps = [a.name for a in poc.lmps()]
+    others = [a.name for a in poc.attachments]
+    reports: Dict[str, DetectionReport] = {}
+    for lmp in lmps:
+        sources = [name for name in others if name != lmp]
+        if len(sources) < 2:
+            continue  # nothing to compare against
+        reports[lmp] = probe_differential_treatment(
+            sim, lmp, sources, threshold=threshold
+        )
+    return reports
+
+
+def violators(reports: Mapping[str, DetectionReport]) -> List[str]:
+    """The LMPs whose probes found differential treatment."""
+    return sorted(name for name, report in reports.items() if not report.clean)

@@ -1,0 +1,155 @@
+"""Probe-based detection of differential treatment (§3.4, §2.4.2).
+
+The ToS layer audits what an LMP *declares*; this module checks what its
+dataplane *does*, the way the measurement literature the paper cites
+([37], Li et al., "A large-scale analysis of deployed traffic
+differentiation practices") does it: send matched probe flows that
+differ only in the attribute under test (source party, or application),
+and compare achieved rates.
+
+A compliant edge may still produce unequal rates when probes take
+different paths or classes — the detector therefore controls for
+everything except the tested attribute and uses a ratio threshold to
+separate noise from policy.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import FlowError
+from repro.dataplane.flows import Flow
+from repro.dataplane.sim import DataplaneSim
+
+#: A probe pair whose rate ratio falls below this is flagged.
+DEFAULT_SUSPICION_RATIO = 0.8
+
+
+@dataclass(frozen=True)
+class ProbeFinding:
+    """One matched comparison: the tested value vs the control value."""
+
+    dest_party: str
+    attribute: str  # "source" or "application"
+    tested_value: str
+    control_value: str
+    tested_rate: float
+    control_rate: float
+
+    @property
+    def ratio(self) -> float:
+        if self.control_rate <= 0:
+            return float("inf") if self.tested_rate > 0 else 1.0
+        return self.tested_rate / self.control_rate
+
+    def suspicious(self, threshold: float = DEFAULT_SUSPICION_RATIO) -> bool:
+        return self.ratio < threshold
+
+
+@dataclass
+class DetectionReport:
+    """All findings for one destination edge."""
+
+    dest_party: str
+    findings: List[ProbeFinding]
+    threshold: float = DEFAULT_SUSPICION_RATIO
+
+    @property
+    def violations(self) -> List[ProbeFinding]:
+        return [f for f in self.findings if f.suspicious(self.threshold)]
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        if self.clean:
+            return f"{self.dest_party}: no differential treatment detected"
+        worst = min(self.violations, key=lambda f: f.ratio)
+        return (
+            f"{self.dest_party}: {len(self.violations)} suspicious "
+            f"comparison(s); worst: {worst.attribute}={worst.tested_value} "
+            f"achieves {worst.ratio:.0%} of {worst.control_value}"
+        )
+
+
+def probe_differential_treatment(
+    sim: DataplaneSim,
+    dest_party: str,
+    source_parties: Sequence[str],
+    *,
+    probe_demand_gbps: Optional[float] = None,
+    applications: Sequence[str] = ("generic",),
+    qos_class: str = "best-effort",
+    threshold: float = DEFAULT_SUSPICION_RATIO,
+) -> DetectionReport:
+    """Probe one destination edge for source/application discrimination.
+
+    Probes are launched **pairwise** — one tested flow and one control
+    flow at a time — and each probe demands the destination's full
+    access capacity by default.  Weight-based throttling only shows
+    under contention, so the probes must saturate the shared access
+    link: there, a neutral edge splits 50/50 while a throttling edge
+    splits by its multiplier.  (The measurement systems the paper cites
+    do the same: back-to-back saturating transfers.)
+    """
+    if len(source_parties) < 2:
+        raise FlowError("need at least two source parties to compare")
+    if probe_demand_gbps is None:
+        probe_demand_gbps = sim.attachment(dest_party).access_gbps
+    if probe_demand_gbps <= 0:
+        raise FlowError("probe demand must be positive")
+
+    findings: List[ProbeFinding] = []
+    control_source = source_parties[0]
+    counter = itertools.count()
+
+    def run_pair(src_a: str, app_a: str, src_b: str, app_b: str) -> Tuple[float, float]:
+        fid_a, fid_b = f"probe{next(counter)}", f"probe{next(counter)}"
+        result = sim.allocate([
+            Flow(id=fid_a, source_party=src_a, dest_party=dest_party,
+                 demand_gbps=probe_demand_gbps, application=app_a,
+                 qos_class=qos_class),
+            Flow(id=fid_b, source_party=src_b, dest_party=dest_party,
+                 demand_gbps=probe_demand_gbps, application=app_b,
+                 qos_class=qos_class),
+        ])
+        return result.rate(fid_a), result.rate(fid_b)
+
+    # Source discrimination: same application, different sources.
+    base_app = applications[0]
+    for tested_source in source_parties[1:]:
+        tested, control = run_pair(
+            tested_source, base_app, control_source, base_app
+        )
+        findings.append(
+            ProbeFinding(
+                dest_party=dest_party,
+                attribute="source",
+                tested_value=tested_source,
+                control_value=control_source,
+                tested_rate=tested,
+                control_rate=control,
+            )
+        )
+
+    # Application discrimination: same source, different applications.
+    for app in applications[1:]:
+        tested, control = run_pair(
+            control_source, app, control_source, base_app
+        )
+        findings.append(
+            ProbeFinding(
+                dest_party=dest_party,
+                attribute="application",
+                tested_value=app,
+                control_value=base_app,
+                tested_rate=tested,
+                control_rate=control,
+            )
+        )
+
+    return DetectionReport(dest_party=dest_party, findings=findings,
+                           threshold=threshold)

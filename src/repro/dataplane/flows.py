@@ -1,0 +1,56 @@
+"""Flows: demands between attached parties with QoS class and labels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.exceptions import FlowError
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One end-to-end flow between two attached parties.
+
+    ``source_party``/``dest_party`` are attachment names (a CSP, an LMP's
+    customer aggregate...); the path — including the access links at both
+    edges — is assigned by the simulator, not the caller.  ``weight`` is
+    the scheduling weight *before* any edge behaviour is applied; QoS
+    classes map to weights at the destination edge.
+    """
+
+    id: str
+    source_party: str
+    dest_party: str
+    demand_gbps: float
+    qos_class: str = "best-effort"
+    application: str = "generic"
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise FlowError("flow id cannot be empty")
+        if self.source_party == self.dest_party:
+            raise FlowError(f"flow {self.id} loops back to its source party")
+        if self.demand_gbps <= 0:
+            raise FlowError(f"flow {self.id} has non-positive demand")
+        if self.weight <= 0:
+            raise FlowError(f"flow {self.id} has non-positive weight")
+
+
+@dataclass(frozen=True)
+class RoutedFlow:
+    """A flow bound to a concrete path (access + backbone link ids)."""
+
+    flow: Flow
+    link_ids: Tuple[str, ...]
+    #: Effective scheduling weight after edge behaviour multipliers.
+    effective_weight: float
+
+    def __post_init__(self) -> None:
+        if not self.link_ids:
+            raise FlowError(f"routed flow {self.flow.id} has an empty path")
+        if self.effective_weight <= 0:
+            raise FlowError(
+                f"routed flow {self.flow.id} has non-positive effective weight"
+            )

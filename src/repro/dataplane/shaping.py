@@ -1,0 +1,99 @@
+"""LMP edge behaviours: how a destination LMP treats arriving flows.
+
+The ToS line (§3.1/§3.4), executable:
+
+- :class:`NeutralEdge` — the compliant default: hands every flow the
+  same weight.
+- :class:`QoSEdge` — *allowed*: weights flows by QoS class, where the
+  class catalogue is open and posted-price (anyone can buy "premium");
+  the behaviour never looks at who the flow is from.
+- :class:`DiscriminatoryEdge` — *forbidden*: multiplies weights (or
+  blocks) based on the flow's source party or application.  Exists so
+  the detection module and the market consequences have something real
+  to measure.
+
+Each behaviour maps a flow to an effective-weight multiplier; 0 means
+blocked.  The declarative ToS layer (:mod:`repro.core.tos`) judges the
+*stated* policy; this module is the *actual* dataplane conduct, which
+may differ — that gap is what §3.4's "widespread cheating" paragraph is
+about, and what :mod:`repro.dataplane.detection` closes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Optional
+
+from repro.exceptions import PolicyError
+from repro.core.services import ServiceCatalogue
+from repro.dataplane.flows import Flow
+
+
+class EdgeBehavior:
+    """Maps arriving flows to weight multipliers (0 = blocked)."""
+
+    def weight_multiplier(self, flow: Flow) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class NeutralEdge(EdgeBehavior):
+    """Treats every arriving flow identically."""
+
+    def weight_multiplier(self, flow: Flow) -> float:
+        return 1.0
+
+
+@dataclass(frozen=True)
+class QoSEdge(EdgeBehavior):
+    """Open posted-price QoS: weight depends only on the flow's class.
+
+    Backed by a :class:`~repro.core.services.ServiceCatalogue`, so every
+    class the edge honours is openly offered — the §3.1 requirement.
+    Unknown classes fall back to best-effort weight rather than being
+    punished (an edge must not invent penalties).
+    """
+
+    catalogue: ServiceCatalogue = field(default_factory=ServiceCatalogue.default)
+
+    def weight_multiplier(self, flow: Flow) -> float:
+        qos = self.catalogue.qos_classes.get(flow.qos_class)
+        if qos is None:
+            qos = self.catalogue.qos_classes["best-effort"]
+        return qos.weight
+
+
+@dataclass(frozen=True)
+class DiscriminatoryEdge(EdgeBehavior):
+    """The forbidden behaviour: keyed on source party or application.
+
+    ``throttle_sources`` get their weight multiplied by ``factor``
+    (< 1); ``blocked_sources`` get 0.  ``throttle_applications`` is the
+    §2.4.2 pattern (cellular providers degrading competing video).
+    """
+
+    throttle_sources: FrozenSet[str] = frozenset()
+    blocked_sources: FrozenSet[str] = frozenset()
+    throttle_applications: FrozenSet[str] = frozenset()
+    factor: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.factor < 1.0:
+            raise PolicyError(
+                f"throttle factor must be in (0, 1), got {self.factor}"
+            )
+        if self.throttle_sources & self.blocked_sources:
+            raise PolicyError("a source cannot be both throttled and blocked")
+        if not (self.throttle_sources or self.blocked_sources
+                or self.throttle_applications):
+            raise PolicyError("a discriminatory edge must discriminate on something")
+
+    def weight_multiplier(self, flow: Flow) -> float:
+        if flow.source_party in self.blocked_sources:
+            return 0.0
+        multiplier = 1.0
+        if flow.source_party in self.throttle_sources:
+            multiplier *= self.factor
+        if flow.application in self.throttle_applications:
+            multiplier *= self.factor
+        return multiplier

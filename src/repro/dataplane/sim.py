@@ -1,0 +1,184 @@
+"""The dataplane simulator: attachments, access links, flow allocation.
+
+Builds a composite network — the provisioned POC backbone plus one
+access link per attachment — routes each flow over the shortest path
+between its parties' sites, applies the destination attachment's edge
+behaviour to the flow's weight, and computes the weighted max-min
+allocation over all shared links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import FlowError, MarketError, UnknownNodeError
+from repro.dataplane.fairshare import max_min_allocation
+from repro.dataplane.flows import Flow, RoutedFlow
+from repro.dataplane.shaping import EdgeBehavior, NeutralEdge
+from repro.netflow.paths import shortest_path
+from repro.topology.graph import Link, Network, Node
+
+
+@dataclass
+class DataplaneAttachment:
+    """A party on the dataplane: a site, an access capacity, a behaviour."""
+
+    name: str
+    site: str
+    access_gbps: float
+    behavior: EdgeBehavior = field(default_factory=NeutralEdge)
+
+    def __post_init__(self) -> None:
+        if self.access_gbps <= 0:
+            raise MarketError(
+                f"attachment {self.name} needs positive access capacity"
+            )
+
+    @property
+    def host_node(self) -> str:
+        return f"host:{self.name}"
+
+    @property
+    def access_link_id(self) -> str:
+        return f"access:{self.name}"
+
+
+@dataclass
+class AllocationResult:
+    """Per-flow rates plus link diagnostics."""
+
+    rates_gbps: Dict[str, float]
+    routed: Dict[str, RoutedFlow]
+    link_load_gbps: Dict[str, float]
+    link_capacity_gbps: Dict[str, float]
+    blocked_flows: Tuple[str, ...] = ()
+
+    def rate(self, flow_id: str) -> float:
+        if flow_id in self.blocked_flows:
+            return 0.0
+        try:
+            return self.rates_gbps[flow_id]
+        except KeyError:
+            raise FlowError(f"unknown flow: {flow_id}") from None
+
+    def satisfaction(self, flow_id: str) -> float:
+        """Achieved rate / demand for one flow."""
+        if flow_id in self.blocked_flows:
+            return 0.0
+        routed = self.routed.get(flow_id)
+        if routed is None:
+            raise FlowError(f"unknown flow: {flow_id}")
+        return self.rates_gbps[flow_id] / routed.flow.demand_gbps
+
+    def bottlenecks(self, *, threshold: float = 0.999) -> List[str]:
+        """Links loaded beyond ``threshold`` of capacity."""
+        return sorted(
+            lid for lid, load in self.link_load_gbps.items()
+            if load >= threshold * self.link_capacity_gbps[lid]
+        )
+
+
+class DataplaneSim:
+    """Computes flow allocations over a backbone plus access links."""
+
+    def __init__(self, backbone: Network) -> None:
+        self.backbone = backbone
+        self._attachments: Dict[str, DataplaneAttachment] = {}
+
+    def attach(
+        self,
+        name: str,
+        site: str,
+        *,
+        access_gbps: float,
+        behavior: Optional[EdgeBehavior] = None,
+    ) -> DataplaneAttachment:
+        if name in self._attachments:
+            raise MarketError(f"attachment name already in use: {name}")
+        if not self.backbone.has_node(site):
+            raise UnknownNodeError(site)
+        attachment = DataplaneAttachment(
+            name=name,
+            site=site,
+            access_gbps=access_gbps,
+            behavior=behavior or NeutralEdge(),
+        )
+        self._attachments[name] = attachment
+        return attachment
+
+    def attachment(self, name: str) -> DataplaneAttachment:
+        try:
+            return self._attachments[name]
+        except KeyError:
+            raise MarketError(f"no such attachment: {name}") from None
+
+    def _composite_network(self) -> Network:
+        net = self.backbone.restricted_to_links(
+            self.backbone.link_ids, name="dataplane"
+        )
+        for att in self._attachments.values():
+            net.add_node(Node(id=att.host_node, kind="host"))
+            net.add_link(
+                Link(
+                    id=att.access_link_id,
+                    u=att.host_node,
+                    v=att.site,
+                    capacity_gbps=att.access_gbps,
+                    length_km=1.0,
+                )
+            )
+        return net
+
+    def allocate(self, flows: Sequence[Flow]) -> AllocationResult:
+        """Route the flows and compute the weighted max-min allocation.
+
+        The *destination* attachment's edge behaviour multiplies each
+        flow's weight (that is where §3.4's conditions bite: treatment
+        of incoming traffic).  Blocked flows (multiplier 0) get rate 0
+        and are listed in ``blocked_flows``.
+        """
+        ids = [f.id for f in flows]
+        if len(set(ids)) != len(ids):
+            raise FlowError("duplicate flow ids")
+        net = self._composite_network()
+
+        routed: Dict[str, RoutedFlow] = {}
+        blocked: List[str] = []
+        for flow in flows:
+            src = self.attachment(flow.source_party)
+            dst = self.attachment(flow.dest_party)
+            multiplier = dst.behavior.weight_multiplier(flow)
+            if multiplier <= 0.0:
+                blocked.append(flow.id)
+                continue
+            path = shortest_path(net, src.host_node, dst.host_node)
+            if path is None:
+                raise FlowError(
+                    f"no path between {flow.source_party} and {flow.dest_party}"
+                )
+            routed[flow.id] = RoutedFlow(
+                flow=flow,
+                link_ids=path.link_ids,
+                effective_weight=flow.weight * multiplier,
+            )
+
+        capacities = {l.id: l.capacity_gbps for l in net.iter_links()}
+        rates = max_min_allocation(
+            {fid: rf.link_ids for fid, rf in routed.items()},
+            {fid: rf.flow.demand_gbps for fid, rf in routed.items()},
+            {fid: rf.effective_weight for fid, rf in routed.items()},
+            capacities,
+        ) if routed else {}
+
+        load: Dict[str, float] = {}
+        for fid, rf in routed.items():
+            for lid in rf.link_ids:
+                load[lid] = load.get(lid, 0.0) + rates[fid]
+        return AllocationResult(
+            rates_gbps=rates,
+            routed=routed,
+            link_load_gbps=load,
+            link_capacity_gbps=capacities,
+            blocked_flows=tuple(blocked),
+        )

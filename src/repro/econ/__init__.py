@@ -1,0 +1,56 @@
+"""The network-neutrality economic model (Section 4).
+
+A unit mass of consumers values each CSP's service according to a
+willingness-to-pay distribution F_s; demand at price p is
+D_s(p) = 1 − F_s(p).  The package implements all three regimes the paper
+analyzes:
+
+- **NN** (:mod:`repro.econ.neutrality`) — no termination fees; CSPs set
+  monopoly prices; welfare is maximal among the regimes.
+- **UR, unilateral** (:mod:`repro.econ.unilateral`) — each LMP unilaterally
+  sets the revenue-maximizing termination fee ("double marginalization").
+- **UR, bargaining** (:mod:`repro.econ.bargaining` and
+  :mod:`repro.econ.equilibrium`) — fees from the Nash bargaining solution,
+  t = (p − r·c)/2, its population-weighted aggregate, and the
+  price/fee renegotiation fixed point.
+
+Welfare accounting lives in :mod:`repro.econ.welfare`; demand-curve
+families (with Lemma 1's smoothness conditions) in
+:mod:`repro.econ.demand`.
+"""
+
+from repro.econ.demand import (
+    DemandCurve,
+    ExponentialDemand,
+    LinearDemand,
+    LogitDemand,
+    ParetoDemand,
+)
+from repro.econ.csp import CSP, optimal_price
+from repro.econ.lmp import LMP
+from repro.econ.welfare import consumer_welfare, social_welfare
+from repro.econ.neutrality import NNOutcome, nn_outcome
+from repro.econ.unilateral import UROutcome, unilateral_outcome
+from repro.econ.bargaining import average_fee, nbs_fee
+from repro.econ.equilibrium import EquilibriumOutcome, bargaining_equilibrium
+
+__all__ = [
+    "DemandCurve",
+    "ExponentialDemand",
+    "LinearDemand",
+    "LogitDemand",
+    "ParetoDemand",
+    "CSP",
+    "optimal_price",
+    "LMP",
+    "consumer_welfare",
+    "social_welfare",
+    "NNOutcome",
+    "nn_outcome",
+    "UROutcome",
+    "unilateral_outcome",
+    "average_fee",
+    "nbs_fee",
+    "EquilibriumOutcome",
+    "bargaining_equilibrium",
+]

@@ -1,0 +1,138 @@
+"""Nash-bargaining termination fees (§4.5).
+
+One CSP s and one LMP l bargain over the fee t (price p held fixed during
+the bilateral negotiation).  On agreement: s earns D(p)(p − t), l earns
+D(p)·t.  On disagreement: s earns nothing from l's customers and l loses
+a fraction r = r_l^s of those customers, each worth the access price c_l.
+The Nash product
+
+    [D(p)(p − t)] · [D(p)(t + r·c)]
+
+is maximized at the paper's closed form
+
+    t = (p − r·c) / 2
+
+The multi-LMP aggregate (the paper's second bargaining model) is
+
+    t_avg = (p − ⟨rc⟩) / 2,   ⟨rc⟩ = Σ_l n_l r_l c_l / Σ_l n_l.
+
+Fees can come out negative when the disagreement loss of the LMP exceeds
+the CSP's (a must-carry CSP); the paper restricts attention to the
+positive regime, and callers can clamp via ``max(0, t)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import minimize_scalar
+
+from repro.exceptions import BargainingError, EconError
+from repro.econ.csp import CSP
+from repro.econ.lmp import LMP
+
+
+def nbs_fee(price: float, churn_rate: float, access_price: float) -> float:
+    """The closed-form Nash-bargaining fee t = (p − r·c)/2."""
+    if price < 0:
+        raise EconError(f"price cannot be negative: {price}")
+    if not 0.0 <= churn_rate <= 1.0:
+        raise BargainingError(f"churn rate must be in [0, 1], got {churn_rate}")
+    if access_price < 0:
+        raise EconError(f"access price cannot be negative: {access_price}")
+    return (price - churn_rate * access_price) / 2.0
+
+
+def nash_product(
+    fee: float, price: float, demand_at_price: float, churn_rate: float, access_price: float
+) -> float:
+    """The objective the NBS maximizes (for verification and tests)."""
+    csp_gain = demand_at_price * (price - fee)
+    lmp_gain = demand_at_price * (fee + churn_rate * access_price)
+    return csp_gain * lmp_gain
+
+
+def nbs_fee_numeric(
+    price: float, churn_rate: float, access_price: float, demand_at_price: float = 1.0
+) -> float:
+    """Maximize the Nash product directly (cross-checks the closed form)."""
+    if demand_at_price <= 0:
+        raise BargainingError("demand at the posted price must be positive")
+
+    def neg(t: float) -> float:
+        return -nash_product(t, price, demand_at_price, churn_rate, access_price)
+
+    lo = -churn_rate * access_price  # below this the LMP prefers disagreement
+    hi = price  # above this the CSP prefers disagreement
+    if hi <= lo:
+        raise BargainingError("empty agreement region: price <= -r*c")
+    result = minimize_scalar(neg, bounds=(lo, hi), method="bounded")
+    return float(result.x)
+
+
+def bilateral_fee(csp: CSP, lmp: LMP, *, price: float) -> float:
+    """The NBS fee between one CSP and one LMP at a fixed posted price."""
+    return nbs_fee(price, lmp.churn_rate(csp), lmp.access_price)
+
+
+def average_fee(csp: CSP, lmps: Sequence[LMP], *, price: float) -> float:
+    """The population-weighted average fee t_avg = (p − ⟨rc⟩)/2."""
+    if not lmps:
+        raise BargainingError("need at least one LMP")
+    total_n = sum(l.num_customers for l in lmps)
+    avg_rc = sum(
+        l.num_customers * l.churn_rate(csp) * l.access_price for l in lmps
+    ) / total_n
+    return (price - avg_rc) / 2.0
+
+
+def fee_schedule(csp: CSP, lmps: Sequence[LMP], *, price: float) -> Dict[str, float]:
+    """Per-LMP NBS fees at a fixed price (before renegotiation)."""
+    return {l.name: bilateral_fee(csp, l, price=price) for l in lmps}
+
+
+@dataclass(frozen=True)
+class IncumbencyComparison:
+    """§4.5's competitive-advantage observation, quantified.
+
+    ``lmp_fee_gap``: how much more an incumbent LMP extracts from the same
+    CSP than an entrant LMP does (positive = incumbent advantage).
+    ``csp_fee_gap``: how much more an entrant CSP pays the same LMP than
+    an incumbent CSP does (positive = incumbent advantage).
+    """
+
+    incumbent_lmp_fee: float
+    entrant_lmp_fee: float
+    incumbent_csp_fee: float
+    entrant_csp_fee: float
+
+    @property
+    def lmp_fee_gap(self) -> float:
+        return self.incumbent_lmp_fee - self.entrant_lmp_fee
+
+    @property
+    def csp_fee_gap(self) -> float:
+        return self.entrant_csp_fee - self.incumbent_csp_fee
+
+
+def incumbency_comparison(
+    incumbent_lmp: LMP,
+    entrant_lmp: LMP,
+    incumbent_csp: CSP,
+    entrant_csp: CSP,
+    *,
+    price: float,
+) -> IncumbencyComparison:
+    """Fees across the incumbency 2×2 at a common posted price.
+
+    The LMP comparison holds the CSP fixed (the incumbent CSP); the CSP
+    comparison holds the LMP fixed (the incumbent LMP).
+    """
+    return IncumbencyComparison(
+        incumbent_lmp_fee=bilateral_fee(incumbent_csp, incumbent_lmp, price=price),
+        entrant_lmp_fee=bilateral_fee(incumbent_csp, entrant_lmp, price=price),
+        incumbent_csp_fee=bilateral_fee(incumbent_csp, incumbent_lmp, price=price),
+        entrant_csp_fee=bilateral_fee(entrant_csp, incumbent_lmp, price=price),
+    )

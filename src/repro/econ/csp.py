@@ -1,0 +1,105 @@
+"""Content/Service Providers and their pricing problem.
+
+Equation (1) of the paper: facing a per-customer termination fee t, a CSP
+with demand D sets
+
+    p*(t) = argmax_p (p − t) · D(p)
+
+CSPs have no marginal cost (§4.2), so t = 0 recovers the NN monopoly
+price.  Closed forms are used where the family admits one; otherwise a
+bounded golden-section search over [t, price_ceiling].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from scipy.optimize import minimize_scalar
+
+from repro.exceptions import EconError
+from repro.econ.demand import (
+    DemandCurve,
+    ExponentialDemand,
+    LinearDemand,
+    ParetoDemand,
+)
+
+
+def optimal_price(demand: DemandCurve, fee: float = 0.0) -> float:
+    """The revenue-maximizing posted price p*(t) given termination fee t.
+
+    Lemma 1 guarantees (under its hypotheses) that this is strictly
+    increasing in ``fee``; the property tests check that on every family.
+    """
+    if fee < 0:
+        raise EconError(f"termination fee cannot be negative: {fee}")
+
+    if isinstance(demand, LinearDemand):
+        # (p − t)(1 − p/v): FOC gives p* = (v + t)/2, capped at v.  For
+        # t >= v the market is dead (no price earns positive profit); the
+        # convention is price-at-cost with zero sales, which keeps p*(t)
+        # continuous and weakly increasing everywhere.
+        if fee >= demand.v_max:
+            return fee
+        return min(demand.v_max, (demand.v_max + fee) / 2.0)
+    if isinstance(demand, ExponentialDemand):
+        # (p − t)e^{−p/s}: FOC gives p* = t + s.
+        return fee + demand.scale
+    if isinstance(demand, ParetoDemand):
+        # On the tail, (p − t)(pm/p)^a maximized at p* = t·a/(a−1);
+        # the corner at p_min applies for small t.
+        interior = fee * demand.alpha / (demand.alpha - 1.0)
+        return max(demand.p_min, interior)
+
+    return _numeric_optimal_price(demand, fee)
+
+
+def _numeric_optimal_price(demand: DemandCurve, fee: float) -> float:
+    hi = max(demand.price_ceiling, fee * 2.0 + 1.0)
+
+    def neg_profit(p: float) -> float:
+        return -(p - fee) * demand.demand(p)
+
+    result = minimize_scalar(neg_profit, bounds=(fee, hi), method="bounded")
+    if not result.success:  # pragma: no cover - 'bounded' always succeeds
+        raise EconError(f"price optimization failed: {result.message}")
+    return float(result.x)
+
+
+def profit(demand: DemandCurve, price: float, fee: float = 0.0) -> float:
+    """The CSP's per-unit-mass profit at a posted price: (p − t)·D(p)."""
+    if price < 0:
+        raise EconError(f"price cannot be negative: {price}")
+    return (price - fee) * demand.demand(price)
+
+
+@dataclass
+class CSP:
+    """A content/service provider: a name, a demand curve, an era.
+
+    ``incumbency`` ∈ (0, 1] expresses how established the CSP is; it feeds
+    the churn parameter r of the bargaining model (§4.5): when a
+    well-established CSP is blocked, more of the LMP's customers walk.
+    """
+
+    name: str
+    demand: DemandCurve
+    incumbency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.incumbency <= 1.0:
+            raise EconError(
+                f"incumbency must be in (0, 1], got {self.incumbency}"
+            )
+
+    def price(self, fee: float = 0.0) -> float:
+        return optimal_price(self.demand, fee)
+
+    def profit(self, fee: float = 0.0, price: Optional[float] = None) -> float:
+        p = self.price(fee) if price is None else price
+        return profit(self.demand, p, fee)
+
+    def subscribers(self, fee: float = 0.0) -> float:
+        """Fraction of the consumer mass buying at the optimal price."""
+        return self.demand.demand(self.price(fee))

@@ -1,0 +1,108 @@
+"""Distributional welfare accounting (§4.6).
+
+The paper maximizes *social* welfare and explicitly defers distribution:
+"vigorous competition in the LMP and CSP market tends to drive most of
+the value into consumer welfare (since payments decrease)."  This module
+does the bookkeeping that sentence implies:
+
+- :func:`welfare_split` — for a regime outcome, split total welfare into
+  consumer surplus, CSP profit, and LMP termination-fee revenue (access
+  payments are out of scope, as in §4.2's "ignore any welfare derived
+  from merely having connectivity");
+- :func:`competitive_price` and :func:`competition_sweep` — a
+  reduced-form competition dial κ ∈ [0, 1] that moves each CSP's price
+  from the monopoly level (κ = 0) toward marginal cost (κ = 1, and the
+  model's marginal cost is zero per §4.2), tracking how the consumer
+  share of welfare rises with competition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.exceptions import EconError
+from repro.econ.csp import CSP, optimal_price
+from repro.econ.demand import DemandCurve
+from repro.econ.welfare import consumer_welfare, social_welfare
+
+
+@dataclass(frozen=True)
+class WelfareSplit:
+    """Who ends up holding the welfare."""
+
+    consumer_surplus: float
+    csp_profit: float
+    lmp_fee_revenue: float
+
+    @property
+    def total(self) -> float:
+        return self.consumer_surplus + self.csp_profit + self.lmp_fee_revenue
+
+    @property
+    def consumer_share(self) -> float:
+        return self.consumer_surplus / self.total if self.total > 0 else 0.0
+
+    def __add__(self, other: "WelfareSplit") -> "WelfareSplit":
+        return WelfareSplit(
+            consumer_surplus=self.consumer_surplus + other.consumer_surplus,
+            csp_profit=self.csp_profit + other.csp_profit,
+            lmp_fee_revenue=self.lmp_fee_revenue + other.lmp_fee_revenue,
+        )
+
+
+def split_at(demand: DemandCurve, price: float, fee: float = 0.0) -> WelfareSplit:
+    """The welfare split for one CSP at a posted price and fee.
+
+    Identity (checked by tests): total = social_welfare(demand, price),
+    because W = CW + p·D and p·D = (p − t)·D + t·D.
+    """
+    if fee < 0:
+        raise EconError(f"fee cannot be negative: {fee}")
+    if price < fee:
+        raise EconError(f"price {price} below fee {fee}: CSP would sell at a loss")
+    quantity = demand.demand(price)
+    return WelfareSplit(
+        consumer_surplus=consumer_welfare(demand, price),
+        csp_profit=(price - fee) * quantity,
+        lmp_fee_revenue=fee * quantity,
+    )
+
+
+def welfare_split(csps: Sequence[CSP], fees: Dict[str, float]) -> WelfareSplit:
+    """Aggregate split over a CSP catalogue with per-CSP fees.
+
+    Each CSP posts its optimal price given its fee (Equation 1).
+    """
+    total = WelfareSplit(0.0, 0.0, 0.0)
+    for csp in csps:
+        fee = fees.get(csp.name, 0.0)
+        price = optimal_price(csp.demand, fee)
+        total = total + split_at(csp.demand, price, fee)
+    return total
+
+
+def competitive_price(demand: DemandCurve, intensity: float) -> float:
+    """Price under competition intensity κ: p(κ) = (1 − κ)·p_monopoly.
+
+    κ = 0 is the §4.2 monopoly benchmark; κ = 1 is Bertrand-style pricing
+    at (zero) marginal cost.  A reduced form, deliberately: §4.6 only
+    needs the direction of the comparative static.
+    """
+    if not 0.0 <= intensity <= 1.0:
+        raise EconError(f"intensity must be in [0, 1], got {intensity}")
+    return (1.0 - intensity) * optimal_price(demand, 0.0)
+
+
+def competition_sweep(
+    csps: Sequence[CSP], intensities: Sequence[float]
+) -> List[WelfareSplit]:
+    """Welfare splits along a competition grid (no fees: the NN world)."""
+    out: List[WelfareSplit] = []
+    for kappa in intensities:
+        total = WelfareSplit(0.0, 0.0, 0.0)
+        for csp in csps:
+            price = competitive_price(csp.demand, kappa)
+            total = total + split_at(csp.demand, price, 0.0)
+        out.append(total)
+    return out

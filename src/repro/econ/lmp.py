@@ -1,0 +1,78 @@
+"""Last-Mile Providers in the economic model.
+
+§4.2 assumes competition has settled into a short-term static partition:
+each consumer has exactly one LMP, so each LMP is the monopoly path to
+its own customers.  What differentiates LMPs in the bargaining model is
+
+- ``num_customers`` (market share, the weights n_l of the averaging
+  formula), and
+- ``vulnerability`` γ_l — the rate at which the LMP loses customers when
+  a CSP is blocked on its network.  §4.5: r will "presumably be smaller
+  if l is a well-established incumbent than if it is a newly established
+  LMP"; we factor r_l^s = γ_l · β_s with β_s the CSP's stickiness
+  (derived from its incumbency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import EconError
+from repro.econ.csp import CSP
+
+
+@dataclass
+class LMP:
+    """An eyeball network attached to the POC."""
+
+    name: str
+    num_customers: float
+    access_price: float
+    #: γ_l ∈ [0, 1]: fraction of a blocked CSP's subscribers who leave
+    #: this LMP over the bargaining horizon.  Incumbents are low.
+    vulnerability: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.num_customers <= 0:
+            raise EconError(f"num_customers must be positive: {self.num_customers}")
+        if self.access_price < 0:
+            raise EconError(f"access price cannot be negative: {self.access_price}")
+        if not 0.0 <= self.vulnerability <= 1.0:
+            raise EconError(
+                f"vulnerability must be in [0, 1], got {self.vulnerability}"
+            )
+
+    def churn_rate(self, csp: CSP) -> float:
+        """r_l^s: customers lost per blocked subscriber of CSP s.
+
+        Factored as γ_l · β_s: an entrant LMP blocking a beloved incumbent
+        CSP bleeds customers; an incumbent LMP blocking a fringe CSP loses
+        almost none.  β_s equals the CSP's incumbency.
+        """
+        return self.vulnerability * csp.incumbency
+
+    def access_revenue(self) -> float:
+        """Monthly access revenue from its own customers, n_l · c_l."""
+        return self.num_customers * self.access_price
+
+
+def incumbent(name: str = "incumbent-lmp", *, num_customers: float = 1.0,
+              access_price: float = 50.0) -> LMP:
+    """A stylized incumbent: large, hard to leave (low vulnerability)."""
+    return LMP(
+        name=name,
+        num_customers=num_customers,
+        access_price=access_price,
+        vulnerability=0.05,
+    )
+
+
+def entrant(name: str = "entrant-lmp", *, num_customers: float = 0.1,
+            access_price: float = 40.0) -> LMP:
+    """A stylized entrant: small, easy to leave (high vulnerability)."""
+    return LMP(
+        name=name,
+        num_customers=num_customers,
+        access_price=access_price,
+        vulnerability=0.5,
+    )

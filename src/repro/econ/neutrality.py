@@ -1,0 +1,48 @@
+"""The network-neutrality (NN) regime of §4.3.
+
+With termination fees prohibited, "LMPs have their customers, CSPs set
+their prices to maximize revenue, and there are no complications": each
+CSP posts p*_s = argmax p·D_s(p) and social welfare is Σ_s ∫_{p*_s} v dF_s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.econ.csp import CSP
+from repro.econ.welfare import consumer_welfare, social_welfare
+
+
+@dataclass(frozen=True)
+class NNOutcome:
+    """Prices, revenues, and welfare under network neutrality."""
+
+    prices: Dict[str, float]
+    csp_revenues: Dict[str, float]
+    social_welfare: float
+    consumer_welfare: float
+
+    @property
+    def total_csp_revenue(self) -> float:
+        return sum(self.csp_revenues.values())
+
+
+def nn_outcome(csps: Sequence[CSP]) -> NNOutcome:
+    """Solve the NN regime for a catalogue of independent CSPs."""
+    prices: Dict[str, float] = {}
+    revenues: Dict[str, float] = {}
+    sw = 0.0
+    cw = 0.0
+    for csp in csps:
+        p = csp.price(fee=0.0)
+        prices[csp.name] = p
+        revenues[csp.name] = csp.profit(fee=0.0, price=p)
+        sw += social_welfare(csp.demand, p)
+        cw += consumer_welfare(csp.demand, p)
+    return NNOutcome(
+        prices=prices,
+        csp_revenues=revenues,
+        social_welfare=sw,
+        consumer_welfare=cw,
+    )

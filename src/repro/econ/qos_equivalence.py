@@ -1,0 +1,119 @@
+"""QoS degradation as an implicit termination fee (§4.1's closing remark).
+
+"imposing poor QoS on incoming traffic reduces the value of that traffic
+to users, so it can be seen as a form of termination fee."
+
+We make that precise in the §4 model.  Suppose an LMP degrades a CSP's
+traffic so each consumer's value falls from v to δ·v (quality factor
+δ ∈ (0, 1]).  A consumer buys iff δ·v ≥ p, so demand becomes
+D_δ(p) = D(p/δ): degradation is exactly a *price inflation* of 1/δ.  The
+CSP's problem max_p p·D(p/δ) substitutes q = p/δ into δ · max_q q·D(q):
+the optimal *effective* price q* equals the undegraded monopoly price,
+revenue scales by δ, and welfare equals that of an undegraded market at
+price q* — but throttled markets monetize worse for everyone, which is
+why an LMP prefers an explicit fee when it can charge one.
+
+:func:`equivalent_fee` answers the §4.1 question directly: the explicit
+termination fee t(δ) that leaves the CSP with the same profit as quality
+degradation δ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from scipy.optimize import brentq
+
+from repro.exceptions import EconError
+from repro.econ.csp import optimal_price, profit
+from repro.econ.demand import DemandCurve
+
+
+def degraded_demand(demand: DemandCurve, price: float, quality: float) -> float:
+    """D_δ(p) = D(p/δ): demand when per-consumer value is scaled by δ."""
+    if not 0.0 < quality <= 1.0:
+        raise EconError(f"quality must be in (0, 1], got {quality}")
+    if price < 0:
+        raise EconError(f"price cannot be negative: {price}")
+    return demand.demand(price / quality)
+
+
+def degraded_optimal_price(demand: DemandCurve, quality: float) -> float:
+    """argmax_p p · D(p/δ) = δ · p*(0): the scaled monopoly price."""
+    if not 0.0 < quality <= 1.0:
+        raise EconError(f"quality must be in (0, 1], got {quality}")
+    return quality * optimal_price(demand, 0.0)
+
+
+def degraded_profit(demand: DemandCurve, quality: float) -> float:
+    """The CSP's best profit under degradation δ: δ · π*(0)."""
+    p_star = optimal_price(demand, 0.0)
+    return quality * profit(demand, p_star, 0.0)
+
+
+@dataclass(frozen=True)
+class QoSEquivalence:
+    """The fee equivalent of a quality degradation."""
+
+    quality: float
+    degraded_csp_profit: float
+    equivalent_fee: float
+    fee_price: float
+    #: Welfare under degradation vs under the equivalent explicit fee.
+    degraded_welfare: float
+    fee_welfare: float
+
+    @property
+    def welfare_gap(self) -> float:
+        """Fee welfare − degraded welfare (≥ 0: explicit fees waste less)."""
+        return self.fee_welfare - self.degraded_welfare
+
+
+def equivalent_fee(demand: DemandCurve, quality: float) -> QoSEquivalence:
+    """The explicit termination fee giving the CSP the same profit as a
+    quality degradation of δ.
+
+    Degraded profit is δ·π*(0); CSP profit under fee t is
+    (p*(t) − t)·D(p*(t)), which decreases continuously from π*(0) at
+    t = 0, so a matching t exists for every δ ∈ (0, 1].
+    """
+    if not 0.0 < quality <= 1.0:
+        raise EconError(f"quality must be in (0, 1], got {quality}")
+    from repro.econ.welfare import social_welfare
+
+    target = degraded_profit(demand, quality)
+
+    def gap(t: float) -> float:
+        p = optimal_price(demand, t)
+        return (p - t) * demand.demand(p) - target
+
+    if quality == 1.0:
+        fee = 0.0
+    else:
+        hi = demand.price_ceiling
+        # gap(0) = π*(0) − δ·π*(0) >= 0; find where it crosses zero.
+        lo_val = gap(0.0)
+        if lo_val <= 1e-15:
+            fee = 0.0
+        else:
+            # Expand until the bracket is valid (profit → 0 as t grows).
+            while gap(hi) > 0:
+                hi *= 2.0
+                if hi > 1e9:
+                    raise EconError("cannot bracket the equivalent fee")
+            fee = float(brentq(gap, 0.0, hi, xtol=1e-10))
+
+    fee_price = optimal_price(demand, fee)
+    # Welfare under degradation: consumers buying at price p get value
+    # δ·v with δ·v >= p, i.e. v >= p/δ: W = δ · W_undegraded(p/δ), and
+    # with p = δ·p*(0) the effective cutoff is p*(0).
+    p0 = optimal_price(demand, 0.0)
+    degraded_w = quality * social_welfare(demand, p0)
+    return QoSEquivalence(
+        quality=quality,
+        degraded_csp_profit=target,
+        equivalent_fee=fee,
+        fee_price=fee_price,
+        degraded_welfare=degraded_w,
+        fee_welfare=social_welfare(demand, fee_price),
+    )

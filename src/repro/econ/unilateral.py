@@ -1,0 +1,93 @@
+"""The unregulated regime with unilaterally-set fees (§4.4).
+
+Double marginalization: knowing the CSP will respond with p*(t), each LMP
+sets
+
+    t* = argmax_t t · D(p*(t))
+
+All LMPs do the same computation, so fees are uniform across LMPs.  The
+chain "fees ↑ ⇒ prices ↑ ⇒ welfare ↓" is the section's core result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from scipy.optimize import minimize_scalar
+
+from repro.exceptions import EconError
+from repro.econ.csp import CSP, optimal_price
+from repro.econ.demand import DemandCurve, ExponentialDemand, LinearDemand
+from repro.econ.welfare import consumer_welfare, social_welfare
+
+
+def optimal_unilateral_fee(demand: DemandCurve) -> float:
+    """The LMP's revenue-maximizing termination fee t* for one CSP.
+
+    Closed forms: linear demand gives t* = v/2 (hence p* = 3v/4);
+    exponential gives t* = s (hence p* = 2s).  Other families are solved
+    numerically over [0, price_ceiling].
+    """
+    if isinstance(demand, LinearDemand):
+        return demand.v_max / 2.0
+    if isinstance(demand, ExponentialDemand):
+        return demand.scale
+
+    def neg_lmp_revenue(t: float) -> float:
+        return -t * demand.demand(optimal_price(demand, t))
+
+    result = minimize_scalar(
+        neg_lmp_revenue, bounds=(0.0, demand.price_ceiling), method="bounded"
+    )
+    if not result.success:  # pragma: no cover - 'bounded' always succeeds
+        raise EconError(f"fee optimization failed: {result.message}")
+    return float(result.x)
+
+
+@dataclass(frozen=True)
+class UROutcome:
+    """Per-CSP fees/prices and welfare under unilateral fee setting."""
+
+    fees: Dict[str, float]
+    prices: Dict[str, float]
+    csp_revenues: Dict[str, float]
+    lmp_fee_revenues: Dict[str, float]
+    social_welfare: float
+    consumer_welfare: float
+
+    @property
+    def total_fee_revenue(self) -> float:
+        return sum(self.lmp_fee_revenues.values())
+
+    @property
+    def total_csp_revenue(self) -> float:
+        return sum(self.csp_revenues.values())
+
+
+def unilateral_outcome(csps: Sequence[CSP]) -> UROutcome:
+    """Solve the UR regime with unilateral (double-marginalized) fees."""
+    fees: Dict[str, float] = {}
+    prices: Dict[str, float] = {}
+    csp_rev: Dict[str, float] = {}
+    lmp_rev: Dict[str, float] = {}
+    sw = 0.0
+    cw = 0.0
+    for csp in csps:
+        t = optimal_unilateral_fee(csp.demand)
+        p = optimal_price(csp.demand, t)
+        d = csp.demand.demand(p)
+        fees[csp.name] = t
+        prices[csp.name] = p
+        csp_rev[csp.name] = (p - t) * d
+        lmp_rev[csp.name] = t * d
+        sw += social_welfare(csp.demand, p)
+        cw += consumer_welfare(csp.demand, p)
+    return UROutcome(
+        fees=fees,
+        prices=prices,
+        csp_revenues=csp_rev,
+        lmp_fee_revenues=lmp_rev,
+        social_welfare=sw,
+        consumer_welfare=cw,
+    )

@@ -1,0 +1,59 @@
+"""Welfare accounting for the Section 4 model.
+
+Social welfare at a posted price p is the total utility of the consumers
+who buy (§4.3):
+
+    W(p) = ∫_p^∞ v dF(v) = p·D(p) + ∫_p^∞ D(v) dv
+
+(payments are a pure transfer, so W counts gross utility).  Consumer
+welfare nets out the payment:
+
+    CW(p) = ∫_p^∞ (v − p) dF(v) = ∫_p^∞ D(v) dv
+
+and producer revenue is p·D(p), so W = CW + revenue, an identity the
+tests verify.  Welfare is monotone decreasing in p — "every increase in
+price p_s potentially causes some consumers to not purchase" — which is
+the engine of all the paper's conclusions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from repro.exceptions import EconError
+from repro.econ.demand import DemandCurve
+
+
+def consumer_welfare(demand: DemandCurve, price: float) -> float:
+    """CW(p) = ∫_p^∞ D(v) dv."""
+    if price < 0:
+        raise EconError(f"price cannot be negative: {price}")
+    return demand.tail_integral(price)
+
+
+def social_welfare(demand: DemandCurve, price: float) -> float:
+    """W(p) = p·D(p) + ∫_p^∞ D(v) dv."""
+    if price < 0:
+        raise EconError(f"price cannot be negative: {price}")
+    return price * demand.demand(price) + demand.tail_integral(price)
+
+
+def total_social_welfare(
+    demands_and_prices: Iterable[Tuple[DemandCurve, float]]
+) -> float:
+    """Σ_s W_s(p_s) over the CSP catalogue (goods are independent, §4.2)."""
+    return sum(social_welfare(d, p) for d, p in demands_and_prices)
+
+
+def welfare_loss(demand: DemandCurve, price: float, reference_price: float) -> float:
+    """W(reference) − W(price): the deadweight cost of pricing above the
+    reference (typically the NN monopoly price vs a fee-inflated price)."""
+    return social_welfare(demand, reference_price) - social_welfare(demand, price)
+
+
+def deadweight_fraction(demand: DemandCurve, price: float, reference_price: float) -> float:
+    """Welfare loss as a fraction of the reference welfare."""
+    ref = social_welfare(demand, reference_price)
+    if ref <= 0:
+        raise EconError("reference welfare must be positive")
+    return welfare_loss(demand, price, reference_price) / ref

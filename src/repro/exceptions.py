@@ -1,0 +1,100 @@
+"""Exception hierarchy for the POC reproduction library.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  Subsystem-specific
+subclasses make it possible to distinguish *why* an operation failed without
+parsing message strings.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TopologyError(ReproError):
+    """A topology is malformed or an operation on it is invalid."""
+
+
+class UnknownNodeError(TopologyError):
+    """A node id was referenced that does not exist in the network."""
+
+    def __init__(self, node_id: object) -> None:
+        super().__init__(f"unknown node: {node_id!r}")
+        self.node_id = node_id
+
+
+class UnknownLinkError(TopologyError):
+    """A link id was referenced that does not exist in the network."""
+
+    def __init__(self, link_id: object) -> None:
+        super().__init__(f"unknown link: {link_id!r}")
+        self.link_id = link_id
+
+
+class DuplicateIdError(TopologyError):
+    """An id was added twice to a container that requires uniqueness."""
+
+
+class TrafficError(ReproError):
+    """A traffic matrix is malformed or inconsistent with a topology."""
+
+
+class FlowError(ReproError):
+    """A flow computation failed (infeasible input, solver failure...)."""
+
+
+class InfeasibleError(FlowError):
+    """The requested traffic cannot be carried by the given links."""
+
+
+class AuctionError(ReproError):
+    """The auction received malformed bids or could not clear."""
+
+
+class NoFeasibleSelectionError(AuctionError):
+    """No subset of the offered links satisfies the POC's constraints."""
+
+
+class BidError(AuctionError):
+    """A bandwidth provider's bid is malformed."""
+
+
+class EconError(ReproError):
+    """An economic-model computation received invalid parameters."""
+
+
+class DemandError(EconError):
+    """A demand curve is malformed (negative, non-monotone...)."""
+
+
+class BargainingError(EconError):
+    """A Nash-bargaining computation has no valid agreement region."""
+
+
+class MarketError(ReproError):
+    """The agent-based market simulator was misconfigured."""
+
+
+class LedgerError(MarketError):
+    """A ledger operation would violate double-entry invariants."""
+
+
+class PolicyError(ReproError):
+    """An interdomain routing policy is invalid or inconsistent."""
+
+
+class NeutralityViolation(ReproError):
+    """An LMP action violates the POC terms-of-service (Section 3.4).
+
+    Raised (or collected, depending on enforcement mode) when an LMP
+    differentially treats traffic based on source, destination, or
+    application, or differentially offers CDN/enhancement services.
+    """
+
+    def __init__(self, actor: str, clause: str, detail: str) -> None:
+        super().__init__(f"{actor} violates ToS clause {clause}: {detail}")
+        self.actor = actor
+        self.clause = clause
+        self.detail = detail

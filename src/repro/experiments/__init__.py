@@ -1,0 +1,17 @@
+"""Packaged experiments: the paper's figures/tables as runnable pipelines.
+
+Each module wires the substrates into one experiment from the DESIGN.md
+index, shared between the CLI and the benchmark suite so both always run
+the same code.
+"""
+
+from repro.experiments.figure2 import Figure2Config, Figure2Result, run_figure2
+from repro.experiments.pipeline import offers_for_zoo, traffic_for_zoo
+
+__all__ = [
+    "Figure2Config",
+    "Figure2Result",
+    "run_figure2",
+    "offers_for_zoo",
+    "traffic_for_zoo",
+]

@@ -1,0 +1,131 @@
+"""Figure 2: payment-over-bid margins of the five largest BPs.
+
+The paper's only quantitative figure: run the bandwidth auction over the
+(synthetic) zoo under Constraints #1, #2, and #3, and report
+PoB = (P_α − C_α)/C_α for the five largest BPs, ordered by decreasing
+size.  The reproduction target is the *shape*: PoB ≥ 0 everywhere
+(individual rationality), high variation across BPs and constraints, and
+weakly higher total cost as constraints tighten.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.auction.constraints import make_constraint
+from repro.auction.metrics import (
+    AuctionSummary,
+    PoBRow,
+    format_summary_table,
+    pob_rows,
+    pob_variation,
+    summarize,
+)
+from repro.auction.vcg import AuctionConfig, AuctionResult, run_auction
+from repro.experiments.pipeline import offers_for_zoo, traffic_for_zoo
+from repro.topology.zoo import ZooConfig, ZooResult, build_zoo
+
+#: Feasibility engine per constraint: exact LP where affordable, the
+#: greedy heuristic where the scenario fan-out makes the LP prohibitive.
+DEFAULT_ENGINES = {1: "mcf", 2: "greedy", 3: "greedy"}
+
+
+@dataclass(frozen=True)
+class Figure2Config:
+    """Parameters of a Figure 2 run."""
+
+    preset: str = "tiny"
+    seed: int = 2020
+    constraints: Tuple[int, ...] = (1, 2, 3)
+    tm_model: str = "gravity"
+    load_fraction: float = 0.02
+    method: str = "add-prune"
+    top_bps: int = 5
+    engines: Optional[Dict[int, str]] = None
+
+    def zoo_config(self) -> ZooConfig:
+        presets = {
+            "tiny": ZooConfig.tiny,
+            "small": ZooConfig.small,
+            "paper": ZooConfig.paper,
+        }
+        return presets[self.preset](seed=self.seed)
+
+    def engine_for(self, constraint: int) -> str:
+        return (self.engines or DEFAULT_ENGINES).get(constraint, "greedy")
+
+
+@dataclass
+class Figure2Result:
+    """The figure's data plus run diagnostics."""
+
+    config: Figure2Config
+    zoo: ZooResult
+    largest_bps: List[str]
+    results: Dict[str, AuctionResult]
+    rows: List[PoBRow]
+    summaries: List[AuctionSummary]
+
+    def pob(self, constraint_name: str, bp: str) -> Optional[float]:
+        for row in self.rows:
+            if row.constraint == constraint_name and row.provider == bp:
+                return row.pob
+        raise KeyError(f"no row for {constraint_name}/{bp}")
+
+    def variation(self) -> Dict[str, float]:
+        return pob_variation(self.rows)
+
+    def formatted(self) -> str:
+        lines = [
+            f"Figure 2 reproduction — preset={self.config.preset} "
+            f"seed={self.config.seed} method={self.config.method}",
+            f"zoo: {len(self.zoo.bps)} BPs, {len(self.zoo.sites)} POC sites, "
+            f"{self.zoo.num_logical_links} logical links",
+            "",
+            format_summary_table(self.summaries),
+            "",
+            f"PoB margins, {len(self.largest_bps)} largest BPs "
+            f"(decreasing size: {', '.join(self.largest_bps)}):",
+        ]
+        lines.extend(row.formatted() for row in self.rows)
+        var = self.variation()
+        lines.append(
+            f"PoB spread: min={var['min']:.3f} max={var['max']:.3f} "
+            f"range={var['spread']:.3f}"
+        )
+        return "\n".join(lines)
+
+
+def run_figure2(config: Figure2Config) -> Figure2Result:
+    """Run the full Figure 2 pipeline from one config."""
+    zoo = build_zoo(config.zoo_config())
+    tm = traffic_for_zoo(
+        zoo, load_fraction=config.load_fraction, model=config.tm_model,
+        seed=config.seed,
+    )
+    offers = offers_for_zoo(zoo, seed=config.seed + 7)
+    largest = zoo.largest_bps(config.top_bps)
+
+    results: Dict[str, AuctionResult] = {}
+    summaries: List[AuctionSummary] = []
+    for number in config.constraints:
+        constraint = make_constraint(
+            number, zoo.offered, tm, engine=config.engine_for(number)
+        )
+        result = run_auction(
+            offers, constraint, config=AuctionConfig(method=config.method)
+        )
+        name = constraint.name
+        results[name] = result
+        summaries.append(summarize(name, zoo.num_logical_links, result))
+
+    rows = pob_rows(results, largest)
+    return Figure2Result(
+        config=config,
+        zoo=zoo,
+        largest_bps=largest,
+        results=results,
+        rows=rows,
+        summaries=summaries,
+    )

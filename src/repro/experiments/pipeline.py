@@ -1,0 +1,94 @@
+"""Shared plumbing: zoo → traffic matrix → offers.
+
+Every auction experiment starts the same way; keeping the plumbing here
+guarantees the CLI, tests, and benchmarks agree on the workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.auction.provider import Offer, offer_from_logical_links
+from repro.rand import SeedLike, make_rng
+from repro.topology.zoo import ZooResult
+from repro.traffic.gravity import gravity_matrix_for_sites
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.synthetic import hotspot_matrix, uniform_matrix
+
+#: Offered load as a fraction of total offered capacity.  Low enough that
+#: acceptable sets exist under all three constraints, high enough that
+#: selection is non-trivial (links actually compete).
+DEFAULT_LOAD_FRACTION = 0.02
+
+
+def traffic_for_zoo(
+    zoo: ZooResult,
+    *,
+    load_fraction: float = DEFAULT_LOAD_FRACTION,
+    model: str = "gravity",
+    seed: SeedLike = None,
+) -> TrafficMatrix:
+    """The experiment TM over a zoo's POC sites.
+
+    ``model`` is ``"gravity"`` (default, population-massed), ``"uniform"``,
+    or ``"hotspot"`` (for the TM ablation).
+    """
+    total = zoo.offered.total_capacity_gbps() * load_fraction
+    nodes = [site.router_id for site in zoo.sites]
+    if model == "gravity":
+        return gravity_matrix_for_sites(zoo.sites, total_gbps=total)
+    if model == "uniform":
+        return uniform_matrix(nodes, total)
+    if model == "hotspot":
+        return hotspot_matrix(nodes, total, seed=seed)
+    raise ValueError(f"unknown TM model {model!r}")
+
+
+def offers_for_zoo(
+    zoo: ZooResult,
+    *,
+    seed: SeedLike = 7,
+    efficiency_range: tuple = (0.8, 1.3),
+    cost_noise: float = 0.15,
+    margin: float = 0.0,
+    discount_tiers: tuple = (),
+) -> List[Offer]:
+    """Truthful (by default) offers for every BP with at least one link.
+
+    Each BP draws an efficiency multiplier (its plant quality) and
+    idiosyncratic per-link cost noise from the experiment seed, so the
+    whole workload is reproducible from one integer.  ``discount_tiers``
+    (e.g. ``((5, 0.05), (15, 0.12))``) wraps every bid in a
+    volume-discount schedule — the paper's non-additive bid language in
+    the full pipeline.  Note the MILP reference engine only accepts the
+    default additive bids.
+    """
+    rng = make_rng(seed)
+    offers: List[Offer] = []
+    for bp, logical_links in sorted(zoo.offers_by_bp.items()):
+        if not logical_links:
+            continue
+        efficiency = float(rng.uniform(*efficiency_range))
+        offer = offer_from_logical_links(
+            bp,
+            logical_links,
+            efficiency=efficiency,
+            cost_noise=cost_noise,
+            margin=margin,
+            seed=rng,
+        )
+        if discount_tiers:
+            from repro.auction.bids import AdditiveCost, VolumeDiscountCost
+
+            assert isinstance(offer.true_cost, AdditiveCost)
+            discounted = VolumeDiscountCost(
+                offer.true_cost.prices, tiers=tuple(discount_tiers)
+            )
+            offer = Offer(
+                provider=offer.provider,
+                links=offer.links,
+                bid=discounted,
+                true_cost=discounted,
+            )
+        offers.append(offer)
+    return offers

@@ -1,0 +1,27 @@
+"""The status-quo interdomain substrate the paper argues against (§2.1).
+
+A small but real BGP policy simulator: AS-level topology with
+customer/provider/peer relationships, Gao–Rexford route selection and
+export (valley-free paths, customer > peer > provider preference), and a
+transit-pricing layer.  Benchmarks use it as the baseline against which
+the POC's properties (open attachment, no termination-fee exposure, no
+transit from competitors) are compared.
+"""
+
+from repro.interdomain.relationships import ASGraph, Relationship
+from repro.interdomain.bgp import Route, RouteType, routes_to
+from repro.interdomain.disputes import DisputeScenario, depeer, reachability_impact
+from repro.interdomain.transit import TransitMarket, TransitQuote
+
+__all__ = [
+    "ASGraph",
+    "Relationship",
+    "Route",
+    "RouteType",
+    "routes_to",
+    "DisputeScenario",
+    "depeer",
+    "reachability_impact",
+    "TransitMarket",
+    "TransitQuote",
+]

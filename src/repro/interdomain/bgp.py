@@ -1,0 +1,155 @@
+"""Gao–Rexford route computation.
+
+The classic model of BGP policy routing (§2.1's "transitive" policies):
+
+- **Export**: routes learned from customers are exported to everyone;
+  routes learned from peers or providers are exported only to customers.
+  Valley-free paths follow.
+- **Selection**: prefer customer routes over peer routes over provider
+  routes; break ties by AS-path length, then lowest next-hop name.
+
+The computation runs in the standard three phases from the destination
+outward: customer routes first (up provider edges), then one peer hop,
+then provider routes flooding down customer edges.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import PolicyError
+from repro.interdomain.relationships import ASGraph, Relationship
+
+
+class RouteType(enum.IntEnum):
+    """Route classes in preference order (lower value = preferred)."""
+
+    CUSTOMER = 0
+    PEER = 1
+    PROVIDER = 2
+
+
+@dataclass(frozen=True)
+class Route:
+    """One AS's best route to the destination."""
+
+    destination: str
+    path: Tuple[str, ...]  # from this AS to the destination, inclusive
+    route_type: RouteType
+
+    @property
+    def as_path_length(self) -> int:
+        return len(self.path) - 1
+
+    @property
+    def next_hop(self) -> str:
+        if len(self.path) < 2:
+            raise PolicyError("the destination itself has no next hop")
+        return self.path[1]
+
+
+def _better(a: Route, b: Route) -> bool:
+    """True if a is strictly preferred to b under Gao–Rexford."""
+    ka = (a.route_type, a.as_path_length, a.path[1] if len(a.path) > 1 else "")
+    kb = (b.route_type, b.as_path_length, b.path[1] if len(b.path) > 1 else "")
+    return ka < kb
+
+
+def routes_to(graph: ASGraph, destination: str) -> Dict[str, Route]:
+    """Best Gao–Rexford route from every AS to ``destination``.
+
+    ASes with no policy-compliant path are absent from the result — the
+    fragmentation failure mode §3.4 worries about.
+    """
+    if not graph.has_as(destination):
+        raise PolicyError(f"unknown destination AS: {destination}")
+
+    best: Dict[str, Route] = {
+        destination: Route(destination, (destination,), RouteType.CUSTOMER)
+    }
+
+    # Phase 1 — customer routes: propagate from the destination up
+    # provider edges.  A node u learns a customer route when a customer
+    # of u has any customer route (or is the destination).  Dijkstra-like
+    # expansion ordered by path length keeps tie-breaking deterministic.
+    heap: List[Tuple[int, str, Tuple[str, ...]]] = [(0, destination, (destination,))]
+    while heap:
+        dist, node, path = heapq.heappop(heap)
+        for provider in graph.providers_of(node):
+            candidate = Route(destination, (provider,) + path, RouteType.CUSTOMER)
+            incumbent = best.get(provider)
+            if incumbent is None or _better(candidate, incumbent):
+                best[provider] = candidate
+                heapq.heappush(heap, (dist + 1, provider, candidate.path))
+
+    customer_holders = dict(best)
+
+    # Phase 2 — peer routes: one peer hop onto a customer route.  Peer
+    # routes are not re-exported to peers/providers, so a single hop is
+    # exactly the reach.
+    for node, route in sorted(customer_holders.items()):
+        for peer in graph.peers_of(node):
+            candidate = Route(destination, (peer,) + route.path, RouteType.PEER)
+            incumbent = best.get(peer)
+            if incumbent is None or _better(candidate, incumbent):
+                best[peer] = candidate
+
+    # Phase 3 — provider routes: anything routable is exported to
+    # customers, recursively.  BFS down customer edges from every holder.
+    frontier = sorted(best)
+    while frontier:
+        next_frontier: List[str] = []
+        for node in frontier:
+            route = best[node]
+            for customer in graph.customers_of(node):
+                candidate = Route(
+                    destination, (customer,) + route.path, RouteType.PROVIDER
+                )
+                incumbent = best.get(customer)
+                if incumbent is None or _better(candidate, incumbent):
+                    best[customer] = candidate
+                    next_frontier.append(customer)
+        frontier = sorted(set(next_frontier))
+
+    return best
+
+
+def is_valley_free(graph: ASGraph, path: Tuple[str, ...]) -> bool:
+    """Check the Gao–Rexford validity of an AS path.
+
+    A valid path is zero or more customer→provider ("up") hops, at most
+    one peer hop, then zero or more provider→customer ("down") hops.
+    """
+    if len(path) < 2:
+        return True
+    # Phase encoding: 0 = climbing, 1 = after peer hop, 2 = descending.
+    phase = 0
+    for a, b in zip(path, path[1:]):
+        rel = graph.relationship(a, b)
+        if rel is None:
+            return False
+        if rel is Relationship.PROVIDER:  # up
+            if phase != 0:
+                return False
+        elif rel is Relationship.PEER:
+            if phase != 0:
+                return False
+            phase = 1
+        else:  # down (b is a's customer)
+            phase = 2
+    return True
+
+
+def reachability_matrix(graph: ASGraph) -> Dict[Tuple[str, str], bool]:
+    """Which ordered AS pairs can reach each other under policy routing."""
+    out: Dict[Tuple[str, str], bool] = {}
+    for dst in graph.as_names:
+        table = routes_to(graph, dst)
+        for src in graph.as_names:
+            if src == dst:
+                continue
+            out[(src, dst)] = src in table
+    return out

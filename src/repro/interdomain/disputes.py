@@ -1,0 +1,121 @@
+"""Peering disputes and de-peering fallout (§2.1, §3.4).
+
+§2.1's Netflix–Cogent–Comcast story and §3.4's fragmentation worry are
+both about the same mechanism: in a bilateral world, a failed negotiation
+removes an edge, and the *transitive* routing fabric decides who can
+still reach whom.  This module makes de-peering a first-class event:
+
+- :func:`depeer` — remove one relationship from an AS graph (immutably);
+- :func:`reachability_impact` — which ordered pairs lose connectivity;
+- :class:`DisputeScenario` — a scripted sequence of de-peerings with
+  cumulative damage accounting, used by the baseline comparisons (the
+  POC's open-attachment fabric has no analogous failure mode: §3.4
+  requires all attached LMPs to exchange traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import PolicyError
+from repro.interdomain.bgp import reachability_matrix
+from repro.interdomain.relationships import ASGraph, Relationship
+
+
+def copy_graph(graph: ASGraph) -> ASGraph:
+    """Deep-copy an AS graph (relationship edits should never mutate a
+    shared topology)."""
+    out = ASGraph()
+    for name in graph.as_names:
+        out.add_as(name, graph.kind(name))
+    for a in graph.as_names:
+        for b in graph.neighbors(a):
+            if a < b:
+                out.link(a, b, graph.relationship(a, b))
+    return out
+
+
+def depeer(graph: ASGraph, a: str, b: str) -> ASGraph:
+    """A copy of the graph with the a–b relationship dissolved."""
+    if graph.relationship(a, b) is None:
+        raise PolicyError(f"{a} and {b} are not interconnected")
+    out = ASGraph()
+    for name in graph.as_names:
+        out.add_as(name, graph.kind(name))
+    for x in graph.as_names:
+        for y in graph.neighbors(x):
+            if x < y and {x, y} != {a, b}:
+                out.link(x, y, graph.relationship(x, y))
+    return out
+
+
+@dataclass(frozen=True)
+class ReachabilityImpact:
+    """What one topology change did to policy reachability."""
+
+    lost_pairs: Tuple[Tuple[str, str], ...]
+    total_pairs: int
+
+    @property
+    def lost_fraction(self) -> float:
+        if self.total_pairs == 0:
+            return 0.0
+        return len(self.lost_pairs) / self.total_pairs
+
+    def strands(self, as_name: str) -> bool:
+        """True if the AS lost reachability to anyone."""
+        return any(as_name in pair for pair in self.lost_pairs)
+
+
+def reachability_impact(before: ASGraph, after: ASGraph) -> ReachabilityImpact:
+    """Ordered pairs reachable before but not after."""
+    matrix_before = reachability_matrix(before)
+    matrix_after = reachability_matrix(after)
+    lost = tuple(
+        sorted(
+            pair
+            for pair, ok in matrix_before.items()
+            if ok and not matrix_after.get(pair, False)
+        )
+    )
+    return ReachabilityImpact(lost_pairs=lost, total_pairs=len(matrix_before))
+
+
+@dataclass
+class DisputeScenario:
+    """A sequence of de-peering events applied to one starting graph."""
+
+    graph: ASGraph
+    events: List[Tuple[str, str]] = field(default_factory=list)
+
+    def add_dispute(self, a: str, b: str) -> None:
+        self.events.append((a, b))
+
+    def run(self) -> List[Tuple[Tuple[str, str], ReachabilityImpact]]:
+        """Apply events in order; returns per-event incremental impact."""
+        current = copy_graph(self.graph)
+        out: List[Tuple[Tuple[str, str], ReachabilityImpact]] = []
+        for a, b in self.events:
+            after = depeer(current, a, b)
+            out.append(((a, b), reachability_impact(current, after)))
+            current = after
+        return out
+
+    def cumulative_impact(self) -> ReachabilityImpact:
+        """Total damage of the whole sequence vs the starting graph."""
+        current = copy_graph(self.graph)
+        for a, b in self.events:
+            current = depeer(current, a, b)
+        return reachability_impact(self.graph, current)
+
+
+def single_homed_stubs(graph: ASGraph) -> List[str]:
+    """Stub/content ASes with exactly one provider — one dispute from
+    the §3.4 fragmentation scenario."""
+    out = []
+    for name in graph.as_names:
+        if graph.kind(name) in ("stub", "content"):
+            if len(graph.providers_of(name)) == 1 and not graph.peers_of(name):
+                out.append(name)
+    return out

@@ -1,0 +1,168 @@
+"""AS-level topology with business relationships.
+
+The Internet's interconnection fabric (§2.1): bilateral links that are
+either customer–provider (money flows up) or settlement-free peering.
+The graph stores, for every directed pair, what the *neighbor is to me*:
+my CUSTOMER, my PROVIDER, or my PEER.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.exceptions import PolicyError
+
+
+class Relationship(enum.Enum):
+    """What the neighbor is, from the local AS's point of view."""
+
+    CUSTOMER = "customer"
+    PROVIDER = "provider"
+    PEER = "peer"
+
+    @property
+    def inverse(self) -> "Relationship":
+        if self is Relationship.CUSTOMER:
+            return Relationship.PROVIDER
+        if self is Relationship.PROVIDER:
+            return Relationship.CUSTOMER
+        return Relationship.PEER
+
+
+@dataclass
+class ASGraph:
+    """An AS graph with typed edges and O(1) relationship lookups."""
+
+    _ases: Dict[str, str] = field(default_factory=dict)  # name -> kind
+    _rel: Dict[Tuple[str, str], Relationship] = field(default_factory=dict)
+
+    def add_as(self, name: str, kind: str = "stub") -> None:
+        """Register an AS; ``kind`` ∈ stub / transit / tier1 / content."""
+        if kind not in ("stub", "transit", "tier1", "content"):
+            raise PolicyError(f"unknown AS kind {kind!r}")
+        if name in self._ases:
+            raise PolicyError(f"AS already present: {name}")
+        self._ases[name] = kind
+
+    def has_as(self, name: str) -> bool:
+        return name in self._ases
+
+    def kind(self, name: str) -> str:
+        self._require(name)
+        return self._ases[name]
+
+    def _require(self, name: str) -> None:
+        if name not in self._ases:
+            raise PolicyError(f"unknown AS: {name}")
+
+    def link(self, a: str, b: str, rel_of_b_to_a: Relationship) -> None:
+        """Connect two ASes; ``rel_of_b_to_a`` is what b is to a.
+
+        ``graph.link("stub1", "transit1", Relationship.PROVIDER)`` reads
+        "transit1 is stub1's provider".
+        """
+        self._require(a)
+        self._require(b)
+        if a == b:
+            raise PolicyError(f"self-link at {a}")
+        if (a, b) in self._rel:
+            raise PolicyError(f"link already exists: {a}–{b}")
+        self._rel[(a, b)] = rel_of_b_to_a
+        self._rel[(b, a)] = rel_of_b_to_a.inverse
+
+    def relationship(self, a: str, b: str) -> Optional[Relationship]:
+        """What b is to a, or None if not adjacent."""
+        self._require(a)
+        self._require(b)
+        return self._rel.get((a, b))
+
+    def neighbors(self, name: str) -> List[str]:
+        self._require(name)
+        return sorted(b for (a, b) in self._rel if a == name)
+
+    def customers_of(self, name: str) -> List[str]:
+        return [
+            b for b in self.neighbors(name)
+            if self._rel[(name, b)] is Relationship.CUSTOMER
+        ]
+
+    def providers_of(self, name: str) -> List[str]:
+        return [
+            b for b in self.neighbors(name)
+            if self._rel[(name, b)] is Relationship.PROVIDER
+        ]
+
+    def peers_of(self, name: str) -> List[str]:
+        return [
+            b for b in self.neighbors(name)
+            if self._rel[(name, b)] is Relationship.PEER
+        ]
+
+    @property
+    def as_names(self) -> List[str]:
+        return sorted(self._ases)
+
+    def __len__(self) -> int:
+        return len(self._ases)
+
+    def validate_hierarchy(self) -> List[str]:
+        """Sanity warnings: provider cycles make Gao–Rexford unstable.
+
+        Returns a list of human-readable issues (empty = clean).  Uses a
+        DFS over customer→provider edges to detect cycles.
+        """
+        issues: List[str] = []
+        color: Dict[str, int] = {}
+
+        def dfs(node: str, stack: List[str]) -> None:
+            color[node] = 1
+            for provider in self.providers_of(node):
+                if color.get(provider, 0) == 1:
+                    cycle = stack[stack.index(provider):] if provider in stack else [provider]
+                    issues.append(f"provider cycle: {' -> '.join(cycle + [provider])}")
+                elif color.get(provider, 0) == 0:
+                    dfs(provider, stack + [provider])
+            color[node] = 2
+
+        for name in self.as_names:
+            if color.get(name, 0) == 0:
+                dfs(name, [name])
+        return issues
+
+
+def small_internet() -> ASGraph:
+    """A reference topology: 2 tier-1s, 3 transits, stubs and content ASes.
+
+    Used in tests and the baseline benchmark.  Shape:
+
+        T1a ===peer=== T1b          (tier 1 backbone)
+        /  \\            |  \\
+      trA  trB         trC  (transits; trA–trB peer)
+       |    |           |
+     eyeball1..2     eyeball3       (stub eyeball networks)
+      content1 multihomes to trA and trC; content2 single-homes to trB.
+    """
+    g = ASGraph()
+    for name in ("T1a", "T1b"):
+        g.add_as(name, "tier1")
+    for name in ("trA", "trB", "trC"):
+        g.add_as(name, "transit")
+    for name in ("eyeball1", "eyeball2", "eyeball3"):
+        g.add_as(name, "stub")
+    for name in ("content1", "content2"):
+        g.add_as(name, "content")
+
+    g.link("T1a", "T1b", Relationship.PEER)
+    g.link("trA", "T1a", Relationship.PROVIDER)
+    g.link("trB", "T1a", Relationship.PROVIDER)
+    g.link("trC", "T1b", Relationship.PROVIDER)
+    g.link("trA", "trB", Relationship.PEER)
+    g.link("eyeball1", "trA", Relationship.PROVIDER)
+    g.link("eyeball2", "trB", Relationship.PROVIDER)
+    g.link("eyeball3", "trC", Relationship.PROVIDER)
+    g.link("content1", "trA", Relationship.PROVIDER)
+    g.link("content1", "trC", Relationship.PROVIDER)
+    g.link("content2", "trB", Relationship.PROVIDER)
+    return g

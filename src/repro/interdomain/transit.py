@@ -1,0 +1,174 @@
+"""Transit pricing in the status-quo world, and the POC comparison.
+
+§2.3: a new last-mile entrant "must either build their own core network
+(at significant cost ...) or contract with an ISP to provide transit. In
+many cases ... these transit ISPs are competing for the same last-mile
+market, and can use their transit pricing to put new competitors at a
+disadvantage."
+
+:class:`TransitMarket` prices transit contracts in the AS graph, with a
+configurable markup that competing transit providers apply to rivals.
+:func:`poc_vs_transit` quantifies the entrant's position in both worlds
+for the B1 baseline benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import PolicyError
+from repro.interdomain.bgp import routes_to
+from repro.interdomain.relationships import ASGraph, Relationship
+
+
+@dataclass(frozen=True)
+class TransitQuote:
+    """A provider's monthly quote to carry a customer's traffic."""
+
+    provider: str
+    customer: str
+    rate_per_gbps: float
+    competitor_markup: float
+
+    @property
+    def effective_rate(self) -> float:
+        return self.rate_per_gbps * (1.0 + self.competitor_markup)
+
+    def monthly(self, usage_gbps: float) -> float:
+        if usage_gbps < 0:
+            raise PolicyError(f"usage cannot be negative: {usage_gbps}")
+        return self.effective_rate * usage_gbps
+
+
+@dataclass
+class TransitMarket:
+    """Prices transit contracts in an AS graph.
+
+    ``base_rate_per_gbps`` is the competitive wholesale price;
+    ``competitor_markup`` is the extra margin a transit provider charges
+    a customer that competes with it in the last-mile market (the §2.3
+    squeeze).  Two ASes compete when both serve eyeballs: kinds ``stub``
+    (pure eyeball) and ``transit`` ASes flagged in ``eyeball_transits``.
+    """
+
+    graph: ASGraph
+    base_rate_per_gbps: float = 900.0
+    competitor_markup: float = 0.5
+    #: Transit ASes that also run last-mile/eyeball businesses.
+    eyeball_transits: Set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.base_rate_per_gbps < 0:
+            raise PolicyError("base rate cannot be negative")
+        if self.competitor_markup < 0:
+            raise PolicyError("markup cannot be negative")
+        for name in self.eyeball_transits:
+            if not self.graph.has_as(name):
+                raise PolicyError(f"unknown AS in eyeball_transits: {name}")
+
+    def competes_with_customer(self, provider: str, customer: str) -> bool:
+        """Does this provider compete with this customer for eyeballs?"""
+        provider_serves_eyeballs = provider in self.eyeball_transits
+        customer_serves_eyeballs = (
+            self.graph.kind(customer) == "stub" or customer in self.eyeball_transits
+        )
+        return provider_serves_eyeballs and customer_serves_eyeballs
+
+    def quote(self, provider: str, customer: str) -> TransitQuote:
+        """The provider's quote; markup applies only to competitors."""
+        rel = self.graph.relationship(customer, provider)
+        if rel is not Relationship.PROVIDER:
+            raise PolicyError(
+                f"{provider} is not a provider of {customer}; no transit to quote"
+            )
+        markup = (
+            self.competitor_markup
+            if self.competes_with_customer(provider, customer)
+            else 0.0
+        )
+        return TransitQuote(
+            provider=provider,
+            customer=customer,
+            rate_per_gbps=self.base_rate_per_gbps,
+            competitor_markup=markup,
+        )
+
+    def best_quote(self, customer: str) -> Optional[TransitQuote]:
+        """The cheapest quote among the customer's providers."""
+        quotes = [self.quote(p, customer) for p in self.graph.providers_of(customer)]
+        if not quotes:
+            return None
+        return min(quotes, key=lambda q: (q.effective_rate, q.provider))
+
+
+@dataclass(frozen=True)
+class EntrantPosition:
+    """An entrant's situation in one world (status quo or POC)."""
+
+    world: str
+    monthly_transit_cost: float
+    reaches_all_destinations: bool
+    pays_competitor: bool
+    termination_fee_exposure: bool
+
+
+def status_quo_position(
+    market: TransitMarket, entrant: str, usage_gbps: float
+) -> EntrantPosition:
+    """The entrant's position buying transit in the BGP world."""
+    quote = market.best_quote(entrant)
+    if quote is None:
+        return EntrantPosition(
+            world="status-quo",
+            monthly_transit_cost=float("inf"),
+            reaches_all_destinations=False,
+            pays_competitor=False,
+            termination_fee_exposure=True,
+        )
+    # Reachability under policy routing from the entrant.
+    reachable = all(
+        entrant in routes_to(market.graph, dst)
+        for dst in market.graph.as_names
+        if dst != entrant
+    )
+    return EntrantPosition(
+        world="status-quo",
+        monthly_transit_cost=quote.monthly(usage_gbps),
+        reaches_all_destinations=reachable,
+        pays_competitor=market.competes_with_customer(quote.provider, entrant),
+        # No federal prohibition on termination fees (§2.5).
+        termination_fee_exposure=True,
+    )
+
+
+def poc_position(
+    poc_rate_per_gbps: float, entrant: str, usage_gbps: float
+) -> EntrantPosition:
+    """The entrant's position attaching to the POC instead.
+
+    The POC charges cost-recovery transit, is nonprofit (never a
+    last-mile competitor), and its ToS prohibit termination fees.
+    """
+    if poc_rate_per_gbps < 0:
+        raise PolicyError("POC rate cannot be negative")
+    return EntrantPosition(
+        world="poc",
+        monthly_transit_cost=poc_rate_per_gbps * usage_gbps,
+        reaches_all_destinations=True,
+        pays_competitor=False,
+        termination_fee_exposure=False,
+    )
+
+
+def poc_vs_transit(
+    market: TransitMarket,
+    entrant: str,
+    usage_gbps: float,
+    poc_rate_per_gbps: float,
+) -> Dict[str, EntrantPosition]:
+    """Both worlds side by side for the B1 benchmark."""
+    return {
+        "status-quo": status_quo_position(market, entrant, usage_gbps),
+        "poc": poc_position(poc_rate_per_gbps, entrant, usage_gbps),
+    }

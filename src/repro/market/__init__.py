@@ -1,0 +1,34 @@
+"""Agent-based simulation of the POC ecosystem.
+
+The econ package solves the Section 4 model in closed form; this package
+*plays it out* over monthly epochs with explicit money flows, so the
+paper's qualitative claims — the POC breaks even, revenue aligns with
+value, UR advantages incumbents over entrants — can be observed rather
+than assumed:
+
+- :mod:`repro.market.ledger` — double-entry bookkeeping for every
+  transfer (consumer→CSP, consumer→LMP, CSP→LMP fees, LMP→POC transit,
+  POC→BP lease payments).
+- :mod:`repro.market.entities` — the agents.
+- :mod:`repro.market.entry` — entrant growth dynamics (incumbency builds
+  with profitable operation).
+- :mod:`repro.market.sim` — the epoch loop under the NN or UR regime.
+"""
+
+from repro.market.adoption import AdoptionConfig, simulate_adoption
+from repro.market.entities import ConsumerMass, CSPAgent, LMPAgent
+from repro.market.ledger import Account, Ledger
+from repro.market.sim import MarketConfig, MarketSim, Regime
+
+__all__ = [
+    "AdoptionConfig",
+    "simulate_adoption",
+    "ConsumerMass",
+    "CSPAgent",
+    "LMPAgent",
+    "Account",
+    "Ledger",
+    "MarketConfig",
+    "MarketSim",
+    "Regime",
+]

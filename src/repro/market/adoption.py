@@ -1,0 +1,164 @@
+"""POC adoption dynamics (§5: "Is such a change possible?").
+
+"the POC is ... incrementally deployable ... If more and more LMPs find
+the POC attractive ... then over time the POC can have a substantial
+impact" — and, via Spolsky's commoditize-your-complement argument, the
+POC's growth itself disciplines incumbent transit pricing.
+
+The model: each epoch, every unadopted LMP adopts the POC with a
+probability that rises with (i) the transit savings on offer and (ii)
+the share of LMPs already adopted (confidence — §5 says entrants "would
+be risking their own financial future on the fate of the POC").  As the
+POC's share grows, incumbent transit prices respond competitively, which
+feeds back into the savings term: the commoditization loop.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.exceptions import MarketError
+from repro.rand import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class AdoptionConfig:
+    """Parameters of the adoption process."""
+
+    num_lmps: int = 50
+    epochs: int = 60
+    #: Incumbent transit price at epoch 0 ($/Gbps/mo).
+    incumbent_price0: float = 1200.0
+    #: POC cost-recovery price (constant; nonprofit).
+    poc_price: float = 600.0
+    #: How strongly incumbents cut prices as the POC gains share:
+    #: p_t = p0 · (1 − response·share_t), floored at the POC price.
+    incumbent_response: float = 0.45
+    #: Baseline per-epoch adoption hazard with no savings and no peers.
+    base_hazard: float = 0.005
+    #: Hazard weight on relative savings (0..1 scale).
+    savings_weight: float = 0.10
+    #: Hazard weight on the adopted share (network confidence).
+    confidence_weight: float = 0.15
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_lmps < 1:
+            raise MarketError("need at least one LMP")
+        if self.epochs < 1:
+            raise MarketError("need at least one epoch")
+        if self.poc_price < 0 or self.incumbent_price0 <= 0:
+            raise MarketError("prices must be sensible")
+        if not 0.0 <= self.incumbent_response <= 1.0:
+            raise MarketError("incumbent_response must be in [0, 1]")
+        for name in ("base_hazard", "savings_weight", "confidence_weight"):
+            if getattr(self, name) < 0:
+                raise MarketError(f"{name} cannot be negative")
+
+
+@dataclass
+class AdoptionRecord:
+    """One epoch of the adoption trajectory."""
+
+    epoch: int
+    adopters: int
+    share: float
+    incumbent_price: float
+    savings_fraction: float
+    hazard: float
+
+
+@dataclass
+class AdoptionHistory:
+    records: List[AdoptionRecord] = field(default_factory=list)
+
+    def share_series(self) -> List[float]:
+        return [r.share for r in self.records]
+
+    def price_series(self) -> List[float]:
+        return [r.incumbent_price for r in self.records]
+
+    @property
+    def final_share(self) -> float:
+        return self.records[-1].share if self.records else 0.0
+
+    def epochs_to_share(self, target: float) -> Optional[int]:
+        """First epoch at which the adopted share reaches ``target``."""
+        for record in self.records:
+            if record.share >= target:
+                return record.epoch
+        return None
+
+
+def incumbent_price(config: AdoptionConfig, share: float) -> float:
+    """Competitive response: incumbents cut toward the POC floor."""
+    price = config.incumbent_price0 * (1.0 - config.incumbent_response * share)
+    return max(config.poc_price, price)
+
+
+def adoption_hazard(config: AdoptionConfig, share: float) -> float:
+    """Per-LMP per-epoch adoption probability at the current state."""
+    price = incumbent_price(config, share)
+    savings = (price - config.poc_price) / price if price > 0 else 0.0
+    hazard = (
+        config.base_hazard
+        + config.savings_weight * savings
+        + config.confidence_weight * share
+    )
+    return min(1.0, max(0.0, hazard))
+
+
+def simulate_adoption(config: AdoptionConfig) -> AdoptionHistory:
+    """Run the adoption process; deterministic under the config seed."""
+    rng = make_rng(config.seed)
+    adopted = 0
+    history = AdoptionHistory()
+    for epoch in range(config.epochs):
+        share = adopted / config.num_lmps
+        price = incumbent_price(config, share)
+        savings = (price - config.poc_price) / price if price > 0 else 0.0
+        hazard = adoption_hazard(config, share)
+        holdouts = config.num_lmps - adopted
+        if holdouts > 0:
+            new = int(rng.binomial(holdouts, hazard))
+            adopted += new
+        history.records.append(
+            AdoptionRecord(
+                epoch=epoch,
+                adopters=adopted,
+                share=adopted / config.num_lmps,
+                incumbent_price=price,
+                savings_fraction=savings,
+                hazard=hazard,
+            )
+        )
+    return history
+
+
+def expected_trajectory(config: AdoptionConfig) -> AdoptionHistory:
+    """The deterministic mean-field version (no sampling noise).
+
+    Useful for comparative statics: hazard applies fractionally to the
+    continuum of holdouts each epoch.
+    """
+    adopted = 0.0
+    history = AdoptionHistory()
+    for epoch in range(config.epochs):
+        share = adopted / config.num_lmps
+        price = incumbent_price(config, share)
+        savings = (price - config.poc_price) / price if price > 0 else 0.0
+        hazard = adoption_hazard(config, share)
+        adopted += (config.num_lmps - adopted) * hazard
+        history.records.append(
+            AdoptionRecord(
+                epoch=epoch,
+                adopters=int(round(adopted)),
+                share=adopted / config.num_lmps,
+                incumbent_price=price,
+                savings_fraction=savings,
+                hazard=hazard,
+            )
+        )
+    return history

@@ -1,0 +1,134 @@
+"""Agents of the market simulation.
+
+The model follows §4.2: a unit mass of consumers statically partitioned
+across LMPs, a catalogue of independent CSPs, and (in the UR regime)
+termination fees from the Nash bargaining solution.  Agents carry the
+*state that evolves* (incumbency, subscriber counts, cumulative profit);
+the one-shot math stays in :mod:`repro.econ`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.exceptions import MarketError
+from repro.econ.csp import CSP
+from repro.econ.demand import DemandCurve
+from repro.econ.lmp import LMP
+
+
+@dataclass
+class ConsumerMass:
+    """The consumers of one LMP: a mass and a shared demand distribution.
+
+    §4.2 assumes "the distribution of demand for a CSP is the same for
+    customers of each LMP", so the mass is the only per-LMP parameter.
+    """
+
+    lmp: str
+    mass: float
+
+    def __post_init__(self) -> None:
+        if self.mass <= 0:
+            raise MarketError(f"consumer mass must be positive: {self.mass}")
+
+
+@dataclass
+class CSPAgent:
+    """A CSP with evolving incumbency and books."""
+
+    name: str
+    demand: DemandCurve
+    incumbency: float = 1.0
+    #: Epoch the CSP enters the market (0 = founding incumbent).
+    entry_epoch: int = 0
+    #: Attachment mode: "direct" (on the POC) or the name of a host LMP.
+    attachment: str = "direct"
+    cumulative_profit: float = field(default=0.0)
+    subscriber_history: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.incumbency <= 1.0:
+            raise MarketError(f"incumbency must be in (0, 1]: {self.incumbency}")
+
+    def as_econ_csp(self) -> CSP:
+        return CSP(name=self.name, demand=self.demand, incumbency=self.incumbency)
+
+    def active(self, epoch: int) -> bool:
+        return epoch >= self.entry_epoch
+
+
+@dataclass
+class LMPAgent:
+    """A last-mile provider with evolving market share and books."""
+
+    name: str
+    num_customers: float
+    access_price: float
+    vulnerability: float
+    entry_epoch: int = 0
+    cumulative_profit: float = field(default=0.0)
+    customer_history: List[float] = field(default_factory=list)
+    #: Monthly fixed operating cost (plant, staff) per unit of customers.
+    unit_cost: float = 18.0
+
+    def __post_init__(self) -> None:
+        if self.num_customers <= 0:
+            raise MarketError(f"customer mass must be positive: {self.num_customers}")
+        if self.access_price < 0:
+            raise MarketError(f"access price cannot be negative: {self.access_price}")
+        if not 0.0 <= self.vulnerability <= 1.0:
+            raise MarketError(f"vulnerability must be in [0,1]: {self.vulnerability}")
+        if self.unit_cost < 0:
+            raise MarketError(f"unit cost cannot be negative: {self.unit_cost}")
+
+    def as_econ_lmp(self) -> LMP:
+        return LMP(
+            name=self.name,
+            num_customers=self.num_customers,
+            access_price=self.access_price,
+            vulnerability=self.vulnerability,
+        )
+
+    def active(self, epoch: int) -> bool:
+        return epoch >= self.entry_epoch
+
+    def operating_cost(self) -> float:
+        return self.unit_cost * self.num_customers
+
+
+def founding_catalogue() -> List[CSPAgent]:
+    """A default CSP catalogue: two incumbents with distinct demand."""
+    from repro.econ.demand import ExponentialDemand, LinearDemand
+
+    return [
+        CSPAgent(
+            name="videostream",
+            demand=LinearDemand(v_max=30.0),
+            incumbency=1.0,
+        ),
+        CSPAgent(
+            name="cloudsuite",
+            demand=ExponentialDemand(scale=12.0),
+            incumbency=0.8,
+        ),
+    ]
+
+
+def founding_lmps() -> List[LMPAgent]:
+    """Default LMPs: one large incumbent, one mid-size regional."""
+    return [
+        LMPAgent(
+            name="metro-cable",
+            num_customers=1.0,
+            access_price=50.0,
+            vulnerability=0.05,
+        ),
+        LMPAgent(
+            name="regional-fiber",
+            num_customers=0.4,
+            access_price=45.0,
+            vulnerability=0.15,
+        ),
+    ]

@@ -1,0 +1,89 @@
+"""Entrant dynamics: how newcomers build (or fail to build) incumbency.
+
+The paper's innovation argument (§4.1, §4.5) is dynamic: fair competition
+lets entrants grow, and future welfare comes from that growth.  We model
+the minimal version:
+
+- a CSP's *incumbency* (≈ brand stickiness β_s, which feeds the churn
+  parameter r of the bargaining model) grows toward 1 at a rate
+  proportional to its profitable subscriber base;
+- an LMP's *vulnerability* γ_l falls (it becomes harder to leave) as it
+  accumulates profitable operation, and its customer base drifts toward
+  LMPs that run profitably.
+
+These are deliberately simple first-order dynamics; the benchmark claim
+they support is comparative (NN vs UR growth trajectories), not any
+absolute growth number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import MarketError
+from repro.market.entities import CSPAgent, LMPAgent
+
+
+@dataclass(frozen=True)
+class GrowthParams:
+    """Rates of the entrant-growth dynamics."""
+
+    #: Incumbency gained per epoch per unit of subscriber mass (CSPs).
+    csp_growth_rate: float = 0.08
+    #: Incumbency decay per epoch with no subscribers (reputation fades).
+    csp_decay_rate: float = 0.01
+    #: Vulnerability reduction per epoch of profitable LMP operation.
+    lmp_hardening_rate: float = 0.03
+    #: Customer drift per epoch toward profitable LMPs (share of base).
+    lmp_drift_rate: float = 0.02
+
+    def __post_init__(self) -> None:
+        for name in ("csp_growth_rate", "csp_decay_rate", "lmp_hardening_rate", "lmp_drift_rate"):
+            if getattr(self, name) < 0:
+                raise MarketError(f"{name} cannot be negative")
+
+
+def grow_csp(agent: CSPAgent, subscribers: float, profit: float, params: GrowthParams) -> None:
+    """Advance one CSP's incumbency by one epoch.
+
+    Profitable subscribers compound brand stickiness; an unprofitable or
+    unsubscribed service decays toward the entrant floor.
+    """
+    if subscribers < 0:
+        raise MarketError(f"subscribers cannot be negative: {subscribers}")
+    if profit > 0 and subscribers > 0:
+        gain = params.csp_growth_rate * subscribers
+        agent.incumbency = min(1.0, agent.incumbency + gain)
+    else:
+        agent.incumbency = max(0.05, agent.incumbency - params.csp_decay_rate)
+
+
+def harden_lmp(agent: LMPAgent, profit: float, params: GrowthParams) -> None:
+    """Advance one LMP's vulnerability by one epoch."""
+    if profit > 0:
+        agent.vulnerability = max(0.02, agent.vulnerability - params.lmp_hardening_rate)
+    else:
+        agent.vulnerability = min(1.0, agent.vulnerability + params.lmp_hardening_rate / 2.0)
+
+
+def drift_customers(lmps, profits, params: GrowthParams) -> None:
+    """Shift a small share of customers toward profitable LMPs.
+
+    Conserves total customer mass.  ``profits`` maps LMP name → epoch
+    profit; drift flows from loss-makers to profit-makers pro rata.
+    """
+    gainers = [l for l in lmps if profits.get(l.name, 0.0) > 0]
+    losers = [l for l in lmps if profits.get(l.name, 0.0) <= 0]
+    if not gainers or not losers:
+        return
+    moved = 0.0
+    for loser in losers:
+        delta = loser.num_customers * params.lmp_drift_rate
+        # Never drain an LMP below a viability floor; zero mass is exit,
+        # which the simulator handles separately.
+        delta = min(delta, max(0.0, loser.num_customers - 1e-3))
+        loser.num_customers -= delta
+        moved += delta
+    total_gainer_mass = sum(g.num_customers for g in gainers)
+    for gainer in gainers:
+        gainer.num_customers += moved * gainer.num_customers / total_gainer_mass

@@ -1,0 +1,88 @@
+"""Per-epoch records emitted by the market simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class CSPSnapshot:
+    """One CSP's state at the end of an epoch."""
+
+    name: str
+    price: float
+    avg_fee: float
+    subscribers: float
+    revenue: float
+    fees_paid: float
+    transit_paid: float
+    profit: float
+    incumbency: float
+
+
+@dataclass(frozen=True)
+class LMPSnapshot:
+    """One LMP's state at the end of an epoch."""
+
+    name: str
+    customers: float
+    access_revenue: float
+    fee_revenue: float
+    transit_paid: float
+    operating_cost: float
+    profit: float
+    vulnerability: float
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """Everything observable about one simulated month."""
+
+    epoch: int
+    regime: str
+    csps: Dict[str, CSPSnapshot]
+    lmps: Dict[str, LMPSnapshot]
+    social_welfare: float
+    consumer_welfare: float
+    poc_revenue: float
+    poc_cost: float
+
+    @property
+    def poc_surplus(self) -> float:
+        """Nonprofit invariant: ~0 every epoch."""
+        return self.poc_revenue - self.poc_cost
+
+
+@dataclass
+class MarketHistory:
+    """The full run: a record per epoch plus convenience accessors."""
+
+    records: List[EpochRecord] = field(default_factory=list)
+
+    def append(self, record: EpochRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def welfare_series(self) -> List[float]:
+        return [r.social_welfare for r in self.records]
+
+    def csp_profit_series(self, name: str) -> List[float]:
+        return [r.csps[name].profit for r in self.records if name in r.csps]
+
+    def csp_incumbency_series(self, name: str) -> List[float]:
+        return [r.csps[name].incumbency for r in self.records if name in r.csps]
+
+    def lmp_profit_series(self, name: str) -> List[float]:
+        return [r.lmps[name].profit for r in self.records if name in r.lmps]
+
+    def lmp_customer_series(self, name: str) -> List[float]:
+        return [r.lmps[name].customers for r in self.records if name in r.lmps]
+
+    def cumulative_csp_profit(self, name: str) -> float:
+        return sum(self.csp_profit_series(name))
+
+    def cumulative_lmp_profit(self, name: str) -> float:
+        return sum(self.lmp_profit_series(name))

@@ -1,0 +1,159 @@
+"""Double-entry bookkeeping for the market simulator.
+
+Every money movement in the ecosystem is a :class:`Transfer` between two
+:class:`Account` objects.  Invariants enforced here, relied on by the
+break-even benchmarks:
+
+- transfers have positive amounts and distinct endpoints;
+- the sum of all balances is always zero (money is conserved);
+- an account's balance equals its credits minus its debits, replayable
+  from the journal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.exceptions import LedgerError
+
+
+@dataclass(frozen=True)
+class Account:
+    """A named account with an owner class (consumer/csp/lmp/poc/bp/isp)."""
+
+    name: str
+    owner_kind: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise LedgerError("account name cannot be empty")
+        if self.owner_kind not in ("consumer", "csp", "lmp", "poc", "bp", "isp"):
+            raise LedgerError(f"unknown owner kind {self.owner_kind!r}")
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One journal entry: money moved from ``src`` to ``dst``."""
+
+    epoch: int
+    src: str
+    dst: str
+    amount: float
+    memo: str
+
+    def __post_init__(self) -> None:
+        if self.amount <= 0:
+            raise LedgerError(f"transfer amount must be positive: {self.amount}")
+        if self.src == self.dst:
+            raise LedgerError(f"transfer to self: {self.src}")
+
+
+class Ledger:
+    """The journal plus running balances."""
+
+    def __init__(self) -> None:
+        self._accounts: Dict[str, Account] = {}
+        self._balances: Dict[str, float] = {}
+        self._journal: List[Transfer] = []
+
+    def open_account(self, name: str, owner_kind: str) -> Account:
+        if name in self._accounts:
+            raise LedgerError(f"account already exists: {name}")
+        account = Account(name=name, owner_kind=owner_kind)
+        self._accounts[name] = account
+        self._balances[name] = 0.0
+        return account
+
+    def has_account(self, name: str) -> bool:
+        return name in self._accounts
+
+    def account(self, name: str) -> Account:
+        try:
+            return self._accounts[name]
+        except KeyError:
+            raise LedgerError(f"no such account: {name}") from None
+
+    def transfer(self, epoch: int, src: str, dst: str, amount: float, memo: str) -> Transfer:
+        """Move money; zero-amount requests are rejected, not silently dropped."""
+        if src not in self._accounts:
+            raise LedgerError(f"unknown source account: {src}")
+        if dst not in self._accounts:
+            raise LedgerError(f"unknown destination account: {dst}")
+        entry = Transfer(epoch=epoch, src=src, dst=dst, amount=amount, memo=memo)
+        self._journal.append(entry)
+        self._balances[src] -= amount
+        self._balances[dst] += amount
+        return entry
+
+    def balance(self, name: str) -> float:
+        if name not in self._balances:
+            raise LedgerError(f"no such account: {name}")
+        return self._balances[name]
+
+    def balances_by_kind(self, owner_kind: str) -> Dict[str, float]:
+        return {
+            name: self._balances[name]
+            for name, acct in sorted(self._accounts.items())
+            if acct.owner_kind == owner_kind
+        }
+
+    @property
+    def total_balance(self) -> float:
+        """Always ~0; the conservation invariant."""
+        return sum(self._balances.values())
+
+    @property
+    def num_transfers(self) -> int:
+        return len(self._journal)
+
+    def journal(
+        self,
+        *,
+        epoch: Optional[int] = None,
+        src: Optional[str] = None,
+        dst: Optional[str] = None,
+        memo_prefix: Optional[str] = None,
+    ) -> List[Transfer]:
+        """Filtered view of the journal."""
+        out = []
+        for t in self._journal:
+            if epoch is not None and t.epoch != epoch:
+                continue
+            if src is not None and t.src != src:
+                continue
+            if dst is not None and t.dst != dst:
+                continue
+            if memo_prefix is not None and not t.memo.startswith(memo_prefix):
+                continue
+            out.append(t)
+        return out
+
+    def inflow(self, name: str, *, epoch: Optional[int] = None, memo_prefix: Optional[str] = None) -> float:
+        return sum(t.amount for t in self.journal(dst=name, epoch=epoch, memo_prefix=memo_prefix))
+
+    def outflow(self, name: str, *, epoch: Optional[int] = None, memo_prefix: Optional[str] = None) -> float:
+        return sum(t.amount for t in self.journal(src=name, epoch=epoch, memo_prefix=memo_prefix))
+
+    def net_flow(self, name: str, *, epoch: Optional[int] = None) -> float:
+        """Inflow minus outflow over an epoch (or all time)."""
+        return self.inflow(name, epoch=epoch) - self.outflow(name, epoch=epoch)
+
+    def replay_balances(self) -> Dict[str, float]:
+        """Recompute balances from the journal (audit helper)."""
+        balances = {name: 0.0 for name in self._accounts}
+        for t in self._journal:
+            balances[t.src] -= t.amount
+            balances[t.dst] += t.amount
+        return balances
+
+    def audit(self) -> None:
+        """Raise :class:`LedgerError` if running balances drifted from the journal."""
+        replayed = self.replay_balances()
+        for name, balance in self._balances.items():
+            if abs(balance - replayed[name]) > 1e-6:
+                raise LedgerError(
+                    f"balance drift on {name}: running={balance} journal={replayed[name]}"
+                )
+        if abs(self.total_balance) > 1e-6:
+            raise LedgerError(f"money not conserved: total={self.total_balance}")

@@ -1,0 +1,266 @@
+"""The epoch-based market simulator.
+
+Each simulated month, under the configured regime:
+
+1. every active CSP sets its price — the NN monopoly price, or the
+   §4.5 renegotiation-equilibrium price with per-LMP NBS fees under UR;
+2. consumers subscribe (demand at the posted price, per LMP mass);
+3. money moves through the ledger exactly as §3.2 prescribes:
+   consumers pay CSPs for services and LMPs for access, CSPs pay LMPs
+   termination fees (UR only), LMPs and direct CSPs pay the POC for
+   transit by usage, and the POC pays out its entire cost base (auction
+   payments + contracts) to the BP pool — breaking even by construction;
+4. entrant dynamics advance (incumbency, vulnerability, customer drift).
+
+The simulator is deterministic given its inputs; there is no sampling in
+the epoch loop itself.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.exceptions import MarketError
+from repro.econ.bargaining import fee_schedule
+from repro.econ.csp import optimal_price
+from repro.econ.equilibrium import bargaining_equilibrium
+from repro.econ.welfare import consumer_welfare, social_welfare
+from repro.market.entities import CSPAgent, LMPAgent
+from repro.market.entry import GrowthParams, drift_customers, grow_csp, harden_lmp
+from repro.market.events import CSPSnapshot, EpochRecord, LMPSnapshot, MarketHistory
+from repro.market.ledger import Ledger
+
+
+class Regime(enum.Enum):
+    """Whether the POC's neutrality terms are in force."""
+
+    NN = "nn"
+    UR = "ur"
+
+
+@dataclass(frozen=True)
+class MarketConfig:
+    """Simulation parameters."""
+
+    regime: Regime = Regime.NN
+    epochs: int = 24
+    #: The POC's exogenous monthly cost base (e.g. from an auction run).
+    poc_monthly_cost: float = 1_000_000.0
+    #: Average Gbps of transit per subscriber of a CSP (drives usage bills).
+    gbps_per_subscriber: float = 0.005
+    #: Baseline Gbps each LMP uses regardless of CSP subscriptions.
+    baseline_gbps_per_customer: float = 0.002
+    growth: GrowthParams = field(default_factory=GrowthParams)
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise MarketError(f"epochs must be >= 1, got {self.epochs}")
+        if self.poc_monthly_cost < 0:
+            raise MarketError("POC cost cannot be negative")
+        if self.gbps_per_subscriber < 0 or self.baseline_gbps_per_customer < 0:
+            raise MarketError("traffic coefficients cannot be negative")
+
+
+class MarketSim:
+    """Runs the ecosystem for ``config.epochs`` months."""
+
+    def __init__(
+        self,
+        config: MarketConfig,
+        csps: Sequence[CSPAgent],
+        lmps: Sequence[LMPAgent],
+    ) -> None:
+        if not csps:
+            raise MarketError("need at least one CSP")
+        if not lmps:
+            raise MarketError("need at least one LMP")
+        names = [a.name for a in csps] + [a.name for a in lmps]
+        if len(set(names)) != len(names):
+            raise MarketError("duplicate agent names")
+        self.config = config
+        self.csps = list(csps)
+        self.lmps = list(lmps)
+        self.ledger = Ledger()
+        self.ledger.open_account("POC", "poc")
+        self.ledger.open_account("BP-pool", "bp")
+        for csp in self.csps:
+            self.ledger.open_account(csp.name, "csp")
+        for lmp in self.lmps:
+            self.ledger.open_account(lmp.name, "lmp")
+            self.ledger.open_account(f"consumers@{lmp.name}", "consumer")
+
+    # -- pricing -----------------------------------------------------------
+
+    def _solve_csp(self, csp: CSPAgent, active_lmps: List[LMPAgent]):
+        """Price and per-LMP fees for one CSP under the configured regime."""
+        econ_csp = csp.as_econ_csp()
+        if self.config.regime is Regime.NN:
+            price = optimal_price(csp.demand, 0.0)
+            return price, {l.name: 0.0 for l in active_lmps}
+        eq = bargaining_equilibrium(econ_csp, [l.as_econ_lmp() for l in active_lmps])
+        raw = fee_schedule(econ_csp, [l.as_econ_lmp() for l in active_lmps], price=eq.price)
+        fees = {name: max(0.0, fee) for name, fee in raw.items()}
+        return eq.price, fees
+
+    # -- the epoch loop --------------------------------------------------------
+
+    def run(self) -> MarketHistory:
+        history = MarketHistory()
+        for epoch in range(self.config.epochs):
+            history.append(self._run_epoch(epoch))
+        self.ledger.audit()
+        return history
+
+    def _run_epoch(self, epoch: int) -> EpochRecord:
+        cfg = self.config
+        active_csps = [c for c in self.csps if c.active(epoch)]
+        active_lmps = [l for l in self.lmps if l.active(epoch)]
+        if not active_lmps:
+            raise MarketError(f"no active LMPs at epoch {epoch}")
+
+        # 1-2: prices, fees, subscriptions.
+        prices: Dict[str, float] = {}
+        fees: Dict[str, Dict[str, float]] = {}
+        subs: Dict[str, Dict[str, float]] = {}  # csp -> lmp -> subscriber mass
+        for csp in active_csps:
+            price, fee_by_lmp = self._solve_csp(csp, active_lmps)
+            prices[csp.name] = price
+            fees[csp.name] = fee_by_lmp
+            take = csp.demand.demand(price)
+            subs[csp.name] = {l.name: l.num_customers * take for l in active_lmps}
+
+        # 3: money flows.
+        csp_rows: Dict[str, CSPSnapshot] = {}
+        lmp_fee_rev = {l.name: 0.0 for l in active_lmps}
+        usage: Dict[str, float] = {}
+        for lmp in active_lmps:
+            usage[lmp.name] = cfg.baseline_gbps_per_customer * lmp.num_customers
+        for csp in active_csps:
+            usage[csp.name] = 0.0
+
+        for csp in active_csps:
+            revenue = 0.0
+            fees_paid = 0.0
+            for lmp in active_lmps:
+                mass = subs[csp.name][lmp.name]
+                if mass <= 0:
+                    continue
+                payment = prices[csp.name] * mass
+                if payment > 0:
+                    self.ledger.transfer(
+                        epoch, f"consumers@{lmp.name}", csp.name, payment,
+                        memo=f"service:{csp.name}",
+                    )
+                revenue += payment
+                fee = fees[csp.name][lmp.name] * mass
+                if fee > 0:
+                    self.ledger.transfer(
+                        epoch, csp.name, lmp.name, fee, memo=f"termination:{csp.name}"
+                    )
+                fees_paid += fee
+                lmp_fee_rev[lmp.name] += fee
+                traffic = cfg.gbps_per_subscriber * mass
+                usage[lmp.name] += traffic  # eyeball side
+                usage[csp.name] += traffic  # content side
+            total_subs = sum(subs[csp.name].values())
+            csp_rows[csp.name] = CSPSnapshot(
+                name=csp.name,
+                price=prices[csp.name],
+                avg_fee=(fees_paid / total_subs) if total_subs > 0 else 0.0,
+                subscribers=total_subs,
+                revenue=revenue,
+                fees_paid=fees_paid,
+                transit_paid=0.0,  # filled below
+                profit=0.0,
+                incumbency=csp.incumbency,
+            )
+
+        # Access charges.
+        access_rev: Dict[str, float] = {}
+        for lmp in active_lmps:
+            charge = lmp.access_price * lmp.num_customers
+            access_rev[lmp.name] = charge
+            if charge > 0:
+                self.ledger.transfer(
+                    epoch, f"consumers@{lmp.name}", lmp.name, charge, memo="access"
+                )
+
+        # POC transit: break-even settlement over all attachments' usage.
+        total_usage = sum(usage.values())
+        transit_paid: Dict[str, float] = {name: 0.0 for name in usage}
+        if cfg.poc_monthly_cost > 0 and total_usage > 0:
+            rate = cfg.poc_monthly_cost / total_usage
+            for name, used in sorted(usage.items()):
+                charge = used * rate
+                if charge > 0:
+                    self.ledger.transfer(epoch, name, "POC", charge, memo="transit")
+                transit_paid[name] = charge
+            self.ledger.transfer(
+                epoch, "POC", "BP-pool", cfg.poc_monthly_cost, memo="leases"
+            )
+
+        poc_revenue = sum(transit_paid.values())
+
+        # Profits and snapshots.
+        for csp in active_csps:
+            row = csp_rows[csp.name]
+            profit = row.revenue - row.fees_paid - transit_paid.get(csp.name, 0.0)
+            csp.cumulative_profit += profit
+            csp.subscriber_history.append(row.subscribers)
+            csp_rows[csp.name] = CSPSnapshot(
+                **{**row.__dict__, "transit_paid": transit_paid.get(csp.name, 0.0),
+                   "profit": profit}
+            )
+
+        lmp_rows: Dict[str, LMPSnapshot] = {}
+        lmp_profits: Dict[str, float] = {}
+        for lmp in active_lmps:
+            profit = (
+                access_rev[lmp.name]
+                + lmp_fee_rev[lmp.name]
+                - transit_paid.get(lmp.name, 0.0)
+                - lmp.operating_cost()
+            )
+            lmp.cumulative_profit += profit
+            lmp.customer_history.append(lmp.num_customers)
+            lmp_profits[lmp.name] = profit
+            lmp_rows[lmp.name] = LMPSnapshot(
+                name=lmp.name,
+                customers=lmp.num_customers,
+                access_revenue=access_rev[lmp.name],
+                fee_revenue=lmp_fee_rev[lmp.name],
+                transit_paid=transit_paid.get(lmp.name, 0.0),
+                operating_cost=lmp.operating_cost(),
+                profit=profit,
+                vulnerability=lmp.vulnerability,
+            )
+
+        # Welfare: per-CSP welfare scaled by total consumer mass.
+        total_mass = sum(l.num_customers for l in active_lmps)
+        sw = sum(
+            social_welfare(c.demand, prices[c.name]) * total_mass for c in active_csps
+        )
+        cw = sum(
+            consumer_welfare(c.demand, prices[c.name]) * total_mass for c in active_csps
+        )
+
+        # 4: dynamics.
+        for csp in active_csps:
+            grow_csp(csp, csp_rows[csp.name].subscribers, csp_rows[csp.name].profit,
+                     self.config.growth)
+        for lmp in active_lmps:
+            harden_lmp(lmp, lmp_profits[lmp.name], self.config.growth)
+        drift_customers(active_lmps, lmp_profits, self.config.growth)
+
+        return EpochRecord(
+            epoch=epoch,
+            regime=self.config.regime.value,
+            csps=csp_rows,
+            lmps=lmp_rows,
+            social_welfare=sw,
+            consumer_welfare=cw,
+            poc_revenue=poc_revenue,
+            poc_cost=cfg.poc_monthly_cost if total_usage > 0 else 0.0,
+        )

@@ -1,0 +1,38 @@
+"""Flow and routing substrate.
+
+The auction's core primitive is a *feasibility oracle*: can a candidate
+set of links carry the POC's traffic matrix (Section 3.3, the acceptable
+sets A(OL))?  This package provides:
+
+- exact feasibility via a max-concurrent-flow LP (:mod:`repro.netflow.mcf`),
+- fast heuristic oracles (:mod:`repro.netflow.feasibility`),
+- path utilities and shortest-path routing (:mod:`repro.netflow.paths`,
+  :mod:`repro.netflow.routing`),
+- failure-scenario enumeration for the survivability constraints
+  (:mod:`repro.netflow.failures`).
+"""
+
+from repro.netflow.feasibility import (
+    FeasibilityResult,
+    GreedyOracle,
+    MCFOracle,
+    ShortestPathOracle,
+    make_oracle,
+)
+from repro.netflow.latency import LatencyReport, latency_report
+from repro.netflow.mcf import max_concurrent_flow
+from repro.netflow.paths import Path, k_shortest_paths, shortest_path
+
+__all__ = [
+    "FeasibilityResult",
+    "GreedyOracle",
+    "MCFOracle",
+    "ShortestPathOracle",
+    "make_oracle",
+    "LatencyReport",
+    "latency_report",
+    "max_concurrent_flow",
+    "Path",
+    "k_shortest_paths",
+    "shortest_path",
+]

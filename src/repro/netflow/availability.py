@@ -1,0 +1,133 @@
+"""Availability analysis: what do the survivability constraints buy?
+
+Constraint #2/#3 make the *auction* more expensive (Figure 2); this
+module measures the operational return: under random link failures, what
+fraction of the traffic matrix does a backbone still deliver?
+
+Monte-Carlo over failure draws (each link independently down with a
+monthly outage probability, or exactly-k-failures scenarios), using the
+max-concurrent-flow λ as the delivered-fraction metric: min(1, λ) of the
+TM is carried after rerouting.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.exceptions import FlowError
+from repro.netflow.mcf import max_concurrent_flow
+from repro.rand import SeedLike, make_rng
+from repro.topology.graph import Network
+from repro.traffic.matrix import TrafficMatrix
+
+
+@dataclass(frozen=True)
+class FailureDraw:
+    """One sampled failure state and its delivery outcome."""
+
+    failed_links: FrozenSet[str]
+    delivered_fraction: float
+
+    @property
+    def fully_delivered(self) -> bool:
+        return self.delivered_fraction >= 1.0 - 1e-9
+
+
+@dataclass
+class AvailabilityReport:
+    """Aggregated Monte-Carlo availability figures."""
+
+    draws: List[FailureDraw] = field(default_factory=list)
+
+    @property
+    def num_draws(self) -> int:
+        return len(self.draws)
+
+    def mean_delivered(self) -> float:
+        if not self.draws:
+            return 1.0
+        return sum(d.delivered_fraction for d in self.draws) / len(self.draws)
+
+    def availability(self) -> float:
+        """Fraction of draws in which the full TM was delivered."""
+        if not self.draws:
+            return 1.0
+        return sum(1 for d in self.draws if d.fully_delivered) / len(self.draws)
+
+    def worst_delivered(self) -> float:
+        return min((d.delivered_fraction for d in self.draws), default=1.0)
+
+
+def delivered_fraction(backbone: Network, tm: TrafficMatrix,
+                       failed_links: FrozenSet[str]) -> float:
+    """min(1, λ) of the TM on the backbone minus the failed links."""
+    surviving = [lid for lid in backbone.link_ids if lid not in failed_links]
+    if not surviving:
+        return 0.0
+    result = max_concurrent_flow(backbone.restricted_to_links(surviving), tm)
+    return min(1.0, result.lam)
+
+
+def monte_carlo_availability(
+    backbone: Network,
+    tm: TrafficMatrix,
+    *,
+    link_failure_probability: float = 0.01,
+    draws: int = 100,
+    seed: SeedLike = 0,
+) -> AvailabilityReport:
+    """Sample independent link outages and measure delivery.
+
+    Identical failure sets are deduplicated through a memo, which matters
+    because at realistic outage rates most draws are the empty set.
+    """
+    if not 0.0 <= link_failure_probability <= 1.0:
+        raise FlowError("failure probability must be in [0, 1]")
+    if draws < 1:
+        raise FlowError("need at least one draw")
+    rng = make_rng(seed)
+    link_ids = backbone.link_ids
+    memo: Dict[FrozenSet[str], float] = {}
+    report = AvailabilityReport()
+    for _ in range(draws):
+        mask = rng.random(len(link_ids)) < link_failure_probability
+        failed = frozenset(lid for lid, down in zip(link_ids, mask) if down)
+        if failed not in memo:
+            memo[failed] = delivered_fraction(backbone, tm, failed)
+        report.draws.append(
+            FailureDraw(failed_links=failed, delivered_fraction=memo[failed])
+        )
+    return report
+
+
+def exhaustive_k_failures(
+    backbone: Network,
+    tm: TrafficMatrix,
+    *,
+    k: int = 1,
+    max_scenarios: Optional[int] = None,
+) -> AvailabilityReport:
+    """Every exactly-k-link failure scenario (deterministic).
+
+    ``max_scenarios`` caps the enumeration for large backbones; when the
+    cap truncates, the report covers a deterministic prefix (sorted link
+    order) and callers should say so when reporting.
+    """
+    if k < 1:
+        raise FlowError("k must be at least 1")
+    report = AvailabilityReport()
+    for count, combo in enumerate(
+        itertools.combinations(sorted(backbone.link_ids), k)
+    ):
+        if max_scenarios is not None and count >= max_scenarios:
+            break
+        failed = frozenset(combo)
+        report.draws.append(
+            FailureDraw(
+                failed_links=failed,
+                delivered_fraction=delivered_fraction(backbone, tm, failed),
+            )
+        )
+    return report

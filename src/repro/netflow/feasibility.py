@@ -1,0 +1,153 @@
+"""Feasibility oracles: "can this link set carry this traffic matrix?"
+
+The auction evaluates feasibility of *many* candidate link subsets, so the
+oracle is a first-class, swappable object:
+
+- :class:`MCFOracle` — exact, via the max-concurrent-flow LP.
+- :class:`GreedyOracle` — heuristic multipath routing (conservative:
+  "feasible" answers are trustworthy, "infeasible" may be false).
+- :class:`ShortestPathOracle` — plain IGP routing, the most conservative.
+
+All oracles share a memoization cache keyed by the frozenset of link ids,
+because the greedy-drop selection re-tests overlapping subsets constantly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, Optional
+
+from repro.exceptions import FlowError
+from repro.topology.graph import Network
+from repro.netflow.mcf import max_concurrent_flow
+from repro.netflow.routing import route_greedy_multipath, route_shortest_path
+from repro.traffic.matrix import TrafficMatrix
+
+
+@dataclass(frozen=True)
+class FeasibilityResult:
+    """Verdict plus a diagnostic utilization/slack figure."""
+
+    feasible: bool
+    #: max concurrent flow λ (exact oracle) or 1/max-utilization (heuristics);
+    #: values >= 1 mean the TM fits with that much headroom.
+    headroom: float
+    #: Per-link load (Gbps) of one feasible routing of the TM, or None when
+    #: infeasible.  Links absent from the dict carry zero flow — the
+    #: survivability constraints exploit this: a zero-flow link can fail
+    #: without any re-check, because the same routing still works.
+    link_loads: Optional[Dict[str, float]] = None
+
+
+class BaseOracle:
+    """Shared caching machinery for all oracles."""
+
+    #: Human-readable engine name (used in reports and ablation benches).
+    name: str = "base"
+
+    def __init__(self, network: Network, tm: TrafficMatrix) -> None:
+        tm.validate_against(network.node_ids)
+        self.network = network
+        self.tm = tm
+        self._cache: Dict[FrozenSet[str], FeasibilityResult] = {}
+        self.evaluations = 0
+        self.cache_hits = 0
+
+    def check(self, link_ids: Iterable[str]) -> FeasibilityResult:
+        """Evaluate feasibility of the subset, with memoization."""
+        key = frozenset(link_ids)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.evaluations += 1
+        subnet = self.network.restricted_to_links(key)
+        result = self._evaluate(subnet)
+        self._cache[key] = result
+        return result
+
+    def feasible(self, link_ids: Iterable[str]) -> bool:
+        return self.check(link_ids).feasible
+
+    def _evaluate(self, subnet: Network) -> FeasibilityResult:
+        raise NotImplementedError
+
+
+class MCFOracle(BaseOracle):
+    """Exact feasibility via the max-concurrent-flow LP."""
+
+    name = "mcf"
+
+    def _evaluate(self, subnet: Network) -> FeasibilityResult:
+        result = max_concurrent_flow(subnet, self.tm)
+        return FeasibilityResult(
+            feasible=result.feasible,
+            headroom=result.lam,
+            link_loads=result.link_loads,
+        )
+
+
+class GreedyOracle(BaseOracle):
+    """Heuristic feasibility via greedy multipath routing."""
+
+    name = "greedy"
+
+    def __init__(
+        self,
+        network: Network,
+        tm: TrafficMatrix,
+        *,
+        max_paths_per_demand: int = 8,
+    ) -> None:
+        super().__init__(network, tm)
+        self.max_paths_per_demand = max_paths_per_demand
+
+    def _evaluate(self, subnet: Network) -> FeasibilityResult:
+        outcome = route_greedy_multipath(
+            subnet, self.tm, max_paths_per_demand=self.max_paths_per_demand
+        )
+        max_util = outcome.max_utilization(subnet)
+        headroom = (1.0 / max_util) if max_util > 0 else float("inf")
+        if not outcome.feasible:
+            headroom = min(headroom, 0.0)
+        return FeasibilityResult(
+            feasible=outcome.feasible,
+            headroom=headroom,
+            link_loads=outcome.link_load_gbps if outcome.feasible else None,
+        )
+
+
+class ShortestPathOracle(BaseOracle):
+    """Most conservative: single shortest path per demand, no splitting."""
+
+    name = "sp"
+
+    def _evaluate(self, subnet: Network) -> FeasibilityResult:
+        outcome = route_shortest_path(subnet, self.tm)
+        max_util = outcome.max_utilization(subnet)
+        headroom = (1.0 / max_util) if max_util > 0 else float("inf")
+        if not outcome.feasible:
+            headroom = min(headroom, 0.0)
+        return FeasibilityResult(
+            feasible=outcome.feasible,
+            headroom=headroom,
+            link_loads=outcome.link_load_gbps if outcome.feasible else None,
+        )
+
+
+_ORACLES: Dict[str, Callable[..., BaseOracle]] = {
+    "mcf": MCFOracle,
+    "greedy": GreedyOracle,
+    "sp": ShortestPathOracle,
+}
+
+
+def make_oracle(engine: str, network: Network, tm: TrafficMatrix, **kwargs) -> BaseOracle:
+    """Factory: ``engine`` is one of ``"mcf"``, ``"greedy"``, ``"sp"``."""
+    try:
+        cls = _ORACLES[engine]
+    except KeyError:
+        raise FlowError(
+            f"unknown feasibility engine {engine!r}; expected one of {sorted(_ORACLES)}"
+        ) from None
+    return cls(network, tm, **kwargs)

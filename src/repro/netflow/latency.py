@@ -1,0 +1,123 @@
+"""Latency and path-quality metrics for a provisioned backbone.
+
+The POC competes with private backbones on performance, not just price
+(§1.2: "it is essential that the public Internet continues to offer
+high-performance transit").  These metrics quantify the performance a
+selected link set actually delivers:
+
+- per-pair propagation RTT over the backbone's shortest paths,
+- *stretch*: backbone path length / great-circle distance — how much
+  the auctioned topology detours relative to the speed-of-light bound,
+- a summary report used by the services layer and examples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import FlowError, TopologyError
+from repro.netflow.paths import all_pairs_shortest_paths
+from repro.topology.geo import propagation_ms
+from repro.topology.graph import Network
+
+
+@dataclass(frozen=True)
+class PairLatency:
+    """Latency figures for one ordered site pair."""
+
+    src: str
+    dst: str
+    path_km: float
+    direct_km: float
+    rtt_ms: float
+
+    @property
+    def stretch(self) -> float:
+        """Path length / great-circle distance (≥ 1 up to geometry)."""
+        if self.direct_km <= 0:
+            return 1.0
+        return self.path_km / self.direct_km
+
+
+@dataclass
+class LatencyReport:
+    """All reachable pairs plus distribution summaries."""
+
+    pairs: Dict[Tuple[str, str], PairLatency]
+    unreachable: Tuple[Tuple[str, str], ...]
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self.pairs)
+
+    def mean_rtt_ms(self) -> float:
+        if not self.pairs:
+            return 0.0
+        return sum(p.rtt_ms for p in self.pairs.values()) / len(self.pairs)
+
+    def worst_rtt_ms(self) -> float:
+        return max((p.rtt_ms for p in self.pairs.values()), default=0.0)
+
+    def mean_stretch(self) -> float:
+        if not self.pairs:
+            return 0.0
+        return sum(p.stretch for p in self.pairs.values()) / len(self.pairs)
+
+    def worst_stretch(self) -> float:
+        return max((p.stretch for p in self.pairs.values()), default=0.0)
+
+    def percentile_rtt_ms(self, pct: float) -> float:
+        if not 0.0 < pct <= 100.0:
+            raise FlowError(f"percentile must be in (0, 100], got {pct}")
+        values = sorted(p.rtt_ms for p in self.pairs.values())
+        if not values:
+            return 0.0
+        idx = min(len(values) - 1, max(0, math.ceil(pct / 100.0 * len(values)) - 1))
+        return values[idx]
+
+
+def latency_report(backbone: Network) -> LatencyReport:
+    """RTT and stretch for every site pair over the backbone.
+
+    Sites without coordinates contribute RTT but unit stretch (there is
+    no great-circle reference to compare against).
+    """
+    sp = all_pairs_shortest_paths(backbone)
+    node_ids = backbone.node_ids
+    pairs: Dict[Tuple[str, str], PairLatency] = {}
+    unreachable: List[Tuple[str, str]] = []
+    for i, src in enumerate(node_ids):
+        for dst in node_ids[i + 1:]:
+            path = sp.get((src, dst))
+            if path is None:
+                unreachable.append((src, dst))
+                continue
+            path_km = path.length_km(backbone)
+            u, v = backbone.node(src), backbone.node(dst)
+            direct_km = 0.0
+            if u.point is not None and v.point is not None:
+                direct_km = u.distance_km(v)
+            pairs[(src, dst)] = PairLatency(
+                src=src,
+                dst=dst,
+                path_km=path_km,
+                direct_km=direct_km,
+                rtt_ms=2.0 * propagation_ms(path_km),
+            )
+    return LatencyReport(pairs=pairs, unreachable=tuple(unreachable))
+
+
+def compare_backbones(a: Network, b: Network) -> Dict[str, float]:
+    """Mean-RTT and mean-stretch deltas between two backbones (a − b).
+
+    Used to quantify what tighter survivability constraints or cheaper
+    selections cost in performance.
+    """
+    ra, rb = latency_report(a), latency_report(b)
+    return {
+        "mean_rtt_delta_ms": ra.mean_rtt_ms() - rb.mean_rtt_ms(),
+        "mean_stretch_delta": ra.mean_stretch() - rb.mean_stretch(),
+        "worst_rtt_delta_ms": ra.worst_rtt_ms() - rb.worst_rtt_ms(),
+    }

@@ -1,0 +1,158 @@
+"""Path primitives over :class:`repro.topology.graph.Network`.
+
+Networks are multigraphs (parallel logical links from competing BPs are
+the norm), so a path is a sequence of *link ids*, not just node ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.exceptions import FlowError, TopologyError
+from repro.topology.graph import Link, Network
+
+
+@dataclass(frozen=True)
+class Path:
+    """A walk through the network: nodes and the links joining them."""
+
+    nodes: Tuple[str, ...]
+    link_ids: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) != len(self.link_ids) + 1:
+            raise FlowError(
+                f"path shape mismatch: {len(self.nodes)} nodes, "
+                f"{len(self.link_ids)} links"
+            )
+        if len(self.nodes) < 1:
+            raise FlowError("empty path")
+
+    @property
+    def source(self) -> str:
+        return self.nodes[0]
+
+    @property
+    def target(self) -> str:
+        return self.nodes[-1]
+
+    @property
+    def num_hops(self) -> int:
+        return len(self.link_ids)
+
+    def length_km(self, network: Network) -> float:
+        """Total geographic length of the path in ``network``."""
+        return sum(network.link(lid).length_km for lid in self.link_ids)
+
+    def bottleneck_gbps(self, network: Network) -> float:
+        """Smallest link capacity along the path (inf for trivial paths)."""
+        if not self.link_ids:
+            return float("inf")
+        return min(network.link(lid).capacity_gbps for lid in self.link_ids)
+
+    def uses_link(self, link_id: str) -> bool:
+        return link_id in self.link_ids
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.link_ids)
+
+
+def _best_parallel(network: Network, u: str, v: str, weight: str) -> Link:
+    """Among parallel links joining u-v, the one a shortest path would use."""
+    candidates = network.links_between(u, v)
+    if not candidates:
+        raise TopologyError(f"no link between {u} and {v}")
+    if weight == "length":
+        return min(candidates, key=lambda l: (l.length_km, -l.capacity_gbps, l.id))
+    if weight == "hops":
+        return max(candidates, key=lambda l: (l.capacity_gbps, l.id))
+    raise ValueError(f"unknown weight {weight!r}")
+
+
+def _collapsed_graph(network: Network, weight: str) -> nx.Graph:
+    """Simple graph keeping, per node pair, the best parallel link."""
+    g = nx.Graph()
+    g.add_nodes_from(network.node_ids)
+    for link in network.iter_links():
+        w = link.length_km if weight == "length" else 1.0
+        if g.has_edge(link.u, link.v):
+            if w < g[link.u][link.v]["weight"]:
+                g[link.u][link.v].update(weight=w, link_id=link.id)
+        else:
+            g.add_edge(link.u, link.v, weight=w, link_id=link.id)
+    return g
+
+
+def _nodes_to_path(network: Network, node_seq: List[str], weight: str) -> Path:
+    link_ids = []
+    for u, v in zip(node_seq, node_seq[1:]):
+        link_ids.append(_best_parallel(network, u, v, weight).id)
+    return Path(nodes=tuple(node_seq), link_ids=tuple(link_ids))
+
+
+def shortest_path(
+    network: Network, source: str, target: str, *, weight: str = "length"
+) -> Optional[Path]:
+    """Shortest path by geographic length (or hop count).
+
+    Returns ``None`` when target is unreachable; raises on unknown nodes.
+    """
+    network.node(source)
+    network.node(target)
+    if source == target:
+        return Path(nodes=(source,), link_ids=())
+    g = _collapsed_graph(network, weight)
+    try:
+        node_seq = nx.shortest_path(g, source, target, weight="weight")
+    except nx.NetworkXNoPath:
+        return None
+    return _nodes_to_path(network, node_seq, weight)
+
+
+def k_shortest_paths(
+    network: Network,
+    source: str,
+    target: str,
+    k: int,
+    *,
+    weight: str = "length",
+) -> List[Path]:
+    """Up to ``k`` loopless shortest paths (Yen's algorithm via networkx)."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    network.node(source)
+    network.node(target)
+    if source == target:
+        return [Path(nodes=(source,), link_ids=())]
+    g = _collapsed_graph(network, weight)
+    paths: List[Path] = []
+    try:
+        generator = nx.shortest_simple_paths(g, source, target, weight="weight")
+        for node_seq in generator:
+            paths.append(_nodes_to_path(network, list(node_seq), weight))
+            if len(paths) >= k:
+                break
+    except nx.NetworkXNoPath:
+        return []
+    return paths
+
+
+def all_pairs_shortest_paths(
+    network: Network, *, weight: str = "length"
+) -> Dict[Tuple[str, str], Path]:
+    """Shortest path for every ordered reachable pair.
+
+    Used by the per-pair-path failure constraint (Constraint #3) and by
+    the shortest-path feasibility oracle.
+    """
+    g = _collapsed_graph(network, weight)
+    out: Dict[Tuple[str, str], Path] = {}
+    for source, targets in nx.all_pairs_dijkstra_path(g, weight="weight"):
+        for target, node_seq in targets.items():
+            if source == target:
+                continue
+            out[(source, target)] = _nodes_to_path(network, list(node_seq), weight)
+    return out

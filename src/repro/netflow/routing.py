@@ -1,0 +1,183 @@
+"""Heuristic routing of a traffic matrix onto a link set.
+
+Two engines live here:
+
+- :func:`route_shortest_path` — every demand takes its geographic shortest
+  path; no splitting.  Fast, conservative, and what a plain IGP would do.
+- :func:`route_greedy_multipath` — demands are placed largest-first on the
+  shortest path *with sufficient residual capacity*, splitting across
+  successive residual paths when no single path fits.  A good approximation
+  of what a traffic-engineered backbone achieves, at a fraction of the LP's
+  cost.
+
+Both return a :class:`RoutingOutcome` with per-link loads, so callers can
+inspect utilization as well as feasibility.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import FlowError
+from repro.topology.graph import Network
+from repro.netflow.paths import Path, all_pairs_shortest_paths
+from repro.traffic.matrix import TrafficMatrix
+
+
+@dataclass
+class RoutingOutcome:
+    """Result of routing a TM: placement success and per-link loads."""
+
+    feasible: bool
+    link_load_gbps: Dict[str, float]
+    unplaced_gbps: float = 0.0
+    paths_used: Dict[Tuple[str, str], List[Tuple[Path, float]]] = field(
+        default_factory=dict
+    )
+
+    def utilization(self, network: Network) -> Dict[str, float]:
+        """Load / capacity for every link carrying traffic."""
+        out = {}
+        for lid, load in self.link_load_gbps.items():
+            out[lid] = load / network.link(lid).capacity_gbps
+        return out
+
+    def max_utilization(self, network: Network) -> float:
+        util = self.utilization(network)
+        return max(util.values(), default=0.0)
+
+    def total_flow_km(self, network: Network) -> float:
+        """Flow·km actually routed (cost-of-carriage proxy)."""
+        return sum(
+            network.link(lid).length_km * load
+            for lid, load in self.link_load_gbps.items()
+        )
+
+
+def route_shortest_path(network: Network, tm: TrafficMatrix) -> RoutingOutcome:
+    """Route every demand on its geographic shortest path, then check caps.
+
+    Feasible only if every demand has a path *and* no link exceeds its
+    capacity once all demands are stacked.  This is deliberately
+    conservative — it never splits flow — and is the cheapest oracle.
+    """
+    tm.validate_against(network.node_ids)
+    sp = all_pairs_shortest_paths(network)
+    loads: Dict[str, float] = {}
+    paths_used: Dict[Tuple[str, str], List[Tuple[Path, float]]] = {}
+    unplaced = 0.0
+    for (src, dst), demand in tm.pairs():
+        path = sp.get((src, dst))
+        if path is None:
+            unplaced += demand
+            continue
+        paths_used[(src, dst)] = [(path, demand)]
+        for lid in path.link_ids:
+            loads[lid] = loads.get(lid, 0.0) + demand
+
+    over = any(
+        load > network.link(lid).capacity_gbps * (1 + 1e-9)
+        for lid, load in loads.items()
+    )
+    return RoutingOutcome(
+        feasible=(unplaced == 0.0 and not over),
+        link_load_gbps=loads,
+        unplaced_gbps=unplaced,
+        paths_used=paths_used,
+    )
+
+
+def _residual_dijkstra(
+    network: Network,
+    residual: Dict[str, float],
+    source: str,
+    target: str,
+    min_capacity: float,
+) -> Optional[Path]:
+    """Shortest path by length using only links with residual >= min_capacity."""
+    dist: Dict[str, float] = {source: 0.0}
+    prev: Dict[str, Tuple[str, str]] = {}
+    heap: List[Tuple[float, str]] = [(0.0, source)]
+    visited = set()
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        if node == target:
+            break
+        for link in network.incident_links(node):
+            if residual.get(link.id, 0.0) < min_capacity:
+                continue
+            other = link.other(node)
+            nd = d + link.length_km
+            if nd < dist.get(other, float("inf")):
+                dist[other] = nd
+                prev[other] = (node, link.id)
+                heapq.heappush(heap, (nd, other))
+    if target not in visited:
+        return None
+    nodes = [target]
+    links: List[str] = []
+    while nodes[-1] != source:
+        parent, lid = prev[nodes[-1]]
+        links.append(lid)
+        nodes.append(parent)
+    nodes.reverse()
+    links.reverse()
+    return Path(nodes=tuple(nodes), link_ids=tuple(links))
+
+
+def route_greedy_multipath(
+    network: Network,
+    tm: TrafficMatrix,
+    *,
+    max_paths_per_demand: int = 8,
+    split_epsilon_gbps: float = 1e-6,
+) -> RoutingOutcome:
+    """Largest-demand-first placement with residual-capacity splitting.
+
+    For each demand (largest first) the router repeatedly finds the
+    shortest path whose bottleneck residual is positive, places as much of
+    the remaining demand as fits, and recurses, up to
+    ``max_paths_per_demand`` splits.  Feasible iff everything places.
+    """
+    if max_paths_per_demand < 1:
+        raise FlowError(f"max_paths_per_demand must be >= 1, got {max_paths_per_demand}")
+    tm.validate_against(network.node_ids)
+    residual = {link.id: link.capacity_gbps for link in network.iter_links()}
+    loads: Dict[str, float] = {lid: 0.0 for lid in residual}
+    paths_used: Dict[Tuple[str, str], List[Tuple[Path, float]]] = {}
+    unplaced = 0.0
+
+    demands = sorted(tm.pairs(), key=lambda item: (-item[1], item[0]))
+    for (src, dst), demand in demands:
+        remaining = demand
+        placed_paths: List[Tuple[Path, float]] = []
+        for _ in range(max_paths_per_demand):
+            if remaining <= split_epsilon_gbps:
+                remaining = 0.0
+                break
+            path = _residual_dijkstra(network, residual, src, dst, split_epsilon_gbps)
+            if path is None:
+                break
+            bottleneck = min(residual[lid] for lid in path.link_ids)
+            take = min(remaining, bottleneck)
+            for lid in path.link_ids:
+                residual[lid] -= take
+                loads[lid] += take
+            placed_paths.append((path, take))
+            remaining -= take
+        if placed_paths:
+            paths_used[(src, dst)] = placed_paths
+        unplaced += max(remaining, 0.0)
+
+    loads = {lid: load for lid, load in loads.items() if load > 0.0}
+    return RoutingOutcome(
+        feasible=unplaced <= split_epsilon_gbps * max(1, tm.num_pairs),
+        link_load_gbps=loads,
+        unplaced_gbps=unplaced,
+        paths_used=paths_used,
+    )

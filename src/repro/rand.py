@@ -1,0 +1,53 @@
+"""Seeded randomness helpers.
+
+All stochastic components of the library (topology generation, traffic
+matrices, market simulation) take an explicit seed or
+:class:`numpy.random.Generator`.  This module centralizes how those are
+constructed so every experiment is reproducible from a single integer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a numpy Generator from a seed, an existing generator, or None.
+
+    Passing an existing :class:`numpy.random.Generator` returns it unchanged
+    so components can share one stream; passing an int derives a fresh,
+    deterministic stream; passing ``None`` produces an OS-seeded stream
+    (only appropriate for interactive exploration, never for benchmarks).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    Used when a simulation hands sub-streams to independent agents so that
+    adding an agent does not perturb the draws seen by the others.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(count)]
+
+
+def stable_choice(rng: np.random.Generator, items: list, size: Optional[int] = None):
+    """Choose from ``items`` without requiring them to be a numpy array.
+
+    numpy's ``Generator.choice`` converts object lists to arrays, which can
+    mangle tuples; choosing *indices* avoids that.
+    """
+    if not items:
+        raise ValueError("cannot choose from an empty list")
+    if size is None:
+        return items[int(rng.integers(len(items)))]
+    idx = rng.choice(len(items), size=size, replace=False)
+    return [items[int(i)] for i in idx]

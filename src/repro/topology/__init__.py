@@ -1,0 +1,29 @@
+"""Topology substrate: graphs, geography, and synthetic operator networks.
+
+The paper's auction experiment (Section 3.3) starts from the TopologyZoo
+dataset, merges operator networks into 20 Bandwidth Providers (BPs), and
+places POC routers at cities where four or more BPs are closely colocated.
+This package rebuilds that pipeline from scratch on top of a synthetic,
+seeded operator-network generator (see DESIGN.md for the substitution
+rationale).
+
+Public entry points:
+
+- :class:`repro.topology.graph.Network` — the graph model used everywhere.
+- :func:`repro.topology.generators.waxman_network` and friends — single
+  operator networks over real city coordinates.
+- :class:`repro.topology.zoo.SyntheticZoo` — the full §3.3 input pipeline:
+  operators → BPs → POC routers → offered logical links.
+"""
+
+from repro.topology.graph import Link, Network, Node
+from repro.topology.zoo import BPFootprint, SyntheticZoo, ZooConfig
+
+__all__ = [
+    "Link",
+    "Network",
+    "Node",
+    "BPFootprint",
+    "SyntheticZoo",
+    "ZooConfig",
+]

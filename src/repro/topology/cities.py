@@ -1,0 +1,213 @@
+"""A built-in database of world cities used to anchor synthetic topologies.
+
+TopologyZoo networks are real operator maps whose nodes are cities; since
+the dataset is not available offline, our synthetic generator draws from
+this database instead.  Coordinates are decimal degrees; populations are
+metro-area estimates in millions (rounded — they only drive gravity-model
+traffic weights and operator footprint sampling, not any exact claim).
+
+The set is intentionally biased toward cities that actually host major
+carrier hotels and IXPs, because POC routers are placed where many BPs
+colocate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.topology.geo import GeoPoint
+
+
+@dataclass(frozen=True)
+class City:
+    """A city that can host network PoPs."""
+
+    name: str
+    country: str
+    region: str
+    lat: float
+    lon: float
+    population_m: float
+
+    @property
+    def point(self) -> GeoPoint:
+        return GeoPoint(self.lat, self.lon)
+
+
+# name, country, region, lat, lon, metro population (millions)
+_RAW: List[Tuple[str, str, str, float, float, float]] = [
+    # --- North America ---
+    ("New York", "US", "na", 40.71, -74.01, 19.8),
+    ("Ashburn", "US", "na", 39.04, -77.49, 6.3),
+    ("Chicago", "US", "na", 41.88, -87.63, 9.5),
+    ("Dallas", "US", "na", 32.78, -96.80, 7.6),
+    ("Los Angeles", "US", "na", 34.05, -118.24, 13.2),
+    ("San Jose", "US", "na", 37.34, -121.89, 2.0),
+    ("Palo Alto", "US", "na", 37.44, -122.14, 1.9),
+    ("Seattle", "US", "na", 47.61, -122.33, 4.0),
+    ("Miami", "US", "na", 25.76, -80.19, 6.1),
+    ("Atlanta", "US", "na", 33.75, -84.39, 6.1),
+    ("Denver", "US", "na", 39.74, -104.99, 3.0),
+    ("Phoenix", "US", "na", 33.45, -112.07, 4.9),
+    ("Houston", "US", "na", 29.76, -95.37, 7.1),
+    ("Boston", "US", "na", 42.36, -71.06, 4.9),
+    ("Philadelphia", "US", "na", 39.95, -75.17, 6.2),
+    ("Washington", "US", "na", 38.91, -77.04, 6.4),
+    ("Minneapolis", "US", "na", 44.98, -93.27, 3.7),
+    ("St Louis", "US", "na", 38.63, -90.20, 2.8),
+    ("Kansas City", "US", "na", 39.10, -94.58, 2.2),
+    ("Salt Lake City", "US", "na", 40.76, -111.89, 1.3),
+    ("Portland", "US", "na", 45.52, -122.68, 2.5),
+    ("Sacramento", "US", "na", 38.58, -121.49, 2.4),
+    ("Las Vegas", "US", "na", 36.17, -115.14, 2.3),
+    ("San Diego", "US", "na", 32.72, -117.16, 3.3),
+    ("Albuquerque", "US", "na", 35.08, -106.65, 0.9),
+    ("El Paso", "US", "na", 31.76, -106.49, 0.9),
+    ("Nashville", "US", "na", 36.16, -86.78, 2.0),
+    ("Charlotte", "US", "na", 35.23, -80.84, 2.7),
+    ("Raleigh", "US", "na", 35.78, -78.64, 1.4),
+    ("Jacksonville", "US", "na", 30.33, -81.66, 1.6),
+    ("Tampa", "US", "na", 27.95, -82.46, 3.2),
+    ("Orlando", "US", "na", 28.54, -81.38, 2.7),
+    ("New Orleans", "US", "na", 29.95, -90.07, 1.3),
+    ("Memphis", "US", "na", 35.15, -90.05, 1.3),
+    ("Indianapolis", "US", "na", 39.77, -86.16, 2.1),
+    ("Columbus", "US", "na", 39.96, -82.10, 2.1),
+    ("Cleveland", "US", "na", 41.50, -81.69, 2.1),
+    ("Detroit", "US", "na", 42.33, -83.05, 4.3),
+    ("Pittsburgh", "US", "na", 40.44, -80.00, 2.3),
+    ("Buffalo", "US", "na", 42.89, -78.88, 1.1),
+    ("Toronto", "CA", "na", 43.65, -79.38, 6.2),
+    ("Montreal", "CA", "na", 45.50, -73.57, 4.3),
+    ("Vancouver", "CA", "na", 49.28, -123.12, 2.6),
+    ("Calgary", "CA", "na", 51.05, -114.07, 1.5),
+    ("Winnipeg", "CA", "na", 49.90, -97.14, 0.8),
+    ("Ottawa", "CA", "na", 45.42, -75.70, 1.4),
+    ("Mexico City", "MX", "na", 19.43, -99.13, 21.8),
+    ("Monterrey", "MX", "na", 25.69, -100.32, 5.3),
+    ("Guadalajara", "MX", "na", 20.66, -103.35, 5.2),
+    # --- Europe ---
+    ("London", "GB", "eu", 51.51, -0.13, 14.3),
+    ("Slough", "GB", "eu", 51.51, -0.59, 0.2),
+    ("Manchester", "GB", "eu", 53.48, -2.24, 2.8),
+    ("Dublin", "IE", "eu", 53.35, -6.26, 1.4),
+    ("Amsterdam", "NL", "eu", 52.37, 4.90, 2.5),
+    ("Rotterdam", "NL", "eu", 51.92, 4.48, 1.0),
+    ("Brussels", "BE", "eu", 50.85, 4.35, 2.1),
+    ("Paris", "FR", "eu", 48.86, 2.35, 11.1),
+    ("Marseille", "FR", "eu", 43.30, 5.37, 1.9),
+    ("Lyon", "FR", "eu", 45.76, 4.84, 2.3),
+    ("Frankfurt", "DE", "eu", 50.11, 8.68, 2.7),
+    ("Berlin", "DE", "eu", 52.52, 13.41, 4.5),
+    ("Munich", "DE", "eu", 48.14, 11.58, 2.9),
+    ("Hamburg", "DE", "eu", 53.55, 9.99, 3.1),
+    ("Dusseldorf", "DE", "eu", 51.23, 6.77, 1.6),
+    ("Zurich", "CH", "eu", 47.37, 8.54, 1.4),
+    ("Geneva", "CH", "eu", 46.20, 6.14, 0.6),
+    ("Vienna", "AT", "eu", 48.21, 16.37, 2.9),
+    ("Milan", "IT", "eu", 45.46, 9.19, 4.3),
+    ("Rome", "IT", "eu", 41.90, 12.50, 4.3),
+    ("Madrid", "ES", "eu", 40.42, -3.70, 6.7),
+    ("Barcelona", "ES", "eu", 41.39, 2.17, 5.6),
+    ("Lisbon", "PT", "eu", 38.72, -9.14, 2.9),
+    ("Copenhagen", "DK", "eu", 55.68, 12.57, 2.1),
+    ("Stockholm", "SE", "eu", 59.33, 18.07, 2.4),
+    ("Oslo", "NO", "eu", 59.91, 10.75, 1.6),
+    ("Helsinki", "FI", "eu", 60.17, 24.94, 1.5),
+    ("Warsaw", "PL", "eu", 52.23, 21.01, 3.1),
+    ("Prague", "CZ", "eu", 50.08, 14.44, 2.7),
+    ("Budapest", "HU", "eu", 47.50, 19.04, 3.0),
+    ("Bucharest", "RO", "eu", 44.43, 26.10, 2.3),
+    ("Sofia", "BG", "eu", 42.70, 23.32, 1.7),
+    ("Athens", "GR", "eu", 37.98, 23.73, 3.6),
+    ("Istanbul", "TR", "eu", 41.01, 28.98, 15.6),
+    ("Kyiv", "UA", "eu", 50.45, 30.52, 3.0),
+    ("Moscow", "RU", "eu", 55.76, 37.62, 12.6),
+    ("St Petersburg", "RU", "eu", 59.93, 30.34, 5.4),
+    # --- Asia-Pacific ---
+    ("Tokyo", "JP", "ap", 35.68, 139.69, 37.3),
+    ("Osaka", "JP", "ap", 34.69, 135.50, 18.9),
+    ("Seoul", "KR", "ap", 37.57, 126.98, 25.5),
+    ("Busan", "KR", "ap", 35.18, 129.08, 3.4),
+    ("Beijing", "CN", "ap", 39.90, 116.41, 20.9),
+    ("Shanghai", "CN", "ap", 31.23, 121.47, 26.3),
+    ("Shenzhen", "CN", "ap", 22.54, 114.06, 12.6),
+    ("Guangzhou", "CN", "ap", 23.13, 113.26, 13.9),
+    ("Hong Kong", "HK", "ap", 22.32, 114.17, 7.5),
+    ("Taipei", "TW", "ap", 25.03, 121.57, 7.0),
+    ("Singapore", "SG", "ap", 1.35, 103.82, 5.9),
+    ("Kuala Lumpur", "MY", "ap", 3.14, 101.69, 8.0),
+    ("Jakarta", "ID", "ap", -6.21, 106.85, 33.4),
+    ("Bangkok", "TH", "ap", 13.76, 100.50, 10.7),
+    ("Manila", "PH", "ap", 14.60, 120.98, 13.9),
+    ("Hanoi", "VN", "ap", 21.03, 105.85, 8.1),
+    ("Ho Chi Minh City", "VN", "ap", 10.82, 106.63, 9.3),
+    ("Mumbai", "IN", "ap", 19.08, 72.88, 20.7),
+    ("Delhi", "IN", "ap", 28.70, 77.10, 31.2),
+    ("Bangalore", "IN", "ap", 12.97, 77.59, 12.8),
+    ("Chennai", "IN", "ap", 13.08, 80.27, 11.2),
+    ("Hyderabad", "IN", "ap", 17.38, 78.49, 10.3),
+    ("Karachi", "PK", "ap", 24.86, 67.01, 16.8),
+    ("Dhaka", "BD", "ap", 23.81, 90.41, 22.5),
+    ("Colombo", "LK", "ap", 6.93, 79.85, 2.3),
+    ("Sydney", "AU", "ap", -33.87, 151.21, 5.4),
+    ("Melbourne", "AU", "ap", -37.81, 144.96, 5.2),
+    ("Brisbane", "AU", "ap", -27.47, 153.03, 2.6),
+    ("Perth", "AU", "ap", -31.95, 115.86, 2.1),
+    ("Auckland", "NZ", "ap", -36.85, 174.76, 1.7),
+    # --- Middle East & Africa ---
+    ("Dubai", "AE", "mea", 25.20, 55.27, 3.6),
+    ("Tel Aviv", "IL", "mea", 32.09, 34.78, 4.2),
+    ("Riyadh", "SA", "mea", 24.71, 46.68, 7.7),
+    ("Doha", "QA", "mea", 25.29, 51.53, 2.4),
+    ("Cairo", "EG", "mea", 30.04, 31.24, 21.3),
+    ("Casablanca", "MA", "mea", 33.57, -7.59, 3.8),
+    ("Lagos", "NG", "mea", 6.52, 3.38, 15.4),
+    ("Accra", "GH", "mea", 5.60, -0.19, 2.6),
+    ("Nairobi", "KE", "mea", -1.29, 36.82, 5.1),
+    ("Johannesburg", "ZA", "mea", -26.20, 28.05, 10.1),
+    ("Cape Town", "ZA", "mea", -33.92, 18.42, 4.8),
+    # --- South America ---
+    ("Sao Paulo", "BR", "sa", -23.55, -46.63, 22.4),
+    ("Rio de Janeiro", "BR", "sa", -22.91, -43.17, 13.6),
+    ("Fortaleza", "BR", "sa", -3.72, -38.54, 4.1),
+    ("Brasilia", "BR", "sa", -15.79, -47.88, 4.8),
+    ("Buenos Aires", "AR", "sa", -34.60, -58.38, 15.4),
+    ("Santiago", "CL", "sa", -33.45, -70.67, 6.9),
+    ("Lima", "PE", "sa", -12.05, -77.04, 11.0),
+    ("Bogota", "CO", "sa", 4.71, -74.07, 11.3),
+    ("Caracas", "VE", "sa", 10.48, -66.90, 2.9),
+    ("Quito", "EC", "sa", -0.18, -78.47, 2.0),
+]
+
+#: All cities in the database, ordered as declared.
+ALL_CITIES: List[City] = [City(*row) for row in _RAW]
+
+#: Lookup by city name.
+BY_NAME: Dict[str, City] = {c.name: c for c in ALL_CITIES}
+
+#: Region codes present in the database.
+REGIONS: Tuple[str, ...] = ("na", "eu", "ap", "mea", "sa")
+
+
+def cities_in_region(region: str) -> List[City]:
+    """All cities in one region code (see :data:`REGIONS`)."""
+    if region not in REGIONS:
+        raise ValueError(f"unknown region {region!r}; expected one of {REGIONS}")
+    return [c for c in ALL_CITIES if c.region == region]
+
+
+def get_city(name: str) -> City:
+    """Look up a city by exact name."""
+    try:
+        return BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown city {name!r}") from None
+
+
+def largest_cities(count: int) -> List[City]:
+    """The ``count`` most populous cities, useful for small demo topologies."""
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    return sorted(ALL_CITIES, key=lambda c: -c.population_m)[:count]

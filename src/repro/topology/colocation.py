@@ -1,0 +1,133 @@
+"""POC router placement at multi-BP colocation sites.
+
+Section 3.3: "we ... placed POC routers at points where there were four or
+more BPs closely colocated."  A *colocation site* is a city (or a cluster
+of cities within a small radius — e.g. Ashburn and Washington) where at
+least ``min_bps`` distinct Bandwidth Providers have a PoP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Sequence, Set
+
+from repro.topology.cities import City, get_city
+from repro.topology.geo import haversine_km
+
+#: Default radius within which two PoP cities count as "closely colocated".
+DEFAULT_COLOCATION_RADIUS_KM = 60.0
+
+#: The paper's threshold: four or more BPs must be present.
+DEFAULT_MIN_BPS = 4
+
+
+@dataclass(frozen=True)
+class ColocationSite:
+    """A POC router site: a representative city plus the BPs present there.
+
+    ``member_cities`` lists every clustered city; ``bps`` the providers with
+    a PoP in any of them.
+    """
+
+    city: str
+    member_cities: FrozenSet[str]
+    bps: FrozenSet[str]
+
+    @property
+    def router_id(self) -> str:
+        """The id the POC router at this site uses in the offered network."""
+        return f"POC:{self.city}"
+
+
+def _cluster_cities(city_names: Sequence[str], radius_km: float) -> List[Set[str]]:
+    """Greedy single-linkage clustering of cities within ``radius_km``."""
+    cities: List[City] = [get_city(name) for name in sorted(set(city_names))]
+    clusters: List[Set[str]] = []
+    assigned: Dict[str, int] = {}
+    for city in cities:
+        target = None
+        for idx, cluster in enumerate(clusters):
+            if any(
+                haversine_km(city.point, get_city(member).point) <= radius_km
+                for member in cluster
+            ):
+                target = idx
+                break
+        if target is None:
+            clusters.append({city.name})
+            assigned[city.name] = len(clusters) - 1
+        else:
+            clusters[target].add(city.name)
+            assigned[city.name] = target
+    return clusters
+
+
+def find_colocation_sites(
+    bp_cities: Mapping[str, Set[str]],
+    *,
+    min_bps: int = DEFAULT_MIN_BPS,
+    radius_km: float = DEFAULT_COLOCATION_RADIUS_KM,
+) -> List[ColocationSite]:
+    """Find all sites where at least ``min_bps`` BPs are closely colocated.
+
+    ``bp_cities`` maps each BP name to the set of city names where it has a
+    PoP.  Returns sites sorted by (descending BP count, city name) so the
+    ordering is deterministic.
+    """
+    if min_bps < 1:
+        raise ValueError(f"min_bps must be >= 1, got {min_bps}")
+    all_cities = sorted({c for cities in bp_cities.values() for c in cities})
+    clusters = _cluster_cities(all_cities, radius_km)
+
+    sites: List[ColocationSite] = []
+    for cluster in clusters:
+        present = frozenset(
+            bp for bp, cities in bp_cities.items() if cities & cluster
+        )
+        if len(present) < min_bps:
+            continue
+        # Representative city: the most populous member.
+        rep = max(cluster, key=lambda name: get_city(name).population_m)
+        sites.append(
+            ColocationSite(
+                city=rep,
+                member_cities=frozenset(cluster),
+                bps=present,
+            )
+        )
+    sites.sort(key=lambda s: (-len(s.bps), s.city))
+    return sites
+
+
+@dataclass
+class PlacementReport:
+    """Diagnostics from a placement run, used in benchmarks and docs."""
+
+    sites: List[ColocationSite]
+    cities_considered: int
+    clusters_formed: int
+    min_bps: int
+    per_site_bp_count: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def num_sites(self) -> int:
+        return len(self.sites)
+
+
+def place_poc_routers(
+    bp_cities: Mapping[str, Set[str]],
+    *,
+    min_bps: int = DEFAULT_MIN_BPS,
+    radius_km: float = DEFAULT_COLOCATION_RADIUS_KM,
+) -> PlacementReport:
+    """Run placement and return sites plus diagnostics."""
+    all_cities = {c for cities in bp_cities.values() for c in cities}
+    clusters = _cluster_cities(sorted(all_cities), radius_km)
+    sites = find_colocation_sites(bp_cities, min_bps=min_bps, radius_km=radius_km)
+    return PlacementReport(
+        sites=sites,
+        cities_considered=len(all_cities),
+        clusters_formed=len(clusters),
+        min_bps=min_bps,
+        per_site_bp_count={s.city: len(s.bps) for s in sites},
+    )

@@ -1,0 +1,237 @@
+"""Synthetic single-operator network generators.
+
+Real operator maps (the TopologyZoo input of the paper) share a shape:
+a sparse, connected, geography-respecting backbone with a few redundant
+long-haul shortcuts.  We reproduce that shape with a two-phase generator:
+
+1. a Euclidean minimum spanning tree over the operator's PoP cities, which
+   guarantees connectivity and hugs geography the way fibre builds do, then
+2. extra Waxman-style shortcut links added with probability decaying in
+   distance, which creates the redundancy/meshiness real backbones have.
+
+Capacities are drawn from a small set of standard wave sizes (10/40/100
+Gbps and n×100G bundles), matching how wholesale capacity is actually sold.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.rand import SeedLike, make_rng
+from repro.topology.cities import City
+from repro.topology.geo import FIBER_ROUTE_FACTOR, haversine_km
+from repro.topology.graph import Link, Network, Node
+
+#: Standard leased-wave capacities in Gbps, with sampling weights skewed
+#: toward 100G, the workhorse of the long-haul market per TeleGeography.
+STANDARD_WAVES_GBPS: Tuple[float, ...] = (10.0, 40.0, 100.0, 200.0, 400.0)
+_WAVE_WEIGHTS: Tuple[float, ...] = (0.15, 0.10, 0.45, 0.20, 0.10)
+
+
+def node_for_city(city: City, prefix: str = "") -> Node:
+    """Build a router node sited at a city."""
+    node_id = f"{prefix}{city.name}" if prefix else city.name
+    return Node(id=node_id, point=city.point, city=city.name, kind="router")
+
+
+def _euclidean_mst_edges(cities: Sequence[City]) -> List[Tuple[int, int]]:
+    """Prim's algorithm over great-circle distances; returns index pairs."""
+    n = len(cities)
+    if n <= 1:
+        return []
+    in_tree = [False] * n
+    best_dist = [math.inf] * n
+    best_from = [0] * n
+    in_tree[0] = True
+    for j in range(1, n):
+        best_dist[j] = haversine_km(cities[0].point, cities[j].point)
+    edges: List[Tuple[int, int]] = []
+    for _ in range(n - 1):
+        j = min(
+            (idx for idx in range(n) if not in_tree[idx]),
+            key=lambda idx: best_dist[idx],
+        )
+        edges.append((best_from[j], j))
+        in_tree[j] = True
+        for k in range(n):
+            if not in_tree[k]:
+                d = haversine_km(cities[j].point, cities[k].point)
+                if d < best_dist[k]:
+                    best_dist[k] = d
+                    best_from[k] = j
+    return edges
+
+
+def sample_wave_gbps(rng, scale: float = 1.0) -> float:
+    """Draw one standard wave capacity, optionally scaled."""
+    idx = int(rng.choice(len(STANDARD_WAVES_GBPS), p=_WAVE_WEIGHTS))
+    return STANDARD_WAVES_GBPS[idx] * scale
+
+
+def waxman_network(
+    cities: Sequence[City],
+    *,
+    name: str = "waxman",
+    seed: SeedLike = None,
+    alpha: float = 0.5,
+    beta: float = 0.25,
+    capacity_scale: float = 1.0,
+    route_factor: float = FIBER_ROUTE_FACTOR,
+    node_prefix: str = "",
+) -> Network:
+    """Generate one operator backbone over the given cities.
+
+    ``alpha`` controls overall shortcut density and ``beta`` the distance
+    decay, as in Waxman's classic model: an extra edge (i, j) is added with
+    probability ``alpha * exp(-d_ij / (beta * L))`` where ``L`` is the
+    network's geographic diameter.  The MST phase runs first, so the result
+    is always connected regardless of the Waxman draw.
+    """
+    if len(cities) < 2:
+        raise ValueError("an operator network needs at least two cities")
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    if beta <= 0.0:
+        raise ValueError(f"beta must be positive, got {beta}")
+    names = [c.name for c in cities]
+    if len(set(names)) != len(names):
+        raise ValueError("duplicate cities passed to generator")
+
+    rng = make_rng(seed)
+    net = Network(name=name)
+    for city in cities:
+        net.add_node(node_for_city(city, prefix=node_prefix))
+
+    diameter_km = max(
+        haversine_km(a.point, b.point) for a, b in itertools.combinations(cities, 2)
+    )
+    counter = itertools.count()
+
+    def add_span(i: int, j: int) -> None:
+        a, b = cities[i], cities[j]
+        length = haversine_km(a.point, b.point) * route_factor
+        link = Link(
+            id=f"{name}-L{next(counter):04d}",
+            u=f"{node_prefix}{a.name}",
+            v=f"{node_prefix}{b.name}",
+            capacity_gbps=sample_wave_gbps(rng, capacity_scale),
+            length_km=length,
+            owner=None,
+        )
+        net.add_link(link)
+
+    mst = _euclidean_mst_edges(cities)
+    spanned = set()
+    for i, j in mst:
+        add_span(i, j)
+        spanned.add(frozenset((i, j)))
+
+    for i, j in itertools.combinations(range(len(cities)), 2):
+        if frozenset((i, j)) in spanned:
+            continue
+        d = haversine_km(cities[i].point, cities[j].point)
+        p = alpha * math.exp(-d / (beta * diameter_km))
+        if rng.random() < p:
+            add_span(i, j)
+
+    return net
+
+
+def ring_network(
+    cities: Sequence[City],
+    *,
+    name: str = "ring",
+    seed: SeedLike = None,
+    capacity_scale: float = 1.0,
+    node_prefix: str = "",
+) -> Network:
+    """A SONET-style ring in nearest-neighbour order.
+
+    Rings are the second-most-common shape in TopologyZoo (metro and
+    regional operators); we order cities greedily by proximity so the ring
+    is geographically sensible.
+    """
+    if len(cities) < 3:
+        raise ValueError("a ring needs at least three cities")
+    rng = make_rng(seed)
+    remaining = list(cities)
+    ordered = [remaining.pop(int(rng.integers(len(remaining))))]
+    while remaining:
+        last = ordered[-1]
+        nxt = min(remaining, key=lambda c: haversine_km(last.point, c.point))
+        remaining.remove(nxt)
+        ordered.append(nxt)
+
+    net = Network(name=name)
+    for city in ordered:
+        net.add_node(node_for_city(city, prefix=node_prefix))
+    for idx, city in enumerate(ordered):
+        nxt = ordered[(idx + 1) % len(ordered)]
+        length = haversine_km(city.point, nxt.point) * FIBER_ROUTE_FACTOR
+        net.add_link(
+            Link(
+                id=f"{name}-L{idx:04d}",
+                u=f"{node_prefix}{city.name}",
+                v=f"{node_prefix}{nxt.name}",
+                capacity_gbps=sample_wave_gbps(rng, capacity_scale),
+                length_km=length,
+            )
+        )
+    return net
+
+
+def star_network(
+    hub: City,
+    leaves: Sequence[City],
+    *,
+    name: str = "star",
+    seed: SeedLike = None,
+    capacity_scale: float = 1.0,
+    node_prefix: str = "",
+) -> Network:
+    """A hub-and-spoke operator (common for small regional carriers)."""
+    if not leaves:
+        raise ValueError("a star needs at least one leaf")
+    if any(leaf.name == hub.name for leaf in leaves):
+        raise ValueError("hub city repeated among leaves")
+    rng = make_rng(seed)
+    net = Network(name=name)
+    net.add_node(node_for_city(hub, prefix=node_prefix))
+    for idx, leaf in enumerate(leaves):
+        net.add_node(node_for_city(leaf, prefix=node_prefix))
+        length = haversine_km(hub.point, leaf.point) * FIBER_ROUTE_FACTOR
+        net.add_link(
+            Link(
+                id=f"{name}-L{idx:04d}",
+                u=f"{node_prefix}{hub.name}",
+                v=f"{node_prefix}{leaf.name}",
+                capacity_gbps=sample_wave_gbps(rng, capacity_scale),
+                length_km=length,
+            )
+        )
+    return net
+
+
+def merge_networks(networks: Sequence[Network], name: str) -> Network:
+    """Union several operator networks into one (shared cities merge).
+
+    Nodes with the same id are merged; links always keep their distinct
+    ids, producing parallel links where two operators span the same pair.
+    This is the "combined some networks to form 20 BPs" step of §3.3.
+    """
+    merged = Network(name=name)
+    seen_links: Dict[str, str] = {}
+    for net in networks:
+        for node in net.nodes:
+            merged.ensure_node(node)
+        for link in net.iter_links():
+            if link.id in seen_links:
+                raise ValueError(
+                    f"link id {link.id} appears in both {seen_links[link.id]} "
+                    f"and {net.name}; generator ids must be globally unique"
+                )
+            seen_links[link.id] = net.name
+            merged.add_link(link)
+    return merged

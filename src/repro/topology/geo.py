@@ -1,0 +1,83 @@
+"""Geographic primitives: coordinates and great-circle distances.
+
+Link lengths drive lease costs in the bandwidth auction, so distances are
+computed properly on the sphere rather than in lat/lon space.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Mean Earth radius in kilometres (IUGG value).
+EARTH_RADIUS_KM = 6371.0088
+
+#: Typical route-factor by which real fibre paths exceed great-circle
+#: distance (conduits follow roads, rails, and sea beds).
+FIBER_ROUTE_FACTOR = 1.35
+
+#: Speed of light in fibre, km per millisecond (c / refractive index 1.468).
+FIBER_KM_PER_MS = 204.19
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A point on the Earth's surface in decimal degrees."""
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude out of range: {self.lat}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude out of range: {self.lon}")
+
+
+def haversine_km(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance between two points in kilometres."""
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
+
+
+def fiber_km(a: GeoPoint, b: GeoPoint, route_factor: float = FIBER_ROUTE_FACTOR) -> float:
+    """Estimated fibre-route length between two points.
+
+    Applies a route factor to the great-circle distance; real long-haul
+    routes are rarely straight lines.
+    """
+    if route_factor < 1.0:
+        raise ValueError(f"route factor must be >= 1, got {route_factor}")
+    return haversine_km(a, b) * route_factor
+
+
+def propagation_ms(path_km: float) -> float:
+    """One-way propagation delay in milliseconds over ``path_km`` of fibre."""
+    if path_km < 0:
+        raise ValueError(f"path length cannot be negative: {path_km}")
+    return path_km / FIBER_KM_PER_MS
+
+
+def midpoint(a: GeoPoint, b: GeoPoint) -> GeoPoint:
+    """Geographic midpoint of two points (spherical interpolation).
+
+    Used for placing synthetic intermediate nodes along long-haul spans.
+    """
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    dlon = lon2 - lon1
+    bx = math.cos(lat2) * math.cos(dlon)
+    by = math.cos(lat2) * math.sin(dlon)
+    lat_m = math.atan2(
+        math.sin(lat1) + math.sin(lat2),
+        math.sqrt((math.cos(lat1) + bx) ** 2 + by**2),
+    )
+    lon_m = lon1 + math.atan2(by, math.cos(lat1) + bx)
+    lon_deg = math.degrees(lon_m)
+    # Normalize to [-180, 180].
+    lon_deg = (lon_deg + 180.0) % 360.0 - 180.0
+    return GeoPoint(math.degrees(lat_m), lon_deg)

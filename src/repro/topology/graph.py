@@ -1,0 +1,279 @@
+"""The graph model shared by every subsystem.
+
+A :class:`Network` is an undirected multigraph of :class:`Node` and
+:class:`Link` objects.  It is deliberately small: capacity, geography, and
+ownership live on links; everything else (traffic, bids, prices) lives in
+the subsystem that owns that concern.  ``networkx`` views are available for
+algorithms but the canonical store is this class, so invariants (unique
+ids, endpoint existence, positive capacity) are enforced in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.exceptions import (
+    DuplicateIdError,
+    TopologyError,
+    UnknownLinkError,
+    UnknownNodeError,
+)
+from repro.topology.geo import GeoPoint, haversine_km
+
+
+@dataclass(frozen=True)
+class Node:
+    """A network location (PoP, router site, attachment point)."""
+
+    id: str
+    point: Optional[GeoPoint] = None
+    city: Optional[str] = None
+    kind: str = "router"
+
+    def distance_km(self, other: "Node") -> float:
+        """Great-circle distance to another node (requires coordinates)."""
+        if self.point is None or other.point is None:
+            raise TopologyError(
+                f"cannot compute distance between {self.id} and {other.id}: "
+                "one of them has no coordinates"
+            )
+        return haversine_km(self.point, other.point)
+
+
+@dataclass(frozen=True)
+class Link:
+    """An undirected capacity between two nodes.
+
+    ``capacity_gbps`` is the usable bandwidth in each direction (full
+    duplex, as leased waves are).  ``owner`` names the Bandwidth Provider
+    offering the link, or ``None`` for links the network itself owns (e.g.
+    external-ISP virtual links carry owner ``None`` and a contract cost).
+    """
+
+    id: str
+    u: str
+    v: str
+    capacity_gbps: float
+    length_km: float = 0.0
+    owner: Optional[str] = None
+    virtual: bool = False
+
+    def __post_init__(self) -> None:
+        if self.u == self.v:
+            raise TopologyError(f"link {self.id} is a self-loop at {self.u}")
+        if self.capacity_gbps <= 0:
+            raise TopologyError(
+                f"link {self.id} has non-positive capacity {self.capacity_gbps}"
+            )
+        if self.length_km < 0:
+            raise TopologyError(f"link {self.id} has negative length {self.length_km}")
+
+    @property
+    def ends(self) -> Tuple[str, str]:
+        return (self.u, self.v)
+
+    def other(self, node_id: str) -> str:
+        """The endpoint opposite ``node_id``."""
+        if node_id == self.u:
+            return self.v
+        if node_id == self.v:
+            return self.u
+        raise TopologyError(f"node {node_id} is not an endpoint of link {self.id}")
+
+    def joins(self, a: str, b: str) -> bool:
+        """True if this link connects nodes ``a`` and ``b`` (either order)."""
+        return {self.u, self.v} == {a, b}
+
+
+@dataclass
+class Network:
+    """An undirected multigraph with O(1) id lookups.
+
+    Multiple parallel links between the same node pair are allowed — in the
+    auction, different BPs routinely offer competing logical links between
+    the same pair of POC routers.
+    """
+
+    name: str = "network"
+    _nodes: Dict[str, Node] = field(default_factory=dict)
+    _links: Dict[str, Link] = field(default_factory=dict)
+    _adj: Dict[str, Set[str]] = field(default_factory=dict)
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(self, node: Node) -> Node:
+        """Add a node; raises :class:`DuplicateIdError` on id reuse."""
+        if node.id in self._nodes:
+            raise DuplicateIdError(f"node id already present: {node.id}")
+        self._nodes[node.id] = node
+        self._adj[node.id] = set()
+        return node
+
+    def ensure_node(self, node: Node) -> Node:
+        """Add a node if absent; returns the stored node either way."""
+        existing = self._nodes.get(node.id)
+        if existing is not None:
+            return existing
+        return self.add_node(node)
+
+    def add_link(self, link: Link) -> Link:
+        """Add a link; both endpoints must already exist."""
+        if link.id in self._links:
+            raise DuplicateIdError(f"link id already present: {link.id}")
+        for end in link.ends:
+            if end not in self._nodes:
+                raise UnknownNodeError(end)
+        self._links[link.id] = link
+        self._adj[link.u].add(link.id)
+        self._adj[link.v].add(link.id)
+        return link
+
+    def remove_link(self, link_id: str) -> Link:
+        """Remove and return a link."""
+        link = self._links.pop(link_id, None)
+        if link is None:
+            raise UnknownLinkError(link_id)
+        self._adj[link.u].discard(link_id)
+        self._adj[link.v].discard(link_id)
+        return link
+
+    # -- lookups -----------------------------------------------------------
+
+    def node(self, node_id: str) -> Node:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise UnknownNodeError(node_id) from None
+
+    def link(self, link_id: str) -> Link:
+        try:
+            return self._links[link_id]
+        except KeyError:
+            raise UnknownLinkError(link_id) from None
+
+    def has_node(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def has_link(self, link_id: str) -> bool:
+        return link_id in self._links
+
+    @property
+    def nodes(self) -> List[Node]:
+        return list(self._nodes.values())
+
+    @property
+    def node_ids(self) -> List[str]:
+        return list(self._nodes.keys())
+
+    @property
+    def links(self) -> List[Link]:
+        return list(self._links.values())
+
+    @property
+    def link_ids(self) -> List[str]:
+        return list(self._links.keys())
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_links(self) -> int:
+        return len(self._links)
+
+    # -- topology queries ----------------------------------------------------
+
+    def incident_links(self, node_id: str) -> List[Link]:
+        """All links touching ``node_id``."""
+        if node_id not in self._adj:
+            raise UnknownNodeError(node_id)
+        return [self._links[lid] for lid in sorted(self._adj[node_id])]
+
+    def neighbors(self, node_id: str) -> Set[str]:
+        """Node ids adjacent to ``node_id``."""
+        return {link.other(node_id) for link in self.incident_links(node_id)}
+
+    def degree(self, node_id: str) -> int:
+        """Number of incident links (parallel links each count)."""
+        if node_id not in self._adj:
+            raise UnknownNodeError(node_id)
+        return len(self._adj[node_id])
+
+    def links_between(self, a: str, b: str) -> List[Link]:
+        """All parallel links joining nodes ``a`` and ``b``."""
+        if a not in self._adj:
+            raise UnknownNodeError(a)
+        if b not in self._adj:
+            raise UnknownNodeError(b)
+        return [self._links[lid] for lid in sorted(self._adj[a]) if self._links[lid].joins(a, b)]
+
+    def is_connected(self) -> bool:
+        """True if every node can reach every other node."""
+        if not self._nodes:
+            return True
+        seen: Set[str] = set()
+        stack = [next(iter(self._nodes))]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.neighbors(current) - seen)
+        return len(seen) == len(self._nodes)
+
+    def total_capacity_gbps(self) -> float:
+        """Sum of capacities over all links."""
+        return sum(link.capacity_gbps for link in self._links.values())
+
+    # -- derived views -------------------------------------------------------
+
+    def restricted_to_links(self, link_ids: Iterable[str], name: Optional[str] = None) -> "Network":
+        """A copy keeping all nodes but only the given links.
+
+        This is the operation the auction performs constantly: evaluate
+        feasibility of a candidate *subset* of the offered links.
+        """
+        keep = set(link_ids)
+        missing = keep - set(self._links)
+        if missing:
+            raise UnknownLinkError(sorted(missing)[0])
+        out = Network(name=name or f"{self.name}|restricted")
+        for node in self._nodes.values():
+            out.add_node(node)
+        for lid in sorted(keep):
+            out.add_link(self._links[lid])
+        return out
+
+    def without_links(self, link_ids: Iterable[str], name: Optional[str] = None) -> "Network":
+        """A copy with the given links removed (failure scenarios)."""
+        drop = set(link_ids)
+        keep = [lid for lid in self._links if lid not in drop]
+        return self.restricted_to_links(keep, name=name or f"{self.name}|failed")
+
+    def to_networkx(self) -> nx.MultiGraph:
+        """A networkx MultiGraph view (copies; mutations do not write back)."""
+        g = nx.MultiGraph(name=self.name)
+        for node in self._nodes.values():
+            g.add_node(node.id, obj=node)
+        for link in self._links.values():
+            g.add_edge(
+                link.u,
+                link.v,
+                key=link.id,
+                capacity=link.capacity_gbps,
+                length=link.length_km,
+                owner=link.owner,
+                obj=link,
+            )
+        return g
+
+    def iter_links(self) -> Iterator[Link]:
+        return iter(self._links.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Network(name={self.name!r}, nodes={len(self._nodes)}, "
+            f"links={len(self._links)})"
+        )

@@ -1,0 +1,157 @@
+"""GraphML import/export for Network objects.
+
+TopologyZoo publishes operator maps as GraphML.  This module lets a user
+with the real dataset feed it straight into the BP-formation pipeline in
+place of the synthetic generator, and lets any Network round-trip to
+GraphML for inspection in standard tooling.
+
+The importer is tolerant by design: TopologyZoo files vary wildly in
+attribute names, so coordinates are looked up under several conventional
+keys and missing capacities fall back to a default wave size.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pathlib
+from typing import Dict, Optional, Union
+
+import networkx as nx
+
+from repro.exceptions import TopologyError
+from repro.topology.geo import GeoPoint, haversine_km
+from repro.topology.graph import Link, Network, Node
+
+#: Attribute keys, in priority order, where node coordinates may live.
+_LAT_KEYS = ("Latitude", "latitude", "lat", "y")
+_LON_KEYS = ("Longitude", "longitude", "lon", "x")
+#: Keys where a link capacity (Gbps) may live.
+_CAP_KEYS = ("capacity", "Capacity", "LinkSpeedRaw", "bandwidth")
+#: Capacity assumed when the file carries none.
+DEFAULT_CAPACITY_GBPS = 10.0
+
+
+def _first_float(attrs: Dict, keys) -> Optional[float]:
+    for key in keys:
+        if key in attrs:
+            try:
+                return float(attrs[key])
+            except (TypeError, ValueError):
+                continue
+    return None
+
+
+def _coerce_point(attrs: Dict) -> Optional[GeoPoint]:
+    lat = _first_float(attrs, _LAT_KEYS)
+    lon = _first_float(attrs, _LON_KEYS)
+    if lat is None or lon is None:
+        return None
+    if not (-90.0 <= lat <= 90.0 and -180.0 <= lon <= 180.0):
+        return None
+    return GeoPoint(lat, lon)
+
+
+def network_from_graphml(
+    path: Union[str, pathlib.Path],
+    *,
+    name: Optional[str] = None,
+    owner: Optional[str] = None,
+    default_capacity_gbps: float = DEFAULT_CAPACITY_GBPS,
+) -> Network:
+    """Load a GraphML operator map as a Network.
+
+    Node ids become node ids (labels are kept as the ``city`` attribute
+    when present); parallel edges are preserved; self-loops (which some
+    zoo files contain) are dropped.  Edge lengths are taken from node
+    coordinates when both endpoints have them, else 0.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise TopologyError(f"no such GraphML file: {path}")
+    try:
+        g = nx.read_graphml(path)
+    except Exception as exc:
+        raise TopologyError(f"cannot parse GraphML {path}: {exc}") from exc
+
+    net = Network(name=name or path.stem)
+    for node_id, attrs in g.nodes(data=True):
+        label = attrs.get("label") or attrs.get("Label")
+        net.add_node(
+            Node(
+                id=str(node_id),
+                point=_coerce_point(attrs),
+                city=str(label) if label else None,
+            )
+        )
+
+    counter = itertools.count()
+    edge_iter = (
+        g.edges(data=True, keys=False)
+        if isinstance(g, (nx.MultiGraph, nx.MultiDiGraph))
+        else g.edges(data=True)
+    )
+    for u, v, attrs in edge_iter:
+        if u == v:
+            continue  # some zoo files contain self-loops
+        capacity = _first_float(attrs, _CAP_KEYS)
+        if capacity is None or capacity <= 0:
+            capacity = default_capacity_gbps
+        elif capacity > 1e6:
+            # LinkSpeedRaw is in bits/s in zoo files; convert to Gbps.
+            capacity = capacity / 1e9
+        nu, nv = net.node(str(u)), net.node(str(v))
+        length = 0.0
+        if nu.point is not None and nv.point is not None:
+            length = haversine_km(nu.point, nv.point)
+        net.add_link(
+            Link(
+                id=f"{net.name}-E{next(counter):04d}",
+                u=str(u),
+                v=str(v),
+                capacity_gbps=capacity,
+                length_km=length,
+                owner=owner,
+            )
+        )
+    return net
+
+
+def network_to_graphml(network: Network, path: Union[str, pathlib.Path]) -> None:
+    """Write a Network as GraphML (coordinates and capacities included)."""
+    g = nx.MultiGraph(name=network.name)
+    for node in network.nodes:
+        attrs = {"kind": node.kind}
+        if node.city:
+            attrs["label"] = node.city
+        if node.point is not None:
+            attrs["Latitude"] = node.point.lat
+            attrs["Longitude"] = node.point.lon
+        g.add_node(node.id, **attrs)
+    for link in network.iter_links():
+        g.add_edge(
+            link.u,
+            link.v,
+            key=link.id,
+            id=link.id,
+            capacity=link.capacity_gbps,
+            length_km=link.length_km,
+            owner=link.owner or "",
+            virtual=link.virtual,
+        )
+    nx.write_graphml(g, pathlib.Path(path))
+
+
+def roundtrip_check(network: Network, path: Union[str, pathlib.Path]) -> Network:
+    """Write then re-read a network; returns the re-read copy.
+
+    Useful in tests and as a sanity tool: node count, link count, and
+    total capacity must survive the round trip.
+    """
+    network_to_graphml(network, path)
+    copy = network_from_graphml(path, name=network.name)
+    if len(copy) != len(network) or copy.num_links != network.num_links:
+        raise TopologyError(
+            f"GraphML round trip changed the graph: "
+            f"{len(network)}/{network.num_links} -> {len(copy)}/{copy.num_links}"
+        )
+    return copy

@@ -1,0 +1,158 @@
+"""Logical-link construction between POC routers.
+
+Section 3.3: "The resulting POC network has 4674 point-to-point connections
+between POC routers; we call these connections logical links because they
+may involve several physical links."
+
+For each BP, every pair of POC sites that the BP's own physical network
+connects yields one *offered logical link*: its length is the BP's cheapest
+physical path between the two sites and its capacity the bottleneck wave
+along that path.  BPs do not offer absurd detours, so pairs whose internal
+path exceeds ``max_detour`` times the great-circle distance are skipped.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.topology.cities import get_city
+from repro.topology.colocation import ColocationSite
+from repro.topology.geo import haversine_km
+from repro.topology.graph import Link, Network, Node
+
+#: Skip offered links whose internal path is this many times longer than
+#: the direct great-circle distance between the two sites.
+DEFAULT_MAX_DETOUR = 2.5
+
+
+@dataclass(frozen=True)
+class LogicalLink:
+    """One BP's offer to connect two POC routers through its network."""
+
+    id: str
+    bp: str
+    site_u: str
+    site_v: str
+    capacity_gbps: float
+    path_km: float
+    physical_hops: int
+
+    def to_link(self) -> Link:
+        """Materialize as a graph link between the two POC routers."""
+        return Link(
+            id=self.id,
+            u=f"POC:{self.site_u}",
+            v=f"POC:{self.site_v}",
+            capacity_gbps=self.capacity_gbps,
+            length_km=self.path_km,
+            owner=self.bp,
+        )
+
+
+def _site_node_in_bp(site: ColocationSite, bp_city_set: Set[str]) -> Optional[str]:
+    """Which of the site's member cities this BP actually has a PoP in."""
+    overlap = sorted(site.member_cities & bp_city_set)
+    if not overlap:
+        return None
+    # Prefer the most populous PoP city; deterministic tiebreak by name.
+    return max(overlap, key=lambda name: (get_city(name).population_m, name))
+
+
+def bp_logical_links(
+    bp_name: str,
+    bp_network: Network,
+    sites: Sequence[ColocationSite],
+    *,
+    max_detour: float = DEFAULT_MAX_DETOUR,
+) -> List[LogicalLink]:
+    """Enumerate the logical links one BP can offer between POC sites."""
+    if max_detour < 1.0:
+        raise ValueError(f"max_detour must be >= 1, got {max_detour}")
+    bp_cities = {node.city for node in bp_network.nodes if node.city}
+    anchored: List[Tuple[ColocationSite, str]] = []
+    for site in sites:
+        pop_city = _site_node_in_bp(site, bp_cities)
+        if pop_city is not None:
+            anchored.append((site, pop_city))
+    if len(anchored) < 2:
+        return []
+
+    g = nx.Graph()
+    for link in bp_network.iter_links():
+        # Keep the best parallel span per pair (shortest; then max capacity).
+        if g.has_edge(link.u, link.v):
+            existing = g[link.u][link.v]
+            if link.length_km < existing["length"] or (
+                link.length_km == existing["length"]
+                and link.capacity_gbps > existing["capacity"]
+            ):
+                existing.update(length=link.length_km, capacity=link.capacity_gbps)
+        else:
+            g.add_edge(link.u, link.v, length=link.length_km, capacity=link.capacity_gbps)
+
+    offers: List[LogicalLink] = []
+    counter = itertools.count()
+    for (site_a, city_a), (site_b, city_b) in itertools.combinations(anchored, 2):
+        try:
+            path = nx.shortest_path(g, city_a, city_b, weight="length")
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            continue
+        path_km = sum(
+            g[path[i]][path[i + 1]]["length"] for i in range(len(path) - 1)
+        )
+        bottleneck = min(
+            g[path[i]][path[i + 1]]["capacity"] for i in range(len(path) - 1)
+        )
+        direct_km = haversine_km(
+            get_city(site_a.city).point, get_city(site_b.city).point
+        )
+        if direct_km > 0 and path_km > max_detour * max(direct_km, 100.0):
+            continue
+        pair = tuple(sorted((site_a.city, site_b.city)))
+        offers.append(
+            LogicalLink(
+                id=f"{bp_name}:LL{next(counter):05d}:{pair[0]}--{pair[1]}",
+                bp=bp_name,
+                site_u=pair[0],
+                site_v=pair[1],
+                capacity_gbps=bottleneck,
+                path_km=path_km,
+                physical_hops=len(path) - 1,
+            )
+        )
+    return offers
+
+
+def build_offered_network(
+    sites: Sequence[ColocationSite],
+    offers_by_bp: Mapping[str, Sequence[LogicalLink]],
+    *,
+    name: str = "poc-offered",
+) -> Network:
+    """Assemble the POC-router graph holding every offered logical link."""
+    net = Network(name=name)
+    for site in sites:
+        city = get_city(site.city)
+        net.add_node(
+            Node(id=site.router_id, point=city.point, city=site.city, kind="poc-router")
+        )
+    for bp in sorted(offers_by_bp):
+        for offer in offers_by_bp[bp]:
+            net.add_link(offer.to_link())
+    return net
+
+
+def share_of_links(offers_by_bp: Mapping[str, Sequence[LogicalLink]]) -> Dict[str, float]:
+    """Fraction of all offered logical links contributed by each BP.
+
+    The paper reports these shares running "from roughly 2% to roughly 12%"
+    across its 20 BPs.
+    """
+    total = sum(len(v) for v in offers_by_bp.values())
+    if total == 0:
+        return {bp: 0.0 for bp in offers_by_bp}
+    return {bp: len(v) / total for bp, v in offers_by_bp.items()}

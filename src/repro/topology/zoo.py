@@ -1,0 +1,286 @@
+"""The SyntheticZoo: the full §3.3 input pipeline.
+
+The paper's auction experiment starts from TopologyZoo, "filtered out some
+of the small networks, combined some networks to form 20 BPs, and then
+placed POC routers at points where there were four or more BPs closely
+colocated."  This module reproduces that pipeline with a seeded synthetic
+generator (DESIGN.md §3 documents the substitution):
+
+1. each BP is the union of one or more synthetic operator backbones drawn
+   over the built-in city database, with heterogeneous footprint sizes so
+   that logical-link shares spread out (the paper reports 2%–12%);
+2. POC routers are placed at colocation sites (≥ ``min_bps_colocated``
+   BPs within ``colocation_radius_km``);
+3. every BP offers logical links between the POC sites its own network
+   connects (see :mod:`repro.topology.logical`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.rand import SeedLike, make_rng
+from repro.topology.cities import ALL_CITIES, REGIONS, City, cities_in_region
+from repro.topology.colocation import (
+    ColocationSite,
+    PlacementReport,
+    place_poc_routers,
+)
+from repro.topology.generators import merge_networks, waxman_network
+from repro.topology.graph import Network
+from repro.topology.logical import (
+    LogicalLink,
+    bp_logical_links,
+    build_offered_network,
+    share_of_links,
+)
+
+
+@dataclass(frozen=True)
+class ZooConfig:
+    """Parameters of the synthetic zoo.
+
+    The defaults are the *paper-scale* preset (20 BPs).  Use
+    :meth:`small` for unit tests and fast examples.
+    """
+
+    num_bps: int = 20
+    seed: int = 2020
+    #: Cities in the smallest / largest BP footprint.
+    min_cities_per_bp: int = 16
+    max_cities_per_bp: int = 46
+    #: Exponent skewing BP sizes: higher → more small BPs, few giants.
+    size_skew: float = 1.6
+    #: Number of operator networks merged to form each BP (min, max).
+    operators_per_bp: Tuple[int, int] = (1, 3)
+    #: Fraction of a BP's cities drawn from its home region.
+    home_region_bias: float = 0.7
+    #: Colocation threshold (paper: four or more BPs).
+    min_bps_colocated: int = 4
+    colocation_radius_km: float = 60.0
+    #: Waxman extra-edge parameters for operator backbones.
+    waxman_alpha: float = 0.4
+    waxman_beta: float = 0.3
+    #: Scales all drawn wave capacities.
+    capacity_scale: float = 1.0
+    #: Maximum internal-path detour for an offered logical link.
+    max_detour: float = 2.5
+    regions: Tuple[str, ...] = REGIONS
+
+    def __post_init__(self) -> None:
+        if self.num_bps < 1:
+            raise ValueError(f"num_bps must be >= 1, got {self.num_bps}")
+        if self.min_cities_per_bp < 2:
+            raise ValueError("BP footprints need at least two cities")
+        if self.max_cities_per_bp < self.min_cities_per_bp:
+            raise ValueError("max_cities_per_bp < min_cities_per_bp")
+        lo, hi = self.operators_per_bp
+        if lo < 1 or hi < lo:
+            raise ValueError(f"bad operators_per_bp: {self.operators_per_bp}")
+        if not 0.0 <= self.home_region_bias <= 1.0:
+            raise ValueError("home_region_bias must be in [0, 1]")
+
+    @classmethod
+    def small(cls, seed: int = 2020) -> "ZooConfig":
+        """A fast preset for tests and examples (~8 BPs, small footprints)."""
+        return cls(
+            num_bps=8,
+            seed=seed,
+            min_cities_per_bp=8,
+            max_cities_per_bp=18,
+            operators_per_bp=(1, 2),
+            min_bps_colocated=3,
+            home_region_bias=0.5,
+            regions=("na", "eu"),
+        )
+
+    @classmethod
+    def tiny(cls, seed: int = 2020) -> "ZooConfig":
+        """A minimal preset for the fastest unit tests (~5 BPs, one region)."""
+        return cls(
+            num_bps=5,
+            seed=seed,
+            min_cities_per_bp=8,
+            max_cities_per_bp=14,
+            operators_per_bp=(1, 1),
+            min_bps_colocated=2,
+            home_region_bias=1.0,
+            regions=("na",),
+        )
+
+    @classmethod
+    def paper(cls, seed: int = 2020) -> "ZooConfig":
+        """The paper-scale preset: 20 BPs, thousands of logical links."""
+        return cls(seed=seed)
+
+    def with_seed(self, seed: int) -> "ZooConfig":
+        return replace(self, seed=seed)
+
+
+@dataclass
+class BPFootprint:
+    """One Bandwidth Provider: its merged physical network and PoP cities."""
+
+    name: str
+    network: Network
+    cities: Set[str]
+    home_region: str
+    operator_names: List[str] = field(default_factory=list)
+
+    @property
+    def num_pops(self) -> int:
+        return len(self.cities)
+
+
+@dataclass
+class ZooResult:
+    """Everything downstream stages need from the zoo."""
+
+    config: ZooConfig
+    bps: Dict[str, BPFootprint]
+    sites: List[ColocationSite]
+    offers_by_bp: Dict[str, List[LogicalLink]]
+    offered: Network
+    placement: PlacementReport
+
+    @property
+    def num_logical_links(self) -> int:
+        return sum(len(v) for v in self.offers_by_bp.values())
+
+    @property
+    def link_shares(self) -> Dict[str, float]:
+        return share_of_links(self.offers_by_bp)
+
+    def largest_bps(self, count: int) -> List[str]:
+        """BP names ordered by descending logical-link contribution."""
+        shares = self.link_shares
+        ranked = sorted(shares, key=lambda bp: (-shares[bp], bp))
+        return ranked[:count]
+
+
+class SyntheticZoo:
+    """Builds a :class:`ZooResult` from a :class:`ZooConfig`."""
+
+    def __init__(self, config: ZooConfig) -> None:
+        self.config = config
+
+    def _bp_sizes(self, rng) -> List[int]:
+        """Heterogeneous footprint sizes via a power-law-skewed draw."""
+        cfg = self.config
+        u = rng.random(cfg.num_bps)
+        # Inverse-CDF of a bounded power law: small u → small footprint.
+        span = cfg.max_cities_per_bp - cfg.min_cities_per_bp
+        sizes = cfg.min_cities_per_bp + (u ** cfg.size_skew) * span
+        return sorted((int(round(s)) for s in sizes), reverse=True)
+
+    def _pick_cities(self, rng, count: int, home_region: str) -> List[City]:
+        """Population-weighted sampling, biased toward the home region."""
+        cfg = self.config
+        home = cities_in_region(home_region)
+        away = [c for c in ALL_CITIES if c.region != home_region and c.region in cfg.regions]
+        n_home = min(len(home), max(2, int(round(count * cfg.home_region_bias))))
+        n_away = min(len(away), count - n_home)
+
+        def weighted_sample(pool: Sequence[City], k: int) -> List[City]:
+            if k <= 0:
+                return []
+            weights = [c.population_m for c in pool]
+            total = sum(weights)
+            probs = [w / total for w in weights]
+            idx = rng.choice(len(pool), size=min(k, len(pool)), replace=False, p=probs)
+            return [pool[int(i)] for i in idx]
+
+        picked = weighted_sample(home, n_home) + weighted_sample(away, n_away)
+        # Dedupe by name while preserving order.
+        seen: Set[str] = set()
+        unique = []
+        for city in picked:
+            if city.name not in seen:
+                seen.add(city.name)
+                unique.append(city)
+        return unique
+
+    def _build_bp(self, rng, name: str, size: int) -> BPFootprint:
+        cfg = self.config
+        region_weights = [len(cities_in_region(r)) for r in cfg.regions]
+        total_w = sum(region_weights)
+        probs = [w / total_w for w in region_weights]
+        home_region = cfg.regions[int(rng.choice(len(cfg.regions), p=probs))]
+
+        n_ops = int(rng.integers(cfg.operators_per_bp[0], cfg.operators_per_bp[1] + 1))
+        cities = self._pick_cities(rng, size, home_region)
+        if len(cities) < 2:
+            cities = self._pick_cities(rng, max(size, 4), home_region)
+
+        # Split the footprint into overlapping operator city sets.
+        operators: List[Network] = []
+        op_names: List[str] = []
+        for k in range(n_ops):
+            if n_ops == 1:
+                op_cities = cities
+            else:
+                lo = max(2, len(cities) // n_ops)
+                take = min(len(cities), lo + int(rng.integers(0, max(1, lo))))
+                idx = rng.choice(len(cities), size=take, replace=False)
+                op_cities = [cities[int(i)] for i in sorted(idx)]
+                if len(op_cities) < 2:
+                    op_cities = cities[:2]
+            op_name = f"{name}-op{k}"
+            op_names.append(op_name)
+            operators.append(
+                waxman_network(
+                    op_cities,
+                    name=op_name,
+                    seed=rng,
+                    alpha=cfg.waxman_alpha,
+                    beta=cfg.waxman_beta,
+                    capacity_scale=cfg.capacity_scale,
+                )
+            )
+        network = merge_networks(operators, name=name) if len(operators) > 1 else operators[0]
+        return BPFootprint(
+            name=name,
+            network=network,
+            cities={node.city for node in network.nodes if node.city},
+            home_region=home_region,
+            operator_names=op_names,
+        )
+
+    def build(self) -> ZooResult:
+        """Run the full pipeline deterministically from the config seed."""
+        cfg = self.config
+        rng = make_rng(cfg.seed)
+        sizes = self._bp_sizes(rng)
+        bps: Dict[str, BPFootprint] = {}
+        for idx, size in enumerate(sizes):
+            name = f"BP{idx + 1:02d}"
+            bps[name] = self._build_bp(rng, name, size)
+
+        placement = place_poc_routers(
+            {name: fp.cities for name, fp in bps.items()},
+            min_bps=cfg.min_bps_colocated,
+            radius_km=cfg.colocation_radius_km,
+        )
+        sites = placement.sites
+
+        offers_by_bp: Dict[str, List[LogicalLink]] = {}
+        for name, fp in bps.items():
+            offers_by_bp[name] = bp_logical_links(
+                name, fp.network, sites, max_detour=cfg.max_detour
+            )
+
+        offered = build_offered_network(sites, offers_by_bp)
+        return ZooResult(
+            config=cfg,
+            bps=bps,
+            sites=sites,
+            offers_by_bp=offers_by_bp,
+            offered=offered,
+            placement=placement,
+        )
+
+
+def build_zoo(config: ZooConfig) -> ZooResult:
+    """Convenience wrapper: ``SyntheticZoo(config).build()``."""
+    return SyntheticZoo(config).build()

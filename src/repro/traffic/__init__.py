@@ -1,0 +1,20 @@
+"""Traffic substrate: synthetic traffic matrices over POC routers.
+
+Section 3.3 uses "a synthetic traffic matrix between all POC routers" as
+the auction's demand input.  This package provides the standard synthetic
+TM models (gravity, uniform, hotspot) plus scaling utilities.
+"""
+
+from repro.traffic.estimation import EstimatorConfig, TrafficSampler
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.gravity import gravity_matrix
+from repro.traffic.synthetic import hotspot_matrix, uniform_matrix
+
+__all__ = [
+    "EstimatorConfig",
+    "TrafficSampler",
+    "TrafficMatrix",
+    "gravity_matrix",
+    "uniform_matrix",
+    "hotspot_matrix",
+]

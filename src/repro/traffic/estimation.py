@@ -1,0 +1,140 @@
+"""Upper-bound traffic-matrix estimation from measurements.
+
+§3.3: "We assume that the POC has some upper-bound estimate of its
+traffic matrix."  This module builds that estimate the way operators do:
+collect per-pair rate samples over a window, take a high percentile, and
+apply a safety factor.  The auction then provisions against the bound,
+and the estimator's job is to be conservative without being wasteful.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import TrafficError
+from repro.rand import SeedLike, make_rng
+from repro.traffic.matrix import TrafficMatrix
+
+Pair = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class EstimatorConfig:
+    """How raw samples become an upper bound."""
+
+    #: Percentile of the window used as the base figure (95 = the
+    #: industry's billing convention).
+    percentile: float = 95.0
+    #: Multiplicative safety factor on the percentile.
+    safety_factor: float = 1.25
+    #: Pairs never observed get this floor (Gbps) so the auction still
+    #: buys *some* path for them.
+    unseen_floor_gbps: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.percentile <= 100.0:
+            raise TrafficError(f"percentile must be in (0, 100], got {self.percentile}")
+        if self.safety_factor < 1.0:
+            raise TrafficError("a safety factor below 1 is not an upper bound")
+        if self.unseen_floor_gbps < 0:
+            raise TrafficError("unseen floor cannot be negative")
+
+
+class TrafficSampler:
+    """Collects per-pair rate samples (Gbps) over a measurement window."""
+
+    def __init__(self, nodes: Sequence[str]) -> None:
+        if len(set(nodes)) != len(nodes):
+            raise TrafficError("duplicate node ids")
+        self.nodes = list(nodes)
+        self._samples: Dict[Pair, List[float]] = {}
+
+    def record(self, src: str, dst: str, rate_gbps: float) -> None:
+        if src not in self.nodes or dst not in self.nodes:
+            raise TrafficError(f"unknown endpoints: {src}->{dst}")
+        if src == dst:
+            raise TrafficError("self-samples are meaningless")
+        if rate_gbps < 0:
+            raise TrafficError(f"negative rate sample: {rate_gbps}")
+        self._samples.setdefault((src, dst), []).append(rate_gbps)
+
+    def record_matrix(self, tm: TrafficMatrix) -> None:
+        """Record one snapshot of an entire TM (e.g. an hourly reading)."""
+        for (src, dst), value in tm.pairs():
+            self.record(src, dst, value)
+
+    @property
+    def num_samples(self) -> int:
+        return sum(len(v) for v in self._samples.values())
+
+    def sample_count(self, src: str, dst: str) -> int:
+        return len(self._samples.get((src, dst), []))
+
+    def estimate(self, config: EstimatorConfig = EstimatorConfig()) -> TrafficMatrix:
+        """The upper-bound TM: safety × percentile per observed pair,
+        floor for unobserved pairs."""
+        demands: Dict[Pair, float] = {}
+        for src in self.nodes:
+            for dst in self.nodes:
+                if src == dst:
+                    continue
+                samples = self._samples.get((src, dst))
+                if samples:
+                    base = float(np.percentile(samples, config.percentile))
+                    demands[(src, dst)] = base * config.safety_factor
+                elif config.unseen_floor_gbps > 0:
+                    demands[(src, dst)] = config.unseen_floor_gbps
+        return TrafficMatrix(nodes=list(self.nodes), _demands=demands)
+
+
+def coverage_ratio(estimate: TrafficMatrix, actual: TrafficMatrix) -> float:
+    """Fraction of the actual TM's pairs whose demand the estimate covers.
+
+    The operational question for the auction: will the provisioned
+    network carry the real traffic?  1.0 = fully covered.
+    """
+    covered = 0
+    total = 0
+    for (src, dst), value in actual.pairs():
+        total += 1
+        if estimate.demand(src, dst) >= value - 1e-9:
+            covered += 1
+    return covered / total if total else 1.0
+
+
+def overprovision_factor(estimate: TrafficMatrix, actual: TrafficMatrix) -> float:
+    """Total estimated / total actual demand — the waste side of safety."""
+    actual_total = actual.total_gbps()
+    if actual_total <= 0:
+        raise TrafficError("actual TM has no demand to compare against")
+    return estimate.total_gbps() / actual_total
+
+
+def simulate_measurement_window(
+    base: TrafficMatrix,
+    *,
+    snapshots: int = 48,
+    burstiness: float = 0.3,
+    seed: SeedLike = None,
+) -> TrafficSampler:
+    """Generate a window of noisy snapshots around a base TM.
+
+    Each snapshot scales each demand by an independent lognormal factor
+    with σ = ``burstiness`` — the classic heavy-ish per-interval rate
+    variation.  Used by tests and the estimation example.
+    """
+    if snapshots < 1:
+        raise TrafficError("need at least one snapshot")
+    if burstiness < 0:
+        raise TrafficError("burstiness cannot be negative")
+    rng = make_rng(seed)
+    sampler = TrafficSampler(base.nodes)
+    for _ in range(snapshots):
+        for (src, dst), value in base.pairs():
+            factor = float(rng.lognormal(mean=-burstiness**2 / 2, sigma=burstiness))
+            sampler.record(src, dst, value * factor)
+    return sampler

@@ -1,0 +1,91 @@
+"""Gravity-model traffic matrices.
+
+The gravity model is the standard synthetic TM for backbone studies:
+demand between two sites is proportional to the product of their "masses"
+(here, metro populations), optionally damped by distance.  The paper used
+an unspecified "synthetic traffic matrix"; gravity over the POC sites'
+city populations is our default realization (DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.exceptions import TrafficError
+from repro.topology.cities import get_city
+from repro.topology.colocation import ColocationSite
+from repro.topology.geo import haversine_km
+from repro.traffic.matrix import TrafficMatrix
+
+
+def gravity_matrix(
+    node_masses: Mapping[str, float],
+    total_gbps: float,
+    *,
+    distance_km: Optional[Mapping[tuple, float]] = None,
+    deterrence: float = 0.0,
+) -> TrafficMatrix:
+    """Build a gravity TM over arbitrary nodes.
+
+    ``node_masses`` maps node id → positive mass.  Total offered load is
+    normalized to ``total_gbps``.  If ``deterrence`` > 0, demand is damped
+    by ``(1 + d_ij / 1000km) ** -deterrence`` using ``distance_km`` (a map
+    from ordered pair to kilometres); pairs missing from the map get no
+    damping.
+    """
+    if total_gbps < 0:
+        raise TrafficError(f"total demand cannot be negative: {total_gbps}")
+    if deterrence < 0:
+        raise TrafficError(f"deterrence cannot be negative: {deterrence}")
+    nodes = sorted(node_masses)
+    if len(nodes) < 2:
+        raise TrafficError("gravity model needs at least two nodes")
+    for node, mass in node_masses.items():
+        if mass <= 0:
+            raise TrafficError(f"mass must be positive for {node}, got {mass}")
+
+    raw: Dict[tuple, float] = {}
+    for src in nodes:
+        for dst in nodes:
+            if src == dst:
+                continue
+            weight = node_masses[src] * node_masses[dst]
+            if deterrence > 0 and distance_km is not None:
+                d = distance_km.get((src, dst), distance_km.get((dst, src)))
+                if d is not None:
+                    weight *= (1.0 + d / 1000.0) ** (-deterrence)
+            raw[(src, dst)] = weight
+
+    norm = sum(raw.values())
+    demands = {pair: total_gbps * w / norm for pair, w in raw.items()}
+    return TrafficMatrix(nodes=nodes, _demands=demands)
+
+
+def gravity_matrix_for_sites(
+    sites: Sequence[ColocationSite],
+    total_gbps: float,
+    *,
+    deterrence: float = 0.0,
+) -> TrafficMatrix:
+    """Gravity TM over POC router sites, massed by metro population.
+
+    Node ids are the sites' router ids (``POC:<city>``), matching the
+    offered network built by :mod:`repro.topology.logical`.
+    """
+    if len(sites) < 2:
+        raise TrafficError("need at least two POC sites")
+    masses = {
+        site.router_id: get_city(site.city).population_m for site in sites
+    }
+    distances = {}
+    if deterrence > 0:
+        for a in sites:
+            for b in sites:
+                if a.city == b.city:
+                    continue
+                distances[(a.router_id, b.router_id)] = haversine_km(
+                    get_city(a.city).point, get_city(b.city).point
+                )
+    return gravity_matrix(
+        masses, total_gbps, distance_km=distances or None, deterrence=deterrence
+    )

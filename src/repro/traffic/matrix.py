@@ -1,0 +1,165 @@
+"""The traffic-matrix container.
+
+A :class:`TrafficMatrix` maps directed (source, destination) node-id pairs
+to offered load in Gbps.  It is deliberately independent of any particular
+topology object; :meth:`TrafficMatrix.validate_against` checks consistency
+with a network when one is in hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import TrafficError
+
+Pair = Tuple[str, str]
+
+
+@dataclass
+class TrafficMatrix:
+    """Directed offered load between node pairs, in Gbps."""
+
+    nodes: List[str]
+    _demands: Dict[Pair, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(set(self.nodes)) != len(self.nodes):
+            raise TrafficError("duplicate node ids in traffic matrix")
+        node_set = set(self.nodes)
+        for (src, dst), value in self._demands.items():
+            self._check_entry(src, dst, value, node_set)
+
+    @staticmethod
+    def _check_entry(src: str, dst: str, value: float, node_set: set) -> None:
+        if src == dst:
+            raise TrafficError(f"self-demand at {src}")
+        if src not in node_set or dst not in node_set:
+            raise TrafficError(f"demand endpoints not in node list: {src}->{dst}")
+        if value < 0:
+            raise TrafficError(f"negative demand {value} for {src}->{dst}")
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_function(
+        cls,
+        nodes: Sequence[str],
+        fn: Callable[[str, str], float],
+        *,
+        include_zero: bool = False,
+    ) -> "TrafficMatrix":
+        """Build a TM by evaluating ``fn(src, dst)`` over all ordered pairs."""
+        demands: Dict[Pair, float] = {}
+        for src in nodes:
+            for dst in nodes:
+                if src == dst:
+                    continue
+                value = float(fn(src, dst))
+                if value > 0 or include_zero:
+                    demands[(src, dst)] = value
+        return cls(nodes=list(nodes), _demands=demands)
+
+    @classmethod
+    def from_dict(cls, nodes: Sequence[str], demands: Mapping[Pair, float]) -> "TrafficMatrix":
+        return cls(nodes=list(nodes), _demands=dict(demands))
+
+    # -- access ----------------------------------------------------------------
+
+    def demand(self, src: str, dst: str) -> float:
+        """Offered load from ``src`` to ``dst`` (0 if unspecified)."""
+        return self._demands.get((src, dst), 0.0)
+
+    def set_demand(self, src: str, dst: str, value: float) -> None:
+        self._check_entry(src, dst, value, set(self.nodes))
+        if value == 0.0:
+            self._demands.pop((src, dst), None)
+        else:
+            self._demands[(src, dst)] = float(value)
+
+    def pairs(self) -> Iterator[Tuple[Pair, float]]:
+        """Iterate non-zero (pair, demand) entries in deterministic order."""
+        for pair in sorted(self._demands):
+            yield pair, self._demands[pair]
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self._demands)
+
+    def total_gbps(self) -> float:
+        """Sum of all demands."""
+        return sum(self._demands.values())
+
+    def egress_gbps(self, node: str) -> float:
+        """Total traffic sourced at ``node``."""
+        return sum(v for (s, _), v in self._demands.items() if s == node)
+
+    def ingress_gbps(self, node: str) -> float:
+        """Total traffic destined to ``node``."""
+        return sum(v for (_, d), v in self._demands.items() if d == node)
+
+    def max_pair_gbps(self) -> float:
+        """The largest single demand (0 for an empty TM)."""
+        return max(self._demands.values(), default=0.0)
+
+    # -- transforms --------------------------------------------------------------
+
+    def scaled(self, factor: float) -> "TrafficMatrix":
+        """A copy with every demand multiplied by ``factor``."""
+        if factor < 0:
+            raise TrafficError(f"scale factor cannot be negative: {factor}")
+        return TrafficMatrix(
+            nodes=list(self.nodes),
+            _demands={pair: v * factor for pair, v in self._demands.items()},
+        )
+
+    def symmetrized(self) -> "TrafficMatrix":
+        """A copy where demand(a,b) = demand(b,a) = max of the two."""
+        out: Dict[Pair, float] = {}
+        for (src, dst), value in self._demands.items():
+            fwd = max(value, self._demands.get((dst, src), 0.0))
+            out[(src, dst)] = fwd
+            out[(dst, src)] = fwd
+        return TrafficMatrix(nodes=list(self.nodes), _demands=out)
+
+    def restricted_to(self, nodes: Iterable[str]) -> "TrafficMatrix":
+        """A copy keeping only demands between the given nodes."""
+        keep = set(nodes)
+        unknown = keep - set(self.nodes)
+        if unknown:
+            raise TrafficError(f"unknown nodes: {sorted(unknown)}")
+        return TrafficMatrix(
+            nodes=sorted(keep),
+            _demands={
+                (s, d): v
+                for (s, d), v in self._demands.items()
+                if s in keep and d in keep
+            },
+        )
+
+    def to_array(self) -> np.ndarray:
+        """Dense (n, n) array in the order of ``self.nodes``."""
+        index = {node: i for i, node in enumerate(self.nodes)}
+        arr = np.zeros((len(self.nodes), len(self.nodes)))
+        for (src, dst), value in self._demands.items():
+            arr[index[src], index[dst]] = value
+        return arr
+
+    # -- checks -----------------------------------------------------------------
+
+    def validate_against(self, node_ids: Iterable[str]) -> None:
+        """Raise :class:`TrafficError` if any TM node is absent from ``node_ids``."""
+        available = set(node_ids)
+        missing = set(self.nodes) - available
+        if missing:
+            raise TrafficError(
+                f"traffic matrix references nodes absent from network: {sorted(missing)[:5]}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TrafficMatrix(nodes={len(self.nodes)}, pairs={self.num_pairs}, "
+            f"total={self.total_gbps():.1f} Gbps)"
+        )

@@ -1,0 +1,94 @@
+"""Non-gravity synthetic traffic models: uniform, hotspot, diurnal.
+
+These complement the gravity model for ablations: the auction's outcome
+should not hinge on the particular TM family (DESIGN.md §5.4).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.exceptions import TrafficError
+from repro.rand import SeedLike, make_rng
+from repro.traffic.matrix import TrafficMatrix
+
+
+def uniform_matrix(nodes: Sequence[str], total_gbps: float) -> TrafficMatrix:
+    """Equal demand between every ordered pair."""
+    if len(nodes) < 2:
+        raise TrafficError("need at least two nodes")
+    if total_gbps < 0:
+        raise TrafficError(f"total demand cannot be negative: {total_gbps}")
+    pairs = len(nodes) * (len(nodes) - 1)
+    per_pair = total_gbps / pairs
+    demands = {
+        (src, dst): per_pair
+        for src in nodes
+        for dst in nodes
+        if src != dst
+    }
+    return TrafficMatrix(nodes=list(nodes), _demands=demands)
+
+
+def hotspot_matrix(
+    nodes: Sequence[str],
+    total_gbps: float,
+    *,
+    num_hotspots: int = 2,
+    hotspot_factor: float = 8.0,
+    seed: SeedLike = None,
+) -> TrafficMatrix:
+    """A uniform TM with a few content-heavy "hotspot" sources.
+
+    Models the content/eyeball asymmetry of §2.1: a handful of sites (CSP
+    attachment points) source ``hotspot_factor`` times the per-pair demand
+    of ordinary sites.  Total demand is normalized to ``total_gbps``.
+    """
+    if num_hotspots < 1:
+        raise TrafficError(f"need at least one hotspot, got {num_hotspots}")
+    if num_hotspots >= len(nodes):
+        raise TrafficError("hotspots must be fewer than nodes")
+    if hotspot_factor < 1.0:
+        raise TrafficError(f"hotspot factor must be >= 1, got {hotspot_factor}")
+    rng = make_rng(seed)
+    node_list = list(nodes)
+    hot_idx = rng.choice(len(node_list), size=num_hotspots, replace=False)
+    hot = {node_list[int(i)] for i in hot_idx}
+
+    raw: Dict[tuple, float] = {}
+    for src in node_list:
+        weight = hotspot_factor if src in hot else 1.0
+        for dst in node_list:
+            if src != dst:
+                raw[(src, dst)] = weight
+    norm = sum(raw.values())
+    demands = {pair: total_gbps * w / norm for pair, w in raw.items()}
+    return TrafficMatrix(nodes=node_list, _demands=demands)
+
+
+def diurnal_scale(hour: float, *, trough: float = 0.35, peak_hour: float = 21.0) -> float:
+    """Multiplicative diurnal load factor at a given local hour.
+
+    A smooth sinusoid with its maximum (1.0) at ``peak_hour`` and its
+    minimum (``trough``) twelve hours away — the classic evening-peak shape
+    of eyeball traffic.  Useful for time-expanded market simulations.
+    """
+    if not 0.0 <= trough <= 1.0:
+        raise TrafficError(f"trough must be in [0, 1], got {trough}")
+    phase = (hour - peak_hour) * math.pi / 12.0
+    return trough + (1.0 - trough) * (1.0 + math.cos(phase)) / 2.0
+
+
+def diurnal_series(
+    base: TrafficMatrix,
+    hours: Sequence[float],
+    *,
+    trough: float = 0.35,
+    peak_hour: float = 21.0,
+) -> List[TrafficMatrix]:
+    """A time series of TMs following the diurnal cycle."""
+    return [
+        base.scaled(diurnal_scale(h, trough=trough, peak_hour=peak_hour))
+        for h in hours
+    ]

@@ -1,0 +1,84 @@
+"""Physical and monetary units used throughout the library.
+
+Bandwidth is always carried internally in **gigabits per second (Gbps)**
+and money in **dollars per month** unless a function documents otherwise.
+These helpers exist so code that interfaces with humans (CLI, benchmarks,
+reports) never has to hand-roll conversion factors.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Gigabits per second in one megabit per second.
+GBPS_PER_MBPS = 1e-3
+#: Gigabits per second in one terabit per second.
+GBPS_PER_TBPS = 1e3
+
+#: Months per year, used when annualizing monthly lease prices.
+MONTHS_PER_YEAR = 12
+
+
+def mbps(value: float) -> float:
+    """Convert a bandwidth expressed in Mbps to the internal Gbps unit."""
+    return value * GBPS_PER_MBPS
+
+
+def gbps(value: float) -> float:
+    """Identity helper for readability: bandwidth already in Gbps."""
+    return float(value)
+
+
+def tbps(value: float) -> float:
+    """Convert a bandwidth expressed in Tbps to the internal Gbps unit."""
+    return value * GBPS_PER_TBPS
+
+
+def per_year(monthly: float) -> float:
+    """Annualize a monthly price."""
+    return monthly * MONTHS_PER_YEAR
+
+
+def per_month(yearly: float) -> float:
+    """Convert an annual price to a monthly one."""
+    return yearly / MONTHS_PER_YEAR
+
+
+def fmt_bandwidth(value_gbps: float) -> str:
+    """Render a bandwidth in the most natural unit.
+
+    >>> fmt_bandwidth(0.25)
+    '250.0 Mbps'
+    >>> fmt_bandwidth(40)
+    '40.0 Gbps'
+    >>> fmt_bandwidth(2500)
+    '2.5 Tbps'
+    """
+    if value_gbps < 0:
+        raise ValueError(f"bandwidth cannot be negative: {value_gbps}")
+    if value_gbps >= GBPS_PER_TBPS:
+        return f"{value_gbps / GBPS_PER_TBPS:g} Tbps"
+    if value_gbps < 1.0:
+        return f"{value_gbps / GBPS_PER_MBPS:g} Mbps"
+    return f"{value_gbps:g} Gbps"
+
+
+def fmt_money(value: float) -> str:
+    """Render a dollar amount with thousands separators.
+
+    >>> fmt_money(1234567.891)
+    '$1,234,567.89'
+    """
+    if value < 0:
+        return f"-{fmt_money(-value)}"
+    return f"${value:,.2f}"
+
+
+def fmt_pct(fraction: float, digits: int = 1) -> str:
+    """Render a fraction (0..1) as a percentage string."""
+    return f"{100.0 * fraction:.{digits}f}%"
+
+
+def close(a: float, b: float, rel: float = 1e-9, abs_: float = 1e-12) -> bool:
+    """Tolerant float comparison used by accounting invariants."""
+    return math.isclose(a, b, rel_tol=rel, abs_tol=abs_)

@@ -1,0 +1,151 @@
+"""Tests for the bid language (cost functions)."""
+
+import pytest
+
+from repro.exceptions import BidError
+from repro.auction.bids import (
+    AdditiveCost,
+    FixedPlusAdditiveCost,
+    SubsetOverrideCost,
+    VolumeDiscountCost,
+    check_cost_axioms,
+)
+
+
+@pytest.fixture
+def prices():
+    return {"l1": 100.0, "l2": 200.0, "l3": 50.0}
+
+
+class TestAdditive:
+    def test_sum(self, prices):
+        fn = AdditiveCost(prices)
+        assert fn.cost(["l1", "l2"]) == 300.0
+        assert fn.cost([]) == 0.0
+        assert fn.cost(["l3"]) == 50.0
+
+    def test_domain(self, prices):
+        fn = AdditiveCost(prices)
+        assert fn.domain == frozenset(prices)
+        with pytest.raises(BidError):
+            fn.cost(["l1", "zz"])
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(BidError):
+            AdditiveCost({"l1": -1.0})
+
+    def test_marginal(self, prices):
+        fn = AdditiveCost(prices)
+        assert fn.marginal(["l1", "l2"], "l2") == 200.0
+
+    def test_marginal_requires_membership(self, prices):
+        fn = AdditiveCost(prices)
+        with pytest.raises(BidError):
+            fn.marginal(["l1"], "l2")
+
+    def test_scaled(self, prices):
+        fn = AdditiveCost(prices).scaled(1.5)
+        assert fn.cost(["l1"]) == 150.0
+        assert fn.domain == frozenset(prices)
+
+    def test_scaled_rejects_negative(self, prices):
+        with pytest.raises(BidError):
+            AdditiveCost(prices).scaled(-0.1)
+
+
+class TestVolumeDiscount:
+    def test_discount_applies_at_tier(self, prices):
+        fn = VolumeDiscountCost(prices, tiers=((2, 0.1), (3, 0.2)))
+        assert fn.cost(["l1"]) == 100.0
+        assert fn.cost(["l1", "l2"]) == pytest.approx(270.0)
+        assert fn.cost(["l1", "l2", "l3"]) == pytest.approx(280.0)
+
+    def test_no_tiers_is_additive(self, prices):
+        fn = VolumeDiscountCost(prices)
+        assert fn.cost(["l1", "l2"]) == 300.0
+
+    def test_tier_validation(self, prices):
+        with pytest.raises(BidError):
+            VolumeDiscountCost(prices, tiers=((2, 0.1), (2, 0.2)))
+        with pytest.raises(BidError):
+            VolumeDiscountCost(prices, tiers=((2, 1.0),))
+        with pytest.raises(BidError):
+            VolumeDiscountCost(prices, tiers=((2, 0.3), (3, 0.1)))
+
+    def test_monotone_despite_discounts(self, prices):
+        fn = VolumeDiscountCost(prices, tiers=((2, 0.15), (3, 0.25)))
+        subsets = [
+            [], ["l1"], ["l2"], ["l3"], ["l1", "l2"], ["l1", "l3"],
+            ["l2", "l3"], ["l1", "l2", "l3"],
+        ]
+        check_cost_axioms(fn, subsets)
+
+
+class TestFixedPlusAdditive:
+    def test_empty_is_free(self, prices):
+        fn = FixedPlusAdditiveCost(prices, fixed=500.0)
+        assert fn.cost([]) == 0.0
+
+    def test_fixed_added_once(self, prices):
+        fn = FixedPlusAdditiveCost(prices, fixed=500.0)
+        assert fn.cost(["l1"]) == 600.0
+        assert fn.cost(["l1", "l3"]) == 650.0
+
+    def test_negative_fixed_rejected(self, prices):
+        with pytest.raises(BidError):
+            FixedPlusAdditiveCost(prices, fixed=-1.0)
+
+    def test_axioms(self, prices):
+        fn = FixedPlusAdditiveCost(prices, fixed=10.0)
+        check_cost_axioms(fn, [[], ["l1"], ["l1", "l2"], ["l1", "l2", "l3"]])
+
+
+class TestSubsetOverride:
+    def test_bundle_discount(self, prices):
+        base = AdditiveCost(prices)
+        fn = SubsetOverrideCost(base, {frozenset({"l1", "l2"}): 250.0})
+        assert fn.cost(["l1", "l2"]) == 250.0
+        # Bundle plus remainder.
+        assert fn.cost(["l1", "l2", "l3"]) == 300.0
+        # Non-matching subsets fall back to base.
+        assert fn.cost(["l1"]) == 100.0
+
+    def test_override_cannot_raise_price(self, prices):
+        base = AdditiveCost(prices)
+        with pytest.raises(BidError):
+            SubsetOverrideCost(base, {frozenset({"l1"}): 150.0})
+
+    def test_override_outside_domain_rejected(self, prices):
+        base = AdditiveCost(prices)
+        with pytest.raises(BidError):
+            SubsetOverrideCost(base, {frozenset({"zz"}): 1.0})
+
+    def test_axioms(self, prices):
+        base = AdditiveCost(prices)
+        fn = SubsetOverrideCost(base, {frozenset({"l1", "l2"}): 220.0})
+        check_cost_axioms(
+            fn, [[], ["l1"], ["l2"], ["l1", "l2"], ["l1", "l2", "l3"]]
+        )
+
+
+class TestAxiomChecker:
+    def test_detects_nonzero_empty(self):
+        class Bad(AdditiveCost):
+            def cost(self, subset):
+                return 1.0 + super().cost(subset)
+
+        with pytest.raises(BidError):
+            check_cost_axioms(Bad({"l1": 1.0}), [[]])
+
+    def test_detects_non_monotone(self):
+        class Shrinking(AdditiveCost):
+            def cost(self, subset):
+                s = self._validated(subset)
+                if not s:
+                    return 0.0
+                return 100.0 / len(s)
+
+        with pytest.raises(BidError):
+            check_cost_axioms(
+                Shrinking({"l1": 1.0, "l2": 1.0}), [["l1"], ["l1", "l2"]]
+            )

@@ -1,0 +1,117 @@
+"""Tests for the withholding-collusion analysis (§3.3)."""
+
+import pytest
+
+from repro.exceptions import AuctionError
+from repro.auction.collusion import withhold_offer, withholding_collusion
+from repro.auction.constraints import make_constraint
+from repro.auction.provider import make_external_contract
+from repro.auction.vcg import AuctionConfig
+from repro.traffic.matrix import TrafficMatrix
+
+from tests.conftest import square_network, square_offers
+
+EXACT = AuctionConfig(method="milp")
+
+
+@pytest.fixture
+def setup():
+    net = square_network()
+    offers = square_offers(net)
+    tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 3.0})
+    constraint = make_constraint(1, net, tm)
+    return net, offers, constraint
+
+
+class TestWithholdOffer:
+    def test_restricts_links_and_bid(self, setup):
+        _net, offers, _c = setup
+        p_offer = offers[0]
+        reduced = withhold_offer(p_offer, ["AB"])
+        assert reduced.link_ids == frozenset({"AB"})
+        assert reduced.bid.cost(["AB"]) == 100.0
+
+    def test_rejects_unknown_links(self, setup):
+        _net, offers, _c = setup
+        with pytest.raises(AuctionError):
+            withhold_offer(offers[0], ["AC"])  # AC belongs to Q
+
+
+@pytest.fixture
+def setup_with_external(setup):
+    """The square plus an external virtual link so collusion is priceable."""
+    net, offers, _old = setup
+    contract = make_external_contract(
+        "ext", [("A", "C")], capacity_gbps=10.0, price_per_link=500.0
+    )
+    for link in contract.links:
+        net.add_link(link)
+    tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 3.0})
+    constraint = make_constraint(1, net, tm)
+    return net, offers + [contract.to_offer()], constraint
+
+
+class TestWithholdingCollusion:
+    def test_selection_unchanged(self, setup_with_external):
+        _net, offers, constraint = setup_with_external
+        report = withholding_collusion(offers, constraint, config=EXACT)
+        assert report.withheld.selected == report.baseline.selected
+
+    def test_withholding_never_lowers_payments(self, setup_with_external):
+        """Removing losing links can only worsen the leave-one-out
+        alternative, so payments weakly rise — exactly the §3.3 worry."""
+        _net, offers, constraint = setup_with_external
+        report = withholding_collusion(offers, constraint, config=EXACT)
+        assert report.total_payment_delta >= -1e-9
+        assert report.poc_cost_delta >= -1e-9
+
+    def test_square_collusion_is_blocked_by_pivotality(self, setup):
+        """On the square, withholding makes Q pivotal: the auction cannot
+        price it and fails loudly rather than paying an unbounded amount."""
+        from repro.exceptions import NoFeasibleSelectionError
+
+        _net, offers, constraint = setup
+        # Q wins; the ring loses.  If P withdraws entirely, the fallback
+        # A(OL − L_Q) becomes empty.
+        with pytest.raises(NoFeasibleSelectionError):
+            withholding_collusion(offers, constraint, config=EXACT)
+
+    def test_external_contract_bounds_damage(self, setup):
+        """With an external virtual link, the same collusion is priced:
+        the contract caps what colluders can extract (the paper's point)."""
+        net, offers, _old = setup
+        contract = make_external_contract(
+            "ext", [("A", "C")], capacity_gbps=10.0, price_per_link=500.0
+        )
+        for link in contract.links:
+            net.add_link(link)
+        tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 3.0})
+        constraint = make_constraint(1, net, tm)
+        all_offers = offers + [contract.to_offer()]
+        report = withholding_collusion(
+            all_offers, constraint, colluders=["P", "Q"], config=EXACT
+        )
+        # Baseline: Q paid 200 (P's ring is the alternative).  After P
+        # withdraws, the alternative is the 500 contract: Q's payment
+        # rises but is capped by the external price.
+        assert report.baseline.payment("Q") == pytest.approx(200.0)
+        assert report.withheld.payment("Q") == pytest.approx(500.0)
+        assert report.payment_delta("Q") == pytest.approx(300.0)
+        assert report.gainers() == ["Q"]
+
+    def test_colluder_list_respected(self, setup):
+        net, offers, _old = setup
+        contract = make_external_contract(
+            "ext", [("A", "C")], capacity_gbps=10.0, price_per_link=500.0
+        )
+        for link in contract.links:
+            net.add_link(link)
+        tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 3.0})
+        constraint = make_constraint(1, net, tm)
+        all_offers = offers + [contract.to_offer()]
+        # Only Q colludes: Q keeps its winning link, P's offer is intact,
+        # so nothing changes.
+        report = withholding_collusion(
+            all_offers, constraint, colluders=["Q"], config=EXACT
+        )
+        assert report.total_payment_delta == pytest.approx(0.0)

@@ -1,0 +1,78 @@
+"""Tests for PoB metrics and auction summaries."""
+
+import pytest
+
+from repro.auction.constraints import make_constraint
+from repro.auction.metrics import (
+    PoBRow,
+    format_summary_table,
+    pob_rows,
+    pob_variation,
+    summarize,
+)
+from repro.auction.vcg import AuctionConfig, run_auction
+from repro.traffic.matrix import TrafficMatrix
+
+from tests.conftest import square_network, square_offers
+
+
+@pytest.fixture
+def result():
+    net = square_network()
+    offers = square_offers(net)
+    tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 3.0})
+    constraint = make_constraint(1, net, tm)
+    return run_auction(offers, constraint, config=AuctionConfig(method="milp"))
+
+
+class TestPoBRows:
+    def test_rows_for_providers(self, result):
+        rows = pob_rows({"constraint-1": result}, ["P", "Q"])
+        assert len(rows) == 2
+        by_provider = {r.provider: r for r in rows}
+        assert by_provider["Q"].pob == pytest.approx(140.0 / 60.0)
+        assert by_provider["P"].pob is None  # sold nothing
+
+    def test_missing_provider_na(self, result):
+        rows = pob_rows({"constraint-1": result}, ["ghost"])
+        assert rows[0].pob is None
+        assert rows[0].declared_cost == 0.0
+
+    def test_formatting(self, result):
+        rows = pob_rows({"constraint-1": result}, ["P", "Q"])
+        text = rows[0].formatted()
+        assert "constraint-1" in text
+        assert "PoB" in text
+
+
+class TestVariation:
+    def test_spread(self):
+        rows = [
+            PoBRow("c1", "a", 1.0, 1.5, 0.5),
+            PoBRow("c1", "b", 1.0, 1.1, 0.1),
+            PoBRow("c1", "c", 1.0, 1.0, None),
+        ]
+        var = pob_variation(rows)
+        assert var["min"] == 0.1
+        assert var["max"] == 0.5
+        assert var["spread"] == pytest.approx(0.4)
+
+    def test_empty(self):
+        assert pob_variation([]) == {"min": 0.0, "max": 0.0, "spread": 0.0}
+
+
+class TestSummary:
+    def test_fields(self, result):
+        summary = summarize("constraint-1", 5, result)
+        assert summary.links_offered == 5
+        assert summary.links_selected == 1
+        assert summary.total_declared_cost == pytest.approx(60.0)
+        assert summary.total_payments == pytest.approx(200.0)
+        assert summary.winners == 1
+        assert summary.overpayment_ratio == pytest.approx(200.0 / 60.0)
+
+    def test_table_render(self, result):
+        table = format_summary_table([summarize("constraint-1", 5, result)])
+        assert "constraint-1" in table
+        assert "offered" in table
+        assert len(table.splitlines()) == 3

@@ -1,0 +1,123 @@
+"""Non-additive bids through the full selection + VCG path.
+
+The paper's bid language explicitly allows "discounts for multiple
+links, or other non-additive variations in pricing"; these tests drive
+volume discounts, fixed participation costs, and bundle overrides
+through the heuristic engines end to end (the MILP engine correctly
+refuses them).
+"""
+
+import pytest
+
+from repro.exceptions import AuctionError
+from repro.auction.bids import (
+    AdditiveCost,
+    FixedPlusAdditiveCost,
+    SubsetOverrideCost,
+    VolumeDiscountCost,
+)
+from repro.auction.constraints import make_constraint
+from repro.auction.provider import Offer
+from repro.auction.selection import select_links, total_declared_cost
+from repro.auction.vcg import AuctionConfig, run_auction
+from repro.traffic.matrix import TrafficMatrix
+
+from tests.conftest import square_network
+
+
+def offers_with(p_bid_cls, **p_kwargs):
+    """Square-network offers where P's bid uses the given cost class."""
+    net = square_network()
+    p_links = [net.link(lid) for lid in ("AB", "BC", "CD", "DA")]
+    q_links = [net.link("AC")]
+    p_prices = {"AB": 100.0, "BC": 100.0, "CD": 100.0, "DA": 100.0}
+    p_cost = p_bid_cls(p_prices, **p_kwargs)
+    q_cost = AdditiveCost({"AC": 250.0})  # dear diagonal: P should win
+    offers = [
+        Offer(provider="P", links=p_links, bid=p_cost, true_cost=p_cost),
+        Offer(provider="Q", links=q_links, bid=q_cost, true_cost=q_cost),
+    ]
+    tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 3.0})
+    return net, offers, tm
+
+
+class TestVolumeDiscountInSelection:
+    def test_discount_changes_winner_economics(self):
+        net, offers, tm = offers_with(
+            VolumeDiscountCost, tiers=((2, 0.4),)
+        )
+        # Two ring links at 40% off cost 120 < diagonal 250.
+        constraint = make_constraint(1, net, tm)
+        outcome = select_links(offers, constraint, method="greedy-drop")
+        assert constraint.satisfied(outcome.selected)
+        assert outcome.total_cost <= 250.0
+
+    def test_marginals_respect_discount(self):
+        net, offers, tm = offers_with(VolumeDiscountCost, tiers=((2, 0.4),))
+        p_bid = offers[0].bid
+        # Marginal of the second link includes the discount kick-in:
+        # C({AB,BC}) − C({AB}) = 120 − 100 = 20.
+        assert p_bid.marginal(["AB", "BC"], "BC") == pytest.approx(20.0)
+
+    def test_vcg_with_discounts(self):
+        net, offers, tm = offers_with(VolumeDiscountCost, tiers=((2, 0.4),))
+        constraint = make_constraint(1, net, tm)
+        result = run_auction(offers, constraint,
+                             config=AuctionConfig(method="greedy-drop"))
+        assert result.total_cost > 0
+        for pr in result.providers.values():
+            assert pr.payment >= pr.declared_cost - 1e-9
+
+
+class TestFixedCostInSelection:
+    def test_participation_cost_counts_once(self):
+        net, offers, tm = offers_with(FixedPlusAdditiveCost, fixed=30.0)
+        constraint = make_constraint(1, net, tm)
+        outcome = select_links(offers, constraint, method="greedy-drop")
+        cost_direct = total_declared_cost(offers, outcome.selected)
+        assert outcome.total_cost == pytest.approx(cost_direct)
+
+    def test_fixed_cost_flip_is_a_known_heuristic_gap(self):
+        """With fixed=100, P's two-link path costs 300 > the 250 diagonal
+        — the true optimum is {AC}.  Reaching it from the ring requires a
+        drop-2-add-1 move that neither greedy-drop nor 1-swap local
+        search makes: the selection stays feasible but 20% above optimal.
+        This test pins the gap so a future smarter engine shows up as a
+        (welcome) failure here."""
+        net, offers, tm = offers_with(FixedPlusAdditiveCost, fixed=100.0)
+        constraint = make_constraint(1, net, tm)
+        outcome = select_links(offers, constraint, method="greedy-drop")
+        assert constraint.satisfied(outcome.selected)
+        assert total_declared_cost(offers, ["AC"]) == pytest.approx(250.0)
+        assert outcome.total_cost == pytest.approx(300.0)  # the local optimum
+
+
+class TestBundleOverrideInSelection:
+    def test_bundle_price_used(self):
+        net = square_network()
+        p_links = [net.link(lid) for lid in ("AB", "BC", "CD", "DA")]
+        q_links = [net.link("AC")]
+        base = AdditiveCost(
+            {"AB": 150.0, "BC": 150.0, "CD": 150.0, "DA": 150.0}
+        )
+        p_cost = SubsetOverrideCost(
+            base, {frozenset({"AB", "BC"}): 200.0}
+        )
+        q_cost = AdditiveCost({"AC": 250.0})
+        offers = [
+            Offer(provider="P", links=p_links, bid=p_cost, true_cost=p_cost),
+            Offer(provider="Q", links=q_links, bid=q_cost, true_cost=q_cost),
+        ]
+        tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 3.0})
+        constraint = make_constraint(1, net, tm)
+        outcome = select_links(offers, constraint, method="greedy-drop")
+        # The {AB, BC} bundle at 200 beats the diagonal at 250.
+        assert outcome.total_cost <= 250.0
+
+
+class TestMILPRefusesNonAdditive:
+    def test_clear_error(self):
+        net, offers, tm = offers_with(VolumeDiscountCost, tiers=((2, 0.4),))
+        constraint = make_constraint(1, net, tm)
+        with pytest.raises(AuctionError, match="additive"):
+            select_links(offers, constraint, method="milp")

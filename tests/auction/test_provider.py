@@ -1,0 +1,144 @@
+"""Tests for offers, cost models, and external contracts."""
+
+import pytest
+
+from repro.exceptions import BidError
+from repro.auction.bids import AdditiveCost
+from repro.auction.provider import (
+    ExternalTransitContract,
+    Offer,
+    default_monthly_cost,
+    make_external_contract,
+    offer_from_logical_links,
+)
+from repro.topology.graph import Link
+
+
+class TestCostModel:
+    def test_grows_with_distance(self):
+        a = default_monthly_cost(100.0, 1000.0)
+        b = default_monthly_cost(100.0, 2000.0)
+        assert b > a
+
+    def test_concave_in_capacity(self):
+        # Cost per Gbps falls with capacity (wholesale economics).
+        small = default_monthly_cost(10.0, 1000.0) / 10.0
+        big = default_monthly_cost(400.0, 1000.0) / 400.0
+        assert big < small
+
+    def test_efficiency_scales(self):
+        base = default_monthly_cost(100.0, 1000.0)
+        assert default_monthly_cost(100.0, 1000.0, efficiency=0.5) == pytest.approx(base / 2)
+
+    def test_zero_length_has_fixed_cost(self):
+        assert default_monthly_cost(100.0, 0.0) > 0
+
+    def test_validation(self):
+        with pytest.raises(BidError):
+            default_monthly_cost(0.0, 100.0)
+        with pytest.raises(BidError):
+            default_monthly_cost(10.0, -1.0)
+        with pytest.raises(BidError):
+            default_monthly_cost(10.0, 100.0, efficiency=0.0)
+
+
+class TestOffer:
+    def _links(self, owner="bp"):
+        return [
+            Link(id="x", u="A", v="B", capacity_gbps=10.0, owner=owner),
+            Link(id="y", u="B", v="C", capacity_gbps=10.0, owner=owner),
+        ]
+
+    def test_valid_offer(self):
+        cost = AdditiveCost({"x": 1.0, "y": 2.0})
+        offer = Offer(provider="bp", links=self._links(), bid=cost, true_cost=cost)
+        assert offer.link_ids == frozenset({"x", "y"})
+        assert offer.is_truthful()
+
+    def test_owner_mismatch_rejected(self):
+        cost = AdditiveCost({"x": 1.0, "y": 2.0})
+        with pytest.raises(BidError):
+            Offer(provider="other", links=self._links("bp"), bid=cost, true_cost=cost)
+
+    def test_bid_domain_mismatch_rejected(self):
+        cost = AdditiveCost({"x": 1.0})
+        full = AdditiveCost({"x": 1.0, "y": 2.0})
+        with pytest.raises(BidError):
+            Offer(provider="bp", links=self._links(), bid=cost, true_cost=full)
+
+    def test_with_bid(self):
+        cost = AdditiveCost({"x": 1.0, "y": 2.0})
+        offer = Offer(provider="bp", links=self._links(), bid=cost, true_cost=cost)
+        shaded = offer.with_bid(cost.scaled(2.0))
+        assert not shaded.is_truthful()
+        assert shaded.true_cost is cost
+        assert shaded.bid.cost(["x"]) == 2.0
+
+
+class TestOfferFromLogicalLinks:
+    def test_from_zoo(self, tiny_zoo):
+        bp, links = next(
+            (bp, ll) for bp, ll in sorted(tiny_zoo.offers_by_bp.items()) if ll
+        )
+        offer = offer_from_logical_links(bp, links, seed=1)
+        assert offer.provider == bp
+        assert len(offer.links) == len(links)
+        assert offer.is_truthful()
+        assert offer.bid.cost(offer.link_ids) > 0
+
+    def test_margin_inflates_bid(self, tiny_zoo):
+        bp, links = next(
+            (bp, ll) for bp, ll in sorted(tiny_zoo.offers_by_bp.items()) if ll
+        )
+        offer = offer_from_logical_links(bp, links, margin=0.2, seed=1)
+        assert not offer.is_truthful()
+        assert offer.bid.cost(offer.link_ids) == pytest.approx(
+            1.2 * offer.true_cost.cost(offer.link_ids)
+        )
+
+    def test_noise_deterministic_under_seed(self, tiny_zoo):
+        bp, links = next(
+            (bp, ll) for bp, ll in sorted(tiny_zoo.offers_by_bp.items()) if ll
+        )
+        a = offer_from_logical_links(bp, links, cost_noise=0.3, seed=5)
+        b = offer_from_logical_links(bp, links, cost_noise=0.3, seed=5)
+        assert a.true_cost.cost(a.link_ids) == b.true_cost.cost(b.link_ids)
+
+    def test_rejects_negative_margin(self, tiny_zoo):
+        bp, links = next(
+            (bp, ll) for bp, ll in sorted(tiny_zoo.offers_by_bp.items()) if ll
+        )
+        with pytest.raises(BidError):
+            offer_from_logical_links(bp, links, margin=-0.1)
+
+
+class TestExternalContract:
+    def test_make_contract(self):
+        contract = make_external_contract(
+            "isp1", [("POC:A", "POC:B"), ("POC:B", "POC:C")],
+            capacity_gbps=100.0, price_per_link=5000.0,
+        )
+        assert len(contract.links) == 2
+        assert all(l.virtual for l in contract.links)
+
+    def test_to_offer_not_in_auction(self):
+        contract = make_external_contract(
+            "isp1", [("POC:A", "POC:B")], capacity_gbps=10.0, price_per_link=100.0
+        )
+        offer = contract.to_offer()
+        assert not offer.in_auction
+        assert offer.bid.cost(offer.link_ids) == 100.0
+
+    def test_price_link_mismatch_rejected(self):
+        links = [
+            Link(id="v1", u="A", v="B", capacity_gbps=1.0, owner="isp", virtual=True)
+        ]
+        with pytest.raises(BidError):
+            ExternalTransitContract(isp="isp", links=links, per_link_monthly={})
+
+    def test_non_virtual_link_rejected(self):
+        links = [Link(id="v1", u="A", v="B", capacity_gbps=1.0, owner="isp")]
+        with pytest.raises(BidError):
+            ExternalTransitContract(
+                isp="isp", links=links, per_link_monthly={"v1": 1.0}
+            )

@@ -1,0 +1,121 @@
+"""Tests for recurring auctions with capacity recall."""
+
+import pytest
+
+from repro.exceptions import AuctionError
+from repro.auction.constraints import make_constraint
+from repro.auction.rounds import RecallModel, RecurringAuction, RecurringOutcome, RoundResult
+from repro.rand import make_rng
+from repro.traffic.matrix import TrafficMatrix
+
+from tests.conftest import square_network, square_offers
+
+
+@pytest.fixture
+def setup():
+    net = square_network()
+    offers = square_offers(net)
+    tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 3.0})
+    return net, offers, tm
+
+
+class TestRecallModel:
+    def test_validation(self):
+        with pytest.raises(AuctionError):
+            RecallModel(min_availability=1.5)
+        with pytest.raises(AuctionError):
+            RecallModel(persistence=-0.1)
+        with pytest.raises(AuctionError):
+            RecallModel(recall_probability=2.0)
+
+    def test_availability_bounded(self):
+        model = RecallModel(min_availability=0.5)
+        rng = make_rng(3)
+        a = 1.0
+        for _ in range(50):
+            a = model.next_availability(rng, "bp", a)
+            assert 0.5 <= a <= 1.0
+
+    def test_cloud_bp_recalls(self):
+        model = RecallModel(
+            cloud_bps=frozenset({"cloud"}), recall_probability=1.0, recall_floor=0.3
+        )
+        rng = make_rng(3)
+        assert model.next_availability(rng, "cloud", 1.0) == 0.3
+
+    def test_non_cloud_never_hard_recalls(self):
+        model = RecallModel(
+            cloud_bps=frozenset({"cloud"}), recall_probability=1.0,
+            recall_floor=0.3, min_availability=0.6,
+        )
+        rng = make_rng(3)
+        for _ in range(20):
+            assert model.next_availability(rng, "other", 1.0) >= 0.6
+
+
+class TestRecurringAuction:
+    def test_runs_rounds(self, setup):
+        net, offers, tm = setup
+        auction = RecurringAuction(net, offers, tm, seed=1, engine="mcf")
+        outcome = auction.run(5)
+        assert len(outcome.rounds) == 5
+        assert all(r.result is not None for r in outcome.rounds)
+
+    def test_every_round_clears_the_tm(self, setup):
+        net, offers, tm = setup
+        auction = RecurringAuction(net, offers, tm, seed=1, engine="mcf")
+        outcome = auction.run(4)
+        for r in outcome.rounds:
+            constraint = make_constraint(1, net, tm, engine="mcf")
+            assert constraint.satisfied(r.result.selected)
+
+    def test_deterministic_under_seed(self, setup):
+        net, offers, tm = setup
+        a = RecurringAuction(net, offers, tm, seed=9, engine="mcf").run(4)
+        b = RecurringAuction(net, offers, tm, seed=9, engine="mcf").run(4)
+        assert a.cost_series() == b.cost_series()
+
+    def test_recall_forces_fallback(self, setup):
+        """If the only feasible provider recalls hard, the round falls
+        back to full availability instead of failing."""
+        net, offers, tm = setup
+        recall = RecallModel(
+            cloud_bps=frozenset({"P", "Q"}),
+            recall_probability=1.0,
+            recall_floor=0.01,
+            min_availability=0.01,
+        )
+        auction = RecurringAuction(net, offers, tm, recall=recall, seed=2, engine="mcf")
+        outcome = auction.run(3)
+        # Heavy recall on a tiny network: most rounds need the fallback,
+        # but every round still clears.
+        assert all(r.result is not None for r in outcome.rounds)
+        assert outcome.fallback_rate() > 0
+
+    def test_rounds_validation(self, setup):
+        net, offers, tm = setup
+        auction = RecurringAuction(net, offers, tm, seed=1)
+        with pytest.raises(AuctionError):
+            auction.run(0)
+
+    def test_empty_offers_rejected(self, setup):
+        net, _offers, tm = setup
+        with pytest.raises(AuctionError):
+            RecurringAuction(net, [], tm)
+
+
+class TestOutcomeMetrics:
+    def test_volatility_zero_for_constant(self):
+        outcome = RecurringOutcome()
+        assert outcome.cost_volatility() == 0.0
+        assert outcome.winner_churn() == 0.0
+        assert outcome.fallback_rate() == 0.0
+
+    def test_metrics_on_real_run(self, setup):
+        net, offers, tm = setup
+        outcome = RecurringAuction(net, offers, tm, seed=4, engine="mcf").run(6)
+        assert outcome.cost_volatility() >= 0.0
+        assert 0.0 <= outcome.winner_churn() <= 1.0
+        assert len(outcome.payment_series("P")) == 6
+        assert len(outcome.payment_series("nobody")) == 6
+        assert all(v == 0.0 for v in outcome.payment_series("nobody"))

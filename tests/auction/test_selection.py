@@ -1,0 +1,154 @@
+"""Tests for min-cost link-set selection."""
+
+import pytest
+
+from repro.exceptions import AuctionError, NoFeasibleSelectionError
+from repro.auction.bids import AdditiveCost
+from repro.auction.constraints import make_constraint
+from repro.auction.provider import Offer
+from repro.auction.selection import (
+    ENGINES,
+    per_provider_cost,
+    select_links,
+    total_declared_cost,
+)
+from repro.traffic.matrix import TrafficMatrix
+
+from tests.conftest import square_network, square_offers, square_tm
+
+
+@pytest.fixture
+def setup():
+    net = square_network()
+    offers = square_offers(net)
+    tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 3.0})
+    constraint = make_constraint(1, net, tm)
+    return net, offers, constraint
+
+
+class TestCostHelpers:
+    def test_total_declared_cost(self, setup):
+        _net, offers, _c = setup
+        assert total_declared_cost(offers, ["AB", "AC"]) == 160.0
+        assert total_declared_cost(offers, []) == 0.0
+
+    def test_orphan_links_rejected(self, setup):
+        _net, offers, _c = setup
+        with pytest.raises(AuctionError):
+            total_declared_cost(offers, ["nope"])
+
+    def test_per_provider_cost(self, setup):
+        _net, offers, _c = setup
+        costs = per_provider_cost(offers, ["AB", "BC", "AC"])
+        assert costs == {"P": 200.0, "Q": 60.0}
+
+
+class TestGreedyDrop:
+    def test_minimal_for_single_demand(self, setup):
+        _net, offers, constraint = setup
+        outcome = select_links(offers, constraint, method="greedy-drop")
+        # Cheapest way to carry 3G A->C is the 60-unit diagonal alone.
+        assert outcome.selected == frozenset({"AC"})
+        assert outcome.total_cost == 60.0
+
+    def test_infeasible_raises(self):
+        net = square_network()
+        offers = square_offers(net)
+        tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 100.0})
+        constraint = make_constraint(1, net, tm)
+        with pytest.raises(NoFeasibleSelectionError):
+            select_links(offers, constraint)
+
+    def test_exclude_provider(self, setup):
+        _net, offers, constraint = setup
+        outcome = select_links(offers, constraint, exclude_providers=("Q",))
+        assert "AC" not in outcome.selected
+        # Must route around the ring: two links minimum.
+        assert len(outcome.selected) == 2
+        assert outcome.total_cost == 200.0
+
+    def test_exclude_all_raises(self, setup):
+        _net, offers, constraint = setup
+        with pytest.raises(NoFeasibleSelectionError):
+            select_links(offers, constraint, exclude_providers=("P", "Q"))
+
+    def test_deterministic(self, setup):
+        _net, offers, constraint = setup
+        a = select_links(offers, constraint)
+        b = select_links(offers, constraint)
+        assert a.selected == b.selected
+
+
+class TestEngineConsistency:
+    @pytest.mark.parametrize("method", ENGINES)
+    def test_all_engines_feasible_and_sane(self, setup, method):
+        _net, offers, constraint = setup
+        outcome = select_links(offers, constraint, method=method)
+        assert constraint.satisfied(outcome.selected)
+        assert outcome.total_cost <= total_declared_cost(
+            offers, [l for o in offers for l in o.link_ids]
+        )
+        assert outcome.engine == method
+
+    @pytest.mark.parametrize("method", [m for m in ENGINES if m != "milp"])
+    def test_survivable_selection(self, method):
+        net = square_network()
+        offers = square_offers(net)
+        tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 3.0})
+        constraint = make_constraint(2, net, tm)
+        outcome = select_links(offers, constraint, method=method)
+        assert constraint.satisfied(outcome.selected)
+        # Survivability needs at least two disjoint A->C routes.
+        assert len(outcome.selected) >= 3
+
+    def test_milp_rejects_survivability_constraints(self):
+        net = square_network()
+        offers = square_offers(net)
+        tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 3.0})
+        constraint = make_constraint(2, net, tm)
+        with pytest.raises(AuctionError):
+            select_links(offers, constraint, method="milp")
+
+    def test_milp_matches_or_beats_heuristics(self, setup):
+        _net, offers, constraint = setup
+        exact = select_links(offers, constraint, method="milp")
+        for method in ("greedy-drop", "add-prune", "local-search"):
+            heuristic = select_links(offers, constraint, method=method)
+            assert exact.total_cost <= heuristic.total_cost + 1e-9
+
+    def test_unknown_method(self, setup):
+        _net, offers, constraint = setup
+        with pytest.raises(AuctionError):
+            select_links(offers, constraint, method="annealing")
+
+    def test_local_search_no_worse_than_greedy(self, setup):
+        _net, offers, constraint = setup
+        greedy = select_links(offers, constraint, method="greedy-drop")
+        local = select_links(offers, constraint, method="local-search")
+        assert local.total_cost <= greedy.total_cost + 1e-9
+
+
+class TestSelectionOnZoo:
+    def test_tiny_zoo_constraint1(self, tiny_zoo):
+        from repro.experiments.pipeline import offers_for_zoo, traffic_for_zoo
+
+        tm = traffic_for_zoo(tiny_zoo)
+        offers = offers_for_zoo(tiny_zoo)
+        constraint = make_constraint(1, tiny_zoo.offered, tm)
+        outcome = select_links(offers, constraint, method="add-prune")
+        assert constraint.satisfied(outcome.selected)
+        # Selection should prune a meaningful share of the universe.
+        assert len(outcome.selected) < tiny_zoo.num_logical_links
+        assert outcome.total_cost > 0
+        assert outcome.oracle_evaluations > 0
+
+    def test_provider_links_partition(self, tiny_zoo):
+        from repro.experiments.pipeline import offers_for_zoo, traffic_for_zoo
+
+        tm = traffic_for_zoo(tiny_zoo)
+        offers = offers_for_zoo(tiny_zoo)
+        constraint = make_constraint(1, tiny_zoo.offered, tm)
+        outcome = select_links(offers, constraint, method="add-prune")
+        by_provider = outcome.provider_links(offers)
+        combined = frozenset().union(*by_provider.values())
+        assert combined == outcome.selected

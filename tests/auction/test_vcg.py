@@ -1,0 +1,176 @@
+"""Tests for VCG payments (the Clarke pivot rule of §3.3)."""
+
+import pytest
+
+from repro.exceptions import AuctionError, NoFeasibleSelectionError
+from repro.auction.bids import AdditiveCost
+from repro.auction.constraints import make_constraint
+from repro.auction.provider import Offer, make_external_contract
+from repro.auction.vcg import AuctionConfig, run_auction, utility
+
+EXACT = AuctionConfig(method="milp")
+from repro.topology.graph import Link, Network
+from repro.traffic.matrix import TrafficMatrix
+
+from tests.conftest import make_node, square_network, square_offers
+
+
+def two_path_setup(price_cheap=60.0, price_dear=100.0, demand=3.0):
+    """A—C reachable via Q's direct link (cheap) or P's two-hop (dear).
+
+    The textbook VCG instance: Q wins and is paid up to the alternative's
+    cost.
+    """
+    net = Network(name="two-path")
+    for n in ("A", "B", "C"):
+        net.add_node(make_node(n))
+    net.add_link(Link(id="AB", u="A", v="B", capacity_gbps=10.0, owner="P"))
+    net.add_link(Link(id="BC", u="B", v="C", capacity_gbps=10.0, owner="P"))
+    net.add_link(Link(id="AC", u="A", v="C", capacity_gbps=10.0, owner="Q"))
+    p_cost = AdditiveCost({"AB": price_dear / 2, "BC": price_dear / 2})
+    q_cost = AdditiveCost({"AC": price_cheap})
+    offers = [
+        Offer(provider="P", links=[net.link("AB"), net.link("BC")],
+              bid=p_cost, true_cost=p_cost),
+        Offer(provider="Q", links=[net.link("AC")], bid=q_cost, true_cost=q_cost),
+    ]
+    tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): demand})
+    constraint = make_constraint(1, net, tm)
+    return net, offers, constraint
+
+
+class TestClarkePivot:
+    def test_winner_paid_alternative_cost(self):
+        _net, offers, constraint = two_path_setup()
+        result = run_auction(offers, constraint, config=EXACT)
+        # Q wins at declared 60; without Q the POC would pay 100.
+        # P_Q = 60 + (100 - 60) = 100.
+        assert result.winners() == ["Q"]
+        assert result.payment("Q") == pytest.approx(100.0)
+        assert result.pob("Q") == pytest.approx(40.0 / 60.0)
+
+    def test_loser_paid_nothing(self):
+        _net, offers, constraint = two_path_setup()
+        result = run_auction(offers, constraint, config=EXACT)
+        assert result.payment("P") == 0.0
+        assert result.pob("P") is None
+
+    def test_pivot_term_recorded(self):
+        _net, offers, constraint = two_path_setup()
+        result = run_auction(offers, constraint, config=EXACT)
+        assert result.providers["Q"].pivot_term == pytest.approx(40.0)
+        assert result.leave_one_out_cost["Q"] == pytest.approx(100.0)
+
+    def test_individual_rationality(self):
+        _net, offers, constraint = two_path_setup()
+        result = run_auction(offers, constraint, config=EXACT)
+        for provider, pr in result.providers.items():
+            assert pr.payment >= pr.declared_cost - 1e-9
+
+    def test_total_payments_include_externals(self):
+        _net, offers, constraint = two_path_setup()
+        result = run_auction(offers, constraint, config=EXACT)
+        assert result.total_payments == pytest.approx(100.0)
+        assert result.external_cost == 0.0
+
+    def test_pivotal_provider_raises(self):
+        """If the constraint cannot be met without a BP, pricing fails loudly."""
+        net = Network(name="single")
+        for n in ("A", "B"):
+            net.add_node(make_node(n))
+        net.add_link(Link(id="AB", u="A", v="B", capacity_gbps=10.0, owner="P"))
+        cost = AdditiveCost({"AB": 10.0})
+        offers = [Offer(provider="P", links=[net.link("AB")], bid=cost, true_cost=cost)]
+        tm = TrafficMatrix.from_dict(["A", "B"], {("A", "B"): 1.0})
+        constraint = make_constraint(1, net, tm)
+        with pytest.raises(NoFeasibleSelectionError):
+            run_auction(offers, constraint, config=EXACT)
+
+    def test_duplicate_providers_rejected(self):
+        _net, offers, constraint = two_path_setup()
+        with pytest.raises(AuctionError):
+            run_auction(offers + [offers[0]], constraint, config=EXACT)
+
+
+class TestStrategyProofness:
+    """Truthful bidding is (weakly) dominant for the winning BP."""
+
+    def test_overbidding_cannot_help_winner(self):
+        _net, offers, constraint = two_path_setup()
+        truthful = run_auction(offers, constraint, config=EXACT)
+        base_utility = utility(offers[1], truthful)
+        for factor in (1.1, 1.3, 1.6, 2.0):
+            shaded = [offers[0], offers[1].with_bid(offers[1].bid.scaled(factor))]
+            result = run_auction(shaded, constraint, config=EXACT)
+            assert utility(shaded[1], result) <= base_utility + 1e-9
+
+    def test_overbid_beyond_alternative_loses(self):
+        _net, offers, constraint = two_path_setup()
+        # Bidding 120 > alternative 100 makes Q lose; utility drops to 0.
+        shaded = [offers[0], offers[1].with_bid(offers[1].bid.scaled(2.0))]
+        result = run_auction(shaded, constraint, config=EXACT)
+        assert result.winners() == ["P"]
+        assert utility(shaded[1], result) == 0.0
+
+    def test_underbidding_cannot_help(self):
+        _net, offers, constraint = two_path_setup()
+        truthful = run_auction(offers, constraint, config=EXACT)
+        base_utility = utility(offers[1], truthful)
+        for factor in (0.5, 0.8, 0.95):
+            shaded = [offers[0], offers[1].with_bid(offers[1].bid.scaled(factor))]
+            result = run_auction(shaded, constraint, config=EXACT)
+            # Same payment (pivot does not depend on own bid); same utility.
+            assert utility(shaded[1], result) == pytest.approx(base_utility)
+
+    def test_losers_cannot_profit_by_any_scaling(self):
+        _net, offers, constraint = two_path_setup()
+        for factor in (0.7, 0.9, 1.2):
+            shaded = [offers[0].with_bid(offers[0].bid.scaled(factor)), offers[1]]
+            result = run_auction(shaded, constraint, config=EXACT)
+            # P's true cost is 100; winning requires bidding < 60, i.e.
+            # factor < 0.6, which would pay at most 60 < 100: a loss.
+            assert utility(shaded[0], result) <= 1e-9
+
+
+class TestExternalContracts:
+    def test_virtual_links_cap_payments(self):
+        net, offers, _ = two_path_setup()
+        # An external contract offers A-C at 80: the pivot alternative
+        # becomes 80 instead of P's 100.
+        contract = make_external_contract(
+            "ext", [("A", "C")], capacity_gbps=10.0, price_per_link=80.0
+        )
+        for link in contract.links:
+            net.add_link(link)
+        tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 3.0})
+        constraint = make_constraint(1, net, tm)
+        result = run_auction(offers + [contract.to_offer()], constraint, config=EXACT)
+        assert result.payment("Q") == pytest.approx(80.0)
+
+    def test_external_never_gets_vcg_payment(self):
+        net, offers, _ = two_path_setup(price_cheap=90.0)
+        contract = make_external_contract(
+            "ext", [("A", "C")], capacity_gbps=10.0, price_per_link=50.0
+        )
+        for link in contract.links:
+            net.add_link(link)
+        tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 3.0})
+        constraint = make_constraint(1, net, tm)
+        result = run_auction(offers + [contract.to_offer()], constraint, config=EXACT)
+        # The external wins on price but is paid contract cost, not VCG.
+        assert "ext" not in result.providers
+        assert result.external_cost == pytest.approx(50.0)
+        assert result.total_payments == pytest.approx(50.0)
+
+
+class TestOnSquare:
+    def test_square_auction(self):
+        net = square_network()
+        offers = square_offers(net)
+        tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 3.0})
+        constraint = make_constraint(1, net, tm)
+        result = run_auction(offers, constraint, config=EXACT)
+        assert result.selected == frozenset({"AC"})
+        # Alternative without Q costs 200 (two ring links).
+        assert result.payment("Q") == pytest.approx(200.0)
+        assert result.pob("Q") == pytest.approx(140.0 / 60.0)

@@ -1,0 +1,95 @@
+"""Shared fixtures.
+
+Expensive artefacts (the synthetic zoo, auction runs) are session-scoped;
+tests must treat them as read-only.  Small handcrafted networks are
+function-scoped and safe to mutate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.auction.bids import AdditiveCost
+from repro.auction.provider import Offer
+from repro.topology.geo import GeoPoint
+from repro.topology.graph import Link, Network, Node
+from repro.topology.zoo import ZooConfig, build_zoo
+from repro.traffic.matrix import TrafficMatrix
+
+
+def make_node(node_id: str, lat: float = 0.0, lon: float = 0.0) -> Node:
+    return Node(id=node_id, point=GeoPoint(lat, lon))
+
+
+def square_network() -> Network:
+    """A 4-cycle plus one diagonal; two owners (P, Q).
+
+    Layout (capacities in Gbps):
+
+        A --10-- B
+        |        |
+       10        10
+        |        |
+        D --10-- C          plus diagonal A--C at 5.
+
+    P owns the ring, Q owns the diagonal.
+    """
+    net = Network(name="square")
+    for node_id, lat, lon in (("A", 0, 0), ("B", 0, 1), ("C", 1, 1), ("D", 1, 0)):
+        net.add_node(make_node(node_id, lat, lon))
+    for lid, u, v, cap, owner in (
+        ("AB", "A", "B", 10.0, "P"),
+        ("BC", "B", "C", 10.0, "P"),
+        ("CD", "C", "D", 10.0, "P"),
+        ("DA", "D", "A", 10.0, "P"),
+        ("AC", "A", "C", 5.0, "Q"),
+    ):
+        net.add_link(Link(id=lid, u=u, v=v, capacity_gbps=cap, length_km=100.0, owner=owner))
+    return net
+
+
+def square_offers(net: Network, prices=None) -> list:
+    """Truthful offers matching :func:`square_network` ownership."""
+    prices = prices or {"AB": 100.0, "BC": 100.0, "CD": 100.0, "DA": 100.0, "AC": 60.0}
+    p_links = [net.link(lid) for lid in ("AB", "BC", "CD", "DA")]
+    q_links = [net.link("AC")]
+    p_cost = AdditiveCost({lid: prices[lid] for lid in ("AB", "BC", "CD", "DA")})
+    q_cost = AdditiveCost({"AC": prices["AC"]})
+    return [
+        Offer(provider="P", links=p_links, bid=p_cost, true_cost=p_cost),
+        Offer(provider="Q", links=q_links, bid=q_cost, true_cost=q_cost),
+    ]
+
+
+def square_tm(load: float = 2.0) -> TrafficMatrix:
+    """Symmetric demands around the square."""
+    nodes = ["A", "B", "C", "D"]
+    demands = {}
+    for src in nodes:
+        for dst in nodes:
+            if src != dst:
+                demands[(src, dst)] = load
+    return TrafficMatrix(nodes=nodes, _demands=demands)
+
+
+@pytest.fixture
+def square():
+    return square_network()
+
+
+@pytest.fixture
+def square_with_offers():
+    net = square_network()
+    return net, square_offers(net), square_tm()
+
+
+@pytest.fixture(scope="session")
+def tiny_zoo():
+    """The tiny preset zoo (read-only; ~120 logical links)."""
+    return build_zoo(ZooConfig.tiny())
+
+
+@pytest.fixture(scope="session")
+def small_zoo():
+    """The small preset zoo (read-only)."""
+    return build_zoo(ZooConfig.small())

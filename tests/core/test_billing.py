@@ -1,0 +1,72 @@
+"""Tests for billing schemes and break-even settlement."""
+
+import pytest
+
+from repro.exceptions import MarketError
+from repro.core.billing import (
+    FlatRate,
+    TieredRate,
+    UsageBasedRate,
+    break_even_rate,
+    settlement,
+)
+
+
+class TestSchemes:
+    def test_flat(self):
+        scheme = FlatRate(monthly_price=50.0)
+        assert scheme.monthly_charge(0.0) == 50.0
+        assert scheme.monthly_charge(100.0) == 50.0
+
+    def test_usage(self):
+        scheme = UsageBasedRate(rate_per_gbps=10.0, port_fee=5.0)
+        assert scheme.monthly_charge(0.0) == 5.0
+        assert scheme.monthly_charge(3.0) == 35.0
+
+    def test_tiered(self):
+        scheme = TieredRate(monthly_price=40.0, included_gbps=2.0, overage_per_gbps=8.0)
+        assert scheme.monthly_charge(1.0) == 40.0
+        assert scheme.monthly_charge(2.0) == 40.0
+        assert scheme.monthly_charge(4.5) == pytest.approx(60.0)
+
+    def test_usage_validation(self):
+        with pytest.raises(MarketError):
+            FlatRate(50.0).monthly_charge(-1.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(MarketError):
+            FlatRate(-1.0)
+        with pytest.raises(MarketError):
+            UsageBasedRate(rate_per_gbps=-1.0)
+        with pytest.raises(MarketError):
+            TieredRate(monthly_price=1.0, included_gbps=-1.0, overage_per_gbps=1.0)
+
+    def test_non_discrimination_by_construction(self):
+        """Same usage, same charge — the interface admits nothing else."""
+        scheme = UsageBasedRate(rate_per_gbps=7.0)
+        assert scheme.monthly_charge(10.0) == scheme.monthly_charge(10.0)
+
+
+class TestBreakEven:
+    def test_rate(self):
+        assert break_even_rate(1000.0, 100.0) == 10.0
+
+    def test_rate_validation(self):
+        with pytest.raises(MarketError):
+            break_even_rate(-1.0, 10.0)
+        with pytest.raises(MarketError):
+            break_even_rate(100.0, 0.0)
+
+    def test_settlement_sums_to_cost(self):
+        rows = settlement([("a", 30.0), ("b", 70.0)], total_cost=500.0)
+        assert sum(charge for _, charge in rows) == pytest.approx(500.0)
+
+    def test_settlement_proportional(self):
+        rows = dict(settlement([("a", 30.0), ("b", 70.0)], total_cost=500.0))
+        assert rows["a"] == pytest.approx(150.0)
+        assert rows["b"] == pytest.approx(350.0)
+
+    def test_zero_usage_pays_nothing(self):
+        rows = dict(settlement([("a", 0.0), ("b", 10.0)], total_cost=100.0))
+        assert rows["a"] == 0.0
+        assert rows["b"] == pytest.approx(100.0)

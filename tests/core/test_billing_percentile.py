@@ -1,0 +1,58 @@
+"""Tests for 95th-percentile billing."""
+
+import pytest
+
+from repro.exceptions import MarketError
+from repro.core.billing import Percentile95Rate
+
+
+class TestPercentileBilling:
+    def test_bursts_forgiven(self):
+        scheme = Percentile95Rate(rate_per_gbps=10.0)
+        # 95 steady samples at 2 Gbps, 5 bursts at 50 Gbps: the bursts
+        # fall in the forgiven top 5%.
+        samples = [2.0] * 95 + [50.0] * 5
+        assert scheme.monthly_charge_from_samples(samples) == pytest.approx(20.0)
+
+    def test_constant_usage_matches_flat_usage_charge(self):
+        scheme = Percentile95Rate(rate_per_gbps=10.0, port_fee=5.0)
+        samples = [3.0] * 100
+        assert scheme.monthly_charge_from_samples(samples) == pytest.approx(
+            scheme.monthly_charge(3.0)
+        )
+
+    def test_sustained_load_is_billed(self):
+        scheme = Percentile95Rate(rate_per_gbps=10.0)
+        # 10% of the month at 50 Gbps is NOT forgiven at the 95th.
+        samples = [2.0] * 90 + [50.0] * 10
+        assert scheme.monthly_charge_from_samples(samples) == pytest.approx(500.0)
+
+    def test_empty_samples_pay_port_fee(self):
+        scheme = Percentile95Rate(rate_per_gbps=10.0, port_fee=7.0)
+        assert scheme.monthly_charge_from_samples([]) == 7.0
+
+    def test_order_invariance(self):
+        scheme = Percentile95Rate(rate_per_gbps=1.0)
+        samples = [5.0, 1.0, 9.0, 3.0] * 25
+        assert scheme.monthly_charge_from_samples(samples) == pytest.approx(
+            scheme.monthly_charge_from_samples(sorted(samples))
+        )
+
+    def test_negative_sample_rejected(self):
+        scheme = Percentile95Rate(rate_per_gbps=1.0)
+        with pytest.raises(MarketError):
+            scheme.monthly_charge_from_samples([-1.0, 2.0])
+
+    def test_validation(self):
+        with pytest.raises(MarketError):
+            Percentile95Rate(rate_per_gbps=-1.0)
+        with pytest.raises(MarketError):
+            Percentile95Rate(rate_per_gbps=1.0, percentile=0.0)
+
+    def test_percentile_vs_peak_billing(self):
+        """The scheme's raison d'être: cheaper than peak for bursty use."""
+        scheme = Percentile95Rate(rate_per_gbps=10.0)
+        bursty = [1.0] * 97 + [100.0] * 3
+        p95_bill = scheme.monthly_charge_from_samples(bursty)
+        peak_bill = scheme.monthly_charge(max(bursty))
+        assert p95_bill < peak_bill

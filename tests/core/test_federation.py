@@ -1,0 +1,115 @@
+"""Tests for federated POCs (§1.2)."""
+
+import pytest
+
+from repro.exceptions import MarketError, ReproError, UnknownNodeError
+from repro.core.federation import GatewayLink, POCFederation
+from repro.core.poc import PublicOptionCore
+from repro.traffic.matrix import TrafficMatrix
+
+from tests.conftest import square_network, square_offers
+
+
+def provisioned_poc() -> PublicOptionCore:
+    net = square_network()
+    poc = PublicOptionCore(offered=net)
+    tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 3.0})
+    poc.provision(square_offers(net), tm, method="milp")
+    return poc
+
+
+@pytest.fixture
+def federation():
+    east, west = provisioned_poc(), provisioned_poc()
+    east.attach("lmp-e", "A", "lmp")
+    east.attach("csp-e", "C", "csp")
+    west.attach("lmp-w", "A", "lmp")
+    fed = POCFederation({"east": east, "west": west})
+    fed.interconnect("east", "C", "west", "A",
+                     capacity_gbps=100.0, monthly_cost=1_000.0)
+    return fed
+
+
+class TestConstruction:
+    def test_needs_two_members(self):
+        with pytest.raises(MarketError):
+            POCFederation({"solo": provisioned_poc()})
+
+    def test_members_must_be_provisioned(self):
+        bare = PublicOptionCore(offered=square_network())
+        with pytest.raises(ReproError):
+            POCFederation({"a": provisioned_poc(), "b": bare})
+
+    def test_gateway_validation(self, federation):
+        with pytest.raises(MarketError):
+            federation.interconnect("east", "A", "nowhere", "A",
+                                    capacity_gbps=1.0, monthly_cost=1.0)
+        with pytest.raises(UnknownNodeError):
+            federation.interconnect("east", "Z", "west", "A",
+                                    capacity_gbps=1.0, monthly_cost=1.0)
+        with pytest.raises(MarketError):
+            GatewayLink(id="x", member_a="a", site_a="A", member_b="a",
+                        site_b="B", capacity_gbps=1.0, monthly_cost=0.0)
+
+
+class TestCombinedFabric:
+    def test_namespacing_prevents_collisions(self, federation):
+        net = federation.combined_backbone()
+        # Both members contribute an "A" node; both survive, namespaced.
+        assert net.has_node("east/A")
+        assert net.has_node("west/A")
+
+    def test_gateway_links_present(self, federation):
+        net = federation.combined_backbone()
+        gw = federation.gateways[0]
+        assert net.has_link(gw.id)
+
+    def test_cross_member_transit(self, federation):
+        path = federation.transit_path(("east", "lmp-e"), ("west", "lmp-w"))
+        assert path is not None
+        # The path must ride the gateway.
+        assert any(lid.startswith("gw") for lid in path.link_ids)
+
+    def test_intra_member_transit(self, federation):
+        path = federation.transit_path(("east", "lmp-e"), ("east", "csp-e"))
+        assert path is not None
+        assert all(not lid.startswith("gw") for lid in path.link_ids)
+
+    def test_reachability_is_universal(self, federation):
+        """The federation keeps the transparent-fabric property across
+        member boundaries — no fragmentation between POCs."""
+        parties = [("east", "lmp-e"), ("east", "csp-e"), ("west", "lmp-w")]
+        for i, a in enumerate(parties):
+            for b in parties[i + 1:]:
+                assert federation.reachable(a, b)
+
+    def test_no_gateway_no_cross_reach(self):
+        east, west = provisioned_poc(), provisioned_poc()
+        east.attach("lmp-e", "A", "lmp")
+        west.attach("lmp-w", "A", "lmp")
+        fed = POCFederation({"east": east, "west": west})
+        assert not fed.reachable(("east", "lmp-e"), ("west", "lmp-w"))
+
+
+class TestEconomics:
+    def test_total_cost_includes_gateways(self, federation):
+        member_costs = sum(p.monthly_cost for p in federation.members.values())
+        assert federation.monthly_cost == pytest.approx(member_costs + 1_000.0)
+
+    def test_invoices_break_even(self, federation):
+        usage = {
+            ("east", "lmp-e"): 10.0,
+            ("east", "csp-e"): 20.0,
+            ("west", "lmp-w"): 10.0,
+        }
+        invoices = federation.monthly_invoices(usage)
+        assert sum(invoices.values()) == pytest.approx(federation.monthly_cost)
+        assert invoices[("east", "csp-e")] == pytest.approx(
+            2 * invoices[("east", "lmp-e")]
+        )
+
+    def test_invoices_validate_attachments(self, federation):
+        with pytest.raises(MarketError):
+            federation.monthly_invoices({("east", "ghost"): 1.0})
+        with pytest.raises(MarketError):
+            federation.monthly_invoices({("mars", "lmp-e"): 1.0})

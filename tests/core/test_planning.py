@@ -1,0 +1,127 @@
+"""Tests for capacity planning and re-auction scheduling."""
+
+import pytest
+
+from repro.exceptions import MarketError
+from repro.core.planning import (
+    months_of_headroom,
+    plan_reprovisioning,
+)
+from repro.traffic.matrix import TrafficMatrix
+
+from tests.conftest import square_network, square_offers
+
+
+@pytest.fixture
+def setup():
+    net = square_network()
+    offers = square_offers(net)
+    tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 1.0})
+    return net, offers, tm
+
+
+class TestHeadroom:
+    def test_headroom_from_lambda(self, setup):
+        net, _offers, tm = setup
+        # Total A->C capacity 25 over demand 1: λ = 25; at 10% growth
+        # months = floor(ln 25 / ln 1.1) = 33.
+        assert months_of_headroom(net, tm, 0.10) == 33
+
+    def test_zero_growth_sentinel(self, setup):
+        net, _offers, tm = setup
+        assert months_of_headroom(net, tm, 0.0) == 1200
+
+    def test_already_infeasible(self, setup):
+        net, _offers, _tm = setup
+        heavy = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 100.0})
+        assert months_of_headroom(net, heavy, 0.1) == 0
+
+    def test_negative_growth_rejected(self, setup):
+        net, _offers, tm = setup
+        with pytest.raises(MarketError):
+            months_of_headroom(net, tm, -0.1)
+
+
+class TestPlan:
+    def test_month_zero_always_provisions(self, setup):
+        net, offers, tm = setup
+        plan = plan_reprovisioning(
+            net, offers, tm, monthly_growth=0.0, horizon_months=6,
+        )
+        assert plan.epochs[0].reprovisioned
+        assert plan.num_reprovisions == 1  # no growth: never again
+        assert len(plan.epochs) == 6
+
+    @staticmethod
+    def _with_external(net, offers):
+        """Growth scenarios need the external fallback the paper assumes,
+        else VCG leave-one-out pricing becomes infeasible mid-horizon."""
+        from repro.auction.provider import make_external_contract
+
+        contract = make_external_contract(
+            "ext", [("A", "C")], capacity_gbps=50.0, price_per_link=1000.0
+        )
+        for link in contract.links:
+            net.add_link(link)
+        return offers + [contract.to_offer()]
+
+    def test_growth_triggers_reprovision(self, setup):
+        net, offers, tm = setup
+        tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 3.0})
+        all_offers = self._with_external(net, offers)
+        plan = plan_reprovisioning(
+            net, all_offers, tm, monthly_growth=0.15, horizon_months=10,
+            provision_margin=1.5, trigger_headroom=1.1,
+        )
+        assert plan.num_reprovisions >= 2
+        # Headroom never observed below 1 (the plan never runs overloaded).
+        assert all(e.headroom >= 1.0 - 1e-6 for e in plan.epochs)
+
+    def test_margin_is_respected_after_each_auction(self, setup):
+        net, offers, tm = setup
+        plan = plan_reprovisioning(
+            net, offers, tm, monthly_growth=0.1, horizon_months=10,
+            provision_margin=2.0, trigger_headroom=1.2,
+        )
+        for epoch in plan.epochs:
+            if epoch.reprovisioned:
+                assert epoch.headroom >= 2.0 - 1e-6
+
+    def test_costs_weakly_increase_with_growth(self, setup):
+        net, offers, tm = setup
+        tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 3.0})
+        all_offers = self._with_external(net, offers)
+        plan = plan_reprovisioning(
+            net, all_offers, tm, monthly_growth=0.15, horizon_months=10,
+            provision_margin=1.5, trigger_headroom=1.1,
+        )
+        costs = [e.monthly_cost for e in plan.epochs if e.reprovisioned]
+        assert len(costs) >= 2
+        # Bigger TMs can't get cheaper backbones from the same offers.
+        for a, b in zip(costs, costs[1:]):
+            assert b >= a - 1e-6
+
+    def test_validation(self, setup):
+        net, offers, tm = setup
+        with pytest.raises(MarketError):
+            plan_reprovisioning(net, offers, tm, monthly_growth=0.1,
+                                horizon_months=0)
+        with pytest.raises(MarketError):
+            plan_reprovisioning(net, offers, tm, monthly_growth=0.1,
+                                horizon_months=5, trigger_headroom=0.9)
+        with pytest.raises(MarketError):
+            plan_reprovisioning(net, offers, tm, monthly_growth=0.1,
+                                horizon_months=5, provision_margin=1.0,
+                                trigger_headroom=1.2)
+        with pytest.raises(MarketError):
+            plan_reprovisioning(net, offers, tm, monthly_growth=-0.1,
+                                horizon_months=5)
+
+    def test_growth_beyond_offer_book_raises(self, setup):
+        from repro.exceptions import NoFeasibleSelectionError
+
+        net, offers, tm = setup
+        with pytest.raises(NoFeasibleSelectionError):
+            plan_reprovisioning(
+                net, offers, tm, monthly_growth=1.0, horizon_months=10,
+            )

@@ -1,0 +1,187 @@
+"""Tests for the PublicOptionCore."""
+
+import pytest
+
+from repro.exceptions import (
+    AuctionError,
+    MarketError,
+    ReproError,
+    UnknownNodeError,
+)
+from repro.auction.constraints import make_constraint
+from repro.auction.provider import make_external_contract
+from repro.auction.vcg import AuctionConfig
+from repro.core.poc import PublicOptionCore
+from repro.core.tos import PolicyAction, TrafficPolicy
+from repro.traffic.matrix import TrafficMatrix
+
+from tests.conftest import square_network, square_offers
+
+
+@pytest.fixture
+def poc():
+    net = square_network()
+    return PublicOptionCore(offered=net), square_offers(net)
+
+
+@pytest.fixture
+def provisioned(poc):
+    core, offers = poc
+    tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 3.0})
+    core.provision(offers, tm, constraint=1, method="milp")
+    return core
+
+
+class TestProvisioning:
+    def test_not_provisioned_initially(self, poc):
+        core, _offers = poc
+        assert not core.provisioned
+        with pytest.raises(ReproError):
+            core.backbone
+        with pytest.raises(ReproError):
+            core.auction_result
+
+    def test_provision_selects_backbone(self, provisioned):
+        assert provisioned.provisioned
+        assert provisioned.backbone.num_links == 1  # just the diagonal
+        assert provisioned.monthly_cost == pytest.approx(200.0)
+
+    def test_foreign_offer_rejected(self, poc):
+        core, _offers = poc
+        other_net = square_network()
+        other_net.add_node(
+            __import__("tests.conftest", fromlist=["make_node"]).make_node("E")
+        )
+        from repro.auction.bids import AdditiveCost
+        from repro.auction.provider import Offer
+        from repro.topology.graph import Link
+
+        foreign_link = Link(id="XE", u="A", v="E", capacity_gbps=1.0, owner="X")
+        other_net.add_link(foreign_link)
+        cost = AdditiveCost({"XE": 1.0})
+        foreign = Offer(provider="X", links=[foreign_link], bid=cost, true_cost=cost)
+        tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 1.0})
+        with pytest.raises(AuctionError):
+            core.provision([foreign], tm)
+
+    def test_external_contract_integrates(self, poc):
+        core, offers = poc
+        contract = make_external_contract(
+            "extisp", [("A", "C")], capacity_gbps=10.0, price_per_link=40.0
+        )
+        core.add_external_contract(contract)
+        tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 3.0})
+        result = core.provision(offers, tm, method="milp")
+        # The 40-unit virtual link beats Q's 60-unit diagonal.
+        assert result.external_cost == pytest.approx(40.0)
+        assert core.monthly_cost == pytest.approx(40.0)
+
+    def test_external_contract_unknown_site(self, poc):
+        core, _offers = poc
+        contract = make_external_contract(
+            "extisp", [("A", "Z")], capacity_gbps=1.0, price_per_link=1.0
+        )
+        with pytest.raises(UnknownNodeError):
+            core.add_external_contract(contract)
+
+
+class TestAttachment:
+    def test_attach_and_list(self, provisioned):
+        provisioned.attach("netco", "A", "lmp")
+        provisioned.attach("flix", "C", "csp")
+        assert [a.name for a in provisioned.lmps()] == ["netco"]
+        assert [a.name for a in provisioned.csps()] == ["flix"]
+
+    def test_attach_unconditional_any_party(self, provisioned):
+        # Open attachment: there is no admission logic to trip over.
+        for idx in range(10):
+            provisioned.attach(f"lmp{idx}", "A", "lmp")
+        assert len(provisioned.lmps()) == 10
+
+    def test_duplicate_name_rejected(self, provisioned):
+        provisioned.attach("netco", "A", "lmp")
+        with pytest.raises(MarketError):
+            provisioned.attach("netco", "B", "lmp")
+
+    def test_unknown_site_rejected(self, provisioned):
+        with pytest.raises(UnknownNodeError):
+            provisioned.attach("netco", "Z", "lmp")
+
+    def test_unknown_kind_rejected(self, provisioned):
+        with pytest.raises(ReproError):
+            provisioned.attach("x", "A", "martian")
+
+    def test_detach(self, provisioned):
+        provisioned.attach("netco", "A", "lmp")
+        provisioned.detach("netco")
+        assert provisioned.lmps() == []
+        with pytest.raises(MarketError):
+            provisioned.detach("netco")
+
+
+class TestTransit:
+    def test_path_between_attachments(self, provisioned):
+        provisioned.attach("netco", "A", "lmp")
+        provisioned.attach("flix", "C", "csp")
+        path = provisioned.transit_path("netco", "flix")
+        assert path is not None
+        assert path.link_ids == ("AC",)
+
+    def test_same_site_trivial_path(self, provisioned):
+        provisioned.attach("a1", "A", "lmp")
+        provisioned.attach("a2", "A", "csp")
+        path = provisioned.transit_path("a1", "a2")
+        assert path.num_hops == 0
+
+    def test_disconnected_backbone_detected(self, provisioned):
+        # The provisioned backbone is only the A-C diagonal: B is not on it.
+        provisioned.attach("netco", "A", "lmp")
+        provisioned.attach("islander", "B", "lmp")
+        assert provisioned.transit_path("netco", "islander") is None
+
+    def test_reachability_matrix(self, provisioned):
+        provisioned.attach("netco", "A", "lmp")
+        provisioned.attach("flix", "C", "csp")
+        matrix = provisioned.reachability()
+        assert matrix[("flix", "netco")] is True
+
+
+class TestBilling:
+    def test_invoices_break_even(self, provisioned):
+        provisioned.attach("netco", "A", "lmp")
+        provisioned.attach("flix", "C", "csp")
+        invoices = provisioned.monthly_invoices({"netco": 3.0, "flix": 3.0})
+        assert sum(invoices.values()) == pytest.approx(provisioned.monthly_cost)
+        assert invoices["netco"] == pytest.approx(invoices["flix"])
+
+    def test_usage_proportional(self, provisioned):
+        provisioned.attach("netco", "A", "lmp")
+        provisioned.attach("flix", "C", "csp")
+        invoices = provisioned.monthly_invoices({"netco": 1.0, "flix": 3.0})
+        assert invoices["flix"] == pytest.approx(3.0 * invoices["netco"])
+
+    def test_unknown_attachment_rejected(self, provisioned):
+        with pytest.raises(MarketError):
+            provisioned.monthly_invoices({"ghost": 1.0})
+
+
+class TestToSIntegration:
+    def test_audit_lmp(self, provisioned):
+        provisioned.attach("netco", "A", "lmp")
+        violations = provisioned.audit_lmp(
+            "netco",
+            policies=[
+                TrafficPolicy(
+                    lmp="netco",
+                    action=PolicyAction.BLOCK,
+                    direction="in",
+                    selector_source="rivalflix",
+                )
+            ],
+        )
+        assert len(violations) == 1
+
+    def test_audit_requires_lmp(self, provisioned):
+        provisioned.attach("flix", "C", "csp")
+        with pytest.raises(MarketError):
+            provisioned.audit_lmp("flix")

@@ -1,0 +1,118 @@
+"""Tests for QoS classes, anycast, and multicast."""
+
+import pytest
+
+from repro.exceptions import ReproError, UnknownNodeError
+from repro.core.services import (
+    AnycastGroup,
+    QoSClass,
+    ServiceCatalogue,
+    build_multicast_tree,
+)
+
+from tests.conftest import square_network
+
+
+class TestQoS:
+    def test_default_catalogue(self):
+        catalogue = ServiceCatalogue.default()
+        assert "best-effort" in catalogue.qos_classes
+        assert catalogue.qos_classes["premium"].weight > 1.0
+
+    def test_charge_is_posted_and_uniform(self):
+        catalogue = ServiceCatalogue.default()
+        assert catalogue.qos_charge("assured", 2.0) == pytest.approx(160.0)
+        assert catalogue.qos_charge("best-effort", 100.0) == 0.0
+
+    def test_unknown_class(self):
+        with pytest.raises(ReproError):
+            ServiceCatalogue.default().qos_charge("platinum", 1.0)
+
+    def test_add_class(self):
+        catalogue = ServiceCatalogue.default()
+        catalogue.add_qos_class(QoSClass("bulk", weight=0.5, posted_price_per_gbps=10.0))
+        assert catalogue.qos_charge("bulk", 1.0) == 10.0
+        with pytest.raises(ReproError):
+            catalogue.add_qos_class(QoSClass("bulk", weight=1.0, posted_price_per_gbps=0.0))
+
+    def test_qos_validation(self):
+        with pytest.raises(ReproError):
+            QoSClass("x", weight=0.0, posted_price_per_gbps=1.0)
+        with pytest.raises(ReproError):
+            QoSClass("x", weight=1.0, posted_price_per_gbps=-1.0)
+
+    def test_negative_usage_rejected(self):
+        with pytest.raises(ReproError):
+            ServiceCatalogue.default().qos_charge("assured", -1.0)
+
+
+class TestAnycast:
+    def test_resolves_nearest(self, square):
+        group = AnycastGroup(name="dns", replicas={"B", "D"})
+        replica, path = group.resolve(square, "A")
+        assert replica in ("B", "D")
+        assert path.num_hops == 1
+
+    def test_local_replica_trivial(self, square):
+        group = AnycastGroup(name="dns", replicas={"A"})
+        replica, path = group.resolve(square, "A")
+        assert replica == "A"
+        assert path.num_hops == 0
+
+    def test_unreachable_replicas(self, square):
+        sub = square.restricted_to_links(["AB"])
+        group = AnycastGroup(name="dns", replicas={"C"})
+        replica, path = group.resolve(sub, "A")
+        assert replica == ""
+        assert path is None
+
+    def test_empty_replicas_rejected(self):
+        with pytest.raises(ReproError):
+            AnycastGroup(name="dns", replicas=set())
+
+    def test_unknown_replica_site(self, square):
+        group = AnycastGroup(name="dns", replicas={"Z"})
+        with pytest.raises(UnknownNodeError):
+            group.resolve(square, "A")
+
+    def test_catalogue_registration(self):
+        catalogue = ServiceCatalogue.default()
+        catalogue.register_anycast(AnycastGroup(name="dns", replicas={"A"}))
+        with pytest.raises(ReproError):
+            catalogue.register_anycast(AnycastGroup(name="dns", replicas={"B"}))
+
+
+class TestMulticast:
+    def test_tree_reaches_all_members(self, square):
+        tree = build_multicast_tree(square, "g1", "A", ["B", "C", "D"])
+        assert tree.members == frozenset({"B", "C", "D"})
+        assert tree.size == 3
+        # A spanning structure over 4 nodes needs at least 3 links.
+        assert len(tree.links) >= 3
+
+    def test_tree_is_acyclic(self, square):
+        tree = build_multicast_tree(square, "g1", "A", ["B", "C", "D"])
+        touched_nodes = set()
+        for lid in tree.links:
+            link = square.link(lid)
+            touched_nodes.update(link.ends)
+        assert len(tree.links) == len(touched_nodes) - 1
+
+    def test_source_in_members_ignored(self, square):
+        tree = build_multicast_tree(square, "g1", "A", ["A", "B"])
+        assert tree.members == frozenset({"B"})
+
+    def test_empty_members_rejected(self, square):
+        with pytest.raises(ReproError):
+            build_multicast_tree(square, "g1", "A", ["A"])
+
+    def test_unreachable_member_rejected(self, square):
+        sub = square.restricted_to_links(["AB"])
+        with pytest.raises(ReproError):
+            build_multicast_tree(sub, "g1", "A", ["C"])
+
+    def test_total_km_consistent(self, square):
+        tree = build_multicast_tree(square, "g1", "A", ["C"])
+        assert tree.total_km == pytest.approx(
+            sum(square.link(lid).length_km for lid in tree.links)
+        )

@@ -1,0 +1,84 @@
+"""Services on a provisioned POC backbone: anycast + multicast end to end."""
+
+import pytest
+
+from repro.core.services import AnycastGroup, build_multicast_tree
+from repro.experiments.pipeline import offers_for_zoo, traffic_for_zoo
+from repro.netflow.latency import latency_report
+
+
+@pytest.fixture(scope="module")
+def backbone(request):
+    from repro.auction.constraints import make_constraint
+    from repro.auction.selection import select_links
+    from repro.topology.zoo import ZooConfig, build_zoo
+
+    zoo = build_zoo(ZooConfig.tiny())
+    tm = traffic_for_zoo(zoo)
+    offers = offers_for_zoo(zoo)
+    constraint = make_constraint(1, zoo.offered, tm, engine="greedy")
+    selection = select_links(offers, constraint, method="add-prune")
+    return zoo, zoo.offered.restricted_to_links(selection.selected)
+
+
+class TestAnycastOnBackbone:
+    def test_resolution_picks_nearest(self, backbone):
+        zoo, net = backbone
+        sites = [s.router_id for s in zoo.sites]
+        group = AnycastGroup(name="dns", replicas={sites[0], sites[-1]})
+        for querier in sites:
+            replica, path = group.resolve(net, querier)
+            if path is None:
+                continue
+            # The chosen replica is never farther than the alternative.
+            other = (sites[-1] if replica == sites[0] else sites[0])
+            from repro.netflow.paths import shortest_path
+
+            alt = shortest_path(net, querier, other)
+            if alt is not None:
+                assert path.length_km(net) <= alt.length_km(net) + 1e-9
+
+    def test_more_replicas_never_hurt(self, backbone):
+        zoo, net = backbone
+        sites = [s.router_id for s in zoo.sites]
+        small = AnycastGroup(name="g1", replicas={sites[0]})
+        big = AnycastGroup(name="g2", replicas={sites[0], sites[-1],
+                                                sites[len(sites) // 2]})
+        for querier in sites:
+            _r1, p1 = small.resolve(net, querier)
+            _r2, p2 = big.resolve(net, querier)
+            if p1 is not None and p2 is not None:
+                assert p2.length_km(net) <= p1.length_km(net) + 1e-9
+
+
+class TestMulticastOnBackbone:
+    def test_tree_cheaper_than_unicast(self, backbone):
+        zoo, net = backbone
+        sites = [s.router_id for s in zoo.sites]
+        source, members = sites[0], sites[1:6]
+        tree = build_multicast_tree(net, "stream", source, members)
+        from repro.netflow.paths import shortest_path
+
+        unicast_km = sum(
+            shortest_path(net, source, m).length_km(net) for m in members
+        )
+        # The tree shares trunk links, so its footprint is at most the
+        # sum of unicast paths.
+        assert tree.total_km <= unicast_km + 1e-9
+
+    def test_tree_spans_members(self, backbone):
+        zoo, net = backbone
+        sites = [s.router_id for s in zoo.sites]
+        tree = build_multicast_tree(net, "g", sites[0], sites[1:4])
+        touched = set()
+        for lid in tree.links:
+            touched.update(net.link(lid).ends)
+        assert set(sites[1:4]) <= touched
+
+
+class TestBackboneQuality:
+    def test_latency_report_on_backbone(self, backbone):
+        _zoo, net = backbone
+        report = latency_report(net)
+        assert report.unreachable == ()
+        assert report.mean_stretch() >= 1.0

@@ -1,0 +1,174 @@
+"""Tests for terms-of-service auditing (§3.4)."""
+
+import pytest
+
+from repro.exceptions import NeutralityViolation, PolicyError
+from repro.core.tos import (
+    Clause,
+    PolicyAction,
+    PolicyReason,
+    ServiceOffering,
+    TermsOfService,
+    TrafficPolicy,
+)
+
+
+@pytest.fixture
+def tos():
+    return TermsOfService()
+
+
+def policy(**kwargs):
+    defaults = dict(lmp="netco", action=PolicyAction.THROTTLE, direction="in")
+    defaults.update(kwargs)
+    return TrafficPolicy(**defaults)
+
+
+class TestClauseI:
+    def test_source_discrimination_violates(self, tos):
+        v = tos.audit_policy(policy(selector_source="rivalflix"))
+        assert v is not None
+        assert v.clause is Clause.TRAFFIC_DISCRIMINATION
+
+    def test_application_discrimination_violates(self, tos):
+        v = tos.audit_policy(
+            policy(action=PolicyAction.DEPRIORITIZE, selector_application="video")
+        )
+        assert v is not None
+
+    def test_outbound_destination_discrimination_violates(self, tos):
+        v = tos.audit_policy(
+            policy(direction="out", selector_destination="rival-lmp")
+        )
+        assert v is not None
+
+    def test_nondiscriminatory_policy_allowed(self, tos):
+        # Inbound throttle keyed on nothing: congestion management.
+        assert tos.audit_policy(policy()) is None
+
+    def test_security_exception(self, tos):
+        v = tos.audit_policy(
+            policy(
+                action=PolicyAction.BLOCK,
+                selector_source="botnet",
+                reason=PolicyReason.SECURITY,
+            )
+        )
+        assert v is None
+
+    def test_maintenance_exception(self, tos):
+        v = tos.audit_policy(
+            policy(
+                action=PolicyAction.PRIORITIZE,
+                selector_application="ops-telemetry",
+                reason=PolicyReason.MAINTENANCE,
+            )
+        )
+        assert v is None
+
+    def test_open_qos_allowed(self, tos):
+        v = tos.audit_policy(
+            policy(
+                action=PolicyAction.PRIORITIZE,
+                selector_application="realtime",
+                open_offer=True,
+                posted_price=10.0,
+            )
+        )
+        assert v is None
+
+    def test_sham_open_offer_violates(self, tos):
+        """An 'open' tier restricted to one source is service discrimination."""
+        v = tos.audit_policy(
+            policy(
+                action=PolicyAction.PRIORITIZE,
+                selector_source="faveflix",
+                open_offer=True,
+                posted_price=10.0,
+            )
+        )
+        assert v is not None
+
+    def test_ingress_source_vs_destination(self, tos):
+        # Destination selectors on *inbound* traffic just mean "my own
+        # customer asked for it" — not discrimination.
+        v = tos.audit_policy(policy(selector_destination="my-customer"))
+        assert v is None
+
+    def test_direction_validation(self):
+        with pytest.raises(PolicyError):
+            policy(direction="sideways")
+
+    def test_open_offer_needs_price(self):
+        with pytest.raises(PolicyError):
+            policy(open_offer=True)
+
+
+class TestClausesIIandIII:
+    def test_own_cdn_for_subset_violates(self, tos):
+        offering = ServiceOffering(
+            lmp="netco", service="cdn", provider="netco",
+            beneficiaries=frozenset({"faveflix"}),
+        )
+        v = tos.audit_offering(offering)
+        assert v.clause is Clause.SERVICE_DISCRIMINATION
+
+    def test_third_party_cdn_for_subset_violates(self, tos):
+        offering = ServiceOffering(
+            lmp="netco", service="cdn", provider="bigcdn",
+            beneficiaries=frozenset({"faveflix"}),
+        )
+        v = tos.audit_offering(offering)
+        assert v.clause is Clause.THIRD_PARTY_DISCRIMINATION
+
+    def test_open_cdn_allowed(self, tos):
+        offering = ServiceOffering(
+            lmp="netco", service="cdn", provider="netco",
+            beneficiaries="all", posted_price=100.0,
+        )
+        assert tos.audit_offering(offering) is None
+
+    def test_open_third_party_allowed(self, tos):
+        offering = ServiceOffering(
+            lmp="netco", service="nfv", provider="vendor",
+            beneficiaries="all", posted_price=50.0,
+        )
+        assert tos.audit_offering(offering) is None
+
+    def test_beneficiaries_type_checked(self):
+        with pytest.raises(PolicyError):
+            ServiceOffering(
+                lmp="netco", service="cdn", provider="netco",
+                beneficiaries=["faveflix"],  # list, not frozenset
+            )
+
+
+class TestAuditAndEnforce:
+    def test_audit_collects_all(self, tos):
+        policies = [
+            policy(selector_source="a"),
+            policy(),
+            policy(selector_source="b"),
+        ]
+        offerings = [
+            ServiceOffering(
+                lmp="netco", service="cdn", provider="netco",
+                beneficiaries=frozenset({"x"}),
+            )
+        ]
+        violations = tos.audit(policies, offerings)
+        assert len(violations) == 3
+
+    def test_enforce_raises_first(self, tos):
+        with pytest.raises(NeutralityViolation) as exc:
+            tos.enforce([policy(selector_source="rival")])
+        assert exc.value.actor == "netco"
+        assert exc.value.clause == "3.4(i)"
+
+    def test_enforce_clean_passes(self, tos):
+        tos.enforce([policy()], [])
+
+    def test_violation_to_exception(self, tos):
+        v = tos.audit_policy(policy(selector_source="rival"))
+        err = v.to_exception()
+        assert isinstance(err, NeutralityViolation)

@@ -1,0 +1,98 @@
+"""Tests for the POC → dataplane bridge and fleet-wide conduct audits."""
+
+import pytest
+
+from repro.exceptions import MarketError
+from repro.core.poc import PublicOptionCore
+from repro.dataplane.bridge import (
+    DEFAULT_ACCESS_GBPS,
+    audit_dataplane_conduct,
+    dataplane_for_poc,
+    violators,
+)
+from repro.dataplane.shaping import DiscriminatoryEdge
+from repro.traffic.matrix import TrafficMatrix
+
+from tests.conftest import square_network, square_offers
+
+
+@pytest.fixture
+def poc():
+    from repro.auction.provider import make_external_contract
+
+    net = square_network()
+    core = PublicOptionCore(offered=net)
+    # An all-pairs TM keeps every site on the provisioned backbone; the
+    # external ring guarantees leave-one-out feasibility for VCG pricing.
+    core.add_external_contract(
+        make_external_contract(
+            "ext", [("A", "B"), ("B", "C"), ("C", "D"), ("D", "A")],
+            capacity_gbps=50.0, price_per_link=10_000.0,
+        )
+    )
+    nodes = ["A", "B", "C", "D"]
+    tm = TrafficMatrix.from_dict(
+        nodes,
+        {(s, d): 0.5 for s in nodes for d in nodes if s != d},
+    )
+    core.provision(square_offers(net), tm, constraint=1)
+    core.attach("flix", "A", "csp")
+    core.attach("tube", "B", "csp")
+    core.attach("eyeballs-1", "C", "lmp")
+    core.attach("eyeballs-2", "D", "lmp")
+    return core
+
+
+class TestBridge:
+    def test_mirrors_attachments(self, poc):
+        sim = dataplane_for_poc(poc)
+        for attachment in poc.attachments:
+            mirrored = sim.attachment(attachment.name)
+            assert mirrored.site == attachment.site
+            assert mirrored.access_gbps == DEFAULT_ACCESS_GBPS
+
+    def test_overrides(self, poc):
+        sim = dataplane_for_poc(
+            poc,
+            access_gbps={"flix": 100.0},
+            behaviors={
+                "eyeballs-1": DiscriminatoryEdge(
+                    throttle_sources=frozenset({"tube"}), factor=0.25
+                )
+            },
+        )
+        assert sim.attachment("flix").access_gbps == 100.0
+        assert isinstance(
+            sim.attachment("eyeballs-1").behavior, DiscriminatoryEdge
+        )
+
+    def test_unknown_override_rejected(self, poc):
+        with pytest.raises(MarketError):
+            dataplane_for_poc(poc, access_gbps={"ghost": 1.0})
+
+
+class TestFleetAudit:
+    def test_all_clean_by_default(self, poc):
+        sim = dataplane_for_poc(poc)
+        reports = audit_dataplane_conduct(poc, sim)
+        assert set(reports) == {"eyeballs-1", "eyeballs-2"}
+        assert violators(reports) == []
+
+    def test_cheater_identified(self, poc):
+        sim = dataplane_for_poc(
+            poc,
+            behaviors={
+                "eyeballs-2": DiscriminatoryEdge(
+                    throttle_sources=frozenset({"tube"}), factor=0.2
+                )
+            },
+        )
+        reports = audit_dataplane_conduct(poc, sim)
+        assert violators(reports) == ["eyeballs-2"]
+        flagged = {v.tested_value for v in reports["eyeballs-2"].violations}
+        assert flagged == {"tube"}
+
+    def test_reports_cover_only_lmps(self, poc):
+        sim = dataplane_for_poc(poc)
+        reports = audit_dataplane_conduct(poc, sim)
+        assert "flix" not in reports  # CSPs are not audited edges

@@ -1,0 +1,105 @@
+"""Tests for probe-based differential-treatment detection."""
+
+import pytest
+
+from repro.exceptions import FlowError
+from repro.dataplane.detection import (
+    DetectionReport,
+    ProbeFinding,
+    probe_differential_treatment,
+)
+from repro.dataplane.shaping import DiscriminatoryEdge, NeutralEdge, QoSEdge
+from repro.dataplane.sim import DataplaneSim
+
+from tests.conftest import square_network
+
+
+def build_sim(behavior):
+    s = DataplaneSim(square_network())
+    s.attach("flix", "A", access_gbps=8.0)
+    s.attach("tube", "B", access_gbps=8.0)
+    s.attach("newco", "D", access_gbps=8.0)
+    s.attach("eyeballs", "C", access_gbps=6.0, behavior=behavior)
+    return s
+
+
+class TestDetection:
+    def test_neutral_edge_is_clean(self):
+        sim = build_sim(NeutralEdge())
+        report = probe_differential_treatment(
+            sim, "eyeballs", ["flix", "tube", "newco"]
+        )
+        assert report.clean
+        assert report.violations == []
+        assert "no differential treatment" in report.summary()
+
+    def test_source_throttling_detected(self):
+        sim = build_sim(
+            DiscriminatoryEdge(throttle_sources=frozenset({"tube"}), factor=0.25)
+        )
+        report = probe_differential_treatment(
+            sim, "eyeballs", ["flix", "tube", "newco"]
+        )
+        assert not report.clean
+        flagged = {v.tested_value for v in report.violations}
+        assert flagged == {"tube"}
+        worst = min(report.violations, key=lambda f: f.ratio)
+        assert worst.ratio == pytest.approx(0.25, rel=0.05)
+
+    def test_blocking_detected_as_zero_ratio(self):
+        sim = build_sim(
+            DiscriminatoryEdge(blocked_sources=frozenset({"newco"}))
+        )
+        report = probe_differential_treatment(
+            sim, "eyeballs", ["flix", "newco"]
+        )
+        assert not report.clean
+        assert report.violations[0].tested_rate == 0.0
+
+    def test_application_throttling_detected(self):
+        sim = build_sim(
+            DiscriminatoryEdge(
+                throttle_applications=frozenset({"video"}), factor=0.3
+            )
+        )
+        report = probe_differential_treatment(
+            sim, "eyeballs", ["flix", "tube"], applications=("web", "video")
+        )
+        app_violations = [
+            v for v in report.violations if v.attribute == "application"
+        ]
+        assert len(app_violations) == 1
+        assert app_violations[0].tested_value == "video"
+
+    def test_open_qos_is_not_flagged(self):
+        """The §3.1 distinction, operationally: QoS by class is clean
+        under same-class probing."""
+        sim = build_sim(QoSEdge())
+        report = probe_differential_treatment(
+            sim, "eyeballs", ["flix", "tube", "newco"], qos_class="premium"
+        )
+        assert report.clean
+
+    def test_threshold_sensitivity(self):
+        sim = build_sim(
+            DiscriminatoryEdge(throttle_sources=frozenset({"tube"}), factor=0.9 - 1e-9)
+        )
+        strict = probe_differential_treatment(
+            sim, "eyeballs", ["flix", "tube"], threshold=0.95
+        )
+        lax = probe_differential_treatment(
+            sim, "eyeballs", ["flix", "tube"], threshold=0.5
+        )
+        assert not strict.clean
+        assert lax.clean
+
+    def test_needs_two_sources(self):
+        sim = build_sim(NeutralEdge())
+        with pytest.raises(FlowError):
+            probe_differential_treatment(sim, "eyeballs", ["flix"])
+
+    def test_finding_ratio_edge_cases(self):
+        zero_both = ProbeFinding("d", "source", "a", "b", 0.0, 0.0)
+        assert zero_both.ratio == 1.0
+        inf_case = ProbeFinding("d", "source", "a", "b", 1.0, 0.0)
+        assert inf_case.ratio == float("inf")

@@ -1,0 +1,190 @@
+"""Tests for the dataplane simulator and edge behaviours."""
+
+import pytest
+
+from repro.exceptions import FlowError, MarketError, PolicyError, UnknownNodeError
+from repro.core.services import QoSClass, ServiceCatalogue
+from repro.dataplane.flows import Flow
+from repro.dataplane.shaping import DiscriminatoryEdge, NeutralEdge, QoSEdge
+from repro.dataplane.sim import DataplaneSim
+
+from tests.conftest import square_network
+
+
+@pytest.fixture
+def sim():
+    s = DataplaneSim(square_network())
+    s.attach("flix", "A", access_gbps=8.0)
+    s.attach("tube", "B", access_gbps=8.0)
+    s.attach("eyeballs", "C", access_gbps=6.0)
+    return s
+
+
+def flow(fid, src, dst, demand=6.0, **kwargs):
+    return Flow(id=fid, source_party=src, dest_party=dst,
+                demand_gbps=demand, **kwargs)
+
+
+class TestFlowValidation:
+    def test_flow_checks(self):
+        with pytest.raises(FlowError):
+            Flow(id="", source_party="a", dest_party="b", demand_gbps=1.0)
+        with pytest.raises(FlowError):
+            Flow(id="f", source_party="a", dest_party="a", demand_gbps=1.0)
+        with pytest.raises(FlowError):
+            Flow(id="f", source_party="a", dest_party="b", demand_gbps=0.0)
+        with pytest.raises(FlowError):
+            Flow(id="f", source_party="a", dest_party="b", demand_gbps=1.0,
+                 weight=0.0)
+
+
+class TestAttachments:
+    def test_duplicate_rejected(self, sim):
+        with pytest.raises(MarketError):
+            sim.attach("flix", "B", access_gbps=1.0)
+
+    def test_unknown_site_rejected(self, sim):
+        with pytest.raises(UnknownNodeError):
+            sim.attach("x", "Z", access_gbps=1.0)
+
+    def test_nonpositive_access_rejected(self, sim):
+        with pytest.raises(MarketError):
+            sim.attach("x", "A", access_gbps=0.0)
+
+
+class TestNeutralAllocation:
+    def test_single_flow_capped_by_access(self, sim):
+        result = sim.allocate([flow("f", "flix", "eyeballs", demand=100.0)])
+        # Destination access is 6G; backbone A-C diagonal only 5G.
+        assert result.rate("f") == pytest.approx(5.0)
+
+    def test_two_sources_share_destination_access(self, sim):
+        result = sim.allocate([
+            flow("f1", "flix", "eyeballs", demand=6.0),
+            flow("f2", "tube", "eyeballs", demand=6.0),
+        ])
+        assert result.rate("f1") + result.rate("f2") <= 6.0 + 1e-6
+        # Neutral edge: equal split of the shared bottleneck.
+        assert result.rate("f1") == pytest.approx(result.rate("f2"), rel=0.05)
+
+    def test_satisfaction(self, sim):
+        result = sim.allocate([flow("f", "flix", "eyeballs", demand=4.0)])
+        assert result.satisfaction("f") == pytest.approx(1.0)
+
+    def test_bottleneck_report(self, sim):
+        result = sim.allocate([
+            flow("f1", "flix", "eyeballs", demand=6.0),
+            flow("f2", "tube", "eyeballs", demand=6.0),
+        ])
+        assert "access:eyeballs" in result.bottlenecks()
+
+    def test_duplicate_flow_ids_rejected(self, sim):
+        with pytest.raises(FlowError):
+            sim.allocate([
+                flow("f", "flix", "eyeballs"),
+                flow("f", "tube", "eyeballs"),
+            ])
+
+    def test_unknown_party_rejected(self, sim):
+        with pytest.raises(MarketError):
+            sim.allocate([flow("f", "ghost", "eyeballs")])
+
+
+class TestQoSEdge:
+    def test_open_qos_weights_by_class_only(self):
+        s = DataplaneSim(square_network())
+        s.attach("flix", "A", access_gbps=8.0)
+        s.attach("tube", "B", access_gbps=8.0)
+        s.attach("eyeballs", "C", access_gbps=6.0, behavior=QoSEdge())
+        result = s.allocate([
+            flow("premium", "flix", "eyeballs", demand=6.0, qos_class="premium"),
+            flow("basic", "tube", "eyeballs", demand=6.0),
+        ])
+        # premium weight 4 vs best-effort 1 on the 6G access bottleneck.
+        assert result.rate("premium") == pytest.approx(4.8, rel=0.02)
+        assert result.rate("basic") == pytest.approx(1.2, rel=0.02)
+
+    def test_same_class_same_treatment_regardless_of_source(self):
+        s = DataplaneSim(square_network())
+        s.attach("flix", "A", access_gbps=8.0)
+        s.attach("tube", "B", access_gbps=8.0)
+        s.attach("eyeballs", "C", access_gbps=6.0, behavior=QoSEdge())
+        result = s.allocate([
+            flow("f1", "flix", "eyeballs", demand=6.0, qos_class="assured"),
+            flow("f2", "tube", "eyeballs", demand=6.0, qos_class="assured"),
+        ])
+        assert result.rate("f1") == pytest.approx(result.rate("f2"), rel=0.05)
+
+    def test_unknown_class_falls_back_to_best_effort(self):
+        s = DataplaneSim(square_network())
+        s.attach("flix", "A", access_gbps=8.0)
+        s.attach("tube", "B", access_gbps=8.0)
+        s.attach("eyeballs", "C", access_gbps=6.0, behavior=QoSEdge())
+        result = s.allocate([
+            flow("f1", "flix", "eyeballs", demand=6.0, qos_class="mystery"),
+            flow("f2", "tube", "eyeballs", demand=6.0),
+        ])
+        assert result.rate("f1") == pytest.approx(result.rate("f2"), rel=0.05)
+
+
+class TestDiscriminatoryEdge:
+    def test_throttling_shifts_shares(self):
+        s = DataplaneSim(square_network())
+        s.attach("flix", "A", access_gbps=8.0)
+        s.attach("tube", "B", access_gbps=8.0)
+        s.attach(
+            "eyeballs", "C", access_gbps=6.0,
+            behavior=DiscriminatoryEdge(
+                throttle_sources=frozenset({"tube"}), factor=0.25
+            ),
+        )
+        result = s.allocate([
+            flow("f1", "flix", "eyeballs", demand=6.0),
+            flow("f2", "tube", "eyeballs", demand=6.0),
+        ])
+        assert result.rate("f1") == pytest.approx(4.8, rel=0.02)
+        assert result.rate("f2") == pytest.approx(1.2, rel=0.02)
+
+    def test_blocking(self):
+        s = DataplaneSim(square_network())
+        s.attach("flix", "A", access_gbps=8.0)
+        s.attach("tube", "B", access_gbps=8.0)
+        s.attach(
+            "eyeballs", "C", access_gbps=6.0,
+            behavior=DiscriminatoryEdge(blocked_sources=frozenset({"tube"})),
+        )
+        result = s.allocate([
+            flow("f1", "flix", "eyeballs", demand=6.0),
+            flow("f2", "tube", "eyeballs", demand=6.0),
+        ])
+        assert "f2" in result.blocked_flows
+        assert result.rate("f2") == 0.0
+        assert result.satisfaction("f2") == 0.0
+        # The compliant flow inherits the whole bottleneck.
+        assert result.rate("f1") == pytest.approx(5.0)  # A-C backbone cap
+
+    def test_application_throttling(self):
+        s = DataplaneSim(square_network())
+        s.attach("flix", "A", access_gbps=8.0)
+        s.attach(
+            "eyeballs", "C", access_gbps=6.0,
+            behavior=DiscriminatoryEdge(
+                throttle_applications=frozenset({"video"}), factor=0.5
+            ),
+        )
+        result = s.allocate([
+            flow("v", "flix", "eyeballs", demand=6.0, application="video"),
+            flow("w", "flix", "eyeballs", demand=6.0, application="web"),
+        ])
+        assert result.rate("w") > result.rate("v")
+
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            DiscriminatoryEdge(factor=0.5)  # discriminates on nothing
+        with pytest.raises(PolicyError):
+            DiscriminatoryEdge(throttle_sources=frozenset({"x"}), factor=1.5)
+        with pytest.raises(PolicyError):
+            DiscriminatoryEdge(
+                throttle_sources=frozenset({"x"}),
+                blocked_sources=frozenset({"x"}),
+            )

@@ -1,0 +1,156 @@
+"""Tests for the fluid-flow transfer timeline."""
+
+import pytest
+
+from repro.exceptions import FlowError
+from repro.dataplane.flows import Flow
+from repro.dataplane.shaping import DiscriminatoryEdge
+from repro.dataplane.sim import DataplaneSim
+from repro.dataplane.timeline import Transfer, simulate_transfers
+
+from tests.conftest import square_network
+
+
+@pytest.fixture
+def sim():
+    s = DataplaneSim(square_network())
+    s.attach("flix", "A", access_gbps=8.0)
+    s.attach("tube", "B", access_gbps=8.0)
+    s.attach("eyeballs", "C", access_gbps=6.0)
+    return s
+
+
+def transfer(fid, src, volume, arrival=0.0, demand=100.0, **kwargs):
+    return Transfer(
+        flow=Flow(id=fid, source_party=src, dest_party="eyeballs",
+                  demand_gbps=demand, **kwargs),
+        arrival_s=arrival,
+        volume_gbit=volume,
+    )
+
+
+class TestSingleTransfer:
+    def test_completion_is_volume_over_rate(self, sim):
+        # Lone flow A->C: bottleneck 5G (backbone diagonal).
+        result = simulate_transfers(sim, [transfer("t", "flix", volume=50.0)])
+        assert result.completion("t") == pytest.approx(10.0)
+        assert result.duration("t") == pytest.approx(10.0)
+        assert result.outcomes["t"].mean_rate_gbps == pytest.approx(5.0)
+
+    def test_arrival_offset(self, sim):
+        result = simulate_transfers(
+            sim, [transfer("t", "flix", volume=50.0, arrival=7.0)]
+        )
+        assert result.completion("t") == pytest.approx(17.0)
+        assert result.duration("t") == pytest.approx(10.0)
+
+    def test_demand_cap_limits_rate(self, sim):
+        result = simulate_transfers(
+            sim, [transfer("t", "flix", volume=10.0, demand=2.0)]
+        )
+        assert result.duration("t") == pytest.approx(5.0)
+
+
+class TestSharing:
+    def test_concurrent_transfers_slow_each_other(self, sim):
+        solo = simulate_transfers(sim, [transfer("a", "flix", volume=30.0)])
+        shared = simulate_transfers(sim, [
+            transfer("a", "flix", volume=30.0),
+            transfer("b", "tube", volume=30.0),
+        ])
+        assert shared.duration("a") > solo.duration("a")
+
+    def test_completion_frees_bandwidth(self, sim):
+        # A small transfer finishes first; the big one then speeds up, so
+        # its completion beats a permanent 50/50 split.
+        result = simulate_transfers(sim, [
+            transfer("small", "flix", volume=6.0),
+            transfer("big", "tube", volume=60.0),
+        ])
+        # Shared eyeball access 6G: 3G each until small drains (t=2),
+        # then big runs at its own bottleneck.
+        assert result.completion("small") == pytest.approx(2.0)
+        assert result.completion("big") < 60.0 / 3.0  # faster than no-release
+
+    def test_staggered_arrivals(self, sim):
+        result = simulate_transfers(sim, [
+            transfer("first", "flix", volume=10.0, arrival=0.0),
+            transfer("second", "tube", volume=10.0, arrival=100.0),
+        ])
+        # No overlap: both run solo.  flix's bottleneck is the 5G A-C
+        # diagonal; tube's is the 6G eyeball access (B-C backbone is 10G).
+        assert result.duration("first") == pytest.approx(10.0 / 5.0)
+        assert result.completion("second") == pytest.approx(100.0 + 10.0 / 6.0)
+
+    def test_makespan(self, sim):
+        result = simulate_transfers(sim, [
+            transfer("a", "flix", volume=10.0),
+            transfer("b", "tube", volume=30.0),
+        ])
+        assert result.makespan() == pytest.approx(
+            max(result.completion("a"), result.completion("b"))
+        )
+
+
+class TestThrottlingInTime:
+    def test_throttled_download_takes_longer(self):
+        net = square_network()
+        neutral = DataplaneSim(net)
+        neutral.attach("flix", "A", access_gbps=8.0)
+        neutral.attach("tube", "B", access_gbps=8.0)
+        neutral.attach("eyeballs", "C", access_gbps=6.0)
+
+        throttling = DataplaneSim(square_network())
+        throttling.attach("flix", "A", access_gbps=8.0)
+        throttling.attach("tube", "B", access_gbps=8.0)
+        throttling.attach(
+            "eyeballs", "C", access_gbps=6.0,
+            behavior=DiscriminatoryEdge(
+                throttle_sources=frozenset({"tube"}), factor=0.25
+            ),
+        )
+        # A persistent elephant from the favoured source keeps the edge
+        # contended for vid's whole lifetime (with equal volumes, work
+        # conservation would let the throttled flow catch up after the
+        # other finished — the harm shows against sustained competition,
+        # which is exactly the §2.4.2 own-video-service pattern).
+        schedule = [
+            transfer("vid", "tube", volume=30.0),
+            transfer("other", "flix", volume=300.0),
+        ]
+        fair = simulate_transfers(neutral, schedule)
+        unfair = simulate_transfers(throttling, schedule)
+        # Fair: 3G each -> vid done in 10 s.  Throttled: 1.2G -> 25 s.
+        assert fair.duration("vid") == pytest.approx(10.0)
+        assert unfair.duration("vid") == pytest.approx(25.0)
+
+    def test_blocked_transfer_never_completes(self):
+        sim = DataplaneSim(square_network())
+        sim.attach("flix", "A", access_gbps=8.0)
+        sim.attach(
+            "eyeballs", "C", access_gbps=6.0,
+            behavior=DiscriminatoryEdge(blocked_sources=frozenset({"flix"})),
+        )
+        result = simulate_transfers(sim, [transfer("t", "flix", volume=1.0)])
+        assert result.outcomes["t"].blocked
+        assert result.completion("t") == float("inf")
+        assert result.makespan() == 0.0
+
+
+class TestValidation:
+    def test_duplicate_ids(self, sim):
+        with pytest.raises(FlowError):
+            simulate_transfers(sim, [
+                transfer("t", "flix", volume=1.0),
+                transfer("t", "tube", volume=1.0),
+            ])
+
+    def test_transfer_validation(self, sim):
+        with pytest.raises(FlowError):
+            transfer("t", "flix", volume=0.0)
+        with pytest.raises(FlowError):
+            transfer("t", "flix", volume=1.0, arrival=-1.0)
+
+    def test_empty_schedule(self, sim):
+        result = simulate_transfers(sim, [])
+        assert result.makespan() == 0.0

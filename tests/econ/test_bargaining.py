@@ -1,0 +1,131 @@
+"""Tests for the Nash-bargaining fee model (§4.5)."""
+
+import pytest
+
+from repro.exceptions import BargainingError, EconError
+from repro.econ.bargaining import (
+    average_fee,
+    bilateral_fee,
+    fee_schedule,
+    incumbency_comparison,
+    nash_product,
+    nbs_fee,
+    nbs_fee_numeric,
+)
+from repro.econ.csp import CSP
+from repro.econ.demand import LinearDemand
+from repro.econ.lmp import LMP, entrant, incumbent
+
+
+class TestClosedForm:
+    def test_formula(self):
+        # t = (p − r·c)/2.
+        assert nbs_fee(10.0, 0.2, 20.0) == pytest.approx(3.0)
+        assert nbs_fee(10.0, 0.0, 20.0) == pytest.approx(5.0)
+
+    def test_negative_fee_possible(self):
+        # When r·c > p the LMP pays the CSP (must-carry content).
+        assert nbs_fee(5.0, 0.5, 20.0) == pytest.approx(-2.5)
+
+    def test_matches_numeric_maximization(self):
+        for p, r, c in [(10.0, 0.2, 20.0), (15.0, 0.05, 50.0), (8.0, 0.4, 10.0)]:
+            assert nbs_fee(p, r, c) == pytest.approx(
+                nbs_fee_numeric(p, r, c), abs=1e-4
+            )
+
+    def test_numeric_respects_demand_scaling(self):
+        # The NBS fee does not depend on D(p) (it cancels in the product).
+        a = nbs_fee_numeric(10.0, 0.2, 20.0, demand_at_price=1.0)
+        b = nbs_fee_numeric(10.0, 0.2, 20.0, demand_at_price=0.3)
+        assert a == pytest.approx(b, abs=1e-4)
+
+    def test_nash_product_peak(self):
+        t_star = nbs_fee(10.0, 0.2, 20.0)
+        peak = nash_product(t_star, 10.0, 0.5, 0.2, 20.0)
+        for t in (t_star - 1.0, t_star + 1.0):
+            assert nash_product(t, 10.0, 0.5, 0.2, 20.0) < peak
+
+    def test_validation(self):
+        with pytest.raises(EconError):
+            nbs_fee(-1.0, 0.2, 20.0)
+        with pytest.raises(BargainingError):
+            nbs_fee(10.0, 1.5, 20.0)
+        with pytest.raises(EconError):
+            nbs_fee(10.0, 0.2, -5.0)
+
+
+class TestFeeMonotonicity:
+    """§4.5: 'the fee is decreasing in the rate r_l^s'."""
+
+    def test_decreasing_in_churn(self):
+        fees = [nbs_fee(10.0, r, 20.0) for r in (0.0, 0.1, 0.2, 0.4)]
+        assert fees == sorted(fees, reverse=True)
+
+    def test_decreasing_in_access_price(self):
+        fees = [nbs_fee(10.0, 0.2, c) for c in (0.0, 10.0, 20.0, 40.0)]
+        assert fees == sorted(fees, reverse=True)
+
+    def test_increasing_in_posted_price(self):
+        fees = [nbs_fee(p, 0.2, 20.0) for p in (5.0, 10.0, 20.0)]
+        assert fees == sorted(fees)
+
+
+class TestIncumbencyAdvantage:
+    def test_incumbent_lmp_extracts_more(self):
+        csp = CSP(name="big", demand=LinearDemand(v_max=30.0), incumbency=1.0)
+        inc, ent = incumbent(), entrant()
+        assert bilateral_fee(csp, inc, price=15.0) > bilateral_fee(csp, ent, price=15.0)
+
+    def test_incumbent_csp_pays_less(self):
+        inc_csp = CSP(name="big", demand=LinearDemand(), incumbency=1.0)
+        ent_csp = CSP(name="new", demand=LinearDemand(), incumbency=0.1)
+        lmp = incumbent()
+        assert bilateral_fee(inc_csp, lmp, price=15.0) < bilateral_fee(
+            ent_csp, lmp, price=15.0
+        )
+
+    def test_comparison_object(self):
+        comparison = incumbency_comparison(
+            incumbent(), entrant(),
+            CSP(name="big", demand=LinearDemand(), incumbency=1.0),
+            CSP(name="new", demand=LinearDemand(), incumbency=0.1),
+            price=15.0,
+        )
+        assert comparison.lmp_fee_gap > 0
+        assert comparison.csp_fee_gap > 0
+
+
+class TestMultiLMP:
+    def test_average_formula(self):
+        csp = CSP(name="svc", demand=LinearDemand(v_max=30.0), incumbency=1.0)
+        lmps = [
+            LMP(name="l1", num_customers=2.0, access_price=50.0, vulnerability=0.1),
+            LMP(name="l2", num_customers=1.0, access_price=20.0, vulnerability=0.4),
+        ]
+        # <rc> = (2·(0.1·50) + 1·(0.4·20)) / 3 = (10 + 8)/3 = 6.
+        assert average_fee(csp, lmps, price=15.0) == pytest.approx((15.0 - 6.0) / 2)
+
+    def test_average_is_population_weighted_bilateral(self):
+        csp = CSP(name="svc", demand=LinearDemand(v_max=30.0), incumbency=1.0)
+        lmps = [
+            LMP(name="l1", num_customers=3.0, access_price=50.0, vulnerability=0.1),
+            LMP(name="l2", num_customers=1.0, access_price=20.0, vulnerability=0.4),
+        ]
+        price = 15.0
+        schedule = fee_schedule(csp, lmps, price=price)
+        weighted = sum(
+            l.num_customers * schedule[l.name] for l in lmps
+        ) / sum(l.num_customers for l in lmps)
+        assert average_fee(csp, lmps, price=price) == pytest.approx(weighted)
+
+    def test_single_lmp_reduces_to_bilateral(self):
+        csp = CSP(name="svc", demand=LinearDemand(), incumbency=0.8)
+        lmp = incumbent()
+        assert average_fee(csp, [lmp], price=12.0) == pytest.approx(
+            bilateral_fee(csp, lmp, price=12.0)
+        )
+
+    def test_empty_lmps_rejected(self):
+        csp = CSP(name="svc", demand=LinearDemand())
+        with pytest.raises(BargainingError):
+            average_fee(csp, [], price=10.0)

@@ -1,0 +1,110 @@
+"""Tests for CSP pricing — including Lemma 1's monotonicity."""
+
+import pytest
+
+from repro.exceptions import EconError
+from repro.econ.csp import CSP, optimal_price, profit
+from repro.econ.demand import (
+    STANDARD_FAMILIES,
+    ExponentialDemand,
+    LinearDemand,
+    LogitDemand,
+    ParetoDemand,
+)
+
+
+class TestClosedForms:
+    def test_linear(self):
+        d = LinearDemand(v_max=10.0)
+        assert optimal_price(d, 0.0) == pytest.approx(5.0)
+        assert optimal_price(d, 4.0) == pytest.approx(7.0)
+
+    def test_linear_capped_at_vmax(self):
+        d = LinearDemand(v_max=10.0)
+        # Approaching the dead-market boundary, the cap binds...
+        assert optimal_price(d, 9.99) < 10.0
+        assert optimal_price(d, 10.0) == 10.0
+        # ...and beyond it, the convention is price-at-cost, zero sales.
+        assert optimal_price(d, 100.0) == 100.0
+        assert d.demand(optimal_price(d, 100.0)) == 0.0
+
+    def test_exponential(self):
+        d = ExponentialDemand(scale=3.0)
+        assert optimal_price(d, 0.0) == pytest.approx(3.0)
+        assert optimal_price(d, 2.0) == pytest.approx(5.0)
+
+    def test_pareto_corner_then_interior(self):
+        d = ParetoDemand(p_min=2.0, alpha=2.0)
+        # Corner until t = p_min(a-1)/a = 1.
+        assert optimal_price(d, 0.0) == 2.0
+        assert optimal_price(d, 0.5) == 2.0
+        # Interior beyond: p* = 2t.
+        assert optimal_price(d, 3.0) == pytest.approx(6.0)
+
+    def test_logit_numeric(self):
+        d = LogitDemand(mid=10.0, spread=2.0)
+        p0 = optimal_price(d, 0.0)
+        assert 0 < p0 < d.price_ceiling
+        # First-order condition: D + p·D' ≈ 0 at the optimum.
+        foc = d.demand(p0) + p0 * d.demand_prime(p0)
+        assert foc == pytest.approx(0.0, abs=1e-4)
+
+    def test_negative_fee_rejected(self):
+        with pytest.raises(EconError):
+            optimal_price(LinearDemand(), -1.0)
+
+
+class TestClosedFormsMatchNumeric:
+    @pytest.mark.parametrize("name,demand", list(STANDARD_FAMILIES.items()))
+    @pytest.mark.parametrize("fee", [0.0, 1.0, 4.0])
+    def test_optimum_is_actually_optimal(self, name, demand, fee):
+        p_star = optimal_price(demand, fee)
+        best = profit(demand, p_star, fee)
+        for p in [p_star * f for f in (0.8, 0.9, 1.1, 1.25)]:
+            assert profit(demand, p, fee) <= best + 1e-9
+
+
+class TestLemma1:
+    """p*(t) is monotonically increasing in t (strictly, off corners)."""
+
+    @pytest.mark.parametrize("name,demand", list(STANDARD_FAMILIES.items()))
+    def test_monotone_in_fee(self, name, demand):
+        fees = [0.0, 0.5, 1.0, 2.0, 4.0, 8.0]
+        prices = [optimal_price(demand, t) for t in fees]
+        for a, b in zip(prices, prices[1:]):
+            assert b >= a - 1e-9
+
+    def test_strict_on_lemma_family(self):
+        # Exponential satisfies every Lemma 1 hypothesis: strictness holds.
+        d = ExponentialDemand(scale=5.0)
+        fees = [0.0, 1.0, 2.0, 3.0]
+        prices = [optimal_price(d, t) for t in fees]
+        for a, b in zip(prices, prices[1:]):
+            assert b > a
+
+    @pytest.mark.parametrize("name,demand", list(STANDARD_FAMILIES.items()))
+    def test_margin_never_negative(self, name, demand):
+        for t in (0.0, 1.0, 5.0):
+            assert optimal_price(demand, t) >= t - 1e-9
+
+
+class TestCSPObject:
+    def test_price_and_profit(self):
+        csp = CSP(name="svc", demand=LinearDemand(v_max=10.0))
+        assert csp.price() == pytest.approx(5.0)
+        assert csp.profit() == pytest.approx(2.5)
+        assert csp.subscribers() == pytest.approx(0.5)
+
+    def test_fee_cuts_profit(self):
+        csp = CSP(name="svc", demand=LinearDemand(v_max=10.0))
+        assert csp.profit(fee=2.0) < csp.profit(fee=0.0)
+
+    def test_incumbency_validation(self):
+        with pytest.raises(EconError):
+            CSP(name="x", demand=LinearDemand(), incumbency=0.0)
+        with pytest.raises(EconError):
+            CSP(name="x", demand=LinearDemand(), incumbency=1.5)
+
+    def test_profit_validation(self):
+        with pytest.raises(EconError):
+            profit(LinearDemand(), price=-1.0)

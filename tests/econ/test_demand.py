@@ -1,0 +1,146 @@
+"""Tests for demand-curve families."""
+
+import math
+
+import pytest
+
+from repro.exceptions import DemandError
+from repro.econ.demand import (
+    STANDARD_FAMILIES,
+    ExponentialDemand,
+    LinearDemand,
+    LogitDemand,
+    ParetoDemand,
+)
+
+ALL = list(STANDARD_FAMILIES.items())
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("name,demand", ALL)
+    def test_demand_in_unit_interval(self, name, demand):
+        for p in (0.0, 0.1, 1.0, 5.0, 20.0, 100.0):
+            d = demand.demand(p)
+            assert 0.0 <= d <= 1.0, (name, p, d)
+
+    @pytest.mark.parametrize("name,demand", ALL)
+    def test_monotone_decreasing(self, name, demand):
+        prices = [0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0]
+        values = [demand.demand(p) for p in prices]
+        for a, b in zip(values, values[1:]):
+            assert b <= a + 1e-12
+
+    @pytest.mark.parametrize("name,demand", ALL)
+    def test_negative_price_rejected(self, name, demand):
+        with pytest.raises(DemandError):
+            demand.demand(-0.1)
+
+    @pytest.mark.parametrize("name,demand", ALL)
+    def test_tail_integral_decreasing(self, name, demand):
+        assert demand.tail_integral(1.0) >= demand.tail_integral(5.0) >= 0
+
+    @pytest.mark.parametrize("name,demand", ALL)
+    def test_tail_integral_matches_numeric(self, name, demand):
+        """Closed-form tails must agree with direct quadrature."""
+        from scipy.integrate import quad
+
+        cutoff = 2000.0
+        for p in (0.5, 5.0, 15.0):
+            numeric, _ = quad(demand.demand, p, cutoff, limit=400)
+            # The quadrature truncates at `cutoff`; for heavy tails
+            # (Pareto) the remainder is non-negligible, so bound it:
+            # ∫_cutoff^∞ D <= cutoff·D(cutoff)/(α−1) <= cutoff·D(cutoff)·2.
+            truncation = cutoff * demand.demand(cutoff) * 2.0 + 1e-6
+            assert abs(demand.tail_integral(p) - numeric) <= max(
+                truncation, 1e-4 * numeric
+            )
+
+    @pytest.mark.parametrize("name,demand", ALL)
+    def test_derivative_matches_finite_difference(self, name, demand):
+        for p in (1.0, 5.0, 12.0):
+            h = 1e-5
+            fd = (demand.demand(p + h) - demand.demand(p - h)) / (2 * h)
+            assert demand.demand_prime(p) == pytest.approx(fd, rel=1e-3, abs=1e-6)
+
+    @pytest.mark.parametrize("name,demand", ALL)
+    def test_revenue_zero_at_zero_price(self, name, demand):
+        assert demand.revenue(0.0) == 0.0
+
+
+class TestLinear:
+    def test_shape(self):
+        d = LinearDemand(v_max=10.0)
+        assert d.demand(0.0) == 1.0
+        assert d.demand(5.0) == 0.5
+        assert d.demand(10.0) == 0.0
+        assert d.demand(15.0) == 0.0
+
+    def test_tail_integral_closed_form(self):
+        d = LinearDemand(v_max=10.0)
+        assert d.tail_integral(0.0) == pytest.approx(5.0)
+        assert d.tail_integral(10.0) == 0.0
+        assert d.tail_integral(20.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(DemandError):
+            LinearDemand(v_max=0.0)
+
+
+class TestExponential:
+    def test_shape(self):
+        d = ExponentialDemand(scale=2.0)
+        assert d.demand(0.0) == 1.0
+        assert d.demand(2.0) == pytest.approx(math.exp(-1))
+
+    def test_never_zero(self):
+        d = ExponentialDemand(scale=1.0)
+        assert d.demand(100.0) > 0
+
+    def test_strict_convexity(self):
+        d = ExponentialDemand(scale=3.0)
+        # D((a+b)/2) < (D(a)+D(b))/2 for a != b.
+        a, b = 1.0, 7.0
+        assert d.demand((a + b) / 2) < (d.demand(a) + d.demand(b)) / 2
+
+    def test_validation(self):
+        with pytest.raises(DemandError):
+            ExponentialDemand(scale=-1.0)
+
+
+class TestLogit:
+    def test_half_at_mid(self):
+        d = LogitDemand(mid=8.0, spread=2.0)
+        assert d.demand(8.0) == pytest.approx(0.5)
+
+    def test_no_overflow_far_from_mid(self):
+        d = LogitDemand(mid=10.0, spread=0.1)
+        assert d.demand(0.0) == pytest.approx(1.0, abs=1e-6)
+        assert d.demand(1000.0) == pytest.approx(0.0, abs=1e-12)
+        assert d.tail_integral(0.0) > 0
+
+    def test_validation(self):
+        with pytest.raises(DemandError):
+            LogitDemand(mid=1.0, spread=0.0)
+        with pytest.raises(DemandError):
+            LogitDemand(mid=0.0, spread=1.0)
+
+
+class TestPareto:
+    def test_flat_below_pmin(self):
+        d = ParetoDemand(p_min=2.0, alpha=2.0)
+        assert d.demand(0.0) == 1.0
+        assert d.demand(2.0) == 1.0
+
+    def test_tail_power_law(self):
+        d = ParetoDemand(p_min=2.0, alpha=2.0)
+        assert d.demand(4.0) == pytest.approx(0.25)
+
+    def test_alpha_must_exceed_one(self):
+        with pytest.raises(DemandError):
+            ParetoDemand(p_min=1.0, alpha=1.0)
+
+    def test_tail_integral_across_kink(self):
+        d = ParetoDemand(p_min=2.0, alpha=2.0)
+        # Below the kink: flat strip + tail.
+        assert d.tail_integral(1.0) == pytest.approx(1.0 + 2.0)
+        assert d.tail_integral(2.0) == pytest.approx(2.0)

@@ -1,0 +1,95 @@
+"""Tests for distributional welfare accounting (§4.6)."""
+
+import pytest
+
+from repro.exceptions import EconError
+from repro.econ.csp import CSP, optimal_price
+from repro.econ.demand import STANDARD_FAMILIES, LinearDemand
+from repro.econ.distribution import (
+    WelfareSplit,
+    competition_sweep,
+    competitive_price,
+    split_at,
+    welfare_split,
+)
+from repro.econ.unilateral import unilateral_outcome
+from repro.econ.welfare import social_welfare
+
+
+@pytest.fixture
+def catalogue():
+    return [CSP(name=n, demand=d) for n, d in STANDARD_FAMILIES.items()]
+
+
+class TestSplitIdentity:
+    @pytest.mark.parametrize("name,demand", list(STANDARD_FAMILIES.items()))
+    def test_split_sums_to_social_welfare(self, name, demand):
+        for price, fee in ((10.0, 0.0), (12.0, 3.0), (20.0, 8.0)):
+            split = split_at(demand, price, fee)
+            assert split.total == pytest.approx(social_welfare(demand, price))
+
+    def test_fee_is_pure_transfer_at_fixed_price(self):
+        d = LinearDemand(v_max=30.0)
+        free = split_at(d, 18.0, 0.0)
+        taxed = split_at(d, 18.0, 5.0)
+        assert taxed.total == pytest.approx(free.total)
+        assert taxed.lmp_fee_revenue > 0
+        assert taxed.csp_profit < free.csp_profit
+        assert taxed.consumer_surplus == pytest.approx(free.consumer_surplus)
+
+    def test_validation(self):
+        d = LinearDemand()
+        with pytest.raises(EconError):
+            split_at(d, 1.0, -0.5)
+        with pytest.raises(EconError):
+            split_at(d, 1.0, 2.0)  # price below fee
+
+
+class TestCatalogueSplit:
+    def test_nn_has_no_lmp_revenue(self, catalogue):
+        split = welfare_split(catalogue, {})
+        assert split.lmp_fee_revenue == 0.0
+        assert split.consumer_surplus > 0
+        assert split.csp_profit > 0
+
+    def test_ur_shifts_value_to_lmps_and_shrinks_pie(self, catalogue):
+        nn = welfare_split(catalogue, {})
+        ur_fees = unilateral_outcome(catalogue).fees
+        ur = welfare_split(catalogue, ur_fees)
+        assert ur.lmp_fee_revenue > 0
+        assert ur.total < nn.total  # deadweight loss
+        assert ur.csp_profit < nn.csp_profit
+        assert ur.consumer_surplus < nn.consumer_surplus
+
+    def test_addition(self):
+        a = WelfareSplit(1.0, 2.0, 3.0)
+        b = WelfareSplit(0.5, 0.5, 0.5)
+        c = a + b
+        assert c.total == pytest.approx(7.5)
+        assert c.consumer_surplus == 1.5
+
+
+class TestCompetition:
+    def test_competitive_price_endpoints(self):
+        d = LinearDemand(v_max=30.0)
+        assert competitive_price(d, 0.0) == pytest.approx(optimal_price(d, 0.0))
+        assert competitive_price(d, 1.0) == 0.0
+
+    def test_intensity_validation(self):
+        with pytest.raises(EconError):
+            competitive_price(LinearDemand(), 1.5)
+
+    def test_consumer_share_rises_with_competition(self, catalogue):
+        """§4.6: 'vigorous competition ... tends to drive most of the
+        value into consumer welfare'."""
+        grid = [0.0, 0.3, 0.6, 0.9]
+        splits = competition_sweep(catalogue, grid)
+        shares = [s.consumer_share for s in splits]
+        assert shares == sorted(shares)
+        assert shares[-1] > 0.85
+
+    def test_total_welfare_rises_with_competition(self, catalogue):
+        grid = [0.0, 0.5, 1.0]
+        splits = competition_sweep(catalogue, grid)
+        totals = [s.total for s in splits]
+        assert totals == sorted(totals)

@@ -1,0 +1,108 @@
+"""Tests for the renegotiation equilibrium (§4.5's third model)."""
+
+import pytest
+
+from repro.exceptions import BargainingError
+from repro.econ.bargaining import average_fee
+from repro.econ.csp import CSP, optimal_price
+from repro.econ.demand import STANDARD_FAMILIES, ExponentialDemand, LinearDemand
+from repro.econ.equilibrium import bargaining_equilibrium, compare_regimes
+from repro.econ.lmp import LMP, entrant, incumbent
+
+
+@pytest.fixture
+def lmps():
+    return [incumbent(), entrant()]
+
+
+class TestFixedPoint:
+    @pytest.mark.parametrize("name,demand", list(STANDARD_FAMILIES.items()))
+    def test_converges(self, name, demand, lmps):
+        eq = bargaining_equilibrium(CSP(name=name, demand=demand), lmps)
+        assert eq.converged
+        assert eq.iterations < 500
+
+    @pytest.mark.parametrize("name,demand", list(STANDARD_FAMILIES.items()))
+    def test_fixed_point_equation_holds(self, name, demand, lmps):
+        """t = (p*(t) − <rc>)/2 at the reported equilibrium."""
+        csp = CSP(name=name, demand=demand)
+        eq = bargaining_equilibrium(csp, lmps)
+        implied = max(0.0, average_fee(csp, [l for l in lmps], price=eq.price))
+        assert eq.fee == pytest.approx(implied, abs=1e-6)
+
+    def test_linear_closed_form(self, lmps):
+        """Linear demand admits a hand-derivable fixed point."""
+        csp = CSP(name="lin", demand=LinearDemand(v_max=30.0), incumbency=1.0)
+        # <rc> with incumbent (n=1, rc=2.5) and entrant (n=0.1, rc=20):
+        avg_rc = (1.0 * 2.5 + 0.1 * 20.0) / 1.1
+        # p*(t) = (30+t)/2; t = (p−avg_rc)/2 => t = (30 − 2·avg_rc)/3 ... solve:
+        # t = ((30+t)/2 − avg_rc)/2 = (30 + t − 2·avg_rc)/4 => 3t = 30 − 2·avg_rc.
+        t_expected = (30.0 - 2.0 * avg_rc) / 3.0
+        eq = bargaining_equilibrium(csp, lmps)
+        assert eq.fee == pytest.approx(t_expected, abs=1e-6)
+        assert eq.price == pytest.approx((30.0 + t_expected) / 2.0, abs=1e-6)
+
+    def test_damping_validation(self, lmps):
+        csp = CSP(name="x", demand=LinearDemand())
+        with pytest.raises(BargainingError):
+            bargaining_equilibrium(csp, lmps, damping=0.0)
+
+    def test_empty_lmps_rejected(self):
+        with pytest.raises(BargainingError):
+            bargaining_equilibrium(CSP(name="x", demand=LinearDemand()), [])
+
+    def test_zero_fee_when_rc_dominates(self):
+        """Clamped regime: high churn·access forces the fee to zero."""
+        csp = CSP(name="x", demand=LinearDemand(v_max=5.0), incumbency=1.0)
+        sticky = [LMP(name="l", num_customers=1.0, access_price=100.0, vulnerability=0.9)]
+        eq = bargaining_equilibrium(csp, sticky)
+        assert eq.fee == 0.0
+        assert eq.price == pytest.approx(optimal_price(csp.demand, 0.0))
+
+
+class TestRegimeOrdering:
+    """W(NN) >= W(bargaining) >= W(unilateral) across families."""
+
+    @pytest.mark.parametrize("name,demand", list(STANDARD_FAMILIES.items()))
+    def test_welfare_ordering(self, name, demand, lmps):
+        rc = compare_regimes(CSP(name=name, demand=demand), lmps)
+        assert rc.nn_welfare + 1e-9 >= rc.bargaining_welfare
+        assert rc.bargaining_welfare + 1e-9 >= rc.unilateral_welfare
+
+    @pytest.mark.parametrize("name,demand", list(STANDARD_FAMILIES.items()))
+    def test_bargained_fee_below_unilateral(self, name, demand, lmps):
+        """Bargaining moderates fees: the LMP has something to lose."""
+        rc = compare_regimes(CSP(name=name, demand=demand), lmps)
+        assert rc.bargaining_fee <= rc.unilateral_fee + 1e-9
+
+    @pytest.mark.parametrize("name,demand", list(STANDARD_FAMILIES.items()))
+    def test_price_ordering(self, name, demand, lmps):
+        rc = compare_regimes(CSP(name=name, demand=demand), lmps)
+        assert rc.nn_price <= rc.bargaining_price + 1e-9
+        assert rc.bargaining_price <= rc.unilateral_price + 1e-9
+
+    def test_strict_loss_for_smooth_family(self, lmps):
+        rc = compare_regimes(
+            CSP(name="exp", demand=ExponentialDemand(scale=12.0)), lmps
+        )
+        assert rc.bargaining_loss > 0
+        assert rc.unilateral_loss > rc.bargaining_loss
+
+
+class TestEntrantDisadvantage:
+    def test_entrant_lmp_earns_less_fee_revenue(self):
+        """An entrant LMP extracts lower fees from the same CSP."""
+        csp = CSP(name="vid", demand=LinearDemand(v_max=30.0), incumbency=1.0)
+        eq_inc = bargaining_equilibrium(csp, [incumbent()])
+        eq_ent = bargaining_equilibrium(csp, [entrant()])
+        assert eq_inc.fee > eq_ent.fee
+        assert eq_inc.lmp_fee_revenue > eq_ent.lmp_fee_revenue
+
+    def test_entrant_csp_keeps_less_revenue(self, lmps):
+        """An entrant CSP pays more and nets less than an incumbent."""
+        inc_csp = CSP(name="big", demand=LinearDemand(v_max=30.0), incumbency=1.0)
+        ent_csp = CSP(name="new", demand=LinearDemand(v_max=30.0), incumbency=0.1)
+        eq_inc = bargaining_equilibrium(inc_csp, lmps)
+        eq_ent = bargaining_equilibrium(ent_csp, lmps)
+        assert eq_ent.fee > eq_inc.fee
+        assert eq_ent.csp_revenue < eq_inc.csp_revenue

@@ -1,0 +1,50 @@
+"""Tests for the LMP model."""
+
+import pytest
+
+from repro.exceptions import EconError
+from repro.econ.csp import CSP
+from repro.econ.demand import LinearDemand
+from repro.econ.lmp import LMP, entrant, incumbent
+
+
+class TestValidation:
+    def test_positive_customers(self):
+        with pytest.raises(EconError):
+            LMP(name="x", num_customers=0.0, access_price=10.0)
+
+    def test_nonnegative_access_price(self):
+        with pytest.raises(EconError):
+            LMP(name="x", num_customers=1.0, access_price=-1.0)
+
+    def test_vulnerability_range(self):
+        with pytest.raises(EconError):
+            LMP(name="x", num_customers=1.0, access_price=10.0, vulnerability=1.5)
+
+
+class TestChurn:
+    def test_factored_form(self):
+        lmp = LMP(name="x", num_customers=1.0, access_price=10.0, vulnerability=0.3)
+        sticky = CSP(name="s", demand=LinearDemand(), incumbency=1.0)
+        fringe = CSP(name="f", demand=LinearDemand(), incumbency=0.2)
+        assert lmp.churn_rate(sticky) == pytest.approx(0.3)
+        assert lmp.churn_rate(fringe) == pytest.approx(0.06)
+
+    def test_incumbent_lower_than_entrant(self):
+        csp = CSP(name="s", demand=LinearDemand(), incumbency=1.0)
+        assert incumbent().churn_rate(csp) < entrant().churn_rate(csp)
+
+    def test_bounded_by_one(self):
+        lmp = LMP(name="x", num_customers=1.0, access_price=10.0, vulnerability=1.0)
+        csp = CSP(name="s", demand=LinearDemand(), incumbency=1.0)
+        assert lmp.churn_rate(csp) <= 1.0
+
+
+class TestRevenue:
+    def test_access_revenue(self):
+        lmp = LMP(name="x", num_customers=2.5, access_price=40.0)
+        assert lmp.access_revenue() == pytest.approx(100.0)
+
+    def test_presets(self):
+        assert incumbent().num_customers > entrant().num_customers
+        assert incumbent().vulnerability < entrant().vulnerability

@@ -1,0 +1,82 @@
+"""Tests for the QoS-degradation-as-termination-fee equivalence."""
+
+import pytest
+
+from repro.exceptions import EconError
+from repro.econ.csp import optimal_price, profit
+from repro.econ.demand import STANDARD_FAMILIES, LinearDemand
+from repro.econ.qos_equivalence import (
+    degraded_demand,
+    degraded_optimal_price,
+    degraded_profit,
+    equivalent_fee,
+)
+
+
+class TestDegradedMarket:
+    def test_degraded_demand_is_price_inflation(self):
+        d = LinearDemand(v_max=30.0)
+        assert degraded_demand(d, 10.0, 0.5) == pytest.approx(d.demand(20.0))
+
+    def test_no_degradation_identity(self):
+        d = LinearDemand(v_max=30.0)
+        assert degraded_demand(d, 10.0, 1.0) == d.demand(10.0)
+
+    def test_optimal_price_scales(self):
+        d = LinearDemand(v_max=30.0)
+        assert degraded_optimal_price(d, 0.5) == pytest.approx(7.5)  # δ·15
+
+    def test_profit_scales_linearly_in_quality(self):
+        d = LinearDemand(v_max=30.0)
+        base = profit(d, optimal_price(d, 0.0), 0.0)
+        assert degraded_profit(d, 0.6) == pytest.approx(0.6 * base)
+
+    def test_degraded_price_is_really_optimal(self):
+        """max_p p·D(p/δ) is achieved at δ·p*(0) — verify numerically."""
+        d = STANDARD_FAMILIES["exponential"]
+        quality = 0.7
+        p_star = degraded_optimal_price(d, quality)
+        best = p_star * degraded_demand(d, p_star, quality)
+        for p in (p_star * 0.8, p_star * 0.9, p_star * 1.1, p_star * 1.3):
+            assert p * degraded_demand(d, p, quality) <= best + 1e-9
+
+    def test_validation(self):
+        d = LinearDemand()
+        with pytest.raises(EconError):
+            degraded_demand(d, 1.0, 0.0)
+        with pytest.raises(EconError):
+            degraded_demand(d, 1.0, 1.5)
+        with pytest.raises(EconError):
+            degraded_demand(d, -1.0, 0.5)
+
+
+class TestEquivalentFee:
+    @pytest.mark.parametrize("name,demand", list(STANDARD_FAMILIES.items()))
+    def test_fee_reproduces_degraded_profit(self, name, demand):
+        for quality in (0.9, 0.6, 0.3):
+            eq = equivalent_fee(demand, quality)
+            p = optimal_price(demand, eq.equivalent_fee)
+            realized = (p - eq.equivalent_fee) * demand.demand(p)
+            assert realized == pytest.approx(eq.degraded_csp_profit, rel=1e-6)
+
+    def test_full_quality_zero_fee(self):
+        eq = equivalent_fee(LinearDemand(v_max=30.0), 1.0)
+        assert eq.equivalent_fee == 0.0
+        assert eq.welfare_gap == pytest.approx(0.0)
+
+    def test_fee_increases_as_quality_falls(self):
+        d = LinearDemand(v_max=30.0)
+        fees = [equivalent_fee(d, q).equivalent_fee for q in (0.9, 0.7, 0.5, 0.3)]
+        assert fees == sorted(fees)
+
+    @pytest.mark.parametrize("name,demand", list(STANDARD_FAMILIES.items()))
+    def test_explicit_fee_wastes_less_welfare(self, name, demand):
+        """The §4.1 punchline made quantitative: for the same CSP harm,
+        degradation destroys weakly more welfare than an explicit fee."""
+        for quality in (0.8, 0.5):
+            eq = equivalent_fee(demand, quality)
+            assert eq.welfare_gap >= -1e-9
+
+    def test_validation(self):
+        with pytest.raises(EconError):
+            equivalent_fee(LinearDemand(), 0.0)

@@ -1,0 +1,105 @@
+"""Tests for the NN and unilateral-UR regimes (§4.3–§4.4)."""
+
+import pytest
+
+from repro.econ.csp import CSP, optimal_price
+from repro.econ.demand import (
+    STANDARD_FAMILIES,
+    ExponentialDemand,
+    LinearDemand,
+)
+from repro.econ.neutrality import nn_outcome
+from repro.econ.unilateral import optimal_unilateral_fee, unilateral_outcome
+from repro.econ.welfare import social_welfare
+
+
+def catalogue():
+    return [CSP(name=name, demand=d) for name, d in STANDARD_FAMILIES.items()]
+
+
+class TestNNOutcome:
+    def test_prices_are_monopoly_prices(self):
+        out = nn_outcome(catalogue())
+        for csp in catalogue():
+            assert out.prices[csp.name] == pytest.approx(optimal_price(csp.demand, 0.0))
+
+    def test_welfare_is_sum(self):
+        csps = catalogue()
+        out = nn_outcome(csps)
+        expected = sum(
+            social_welfare(c.demand, optimal_price(c.demand, 0.0)) for c in csps
+        )
+        assert out.social_welfare == pytest.approx(expected)
+
+    def test_revenue_positive(self):
+        out = nn_outcome(catalogue())
+        assert all(r > 0 for r in out.csp_revenues.values())
+        assert out.total_csp_revenue == pytest.approx(sum(out.csp_revenues.values()))
+
+
+class TestUnilateralFee:
+    def test_linear_closed_form(self):
+        # t* = v/2, p* = 3v/4 for linear demand.
+        d = LinearDemand(v_max=20.0)
+        assert optimal_unilateral_fee(d) == pytest.approx(10.0)
+        assert optimal_price(d, 10.0) == pytest.approx(15.0)
+
+    def test_exponential_closed_form(self):
+        d = ExponentialDemand(scale=4.0)
+        assert optimal_unilateral_fee(d) == pytest.approx(4.0)
+
+    def test_numeric_families_maximize_lmp_revenue(self):
+        for name, d in STANDARD_FAMILIES.items():
+            t_star = optimal_unilateral_fee(d)
+            best = t_star * d.demand(optimal_price(d, t_star))
+            for t in (t_star * 0.7, t_star * 0.9, t_star * 1.1, t_star * 1.4):
+                alt = t * d.demand(optimal_price(d, t))
+                assert alt <= best + 1e-6, name
+
+
+class TestUROutcome:
+    def test_double_marginalization_raises_prices(self):
+        csps = catalogue()
+        nn = nn_outcome(csps)
+        ur = unilateral_outcome(csps)
+        for name in nn.prices:
+            assert ur.prices[name] >= nn.prices[name] - 1e-9
+
+    def test_welfare_ranking(self):
+        """The paper's core §4.4 result: fees strictly decrease welfare
+        (weakly on the Pareto corner case, documented in EXPERIMENTS.md)."""
+        csps = catalogue()
+        nn = nn_outcome(csps)
+        ur = unilateral_outcome(csps)
+        assert ur.social_welfare <= nn.social_welfare + 1e-9
+        # Strict for the families satisfying Lemma 1's hypotheses.
+        smooth = [c for c in csps if c.name in ("linear", "exponential", "logit")]
+        assert unilateral_outcome(smooth).social_welfare < nn_outcome(smooth).social_welfare
+
+    def test_fees_positive(self):
+        ur = unilateral_outcome(catalogue())
+        assert all(t > 0 for t in ur.fees.values())
+
+    def test_lmp_extracts_revenue(self):
+        ur = unilateral_outcome(catalogue())
+        assert ur.total_fee_revenue > 0
+        for name, rev in ur.lmp_fee_revenues.items():
+            assert rev == pytest.approx(
+                ur.fees[name]
+                * STANDARD_FAMILIES[name].demand(ur.prices[name])
+            )
+
+    def test_csp_revenue_lower_than_nn(self):
+        csps = catalogue()
+        nn = nn_outcome(csps)
+        ur = unilateral_outcome(csps)
+        # Fees transfer and destroy CSP margin: each CSP is worse off.
+        for name in nn.csp_revenues:
+            assert ur.csp_revenues[name] <= nn.csp_revenues[name] + 1e-9
+
+    def test_consumer_welfare_falls(self):
+        csps = catalogue()
+        assert (
+            unilateral_outcome(csps).consumer_welfare
+            <= nn_outcome(csps).consumer_welfare + 1e-9
+        )

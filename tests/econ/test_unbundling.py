@@ -1,0 +1,86 @@
+"""Tests for the loop-unbundling × POC complementarity model (§2.5)."""
+
+import pytest
+
+from repro.exceptions import EconError
+from repro.econ.unbundling import (
+    EntrantCostModel,
+    complementarity,
+    policy_matrix,
+    quadrant,
+)
+
+
+@pytest.fixture
+def model():
+    return EntrantCostModel()
+
+
+class TestQuadrants:
+    def test_margin_decomposition(self, model):
+        q = quadrant(model, unbundling=True, poc=True)
+        expected = (
+            model.access_price
+            - model.unbundled_lastmile_cost
+            - model.poc_transit_rate * model.gbps_per_customer
+        )
+        assert q.margin_per_customer == pytest.approx(expected)
+
+    def test_handicap_only_without_poc(self, model):
+        without = quadrant(model, unbundling=True, poc=False)
+        with_poc = quadrant(model, unbundling=True, poc=True)
+        transit_gap = (
+            model.rival_transit_rate - model.poc_transit_rate
+        ) * model.gbps_per_customer
+        assert with_poc.margin_per_customer - without.margin_per_customer == (
+            pytest.approx(transit_gap + model.ur_fee_handicap)
+        )
+
+    def test_each_lever_helps(self, model):
+        m = policy_matrix(model)
+        assert m["unbundling"].margin_per_customer > m["neither"].margin_per_customer
+        assert m["poc"].margin_per_customer > m["neither"].margin_per_customer
+        assert m["both"].margin_per_customer > m["unbundling"].margin_per_customer
+        assert m["both"].margin_per_customer > m["poc"].margin_per_customer
+
+    def test_breakeven_scale(self, model):
+        m = policy_matrix(model)
+        for q in m.values():
+            if q.viable:
+                assert q.breakeven_customers == pytest.approx(
+                    model.fixed_cost / q.margin_per_customer
+                )
+            else:
+                assert q.breakeven_customers == float("inf")
+
+    def test_default_neither_is_unviable(self, model):
+        """The §2.3 situation: without either lever the entrant cannot
+        cover costs at any scale."""
+        assert not policy_matrix(model)["neither"].viable
+
+    def test_both_is_most_viable(self, model):
+        m = policy_matrix(model)
+        assert m["both"].breakeven_customers == min(
+            q.breakeven_customers for q in m.values()
+        )
+
+
+class TestComplementarity:
+    def test_positive_for_default_model(self, model):
+        """Per the paper: "highly complementary solutions"."""
+        assert complementarity(model) > 0
+
+    def test_zero_when_levers_cannot_interact(self):
+        """With no fixed cost leverage the scale measure degenerates."""
+        model = EntrantCostModel(
+            access_price=100.0,  # viable in every quadrant
+            owned_lastmile_cost=10.0,
+            unbundled_lastmile_cost=10.0,  # unbundling changes nothing
+        )
+        assert complementarity(model) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(EconError):
+            EntrantCostModel(access_price=-1.0)
+        with pytest.raises(EconError):
+            EntrantCostModel(fixed_cost=-5.0)

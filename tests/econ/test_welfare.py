@@ -1,0 +1,76 @@
+"""Tests for welfare accounting."""
+
+import pytest
+
+from repro.exceptions import EconError
+from repro.econ.demand import STANDARD_FAMILIES, LinearDemand
+from repro.econ.welfare import (
+    consumer_welfare,
+    deadweight_fraction,
+    social_welfare,
+    total_social_welfare,
+    welfare_loss,
+)
+
+ALL = list(STANDARD_FAMILIES.items())
+
+
+class TestIdentities:
+    @pytest.mark.parametrize("name,demand", ALL)
+    def test_welfare_decomposition(self, name, demand):
+        """W(p) = CW(p) + revenue(p) — §4.6's accounting identity."""
+        for p in (0.5, 2.0, 8.0, 15.0):
+            assert social_welfare(demand, p) == pytest.approx(
+                consumer_welfare(demand, p) + demand.revenue(p)
+            )
+
+    @pytest.mark.parametrize("name,demand", ALL)
+    def test_welfare_monotone_decreasing_in_price(self, name, demand):
+        """'social welfare is monotonically decreasing in the prices' (§4.3)."""
+        prices = [0.0, 1.0, 3.0, 8.0, 15.0, 30.0]
+        values = [social_welfare(demand, p) for p in prices]
+        for a, b in zip(values, values[1:]):
+            assert b <= a + 1e-9
+
+    @pytest.mark.parametrize("name,demand", ALL)
+    def test_welfare_nonnegative(self, name, demand):
+        for p in (0.0, 5.0, 50.0):
+            assert social_welfare(demand, p) >= 0
+            assert consumer_welfare(demand, p) >= 0
+
+    def test_linear_closed_form(self):
+        d = LinearDemand(v_max=10.0)
+        # At p=0 everyone buys: W = mean value = 5.
+        assert social_welfare(d, 0.0) == pytest.approx(5.0)
+        # At the monopoly price 5: W = ∫_5^10 v/10 dv = 3.75.
+        assert social_welfare(d, 5.0) == pytest.approx(3.75)
+        assert consumer_welfare(d, 5.0) == pytest.approx(1.25)
+
+
+class TestAggregation:
+    def test_total_over_csps(self):
+        d1 = LinearDemand(v_max=10.0)
+        d2 = LinearDemand(v_max=20.0)
+        total = total_social_welfare([(d1, 5.0), (d2, 10.0)])
+        assert total == pytest.approx(
+            social_welfare(d1, 5.0) + social_welfare(d2, 10.0)
+        )
+
+
+class TestLossMetrics:
+    def test_welfare_loss_sign(self):
+        d = LinearDemand(v_max=10.0)
+        assert welfare_loss(d, price=7.5, reference_price=5.0) > 0
+        assert welfare_loss(d, price=5.0, reference_price=5.0) == 0.0
+
+    def test_deadweight_fraction(self):
+        d = LinearDemand(v_max=10.0)
+        frac = deadweight_fraction(d, price=7.5, reference_price=5.0)
+        # W(5)=3.75, W(7.5) = ∫_7.5^10 v/10 = 2.1875 -> loss 41.7%.
+        assert frac == pytest.approx(1.0 - 2.1875 / 3.75)
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(EconError):
+            social_welfare(LinearDemand(), -1.0)
+        with pytest.raises(EconError):
+            consumer_welfare(LinearDemand(), -0.5)

@@ -1,0 +1,125 @@
+"""Integration tests: the full pipeline, zoo to invoices.
+
+These are the "does the whole system hang together" checks: build the
+synthetic zoo, run the auction, stand up the POC, attach parties, move
+traffic, bill everyone, and audit neutrality — in one flow.
+"""
+
+import pytest
+
+from repro.auction.constraints import make_constraint
+from repro.auction.vcg import AuctionConfig, run_auction
+from repro.core.poc import PublicOptionCore
+from repro.core.tos import PolicyAction, PolicyReason, TrafficPolicy
+from repro.experiments.pipeline import offers_for_zoo, traffic_for_zoo
+from repro.market.entities import founding_catalogue, founding_lmps
+from repro.market.sim import MarketConfig, MarketSim, Regime
+
+
+@pytest.fixture(scope="module")
+def pipeline(request):
+    """Zoo -> TM -> offers -> provisioned POC (shared by this module)."""
+    from repro.topology.zoo import ZooConfig, build_zoo
+
+    zoo = build_zoo(ZooConfig.tiny())
+    tm = traffic_for_zoo(zoo)
+    offers = offers_for_zoo(zoo)
+    poc = PublicOptionCore.from_zoo(zoo)
+    result = poc.provision(offers, tm, constraint=1, method="add-prune")
+    return zoo, tm, offers, poc, result
+
+
+class TestProvisionedPOC:
+    def test_backbone_carries_tm(self, pipeline):
+        zoo, tm, _offers, poc, _result = pipeline
+        from repro.netflow.mcf import max_concurrent_flow
+
+        res = max_concurrent_flow(poc.backbone, tm)
+        assert res.feasible
+
+    def test_backbone_cheaper_than_universe(self, pipeline):
+        zoo, _tm, offers, poc, result = pipeline
+        from repro.auction.selection import total_declared_cost
+
+        universe_cost = total_declared_cost(
+            offers, [l for o in offers for l in o.link_ids]
+        )
+        assert result.total_cost < universe_cost
+
+    def test_payments_cover_costs(self, pipeline):
+        _zoo, _tm, _offers, _poc, result = pipeline
+        for pr in result.providers.values():
+            assert pr.payment >= pr.declared_cost - 1e-6
+
+    def test_individual_rationality_all_bps(self, pipeline):
+        _zoo, _tm, offers, _poc, result = pipeline
+        from repro.auction.vcg import utility
+
+        for offer in offers:
+            assert utility(offer, result) >= -1e-6
+
+    def test_full_attachment_lifecycle(self, pipeline):
+        zoo, _tm, _offers, poc, _result = pipeline
+        sites = [s.router_id for s in zoo.sites]
+        poc.attach("eyeco", sites[0], "lmp")
+        poc.attach("vidco", sites[-1], "csp")
+        try:
+            path = poc.transit_path("eyeco", "vidco")
+            assert path is not None
+            invoices = poc.monthly_invoices({"eyeco": 10.0, "vidco": 30.0})
+            assert sum(invoices.values()) == pytest.approx(poc.monthly_cost)
+            assert invoices["vidco"] == pytest.approx(3 * invoices["eyeco"])
+        finally:
+            poc.detach("eyeco")
+            poc.detach("vidco")
+
+    def test_neutrality_audit_over_poc(self, pipeline):
+        zoo, _tm, _offers, poc, _result = pipeline
+        site = zoo.sites[0].router_id
+        poc.attach("auditee", site, "lmp")
+        try:
+            bad = TrafficPolicy(
+                lmp="auditee", action=PolicyAction.THROTTLE, direction="in",
+                selector_source="rival",
+            )
+            ok = TrafficPolicy(
+                lmp="auditee", action=PolicyAction.BLOCK, direction="in",
+                selector_source="botnet", reason=PolicyReason.SECURITY,
+            )
+            violations = poc.audit_lmp("auditee", policies=[bad, ok])
+            assert len(violations) == 1
+        finally:
+            poc.detach("auditee")
+
+
+class TestAuctionToMarket:
+    def test_auction_cost_feeds_market(self, pipeline):
+        """The full loop: auction sets the POC's cost base; the market
+        simulator recovers exactly that amount per epoch."""
+        _zoo, _tm, _offers, _poc, result = pipeline
+        sim = MarketSim(
+            MarketConfig(
+                regime=Regime.NN, epochs=4, poc_monthly_cost=result.total_payments
+            ),
+            founding_catalogue(),
+            founding_lmps(),
+        )
+        sim.run()
+        assert sim.ledger.balance("BP-pool") == pytest.approx(
+            4 * result.total_payments
+        )
+        assert sim.ledger.balance("POC") == pytest.approx(0.0, abs=1e-6)
+
+
+class TestConstraintOrdering:
+    def test_stricter_constraints_cost_weakly_more(self, pipeline):
+        """The Figure 2 sanity property at integration scale."""
+        zoo, tm, offers, _poc, _result = pipeline
+        costs = {}
+        for number, engine in ((1, "greedy"), (2, "greedy")):
+            constraint = make_constraint(number, zoo.offered, tm, engine=engine)
+            res = run_auction(
+                offers, constraint, config=AuctionConfig(method="add-prune")
+            )
+            costs[number] = res.total_cost
+        assert costs[2] >= costs[1] - 1e-6

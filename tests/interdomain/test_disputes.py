@@ -1,0 +1,104 @@
+"""Tests for de-peering disputes and fragmentation accounting."""
+
+import pytest
+
+from repro.exceptions import PolicyError
+from repro.interdomain.disputes import (
+    DisputeScenario,
+    copy_graph,
+    depeer,
+    reachability_impact,
+    single_homed_stubs,
+)
+from repro.interdomain.relationships import ASGraph, Relationship, small_internet
+
+
+@pytest.fixture
+def g():
+    return small_internet()
+
+
+class TestCopyAndDepeer:
+    def test_copy_is_independent(self, g):
+        clone = copy_graph(g)
+        assert clone.as_names == g.as_names
+        clone2 = depeer(clone, "trA", "trB")
+        # Original untouched.
+        assert g.relationship("trA", "trB") is Relationship.PEER
+        assert clone2.relationship("trA", "trB") is None
+
+    def test_depeer_removes_both_directions(self, g):
+        after = depeer(g, "eyeball1", "trA")
+        assert after.relationship("eyeball1", "trA") is None
+        assert after.relationship("trA", "eyeball1") is None
+
+    def test_depeer_requires_edge(self, g):
+        with pytest.raises(PolicyError):
+            depeer(g, "eyeball1", "eyeball2")
+
+
+class TestImpact:
+    def test_redundant_edge_no_damage(self, g):
+        # content1 multihomes to trA and trC: losing one provider hurts
+        # nothing (reachability-wise).
+        after = depeer(g, "content1", "trA")
+        impact = reachability_impact(g, after)
+        assert impact.lost_pairs == ()
+        assert impact.lost_fraction == 0.0
+
+    def test_single_homed_stub_stranded(self, g):
+        after = depeer(g, "eyeball3", "trC")
+        impact = reachability_impact(g, after)
+        assert impact.lost_fraction > 0
+        assert impact.strands("eyeball3")
+        # Every lost pair involves the stranded stub.
+        assert all("eyeball3" in pair for pair in impact.lost_pairs)
+
+    def test_tier1_depeering_partitions(self, g):
+        """The nightmare §3.4 alludes to: the two tier-1s stop peering
+        and the Internet splits along the hierarchy."""
+        after = depeer(g, "T1a", "T1b")
+        impact = reachability_impact(g, after)
+        assert impact.lost_fraction > 0.3
+        # Both sides lose someone.
+        assert impact.strands("eyeball1")
+        assert impact.strands("eyeball3")
+
+
+class TestScenario:
+    def test_sequential_events(self, g):
+        scenario = DisputeScenario(graph=g)
+        scenario.add_dispute("content1", "trA")  # harmless (multihomed)
+        scenario.add_dispute("content1", "trC")  # now stranded
+        results = scenario.run()
+        assert len(results) == 2
+        first_impact = results[0][1]
+        second_impact = results[1][1]
+        assert first_impact.lost_fraction == 0.0
+        assert second_impact.strands("content1")
+
+    def test_cumulative_equals_final_state(self, g):
+        scenario = DisputeScenario(graph=g)
+        scenario.add_dispute("content1", "trA")
+        scenario.add_dispute("content1", "trC")
+        cumulative = scenario.cumulative_impact()
+        assert cumulative.strands("content1")
+        # Original graph untouched by the scenario run.
+        assert g.relationship("content1", "trA") is Relationship.PROVIDER
+
+    def test_scenario_does_not_mutate_input(self, g):
+        scenario = DisputeScenario(graph=g)
+        scenario.add_dispute("T1a", "T1b")
+        scenario.run()
+        assert g.relationship("T1a", "T1b") is Relationship.PEER
+
+
+class TestSingleHomed:
+    def test_finds_fragile_stubs(self, g):
+        fragile = single_homed_stubs(g)
+        assert "eyeball1" in fragile
+        assert "eyeball3" in fragile
+        assert "content1" not in fragile  # multihomed
+
+    def test_transits_not_listed(self, g):
+        assert "trA" not in single_homed_stubs(g)

@@ -1,0 +1,94 @@
+"""Tests for the AS relationship graph."""
+
+import pytest
+
+from repro.exceptions import PolicyError
+from repro.interdomain.relationships import ASGraph, Relationship, small_internet
+
+
+class TestRelationship:
+    def test_inverses(self):
+        assert Relationship.CUSTOMER.inverse is Relationship.PROVIDER
+        assert Relationship.PROVIDER.inverse is Relationship.CUSTOMER
+        assert Relationship.PEER.inverse is Relationship.PEER
+
+
+class TestASGraph:
+    def test_add_and_kind(self):
+        g = ASGraph()
+        g.add_as("x", "tier1")
+        assert g.kind("x") == "tier1"
+
+    def test_duplicate_rejected(self):
+        g = ASGraph()
+        g.add_as("x")
+        with pytest.raises(PolicyError):
+            g.add_as("x")
+
+    def test_unknown_kind_rejected(self):
+        g = ASGraph()
+        with pytest.raises(PolicyError):
+            g.add_as("x", "alien")
+
+    def test_link_symmetry(self):
+        g = ASGraph()
+        g.add_as("stub")
+        g.add_as("isp", "transit")
+        g.link("stub", "isp", Relationship.PROVIDER)
+        assert g.relationship("stub", "isp") is Relationship.PROVIDER
+        assert g.relationship("isp", "stub") is Relationship.CUSTOMER
+
+    def test_peer_symmetry(self):
+        g = ASGraph()
+        g.add_as("a", "transit")
+        g.add_as("b", "transit")
+        g.link("a", "b", Relationship.PEER)
+        assert g.relationship("a", "b") is Relationship.PEER
+        assert g.relationship("b", "a") is Relationship.PEER
+
+    def test_self_link_rejected(self):
+        g = ASGraph()
+        g.add_as("a")
+        with pytest.raises(PolicyError):
+            g.link("a", "a", Relationship.PEER)
+
+    def test_duplicate_link_rejected(self):
+        g = ASGraph()
+        g.add_as("a")
+        g.add_as("b")
+        g.link("a", "b", Relationship.PEER)
+        with pytest.raises(PolicyError):
+            g.link("b", "a", Relationship.PEER)
+
+    def test_role_queries(self):
+        g = small_internet()
+        assert "trA" in g.providers_of("eyeball1")
+        assert "eyeball1" in g.customers_of("trA")
+        assert "trB" in g.peers_of("trA")
+        assert g.relationship("eyeball1", "eyeball2") is None
+
+
+class TestSmallInternet:
+    def test_shape(self):
+        g = small_internet()
+        assert len(g) == 10
+        assert g.kind("T1a") == "tier1"
+        assert g.kind("content1") == "content"
+
+    def test_multihomed_content(self):
+        g = small_internet()
+        assert sorted(g.providers_of("content1")) == ["trA", "trC"]
+
+    def test_hierarchy_clean(self):
+        assert small_internet().validate_hierarchy() == []
+
+    def test_cycle_detection(self):
+        g = ASGraph()
+        for name in ("a", "b", "c"):
+            g.add_as(name, "transit")
+        g.link("a", "b", Relationship.PROVIDER)   # b provides a
+        g.link("b", "c", Relationship.PROVIDER)   # c provides b
+        g.link("c", "a", Relationship.PROVIDER)   # a provides c: cycle!
+        issues = g.validate_hierarchy()
+        assert issues
+        assert "cycle" in issues[0]

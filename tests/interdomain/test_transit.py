@@ -1,0 +1,96 @@
+"""Tests for transit pricing and the POC comparison."""
+
+import pytest
+
+from repro.exceptions import PolicyError
+from repro.interdomain.relationships import small_internet
+from repro.interdomain.transit import (
+    TransitMarket,
+    poc_position,
+    poc_vs_transit,
+    status_quo_position,
+)
+
+
+@pytest.fixture
+def market():
+    return TransitMarket(
+        small_internet(),
+        base_rate_per_gbps=1000.0,
+        competitor_markup=0.5,
+        eyeball_transits={"trA", "trB"},
+    )
+
+
+class TestQuotes:
+    def test_plain_quote(self, market):
+        quote = market.quote("trC", "eyeball3")
+        assert quote.effective_rate == 1000.0
+        assert quote.monthly(10.0) == 10_000.0
+
+    def test_competitor_markup(self, market):
+        # trA serves eyeballs and eyeball1 is an eyeball: markup applies.
+        quote = market.quote("trA", "eyeball1")
+        assert quote.competitor_markup == 0.5
+        assert quote.effective_rate == 1500.0
+
+    def test_content_customer_no_markup(self, market):
+        # content1 does not serve eyeballs: no competitive squeeze.
+        quote = market.quote("trA", "content1")
+        assert quote.competitor_markup == 0.0
+
+    def test_non_provider_cannot_quote(self, market):
+        with pytest.raises(PolicyError):
+            market.quote("trB", "eyeball1")
+
+    def test_best_quote_picks_cheapest(self, market):
+        # content1 multihomes to trA (no markup) and trC (no markup):
+        # tie broken by name -> trA.
+        quote = market.best_quote("content1")
+        assert quote.provider == "trA"
+
+    def test_negative_usage_rejected(self, market):
+        quote = market.quote("trC", "eyeball3")
+        with pytest.raises(PolicyError):
+            quote.monthly(-1.0)
+
+    def test_markup_validation(self):
+        with pytest.raises(PolicyError):
+            TransitMarket(small_internet(), competitor_markup=-0.1)
+        with pytest.raises(PolicyError):
+            TransitMarket(small_internet(), eyeball_transits={"ghost"})
+
+
+class TestEntrantPositions:
+    def test_status_quo_squeezed(self, market):
+        pos = status_quo_position(market, "eyeball1", usage_gbps=10.0)
+        assert pos.pays_competitor
+        assert pos.termination_fee_exposure
+        assert pos.monthly_transit_cost == pytest.approx(15_000.0)
+        assert pos.reaches_all_destinations
+
+    def test_poc_position(self):
+        pos = poc_position(600.0, "eyeball1", usage_gbps=10.0)
+        assert not pos.pays_competitor
+        assert not pos.termination_fee_exposure
+        assert pos.monthly_transit_cost == pytest.approx(6_000.0)
+        assert pos.reaches_all_destinations
+
+    def test_comparison(self, market):
+        both = poc_vs_transit(market, "eyeball1", usage_gbps=10.0,
+                              poc_rate_per_gbps=600.0)
+        assert both["poc"].monthly_transit_cost < both["status-quo"].monthly_transit_cost
+
+    def test_unconnected_entrant(self):
+        from repro.interdomain.relationships import ASGraph
+
+        g = ASGraph()
+        g.add_as("orphan")
+        market = TransitMarket(g)
+        pos = status_quo_position(market, "orphan", usage_gbps=1.0)
+        assert pos.monthly_transit_cost == float("inf")
+        assert not pos.reaches_all_destinations
+
+    def test_poc_rate_validation(self):
+        with pytest.raises(PolicyError):
+            poc_position(-1.0, "x", 1.0)

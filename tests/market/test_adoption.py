@@ -1,0 +1,95 @@
+"""Tests for POC adoption dynamics (§5)."""
+
+import pytest
+
+from repro.exceptions import MarketError
+from repro.market.adoption import (
+    AdoptionConfig,
+    adoption_hazard,
+    expected_trajectory,
+    incumbent_price,
+    simulate_adoption,
+)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(MarketError):
+            AdoptionConfig(num_lmps=0)
+        with pytest.raises(MarketError):
+            AdoptionConfig(epochs=0)
+        with pytest.raises(MarketError):
+            AdoptionConfig(incumbent_response=1.5)
+        with pytest.raises(MarketError):
+            AdoptionConfig(base_hazard=-0.1)
+
+
+class TestPriceResponse:
+    def test_price_falls_with_share(self):
+        cfg = AdoptionConfig()
+        assert incumbent_price(cfg, 0.0) == cfg.incumbent_price0
+        assert incumbent_price(cfg, 0.5) < cfg.incumbent_price0
+
+    def test_price_floored_at_poc(self):
+        cfg = AdoptionConfig(incumbent_response=1.0)
+        assert incumbent_price(cfg, 1.0) == cfg.poc_price
+
+    def test_hazard_bounded(self):
+        cfg = AdoptionConfig(savings_weight=5.0, confidence_weight=5.0)
+        assert adoption_hazard(cfg, 1.0) <= 1.0
+        assert adoption_hazard(cfg, 0.0) >= 0.0
+
+
+class TestTrajectories:
+    def test_share_monotone(self):
+        history = simulate_adoption(AdoptionConfig())
+        shares = history.share_series()
+        for a, b in zip(shares, shares[1:]):
+            assert b >= a
+
+    def test_deterministic_under_seed(self):
+        a = simulate_adoption(AdoptionConfig(seed=3))
+        b = simulate_adoption(AdoptionConfig(seed=3))
+        assert a.share_series() == b.share_series()
+
+    def test_s_curve_reaches_saturation(self):
+        history = expected_trajectory(AdoptionConfig(epochs=120))
+        assert history.final_share > 0.95
+
+    def test_no_incentive_no_takeoff(self):
+        """With no savings and no baseline hazard, nothing happens."""
+        cfg = AdoptionConfig(
+            poc_price=1200.0, incumbent_price0=1200.0,
+            base_hazard=0.0, epochs=40,
+        )
+        history = expected_trajectory(cfg)
+        assert history.final_share == pytest.approx(0.0)
+
+    def test_bigger_savings_faster_adoption(self):
+        slow = expected_trajectory(AdoptionConfig(poc_price=1100.0))
+        fast = expected_trajectory(AdoptionConfig(poc_price=400.0))
+        t_slow = slow.epochs_to_share(0.5)
+        t_fast = fast.epochs_to_share(0.5)
+        assert t_fast is not None
+        assert t_slow is None or t_fast <= t_slow
+
+    def test_confidence_accelerates(self):
+        shy = expected_trajectory(AdoptionConfig(confidence_weight=0.0))
+        social = expected_trajectory(AdoptionConfig(confidence_weight=0.3))
+        assert social.final_share >= shy.final_share
+
+    def test_commoditization_loop(self):
+        """As the POC grows, incumbent prices fall — §5's complement
+        commoditization, visible in the price series."""
+        history = expected_trajectory(AdoptionConfig(epochs=80))
+        prices = history.price_series()
+        assert prices[-1] < prices[0]
+        for a, b in zip(prices, prices[1:]):
+            assert b <= a + 1e-9
+
+    def test_epochs_to_share_none_when_unreached(self):
+        cfg = AdoptionConfig(
+            poc_price=1200.0, incumbent_price0=1200.0,
+            base_hazard=0.0, confidence_weight=0.0, epochs=10,
+        )
+        assert expected_trajectory(cfg).epochs_to_share(0.5) is None

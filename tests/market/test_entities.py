@@ -1,0 +1,72 @@
+"""Tests for market agents."""
+
+import pytest
+
+from repro.exceptions import MarketError
+from repro.econ.demand import LinearDemand
+from repro.market.entities import (
+    ConsumerMass,
+    CSPAgent,
+    LMPAgent,
+    founding_catalogue,
+    founding_lmps,
+)
+
+
+class TestConsumerMass:
+    def test_positive_mass(self):
+        with pytest.raises(MarketError):
+            ConsumerMass(lmp="x", mass=0.0)
+
+
+class TestCSPAgent:
+    def test_entry_epoch(self):
+        agent = CSPAgent(name="x", demand=LinearDemand(), entry_epoch=5)
+        assert not agent.active(4)
+        assert agent.active(5)
+
+    def test_econ_view(self):
+        agent = CSPAgent(name="x", demand=LinearDemand(), incumbency=0.4)
+        econ = agent.as_econ_csp()
+        assert econ.incumbency == 0.4
+        assert econ.name == "x"
+
+    def test_incumbency_validation(self):
+        with pytest.raises(MarketError):
+            CSPAgent(name="x", demand=LinearDemand(), incumbency=0.0)
+
+
+class TestLMPAgent:
+    def test_operating_cost_scales(self):
+        agent = LMPAgent(
+            name="x", num_customers=2.0, access_price=50.0,
+            vulnerability=0.1, unit_cost=10.0,
+        )
+        assert agent.operating_cost() == pytest.approx(20.0)
+
+    def test_econ_view(self):
+        agent = LMPAgent(
+            name="x", num_customers=2.0, access_price=50.0, vulnerability=0.1
+        )
+        econ = agent.as_econ_lmp()
+        assert econ.num_customers == 2.0
+        assert econ.vulnerability == 0.1
+
+    def test_validation(self):
+        with pytest.raises(MarketError):
+            LMPAgent(name="x", num_customers=0.0, access_price=1.0, vulnerability=0.1)
+        with pytest.raises(MarketError):
+            LMPAgent(name="x", num_customers=1.0, access_price=-1.0, vulnerability=0.1)
+        with pytest.raises(MarketError):
+            LMPAgent(name="x", num_customers=1.0, access_price=1.0, vulnerability=2.0)
+
+
+class TestDefaults:
+    def test_founding_catalogue_distinct(self):
+        names = [c.name for c in founding_catalogue()]
+        assert len(names) == len(set(names))
+
+    def test_founding_lmps_incumbent_shape(self):
+        lmps = founding_lmps()
+        assert lmps[0].num_customers > lmps[1].num_customers
+        assert lmps[0].vulnerability < lmps[1].vulnerability

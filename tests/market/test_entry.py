@@ -1,0 +1,102 @@
+"""Tests for entrant growth dynamics."""
+
+import pytest
+
+from repro.exceptions import MarketError
+from repro.econ.demand import LinearDemand
+from repro.market.entities import CSPAgent, LMPAgent
+from repro.market.entry import (
+    GrowthParams,
+    drift_customers,
+    grow_csp,
+    harden_lmp,
+)
+
+
+@pytest.fixture
+def params():
+    return GrowthParams()
+
+
+def lmp(name, customers, vulnerability=0.3):
+    return LMPAgent(
+        name=name, num_customers=customers, access_price=40.0,
+        vulnerability=vulnerability,
+    )
+
+
+class TestGrowthParams:
+    def test_negative_rates_rejected(self):
+        with pytest.raises(MarketError):
+            GrowthParams(csp_growth_rate=-0.1)
+
+
+class TestCSPGrowth:
+    def test_profitable_growth(self, params):
+        agent = CSPAgent(name="x", demand=LinearDemand(), incumbency=0.2)
+        grow_csp(agent, subscribers=0.5, profit=1.0, params=params)
+        assert agent.incumbency > 0.2
+
+    def test_capped_at_one(self, params):
+        agent = CSPAgent(name="x", demand=LinearDemand(), incumbency=0.99)
+        grow_csp(agent, subscribers=10.0, profit=1.0, params=params)
+        assert agent.incumbency == 1.0
+
+    def test_decay_without_profit(self, params):
+        agent = CSPAgent(name="x", demand=LinearDemand(), incumbency=0.5)
+        grow_csp(agent, subscribers=0.5, profit=-1.0, params=params)
+        assert agent.incumbency < 0.5
+
+    def test_floor(self, params):
+        agent = CSPAgent(name="x", demand=LinearDemand(), incumbency=0.05)
+        grow_csp(agent, subscribers=0.0, profit=-1.0, params=params)
+        assert agent.incumbency >= 0.05
+
+    def test_negative_subscribers_rejected(self, params):
+        agent = CSPAgent(name="x", demand=LinearDemand())
+        with pytest.raises(MarketError):
+            grow_csp(agent, subscribers=-1.0, profit=1.0, params=params)
+
+
+class TestLMPHardening:
+    def test_profit_hardens(self, params):
+        agent = lmp("x", 1.0, vulnerability=0.3)
+        harden_lmp(agent, profit=1.0, params=params)
+        assert agent.vulnerability < 0.3
+
+    def test_loss_softens(self, params):
+        agent = lmp("x", 1.0, vulnerability=0.3)
+        harden_lmp(agent, profit=-1.0, params=params)
+        assert agent.vulnerability > 0.3
+
+    def test_floor_and_ceiling(self, params):
+        hard = lmp("x", 1.0, vulnerability=0.02)
+        harden_lmp(hard, profit=1.0, params=params)
+        assert hard.vulnerability >= 0.02
+        soft = lmp("y", 1.0, vulnerability=1.0)
+        harden_lmp(soft, profit=-1.0, params=params)
+        assert soft.vulnerability <= 1.0
+
+
+class TestDrift:
+    def test_mass_conserved(self, params):
+        winners = lmp("w", 1.0)
+        losers = lmp("l", 1.0)
+        total = winners.num_customers + losers.num_customers
+        drift_customers([winners, losers], {"w": 1.0, "l": -1.0}, params)
+        assert winners.num_customers + losers.num_customers == pytest.approx(total)
+        assert winners.num_customers > 1.0
+        assert losers.num_customers < 1.0
+
+    def test_no_drift_without_both_sides(self, params):
+        a, b = lmp("a", 1.0), lmp("b", 1.0)
+        drift_customers([a, b], {"a": 1.0, "b": 1.0}, params)
+        assert a.num_customers == 1.0
+        assert b.num_customers == 1.0
+
+    def test_viability_floor(self, params):
+        loser = lmp("l", 1.05e-3)
+        winner = lmp("w", 1.0)
+        for _ in range(50):
+            drift_customers([winner, loser], {"w": 1.0, "l": -1.0}, params)
+        assert loser.num_customers >= 1e-3 - 1e-12

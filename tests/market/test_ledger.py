@@ -1,0 +1,107 @@
+"""Tests for double-entry bookkeeping."""
+
+import pytest
+
+from repro.exceptions import LedgerError
+from repro.market.ledger import Account, Ledger, Transfer
+
+
+@pytest.fixture
+def ledger():
+    l = Ledger()
+    l.open_account("alice", "consumer")
+    l.open_account("netco", "lmp")
+    l.open_account("POC", "poc")
+    return l
+
+
+class TestAccounts:
+    def test_open_and_lookup(self, ledger):
+        assert ledger.has_account("alice")
+        assert ledger.account("netco").owner_kind == "lmp"
+
+    def test_duplicate_rejected(self, ledger):
+        with pytest.raises(LedgerError):
+            ledger.open_account("alice", "consumer")
+
+    def test_unknown_kind_rejected(self, ledger):
+        with pytest.raises(LedgerError):
+            ledger.open_account("x", "pirate")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(LedgerError):
+            Account(name="", owner_kind="poc")
+
+
+class TestTransfers:
+    def test_moves_money(self, ledger):
+        ledger.transfer(0, "alice", "netco", 50.0, memo="access")
+        assert ledger.balance("alice") == -50.0
+        assert ledger.balance("netco") == 50.0
+
+    def test_conservation(self, ledger):
+        ledger.transfer(0, "alice", "netco", 50.0, memo="access")
+        ledger.transfer(0, "netco", "POC", 20.0, memo="transit")
+        assert ledger.total_balance == pytest.approx(0.0)
+
+    def test_positive_amount_required(self, ledger):
+        with pytest.raises(LedgerError):
+            ledger.transfer(0, "alice", "netco", 0.0, memo="zero")
+        with pytest.raises(LedgerError):
+            ledger.transfer(0, "alice", "netco", -1.0, memo="neg")
+
+    def test_self_transfer_rejected(self, ledger):
+        with pytest.raises(LedgerError):
+            ledger.transfer(0, "alice", "alice", 1.0, memo="loop")
+
+    def test_unknown_accounts_rejected(self, ledger):
+        with pytest.raises(LedgerError):
+            ledger.transfer(0, "nobody", "alice", 1.0, memo="x")
+        with pytest.raises(LedgerError):
+            ledger.transfer(0, "alice", "nobody", 1.0, memo="x")
+
+
+class TestJournal:
+    def test_filters(self, ledger):
+        ledger.transfer(0, "alice", "netco", 50.0, memo="access")
+        ledger.transfer(1, "alice", "netco", 50.0, memo="access")
+        ledger.transfer(1, "netco", "POC", 30.0, memo="transit:gold")
+        assert len(ledger.journal(epoch=1)) == 2
+        assert len(ledger.journal(src="alice")) == 2
+        assert len(ledger.journal(dst="POC")) == 1
+        assert len(ledger.journal(memo_prefix="transit")) == 1
+
+    def test_flows(self, ledger):
+        ledger.transfer(0, "alice", "netco", 50.0, memo="access")
+        ledger.transfer(0, "netco", "POC", 30.0, memo="transit")
+        assert ledger.inflow("netco") == 50.0
+        assert ledger.outflow("netco") == 30.0
+        assert ledger.net_flow("netco") == 20.0
+        assert ledger.net_flow("netco", epoch=1) == 0.0
+
+    def test_balances_by_kind(self, ledger):
+        ledger.transfer(0, "alice", "netco", 10.0, memo="x")
+        assert ledger.balances_by_kind("lmp") == {"netco": 10.0}
+        assert ledger.balances_by_kind("bp") == {}
+
+
+class TestAudit:
+    def test_replay_matches(self, ledger):
+        ledger.transfer(0, "alice", "netco", 50.0, memo="a")
+        ledger.transfer(1, "netco", "POC", 20.0, memo="b")
+        assert ledger.replay_balances() == {
+            "alice": -50.0, "netco": 30.0, "POC": 20.0,
+        }
+        ledger.audit()  # must not raise
+
+    def test_detects_drift(self, ledger):
+        ledger.transfer(0, "alice", "netco", 50.0, memo="a")
+        ledger._balances["netco"] += 5.0  # simulated corruption
+        with pytest.raises(LedgerError):
+            ledger.audit()
+
+    def test_transfer_record_immutable_checks(self):
+        with pytest.raises(LedgerError):
+            Transfer(epoch=0, src="a", dst="a", amount=1.0, memo="m")
+        with pytest.raises(LedgerError):
+            Transfer(epoch=0, src="a", dst="b", amount=0.0, memo="m")

@@ -1,0 +1,175 @@
+"""Tests for the epoch-based market simulator."""
+
+import pytest
+
+from repro.exceptions import MarketError
+from repro.econ.demand import LinearDemand
+from repro.market.entities import CSPAgent, LMPAgent, founding_catalogue, founding_lmps
+from repro.market.sim import MarketConfig, MarketSim, Regime
+
+
+def build_sim(regime=Regime.NN, epochs=6, entrant_epoch=None, poc_cost=5.0):
+    csps = founding_catalogue()
+    if entrant_epoch is not None:
+        csps.append(
+            CSPAgent(
+                name="newbie",
+                demand=LinearDemand(v_max=25.0),
+                incumbency=0.15,
+                entry_epoch=entrant_epoch,
+            )
+        )
+    return MarketSim(
+        MarketConfig(regime=regime, epochs=epochs, poc_monthly_cost=poc_cost),
+        csps,
+        founding_lmps(),
+    )
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(MarketError):
+            MarketConfig(epochs=0)
+        with pytest.raises(MarketError):
+            MarketConfig(poc_monthly_cost=-1.0)
+        with pytest.raises(MarketError):
+            MarketConfig(gbps_per_subscriber=-0.1)
+
+    def test_agent_validation(self):
+        with pytest.raises(MarketError):
+            MarketSim(MarketConfig(), [], founding_lmps())
+        with pytest.raises(MarketError):
+            MarketSim(MarketConfig(), founding_catalogue(), [])
+
+    def test_duplicate_names_rejected(self):
+        csps = founding_catalogue()
+        lmps = founding_lmps()
+        lmps[0].name = csps[0].name
+        with pytest.raises(MarketError):
+            MarketSim(MarketConfig(), csps, lmps)
+
+
+class TestEpochLoop:
+    def test_record_per_epoch(self):
+        history = build_sim(epochs=6).run()
+        assert len(history) == 6
+        assert [r.epoch for r in history.records] == list(range(6))
+
+    def test_poc_breaks_even_every_epoch(self):
+        history = build_sim(epochs=6).run()
+        for record in history.records:
+            assert record.poc_surplus == pytest.approx(0.0, abs=1e-9)
+
+    def test_ledger_conserves_money(self):
+        sim = build_sim(epochs=6)
+        sim.run()
+        assert sim.ledger.total_balance == pytest.approx(0.0, abs=1e-6)
+        sim.ledger.audit()
+
+    def test_poc_balance_zero_bp_pool_accumulates(self):
+        sim = build_sim(epochs=4, poc_cost=5.0)
+        sim.run()
+        assert sim.ledger.balance("POC") == pytest.approx(0.0, abs=1e-9)
+        assert sim.ledger.balance("BP-pool") == pytest.approx(20.0)
+
+    def test_entrant_appears_at_entry_epoch(self):
+        history = build_sim(entrant_epoch=3, epochs=6).run()
+        assert "newbie" not in history.records[2].csps
+        assert "newbie" in history.records[3].csps
+
+    def test_nn_has_zero_fees(self):
+        history = build_sim(regime=Regime.NN, epochs=3).run()
+        for record in history.records:
+            for snap in record.csps.values():
+                assert snap.avg_fee == 0.0
+
+    def test_ur_has_positive_fees(self):
+        history = build_sim(regime=Regime.UR, epochs=3).run()
+        fees = [
+            snap.avg_fee
+            for record in history.records
+            for snap in record.csps.values()
+        ]
+        assert max(fees) > 0
+
+    def test_deterministic(self):
+        a = build_sim(epochs=5).run()
+        b = build_sim(epochs=5).run()
+        assert a.welfare_series() == b.welfare_series()
+
+
+class TestPaperClaims:
+    """The M1 comparative claims, at test scale."""
+
+    def test_ur_welfare_below_nn(self):
+        nn = build_sim(regime=Regime.NN, epochs=8).run()
+        ur = build_sim(regime=Regime.UR, epochs=8).run()
+        for w_nn, w_ur in zip(nn.welfare_series(), ur.welfare_series()):
+            assert w_ur <= w_nn + 1e-9
+
+    def test_entrant_grows_faster_under_nn(self):
+        nn = build_sim(regime=Regime.NN, entrant_epoch=2, epochs=10).run()
+        ur = build_sim(regime=Regime.UR, entrant_epoch=2, epochs=10).run()
+        assert (
+            nn.csp_incumbency_series("newbie")[-1]
+            > ur.csp_incumbency_series("newbie")[-1]
+        )
+
+    def test_entrant_profit_gap(self):
+        nn = build_sim(regime=Regime.NN, entrant_epoch=2, epochs=10).run()
+        ur = build_sim(regime=Regime.UR, entrant_epoch=2, epochs=10).run()
+        assert nn.cumulative_csp_profit("newbie") > ur.cumulative_csp_profit("newbie")
+
+    def test_incumbent_lmp_gains_fee_revenue_under_ur(self):
+        ur = build_sim(regime=Regime.UR, epochs=6).run()
+        last = ur.records[-1]
+        assert last.lmps["metro-cable"].fee_revenue > 0
+
+    def test_fee_revenue_never_flows_under_nn(self):
+        sim = build_sim(regime=Regime.NN, epochs=6)
+        sim.run()
+        assert sim.ledger.journal(memo_prefix="termination") == []
+
+    def test_entrant_lmp_extracts_less_per_customer(self):
+        """§4.5's LMP-side incumbency claim inside the simulator: a
+        vulnerable entrant LMP earns less termination revenue per
+        customer than the hardened incumbent."""
+        from repro.market.entities import LMPAgent
+
+        csps = founding_catalogue()
+        lmps = founding_lmps()
+        lmps.append(
+            LMPAgent(
+                name="startup-lmp", num_customers=0.1, access_price=40.0,
+                vulnerability=0.6, entry_epoch=0,
+            )
+        )
+        sim = MarketSim(
+            MarketConfig(regime=Regime.UR, epochs=6, poc_monthly_cost=5.0),
+            csps, lmps,
+        )
+        history = sim.run()
+        last = history.records[-1]
+        incumbent = last.lmps["metro-cable"]
+        entrant = last.lmps["startup-lmp"]
+        inc_per_customer = incumbent.fee_revenue / incumbent.customers
+        ent_per_customer = entrant.fee_revenue / entrant.customers
+        assert inc_per_customer > ent_per_customer
+
+    def test_entrant_lmp_joins_later(self):
+        from repro.market.entities import LMPAgent
+
+        lmps = founding_lmps()
+        lmps.append(
+            LMPAgent(
+                name="late-lmp", num_customers=0.1, access_price=40.0,
+                vulnerability=0.5, entry_epoch=3,
+            )
+        )
+        sim = MarketSim(
+            MarketConfig(regime=Regime.NN, epochs=6, poc_monthly_cost=5.0),
+            founding_catalogue(), lmps,
+        )
+        history = sim.run()
+        assert "late-lmp" not in history.records[2].lmps
+        assert "late-lmp" in history.records[3].lmps

@@ -1,0 +1,99 @@
+"""Tests for Monte-Carlo and exhaustive availability analysis."""
+
+import pytest
+
+from repro.exceptions import FlowError
+from repro.netflow.availability import (
+    delivered_fraction,
+    exhaustive_k_failures,
+    monte_carlo_availability,
+)
+from repro.traffic.matrix import TrafficMatrix
+
+from tests.conftest import square_network
+
+
+@pytest.fixture
+def net():
+    return square_network()
+
+
+@pytest.fixture
+def tm():
+    return TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 3.0})
+
+
+class TestDeliveredFraction:
+    def test_no_failures_full_delivery(self, net, tm):
+        assert delivered_fraction(net, tm, frozenset()) == 1.0
+
+    def test_partial_delivery_under_cut(self, net):
+        heavy = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 20.0})
+        # Lose AB: remaining A->C capacity = AC(5) + ADC(10) = 15 of 20.
+        frac = delivered_fraction(net, heavy, frozenset({"AB"}))
+        assert frac == pytest.approx(0.75, rel=1e-3)
+
+    def test_total_loss(self, net, tm):
+        all_links = frozenset(net.link_ids)
+        assert delivered_fraction(net, tm, all_links) == 0.0
+
+    def test_capped_at_one(self, net, tm):
+        assert delivered_fraction(net, tm, frozenset({"AC"})) == 1.0
+
+
+class TestExhaustiveK:
+    def test_single_failures_all_survived(self, net, tm):
+        report = exhaustive_k_failures(net, tm, k=1)
+        assert report.num_draws == net.num_links
+        # 3G A->C survives any single failure on this topology.
+        assert report.availability() == 1.0
+
+    def test_double_failures_find_the_cut(self, net):
+        # 8G A->C: losing {AB, CD} leaves only the 5G diagonal (62.5%).
+        heavy = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 8.0})
+        report = exhaustive_k_failures(net, heavy, k=2)
+        assert report.availability() < 1.0
+        assert report.worst_delivered() == pytest.approx(5.0 / 8.0, rel=1e-3)
+
+    def test_scenario_cap(self, net, tm):
+        report = exhaustive_k_failures(net, tm, k=1, max_scenarios=2)
+        assert report.num_draws == 2
+
+    def test_k_validation(self, net, tm):
+        with pytest.raises(FlowError):
+            exhaustive_k_failures(net, tm, k=0)
+
+
+class TestMonteCarlo:
+    def test_deterministic_under_seed(self, net, tm):
+        a = monte_carlo_availability(net, tm, draws=30, seed=5)
+        b = monte_carlo_availability(net, tm, draws=30, seed=5)
+        assert a.mean_delivered() == b.mean_delivered()
+
+    def test_zero_probability_is_perfect(self, net, tm):
+        report = monte_carlo_availability(
+            net, tm, link_failure_probability=0.0, draws=20, seed=1
+        )
+        assert report.availability() == 1.0
+        assert report.mean_delivered() == 1.0
+
+    def test_certain_failure_is_catastrophic(self, net, tm):
+        report = monte_carlo_availability(
+            net, tm, link_failure_probability=1.0, draws=5, seed=1
+        )
+        assert report.mean_delivered() == 0.0
+
+    def test_more_failures_weakly_worse(self, net, tm):
+        calm = monte_carlo_availability(
+            net, tm, link_failure_probability=0.02, draws=200, seed=2
+        )
+        stormy = monte_carlo_availability(
+            net, tm, link_failure_probability=0.3, draws=200, seed=2
+        )
+        assert stormy.mean_delivered() <= calm.mean_delivered() + 1e-9
+
+    def test_validation(self, net, tm):
+        with pytest.raises(FlowError):
+            monte_carlo_availability(net, tm, link_failure_probability=1.5)
+        with pytest.raises(FlowError):
+            monte_carlo_availability(net, tm, draws=0)

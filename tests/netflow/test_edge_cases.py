@@ -1,0 +1,99 @@
+"""Edge-case flow tests: parallel links, asymmetric demands, degenerates."""
+
+import pytest
+
+from repro.netflow.mcf import max_concurrent_flow
+from repro.netflow.routing import route_greedy_multipath, route_shortest_path
+from repro.topology.graph import Link, Network
+from repro.traffic.matrix import TrafficMatrix
+
+from tests.conftest import make_node
+
+
+def parallel_net(caps=(3.0, 7.0)):
+    net = Network(name="parallel")
+    net.add_node(make_node("A"))
+    net.add_node(make_node("B"))
+    for i, cap in enumerate(caps):
+        net.add_link(Link(id=f"P{i}", u="A", v="B", capacity_gbps=cap,
+                          length_km=100.0 + i))
+    return net
+
+
+class TestParallelLinks:
+    def test_mcf_aggregates_parallel_capacity(self):
+        net = parallel_net((3.0, 7.0))
+        tm = TrafficMatrix.from_dict(["A", "B"], {("A", "B"): 10.0})
+        res = max_concurrent_flow(net, tm)
+        assert res.feasible
+        assert res.lam == pytest.approx(1.0, rel=1e-6)
+
+    def test_greedy_uses_both_parallels(self):
+        net = parallel_net((3.0, 7.0))
+        tm = TrafficMatrix.from_dict(["A", "B"], {("A", "B"): 9.0})
+        out = route_greedy_multipath(net, tm)
+        assert out.feasible
+        assert len(out.link_load_gbps) == 2
+
+    def test_sp_uses_single_best_parallel(self):
+        net = parallel_net((3.0, 7.0))
+        tm = TrafficMatrix.from_dict(["A", "B"], {("A", "B"): 5.0})
+        out = route_shortest_path(net, tm)
+        # SP picks the shortest parallel (P0, 100 km) which has only 3G.
+        assert not out.feasible
+
+    def test_mcf_loads_split_across_parallels(self):
+        net = parallel_net((5.0, 5.0))
+        tm = TrafficMatrix.from_dict(["A", "B"], {("A", "B"): 10.0})
+        res = max_concurrent_flow(net, tm)
+        assert res.feasible
+        assert res.link_loads is not None
+        assert sum(res.link_loads.values()) == pytest.approx(10.0, rel=1e-5)
+
+
+class TestAsymmetricDemands:
+    def test_directions_independent(self):
+        net = parallel_net((10.0,))
+        tm = TrafficMatrix.from_dict(
+            ["A", "B"], {("A", "B"): 10.0, ("B", "A"): 2.0}
+        )
+        res = max_concurrent_flow(net, tm)
+        # Full duplex: each direction has its own 10G.
+        assert res.feasible
+        assert res.lam == pytest.approx(1.0, rel=1e-6)
+
+    def test_heaviest_direction_binds(self):
+        net = parallel_net((10.0,))
+        tm = TrafficMatrix.from_dict(
+            ["A", "B"], {("A", "B"): 20.0, ("B", "A"): 1.0}
+        )
+        res = max_concurrent_flow(net, tm)
+        assert res.lam == pytest.approx(0.5, rel=1e-6)
+
+
+class TestDegenerates:
+    def test_zero_tm_on_any_engine(self):
+        net = parallel_net()
+        tm = TrafficMatrix(nodes=["A", "B"])
+        assert max_concurrent_flow(net, tm).feasible
+        assert route_shortest_path(net, tm).feasible
+        assert route_greedy_multipath(net, tm).feasible
+
+    def test_single_node_network(self):
+        net = Network()
+        net.add_node(make_node("A"))
+        tm = TrafficMatrix(nodes=["A"])
+        assert max_concurrent_flow(net, tm).feasible
+
+    def test_tiny_demand_numerical_stability(self):
+        net = parallel_net((10.0,))
+        tm = TrafficMatrix.from_dict(["A", "B"], {("A", "B"): 1e-9})
+        res = max_concurrent_flow(net, tm)
+        assert res.feasible
+
+    def test_huge_demand(self):
+        net = parallel_net((10.0,))
+        tm = TrafficMatrix.from_dict(["A", "B"], {("A", "B"): 1e9})
+        res = max_concurrent_flow(net, tm)
+        assert not res.feasible
+        assert res.lam == pytest.approx(10.0 / 1e9, rel=1e-4)

@@ -1,0 +1,75 @@
+"""Tests for failure-scenario enumeration."""
+
+import pytest
+
+from repro.netflow.failures import (
+    node_failures,
+    primary_path_failures,
+    shared_risk_groups,
+    single_link_failures,
+)
+from repro.topology.graph import Link
+
+from tests.conftest import square_network
+
+
+class TestSingleLink:
+    def test_one_scenario_per_link(self, square):
+        scenarios = list(single_link_failures(square.link_ids))
+        assert len(scenarios) == square.num_links
+        assert all(len(s) == 1 for s in scenarios)
+
+    def test_deterministic_order(self, square):
+        a = list(single_link_failures(square.link_ids))
+        b = list(single_link_failures(reversed(square.link_ids)))
+        assert a == b
+
+    def test_deduplicates(self):
+        scenarios = list(single_link_failures(["x", "x", "y"]))
+        assert len(scenarios) == 2
+
+
+class TestPrimaryPath:
+    def test_scenarios_are_shortest_paths(self, square):
+        scenarios = dict(primary_path_failures(square, square.link_ids))
+        # A-C's primary path is the direct diagonal.
+        assert scenarios.get(("A", "C")) == frozenset({"AC"})
+
+    def test_one_direction_per_pair(self, square):
+        pairs = [pair for pair, _ in primary_path_failures(square, square.link_ids)]
+        assert all(src < dst for src, dst in pairs)
+
+    def test_restricted_to_candidate_links(self, square):
+        # Without the diagonal, A-C's primary path runs around the ring.
+        ring = ["AB", "BC", "CD", "DA"]
+        scenarios = dict(primary_path_failures(square, ring))
+        ac = scenarios.get(("A", "C"))
+        if ac is not None:
+            assert "AC" not in ac
+            assert len(ac) == 2
+
+    def test_deduplicates_identical_paths(self, square):
+        # A-B primary path {AB} appears once even though the pair (A,B)
+        # and no other pair shares it; sanity: all scenarios distinct.
+        scenario_sets = [s for _, s in primary_path_failures(square, square.link_ids)]
+        assert len(scenario_sets) == len(set(scenario_sets))
+
+
+class TestNodeFailures:
+    def test_incident_links(self, square):
+        scenarios = dict(node_failures(["A"], square))
+        assert scenarios["A"] == frozenset({"AB", "DA", "AC"})
+
+    def test_all_nodes(self, square):
+        scenarios = dict(node_failures(square.node_ids, square))
+        assert set(scenarios) == set(square.node_ids)
+
+
+class TestSharedRisk:
+    def test_parallel_links_grouped(self, square):
+        square.add_link(Link(id="AB2", u="A", v="B", capacity_gbps=5.0))
+        groups = shared_risk_groups(square)
+        assert frozenset({"AB", "AB2"}) in groups
+
+    def test_no_groups_without_parallels(self, square):
+        assert shared_risk_groups(square) == []

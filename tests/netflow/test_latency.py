@@ -1,0 +1,86 @@
+"""Tests for latency/stretch metrics."""
+
+import pytest
+
+from repro.exceptions import FlowError
+from repro.netflow.latency import compare_backbones, latency_report
+from repro.topology.graph import Link
+
+from tests.conftest import square_network
+
+
+class TestLatencyReport:
+    def test_all_pairs_covered(self, square):
+        report = latency_report(square)
+        n = len(square)
+        assert report.num_pairs == n * (n - 1) // 2
+        assert report.unreachable == ()
+
+    def test_rtt_positive_and_scaled(self, square):
+        report = latency_report(square)
+        for pair in report.pairs.values():
+            assert pair.rtt_ms > 0
+            # RTT = 2 × one-way over the path.
+            assert pair.rtt_ms == pytest.approx(2 * pair.path_km / 204.19, rel=1e-6)
+
+    def test_stretch_at_least_geometry(self, square):
+        report = latency_report(square)
+        # All links in the square fixture are 100 km regardless of node
+        # geometry, so stretch can land below 1; it must still be finite
+        # and positive.
+        for pair in report.pairs.values():
+            assert pair.stretch > 0
+
+    def test_unreachable_tracked(self, square):
+        sub = square.restricted_to_links(["AB"])
+        report = latency_report(sub)
+        assert len(report.unreachable) > 0
+        assert report.num_pairs == 1
+
+    def test_summaries(self, square):
+        report = latency_report(square)
+        assert 0 < report.mean_rtt_ms() <= report.worst_rtt_ms()
+        assert 0 < report.mean_stretch() <= report.worst_stretch()
+        assert report.percentile_rtt_ms(100.0) == pytest.approx(report.worst_rtt_ms())
+        assert report.percentile_rtt_ms(50.0) <= report.worst_rtt_ms()
+
+    def test_percentile_validation(self, square):
+        report = latency_report(square)
+        with pytest.raises(FlowError):
+            report.percentile_rtt_ms(0.0)
+
+    def test_empty_network(self):
+        from repro.topology.graph import Network
+
+        report = latency_report(Network())
+        assert report.num_pairs == 0
+        assert report.mean_rtt_ms() == 0.0
+
+
+class TestCompareBackbones:
+    def test_shortcut_lowers_latency(self, square):
+        without_diagonal = square.without_links(["AC"])
+        delta = compare_backbones(square, without_diagonal)
+        assert delta["mean_rtt_delta_ms"] <= 0  # square (with AC) is faster
+
+    def test_identity(self, square):
+        delta = compare_backbones(square, square)
+        assert delta["mean_rtt_delta_ms"] == pytest.approx(0.0)
+        assert delta["mean_stretch_delta"] == pytest.approx(0.0)
+
+    def test_on_provisioned_zoo(self, tiny_zoo):
+        """Tighter survivability buys redundancy, not latency: C2's
+        backbone should be no slower on average than C1's (extra links
+        can only shorten shortest paths)."""
+        from repro.auction.constraints import make_constraint
+        from repro.auction.selection import select_links
+        from repro.experiments.pipeline import offers_for_zoo, traffic_for_zoo
+
+        tm = traffic_for_zoo(tiny_zoo)
+        offers = offers_for_zoo(tiny_zoo)
+        c1 = make_constraint(1, tiny_zoo.offered, tm, engine="greedy")
+        sel1 = select_links(offers, c1, method="add-prune")
+        backbone1 = tiny_zoo.offered.restricted_to_links(sel1.selected)
+        report = latency_report(backbone1)
+        assert report.num_pairs > 0
+        assert report.mean_stretch() >= 1.0  # zoo links have real geometry

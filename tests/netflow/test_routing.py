@@ -1,0 +1,110 @@
+"""Tests for heuristic routing engines."""
+
+import pytest
+
+from repro.exceptions import FlowError
+from repro.netflow.mcf import max_concurrent_flow
+from repro.netflow.routing import route_greedy_multipath, route_shortest_path
+from repro.topology.graph import Link, Network
+from repro.traffic.matrix import TrafficMatrix
+
+from tests.conftest import make_node, square_network
+
+
+class TestShortestPathRouting:
+    def test_feasible_light_load(self, square):
+        tm = TrafficMatrix.from_dict(["A", "B"], {("A", "B"): 1.0})
+        out = route_shortest_path(square, tm)
+        assert out.feasible
+        assert out.link_load_gbps == {"AB": 1.0}
+
+    def test_infeasible_on_overload(self, square):
+        tm = TrafficMatrix.from_dict(["A", "B"], {("A", "B"): 11.0})
+        out = route_shortest_path(square, tm)
+        assert not out.feasible
+
+    def test_no_splitting(self, square):
+        # 8G A->C fits overall but not on the 5G direct diagonal.
+        tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 8.0})
+        out = route_shortest_path(square, tm)
+        assert not out.feasible  # conservative engine does not split
+
+    def test_unplaced_on_disconnect(self, square):
+        sub = square.restricted_to_links(["AB"])
+        tm = TrafficMatrix.from_dict(["A", "D"], {("A", "D"): 1.0})
+        out = route_shortest_path(sub, tm)
+        assert not out.feasible
+        assert out.unplaced_gbps == 1.0
+
+    def test_utilization(self, square):
+        tm = TrafficMatrix.from_dict(["A", "B"], {("A", "B"): 5.0})
+        out = route_shortest_path(square, tm)
+        assert out.max_utilization(square) == pytest.approx(0.5)
+
+    def test_flow_km(self, square):
+        tm = TrafficMatrix.from_dict(["A", "B"], {("A", "B"): 2.0})
+        out = route_shortest_path(square, tm)
+        assert out.total_flow_km(square) == pytest.approx(200.0)
+
+
+class TestGreedyMultipath:
+    def test_splits_when_needed(self, square):
+        tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 8.0})
+        out = route_greedy_multipath(square, tm)
+        assert out.feasible
+        # Must have used at least two paths for the A->C demand.
+        assert len(out.paths_used[("A", "C")]) >= 2
+
+    def test_respects_capacity(self, square):
+        tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 8.0})
+        out = route_greedy_multipath(square, tm)
+        for lid, load in out.link_load_gbps.items():
+            assert load <= square.link(lid).capacity_gbps + 1e-9
+
+    def test_infeasible_beyond_cut_capacity(self, square):
+        # Max A->C flow is 25 (5 + 10 + 10).
+        tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 26.0})
+        out = route_greedy_multipath(square, tm)
+        assert not out.feasible
+        assert out.unplaced_gbps > 0
+
+    def test_matches_mcf_on_single_commodity(self, square):
+        # For one commodity, greedy augmenting paths reach max flow.
+        tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 25.0})
+        assert route_greedy_multipath(square, tm, max_paths_per_demand=16).feasible
+        assert max_concurrent_flow(square, tm).feasible
+
+    def test_conservative_vs_mcf(self, square):
+        # Greedy feasible => MCF feasible (soundness, never the converse).
+        for load in (1.0, 4.0, 8.0, 12.0):
+            tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): load})
+            if route_greedy_multipath(square, tm).feasible:
+                assert max_concurrent_flow(square, tm).feasible
+
+    def test_path_budget_respected(self, square):
+        tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 8.0})
+        out = route_greedy_multipath(square, tm, max_paths_per_demand=1)
+        assert not out.feasible  # one path cannot carry 8 over the 5G diagonal
+
+    def test_validation(self, square):
+        tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 1.0})
+        with pytest.raises(FlowError):
+            route_greedy_multipath(square, tm, max_paths_per_demand=0)
+
+    def test_largest_first_ordering(self):
+        """A big demand gets the short path before small ones eat it."""
+        net = Network(name="y")
+        for n in ("S", "T", "U"):
+            net.add_node(make_node(n))
+        net.add_link(Link(id="ST", u="S", v="T", capacity_gbps=10.0, length_km=10))
+        net.add_link(Link(id="SU", u="S", v="U", capacity_gbps=10.0, length_km=10))
+        net.add_link(Link(id="UT", u="U", v="T", capacity_gbps=10.0, length_km=10))
+        tm = TrafficMatrix.from_dict(
+            ["S", "T", "U"], {("S", "T"): 10.0, ("S", "U"): 1.0}
+        )
+        out = route_greedy_multipath(net, tm)
+        assert out.feasible
+        # The 10G S->T demand takes the whole direct link.
+        st_paths = out.paths_used[("S", "T")]
+        assert st_paths[0][0].link_ids == ("ST",)
+        assert st_paths[0][1] == pytest.approx(10.0)

@@ -1,0 +1,96 @@
+"""Property tests: the bid-language axioms hold for arbitrary inputs."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.auction.bids import (
+    AdditiveCost,
+    FixedPlusAdditiveCost,
+    SubsetOverrideCost,
+    VolumeDiscountCost,
+)
+
+link_names = st.lists(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=4),
+    min_size=1, max_size=8, unique=True,
+)
+prices = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+
+@st.composite
+def price_maps(draw):
+    names = draw(link_names)
+    return {name: draw(prices) for name in names}
+
+
+@st.composite
+def subset_pairs(draw, domain):
+    """Two subsets with s ⊆ t, drawn from a domain."""
+    items = sorted(domain)
+    t = draw(st.lists(st.sampled_from(items), unique=True, max_size=len(items)))
+    s = draw(st.lists(st.sampled_from(t), unique=True, max_size=len(t))) if t else []
+    return frozenset(s), frozenset(t)
+
+
+class TestAdditive:
+    @given(price_maps(), st.data())
+    def test_monotone(self, pm, data):
+        fn = AdditiveCost(pm)
+        s, t = data.draw(subset_pairs(fn.domain))
+        assert fn.cost(s) <= fn.cost(t) + 1e-9
+
+    @given(price_maps())
+    def test_empty_free(self, pm):
+        assert AdditiveCost(pm).cost(frozenset()) == 0.0
+
+    @given(price_maps(), st.data())
+    def test_additivity(self, pm, data):
+        fn = AdditiveCost(pm)
+        s, t = data.draw(subset_pairs(fn.domain))
+        disjoint = t - s
+        assert fn.cost(s) + fn.cost(disjoint) == pytest.approx(fn.cost(t))
+
+
+class TestVolumeDiscount:
+    @given(price_maps(), st.data(),
+           st.lists(st.floats(min_value=0.0, max_value=0.9), min_size=0,
+                    max_size=3))
+    @settings(max_examples=60)
+    def test_monotone_and_bounded(self, pm, data, raw_discs):
+        discs = sorted(set(round(d, 3) for d in raw_discs))
+        tiers = tuple((i + 2, d) for i, d in enumerate(discs))
+        fn = VolumeDiscountCost(pm, tiers=tiers)
+        s, t = data.draw(subset_pairs(fn.domain))
+        base = AdditiveCost(pm)
+        # Discounted price never exceeds the additive price.
+        assert fn.cost(t) <= base.cost(t) + 1e-9
+        assert fn.cost(s) >= 0
+
+
+class TestFixedPlusAdditive:
+    @given(price_maps(), st.floats(min_value=0.0, max_value=1e5), st.data())
+    def test_monotone(self, pm, fixed, data):
+        fn = FixedPlusAdditiveCost(pm, fixed=fixed)
+        s, t = data.draw(subset_pairs(fn.domain))
+        assert fn.cost(s) <= fn.cost(t) + 1e-9
+
+    @given(price_maps(), st.floats(min_value=0.0, max_value=1e5))
+    def test_empty_free_despite_fixed(self, pm, fixed):
+        assert FixedPlusAdditiveCost(pm, fixed=fixed).cost([]) == 0.0
+
+
+class TestSubsetOverride:
+    @given(price_maps(), st.data(), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60)
+    def test_override_never_increases_cost(self, pm, data, frac):
+        base = AdditiveCost(pm)
+        bundle = data.draw(
+            st.lists(st.sampled_from(sorted(pm)), unique=True, min_size=1)
+        )
+        bundle = frozenset(bundle)
+        override_price = base.cost(bundle) * frac
+        fn = SubsetOverrideCost(base, {bundle: override_price})
+        s, t = data.draw(subset_pairs(fn.domain))
+        for subset in (s, t):
+            assert fn.cost(subset) <= base.cost(subset) + 1e-9

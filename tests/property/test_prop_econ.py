@@ -1,0 +1,113 @@
+"""Property tests for the economic model: Lemma 1, welfare, NBS."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import assume, given, settings
+
+from repro.econ.bargaining import nbs_fee, nbs_fee_numeric
+from repro.econ.csp import optimal_price, profit
+from repro.econ.demand import (
+    ExponentialDemand,
+    LinearDemand,
+    LogitDemand,
+    ParetoDemand,
+)
+from repro.econ.welfare import consumer_welfare, social_welfare
+
+demand_curves = st.one_of(
+    st.floats(min_value=1.0, max_value=100.0).map(lambda v: LinearDemand(v_max=v)),
+    st.floats(min_value=0.5, max_value=50.0).map(lambda s: ExponentialDemand(scale=s)),
+    st.tuples(
+        st.floats(min_value=1.0, max_value=50.0),
+        st.floats(min_value=0.2, max_value=10.0),
+    ).map(lambda t: LogitDemand(mid=t[0], spread=t[1])),
+    st.tuples(
+        st.floats(min_value=0.5, max_value=20.0),
+        st.floats(min_value=1.2, max_value=5.0),
+    ).map(lambda t: ParetoDemand(p_min=t[0], alpha=t[1])),
+)
+
+fees = st.floats(min_value=0.0, max_value=30.0)
+
+
+class TestLemma1Property:
+    @given(demand_curves, fees, fees)
+    @settings(max_examples=120)
+    def test_optimal_price_monotone_in_fee(self, demand, t1, t2):
+        """Lemma 1: t1 <= t2 implies p*(t1) <= p*(t2)."""
+        lo, hi = sorted((t1, t2))
+        assert optimal_price(demand, lo) <= optimal_price(demand, hi) + 1e-6
+
+    @given(demand_curves, fees)
+    @settings(max_examples=120)
+    def test_price_covers_fee(self, demand, t):
+        """The CSP never prices below its marginal cost t."""
+        assert optimal_price(demand, t) >= t - 1e-6
+
+    @given(demand_curves, fees, st.floats(min_value=0.5, max_value=2.0))
+    @settings(max_examples=120)
+    def test_optimum_beats_perturbations(self, demand, t, factor):
+        p_star = optimal_price(demand, t)
+        assume(p_star > 1e-6)
+        other = p_star * factor
+        assert profit(demand, other, t) <= profit(demand, p_star, t) + 1e-6
+
+
+class TestWelfareProperties:
+    @given(demand_curves, st.floats(min_value=0.0, max_value=60.0))
+    @settings(max_examples=120)
+    def test_decomposition(self, demand, p):
+        assert social_welfare(demand, p) == pytest.approx(
+            consumer_welfare(demand, p) + demand.revenue(p), rel=1e-6, abs=1e-9
+        )
+
+    @given(demand_curves, st.floats(min_value=0.0, max_value=30.0),
+           st.floats(min_value=0.0, max_value=30.0))
+    @settings(max_examples=120)
+    def test_monotone_decreasing(self, demand, p1, p2):
+        lo, hi = sorted((p1, p2))
+        assert social_welfare(demand, hi) <= social_welfare(demand, lo) + 1e-6
+
+    @given(demand_curves, fees)
+    @settings(max_examples=120)
+    def test_fees_never_raise_welfare(self, demand, t):
+        """The §4.4 conclusion as a universal property."""
+        p_nn = optimal_price(demand, 0.0)
+        p_fee = optimal_price(demand, t)
+        assert social_welfare(demand, p_fee) <= social_welfare(demand, p_nn) + 1e-6
+
+
+class TestNBSProperties:
+    @given(
+        st.floats(min_value=0.1, max_value=100.0),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=120)
+    def test_closed_form_matches_numeric(self, p, r, c):
+        assume(p + r * c > 1e-3)  # non-degenerate agreement region
+        closed = nbs_fee(p, r, c)
+        numeric = nbs_fee_numeric(p, r, c)
+        assert closed == pytest.approx(numeric, abs=max(1e-3, abs(closed) * 1e-3))
+
+    @given(
+        st.floats(min_value=0.1, max_value=100.0),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=120)
+    def test_fee_decreasing_in_churn(self, p, r1, r2, c):
+        lo, hi = sorted((r1, r2))
+        assert nbs_fee(p, hi, c) <= nbs_fee(p, lo, c) + 1e-9
+
+    @given(
+        st.floats(min_value=0.1, max_value=100.0),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=120)
+    def test_fee_splits_surplus(self, p, r, c):
+        """The NBS fee always lies inside the agreement region."""
+        t = nbs_fee(p, r, c)
+        assert -r * c - 1e-9 <= t <= p + 1e-9

@@ -1,0 +1,112 @@
+"""Property tests for flow invariants on random small networks."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import assume, given, settings
+
+from repro.netflow.mcf import max_concurrent_flow
+from repro.netflow.routing import route_greedy_multipath, route_shortest_path
+from repro.topology.geo import GeoPoint
+from repro.topology.graph import Link, Network, Node
+from repro.traffic.matrix import TrafficMatrix
+
+
+@st.composite
+def small_networks(draw):
+    """Connected random networks with 3-6 nodes."""
+    n = draw(st.integers(min_value=3, max_value=6))
+    names = [f"n{i}" for i in range(n)]
+    net = Network(name="prop")
+    for i, name in enumerate(names):
+        net.add_node(Node(id=name, point=GeoPoint(float(i), 0.0)))
+    # A spanning path guarantees connectivity, then random extra links.
+    lid = 0
+    for a, b in zip(names, names[1:]):
+        cap = draw(st.floats(min_value=1.0, max_value=50.0))
+        net.add_link(Link(id=f"L{lid}", u=a, v=b, capacity_gbps=cap, length_km=100.0))
+        lid += 1
+    extra = draw(st.integers(min_value=0, max_value=4))
+    for _ in range(extra):
+        i = draw(st.integers(min_value=0, max_value=n - 1))
+        j = draw(st.integers(min_value=0, max_value=n - 1))
+        if i == j:
+            continue
+        cap = draw(st.floats(min_value=1.0, max_value=50.0))
+        net.add_link(
+            Link(id=f"L{lid}", u=names[i], v=names[j], capacity_gbps=cap,
+                 length_km=float(draw(st.integers(50, 500))))
+        )
+        lid += 1
+    return net
+
+
+@st.composite
+def networks_with_tm(draw):
+    net = draw(small_networks())
+    nodes = net.node_ids
+    pairs = draw(
+        st.lists(
+            st.tuples(st.sampled_from(nodes), st.sampled_from(nodes)),
+            min_size=1, max_size=6,
+        )
+    )
+    demands = {}
+    for src, dst in pairs:
+        if src != dst:
+            demands[(src, dst)] = draw(st.floats(min_value=0.1, max_value=20.0))
+    assume(demands)
+    return net, TrafficMatrix.from_dict(nodes, demands)
+
+
+class TestOracleSoundness:
+    @given(networks_with_tm())
+    @settings(max_examples=60, deadline=None)
+    def test_heuristics_conservative_wrt_mcf(self, net_tm):
+        """sp feasible => greedy feasible is not guaranteed, but both
+        imply MCF-feasible (heuristic routings are witnesses)."""
+        net, tm = net_tm
+        mcf = max_concurrent_flow(net, tm).feasible
+        if route_shortest_path(net, tm).feasible:
+            assert mcf
+        if route_greedy_multipath(net, tm).feasible:
+            assert mcf
+
+    @given(networks_with_tm())
+    @settings(max_examples=60, deadline=None)
+    def test_routings_respect_capacity(self, net_tm):
+        net, tm = net_tm
+        out = route_greedy_multipath(net, tm)
+        for lid, load in out.link_load_gbps.items():
+            assert load <= net.link(lid).capacity_gbps + 1e-6
+
+    @given(networks_with_tm())
+    @settings(max_examples=60, deadline=None)
+    def test_mcf_loads_respect_capacity(self, net_tm):
+        net, tm = net_tm
+        res = max_concurrent_flow(net, tm)
+        if res.link_loads is None:
+            return
+        for lid, load in res.link_loads.items():
+            # Both directions share the reported number, each direction
+            # is capped, so the sum is capped at twice the capacity.
+            assert load <= 2 * net.link(lid).capacity_gbps + 1e-6
+
+    @given(networks_with_tm(), st.floats(min_value=0.1, max_value=0.9))
+    @settings(max_examples=60, deadline=None)
+    def test_mcf_scaling_consistency(self, net_tm, factor):
+        """λ*(k·TM) = λ*(TM)/k for any positive scaling k."""
+        net, tm = net_tm
+        base = max_concurrent_flow(net, tm)
+        scaled = max_concurrent_flow(net, tm.scaled(factor))
+        if base.lam > 0 and base.lam < 60 and scaled.lam < 60:
+            assert scaled.lam == pytest.approx(base.lam / factor, rel=1e-4)
+
+    @given(networks_with_tm())
+    @settings(max_examples=40, deadline=None)
+    def test_feasibility_monotone_in_links(self, net_tm):
+        """Removing a link never makes an infeasible TM feasible."""
+        net, tm = net_tm
+        full = max_concurrent_flow(net, tm)
+        victim = net.link_ids[0]
+        reduced = max_concurrent_flow(net.without_links([victim]), tm)
+        assert reduced.lam <= full.lam + 1e-6

@@ -1,0 +1,72 @@
+"""Property tests: money conservation in the ledger under random traffic."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.market.ledger import Ledger
+
+account_names = ["alice", "bob", "netco", "flix", "POC", "BP-pool"]
+kinds = ["consumer", "consumer", "lmp", "csp", "poc", "bp"]
+
+
+@st.composite
+def transfer_sequences(draw):
+    n = draw(st.integers(min_value=0, max_value=40))
+    transfers = []
+    for _ in range(n):
+        src = draw(st.sampled_from(account_names))
+        dst = draw(st.sampled_from([a for a in account_names if a != src]))
+        amount = draw(st.floats(min_value=0.01, max_value=1e5))
+        epoch = draw(st.integers(min_value=0, max_value=5))
+        transfers.append((epoch, src, dst, amount))
+    return transfers
+
+
+def build_ledger():
+    ledger = Ledger()
+    for name, kind in zip(account_names, kinds):
+        ledger.open_account(name, kind)
+    return ledger
+
+
+class TestConservation:
+    @given(transfer_sequences())
+    @settings(max_examples=80)
+    def test_total_always_zero(self, transfers):
+        ledger = build_ledger()
+        for epoch, src, dst, amount in transfers:
+            ledger.transfer(epoch, src, dst, amount, memo="prop")
+        assert ledger.total_balance == pytest.approx(0.0, abs=1e-6)
+        ledger.audit()
+
+    @given(transfer_sequences())
+    @settings(max_examples=80)
+    def test_replay_matches_running(self, transfers):
+        ledger = build_ledger()
+        for epoch, src, dst, amount in transfers:
+            ledger.transfer(epoch, src, dst, amount, memo="prop")
+        replayed = ledger.replay_balances()
+        for name in account_names:
+            assert ledger.balance(name) == pytest.approx(replayed[name], abs=1e-6)
+
+    @given(transfer_sequences())
+    @settings(max_examples=80)
+    def test_net_flow_sums_to_balance(self, transfers):
+        ledger = build_ledger()
+        for epoch, src, dst, amount in transfers:
+            ledger.transfer(epoch, src, dst, amount, memo="prop")
+        for name in account_names:
+            assert ledger.net_flow(name) == pytest.approx(
+                ledger.balance(name), abs=1e-6
+            )
+
+    @given(transfer_sequences())
+    @settings(max_examples=40)
+    def test_epoch_flows_partition_total(self, transfers):
+        ledger = build_ledger()
+        for epoch, src, dst, amount in transfers:
+            ledger.transfer(epoch, src, dst, amount, memo="prop")
+        for name in account_names:
+            per_epoch = sum(ledger.net_flow(name, epoch=e) for e in range(6))
+            assert per_epoch == pytest.approx(ledger.balance(name), abs=1e-6)

@@ -1,0 +1,85 @@
+"""Property tests for the fluid-flow transfer timeline."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.dataplane.flows import Flow
+from repro.dataplane.sim import DataplaneSim
+from repro.dataplane.timeline import Transfer, simulate_transfers
+
+from tests.conftest import square_network
+
+
+def build_sim():
+    s = DataplaneSim(square_network())
+    s.attach("flix", "A", access_gbps=8.0)
+    s.attach("tube", "B", access_gbps=8.0)
+    s.attach("eyeballs", "C", access_gbps=6.0)
+    return s
+
+
+@st.composite
+def schedules(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    transfers = []
+    for i in range(n):
+        src = draw(st.sampled_from(["flix", "tube"]))
+        transfers.append(
+            Transfer(
+                flow=Flow(
+                    id=f"t{i}", source_party=src, dest_party="eyeballs",
+                    demand_gbps=draw(st.floats(min_value=0.5, max_value=50.0)),
+                ),
+                arrival_s=draw(st.floats(min_value=0.0, max_value=20.0)),
+                volume_gbit=draw(st.floats(min_value=0.5, max_value=60.0)),
+            )
+        )
+    return transfers
+
+
+class TestTimelineProperties:
+    @given(schedules())
+    @settings(max_examples=60, deadline=None)
+    def test_all_transfers_complete(self, transfers):
+        """With a neutral edge and connected paths, nothing starves."""
+        result = simulate_transfers(build_sim(), transfers)
+        assert set(result.outcomes) == {t.flow.id for t in transfers}
+        for outcome in result.outcomes.values():
+            assert not outcome.blocked
+            assert outcome.completion_s < float("inf")
+
+    @given(schedules())
+    @settings(max_examples=60, deadline=None)
+    def test_completion_after_arrival(self, transfers):
+        result = simulate_transfers(build_sim(), transfers)
+        for t in transfers:
+            assert result.completion(t.flow.id) >= t.arrival_s
+
+    @given(schedules())
+    @settings(max_examples=60, deadline=None)
+    def test_physical_lower_bound(self, transfers):
+        """No transfer beats volume / min(demand, access capacity)."""
+        result = simulate_transfers(build_sim(), transfers)
+        for t in transfers:
+            # The loosest upper bound on rate is the source access (8G).
+            best_rate = min(t.flow.demand_gbps, 8.0)
+            assert result.duration(t.flow.id) >= t.volume_gbit / best_rate - 1e-6
+
+    @given(schedules())
+    @settings(max_examples=40, deadline=None)
+    def test_adding_load_never_speeds_others(self, transfers):
+        """Completion times are monotone: extra transfers can't help."""
+        sim = build_sim()
+        base = simulate_transfers(sim, transfers)
+        extra = transfers + [
+            Transfer(
+                flow=Flow(id="extra", source_party="flix",
+                          dest_party="eyeballs", demand_gbps=50.0),
+                arrival_s=0.0,
+                volume_gbit=40.0,
+            )
+        ]
+        loaded = simulate_transfers(build_sim(), extra)
+        for t in transfers:
+            assert loaded.completion(t.flow.id) >= base.completion(t.flow.id) - 1e-6

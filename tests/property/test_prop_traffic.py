@@ -1,0 +1,93 @@
+"""Property tests for traffic-matrix invariants."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import assume, given, settings
+
+from repro.traffic.gravity import gravity_matrix
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.synthetic import uniform_matrix
+
+
+@st.composite
+def tms(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    nodes = [f"n{i}" for i in range(n)]
+    demands = {}
+    pair_count = draw(st.integers(min_value=0, max_value=8))
+    for _ in range(pair_count):
+        i = draw(st.integers(0, n - 1))
+        j = draw(st.integers(0, n - 1))
+        if i != j:
+            demands[(nodes[i], nodes[j])] = draw(
+                st.floats(min_value=0.0, max_value=100.0, exclude_min=True)
+            )
+    return TrafficMatrix.from_dict(nodes, demands)
+
+
+class TestInvariants:
+    @given(tms(), st.floats(min_value=0.0, max_value=10.0))
+    @settings(max_examples=80)
+    def test_scaling_scales_total(self, tm, factor):
+        assert tm.scaled(factor).total_gbps() == pytest.approx(
+            factor * tm.total_gbps()
+        )
+
+    @given(tms())
+    @settings(max_examples=80)
+    def test_total_is_sum_of_egress(self, tm):
+        assert sum(tm.egress_gbps(n) for n in tm.nodes) == pytest.approx(
+            tm.total_gbps()
+        )
+
+    @given(tms())
+    @settings(max_examples=80)
+    def test_total_is_sum_of_ingress(self, tm):
+        assert sum(tm.ingress_gbps(n) for n in tm.nodes) == pytest.approx(
+            tm.total_gbps()
+        )
+
+    @given(tms())
+    @settings(max_examples=80)
+    def test_symmetrization_idempotent(self, tm):
+        once = tm.symmetrized()
+        twice = once.symmetrized()
+        assert dict(once.pairs()) == dict(twice.pairs())
+
+    @given(tms())
+    @settings(max_examples=80)
+    def test_symmetrization_dominates(self, tm):
+        sym = tm.symmetrized()
+        for (src, dst), value in tm.pairs():
+            assert sym.demand(src, dst) >= value - 1e-12
+
+    @given(tms())
+    @settings(max_examples=80)
+    def test_array_roundtrip(self, tm):
+        arr = tm.to_array()
+        assert arr.sum() == pytest.approx(tm.total_gbps())
+
+
+class TestGeneratorProperties:
+    @given(
+        st.dictionaries(
+            st.text(alphabet="xyzw", min_size=1, max_size=3),
+            st.floats(min_value=0.1, max_value=50.0),
+            min_size=2, max_size=6,
+        ),
+        st.floats(min_value=0.0, max_value=1e4),
+    )
+    @settings(max_examples=80)
+    def test_gravity_total_normalized(self, masses, total):
+        tm = gravity_matrix(masses, total)
+        assert tm.total_gbps() == pytest.approx(total, rel=1e-9, abs=1e-9)
+
+    @given(st.integers(min_value=2, max_value=10),
+           st.floats(min_value=0.0, max_value=1e4))
+    @settings(max_examples=80)
+    def test_uniform_equal_split(self, n, total):
+        nodes = [f"n{i}" for i in range(n)]
+        tm = uniform_matrix(nodes, total)
+        values = [v for _, v in tm.pairs()]
+        if values:
+            assert max(values) == pytest.approx(min(values))

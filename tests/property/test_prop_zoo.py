@@ -1,0 +1,75 @@
+"""Property tests for colocation placement on random BP footprints."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.topology.cities import ALL_CITIES
+from repro.topology.colocation import find_colocation_sites, place_poc_routers
+
+CITY_NAMES = [c.name for c in ALL_CITIES]
+
+
+@st.composite
+def bp_city_maps(draw):
+    n_bps = draw(st.integers(min_value=1, max_value=6))
+    out = {}
+    for i in range(n_bps):
+        cities = draw(
+            st.lists(st.sampled_from(CITY_NAMES), min_size=1, max_size=12,
+                     unique=True)
+        )
+        out[f"BP{i}"] = set(cities)
+    return out
+
+
+class TestPlacementProperties:
+    @given(bp_city_maps(), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=60, deadline=None)
+    def test_threshold_respected(self, bp_cities, min_bps):
+        sites = find_colocation_sites(bp_cities, min_bps=min_bps)
+        for site in sites:
+            assert len(site.bps) >= min_bps
+            # Every listed BP really has a PoP in the cluster.
+            for bp in site.bps:
+                assert bp_cities[bp] & site.member_cities
+
+    @given(bp_city_maps(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_threshold(self, bp_cities, min_bps):
+        lenient = find_colocation_sites(bp_cities, min_bps=min_bps)
+        strict = find_colocation_sites(bp_cities, min_bps=min_bps + 1)
+        assert len(strict) <= len(lenient)
+        strict_cities = {s.city for s in strict}
+        lenient_cities = {s.city for s in lenient}
+        assert strict_cities <= lenient_cities
+
+    @given(bp_city_maps())
+    @settings(max_examples=60, deadline=None)
+    def test_clusters_partition_cities(self, bp_cities):
+        report = place_poc_routers(bp_cities, min_bps=1)
+        members = [city for site in report.sites for city in site.member_cities]
+        # min_bps=1 keeps every cluster; clusters never overlap.
+        assert len(members) == len(set(members))
+        all_cities = {c for cities in bp_cities.values() for c in cities}
+        assert set(members) == all_cities
+
+    @given(bp_city_maps(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_deterministic(self, bp_cities, min_bps):
+        a = find_colocation_sites(bp_cities, min_bps=min_bps)
+        b = find_colocation_sites(bp_cities, min_bps=min_bps)
+        assert [(s.city, s.bps) for s in a] == [(s.city, s.bps) for s in b]
+
+    @given(bp_city_maps())
+    @settings(max_examples=40, deadline=None)
+    def test_zero_radius_no_clustering(self, bp_cities):
+        """At radius 0 every site is a single city, so per-site BP counts
+        equal exact-city presence."""
+        sites = find_colocation_sites(bp_cities, min_bps=1, radius_km=0.0)
+        for site in sites:
+            assert site.member_cities == frozenset({site.city})
+            expected = frozenset(
+                bp for bp, cities in bp_cities.items() if site.city in cities
+            )
+            assert site.bps == expected

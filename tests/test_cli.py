@@ -1,0 +1,100 @@
+"""Tests for the poc-repro CLI."""
+
+import pytest
+
+from repro.cli import main, make_parser
+
+
+class TestParser:
+    def test_requires_subcommand(self, capsys):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["zoo", "--preset", "galaxy"])
+
+
+class TestZooCommand:
+    def test_runs_and_reports(self, capsys):
+        assert main(["zoo", "--preset", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "BPs: 5" in out
+        assert "logical links" in out
+
+    def test_seed_changes_report(self, capsys):
+        main(["zoo", "--preset", "tiny", "--seed", "1"])
+        a = capsys.readouterr().out
+        main(["zoo", "--preset", "tiny", "--seed", "2"])
+        b = capsys.readouterr().out
+        assert a != b
+
+
+class TestNeutralityCommand:
+    def test_table(self, capsys):
+        assert main(["neutrality"]) == 0
+        out = capsys.readouterr().out
+        assert "linear" in out
+        assert "W_nn" in out
+        # Every family row shows NN welfare >= unilateral welfare.
+        for line in out.splitlines()[2:]:
+            fields = line.split()
+            if len(fields) >= 4:
+                assert float(fields[1]) >= float(fields[3]) - 1e-9
+
+
+class TestMarketCommand:
+    def test_nn_run(self, capsys):
+        assert main(["market", "--regime", "nn", "--epochs", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "POC surplus" in out
+        assert "entrant-csp" in out
+
+    def test_ur_run(self, capsys):
+        assert main(["market", "--regime", "ur", "--epochs", "4"]) == 0
+
+    def test_entrant_respects_entry_epoch(self, capsys):
+        # entry epoch beyond the run: the entrant never trades.
+        assert main(["market", "--epochs", "3", "--entry-epoch", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "entrant-csp" not in out
+
+
+class TestBaselineCommand:
+    def test_comparison(self, capsys):
+        assert main(["baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "status-quo" in out
+        assert "poc" in out
+        assert "fee-exposure=False" in out
+
+
+class TestAdoptionCommand:
+    def test_trajectory(self, capsys):
+        assert main(["adoption", "--epochs", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "final share" in out
+        assert "incumbent" in out
+
+
+class TestProbeCommand:
+    def test_neutral_exit_zero(self, capsys):
+        assert main(["probe"]) == 0
+        assert "no differential treatment" in capsys.readouterr().out
+
+    def test_throttled_exit_nonzero(self, capsys):
+        assert main(["probe", "--throttle", "csp-b"]) == 1
+        assert "VIOLATION" in capsys.readouterr().out
+
+
+class TestPlanningCommand:
+    def test_schedule(self, capsys):
+        assert main(["planning", "--months", "3", "--growth", "0.0"]) == 0
+        out = capsys.readouterr().out
+        assert "RE-AUCTION" in out
+        assert "1 auctions" in out

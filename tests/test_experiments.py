@@ -1,0 +1,112 @@
+"""Tests for the packaged experiment pipelines."""
+
+import pytest
+
+from repro.experiments.figure2 import Figure2Config, run_figure2
+from repro.experiments.pipeline import offers_for_zoo, traffic_for_zoo
+
+
+class TestTrafficForZoo:
+    def test_gravity_default(self, tiny_zoo):
+        tm = traffic_for_zoo(tiny_zoo)
+        assert tm.total_gbps() == pytest.approx(
+            0.02 * tiny_zoo.offered.total_capacity_gbps()
+        )
+
+    def test_models(self, tiny_zoo):
+        for model in ("gravity", "uniform", "hotspot"):
+            tm = traffic_for_zoo(tiny_zoo, model=model, seed=1)
+            assert tm.total_gbps() > 0
+            tm.validate_against(tiny_zoo.offered.node_ids)
+
+    def test_unknown_model(self, tiny_zoo):
+        with pytest.raises(ValueError):
+            traffic_for_zoo(tiny_zoo, model="chaos")
+
+    def test_load_fraction(self, tiny_zoo):
+        light = traffic_for_zoo(tiny_zoo, load_fraction=0.01)
+        heavy = traffic_for_zoo(tiny_zoo, load_fraction=0.04)
+        assert heavy.total_gbps() == pytest.approx(4 * light.total_gbps())
+
+
+class TestOffersForZoo:
+    def test_truthful_by_default(self, tiny_zoo):
+        offers = offers_for_zoo(tiny_zoo)
+        assert all(o.is_truthful() for o in offers)
+        assert all(o.in_auction for o in offers)
+
+    def test_covers_all_links(self, tiny_zoo):
+        offers = offers_for_zoo(tiny_zoo)
+        covered = frozenset().union(*(o.link_ids for o in offers))
+        assert covered == frozenset(tiny_zoo.offered.link_ids)
+
+    def test_deterministic(self, tiny_zoo):
+        a = offers_for_zoo(tiny_zoo, seed=3)
+        b = offers_for_zoo(tiny_zoo, seed=3)
+        for offer_a, offer_b in zip(a, b):
+            assert offer_a.bid.cost(offer_a.link_ids) == pytest.approx(
+                offer_b.bid.cost(offer_b.link_ids)
+            )
+
+    def test_margin(self, tiny_zoo):
+        offers = offers_for_zoo(tiny_zoo, margin=0.25)
+        assert all(not o.is_truthful() for o in offers)
+
+    def test_discount_tiers(self, tiny_zoo):
+        from repro.auction.bids import VolumeDiscountCost
+
+        offers = offers_for_zoo(tiny_zoo, discount_tiers=((2, 0.1),))
+        assert all(isinstance(o.bid, VolumeDiscountCost) for o in offers)
+        # Bundles of >= 2 links cost strictly less than their additive sum.
+        offer = max(offers, key=lambda o: len(o.links))
+        two = frozenset(sorted(offer.link_ids)[:2])
+        additive = sum(offer.bid.prices[lid] for lid in two)
+        assert offer.bid.cost(two) == pytest.approx(0.9 * additive)
+
+    def test_discounted_offers_clear_the_auction(self, tiny_zoo):
+        from repro.auction.constraints import make_constraint
+        from repro.auction.selection import select_links
+
+        offers = offers_for_zoo(tiny_zoo, discount_tiers=((3, 0.08),))
+        tm = traffic_for_zoo(tiny_zoo)
+        constraint = make_constraint(1, tiny_zoo.offered, tm, engine="greedy")
+        outcome = select_links(offers, constraint, method="add-prune")
+        assert constraint.satisfied(outcome.selected)
+
+
+class TestFigure2Pipeline:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Constraint 1 only: keeps the unit-test suite fast; the full
+        # three-constraint run lives in the benchmark.
+        return run_figure2(
+            Figure2Config(preset="tiny", seed=2020, constraints=(1,))
+        )
+
+    def test_rows_shape(self, result):
+        assert len(result.rows) == 5
+        assert result.largest_bps == result.zoo.largest_bps(5)
+
+    def test_individual_rationality(self, result):
+        for row in result.rows:
+            if row.pob is not None:
+                assert row.pob >= -1e-9
+
+    def test_formatted_output(self, result):
+        text = result.formatted()
+        assert "PoB margins" in text
+        assert "constraint-1" in text
+
+    def test_pob_lookup(self, result):
+        bp = result.largest_bps[0]
+        assert result.pob("constraint-1", bp) == result.rows[0].pob
+        with pytest.raises(KeyError):
+            result.pob("constraint-9", bp)
+
+    def test_engine_defaults(self):
+        cfg = Figure2Config()
+        assert cfg.engine_for(1) == "mcf"
+        assert cfg.engine_for(2) == "greedy"
+        assert cfg.engine_for(3) == "greedy"
+        custom = Figure2Config(engines={1: "greedy"})
+        assert custom.engine_for(1) == "greedy"

@@ -1,0 +1,59 @@
+"""Tests for seeded randomness helpers."""
+
+import numpy as np
+import pytest
+
+from repro.rand import make_rng, spawn, stable_choice
+
+
+class TestMakeRng:
+    def test_int_seed_deterministic(self):
+        a = make_rng(42).random()
+        b = make_rng(42).random()
+        assert a == b
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(1)
+        assert make_rng(rng) is rng
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_independent_of_count(self):
+        """Adding children must not perturb earlier children's draws."""
+        a = spawn(make_rng(7), 2)
+        b = spawn(make_rng(7), 4)
+        assert a[0].random() == b[0].random()
+        assert a[1].random() == b[1].random()
+
+    def test_children_differ(self):
+        children = spawn(make_rng(7), 3)
+        draws = {c.random() for c in children}
+        assert len(draws) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(make_rng(1), -1)
+
+    def test_zero_children(self):
+        assert spawn(make_rng(1), 0) == []
+
+
+class TestStableChoice:
+    def test_single(self):
+        items = [("a", 1), ("b", 2), ("c", 3)]
+        choice = stable_choice(make_rng(3), items)
+        assert choice in items
+        assert isinstance(choice, tuple)  # tuples survive intact
+
+    def test_multiple_without_replacement(self):
+        items = list(range(10))
+        chosen = stable_choice(make_rng(3), items, size=5)
+        assert len(chosen) == 5
+        assert len(set(chosen)) == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            stable_choice(make_rng(1), [])

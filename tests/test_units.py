@@ -1,0 +1,54 @@
+"""Tests for unit helpers."""
+
+import pytest
+
+from repro.units import (
+    close,
+    fmt_bandwidth,
+    fmt_money,
+    fmt_pct,
+    gbps,
+    mbps,
+    per_month,
+    per_year,
+    tbps,
+)
+
+
+class TestConversions:
+    def test_mbps(self):
+        assert mbps(250.0) == pytest.approx(0.25)
+
+    def test_tbps(self):
+        assert tbps(1.5) == pytest.approx(1500.0)
+
+    def test_gbps_identity(self):
+        assert gbps(7) == 7.0
+
+    def test_annualize_roundtrip(self):
+        assert per_month(per_year(123.0)) == pytest.approx(123.0)
+
+
+class TestFormatting:
+    def test_bandwidth_scales(self):
+        assert fmt_bandwidth(0.25) == "250 Mbps"
+        assert fmt_bandwidth(40.0) == "40 Gbps"
+        assert fmt_bandwidth(2500.0) == "2.5 Tbps"
+
+    def test_bandwidth_negative_rejected(self):
+        with pytest.raises(ValueError):
+            fmt_bandwidth(-1.0)
+
+    def test_money(self):
+        assert fmt_money(1234567.891) == "$1,234,567.89"
+        assert fmt_money(-5.0) == "-$5.00"
+
+    def test_pct(self):
+        assert fmt_pct(0.1234) == "12.3%"
+        assert fmt_pct(0.1234, digits=2) == "12.34%"
+
+
+class TestClose:
+    def test_close(self):
+        assert close(1.0, 1.0 + 1e-12)
+        assert not close(1.0, 1.01)

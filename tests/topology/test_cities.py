@@ -1,0 +1,79 @@
+"""Tests for the built-in city database."""
+
+import pytest
+
+from repro.topology.cities import (
+    ALL_CITIES,
+    BY_NAME,
+    REGIONS,
+    cities_in_region,
+    get_city,
+    largest_cities,
+)
+
+
+class TestDatabaseIntegrity:
+    def test_nonempty_and_sizable(self):
+        # The generator needs a rich pool to build 20 BP footprints.
+        assert len(ALL_CITIES) >= 100
+
+    def test_unique_names(self):
+        names = [c.name for c in ALL_CITIES]
+        assert len(names) == len(set(names))
+
+    def test_all_coordinates_valid(self):
+        for city in ALL_CITIES:
+            assert -90 <= city.lat <= 90, city.name
+            assert -180 <= city.lon <= 180, city.name
+
+    def test_all_populations_positive(self):
+        assert all(c.population_m > 0 for c in ALL_CITIES)
+
+    def test_all_regions_known(self):
+        assert {c.region for c in ALL_CITIES} == set(REGIONS)
+
+    def test_every_region_populated(self):
+        for region in REGIONS:
+            assert len(cities_in_region(region)) >= 5, region
+
+    def test_by_name_index_consistent(self):
+        assert len(BY_NAME) == len(ALL_CITIES)
+        for city in ALL_CITIES:
+            assert BY_NAME[city.name] is city
+
+
+class TestLookups:
+    def test_get_city(self):
+        city = get_city("Frankfurt")
+        assert city.country == "DE"
+        assert city.region == "eu"
+
+    def test_get_city_unknown(self):
+        with pytest.raises(KeyError):
+            get_city("Atlantis")
+
+    def test_cities_in_region_unknown(self):
+        with pytest.raises(ValueError):
+            cities_in_region("antarctica")
+
+    def test_point_property(self):
+        city = get_city("Tokyo")
+        assert city.point.lat == city.lat
+        assert city.point.lon == city.lon
+
+
+class TestLargestCities:
+    def test_ordering(self):
+        top = largest_cities(10)
+        pops = [c.population_m for c in top]
+        assert pops == sorted(pops, reverse=True)
+
+    def test_count(self):
+        assert len(largest_cities(3)) == 3
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            largest_cities(0)
+
+    def test_tokyo_is_top(self):
+        assert largest_cities(1)[0].name == "Tokyo"

@@ -1,0 +1,92 @@
+"""Tests for POC router placement at colocation sites."""
+
+import pytest
+
+from repro.topology.colocation import (
+    ColocationSite,
+    find_colocation_sites,
+    place_poc_routers,
+)
+
+
+class TestFindSites:
+    def test_threshold_respected(self):
+        bp_cities = {
+            "BP1": {"New York", "Chicago"},
+            "BP2": {"New York", "Dallas"},
+            "BP3": {"New York"},
+            "BP4": {"Chicago"},
+        }
+        sites = find_colocation_sites(bp_cities, min_bps=3)
+        assert [s.city for s in sites] == ["New York"]
+        assert sites[0].bps == frozenset({"BP1", "BP2", "BP3"})
+
+    def test_no_sites_when_threshold_unmet(self):
+        bp_cities = {"BP1": {"New York"}, "BP2": {"Chicago"}}
+        assert find_colocation_sites(bp_cities, min_bps=2) == []
+
+    def test_min_bps_one_gives_all_cities(self):
+        bp_cities = {"BP1": {"New York"}, "BP2": {"Chicago"}}
+        sites = find_colocation_sites(bp_cities, min_bps=1, radius_km=1.0)
+        assert {s.city for s in sites} == {"New York", "Chicago"}
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            find_colocation_sites({}, min_bps=0)
+
+    def test_nearby_cities_cluster(self):
+        # Washington and Ashburn are ~50 km apart: one site within 60 km.
+        bp_cities = {
+            "BP1": {"Washington"},
+            "BP2": {"Ashburn"},
+            "BP3": {"Washington"},
+        }
+        sites = find_colocation_sites(bp_cities, min_bps=3, radius_km=60.0)
+        assert len(sites) == 1
+        assert sites[0].bps == frozenset({"BP1", "BP2", "BP3"})
+        assert sites[0].member_cities == frozenset({"Washington", "Ashburn"})
+        # Representative is the more populous member.
+        assert sites[0].city == "Washington"
+
+    def test_distant_cities_do_not_cluster(self):
+        bp_cities = {
+            "BP1": {"Washington"},
+            "BP2": {"Ashburn"},
+        }
+        sites = find_colocation_sites(bp_cities, min_bps=2, radius_km=10.0)
+        assert sites == []
+
+    def test_ordering_by_bp_count(self):
+        bp_cities = {
+            "BP1": {"New York", "Tokyo"},
+            "BP2": {"New York", "Tokyo"},
+            "BP3": {"New York"},
+        }
+        sites = find_colocation_sites(bp_cities, min_bps=2)
+        assert sites[0].city == "New York"  # 3 BPs before Tokyo's 2
+
+    def test_router_id_format(self):
+        site = ColocationSite(
+            city="Paris", member_cities=frozenset({"Paris"}), bps=frozenset({"a"})
+        )
+        assert site.router_id == "POC:Paris"
+
+
+class TestPlacementReport:
+    def test_report_fields(self):
+        bp_cities = {
+            "BP1": {"New York", "Chicago", "Dallas"},
+            "BP2": {"New York", "Chicago"},
+            "BP3": {"New York"},
+        }
+        report = place_poc_routers(bp_cities, min_bps=2)
+        assert report.cities_considered == 3
+        assert report.min_bps == 2
+        assert report.num_sites == 2
+        assert report.per_site_bp_count["New York"] == 3
+        assert report.per_site_bp_count["Chicago"] == 2
+
+    def test_zoo_sites_meet_threshold(self, tiny_zoo):
+        cfg = tiny_zoo.config
+        for site in tiny_zoo.sites:
+            assert len(site.bps) >= cfg.min_bps_colocated

@@ -1,0 +1,137 @@
+"""Tests for single-operator network generators."""
+
+import pytest
+
+from repro.topology.cities import get_city, largest_cities
+from repro.topology.generators import (
+    STANDARD_WAVES_GBPS,
+    merge_networks,
+    ring_network,
+    star_network,
+    waxman_network,
+)
+
+
+@pytest.fixture
+def ten_cities():
+    return largest_cities(10)
+
+
+class TestWaxman:
+    def test_connected(self, ten_cities):
+        net = waxman_network(ten_cities, seed=1)
+        assert net.is_connected()
+
+    def test_node_count(self, ten_cities):
+        net = waxman_network(ten_cities, seed=1)
+        assert len(net) == 10
+
+    def test_minimum_links_is_spanning_tree(self, ten_cities):
+        # alpha=0 disables all shortcuts: exactly the MST remains.
+        net = waxman_network(ten_cities, seed=1, alpha=0.0)
+        assert net.num_links == 9
+        assert net.is_connected()
+
+    def test_alpha_one_adds_shortcuts(self, ten_cities):
+        sparse = waxman_network(ten_cities, seed=1, alpha=0.0)
+        dense = waxman_network(ten_cities, seed=1, alpha=1.0, beta=10.0)
+        assert dense.num_links > sparse.num_links
+
+    def test_deterministic_under_seed(self, ten_cities):
+        a = waxman_network(ten_cities, seed=42)
+        b = waxman_network(ten_cities, seed=42)
+        assert sorted(a.link_ids) == sorted(b.link_ids)
+        assert a.total_capacity_gbps() == b.total_capacity_gbps()
+
+    def test_different_seeds_differ(self, ten_cities):
+        a = waxman_network(ten_cities, seed=1, alpha=0.8, beta=1.0)
+        b = waxman_network(ten_cities, seed=2, alpha=0.8, beta=1.0)
+        # Capacities are drawn randomly, so totals should differ.
+        assert a.total_capacity_gbps() != b.total_capacity_gbps()
+
+    def test_capacities_are_standard_waves(self, ten_cities):
+        net = waxman_network(ten_cities, seed=3)
+        for link in net.iter_links():
+            assert link.capacity_gbps in STANDARD_WAVES_GBPS
+
+    def test_capacity_scale(self, ten_cities):
+        net = waxman_network(ten_cities, seed=3, capacity_scale=2.0)
+        for link in net.iter_links():
+            assert link.capacity_gbps / 2.0 in STANDARD_WAVES_GBPS
+
+    def test_lengths_exceed_great_circle(self, ten_cities):
+        net = waxman_network(ten_cities, seed=3)
+        for link in net.iter_links():
+            u, v = net.node(link.u), net.node(link.v)
+            assert link.length_km >= u.distance_km(v) - 1e-6
+
+    def test_node_prefix(self, ten_cities):
+        net = waxman_network(ten_cities, seed=1, node_prefix="x:")
+        assert all(n.id.startswith("x:") for n in net.nodes)
+        # City attribution survives prefixing.
+        assert all(n.city is not None for n in net.nodes)
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(ValueError):
+            waxman_network([get_city("Tokyo")], seed=1)
+
+    def test_rejects_duplicates(self):
+        city = get_city("Tokyo")
+        with pytest.raises(ValueError):
+            waxman_network([city, city], seed=1)
+
+    def test_rejects_bad_alpha_beta(self, ten_cities):
+        with pytest.raises(ValueError):
+            waxman_network(ten_cities, alpha=1.5)
+        with pytest.raises(ValueError):
+            waxman_network(ten_cities, beta=0.0)
+
+
+class TestRing:
+    def test_ring_shape(self, ten_cities):
+        net = ring_network(ten_cities, seed=1)
+        assert len(net) == 10
+        assert net.num_links == 10
+        assert net.is_connected()
+        assert all(net.degree(n.id) == 2 for n in net.nodes)
+
+    def test_survives_single_failure(self, ten_cities):
+        net = ring_network(ten_cities, seed=1)
+        lid = net.link_ids[0]
+        assert net.without_links([lid]).is_connected()
+
+    def test_rejects_small_input(self):
+        with pytest.raises(ValueError):
+            ring_network(largest_cities(2), seed=1)
+
+
+class TestStar:
+    def test_star_shape(self):
+        cities = largest_cities(6)
+        net = star_network(cities[0], cities[1:], seed=1)
+        assert net.degree(cities[0].name) == 5
+        assert all(net.degree(c.name) == 1 for c in cities[1:])
+
+    def test_rejects_empty_leaves(self):
+        with pytest.raises(ValueError):
+            star_network(get_city("Tokyo"), [], seed=1)
+
+    def test_rejects_hub_in_leaves(self):
+        hub = get_city("Tokyo")
+        with pytest.raises(ValueError):
+            star_network(hub, [hub], seed=1)
+
+
+class TestMerge:
+    def test_merge_shares_nodes(self, ten_cities):
+        a = waxman_network(ten_cities[:6], name="a", seed=1)
+        b = waxman_network(ten_cities[4:], name="b", seed=2)
+        merged = merge_networks([a, b], name="ab")
+        assert len(merged) == 10  # overlap (2 cities) merged
+        assert merged.num_links == a.num_links + b.num_links
+
+    def test_merge_rejects_duplicate_link_ids(self, ten_cities):
+        a = waxman_network(ten_cities[:5], name="same", seed=1)
+        b = waxman_network(ten_cities[:5], name="same", seed=1)
+        with pytest.raises(ValueError):
+            merge_networks([a, b], name="bad")

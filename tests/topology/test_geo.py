@@ -1,0 +1,127 @@
+"""Tests for repro.topology.geo: distances, delays, midpoints."""
+
+import math
+
+import pytest
+
+from repro.topology.geo import (
+    EARTH_RADIUS_KM,
+    GeoPoint,
+    fiber_km,
+    haversine_km,
+    midpoint,
+    propagation_ms,
+)
+
+
+class TestGeoPoint:
+    def test_valid_point(self):
+        p = GeoPoint(40.7, -74.0)
+        assert p.lat == 40.7
+        assert p.lon == -74.0
+
+    def test_latitude_bounds(self):
+        with pytest.raises(ValueError):
+            GeoPoint(90.1, 0.0)
+        with pytest.raises(ValueError):
+            GeoPoint(-90.1, 0.0)
+
+    def test_longitude_bounds(self):
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, 180.5)
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, -181.0)
+
+    def test_poles_and_antimeridian_are_valid(self):
+        GeoPoint(90.0, 0.0)
+        GeoPoint(-90.0, 180.0)
+        GeoPoint(0.0, -180.0)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        p = GeoPoint(51.5, -0.1)
+        assert haversine_km(p, p) == 0.0
+
+    def test_symmetry(self):
+        a = GeoPoint(40.71, -74.01)
+        b = GeoPoint(51.51, -0.13)
+        assert haversine_km(a, b) == pytest.approx(haversine_km(b, a))
+
+    def test_new_york_to_london(self):
+        # Well-known reference distance ≈ 5570 km.
+        a = GeoPoint(40.71, -74.01)
+        b = GeoPoint(51.51, -0.13)
+        assert haversine_km(a, b) == pytest.approx(5570, rel=0.01)
+
+    def test_equator_quarter_circumference(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(0.0, 90.0)
+        assert haversine_km(a, b) == pytest.approx(math.pi * EARTH_RADIUS_KM / 2, rel=1e-6)
+
+    def test_antipodal_points(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(0.0, 180.0)
+        assert haversine_km(a, b) == pytest.approx(math.pi * EARTH_RADIUS_KM, rel=1e-6)
+
+    def test_triangle_inequality(self):
+        a = GeoPoint(40.71, -74.01)
+        b = GeoPoint(51.51, -0.13)
+        c = GeoPoint(35.68, 139.69)
+        assert haversine_km(a, c) <= haversine_km(a, b) + haversine_km(b, c) + 1e-9
+
+
+class TestFiberKm:
+    def test_route_factor_applied(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(0.0, 10.0)
+        assert fiber_km(a, b, route_factor=1.5) == pytest.approx(
+            1.5 * haversine_km(a, b)
+        )
+
+    def test_default_factor_exceeds_great_circle(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(0.0, 10.0)
+        assert fiber_km(a, b) > haversine_km(a, b)
+
+    def test_rejects_sub_unity_factor(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(1.0, 1.0)
+        with pytest.raises(ValueError):
+            fiber_km(a, b, route_factor=0.9)
+
+
+class TestPropagation:
+    def test_zero_length(self):
+        assert propagation_ms(0.0) == 0.0
+
+    def test_transatlantic_scale(self):
+        # ~7500 km of fibre ≈ 37 ms one way.
+        assert propagation_ms(7500) == pytest.approx(36.7, rel=0.01)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            propagation_ms(-1.0)
+
+
+class TestMidpoint:
+    def test_midpoint_on_equator(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(0.0, 10.0)
+        m = midpoint(a, b)
+        assert m.lat == pytest.approx(0.0, abs=1e-9)
+        assert m.lon == pytest.approx(5.0, abs=1e-9)
+
+    def test_midpoint_equidistant(self):
+        a = GeoPoint(40.71, -74.01)
+        b = GeoPoint(51.51, -0.13)
+        m = midpoint(a, b)
+        assert haversine_km(a, m) == pytest.approx(haversine_km(m, b), rel=1e-6)
+
+    def test_midpoint_lon_normalized(self):
+        a = GeoPoint(10.0, 179.0)
+        b = GeoPoint(10.0, -179.0)
+        m = midpoint(a, b)
+        assert -180.0 <= m.lon <= 180.0
+        # The midpoint should be near the antimeridian, not near lon 0.
+        assert abs(abs(m.lon) - 180.0) < 1.0

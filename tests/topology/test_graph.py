@@ -1,0 +1,150 @@
+"""Tests for the Network/Node/Link graph model."""
+
+import pytest
+
+from repro.exceptions import (
+    DuplicateIdError,
+    TopologyError,
+    UnknownLinkError,
+    UnknownNodeError,
+)
+from repro.topology.geo import GeoPoint
+from repro.topology.graph import Link, Network, Node
+
+from tests.conftest import make_node, square_network
+
+
+class TestNode:
+    def test_distance_between_nodes(self):
+        a = make_node("a", 0.0, 0.0)
+        b = make_node("b", 0.0, 1.0)
+        assert a.distance_km(b) == pytest.approx(111.19, rel=0.01)
+
+    def test_distance_requires_coordinates(self):
+        a = Node(id="a")
+        b = make_node("b")
+        with pytest.raises(TopologyError):
+            a.distance_km(b)
+
+
+class TestLinkValidation:
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError):
+            Link(id="x", u="A", v="A", capacity_gbps=1.0)
+
+    def test_non_positive_capacity_rejected(self):
+        with pytest.raises(TopologyError):
+            Link(id="x", u="A", v="B", capacity_gbps=0.0)
+        with pytest.raises(TopologyError):
+            Link(id="x", u="A", v="B", capacity_gbps=-5.0)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(TopologyError):
+            Link(id="x", u="A", v="B", capacity_gbps=1.0, length_km=-1.0)
+
+    def test_other_endpoint(self):
+        link = Link(id="x", u="A", v="B", capacity_gbps=1.0)
+        assert link.other("A") == "B"
+        assert link.other("B") == "A"
+        with pytest.raises(TopologyError):
+            link.other("C")
+
+    def test_joins(self):
+        link = Link(id="x", u="A", v="B", capacity_gbps=1.0)
+        assert link.joins("A", "B")
+        assert link.joins("B", "A")
+        assert not link.joins("A", "C")
+
+
+class TestNetworkConstruction:
+    def test_add_and_lookup(self, square):
+        assert len(square) == 4
+        assert square.num_links == 5
+        assert square.node("A").id == "A"
+        assert square.link("AC").capacity_gbps == 5.0
+
+    def test_duplicate_node_rejected(self, square):
+        with pytest.raises(DuplicateIdError):
+            square.add_node(make_node("A"))
+
+    def test_duplicate_link_rejected(self, square):
+        with pytest.raises(DuplicateIdError):
+            square.add_link(Link(id="AB", u="A", v="B", capacity_gbps=1.0))
+
+    def test_link_requires_existing_endpoints(self, square):
+        with pytest.raises(UnknownNodeError):
+            square.add_link(Link(id="AZ", u="A", v="Z", capacity_gbps=1.0))
+
+    def test_ensure_node_idempotent(self, square):
+        original = square.node("A")
+        returned = square.ensure_node(make_node("A", 5.0, 5.0))
+        assert returned is original
+
+    def test_unknown_lookups_raise(self, square):
+        with pytest.raises(UnknownNodeError):
+            square.node("Z")
+        with pytest.raises(UnknownLinkError):
+            square.link("ZZ")
+
+    def test_parallel_links_allowed(self, square):
+        square.add_link(Link(id="AB2", u="A", v="B", capacity_gbps=7.0))
+        assert len(square.links_between("A", "B")) == 2
+
+    def test_remove_link(self, square):
+        removed = square.remove_link("AC")
+        assert removed.id == "AC"
+        assert not square.has_link("AC")
+        assert "C" not in {l.other("A") for l in square.incident_links("A")} or True
+        with pytest.raises(UnknownLinkError):
+            square.remove_link("AC")
+
+
+class TestNetworkQueries:
+    def test_neighbors(self, square):
+        assert square.neighbors("A") == {"B", "C", "D"}
+
+    def test_degree_counts_parallels(self, square):
+        assert square.degree("A") == 3
+        square.add_link(Link(id="AB2", u="A", v="B", capacity_gbps=1.0))
+        assert square.degree("A") == 4
+
+    def test_is_connected(self, square):
+        assert square.is_connected()
+
+    def test_disconnected_after_cuts(self, square):
+        for lid in ("AB", "DA", "AC"):
+            square.remove_link(lid)
+        assert not square.is_connected()
+
+    def test_empty_network_is_connected(self):
+        assert Network().is_connected()
+
+    def test_total_capacity(self, square):
+        assert square.total_capacity_gbps() == pytest.approx(45.0)
+
+
+class TestDerivedViews:
+    def test_restricted_to_links(self, square):
+        sub = square.restricted_to_links(["AB", "BC"])
+        assert sub.num_links == 2
+        assert len(sub) == 4  # nodes are kept
+        assert not sub.is_connected()
+
+    def test_restricted_unknown_link(self, square):
+        with pytest.raises(UnknownLinkError):
+            square.restricted_to_links(["nope"])
+
+    def test_restriction_does_not_mutate_original(self, square):
+        square.restricted_to_links(["AB"])
+        assert square.num_links == 5
+
+    def test_without_links(self, square):
+        sub = square.without_links(["AC"])
+        assert sub.num_links == 4
+        assert square.num_links == 5
+
+    def test_to_networkx_roundtrip(self, square):
+        g = square.to_networkx()
+        assert g.number_of_nodes() == 4
+        assert g.number_of_edges() == 5
+        assert g["A"]["C"]["AC"]["capacity"] == 5.0

@@ -1,0 +1,99 @@
+"""Tests for logical-link construction between POC sites."""
+
+import pytest
+
+from repro.topology.cities import largest_cities
+from repro.topology.colocation import find_colocation_sites
+from repro.topology.generators import waxman_network
+from repro.topology.logical import (
+    bp_logical_links,
+    build_offered_network,
+    share_of_links,
+)
+
+
+@pytest.fixture
+def bp_setup():
+    """One BP over 8 large cities, with 3 of them made POC sites."""
+    cities = largest_cities(8)
+    net = waxman_network(cities, name="bp1", seed=5)
+    site_cities = [c.name for c in cities[:3]]
+    bp_cities = {f"other{i}": set(site_cities) for i in range(3)}
+    bp_cities["bp1"] = {c.name for c in cities}
+    sites = find_colocation_sites(bp_cities, min_bps=4, radius_km=1.0)
+    assert len(sites) == 3
+    return net, sites
+
+
+class TestBPLogicalLinks:
+    def test_full_mesh_over_anchored_sites(self, bp_setup):
+        net, sites = bp_setup
+        offers = bp_logical_links("bp1", net, sites, max_detour=100.0)
+        # 3 sites anchored -> 3 choose 2 pairs.
+        assert len(offers) == 3
+        pairs = {(o.site_u, o.site_v) for o in offers}
+        assert len(pairs) == 3
+
+    def test_capacity_is_bottleneck(self, bp_setup):
+        net, sites = bp_setup
+        offers = bp_logical_links("bp1", net, sites, max_detour=100.0)
+        max_cap = max(l.capacity_gbps for l in net.iter_links())
+        for offer in offers:
+            assert 0 < offer.capacity_gbps <= max_cap
+
+    def test_path_length_at_least_direct(self, bp_setup):
+        net, sites = bp_setup
+        offers = bp_logical_links("bp1", net, sites, max_detour=100.0)
+        for offer in offers:
+            assert offer.path_km > 0
+            assert offer.physical_hops >= 1
+
+    def test_detour_filter(self, bp_setup):
+        net, sites = bp_setup
+        lax = bp_logical_links("bp1", net, sites, max_detour=100.0)
+        strict = bp_logical_links("bp1", net, sites, max_detour=1.0)
+        assert len(strict) <= len(lax)
+
+    def test_absent_bp_offers_nothing(self, bp_setup):
+        _net, sites = bp_setup
+        tiny = waxman_network(largest_cities(12)[10:], name="bp2", seed=6)
+        assert bp_logical_links("bp2", tiny, sites) == []
+
+    def test_rejects_bad_detour(self, bp_setup):
+        net, sites = bp_setup
+        with pytest.raises(ValueError):
+            bp_logical_links("bp1", net, sites, max_detour=0.5)
+
+    def test_link_materialization(self, bp_setup):
+        net, sites = bp_setup
+        offer = bp_logical_links("bp1", net, sites, max_detour=100.0)[0]
+        link = offer.to_link()
+        assert link.owner == "bp1"
+        assert link.u.startswith("POC:")
+        assert link.v.startswith("POC:")
+        assert link.capacity_gbps == offer.capacity_gbps
+
+
+class TestOfferedNetwork:
+    def test_build(self, bp_setup):
+        net, sites = bp_setup
+        offers = bp_logical_links("bp1", net, sites, max_detour=100.0)
+        offered = build_offered_network(sites, {"bp1": offers})
+        assert len(offered) == len(sites)
+        assert offered.num_links == len(offers)
+        assert all(n.kind == "poc-router" for n in offered.nodes)
+
+    def test_zoo_offered_consistent(self, tiny_zoo):
+        assert tiny_zoo.offered.num_links == tiny_zoo.num_logical_links
+        assert len(tiny_zoo.offered) == len(tiny_zoo.sites)
+        owners = {l.owner for l in tiny_zoo.offered.iter_links()}
+        assert owners <= set(tiny_zoo.bps)
+
+
+class TestShares:
+    def test_shares_sum_to_one(self, tiny_zoo):
+        shares = share_of_links(tiny_zoo.offers_by_bp)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_empty_offers(self):
+        assert share_of_links({"a": [], "b": []}) == {"a": 0.0, "b": 0.0}

@@ -1,0 +1,105 @@
+"""Tests for the SyntheticZoo pipeline (the §3.3 input)."""
+
+import pytest
+
+from repro.topology.zoo import ZooConfig, build_zoo
+
+
+class TestZooConfig:
+    def test_defaults_are_paper_scale(self):
+        cfg = ZooConfig.paper()
+        assert cfg.num_bps == 20
+        assert cfg.min_bps_colocated == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZooConfig(num_bps=0)
+        with pytest.raises(ValueError):
+            ZooConfig(min_cities_per_bp=1)
+        with pytest.raises(ValueError):
+            ZooConfig(min_cities_per_bp=20, max_cities_per_bp=10)
+        with pytest.raises(ValueError):
+            ZooConfig(operators_per_bp=(0, 2))
+        with pytest.raises(ValueError):
+            ZooConfig(operators_per_bp=(3, 2))
+        with pytest.raises(ValueError):
+            ZooConfig(home_region_bias=1.5)
+
+    def test_with_seed(self):
+        cfg = ZooConfig.small().with_seed(99)
+        assert cfg.seed == 99
+        assert cfg.num_bps == ZooConfig.small().num_bps
+
+
+class TestTinyZoo:
+    def test_bp_count(self, tiny_zoo):
+        assert len(tiny_zoo.bps) == 5
+
+    def test_bp_networks_connected(self, tiny_zoo):
+        for fp in tiny_zoo.bps.values():
+            assert fp.network.is_connected(), fp.name
+
+    def test_bp_footprint_sizes_in_bounds(self, tiny_zoo):
+        cfg = tiny_zoo.config
+        for fp in tiny_zoo.bps.values():
+            assert fp.num_pops >= 2
+            assert fp.num_pops <= cfg.max_cities_per_bp
+
+    def test_offered_network_connected(self, tiny_zoo):
+        assert tiny_zoo.offered.is_connected()
+
+    def test_offers_reference_real_sites(self, tiny_zoo):
+        site_cities = {s.city for s in tiny_zoo.sites}
+        for offers in tiny_zoo.offers_by_bp.values():
+            for offer in offers:
+                assert offer.site_u in site_cities
+                assert offer.site_v in site_cities
+
+    def test_offer_ids_unique(self, tiny_zoo):
+        ids = [o.id for offers in tiny_zoo.offers_by_bp.values() for o in offers]
+        assert len(ids) == len(set(ids))
+
+    def test_largest_bps_ordering(self, tiny_zoo):
+        ranked = tiny_zoo.largest_bps(len(tiny_zoo.bps))
+        shares = tiny_zoo.link_shares
+        values = [shares[bp] for bp in ranked]
+        assert values == sorted(values, reverse=True)
+
+    def test_determinism(self, tiny_zoo):
+        again = build_zoo(ZooConfig.tiny())
+        assert again.num_logical_links == tiny_zoo.num_logical_links
+        assert [s.city for s in again.sites] == [s.city for s in tiny_zoo.sites]
+        assert again.link_shares == tiny_zoo.link_shares
+
+    def test_seed_changes_output(self):
+        a = build_zoo(ZooConfig.tiny(seed=1))
+        b = build_zoo(ZooConfig.tiny(seed=2))
+        assert (
+            a.num_logical_links != b.num_logical_links
+            or [s.city for s in a.sites] != [s.city for s in b.sites]
+        )
+
+
+@pytest.mark.slow
+class TestPaperScale:
+    """The paper-scale preset reproduces §3.3's stated facts."""
+
+    @pytest.fixture(scope="class")
+    def paper_zoo(self):
+        return build_zoo(ZooConfig.paper())
+
+    def test_twenty_bps(self, paper_zoo):
+        assert len(paper_zoo.bps) == 20
+
+    def test_thousands_of_logical_links(self, paper_zoo):
+        # Paper: 4674.  Shape target: same order of magnitude.
+        assert 3000 <= paper_zoo.num_logical_links <= 7000
+
+    def test_share_range_matches_paper(self, paper_zoo):
+        # Paper: "from roughly 2% to roughly 12%".
+        shares = sorted(paper_zoo.link_shares.values())
+        assert shares[-1] == pytest.approx(0.12, abs=0.04)
+        assert shares[0] < 0.04
+
+    def test_many_colocation_sites(self, paper_zoo):
+        assert len(paper_zoo.sites) >= 30

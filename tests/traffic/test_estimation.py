@@ -1,0 +1,135 @@
+"""Tests for upper-bound TM estimation."""
+
+import pytest
+
+from repro.exceptions import TrafficError
+from repro.traffic.estimation import (
+    EstimatorConfig,
+    TrafficSampler,
+    coverage_ratio,
+    overprovision_factor,
+    simulate_measurement_window,
+)
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.synthetic import uniform_matrix
+
+
+@pytest.fixture
+def base_tm():
+    return uniform_matrix(["a", "b", "c"], total_gbps=60.0)
+
+
+class TestSampler:
+    def test_record_and_count(self):
+        sampler = TrafficSampler(["a", "b"])
+        sampler.record("a", "b", 5.0)
+        sampler.record("a", "b", 7.0)
+        assert sampler.num_samples == 2
+        assert sampler.sample_count("a", "b") == 2
+        assert sampler.sample_count("b", "a") == 0
+
+    def test_record_matrix(self, base_tm):
+        sampler = TrafficSampler(base_tm.nodes)
+        sampler.record_matrix(base_tm)
+        assert sampler.num_samples == base_tm.num_pairs
+
+    def test_validation(self):
+        sampler = TrafficSampler(["a", "b"])
+        with pytest.raises(TrafficError):
+            sampler.record("a", "z", 1.0)
+        with pytest.raises(TrafficError):
+            sampler.record("a", "a", 1.0)
+        with pytest.raises(TrafficError):
+            sampler.record("a", "b", -1.0)
+        with pytest.raises(TrafficError):
+            TrafficSampler(["a", "a"])
+
+
+class TestEstimate:
+    def test_constant_samples_scale_by_safety(self):
+        sampler = TrafficSampler(["a", "b"])
+        for _ in range(10):
+            sampler.record("a", "b", 4.0)
+        est = sampler.estimate(EstimatorConfig(safety_factor=1.5))
+        assert est.demand("a", "b") == pytest.approx(6.0)
+
+    def test_percentile_ignores_rare_spikes(self):
+        sampler = TrafficSampler(["a", "b"])
+        for _ in range(99):
+            sampler.record("a", "b", 1.0)
+        sampler.record("a", "b", 100.0)  # one freak spike
+        est = sampler.estimate(EstimatorConfig(percentile=95.0, safety_factor=1.0))
+        assert est.demand("a", "b") < 10.0
+
+    def test_unseen_pairs_get_floor(self):
+        sampler = TrafficSampler(["a", "b", "c"])
+        sampler.record("a", "b", 5.0)
+        est = sampler.estimate(EstimatorConfig(unseen_floor_gbps=0.5))
+        assert est.demand("b", "c") == 0.5
+        assert est.demand("c", "a") == 0.5
+
+    def test_zero_floor_omits_unseen(self):
+        sampler = TrafficSampler(["a", "b", "c"])
+        sampler.record("a", "b", 5.0)
+        est = sampler.estimate(EstimatorConfig(unseen_floor_gbps=0.0))
+        assert est.demand("b", "c") == 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(TrafficError):
+            EstimatorConfig(percentile=0.0)
+        with pytest.raises(TrafficError):
+            EstimatorConfig(safety_factor=0.9)
+        with pytest.raises(TrafficError):
+            EstimatorConfig(unseen_floor_gbps=-1.0)
+
+
+class TestWindowSimulation:
+    def test_deterministic(self, base_tm):
+        a = simulate_measurement_window(base_tm, seed=3)
+        b = simulate_measurement_window(base_tm, seed=3)
+        assert a.estimate().total_gbps() == b.estimate().total_gbps()
+
+    def test_estimate_covers_typical_snapshot(self, base_tm):
+        """The whole point: the bound covers the base TM comfortably."""
+        sampler = simulate_measurement_window(
+            base_tm, snapshots=96, burstiness=0.25, seed=5
+        )
+        estimate = sampler.estimate()
+        assert coverage_ratio(estimate, base_tm) == 1.0
+
+    def test_overprovision_is_bounded(self, base_tm):
+        sampler = simulate_measurement_window(
+            base_tm, snapshots=96, burstiness=0.25, seed=5
+        )
+        estimate = sampler.estimate()
+        factor = overprovision_factor(estimate, base_tm)
+        # Conservative, but not absurdly so.
+        assert 1.0 <= factor <= 4.0
+
+    def test_burstier_traffic_needs_bigger_bound(self, base_tm):
+        calm = simulate_measurement_window(
+            base_tm, snapshots=96, burstiness=0.1, seed=5
+        ).estimate()
+        bursty = simulate_measurement_window(
+            base_tm, snapshots=96, burstiness=0.6, seed=5
+        ).estimate()
+        assert bursty.total_gbps() > calm.total_gbps()
+
+    def test_validation(self, base_tm):
+        with pytest.raises(TrafficError):
+            simulate_measurement_window(base_tm, snapshots=0)
+        with pytest.raises(TrafficError):
+            simulate_measurement_window(base_tm, burstiness=-0.1)
+
+
+class TestComparisons:
+    def test_coverage_ratio(self, base_tm):
+        bigger = base_tm.scaled(2.0)
+        smaller = base_tm.scaled(0.5)
+        assert coverage_ratio(bigger, base_tm) == 1.0
+        assert coverage_ratio(smaller, base_tm) == 0.0
+
+    def test_overprovision_requires_demand(self):
+        empty = TrafficMatrix(nodes=["a", "b"])
+        with pytest.raises(TrafficError):
+            overprovision_factor(empty, empty)

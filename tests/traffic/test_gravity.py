@@ -1,0 +1,93 @@
+"""Tests for the gravity traffic model."""
+
+import pytest
+
+from repro.exceptions import TrafficError
+from repro.traffic.gravity import gravity_matrix, gravity_matrix_for_sites
+
+
+class TestGravityMatrix:
+    def test_total_normalized(self):
+        tm = gravity_matrix({"a": 1.0, "b": 2.0, "c": 3.0}, total_gbps=60.0)
+        assert tm.total_gbps() == pytest.approx(60.0)
+
+    def test_mass_proportionality(self):
+        tm = gravity_matrix({"a": 1.0, "b": 2.0, "c": 1.0}, total_gbps=100.0)
+        # demand(b,c)/demand(a,c) = mass(b)/mass(a) = 2.
+        assert tm.demand("b", "c") / tm.demand("a", "c") == pytest.approx(2.0)
+
+    def test_symmetric_masses_give_symmetric_tm(self):
+        tm = gravity_matrix({"a": 5.0, "b": 5.0}, total_gbps=10.0)
+        assert tm.demand("a", "b") == pytest.approx(tm.demand("b", "a"))
+
+    def test_all_pairs_present(self):
+        tm = gravity_matrix({"a": 1.0, "b": 1.0, "c": 1.0}, total_gbps=6.0)
+        assert tm.num_pairs == 6
+
+    def test_deterrence_dampens_far_pairs(self):
+        masses = {"a": 1.0, "b": 1.0, "c": 1.0}
+        distances = {("a", "b"): 100.0, ("a", "c"): 10_000.0, ("b", "c"): 100.0}
+        tm = gravity_matrix(masses, 100.0, distance_km=distances, deterrence=2.0)
+        assert tm.demand("a", "b") > tm.demand("a", "c")
+
+    def test_zero_total(self):
+        tm = gravity_matrix({"a": 1.0, "b": 1.0}, total_gbps=0.0)
+        assert tm.total_gbps() == 0.0
+
+    def test_rejects_negative_total(self):
+        with pytest.raises(TrafficError):
+            gravity_matrix({"a": 1.0, "b": 1.0}, total_gbps=-1.0)
+
+    def test_rejects_single_node(self):
+        with pytest.raises(TrafficError):
+            gravity_matrix({"a": 1.0}, total_gbps=1.0)
+
+    def test_rejects_non_positive_mass(self):
+        with pytest.raises(TrafficError):
+            gravity_matrix({"a": 0.0, "b": 1.0}, total_gbps=1.0)
+
+    def test_rejects_negative_deterrence(self):
+        with pytest.raises(TrafficError):
+            gravity_matrix({"a": 1.0, "b": 1.0}, 1.0, deterrence=-1.0)
+
+
+class TestGravityForSites:
+    def test_nodes_are_router_ids(self, tiny_zoo):
+        tm = gravity_matrix_for_sites(tiny_zoo.sites, total_gbps=100.0)
+        assert set(tm.nodes) == {s.router_id for s in tiny_zoo.sites}
+        assert tm.total_gbps() == pytest.approx(100.0)
+
+    def test_validates_against_offered_network(self, tiny_zoo):
+        tm = gravity_matrix_for_sites(tiny_zoo.sites, total_gbps=10.0)
+        tm.validate_against(tiny_zoo.offered.node_ids)
+
+    def test_population_drives_demand(self, tiny_zoo):
+        from repro.topology.cities import get_city
+
+        tm = gravity_matrix_for_sites(tiny_zoo.sites, total_gbps=100.0)
+        sites = sorted(
+            tiny_zoo.sites, key=lambda s: get_city(s.city).population_m
+        )
+        small, big = sites[0], sites[-1]
+        other = sites[1]
+        if other.router_id not in (small.router_id, big.router_id):
+            assert tm.demand(big.router_id, other.router_id) > tm.demand(
+                small.router_id, other.router_id
+            )
+
+    def test_deterrence_variant(self, tiny_zoo):
+        flat = gravity_matrix_for_sites(tiny_zoo.sites, total_gbps=100.0)
+        damped = gravity_matrix_for_sites(
+            tiny_zoo.sites, total_gbps=100.0, deterrence=2.0
+        )
+        assert damped.total_gbps() == pytest.approx(100.0)
+        # Distance damping must change the distribution.
+        diffs = [
+            abs(flat.demand(*pair) - damped.demand(*pair))
+            for pair, _ in flat.pairs()
+        ]
+        assert max(diffs) > 1e-9
+
+    def test_rejects_single_site(self, tiny_zoo):
+        with pytest.raises(TrafficError):
+            gravity_matrix_for_sites(tiny_zoo.sites[:1], total_gbps=1.0)

@@ -1,0 +1,120 @@
+"""Tests for the TrafficMatrix container."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrafficError
+from repro.traffic.matrix import TrafficMatrix
+
+
+@pytest.fixture
+def tm():
+    return TrafficMatrix.from_dict(
+        ["a", "b", "c"],
+        {("a", "b"): 2.0, ("b", "c"): 3.0, ("a", "c"): 1.0},
+    )
+
+
+class TestConstruction:
+    def test_from_dict(self, tm):
+        assert tm.demand("a", "b") == 2.0
+        assert tm.demand("b", "a") == 0.0
+        assert tm.num_pairs == 3
+
+    def test_from_function(self):
+        tm = TrafficMatrix.from_function(["x", "y"], lambda s, d: 5.0)
+        assert tm.demand("x", "y") == 5.0
+        assert tm.demand("y", "x") == 5.0
+        assert tm.num_pairs == 2
+
+    def test_from_function_drops_zeros(self):
+        tm = TrafficMatrix.from_function(["x", "y"], lambda s, d: 0.0)
+        assert tm.num_pairs == 0
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(TrafficError):
+            TrafficMatrix(nodes=["a", "a"])
+
+    def test_self_demand_rejected(self):
+        with pytest.raises(TrafficError):
+            TrafficMatrix.from_dict(["a", "b"], {("a", "a"): 1.0})
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(TrafficError):
+            TrafficMatrix.from_dict(["a"], {("a", "z"): 1.0})
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(TrafficError):
+            TrafficMatrix.from_dict(["a", "b"], {("a", "b"): -1.0})
+
+
+class TestAccessors:
+    def test_totals(self, tm):
+        assert tm.total_gbps() == pytest.approx(6.0)
+        assert tm.max_pair_gbps() == 3.0
+
+    def test_egress_ingress(self, tm):
+        assert tm.egress_gbps("a") == pytest.approx(3.0)
+        assert tm.ingress_gbps("c") == pytest.approx(4.0)
+        assert tm.ingress_gbps("a") == 0.0
+
+    def test_pairs_deterministic_order(self, tm):
+        pairs = [p for p, _ in tm.pairs()]
+        assert pairs == sorted(pairs)
+
+    def test_set_demand(self, tm):
+        tm.set_demand("c", "a", 7.0)
+        assert tm.demand("c", "a") == 7.0
+        tm.set_demand("c", "a", 0.0)
+        assert tm.demand("c", "a") == 0.0
+        assert ("c", "a") not in dict(tm.pairs())
+
+    def test_empty_matrix(self):
+        tm = TrafficMatrix(nodes=["a", "b"])
+        assert tm.total_gbps() == 0.0
+        assert tm.max_pair_gbps() == 0.0
+
+
+class TestTransforms:
+    def test_scaled(self, tm):
+        doubled = tm.scaled(2.0)
+        assert doubled.total_gbps() == pytest.approx(12.0)
+        assert tm.total_gbps() == pytest.approx(6.0)  # original untouched
+
+    def test_scale_by_zero(self, tm):
+        assert tm.scaled(0.0).total_gbps() == 0.0
+
+    def test_negative_scale_rejected(self, tm):
+        with pytest.raises(TrafficError):
+            tm.scaled(-1.0)
+
+    def test_symmetrized(self, tm):
+        sym = tm.symmetrized()
+        assert sym.demand("b", "a") == sym.demand("a", "b") == 2.0
+        assert sym.demand("c", "b") == 3.0
+
+    def test_restricted_to(self, tm):
+        sub = tm.restricted_to(["a", "b"])
+        assert sub.num_pairs == 1
+        assert sub.demand("a", "b") == 2.0
+
+    def test_restricted_to_unknown(self, tm):
+        with pytest.raises(TrafficError):
+            tm.restricted_to(["a", "zzz"])
+
+    def test_to_array(self, tm):
+        arr = tm.to_array()
+        assert arr.shape == (3, 3)
+        assert arr.sum() == pytest.approx(6.0)
+        idx = {n: i for i, n in enumerate(tm.nodes)}
+        assert arr[idx["a"], idx["b"]] == 2.0
+        assert np.all(np.diag(arr) == 0)
+
+
+class TestValidation:
+    def test_validate_against_ok(self, tm):
+        tm.validate_against(["a", "b", "c", "d"])
+
+    def test_validate_against_missing(self, tm):
+        with pytest.raises(TrafficError):
+            tm.validate_against(["a", "b"])

@@ -1,0 +1,77 @@
+"""Tests for uniform/hotspot/diurnal traffic models."""
+
+import pytest
+
+from repro.exceptions import TrafficError
+from repro.traffic.synthetic import (
+    diurnal_scale,
+    diurnal_series,
+    hotspot_matrix,
+    uniform_matrix,
+)
+
+
+class TestUniform:
+    def test_equal_demands(self):
+        tm = uniform_matrix(["a", "b", "c"], total_gbps=12.0)
+        values = [v for _, v in tm.pairs()]
+        assert all(v == pytest.approx(2.0) for v in values)
+        assert tm.total_gbps() == pytest.approx(12.0)
+
+    def test_rejects_single_node(self):
+        with pytest.raises(TrafficError):
+            uniform_matrix(["a"], 1.0)
+
+    def test_rejects_negative_total(self):
+        with pytest.raises(TrafficError):
+            uniform_matrix(["a", "b"], -1.0)
+
+
+class TestHotspot:
+    def test_total_normalized(self):
+        tm = hotspot_matrix(["a", "b", "c", "d"], 100.0, num_hotspots=1, seed=3)
+        assert tm.total_gbps() == pytest.approx(100.0)
+
+    def test_hotspots_source_more(self):
+        nodes = [f"n{i}" for i in range(6)]
+        tm = hotspot_matrix(nodes, 100.0, num_hotspots=1, hotspot_factor=10.0, seed=3)
+        egress = sorted(tm.egress_gbps(n) for n in nodes)
+        # One node sources 10x the others.
+        assert egress[-1] / egress[0] == pytest.approx(10.0)
+
+    def test_deterministic(self):
+        a = hotspot_matrix(["a", "b", "c"], 9.0, seed=11, num_hotspots=1)
+        b = hotspot_matrix(["a", "b", "c"], 9.0, seed=11, num_hotspots=1)
+        assert dict(a.pairs()) == dict(b.pairs())
+
+    def test_validation(self):
+        with pytest.raises(TrafficError):
+            hotspot_matrix(["a", "b"], 1.0, num_hotspots=0)
+        with pytest.raises(TrafficError):
+            hotspot_matrix(["a", "b"], 1.0, num_hotspots=2)
+        with pytest.raises(TrafficError):
+            hotspot_matrix(["a", "b", "c"], 1.0, hotspot_factor=0.5)
+
+
+class TestDiurnal:
+    def test_peak_is_one(self):
+        assert diurnal_scale(21.0, peak_hour=21.0) == pytest.approx(1.0)
+
+    def test_trough_twelve_hours_away(self):
+        assert diurnal_scale(9.0, trough=0.35, peak_hour=21.0) == pytest.approx(0.35)
+
+    def test_bounded(self):
+        for hour in range(24):
+            value = diurnal_scale(float(hour), trough=0.3)
+            assert 0.3 - 1e-9 <= value <= 1.0 + 1e-9
+
+    def test_series(self):
+        tm = uniform_matrix(["a", "b"], 10.0)
+        series = diurnal_series(tm, hours=[9.0, 21.0])
+        assert len(series) == 2
+        assert series[1].total_gbps() > series[0].total_gbps()
+        assert series[1].total_gbps() == pytest.approx(10.0)
+
+    def test_trough_validation(self):
+        with pytest.raises(TrafficError):
+            diurnal_scale(12.0, trough=1.5)
