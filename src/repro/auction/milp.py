@@ -29,7 +29,11 @@ import numpy as np
 from scipy.optimize import LinearConstraint, milp
 from scipy.sparse import coo_matrix
 
-from repro.exceptions import AuctionError, NoFeasibleSelectionError
+from repro.exceptions import (
+    AuctionError,
+    NoFeasibleSelectionError,
+    SolverTimeoutError,
+)
 from repro.auction.bids import AdditiveCost, CostFunction, ScaledCost
 from repro.auction.provider import Offer
 from repro.topology.graph import Network
@@ -69,7 +73,8 @@ def exact_selection(
     need a ``time_limit_s`` and/or ``mip_rel_gap``, in which case the
     result is the incumbent (best found), not a certified optimum.
     Raises :class:`NoFeasibleSelectionError` when no subset of the offered
-    links can carry the TM (or none was found within the limit).
+    links can carry the TM, and :class:`SolverTimeoutError` when the time
+    limit fired before any incumbent was found.
     """
     tm.validate_against(network.node_ids)
     prices: Dict[str, float] = {}
@@ -164,6 +169,13 @@ def exact_selection(
     # status 1 = iteration/time limit; accept the incumbent if one exists.
     if res.status == 1 and res.x is not None:
         pass
+    elif res.status == 1:
+        # The limit fired before HiGHS found any incumbent: the instance
+        # may be perfectly feasible, we just ran out of budget.
+        raise SolverTimeoutError(
+            "milp", time_limit_s if time_limit_s is not None else float("inf"),
+            detail=res.message,
+        )
     elif res.status != 0 or res.x is None:
         raise NoFeasibleSelectionError(
             f"MILP found no feasible selection (status={res.status}: {res.message})"

@@ -15,9 +15,13 @@ onto its external fallback.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
 
-from repro.exceptions import AuctionError, NoFeasibleSelectionError
+from repro.exceptions import (
+    AuctionError,
+    NoFeasibleSelectionError,
+    ProviderDropoutError,
+)
 from repro.auction.collusion import withhold_offer
 from repro.auction.constraints import make_constraint
 from repro.auction.provider import Offer
@@ -155,11 +159,43 @@ class RecurringAuction:
         self.engine = engine
         self.config = AuctionConfig(method=method)
         self.rng = make_rng(seed)
+        self._withdrawn: Set[str] = set()
+
+    # -- mid-round dropouts ---------------------------------------------------
+
+    def withdraw(self, provider: str) -> None:
+        """A BP drops out mid-round: its offers vanish until :meth:`rejoin`.
+
+        Raises :class:`ProviderDropoutError` if the provider is unknown or
+        if its withdrawal would leave no auction participants at all
+        (clearing a round with zero BPs is meaningless).
+        """
+        participants = {o.provider for o in self.offers if o.in_auction}
+        if provider not in participants:
+            raise ProviderDropoutError(provider, "not a participant in this auction")
+        remaining = participants - self._withdrawn - {provider}
+        if not remaining:
+            raise ProviderDropoutError(provider, "no auction participants would remain")
+        self._withdrawn.add(provider)
+
+    def rejoin(self, provider: str) -> None:
+        """Undo a withdrawal (the BP's capacity is back next round)."""
+        self._withdrawn.discard(provider)
+
+    @property
+    def withdrawn(self) -> FrozenSet[str]:
+        return frozenset(self._withdrawn)
+
+    def _active_offers(self) -> List[Offer]:
+        return [
+            o for o in self.offers
+            if not o.in_auction or o.provider not in self._withdrawn
+        ]
 
     def _round_offers(self, availability: Dict[str, float]) -> List[Offer]:
         """Each BP offers a random availability-fraction of its links."""
         round_offers = []
-        for offer in self.offers:
+        for offer in self._active_offers():
             if not offer.in_auction:
                 round_offers.append(offer)  # contracts never fluctuate
                 continue
@@ -201,9 +237,10 @@ class RecurringAuction:
             except NoFeasibleSelectionError:
                 # Supply dipped below what the constraint needs: the POC
                 # falls back to full offers (in reality, to external
-                # transit) for this round.
+                # transit) for this round.  Withdrawn BPs stay out — a
+                # dropout is not undone by the fallback.
                 fallback = True
-                result = self._clear(self.offers)
+                result = self._clear(self._active_offers())
             outcome.rounds.append(
                 RoundResult(
                     round_index=index,

@@ -19,7 +19,7 @@ against a consistent allocation rule.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import AuctionError, NoFeasibleSelectionError
 from repro.auction.constraints import Constraint
@@ -194,6 +194,7 @@ def select_links(
     *,
     method: str = "greedy-drop",
     exclude_providers: Iterable[str] = (),
+    milp_time_limit_s: Optional[float] = None,
 ) -> SelectionOutcome:
     """Select a min-cost acceptable link set from the given offers.
 
@@ -227,7 +228,10 @@ def select_links(
                 "the milp engine supports only Constraint #1 "
                 "(survivability needs scenario-expanded models)"
             )
-        selected, _cost = exact_selection(active, constraint.network, constraint.tm)
+        selected, _cost = exact_selection(
+            active, constraint.network, constraint.tm,
+            time_limit_s=milp_time_limit_s,
+        )
     else:
         raise AuctionError(f"unknown selection method {method!r}; expected {ENGINES}")
 

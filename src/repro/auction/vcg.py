@@ -40,6 +40,10 @@ class AuctionConfig:
 
     method: str = "greedy-drop"
     clamp_individual_rationality: bool = True
+    #: Time budget per MILP solve when ``method == "milp"``; exceeding it
+    #: without an incumbent raises ``SolverTimeoutError`` (which the
+    #: resilience layer turns into a heuristic fallback).
+    milp_time_limit_s: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -117,7 +121,10 @@ def run_auction(
     if len(set(providers)) != len(providers):
         raise AuctionError("duplicate provider names in offers")
 
-    full = select_links(offers, constraint, method=cfg.method)
+    full = select_links(
+        offers, constraint, method=cfg.method,
+        milp_time_limit_s=cfg.milp_time_limit_s,
+    )
     c_sl = full.total_cost
 
     results: Dict[str, ProviderResult] = {}
@@ -131,7 +138,9 @@ def run_auction(
             continue
         try:
             without = select_links(
-                offers, constraint, method=cfg.method, exclude_providers=(offer.provider,)
+                offers, constraint, method=cfg.method,
+                exclude_providers=(offer.provider,),
+                milp_time_limit_s=cfg.milp_time_limit_s,
             )
         except NoFeasibleSelectionError as exc:
             raise NoFeasibleSelectionError(

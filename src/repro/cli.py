@@ -13,6 +13,7 @@ DESIGN.md:
 from __future__ import annotations
 
 import argparse
+import contextlib as _contextlib
 import sys
 from typing import List, Optional
 
@@ -163,6 +164,77 @@ def cmd_probe(args: argparse.Namespace) -> int:
     return 0 if report.clean else 1
 
 
+@_contextlib.contextmanager
+def _silence_native_stdout():
+    """Mute C-level stdout chatter (HiGHS) without touching Python prints.
+
+    The MILP backend prints advisory lines straight from C++, bypassing
+    ``sys.stdout``; duplicating fd 1 to /dev/null for the duration keeps
+    campaign reports clean and byte-stable.  No-ops when stdout has no
+    real file descriptor (e.g. under test capture).
+    """
+    import io
+    import os
+
+    try:
+        fd = sys.stdout.fileno()
+    except (OSError, ValueError, io.UnsupportedOperation):
+        yield
+        return
+    sys.stdout.flush()
+    saved = os.dup(fd)
+    devnull = os.open(os.devnull, os.O_WRONLY)
+    os.dup2(devnull, fd)
+    try:
+        yield
+    finally:
+        sys.stdout.flush()
+        os.dup2(saved, fd)
+        os.close(saved)
+        os.close(devnull)
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.pipeline import (
+        PipelineCheckpoint,
+        offers_for_zoo,
+        traffic_for_zoo,
+    )
+    from repro.resilience.chaos import ChaosConfig, micro_scenario, run_campaign
+
+    if args.preset == "micro":
+        network, offers, tm = micro_scenario(args.seed)
+    else:
+        zoo = _build_zoo(args.preset, args.seed)
+        network = zoo.offered
+        offers = offers_for_zoo(zoo, seed=args.seed)
+        tm = traffic_for_zoo(zoo)
+
+    fallback = args.fallback
+    if fallback == args.method:
+        # A heuristic primary still needs a *different* engine behind it.
+        fallback = "add-prune" if args.method != "add-prune" else "greedy-drop"
+    checkpoint = PipelineCheckpoint(args.checkpoint) if args.checkpoint else None
+    config = ChaosConfig(seed=args.seed, scenarios=args.scenarios)
+    with _silence_native_stdout():
+        report = run_campaign(
+            network, offers, tm, config,
+            primary_method=args.method,
+            fallback_method=fallback,
+            constraint=args.constraint,
+            engine=args.engine,
+            milp_time_limit_s=args.time_limit,
+            checkpoint=checkpoint,
+        )
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.formatted())
+    # A campaign where the POC served nothing anywhere signals a broken
+    # workload, not a survivable system.
+    return 0 if report.mean_served_fraction > 0 else 1
+
+
 def cmd_planning(args: argparse.Namespace) -> int:
     from repro.core.planning import plan_reprovisioning
     from repro.experiments.pipeline import offers_for_zoo, traffic_for_zoo
@@ -230,6 +302,33 @@ def make_parser() -> argparse.ArgumentParser:
                       help="source parties the eyeball edge throttles")
     p_pr.add_argument("--factor", type=float, default=0.25)
     p_pr.set_defaults(fn=cmd_probe)
+
+    p_ch = sub.add_parser(
+        "chaos",
+        help="fault-injection campaign: inject failures, report survivability",
+    )
+    p_ch.add_argument("--preset", default="micro",
+                      choices=("micro", "tiny", "small"),
+                      help="workload: 'micro' (deterministic 8-site net, MILP-fast) "
+                           "or a synthetic zoo preset")
+    p_ch.add_argument("--seed", type=int, default=7)
+    p_ch.add_argument("--scenarios", type=int, default=6,
+                      help="number of fault scenarios (kinds cycle deterministically)")
+    p_ch.add_argument("--constraint", type=int, default=1, choices=(1, 2, 3))
+    p_ch.add_argument("--method", default="milp",
+                      choices=("milp", "greedy-drop", "add-prune", "local-search"),
+                      help="primary clearing engine (wrapped in retry + fallback)")
+    p_ch.add_argument("--fallback", default="greedy-drop",
+                      choices=("greedy-drop", "add-prune", "local-search"))
+    p_ch.add_argument("--engine", default="mcf", choices=("mcf", "greedy", "sp"),
+                      help="feasibility oracle")
+    p_ch.add_argument("--time-limit", type=float, default=None,
+                      help="MILP time budget in seconds (timeout => heuristic fallback)")
+    p_ch.add_argument("--checkpoint", default=None, metavar="PATH",
+                      help="JSON checkpoint file; re-running resumes completed scenarios")
+    p_ch.add_argument("--json", action="store_true",
+                      help="emit the canonical JSON report instead of the table")
+    p_ch.set_defaults(fn=cmd_chaos)
 
     p_pl = sub.add_parser("planning", help="capacity planning / re-auctions")
     p_pl.add_argument("--preset", default="tiny", choices=("tiny", "small", "paper"))

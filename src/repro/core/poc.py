@@ -19,12 +19,13 @@ checks declared policies against them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import (
     AuctionError,
     MarketError,
     ReproError,
+    UnknownLinkError,
     UnknownNodeError,
 )
 from repro.auction.constraints import make_constraint
@@ -64,6 +65,9 @@ class PublicOptionCore:
     _attachments: Dict[str, Attachment] = field(default_factory=dict)
     _auction_result: Optional[AuctionResult] = None
     _backbone: Optional[Network] = None
+    #: Selected links currently out of service (degraded mode, §3.3's
+    #: survivability story made operational).  Cleared on re-provision.
+    _failed_links: Set[str] = field(default_factory=set)
 
     @classmethod
     def from_zoo(cls, zoo: ZooResult) -> "PublicOptionCore":
@@ -102,11 +106,21 @@ class PublicOptionCore:
                 )
         cons = make_constraint(constraint, self.offered, tm, engine=engine)
         result = run_auction(all_offers, cons, config=AuctionConfig(method=method))
+        self.activate(result)
+        return result
+
+    def activate(self, result: AuctionResult) -> None:
+        """Install an externally-cleared auction result as the backbone.
+
+        The resilience layer clears auctions through its retry/fallback
+        policy and hands the survivor here; a fresh activation always
+        exits degraded mode.
+        """
         self._auction_result = result
         self._backbone = self.offered.restricted_to_links(
             result.selected, name="poc-backbone"
         )
-        return result
+        self._failed_links.clear()
 
     @property
     def provisioned(self) -> bool:
@@ -114,9 +128,53 @@ class PublicOptionCore:
 
     @property
     def backbone(self) -> Network:
+        """The currently *serviceable* backbone (failed links excluded)."""
         if self._backbone is None:
             raise ReproError("POC is not provisioned yet; call provision() first")
-        return self._backbone
+        if not self._failed_links:
+            return self._backbone
+        surviving = set(self._backbone.link_ids) - self._failed_links
+        return self._backbone.restricted_to_links(
+            surviving, name="poc-backbone-degraded"
+        )
+
+    # -- degraded mode -------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True while selected links are out of service."""
+        return bool(self._failed_links)
+
+    @property
+    def failed_links(self) -> FrozenSet[str]:
+        return frozenset(self._failed_links)
+
+    def apply_link_failures(self, link_ids: Iterable[str]) -> FrozenSet[str]:
+        """Take selected links out of service mid-epoch.
+
+        Links not part of the selected backbone raise
+        :class:`UnknownLinkError` (a fault on an unselected link is a
+        chaos-harness bug, not a degradation).  Returns the surviving
+        link set.  Re-auction is deliberately *not* triggered here — the
+        POC serves what it can over the survivors and defers re-clearing
+        to the next round (see :mod:`repro.resilience.controller`).
+        """
+        if self._backbone is None:
+            raise ReproError("POC is not provisioned yet; call provision() first")
+        selected = set(self._backbone.link_ids)
+        for lid in link_ids:
+            if lid not in selected:
+                raise UnknownLinkError(lid)
+            self._failed_links.add(lid)
+        return frozenset(selected - self._failed_links)
+
+    def restore_links(self, link_ids: Optional[Iterable[str]] = None) -> None:
+        """Return failed links to service (all of them by default)."""
+        if link_ids is None:
+            self._failed_links.clear()
+            return
+        for lid in link_ids:
+            self._failed_links.discard(lid)
 
     @property
     def auction_result(self) -> AuctionResult:

@@ -49,6 +49,23 @@ class InfeasibleError(FlowError):
     """The requested traffic cannot be carried by the given links."""
 
 
+class SolverTimeoutError(FlowError):
+    """An exact solver hit its time limit without producing a usable answer.
+
+    Distinct from :class:`InfeasibleError`: the instance may well be
+    feasible, the solver just ran out of budget.  The resilience layer
+    catches this to fall back to a heuristic engine.
+    """
+
+    def __init__(self, solver: str, limit_s: float, detail: str = "") -> None:
+        msg = f"{solver} exceeded its {limit_s:g}s time limit"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+        self.solver = solver
+        self.limit_s = limit_s
+
+
 class AuctionError(ReproError):
     """The auction received malformed bids or could not clear."""
 
@@ -59,6 +76,22 @@ class NoFeasibleSelectionError(AuctionError):
 
 class BidError(AuctionError):
     """A bandwidth provider's bid is malformed."""
+
+
+class ProviderDropoutError(AuctionError):
+    """A bandwidth provider vanished mid-round.
+
+    Raised when round logic references a BP that has withdrawn (or was
+    quarantined) between bidding and activation.  The resilience layer
+    catches this to re-clear the round without the dropped provider.
+    """
+
+    def __init__(self, provider: str, detail: str = "") -> None:
+        msg = f"provider {provider!r} dropped out mid-round"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+        self.provider = provider
 
 
 class EconError(ReproError):

@@ -6,8 +6,12 @@ guarantees the CLI, tests, and benchmarks agree on the workload.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import json
+import os
+import pathlib
+from typing import Any, Dict, List, Union
 
+from repro.exceptions import BidError
 from repro.auction.provider import Offer, offer_from_logical_links
 from repro.rand import SeedLike, make_rng
 from repro.topology.zoo import ZooResult
@@ -62,7 +66,21 @@ def offers_for_zoo(
     volume-discount schedule — the paper's non-additive bid language in
     the full pipeline.  Note the MILP reference engine only accepts the
     default additive bids.
+
+    Raises :class:`BidError` on malformed generator inputs rather than
+    silently producing nonsense offers.
     """
+    if len(efficiency_range) != 2:
+        raise BidError(
+            f"efficiency_range must be a (low, high) pair, got {efficiency_range!r}"
+        )
+    lo, hi = efficiency_range
+    if lo <= 0 or hi <= 0:
+        raise BidError(f"efficiencies must be positive, got {efficiency_range!r}")
+    if hi < lo:
+        raise BidError(f"inverted efficiency_range: {efficiency_range!r}")
+    if cost_noise < 0:
+        raise BidError(f"cost_noise cannot be negative: {cost_noise}")
     rng = make_rng(seed)
     offers: List[Offer] = []
     for bp, logical_links in sorted(zoo.offers_by_bp.items()):
@@ -92,3 +110,63 @@ def offers_for_zoo(
             )
         offers.append(offer)
     return offers
+
+
+class PipelineCheckpoint:
+    """Stage-level checkpoint/resume for long experiment pipelines.
+
+    A checkpoint is a JSON file mapping stage names to JSON-serializable
+    payloads.  Long campaigns (``poc-repro chaos``, parameter sweeps)
+    save each completed stage; a re-run with the same checkpoint path
+    skips stages already on disk, so a crash mid-campaign costs only the
+    stage in flight.  Writes are atomic (tmp file + ``os.replace``) so a
+    crash during the write itself cannot corrupt earlier stages.
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: Union[str, pathlib.Path]) -> None:
+        self.path = pathlib.Path(path)
+        self._stages: Dict[str, Any] = self._load()
+
+    def _load(self) -> Dict[str, Any]:
+        if not self.path.exists():
+            return {}
+        try:
+            payload = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}  # a torn/corrupt checkpoint is treated as absent
+        if not isinstance(payload, dict) or payload.get("version") != self.VERSION:
+            return {}
+        stages = payload.get("stages", {})
+        return stages if isinstance(stages, dict) else {}
+
+    def _flush(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(
+            json.dumps(
+                {"version": self.VERSION, "stages": self._stages},
+                sort_keys=True,
+            )
+        )
+        os.replace(tmp, self.path)
+
+    def has(self, stage: str) -> bool:
+        return stage in self._stages
+
+    def get(self, stage: str, default: Any = None) -> Any:
+        return self._stages.get(stage, default)
+
+    def save(self, stage: str, payload: Any) -> None:
+        """Record a completed stage (persisted immediately)."""
+        self._stages[stage] = payload
+        self._flush()
+
+    def stages(self) -> List[str]:
+        return sorted(self._stages)
+
+    def clear(self) -> None:
+        self._stages.clear()
+        if self.path.exists():
+            self.path.unlink()

@@ -70,17 +70,22 @@ def node_failures(node_ids: Iterable[str], network: Network) -> Iterator[Tuple[s
 
 
 def shared_risk_groups(
-    network: Network, *, corridor_km: float = 30.0
+    network: Network, *, corridor_km: float = 30.0, include_virtual: bool = False
 ) -> List[FrozenSet[str]]:
     """Group links whose endpoints coincide into shared-risk link groups.
 
     Parallel logical links between the same two POC sites typically ride
     the same physical conduits, so a backhoe takes them out together.
-    Returns one group per site pair with ≥ 2 parallel links.  Extension
-    material (not part of the paper's three constraints).
+    Returns one group per site pair with ≥ 2 parallel links.  Virtual
+    links (external-ISP contracts) ride the external ISP's own plant,
+    not the leased conduit, so they are excluded unless
+    ``include_virtual`` is set.  Extension material (not part of the
+    paper's three constraints).
     """
     by_pair = {}
     for link in network.iter_links():
+        if link.virtual and not include_virtual:
+            continue
         key = tuple(sorted((link.u, link.v)))
         by_pair.setdefault(key, set()).add(link.id)
     return [frozenset(v) for k, v in sorted(by_pair.items()) if len(v) >= 2]

@@ -1,0 +1,50 @@
+"""Operational resilience: fault injection, degraded mode, retry/fallback.
+
+The paper's survivability constraints (§3.3) make the *selected* link set
+tolerate failures on paper; this package makes the running system tolerate
+them in practice:
+
+- :mod:`repro.resilience.policy` — retry with exponential backoff +
+  jitter, a circuit breaker, and the MILP→heuristic fallback used to
+  clear auctions under solver stalls.
+- :mod:`repro.resilience.controller` — the degraded-mode POC controller:
+  reroute demand over surviving selected links when a link fails
+  mid-epoch, defer re-auction to the next round.
+- :mod:`repro.resilience.chaos` — a deterministic fault-injection
+  harness and end-to-end survivability campaigns (``poc-repro chaos``).
+"""
+
+from repro.resilience.chaos import (
+    CampaignReport,
+    ChaosConfig,
+    FaultEvent,
+    ScenarioResult,
+    micro_scenario,
+    plan_campaign,
+    run_campaign,
+)
+from repro.resilience.controller import DegradedModeController, DegradedState
+from repro.resilience.policy import (
+    CircuitBreaker,
+    ClearingProvenance,
+    ResilientAuctioneer,
+    RetryPolicy,
+    call_with_retry,
+)
+
+__all__ = [
+    "CampaignReport",
+    "ChaosConfig",
+    "CircuitBreaker",
+    "ClearingProvenance",
+    "DegradedModeController",
+    "DegradedState",
+    "FaultEvent",
+    "ResilientAuctioneer",
+    "RetryPolicy",
+    "ScenarioResult",
+    "call_with_retry",
+    "micro_scenario",
+    "plan_campaign",
+    "run_campaign",
+]

@@ -1,0 +1,212 @@
+"""Degraded-mode POC control: serve what survives, re-auction next round.
+
+When a selected link fails mid-epoch the POC does not crash and does not
+immediately re-run the §3.3 auction (leases are monthly; mid-epoch there
+is no new supply to clear against).  Instead it
+
+1. takes the failed links out of the serviceable backbone
+   (:meth:`repro.core.poc.PublicOptionCore.apply_link_failures`),
+2. re-routes demand over the *surviving* selected links using the
+   existing feasibility oracle, splitting the traffic matrix into
+   connected and disconnected pairs, and
+3. reports the residual: fraction of offered demand still served and
+   the unserved Gbps, deferring re-auction to the next round
+   (:meth:`DegradedModeController.reprovision`).
+
+This is the operational counterpart of Constraints #2/#3: those make the
+*selection* failure-tolerant ahead of time, this measures how tolerant it
+actually was when the failure arrives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import ReproError
+from repro.auction.collusion import withhold_offer
+from repro.auction.constraints import make_constraint
+from repro.auction.provider import Offer
+from repro.auction.vcg import AuctionResult
+from repro.core.poc import PublicOptionCore
+from repro.netflow.mcf import max_concurrent_flow
+from repro.topology.graph import Network
+from repro.traffic.matrix import TrafficMatrix
+
+
+def _components(network: Network) -> Dict[str, int]:
+    """Node id → connected-component index (deterministic numbering)."""
+    comp: Dict[str, int] = {}
+    index = 0
+    for start in network.node_ids:
+        if start in comp:
+            continue
+        stack = [start]
+        comp[start] = index
+        while stack:
+            node = stack.pop()
+            for nbr in sorted(network.neighbors(node)):
+                if nbr not in comp:
+                    comp[nbr] = index
+                    stack.append(nbr)
+        index += 1
+    return comp
+
+
+@dataclass(frozen=True)
+class DegradedState:
+    """What the POC can still serve after mid-epoch failures."""
+
+    failed_links: FrozenSet[str]
+    surviving_links: FrozenSet[str]
+    total_demand_gbps: float
+    #: Demand between pairs still connected over the surviving backbone.
+    connected_demand_gbps: float
+    #: Max concurrent flow λ of the connected sub-TM on the survivors
+    #: (λ ≥ 1 means every connected pair is fully served).
+    lam: float
+    disconnected_pairs: Tuple[Tuple[str, str], ...]
+
+    @property
+    def served_gbps(self) -> float:
+        """Connected demand scaled by min(1, λ): what actually gets through."""
+        return self.connected_demand_gbps * min(1.0, self.lam)
+
+    @property
+    def unserved_gbps(self) -> float:
+        return self.total_demand_gbps - self.served_gbps
+
+    @property
+    def served_fraction(self) -> float:
+        """Fraction of offered demand served (1.0 when nothing was offered)."""
+        if self.total_demand_gbps <= 0:
+            return 1.0
+        return self.served_gbps / self.total_demand_gbps
+
+    @property
+    def fully_served(self) -> bool:
+        return self.unserved_gbps <= 1e-9 * max(1.0, self.total_demand_gbps)
+
+    @property
+    def rerouted(self) -> bool:
+        """True when failures occurred but every demand still gets through."""
+        return bool(self.failed_links) and self.fully_served
+
+
+class DegradedModeController:
+    """Drives a provisioned POC through mid-epoch failures.
+
+    The controller owns the failure bookkeeping between auction rounds:
+    :meth:`fail_links` / :meth:`fail_node` degrade the backbone and
+    return the resulting :class:`DegradedState`; :meth:`reprovision`
+    runs the *next-round* auction with the failed links withheld from
+    every offer (a failed link cannot be leased again until repaired).
+    """
+
+    def __init__(self, poc: PublicOptionCore, tm: TrafficMatrix) -> None:
+        if not poc.provisioned:
+            raise ReproError("cannot control an unprovisioned POC")
+        self.poc = poc
+        self.tm = tm
+        self.events: List[DegradedState] = []
+
+    # -- failure handling ----------------------------------------------------
+
+    def fail_links(self, link_ids: Iterable[str]) -> DegradedState:
+        """Fail the given links (non-backbone ids are ignored: a fault on
+        an unselected link costs the POC nothing) and assess the residual."""
+        selected = set(self.poc.auction_result.selected) - self.poc.failed_links
+        hits = [lid for lid in link_ids if lid in selected]
+        if hits:
+            self.poc.apply_link_failures(hits)
+        state = self.assess()
+        self.events.append(state)
+        return state
+
+    def fail_node(self, node_id: str) -> DegradedState:
+        """A router-site outage: every backbone link incident to it fails."""
+        incident = [l.id for l in self.poc.backbone.incident_links(node_id)]
+        return self.fail_links(incident)
+
+    def restore(self, link_ids: Optional[Iterable[str]] = None) -> None:
+        self.poc.restore_links(link_ids)
+
+    # -- assessment ----------------------------------------------------------
+
+    def assess(self) -> DegradedState:
+        """Re-route over the surviving backbone and measure the residual."""
+        backbone = self.poc.backbone  # already excludes failed links
+        comp = _components(backbone)
+        connected: Dict[Tuple[str, str], float] = {}
+        disconnected: List[Tuple[str, str]] = []
+        total = 0.0
+        for (src, dst), value in self.tm.pairs():
+            total += value
+            if comp.get(src) is not None and comp.get(src) == comp.get(dst):
+                connected[(src, dst)] = value
+            else:
+                disconnected.append((src, dst))
+        connected_total = sum(connected.values())
+        if connected:
+            sub_tm = TrafficMatrix.from_dict(backbone.node_ids, connected)
+            lam = max_concurrent_flow(backbone, sub_tm).lam
+        else:
+            lam = 0.0
+        return DegradedState(
+            failed_links=self.poc.failed_links,
+            surviving_links=frozenset(backbone.link_ids),
+            total_demand_gbps=total,
+            connected_demand_gbps=connected_total,
+            lam=lam,
+            disconnected_pairs=tuple(sorted(disconnected)),
+        )
+
+    # -- next round ----------------------------------------------------------
+
+    def surviving_offers(self, offers: Sequence[Offer]) -> List[Offer]:
+        """Next-round offers with this epoch's failed links withheld."""
+        failed = self.poc.failed_links
+        out: List[Offer] = []
+        for offer in offers:
+            keep = offer.link_ids - failed
+            if not keep:
+                continue  # the BP has nothing serviceable to offer
+            out.append(withhold_offer(offer, keep) if keep != offer.link_ids else offer)
+        return out
+
+    def reprovision(
+        self,
+        offers: Sequence[Offer],
+        *,
+        auctioneer=None,
+        constraint: int = 1,
+        engine: str = "mcf",
+        method: str = "greedy-drop",
+    ) -> AuctionResult:
+        """The deferred re-auction: clear next round without failed links.
+
+        With an ``auctioneer`` (a :class:`~repro.resilience.policy.
+        ResilientAuctioneer`), clearing goes through the retry/fallback
+        policy; otherwise the named heuristic clears directly.  Activation
+        exits degraded mode.
+        """
+        failed = self.poc.failed_links
+        # Mirror PublicOptionCore.provision: external-contract virtual
+        # links stay available as fallback unless the caller already
+        # included them in the offer set.
+        all_offers = list(offers)
+        present = {o.provider for o in all_offers}
+        all_offers += [
+            c.to_offer() for c in self.poc.external_contracts if c.isp not in present
+        ]
+        round_offers = self.surviving_offers(all_offers)
+        subnet = self.poc.offered.without_links(failed) if failed else self.poc.offered
+        cons = make_constraint(constraint, subnet, self.tm, engine=engine)
+        if auctioneer is not None:
+            result, _prov = auctioneer.clear(round_offers, cons)
+        else:
+            from repro.auction.vcg import AuctionConfig, run_auction
+
+            result = run_auction(round_offers, cons, config=AuctionConfig(method=method))
+        self.poc.activate(result)
+        return result

@@ -1,0 +1,265 @@
+"""Retry, circuit breaking, and the MILP→heuristic clearing fallback.
+
+A POC in production cannot crash because one MILP solve stalled or one
+transient error fired.  This module provides the three standard tools —
+bounded retry with exponential backoff + jitter, a call-count circuit
+breaker, and a primary/fallback engine pair — wired for *simulation*:
+delays come from an injectable ``sleep`` (tests and the chaos harness
+pass a virtual clock) and jitter from :mod:`repro.rand`, so every
+campaign is reproducible from one integer seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, Type
+
+from repro.exceptions import (
+    AuctionError,
+    NoFeasibleSelectionError,
+    ReproError,
+    SolverTimeoutError,
+)
+from repro.auction.constraints import Constraint
+from repro.auction.provider import Offer
+from repro.auction.vcg import AuctionConfig, AuctionResult, run_auction
+from repro.rand import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with multiplicative jitter.
+
+    Attempt ``k`` (0-based) sleeps ``base_delay_s · multiplier^k`` before
+    retrying, capped at ``max_delay_s`` and scaled by a uniform jitter in
+    ``[1 − jitter, 1 + jitter]`` so synchronized retries don't stampede.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ReproError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ReproError("delays cannot be negative")
+        if self.multiplier < 1.0:
+            raise ReproError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ReproError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def delay_s(self, attempt: int, rng) -> float:
+        """Backoff before retry number ``attempt`` (0-based), jittered."""
+        raw = min(self.base_delay_s * self.multiplier**attempt, self.max_delay_s)
+        if self.jitter:
+            raw *= float(rng.uniform(1.0 - self.jitter, 1.0 + self.jitter))
+        return raw
+
+
+def call_with_retry(
+    fn: Callable[[], object],
+    *,
+    policy: Optional[RetryPolicy] = None,
+    retry_on: Tuple[Type[BaseException], ...] = (ReproError,),
+    seed: SeedLike = 0,
+    sleep: Optional[Callable[[float], None]] = None,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+) -> object:
+    """Call ``fn`` until it succeeds or the policy's attempts run out.
+
+    Only exceptions in ``retry_on`` are retried; anything else propagates
+    immediately.  The final failure re-raises the last exception.
+    ``sleep`` defaults to a no-op (simulation time) — pass
+    ``time.sleep`` for wall-clock behaviour.
+    """
+    pol = policy or RetryPolicy()
+    rng = make_rng(seed)
+    do_sleep = sleep or (lambda _s: None)
+    last: Optional[BaseException] = None
+    for attempt in range(pol.max_attempts):
+        try:
+            return fn()
+        except retry_on as exc:
+            last = exc
+            if attempt + 1 >= pol.max_attempts:
+                break
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            do_sleep(pol.delay_s(attempt, rng))
+    assert last is not None
+    raise last
+
+
+class CircuitBreaker:
+    """A call-count circuit breaker (deterministic: no wall clock).
+
+    ``failure_threshold`` consecutive failures open the circuit; while
+    open, :meth:`allow` returns False for ``cooldown_calls`` calls, after
+    which one probe call is let through (half-open).  A success closes
+    the circuit, a failure re-opens it.
+    """
+
+    def __init__(self, *, failure_threshold: int = 3, cooldown_calls: int = 5) -> None:
+        if failure_threshold < 1:
+            raise ReproError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if cooldown_calls < 1:
+            raise ReproError(f"cooldown_calls must be >= 1, got {cooldown_calls}")
+        self.failure_threshold = failure_threshold
+        self.cooldown_calls = cooldown_calls
+        self._consecutive_failures = 0
+        self._cooldown_remaining = 0
+        self._half_open = False
+
+    @property
+    def state(self) -> str:
+        if self._cooldown_remaining > 0:
+            return "open"
+        if self._half_open:
+            return "half-open"
+        return "closed"
+
+    def allow(self) -> bool:
+        """May the protected call run right now?  (Counts down cooldown.)"""
+        if self._cooldown_remaining > 0:
+            self._cooldown_remaining -= 1
+            if self._cooldown_remaining == 0:
+                self._half_open = True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._half_open = False
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if self._half_open or self._consecutive_failures >= self.failure_threshold:
+            self._cooldown_remaining = self.cooldown_calls
+            self._consecutive_failures = 0
+            self._half_open = False
+
+
+@dataclass(frozen=True)
+class ClearingProvenance:
+    """Which engine actually produced an auction result, and why."""
+
+    engine: str  # method string of the engine that produced the result
+    fallback: bool  # True when the primary engine did not produce it
+    attempts: int  # calls made to the primary engine (0 = breaker open)
+    breaker_state: str
+    failure: Optional[str] = None  # repr of the primary's last error
+
+    def describe(self) -> str:
+        if not self.fallback:
+            return f"{self.engine} (primary, {self.attempts} attempt(s))"
+        why = self.failure or "circuit open"
+        return f"{self.engine} (fallback after {self.attempts} attempt(s): {why})"
+
+
+class ResilientAuctioneer:
+    """Clears auctions through a primary engine with heuristic fallback.
+
+    The primary (by default the exact MILP) is wrapped in retry + circuit
+    breaker; on :class:`SolverTimeoutError`, repeated failure, or an open
+    circuit, the clearing falls back to a deterministic heuristic engine
+    and the :class:`ClearingProvenance` records that.  Infeasibility
+    (:class:`NoFeasibleSelectionError`) is *not* retried or masked — no
+    engine can conjure capacity that was never offered.
+    """
+
+    def __init__(
+        self,
+        *,
+        primary_method: str = "milp",
+        fallback_method: str = "greedy-drop",
+        milp_time_limit_s: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        seed: SeedLike = 0,
+        sleep: Optional[Callable[[float], None]] = None,
+        before_primary: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if primary_method == fallback_method:
+            raise AuctionError("primary and fallback engines must differ")
+        self.primary_method = primary_method
+        self.fallback_method = fallback_method
+        self.milp_time_limit_s = milp_time_limit_s
+        self.retry = retry or RetryPolicy(max_attempts=2)
+        self.breaker = breaker or CircuitBreaker()
+        self.rng = make_rng(seed)
+        self.sleep = sleep
+        #: Test/chaos hook: runs before every primary attempt and may
+        #: raise (e.g. a simulated solver stall).
+        self.before_primary = before_primary
+        self.history: List[ClearingProvenance] = []
+
+    def _run(self, offers: Sequence[Offer], constraint: Constraint, method: str) -> AuctionResult:
+        cfg = AuctionConfig(method=method, milp_time_limit_s=self.milp_time_limit_s)
+        return run_auction(offers, constraint, config=cfg)
+
+    def clear(
+        self, offers: Sequence[Offer], constraint: Constraint
+    ) -> Tuple[AuctionResult, ClearingProvenance]:
+        """Clear the auction; never raises for primary-engine trouble."""
+        attempts = 0
+        failure: Optional[str] = None
+        result: Optional[AuctionResult] = None
+
+        if self.breaker.allow():
+
+            def attempt() -> AuctionResult:
+                nonlocal attempts
+                attempts += 1
+                if self.before_primary is not None:
+                    self.before_primary()
+                return self._run(offers, constraint, self.primary_method)
+
+            try:
+                result = call_with_retry(
+                    attempt,
+                    policy=self.retry,
+                    # Timeouts and engine-level errors are worth retrying;
+                    # infeasibility is a property of the offers, not luck.
+                    retry_on=(SolverTimeoutError,),
+                    seed=self.rng,
+                    sleep=self.sleep,
+                )
+                self.breaker.record_success()
+            except SolverTimeoutError as exc:
+                failure = repr(exc)
+                self.breaker.record_failure()
+            except NoFeasibleSelectionError:
+                raise
+            except AuctionError as exc:
+                # e.g. non-additive bids the MILP cannot express: fall
+                # back rather than crash, but don't count it against the
+                # breaker (it is deterministic, not transient).
+                failure = repr(exc)
+
+        if result is not None:
+            prov = ClearingProvenance(
+                engine=self.primary_method,
+                fallback=False,
+                attempts=attempts,
+                breaker_state=self.breaker.state,
+            )
+        else:
+            result = self._run(offers, constraint, self.fallback_method)
+            prov = ClearingProvenance(
+                engine=self.fallback_method,
+                fallback=True,
+                attempts=attempts,
+                breaker_state=self.breaker.state,
+                failure=failure,
+            )
+        self.history.append(prov)
+        return result, prov
+
+    @property
+    def fallback_rate(self) -> float:
+        if not self.history:
+            return 0.0
+        return sum(1 for p in self.history if p.fallback) / len(self.history)

@@ -119,3 +119,77 @@ class TestOutcomeMetrics:
         assert len(outcome.payment_series("P")) == 6
         assert len(outcome.payment_series("nobody")) == 6
         assert all(v == 0.0 for v in outcome.payment_series("nobody"))
+
+
+class TestWithdrawal:
+    """Mid-round BP dropouts (ProviderDropoutError satellite)."""
+
+    @pytest.fixture
+    def with_fallback(self, setup):
+        # An external shadow link keeps the auction priceable when one
+        # of the two BPs withdraws (sole-participant VCG cannot clear).
+        from repro.auction.provider import make_external_contract
+
+        net, offers, tm = setup
+        contract = make_external_contract(
+            "ext", [("A", "C")], capacity_gbps=5.0,
+            price_per_link=999.0, length_km=100.0,
+        )
+        for link in contract.links:
+            net.add_link(link)
+        return net, list(offers) + [contract.to_offer()], tm
+
+    def test_unknown_provider_rejected(self, setup):
+        from repro.exceptions import ProviderDropoutError
+
+        net, offers, tm = setup
+        auction = RecurringAuction(net, offers, tm, seed=1)
+        with pytest.raises(ProviderDropoutError) as ei:
+            auction.withdraw("nobody")
+        assert ei.value.provider == "nobody"
+
+    def test_cannot_empty_the_auction(self, setup):
+        from repro.exceptions import ProviderDropoutError
+
+        net, offers, tm = setup
+        auction = RecurringAuction(net, offers, tm, seed=1)
+        auction.withdraw("P")
+        with pytest.raises(ProviderDropoutError):
+            auction.withdraw("Q")
+        assert auction.withdrawn == frozenset({"P"})
+
+    def test_contract_is_not_a_participant(self, with_fallback):
+        from repro.exceptions import ProviderDropoutError
+
+        net, offers, tm = with_fallback
+        auction = RecurringAuction(net, offers, tm, seed=1)
+        with pytest.raises(ProviderDropoutError):
+            auction.withdraw("ext")
+
+    def test_withdrawn_bp_never_wins(self, with_fallback):
+        net, offers, tm = with_fallback
+        auction = RecurringAuction(net, offers, tm, seed=1, engine="mcf")
+        auction.withdraw("P")
+        outcome = auction.run(3)
+        p_links = next(o.link_ids for o in offers if o.provider == "P")
+        for r in outcome.rounds:
+            assert r.result is not None
+            assert not (r.result.selected & p_links)
+
+    def test_rejoin_restores_participation(self, with_fallback):
+        net, offers, tm = with_fallback
+        auction = RecurringAuction(net, offers, tm, seed=1, engine="mcf")
+        auction.withdraw("Q")
+        auction.rejoin("Q")
+        assert auction.withdrawn == frozenset()
+        outcome = auction.run(3)
+        # Q's cheap diagonal wins again once it is back in the round.
+        assert any(
+            "AC" in r.result.selected for r in outcome.rounds if r.result
+        )
+
+    def test_rejoin_unknown_is_noop(self, setup):
+        net, offers, tm = setup
+        auction = RecurringAuction(net, offers, tm, seed=1)
+        auction.rejoin("nobody")  # does not raise
+        assert auction.withdrawn == frozenset()

@@ -152,3 +152,60 @@ class TestSelectionOnZoo:
         by_provider = outcome.provider_links(offers)
         combined = frozenset().union(*by_provider.values())
         assert combined == outcome.selected
+
+
+class TestMilpTimeout:
+    """The MILP wrapper surfaces budget exhaustion as SolverTimeoutError."""
+
+    class _StalledResult:
+        status = 1  # HiGHS: iteration/time limit reached
+        x = None  # ... before any incumbent was found
+        message = "time limit reached"
+
+    def test_no_incumbent_raises_solver_timeout(self, setup, monkeypatch):
+        import repro.auction.milp as milp_mod
+        from repro.exceptions import SolverTimeoutError
+
+        monkeypatch.setattr(
+            milp_mod, "milp", lambda *a, **k: self._StalledResult()
+        )
+        _net, offers, constraint = setup
+        with pytest.raises(SolverTimeoutError) as ei:
+            select_links(
+                offers, constraint, method="milp", milp_time_limit_s=0.001
+            )
+        assert ei.value.solver == "milp"
+        assert ei.value.limit_s == 0.001
+        assert "time limit" in str(ei.value)
+
+    def test_unbounded_run_reports_inf_limit(self, setup, monkeypatch):
+        import repro.auction.milp as milp_mod
+        from repro.exceptions import SolverTimeoutError
+
+        monkeypatch.setattr(
+            milp_mod, "milp", lambda *a, **k: self._StalledResult()
+        )
+        _net, offers, constraint = setup
+        with pytest.raises(SolverTimeoutError) as ei:
+            select_links(offers, constraint, method="milp")
+        assert ei.value.limit_s == float("inf")
+
+    def test_timeout_propagates_through_vcg(self, setup, monkeypatch):
+        import repro.auction.milp as milp_mod
+        from repro.auction.vcg import AuctionConfig, run_auction
+        from repro.exceptions import SolverTimeoutError
+
+        monkeypatch.setattr(
+            milp_mod, "milp", lambda *a, **k: self._StalledResult()
+        )
+        _net, offers, constraint = setup
+        cfg = AuctionConfig(method="milp", milp_time_limit_s=0.5)
+        with pytest.raises(SolverTimeoutError):
+            run_auction(offers, constraint, config=cfg)
+
+    def test_generous_limit_still_solves(self, setup):
+        _net, offers, constraint = setup
+        outcome = select_links(
+            offers, constraint, method="milp", milp_time_limit_s=60.0
+        )
+        assert outcome.selected == frozenset({"AC"})

@@ -8,7 +8,7 @@ from repro.netflow.failures import (
     shared_risk_groups,
     single_link_failures,
 )
-from repro.topology.graph import Link
+from repro.topology.graph import Link, Node
 
 from tests.conftest import square_network
 
@@ -54,6 +54,18 @@ class TestPrimaryPath:
         scenario_sets = [s for _, s in primary_path_failures(square, square.link_ids)]
         assert len(scenario_sets) == len(set(scenario_sets))
 
+    def test_first_pair_label_kept_on_duplicate(self, square):
+        # Duplicate candidate ids must not duplicate scenarios either.
+        doubled = list(square.link_ids) * 2
+        a = list(primary_path_failures(square, square.link_ids))
+        b = list(primary_path_failures(square, doubled))
+        assert a == b
+
+    def test_disconnected_pair_yields_no_scenario(self, square):
+        square.add_node(Node(id="Z"))  # stranded site: no incident links
+        pairs = {pair for pair, _ in primary_path_failures(square, square.link_ids)}
+        assert all("Z" not in pair for pair in pairs)
+
 
 class TestNodeFailures:
     def test_incident_links(self, square):
@@ -64,6 +76,21 @@ class TestNodeFailures:
         scenarios = dict(node_failures(square.node_ids, square))
         assert set(scenarios) == set(square.node_ids)
 
+    def test_isolated_node_yields_nothing(self, square):
+        # A site with no links has no failure scenario: removing zero
+        # links proves nothing, and the constraint layer must not see
+        # an empty removal set.
+        square.add_node(Node(id="Z"))
+        scenarios = dict(node_failures(["Z", "A"], square))
+        assert "Z" not in scenarios
+        assert "A" in scenarios
+
+    def test_unknown_node_raises(self, square):
+        from repro.exceptions import UnknownNodeError
+
+        with pytest.raises(UnknownNodeError):
+            list(node_failures(["nope"], square))
+
 
 class TestSharedRisk:
     def test_parallel_links_grouped(self, square):
@@ -73,3 +100,27 @@ class TestSharedRisk:
 
     def test_no_groups_without_parallels(self, square):
         assert shared_risk_groups(square) == []
+
+    def test_corridor_of_parallel_links_is_one_group(self, square):
+        # Three conduits in the same A-B corridor: one backhoe, one group.
+        square.add_link(Link(id="AB2", u="A", v="B", capacity_gbps=5.0))
+        square.add_link(Link(id="AB3", u="B", v="A", capacity_gbps=2.0))
+        groups = shared_risk_groups(square)
+        assert frozenset({"AB", "AB2", "AB3"}) in groups
+        assert len(groups) == 1  # endpoint orientation does not split it
+
+    def test_virtual_links_excluded_by_default(self, square):
+        # An external-ISP virtual link rides the ISP's own plant, not the
+        # leased conduit: it must not join the corridor's risk group.
+        square.add_link(
+            Link(id="ABv", u="A", v="B", capacity_gbps=5.0, virtual=True)
+        )
+        assert shared_risk_groups(square) == []
+        groups = shared_risk_groups(square, include_virtual=True)
+        assert frozenset({"AB", "ABv"}) in groups
+
+    def test_groups_sorted_and_deterministic(self, square):
+        square.add_link(Link(id="CD2", u="C", v="D", capacity_gbps=5.0))
+        square.add_link(Link(id="AB2", u="A", v="B", capacity_gbps=5.0))
+        groups = shared_risk_groups(square)
+        assert groups == [frozenset({"AB", "AB2"}), frozenset({"CD", "CD2"})]

@@ -1,0 +1,243 @@
+"""Tests for the fault-injection harness and survivability campaigns."""
+
+import pytest
+
+from repro.exceptions import BidError, ReproError
+from repro.experiments.pipeline import PipelineCheckpoint
+from repro.resilience.chaos import (
+    FAULT_KINDS,
+    TOPOLOGY_KINDS,
+    ChaosConfig,
+    FaultEvent,
+    ScenarioResult,
+    _corrupt_bid,
+    _validate_offers,
+    micro_scenario,
+    plan_campaign,
+    run_campaign,
+)
+
+from tests.conftest import square_network, square_offers
+
+
+@pytest.fixture(scope="module")
+def micro():
+    return micro_scenario(seed=7)
+
+
+@pytest.fixture(scope="module")
+def seed7_report(micro):
+    net, offers, tm = micro
+    return run_campaign(net, offers, tm, ChaosConfig(seed=7, scenarios=6))
+
+
+class TestMicroScenario:
+    def test_shape(self, micro):
+        net, offers, tm = micro
+        assert len(net.node_ids) == 8
+        # 8 ring + 4 chords + 2 parallel conduits + 8 virtual ext links.
+        assert net.num_links == 22
+        assert [o.provider for o in offers] == ["alpha", "beta", "gamma", "ext"]
+        assert not offers[-1].in_auction  # the contract is not auctioned
+        assert tm.total_gbps() > 0
+
+    def test_same_seed_reproduces_prices(self):
+        _, offers_a, tm_a = micro_scenario(seed=7)
+        _, offers_b, tm_b = micro_scenario(seed=7)
+        for a, b in zip(offers_a, offers_b):
+            assert a.bid.cost(a.link_ids) == b.bid.cost(b.link_ids)
+        assert tm_a.total_gbps() == tm_b.total_gbps()
+
+    def test_different_seed_changes_prices(self):
+        _, offers_a, _ = micro_scenario(seed=7)
+        _, offers_b, _ = micro_scenario(seed=8)
+        assert any(
+            a.bid.cost(a.link_ids) != b.bid.cost(b.link_ids)
+            for a, b in zip(offers_a, offers_b)
+            if a.in_auction
+        )
+
+    def test_parallel_conduits_form_srlgs(self, micro):
+        from repro.netflow.failures import shared_risk_groups
+
+        net, _, _ = micro
+        groups = shared_risk_groups(net)
+        assert groups  # the gamma conduits share risk with ring links
+        for group in groups:
+            assert len(group) >= 2
+
+
+class TestFaultEventAndConfig:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError):
+            FaultEvent(epoch=0, kind="meteor-strike")
+        with pytest.raises(ReproError):
+            ChaosConfig(kinds=("link-flap", "meteor-strike"))
+
+    def test_config_bounds(self):
+        with pytest.raises(ReproError):
+            ChaosConfig(scenarios=0)
+        with pytest.raises(ReproError):
+            ChaosConfig(kinds=())
+
+    def test_topology_kinds_subset(self):
+        assert TOPOLOGY_KINDS < set(FAULT_KINDS)
+
+
+class TestPlanCampaign:
+    def test_kinds_cycle_in_order(self, micro):
+        net, offers, _ = micro
+        events = plan_campaign(net, offers, ChaosConfig(seed=7, scenarios=8))
+        expected = [FAULT_KINDS[i % len(FAULT_KINDS)] for i in range(8)]
+        assert [e.kind for e in events] == expected
+        assert [e.epoch for e in events] == list(range(8))
+
+    def test_deterministic_per_seed(self, micro):
+        net, offers, _ = micro
+        a = plan_campaign(net, offers, ChaosConfig(seed=7, scenarios=6))
+        b = plan_campaign(net, offers, ChaosConfig(seed=7, scenarios=6))
+        assert a == b
+        c = plan_campaign(net, offers, ChaosConfig(seed=8, scenarios=6))
+        assert [e.salt for e in a] != [e.salt for e in c]
+
+    def test_targets_resolved_at_plan_time(self, micro):
+        net, offers, _ = micro
+        events = plan_campaign(net, offers, ChaosConfig(seed=7, scenarios=6))
+        by_kind = {e.kind: e for e in events}
+        assert by_kind["node-outage"].target in net.node_ids
+        assert by_kind["node-outage"].link_ids  # incident links recorded
+        assert by_kind["srlg-cut"].link_ids  # the parallel-conduit group
+        assert by_kind["bp-dropout"].target in {"alpha", "beta", "gamma"}
+        assert by_kind["malformed-bid"].target in {"alpha", "beta", "gamma"}
+        # link-flap resolves its target from the cleared selection later.
+        assert by_kind["link-flap"].target == ""
+
+    def test_srlg_degrades_to_link_flap_without_groups(self):
+        # The square has no parallel conduits: srlg-cut cannot be staged.
+        net = square_network()
+        offers = square_offers(net)
+        events = plan_campaign(
+            net, offers, ChaosConfig(seed=7, scenarios=2, kinds=("srlg-cut",))
+        )
+        assert all(e.kind == "link-flap" for e in events)
+
+
+class TestBidValidation:
+    def test_corrupt_bid_detected(self, micro):
+        _, offers, _ = micro
+        bad = _corrupt_bid(offers[0])
+        with pytest.raises(BidError):
+            _validate_offers([bad] + list(offers[1:]))
+
+    def test_clean_offers_pass(self, micro):
+        _, offers, _ = micro
+        _validate_offers(offers)  # does not raise
+
+
+class TestScenarioResult:
+    def test_dict_roundtrip(self):
+        s = ScenarioResult(
+            epoch=3, kind="bp-dropout", target="alpha", engine="milp",
+            fallback=False, attempts=1, served_fraction=1.0,
+            unserved_gbps=0.0, rerouted=False, disconnected_pairs=0,
+            dropped_out="alpha",
+        )
+        assert ScenarioResult.from_dict(s.to_dict()) == s
+
+
+class TestRunCampaign:
+    def test_covers_every_fault_class(self, seed7_report):
+        assert [s.kind for s in seed7_report.scenarios] == list(FAULT_KINDS)
+
+    def test_topology_faults_degrade_service(self, seed7_report):
+        by_kind = {s.kind: s for s in seed7_report.scenarios}
+        # Constraint #1 selects a near-tree: cutting it strands demand.
+        assert by_kind["link-flap"].served_fraction < 1.0
+        assert by_kind["node-outage"].served_fraction < 1.0
+        assert by_kind["node-outage"].disconnected_pairs > 0
+        assert by_kind["node-outage"].unserved_gbps > 0
+        for s in seed7_report.scenarios:
+            assert not s.infeasible
+            assert 0.0 <= s.served_fraction <= 1.0
+
+    def test_solver_stall_falls_back(self, seed7_report):
+        stall = next(s for s in seed7_report.scenarios if s.kind == "solver-stall")
+        assert stall.fallback
+        assert stall.engine == "greedy-drop"
+        assert stall.attempts == 2  # one retry before giving up
+        # The control-plane fault costs no service.
+        assert stall.served_fraction == pytest.approx(1.0)
+
+    def test_malformed_bid_quarantines_provider(self, seed7_report):
+        bad = next(s for s in seed7_report.scenarios if s.kind == "malformed-bid")
+        assert bad.quarantined == bad.target
+        assert bad.served_fraction == pytest.approx(1.0)
+
+    def test_bp_dropout_reclears(self, seed7_report):
+        drop = next(s for s in seed7_report.scenarios if s.kind == "bp-dropout")
+        # The scheduled provider either won (re-clear without it) or lost
+        # (nothing to do); either way the epoch serves in full.
+        assert drop.served_fraction == pytest.approx(1.0)
+        if drop.dropped_out:
+            assert drop.dropped_out == drop.target
+
+    def test_byte_identical_across_runs(self, micro, seed7_report):
+        net, offers, tm = micro
+        again = run_campaign(net, offers, tm, ChaosConfig(seed=7, scenarios=6))
+        assert again.to_json() == seed7_report.to_json()
+
+    def test_report_aggregates(self, seed7_report):
+        by_class = seed7_report.served_by_class()
+        assert set(by_class) == set(FAULT_KINDS)
+        assert 0.0 < seed7_report.mean_served_fraction <= 1.0
+        assert seed7_report.fallback_count >= 1
+        text = seed7_report.formatted()
+        assert "chaos campaign: seed=7" in text
+        assert "fallback" in text
+
+    def test_survivable_selection_reroutes(self, micro):
+        # Under Constraint #2 the selection must survive any single link
+        # failure: the link-flap epoch reroutes with zero unserved demand.
+        net, offers, tm = micro
+        report = run_campaign(
+            net, offers, tm,
+            ChaosConfig(seed=7, scenarios=1, kinds=("link-flap",)),
+            constraint=2,
+        )
+        (s,) = report.scenarios
+        assert s.rerouted
+        assert s.served_fraction == pytest.approx(1.0)
+        # The MILP cannot express Constraint #2: the policy layer must
+        # have recorded a fallback, not crashed.
+        assert s.fallback
+
+
+class TestCheckpointResume:
+    def test_resume_is_byte_identical(self, micro, seed7_report, tmp_path):
+        net, offers, tm = micro
+        path = tmp_path / "campaign.json"
+        ckpt = PipelineCheckpoint(path)
+        partial = run_campaign(
+            net, offers, tm, ChaosConfig(seed=7, scenarios=3), checkpoint=ckpt
+        )
+        assert len(partial.scenarios) == 3
+        assert sorted(ckpt.stages()) == [f"scenario-{i}" for i in range(3)]
+
+        # A fresh process resumes from disk; epochs 0-2 replay, 3-5 run.
+        resumed = run_campaign(
+            net, offers, tm, ChaosConfig(seed=7, scenarios=6),
+            checkpoint=PipelineCheckpoint(path),
+        )
+        assert resumed.to_json() == seed7_report.to_json()
+
+    def test_completed_campaign_replays_without_solving(self, micro, tmp_path):
+        net, offers, tm = micro
+        path = tmp_path / "campaign.json"
+        cfg = ChaosConfig(seed=7, scenarios=2)
+        first = run_campaign(net, offers, tm, cfg, checkpoint=PipelineCheckpoint(path))
+        # Replay with a workload that would error if actually re-run:
+        # every stage must come from the checkpoint instead.
+        replay = run_campaign(
+            net, [], tm, cfg, checkpoint=PipelineCheckpoint(path)
+        )
+        assert replay.to_json() == first.to_json()

@@ -1,0 +1,163 @@
+"""Tests for the degraded-mode POC controller."""
+
+import pytest
+
+from repro.exceptions import ReproError, UnknownLinkError
+from repro.auction.provider import make_external_contract
+from repro.core.poc import PublicOptionCore
+from repro.resilience.controller import DegradedModeController
+from repro.resilience.policy import ResilientAuctioneer
+
+from tests.conftest import square_network, square_offers, square_tm
+
+
+def _square_poc():
+    """A square POC with an external shadow ring (so VCG can price every
+    BP's removal — the paper's A(OL − L_α) nonempty assumption)."""
+    net = square_network()
+    offers = square_offers(net)
+    poc = PublicOptionCore(offered=net)
+    contract = make_external_contract(
+        "ext", [("A", "B"), ("B", "C"), ("C", "D"), ("D", "A")],
+        capacity_gbps=10.0, price_per_link=500.0, length_km=100.0,
+    )
+    poc.add_external_contract(contract)
+    return poc, offers
+
+
+@pytest.fixture
+def provisioned():
+    """A POC over the square, provisioned for all-pairs load 1."""
+    poc, offers = _square_poc()
+    tm = square_tm(load=1.0)
+    poc.provision(offers, tm, constraint=1, method="greedy-drop")
+    return poc, offers, tm
+
+
+class TestPocDegradedMode:
+    def test_apply_and_restore(self, provisioned):
+        poc, _offers, _tm = provisioned
+        lid = sorted(poc.auction_result.selected)[0]
+        assert not poc.degraded
+        surviving = poc.apply_link_failures([lid])
+        assert poc.degraded
+        assert lid not in surviving
+        assert lid not in poc.backbone.link_ids
+        poc.restore_links([lid])
+        assert not poc.degraded
+        assert lid in poc.backbone.link_ids
+
+    def test_unselected_link_rejected(self, provisioned):
+        poc, _offers, _tm = provisioned
+        unselected = set(poc.offered.link_ids) - set(poc.auction_result.selected)
+        if unselected:
+            with pytest.raises(UnknownLinkError):
+                poc.apply_link_failures([sorted(unselected)[0]])
+        with pytest.raises(UnknownLinkError):
+            poc.apply_link_failures(["no-such-link"])
+
+    def test_unprovisioned_rejected(self):
+        poc = PublicOptionCore(offered=square_network())
+        with pytest.raises(ReproError):
+            poc.apply_link_failures(["AB"])
+
+    def test_activation_exits_degraded_mode(self, provisioned):
+        poc, _offers, _tm = provisioned
+        lid = sorted(poc.auction_result.selected)[0]
+        poc.apply_link_failures([lid])
+        poc.activate(poc.auction_result)
+        assert not poc.degraded
+
+
+class TestControllerAssessment:
+    def test_no_failures_full_service(self, provisioned):
+        poc, _offers, tm = provisioned
+        ctl = DegradedModeController(poc, tm)
+        state = ctl.assess()
+        assert state.served_fraction == pytest.approx(1.0)
+        assert state.fully_served
+        assert not state.rerouted  # nothing failed, nothing rerouted
+        assert state.unserved_gbps == pytest.approx(0.0)
+
+    def test_fail_selected_link(self, provisioned):
+        poc, _offers, tm = provisioned
+        lid = sorted(poc.auction_result.selected)[0]
+        ctl = DegradedModeController(poc, tm)
+        state = ctl.fail_links([lid])
+        assert state.failed_links == frozenset({lid})
+        assert lid not in state.surviving_links
+        assert 0.0 <= state.served_fraction <= 1.0
+        assert state.total_demand_gbps == pytest.approx(tm.total_gbps())
+        assert ctl.events == [state]
+
+    def test_unselected_failures_are_free(self, provisioned):
+        poc, _offers, tm = provisioned
+        unselected = sorted(set(poc.offered.link_ids) - set(poc.auction_result.selected))
+        if not unselected:
+            pytest.skip("greedy selection kept every offered link")
+        ctl = DegradedModeController(poc, tm)
+        state = ctl.fail_links([unselected[0]])
+        assert not state.failed_links
+        assert state.served_fraction == pytest.approx(1.0)
+
+    def test_node_outage_disconnects_demand(self, provisioned):
+        poc, _offers, tm = provisioned
+        ctl = DegradedModeController(poc, tm)
+        state = ctl.fail_node("B")
+        # B's demand (6 of the 12 ordered pairs touch B) cannot be served;
+        # depending on the selected tree, more pairs may be stranded too.
+        assert state.disconnected_pairs
+        assert any("B" in pair for pair in state.disconnected_pairs)
+        assert state.served_fraction < 1.0
+        assert state.unserved_gbps > 0
+
+    def test_rerouted_flag_when_survivors_carry_everything(self):
+        # Constraint #2 keeps a redundant set: failing any one selected
+        # link must leave survivors that still carry all demand.
+        poc, offers = _square_poc()
+        tm = square_tm(load=1.0)
+        poc.provision(offers, tm, constraint=2, method="greedy-drop")
+        ctl = DegradedModeController(poc, tm)
+        lid = sorted(poc.auction_result.selected)[0]
+        state = ctl.fail_links([lid])
+        assert state.rerouted
+        assert state.served_fraction == pytest.approx(1.0)
+
+    def test_requires_provisioned_poc(self):
+        poc = PublicOptionCore(offered=square_network())
+        with pytest.raises(ReproError):
+            DegradedModeController(poc, square_tm())
+
+
+class TestReprovision:
+    def test_reprovision_avoids_failed_links(self, provisioned):
+        poc, offers, tm = provisioned
+        lid = sorted(poc.auction_result.selected)[0]
+        ctl = DegradedModeController(poc, tm)
+        ctl.fail_links([lid])
+        result = ctl.reprovision(offers, constraint=1, method="greedy-drop")
+        assert lid not in result.selected
+        assert not poc.degraded  # activation exits degraded mode
+        assert poc.backbone.num_links == len(result.selected)
+
+    def test_reprovision_through_auctioneer(self, provisioned):
+        poc, offers, tm = provisioned
+        lid = sorted(poc.auction_result.selected)[0]
+        ctl = DegradedModeController(poc, tm)
+        ctl.fail_links([lid])
+        auc = ResilientAuctioneer(primary_method="milp", seed=0)
+        result = ctl.reprovision(offers, auctioneer=auc)
+        assert lid not in result.selected
+        assert len(auc.history) == 1
+
+    def test_surviving_offers_withhold_failed(self, provisioned):
+        poc, offers, tm = provisioned
+        lid = sorted(poc.auction_result.selected)[0]
+        ctl = DegradedModeController(poc, tm)
+        ctl.fail_links([lid])
+        surv = ctl.surviving_offers(offers)
+        for offer in surv:
+            assert lid not in offer.link_ids
+        # Total links shrink by exactly the failed one.
+        total = sum(len(o.link_ids) for o in surv)
+        assert total == sum(len(o.link_ids) for o in offers) - 1

@@ -1,0 +1,257 @@
+"""Tests for the retry/circuit-breaker/fallback policy layer."""
+
+import pytest
+
+from repro.exceptions import (
+    AuctionError,
+    NoFeasibleSelectionError,
+    ReproError,
+    SolverTimeoutError,
+)
+from repro.auction.constraints import make_constraint
+from repro.resilience.policy import (
+    CircuitBreaker,
+    ResilientAuctioneer,
+    RetryPolicy,
+    call_with_retry,
+)
+
+from tests.conftest import square_network, square_offers, square_tm
+
+
+class TestRetryPolicy:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ReproError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ReproError):
+            RetryPolicy(base_delay_s=-1)
+        with pytest.raises(ReproError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ReproError):
+            RetryPolicy(jitter=1.0)
+
+    def test_backoff_grows_and_caps(self):
+        from repro.rand import make_rng
+
+        pol = RetryPolicy(base_delay_s=1.0, multiplier=2.0, max_delay_s=3.0, jitter=0.0)
+        rng = make_rng(0)
+        assert pol.delay_s(0, rng) == pytest.approx(1.0)
+        assert pol.delay_s(1, rng) == pytest.approx(2.0)
+        assert pol.delay_s(2, rng) == pytest.approx(3.0)  # capped
+        assert pol.delay_s(9, rng) == pytest.approx(3.0)
+
+    def test_jitter_bounds(self):
+        from repro.rand import make_rng
+
+        pol = RetryPolicy(base_delay_s=1.0, multiplier=1.0, jitter=0.25)
+        rng = make_rng(42)
+        delays = [pol.delay_s(0, rng) for _ in range(100)]
+        assert all(0.75 <= d <= 1.25 for d in delays)
+        assert len(set(delays)) > 1  # jitter actually varies
+
+
+class TestCallWithRetry:
+    def test_succeeds_after_transient_failures(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise SolverTimeoutError("milp", 1.0)
+            return "ok"
+
+        slept = []
+        out = call_with_retry(
+            flaky,
+            policy=RetryPolicy(max_attempts=3, jitter=0.0, base_delay_s=0.5),
+            retry_on=(SolverTimeoutError,),
+            sleep=slept.append,
+        )
+        assert out == "ok"
+        assert calls["n"] == 3
+        assert slept == [pytest.approx(0.5), pytest.approx(1.0)]
+
+    def test_exhaustion_reraises_last_error(self):
+        def always():
+            raise SolverTimeoutError("milp", 1.0)
+
+        with pytest.raises(SolverTimeoutError):
+            call_with_retry(
+                always, policy=RetryPolicy(max_attempts=2), retry_on=(SolverTimeoutError,)
+            )
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = {"n": 0}
+
+        def wrong():
+            calls["n"] += 1
+            raise NoFeasibleSelectionError("nope")
+
+        with pytest.raises(NoFeasibleSelectionError):
+            call_with_retry(
+                wrong,
+                policy=RetryPolicy(max_attempts=5),
+                retry_on=(SolverTimeoutError,),
+            )
+        assert calls["n"] == 1
+
+    def test_on_retry_callback(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 1:
+                raise SolverTimeoutError("milp", 1.0)
+            return 1
+
+        call_with_retry(
+            flaky,
+            policy=RetryPolicy(max_attempts=2),
+            retry_on=(SolverTimeoutError,),
+            on_retry=lambda attempt, exc: seen.append((attempt, type(exc).__name__)),
+        )
+        assert seen == [(0, "SolverTimeoutError")]
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        br = CircuitBreaker(failure_threshold=2, cooldown_calls=3)
+        assert br.state == "closed"
+        br.record_failure()
+        assert br.state == "closed"
+        br.record_failure()
+        assert br.state == "open"
+        assert not br.allow()
+
+    def test_cooldown_then_half_open_probe(self):
+        br = CircuitBreaker(failure_threshold=1, cooldown_calls=2)
+        br.record_failure()
+        assert not br.allow()
+        assert not br.allow()  # cooldown expires on this call
+        assert br.state == "half-open"
+        assert br.allow()  # the probe
+
+    def test_probe_success_closes(self):
+        br = CircuitBreaker(failure_threshold=1, cooldown_calls=1)
+        br.record_failure()
+        assert not br.allow()
+        assert br.allow()
+        br.record_success()
+        assert br.state == "closed"
+
+    def test_probe_failure_reopens(self):
+        br = CircuitBreaker(failure_threshold=3, cooldown_calls=1)
+        br.record_failure()
+        br.record_failure()
+        br.record_failure()
+        assert not br.allow()
+        assert br.allow()  # half-open probe
+        br.record_failure()  # one failure re-opens while half-open
+        assert br.state == "open"
+
+    def test_success_resets_consecutive_count(self):
+        br = CircuitBreaker(failure_threshold=2, cooldown_calls=1)
+        br.record_failure()
+        br.record_success()
+        br.record_failure()
+        assert br.state == "closed"
+
+
+@pytest.fixture
+def workload():
+    # A square plus an external shadow ring so every BP's leave-one-out
+    # selection stays feasible (the paper's external-transit assumption).
+    from repro.auction.provider import make_external_contract
+
+    net = square_network()
+    offers = square_offers(net)
+    contract = make_external_contract(
+        "ext", [("A", "B"), ("B", "C"), ("C", "D"), ("D", "A")],
+        capacity_gbps=10.0, price_per_link=500.0, length_km=100.0,
+    )
+    for link in contract.links:
+        net.add_link(link)
+    offers = list(offers) + [contract.to_offer()]
+    return net, offers, square_tm(load=1.0)
+
+
+class TestResilientAuctioneer:
+    def test_primary_success_records_provenance(self, workload):
+        net, offers, tm = workload
+        cons = make_constraint(1, net, tm, engine="mcf")
+        auc = ResilientAuctioneer(primary_method="milp", seed=0)
+        result, prov = auc.clear(offers, cons)
+        assert result.selected
+        assert prov.engine == "milp"
+        assert not prov.fallback
+        assert prov.attempts == 1
+        assert auc.fallback_rate == 0.0
+
+    def test_stall_falls_back_to_heuristic(self, workload):
+        net, offers, tm = workload
+        cons = make_constraint(1, net, tm, engine="mcf")
+
+        def stall():
+            raise SolverTimeoutError("milp", 0.001)
+
+        auc = ResilientAuctioneer(
+            primary_method="milp", fallback_method="greedy-drop",
+            retry=RetryPolicy(max_attempts=2), seed=0, before_primary=stall,
+        )
+        result, prov = auc.clear(offers, cons)
+        assert result.selected
+        assert prov.engine == "greedy-drop"
+        assert prov.fallback
+        assert prov.attempts == 2  # retried before giving up
+        assert "SolverTimeoutError" in prov.failure
+        assert auc.fallback_rate == 1.0
+
+    def test_breaker_opens_after_repeated_stalls(self, workload):
+        net, offers, tm = workload
+        cons = make_constraint(1, net, tm, engine="mcf")
+
+        def stall():
+            raise SolverTimeoutError("milp", 0.001)
+
+        auc = ResilientAuctioneer(
+            primary_method="milp",
+            retry=RetryPolicy(max_attempts=1),
+            breaker=CircuitBreaker(failure_threshold=2, cooldown_calls=10),
+            seed=0,
+            before_primary=stall,
+        )
+        auc.clear(offers, cons)
+        auc.clear(offers, cons)  # second failure trips the breaker
+        _result, prov = auc.clear(offers, cons)
+        # Circuit open: the primary is not even attempted.
+        assert prov.attempts == 0
+        assert prov.fallback
+        assert prov.breaker_state == "open"
+
+    def test_infeasibility_is_not_masked(self, workload):
+        net, offers, tm = workload
+        heavy = tm.scaled(1000.0)
+        cons = make_constraint(1, net, heavy, engine="mcf")
+        auc = ResilientAuctioneer(primary_method="milp", seed=0)
+        with pytest.raises(NoFeasibleSelectionError):
+            auc.clear(offers, cons)
+
+    def test_nonadditive_bids_fall_back_without_breaker_penalty(self, workload):
+        from repro.auction.bids import VolumeDiscountCost
+
+        net, offers, tm = workload
+        p = offers[0]
+        discounted = p.with_bid(
+            VolumeDiscountCost(
+                {lid: 100.0 for lid in p.link_ids}, tiers=((2, 0.1),)
+            )
+        )
+        cons = make_constraint(1, net, tm, engine="mcf")
+        auc = ResilientAuctioneer(primary_method="milp", seed=0)
+        result, prov = auc.clear([discounted] + list(offers[1:]), cons)
+        assert result.selected
+        assert prov.fallback
+        assert auc.breaker.state == "closed"  # deterministic, not transient
+
+    def test_same_engines_rejected(self):
+        with pytest.raises(AuctionError):
+            ResilientAuctioneer(primary_method="milp", fallback_method="milp")

@@ -98,3 +98,57 @@ class TestPlanningCommand:
         out = capsys.readouterr().out
         assert "RE-AUCTION" in out
         assert "1 auctions" in out
+
+
+class TestChaosCommand:
+    def test_micro_campaign_runs(self, capsys):
+        assert main(["chaos", "--seed", "7", "--scenarios", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos campaign: seed=7" in out
+        assert "served-demand fraction by fault class" in out
+        assert "solver-stall" in out
+        assert "fallback" in out
+
+    def test_json_output_is_deterministic(self, capsys):
+        assert main(["chaos", "--seed", "7", "--scenarios", "3", "--json"]) == 0
+        a = capsys.readouterr().out
+        assert main(["chaos", "--seed", "7", "--scenarios", "3", "--json"]) == 0
+        b = capsys.readouterr().out
+        assert a == b
+        import json
+
+        payload = json.loads(a)
+        assert payload["seed"] == 7
+        assert len(payload["scenarios"]) == 3
+
+    def test_checkpoint_resume(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "campaign.json")
+        assert main([
+            "chaos", "--seed", "7", "--scenarios", "2",
+            "--checkpoint", ckpt, "--json",
+        ]) == 0
+        first = capsys.readouterr().out
+        # Resuming to a longer campaign replays the finished epochs.
+        assert main([
+            "chaos", "--seed", "7", "--scenarios", "4",
+            "--checkpoint", ckpt, "--json",
+        ]) == 0
+        import json
+
+        resumed = json.loads(capsys.readouterr().out)
+        assert json.loads(first)["scenarios"] == resumed["scenarios"][:2]
+
+    def test_heuristic_primary_avoids_fallback_collision(self, capsys):
+        # --method greedy-drop collides with the default fallback; the
+        # CLI must pick a different fallback rather than crash.
+        assert main([
+            "chaos", "--seed", "3", "--scenarios", "2",
+            "--method", "greedy-drop",
+        ]) == 0
+
+    def test_survivable_constraint(self, capsys):
+        assert main([
+            "chaos", "--seed", "7", "--scenarios", "1", "--constraint", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "rerouted" in out

@@ -74,6 +74,97 @@ class TestOffersForZoo:
         assert constraint.satisfied(outcome.selected)
 
 
+class TestOffersForZooValidation:
+    def test_negative_noise_rejected(self, tiny_zoo):
+        from repro.exceptions import BidError
+
+        with pytest.raises(BidError):
+            offers_for_zoo(tiny_zoo, cost_noise=-0.1)
+
+    def test_inverted_efficiency_range_rejected(self, tiny_zoo):
+        from repro.exceptions import BidError
+
+        with pytest.raises(BidError):
+            offers_for_zoo(tiny_zoo, efficiency_range=(1.3, 0.8))
+
+    def test_nonpositive_efficiency_rejected(self, tiny_zoo):
+        from repro.exceptions import BidError
+
+        with pytest.raises(BidError):
+            offers_for_zoo(tiny_zoo, efficiency_range=(0.0, 1.2))
+        with pytest.raises(BidError):
+            offers_for_zoo(tiny_zoo, efficiency_range=(-0.5, 1.2))
+
+    def test_malformed_range_shape_rejected(self, tiny_zoo):
+        from repro.exceptions import BidError
+
+        with pytest.raises(BidError):
+            offers_for_zoo(tiny_zoo, efficiency_range=(0.8, 1.0, 1.2))
+
+    def test_degenerate_range_allowed(self, tiny_zoo):
+        # lo == hi is a valid (deterministic-efficiency) configuration.
+        offers = offers_for_zoo(tiny_zoo, efficiency_range=(1.0, 1.0))
+        assert offers
+
+
+class TestPipelineCheckpoint:
+    def test_save_and_resume(self, tmp_path):
+        from repro.experiments.pipeline import PipelineCheckpoint
+
+        path = tmp_path / "ckpt.json"
+        ckpt = PipelineCheckpoint(path)
+        assert not ckpt.has("stage-a")
+        ckpt.save("stage-a", {"rows": [1, 2, 3]})
+        ckpt.save("stage-b", "done")
+
+        fresh = PipelineCheckpoint(path)  # a new process resumes
+        assert fresh.has("stage-a")
+        assert fresh.get("stage-a") == {"rows": [1, 2, 3]}
+        assert fresh.stages() == ["stage-a", "stage-b"]
+
+    def test_corrupt_file_treated_as_absent(self, tmp_path):
+        from repro.experiments.pipeline import PipelineCheckpoint
+
+        path = tmp_path / "ckpt.json"
+        path.write_text("{this is not json")
+        ckpt = PipelineCheckpoint(path)
+        assert ckpt.stages() == []
+
+    def test_wrong_version_treated_as_absent(self, tmp_path):
+        import json
+
+        from repro.experiments.pipeline import PipelineCheckpoint
+
+        path = tmp_path / "ckpt.json"
+        path.write_text(json.dumps({"version": 999, "stages": {"x": 1}}))
+        assert not PipelineCheckpoint(path).has("x")
+
+    def test_atomic_write_leaves_no_tmp(self, tmp_path):
+        from repro.experiments.pipeline import PipelineCheckpoint
+
+        path = tmp_path / "ckpt.json"
+        ckpt = PipelineCheckpoint(path)
+        ckpt.save("s", 1)
+        assert path.exists()
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_clear_removes_file(self, tmp_path):
+        from repro.experiments.pipeline import PipelineCheckpoint
+
+        path = tmp_path / "ckpt.json"
+        ckpt = PipelineCheckpoint(path)
+        ckpt.save("s", 1)
+        ckpt.clear()
+        assert not path.exists()
+        assert not ckpt.has("s")
+
+    def test_get_default(self, tmp_path):
+        from repro.experiments.pipeline import PipelineCheckpoint
+
+        ckpt = PipelineCheckpoint(tmp_path / "ckpt.json")
+        assert ckpt.get("missing", default=42) == 42
+
+
 class TestFigure2Pipeline:
     @pytest.fixture(scope="class")
     def result(self):
