@@ -58,50 +58,58 @@ def cmd_figure2(args: argparse.Namespace) -> int:
 
 
 def cmd_neutrality(args: argparse.Namespace) -> int:
-    from repro.econ.csp import CSP
+    # The §4 regime table is a one-axis sweep over demand families; run
+    # it through the sweep engine so the table and any `sweep
+    # --experiment neutrality` grid execute identical per-trial code.
     from repro.econ.demand import STANDARD_FAMILIES
-    from repro.econ.equilibrium import compare_regimes
-    from repro.econ.lmp import entrant, incumbent
+    from repro.sweeps import Axis, SweepSpec, run_sweep
 
-    lmps = [incumbent(), entrant()]
+    spec = SweepSpec(axes=(Axis("family", tuple(STANDARD_FAMILIES)),))
+    result = run_sweep("neutrality", spec)
     header = (f"{'family':<14}{'W_nn':>10}{'W_barg':>10}{'W_uni':>10}"
               f"{'t_barg':>9}{'t_uni':>9}{'p_nn':>8}{'p_uni':>8}")
     print(header)
     print("-" * len(header))
-    for name, demand in STANDARD_FAMILIES.items():
-        rc = compare_regimes(CSP(name=name, demand=demand), lmps)
+    for outcome in result.outcomes:
+        rec = outcome.record
         print(
-            f"{name:<14}{rc.nn_welfare:>10.3f}{rc.bargaining_welfare:>10.3f}"
-            f"{rc.unilateral_welfare:>10.3f}{rc.bargaining_fee:>9.3f}"
-            f"{rc.unilateral_fee:>9.3f}{rc.nn_price:>8.2f}{rc.unilateral_price:>8.2f}"
+            f"{outcome.params['family']:<14}{rec['nn_welfare']:>10.3f}"
+            f"{rec['bargaining_welfare']:>10.3f}{rec['unilateral_welfare']:>10.3f}"
+            f"{rec['bargaining_fee']:>9.3f}{rec['unilateral_fee']:>9.3f}"
+            f"{rec['nn_price']:>8.2f}{rec['unilateral_price']:>8.2f}"
         )
     return 0
 
 
 def cmd_market(args: argparse.Namespace) -> int:
-    from repro.econ.demand import LinearDemand
-    from repro.market.entities import CSPAgent, founding_catalogue, founding_lmps
-    from repro.market.sim import MarketConfig, MarketSim, Regime
+    from repro.experiments.trials import market_trial
 
-    regime = Regime.NN if args.regime == "nn" else Regime.UR
-    csps = founding_catalogue()
-    csps.append(
-        CSPAgent(name="entrant-csp", demand=LinearDemand(v_max=25.0),
-                 incumbency=0.15, entry_epoch=args.entry_epoch)
+    record = market_trial(
+        {
+            "regime": args.regime,
+            "epochs": args.epochs,
+            "entry_epoch": args.entry_epoch,
+            "poc_cost": args.poc_cost,
+        },
+        seed=0,
     )
-    sim = MarketSim(MarketConfig(regime=regime, epochs=args.epochs,
-                                 poc_monthly_cost=args.poc_cost), csps, founding_lmps())
-    history = sim.run()
-    last = history.records[-1]
     print(f"regime={args.regime} epochs={args.epochs}")
-    print(f"final social welfare: {last.social_welfare:.2f}")
-    print(f"POC surplus (nonprofit invariant): {last.poc_surplus:.2e}")
-    for name in sorted(last.csps):
-        print(f"  CSP {name:<14} cum profit {history.cumulative_csp_profit(name):>10.2f} "
-              f"incumbency {last.csps[name].incumbency:.2f}")
-    for name in sorted(last.lmps):
-        print(f"  LMP {name:<14} cum profit {history.cumulative_lmp_profit(name):>10.2f} "
-              f"customers {last.lmps[name].customers:.3f}")
+    print(f"final social welfare: {record['final_welfare']:.2f}")
+    print(f"POC surplus (nonprofit invariant): {record['poc_surplus']:.2e}")
+    csps = sorted(
+        key[len("csp_"):-len("_profit")]
+        for key in record if key.startswith("csp_") and key.endswith("_profit")
+    )
+    lmps = sorted(
+        key[len("lmp_"):-len("_profit")]
+        for key in record if key.startswith("lmp_") and key.endswith("_profit")
+    )
+    for name in csps:
+        print(f"  CSP {name:<14} cum profit {record[f'csp_{name}_profit']:>10.2f} "
+              f"incumbency {record[f'csp_{name}_incumbency']:.2f}")
+    for name in lmps:
+        print(f"  LMP {name:<14} cum profit {record[f'lmp_{name}_profit']:>10.2f} "
+              f"customers {record[f'lmp_{name}_customers']:.3f}")
     return 0
 
 
@@ -235,6 +243,120 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.mean_served_fraction > 0 else 1
 
 
+def _coerce_scalar(text: str):
+    """CLI axis/constant values: int, then float, then bool/None, then str."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return {"true": True, "false": False, "none": None}.get(text.lower(), text)
+
+
+def _parse_axis_arg(text: str):
+    """``name=v1,v2,...`` or ``name=lo:hi`` (integer range, hi exclusive)."""
+    from repro.sweeps import Axis
+
+    if "=" not in text:
+        raise SystemExit(f"--axis needs name=values, got {text!r}")
+    name, _, raw = text.partition("=")
+    if ":" in raw and "," not in raw:
+        lo_text, _, hi_text = raw.partition(":")
+        try:
+            lo, hi = int(lo_text), int(hi_text)
+        except ValueError:
+            raise SystemExit(f"--axis range bounds must be ints: {text!r}")
+        if hi <= lo:
+            raise SystemExit(f"--axis range is empty: {text!r}")
+        return Axis(name.strip(), tuple(range(lo, hi)))
+    values = tuple(_coerce_scalar(v.strip()) for v in raw.split(",") if v.strip())
+    if not values:
+        raise SystemExit(f"--axis {name!r} has no values")
+    return Axis(name.strip(), values)
+
+
+def _parse_set_arg(text: str):
+    if "=" not in text:
+        raise SystemExit(f"--set needs key=value, got {text!r}")
+    key, _, raw = text.partition("=")
+    return key.strip(), _coerce_scalar(raw.strip())
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.exceptions import SweepError
+    from repro.experiments.pipeline import PipelineCheckpoint
+    from repro.sweeps import SweepRunner, SweepSpec, registered_names
+    from repro.sweeps.registry import describe_all
+
+    if args.list:
+        for line in describe_all():
+            print(line)
+        return 0
+
+    experiment = args.experiment
+    if args.spec:
+        import json as _json
+        import pathlib as _pathlib
+
+        try:
+            payload = _json.loads(_pathlib.Path(args.spec).read_text())
+        except (OSError, _json.JSONDecodeError) as exc:
+            raise SystemExit(f"cannot read sweep spec {args.spec!r}: {exc}")
+        # A spec file may pin its experiment; the flag still overrides.
+        experiment = args.experiment or payload.pop("experiment", None)
+        try:
+            spec = SweepSpec.from_dict(payload)
+        except SweepError as exc:
+            raise SystemExit(f"bad sweep spec {args.spec!r}: {exc}")
+    else:
+        if not args.axis:
+            raise SystemExit("a sweep needs --axis name=v1,v2 (or --spec FILE)")
+        try:
+            spec = SweepSpec(
+                axes=tuple(_parse_axis_arg(a) for a in args.axis),
+                mode="zip" if args.zip else "cartesian",
+                base=dict(_parse_set_arg(s) for s in args.set),
+                seed=args.root_seed,
+                repeats=args.repeats,
+            )
+        except SweepError as exc:
+            raise SystemExit(f"bad sweep grid: {exc}")
+    if not experiment:
+        raise SystemExit(
+            f"--experiment is required; registered: {registered_names()}"
+        )
+
+    def on_progress(beat) -> None:
+        if args.progress:
+            print(beat.formatted(), file=sys.stderr, flush=True)
+
+    try:
+        runner = SweepRunner(
+            experiment,
+            workers=args.workers,
+            start_method=args.start_method,
+            store=args.store,
+            checkpoint=PipelineCheckpoint(args.checkpoint) if args.checkpoint else None,
+            on_progress=on_progress,
+        )
+        with _silence_native_stdout():
+            result = runner.run(spec)
+        group_by = tuple(args.group_by) if args.group_by else ()
+        # The report is byte-stable for a given spec (worker count and
+        # cache state never leak into it); run accounting goes to stderr.
+        if args.json:
+            print(result.report_json(group_by))
+        else:
+            print(result.format_report(group_by))
+    except SweepError as exc:
+        raise SystemExit(f"sweep failed: {exc}")
+    print(result.stats_line(), file=sys.stderr)
+    return 0
+
+
 def cmd_planning(args: argparse.Namespace) -> int:
     from repro.core.planning import plan_reprovisioning
     from repro.experiments.pipeline import offers_for_zoo, traffic_for_zoo
@@ -329,6 +451,52 @@ def make_parser() -> argparse.ArgumentParser:
     p_ch.add_argument("--json", action="store_true",
                       help="emit the canonical JSON report instead of the table")
     p_ch.set_defaults(fn=cmd_chaos)
+
+    p_sw = sub.add_parser(
+        "sweep",
+        help="run a parameter sweep over any registered experiment",
+        description="Declarative scenario sweeps: a grid of named axes is "
+                    "expanded into seeded trials, executed on a process "
+                    "pool, cached content-addressably, and aggregated.",
+    )
+    p_sw.add_argument("--experiment", default=None,
+                      help="registered experiment name (see --list)")
+    p_sw.add_argument("--axis", action="append", default=[], metavar="NAME=VALUES",
+                      help="sweep axis: name=v1,v2,... or name=lo:hi "
+                           "(integer range, hi exclusive); repeatable")
+    p_sw.add_argument("--set", action="append", default=[], metavar="KEY=VALUE",
+                      help="constant parameter applied to every trial; repeatable")
+    p_sw.add_argument("--spec", default=None, metavar="PATH",
+                      help="JSON sweep spec (axes/mode/base/seed/repeats, "
+                           "optionally 'experiment') instead of --axis/--set")
+    p_sw.add_argument("--zip", action="store_true",
+                      help="pair axis values positionally instead of the "
+                           "cartesian product")
+    p_sw.add_argument("--repeats", type=int, default=1,
+                      help="seeded repeats per grid point")
+    p_sw.add_argument("--root-seed", type=int, default=0,
+                      help="root seed that per-trial seeds derive from")
+    p_sw.add_argument("--workers", type=int, default=0,
+                      help="process-pool size; 0 or 1 runs serially")
+    p_sw.add_argument("--start-method", default=None,
+                      choices=("fork", "spawn", "forkserver"),
+                      help="multiprocessing start method (default: platform)")
+    p_sw.add_argument("--store", default=None, metavar="PATH",
+                      help="JSONL result store; re-runs skip trials already "
+                           "stored (content-addressed by params+seed+code "
+                           "version)")
+    p_sw.add_argument("--checkpoint", default=None, metavar="PATH",
+                      help="pipeline checkpoint pinning this sweep's spec "
+                           "fingerprint across resumes")
+    p_sw.add_argument("--group-by", nargs="*", default=None, metavar="AXIS",
+                      help="axes to group the aggregate report by")
+    p_sw.add_argument("--json", action="store_true",
+                      help="emit the canonical JSON aggregate instead of the table")
+    p_sw.add_argument("--progress", action="store_true",
+                      help="print progress/ETA beats to stderr")
+    p_sw.add_argument("--list", action="store_true",
+                      help="list registered experiments and exit")
+    p_sw.set_defaults(fn=cmd_sweep)
 
     p_pl = sub.add_parser("planning", help="capacity planning / re-auctions")
     p_pl.add_argument("--preset", default="tiny", choices=("tiny", "small", "paper"))

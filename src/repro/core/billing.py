@@ -113,13 +113,18 @@ class Percentile95Rate(BillingScheme):
         return self.port_fee + self.rate_per_gbps * usage_gbps
 
     def monthly_charge_from_samples(self, samples_gbps: Sequence[float]) -> float:
+        import math
+
         if not samples_gbps:
-            return self.port_fee
+            # An empty month is a telemetry failure, not zero usage:
+            # billing from it would silently forgive the whole month.
+            raise MarketError("cannot bill a month with no usage samples")
+        for sample in samples_gbps:
+            if not math.isfinite(sample):
+                raise MarketError(f"usage samples must be finite, got {sample!r}")
         clean = sorted(samples_gbps)
         if clean[0] < 0:
             raise MarketError("usage samples cannot be negative")
-        import math
-
         idx = min(len(clean) - 1,
                   max(0, math.ceil(self.percentile / 100.0 * len(clean)) - 1))
         return self.port_fee + self.rate_per_gbps * clean[idx]

@@ -118,6 +118,15 @@ class PolicyError(ReproError):
     """An interdomain routing policy is invalid or inconsistent."""
 
 
+class SweepError(ReproError):
+    """A parameter sweep is misconfigured or its artifacts are inconsistent.
+
+    Covers malformed :class:`~repro.sweeps.spec.SweepSpec` inputs, unknown
+    experiment names, trial functions returning non-records, and result
+    stores that do not match the sweep being resumed.
+    """
+
+
 class NeutralityViolation(ReproError):
     """An LMP action violates the POC terms-of-service (Section 3.4).
 

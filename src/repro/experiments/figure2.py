@@ -11,7 +11,7 @@ weakly higher total cost as constraints tighten.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.auction.constraints import make_constraint
 from repro.auction.metrics import (
@@ -22,9 +22,12 @@ from repro.auction.metrics import (
     pob_variation,
     summarize,
 )
+from repro.auction.provider import Offer
 from repro.auction.vcg import AuctionConfig, AuctionResult, run_auction
 from repro.experiments.pipeline import offers_for_zoo, traffic_for_zoo
+from repro.topology.graph import Network
 from repro.topology.zoo import ZooConfig, ZooResult, build_zoo
+from repro.traffic.matrix import TrafficMatrix
 
 #: Feasibility engine per constraint: exact LP where affordable, the
 #: greedy heuristic where the scenario fan-out makes the LP prohibitive.
@@ -97,29 +100,73 @@ class Figure2Result:
         return "\n".join(lines)
 
 
-def run_figure2(config: Figure2Config) -> Figure2Result:
-    """Run the full Figure 2 pipeline from one config."""
+def run_constraint_auctions(
+    network: Network,
+    tm: TrafficMatrix,
+    offers: Sequence[Offer],
+    *,
+    constraints: Sequence[int],
+    engines: Optional[Mapping[int, str]] = None,
+    method: str = "add-prune",
+    links_offered: Optional[int] = None,
+) -> Tuple[Dict[str, AuctionResult], List[AuctionSummary]]:
+    """Clear one auction per constraint over a fixed workload.
+
+    The shared inner loop of every Figure-2 style experiment: pure (no
+    global state, deterministic given its inputs) and module-level, so
+    sweep workers can call it from any process.  ``engines`` maps
+    constraint number → feasibility engine (:data:`DEFAULT_ENGINES`
+    fills the gaps).
+    """
+    offered_count = (
+        links_offered if links_offered is not None else len(network.link_ids)
+    )
+    results: Dict[str, AuctionResult] = {}
+    summaries: List[AuctionSummary] = []
+    for number in constraints:
+        engine = (engines or DEFAULT_ENGINES).get(number, "greedy")
+        constraint = make_constraint(number, network, tm, engine=engine)
+        result = run_auction(
+            offers, constraint, config=AuctionConfig(method=method)
+        )
+        results[constraint.name] = result
+        summaries.append(summarize(constraint.name, offered_count, result))
+    return results, summaries
+
+
+def figure2_workload(
+    config: Figure2Config,
+) -> Tuple[ZooResult, TrafficMatrix, List[Offer]]:
+    """Build the zoo → TM → offers inputs of one Figure 2 point.
+
+    Pure and picklable: everything derives from the config's integers,
+    so any process can rebuild the identical workload.
+    """
     zoo = build_zoo(config.zoo_config())
     tm = traffic_for_zoo(
         zoo, load_fraction=config.load_fraction, model=config.tm_model,
         seed=config.seed,
     )
     offers = offers_for_zoo(zoo, seed=config.seed + 7)
+    return zoo, tm, offers
+
+
+def run_figure2(config: Figure2Config) -> Figure2Result:
+    """Run the full Figure 2 pipeline from one config.
+
+    A thin wrapper over :func:`figure2_workload` +
+    :func:`run_constraint_auctions`; parameter sweeps call those pieces
+    directly (see :func:`repro.experiments.trials.figure2_trial`).
+    """
+    zoo, tm, offers = figure2_workload(config)
     largest = zoo.largest_bps(config.top_bps)
-
-    results: Dict[str, AuctionResult] = {}
-    summaries: List[AuctionSummary] = []
-    for number in config.constraints:
-        constraint = make_constraint(
-            number, zoo.offered, tm, engine=config.engine_for(number)
-        )
-        result = run_auction(
-            offers, constraint, config=AuctionConfig(method=config.method)
-        )
-        name = constraint.name
-        results[name] = result
-        summaries.append(summarize(name, zoo.num_logical_links, result))
-
+    results, summaries = run_constraint_auctions(
+        zoo.offered, tm, offers,
+        constraints=config.constraints,
+        engines=config.engines or DEFAULT_ENGINES,
+        method=config.method,
+        links_offered=zoo.num_logical_links,
+    )
     rows = pob_rows(results, largest)
     return Figure2Result(
         config=config,

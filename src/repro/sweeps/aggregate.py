@@ -1,0 +1,201 @@
+"""Aggregation over sweep results: group-by axes, mean/CI/percentiles.
+
+Pure Python on purpose — summing a few thousand floats needs no numpy,
+and plain arithmetic in a fixed order makes the aggregate *byte-stable*:
+the same trial records produce the same report regardless of how many
+workers produced them or in what order they finished.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import SweepError
+
+#: z-score of the two-sided 95% normal interval.
+_Z95 = 1.959963984540054
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (numpy's default), q in [0, 100]."""
+    if not sorted_values:
+        raise SweepError("percentile of no values")
+    if not 0.0 <= q <= 100.0:
+        raise SweepError(f"percentile must be in [0, 100], got {q}")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    pos = q / 100.0 * (len(sorted_values) - 1)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    frac = pos - lo
+    return float(sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac)
+
+
+@dataclass(frozen=True)
+class MetricStat:
+    """Summary statistics of one metric within one group."""
+
+    n: int
+    mean: float
+    std: float  # sample std (ddof=1); 0 for a single observation
+    ci95: float  # half-width of the normal-approximation 95% CI
+    p5: float
+    p50: float
+    p95: float
+    lo: float
+    hi: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "MetricStat":
+        if not values:
+            raise SweepError("cannot summarize an empty metric")
+        n = len(values)
+        mean = math.fsum(values) / n
+        if n > 1:
+            var = math.fsum((v - mean) ** 2 for v in values) / (n - 1)
+            std = math.sqrt(var)
+        else:
+            std = 0.0
+        ordered = sorted(values)
+        return cls(
+            n=n,
+            mean=mean,
+            std=std,
+            ci95=_Z95 * std / math.sqrt(n) if n > 1 else 0.0,
+            p5=percentile(ordered, 5.0),
+            p50=percentile(ordered, 50.0),
+            p95=percentile(ordered, 95.0),
+            lo=float(ordered[0]),
+            hi=float(ordered[-1]),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "std": self.std,
+            "ci95": self.ci95,
+            "p5": self.p5,
+            "p50": self.p50,
+            "p95": self.p95,
+            "lo": self.lo,
+            "hi": self.hi,
+        }
+
+
+@dataclass(frozen=True)
+class GroupStat:
+    """All metric summaries for one combination of group-by values."""
+
+    group: Mapping[str, object]
+    n: int
+    metrics: Mapping[str, MetricStat]
+
+    def label(self) -> str:
+        if not self.group:
+            return "(all)"
+        return " ".join(f"{k}={self.group[k]}" for k in sorted(self.group))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "group": dict(self.group),
+            "n": self.n,
+            "metrics": {name: stat.to_dict() for name, stat in sorted(self.metrics.items())},
+        }
+
+
+def _numeric_items(record: Mapping[str, object]) -> List[Tuple[str, float]]:
+    out = []
+    for name, value in record.items():
+        if isinstance(value, bool):
+            out.append((name, 1.0 if value else 0.0))
+        elif isinstance(value, (int, float)):
+            if not math.isfinite(value):
+                raise SweepError(f"metric {name!r} is non-finite: {value!r}")
+            out.append((name, float(value)))
+    return out
+
+
+def aggregate(
+    rows: Sequence[Tuple[Mapping[str, object], Mapping[str, object]]],
+    *,
+    group_by: Sequence[str] = (),
+) -> List[GroupStat]:
+    """Summarize ``(params, record)`` rows grouped by the named axes.
+
+    ``group_by=()`` collapses everything into a single group.  Groups
+    are emitted in sorted order of their canonical key, and metrics in
+    sorted name order, so the output is deterministic.  A group-by key
+    absent from some row's params is reported as ``None`` for that row.
+    """
+    if not rows:
+        raise SweepError("nothing to aggregate: no trial records")
+    buckets: Dict[str, Tuple[Dict[str, object], Dict[str, List[float]], List[int]]] = {}
+    for params, record in rows:
+        group = {name: params.get(name) for name in group_by}
+        key = json.dumps(group, sort_keys=True, default=str)
+        if key not in buckets:
+            buckets[key] = (group, {}, [0])
+        _, metrics, count = buckets[key]
+        count[0] += 1
+        for name, value in _numeric_items(record):
+            metrics.setdefault(name, []).append(value)
+    out: List[GroupStat] = []
+    for key in sorted(buckets):
+        group, metrics, count = buckets[key]
+        out.append(
+            GroupStat(
+                group=group,
+                n=count[0],
+                metrics={
+                    name: MetricStat.from_values(values)
+                    for name, values in sorted(metrics.items())
+                },
+            )
+        )
+    return out
+
+
+def format_report(
+    experiment: str,
+    groups: Sequence[GroupStat],
+    *,
+    metrics: Optional[Sequence[str]] = None,
+) -> str:
+    """A fixed-width, byte-stable aggregate table.
+
+    ``metrics`` restricts/orders the columns; by default every metric
+    seen in the first group is shown in sorted order.
+    """
+    if not groups:
+        raise SweepError("nothing to report: no groups")
+    names = list(metrics) if metrics else sorted(groups[0].metrics)
+    label_w = max([7] + [len(g.label()) for g in groups])
+    lines = [f"sweep aggregate — experiment={experiment}"]
+    header = f"{'group':<{label_w}} {'n':>5}  " + "  ".join(
+        f"{name:>14} {'±ci95':>10}" for name in names
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for g in groups:
+        cells = []
+        for name in names:
+            stat = g.metrics.get(name)
+            if stat is None:
+                cells.append(f"{'—':>14} {'—':>10}")
+            else:
+                cells.append(f"{stat.mean:>14.6g} {stat.ci95:>10.3g}")
+        lines.append(f"{g.label():<{label_w}} {g.n:>5}  " + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def report_json(experiment: str, groups: Sequence[GroupStat]) -> str:
+    """Canonical JSON of the aggregate (for byte-identity checks)."""
+    payload = {
+        "experiment": experiment,
+        "groups": [g.to_dict() for g in groups],
+    }
+    return json.dumps(payload, sort_keys=True, allow_nan=False)

@@ -1,0 +1,142 @@
+"""Content-addressed result caching for sweeps.
+
+A trial's identity is the SHA-256 of its *content*: experiment name,
+experiment version (bumped whenever the trial function's behaviour
+changes), resolved parameters, and seed.  The :class:`ResultStore` is an
+append-only JSONL file keyed by that hash; re-running a sweep skips any
+trial whose key is already stored, so an interrupted sweep resumes by
+re-executing only the missing trials, and changing either the code
+version or any parameter automatically invalidates exactly the affected
+trials.
+
+Writes are atomic at line granularity: each record is a single
+``write`` + ``flush`` + ``fsync`` of one newline-terminated line, and
+the loader ignores a torn trailing line, so a crash mid-append can never
+corrupt previously-stored results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from typing import Dict, Iterator, List, Mapping, Optional, Union
+
+from repro.exceptions import SweepError
+from repro.sweeps.spec import canonical_json
+
+
+def trial_key(
+    experiment: str, version: str, params: Mapping[str, object], seed: int
+) -> str:
+    """The content address of one trial result."""
+    payload = canonical_json(
+        {
+            "experiment": experiment,
+            "version": version,
+            "params": dict(params),
+            "seed": int(seed),
+        }
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """Append-only JSONL store of trial results, indexed by trial key.
+
+    One line per completed trial::
+
+        {"key": ..., "experiment": ..., "params": {...}, "seed": ...,
+         "record": {...}}
+
+    The store is a cache, not a ledger: duplicate keys are tolerated on
+    load (last line wins, e.g. after a re-run with a truncated index)
+    and only the parent sweep process writes, so there is a single
+    writer per file by construction.
+    """
+
+    def __init__(self, path: Union[str, pathlib.Path]) -> None:
+        self.path = pathlib.Path(path)
+        self._entries: Dict[str, Dict[str, object]] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    # A torn line can only be the tail of a crashed
+                    # append; everything before it is intact.
+                    continue
+                if isinstance(entry, dict) and isinstance(entry.get("key"), str):
+                    self._entries[entry["key"]] = entry
+
+    # -- reads ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def has(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        return self._entries.get(key)
+
+    def record(self, key: str) -> Optional[Dict[str, object]]:
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        record = entry.get("record")
+        return record if isinstance(record, dict) else None
+
+    def keys(self) -> List[str]:
+        return sorted(self._entries)
+
+    def entries(self) -> Iterator[Dict[str, object]]:
+        for key in self.keys():
+            yield self._entries[key]
+
+    # -- writes ---------------------------------------------------------------
+
+    def append(
+        self,
+        key: str,
+        *,
+        experiment: str,
+        params: Mapping[str, object],
+        seed: int,
+        record: Mapping[str, object],
+    ) -> None:
+        """Persist one completed trial (idempotent per key)."""
+        if key in self._entries:
+            return
+        entry: Dict[str, object] = {
+            "key": key,
+            "experiment": experiment,
+            "params": dict(params),
+            "seed": int(seed),
+            "record": dict(record),
+        }
+        try:
+            line = json.dumps(entry, sort_keys=True, allow_nan=False)
+        except (TypeError, ValueError) as exc:
+            raise SweepError(
+                f"trial record for key {key[:12]}… is not JSON-encodable "
+                f"with finite numbers: {exc}"
+            ) from exc
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._entries[key] = entry

@@ -1,0 +1,414 @@
+"""Process-pool sweep execution with deterministic sharding and caching.
+
+The runner turns a :class:`~repro.sweeps.spec.SweepSpec` into trial
+results through four steps:
+
+1. resolve every trial's parameters (experiment defaults ∪ grid point)
+   and its content-addressed key;
+2. partition the trials *not* already in the result store into
+   round-robin shards (trial ``i`` → shard ``i mod workers``) — a pure
+   function of the pending list, never of scheduling;
+3. execute each shard, serially in-process (``workers <= 1``) or on a
+   ``ProcessPoolExecutor``; workers receive the experiment *name* and
+   look the trial function up in the registry, so both fork and spawn
+   start methods work; each trial is wrapped in the bounded-retry policy
+   from :mod:`repro.resilience.policy`;
+4. append each result to the store as it lands in the parent (single
+   writer by construction, so an interrupted sweep keeps everything that
+   finished) and reassemble all results in trial order, so aggregates
+   are byte-identical however the work was spread.
+
+Because every trial's seed is derived content-addressably (see
+:meth:`SweepSpec.trials`) and results are keyed by content, a sweep
+interrupted at any point re-executes only the missing trials on the
+next run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ReproError, SweepError
+from repro.experiments.pipeline import PipelineCheckpoint
+from repro.rand import derive_seed
+from repro.resilience.policy import RetryPolicy, call_with_retry
+from repro.sweeps.aggregate import GroupStat, aggregate, format_report, report_json
+from repro.sweeps.cache import ResultStore, trial_key
+from repro.sweeps.registry import get_experiment
+from repro.sweeps.spec import SweepSpec
+
+#: (index, resolved params, seed, key) — everything a worker needs.
+TrialTask = Tuple[int, Dict[str, object], int, str]
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """One progress beat: how far along the sweep is and the ETA."""
+
+    done: int  # trials finished this run (executed, not cached)
+    pending: int  # trials this run must execute in total
+    cached: int  # trials served from the result store
+    total: int  # trials in the spec
+    elapsed_s: float
+
+    @property
+    def eta_s(self) -> Optional[float]:
+        if self.done == 0 or self.pending == 0:
+            return None
+        remaining = self.pending - self.done
+        return self.elapsed_s / self.done * remaining
+
+    def formatted(self) -> str:
+        eta = self.eta_s
+        eta_text = f"eta {eta:5.1f}s" if eta is not None else "eta   —  "
+        return (
+            f"sweep: {self.done}/{self.pending} executed "
+            f"(+{self.cached} cached of {self.total})  "
+            f"{self.elapsed_s:6.1f}s elapsed  {eta_text}"
+        )
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """One trial's result and where it came from."""
+
+    index: int
+    params: Mapping[str, object]
+    seed: int
+    key: str
+    record: Mapping[str, object]
+    cached: bool
+
+
+@dataclass
+class SweepResult:
+    """Everything a sweep produced, in trial order."""
+
+    experiment: str
+    spec: SweepSpec
+    outcomes: List[TrialOutcome] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    workers: int = 0
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for o in self.outcomes if not o.cached)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return self.cache_hits / len(self.outcomes)
+
+    def rows(self) -> List[Tuple[Mapping[str, object], Mapping[str, object]]]:
+        return [(o.params, o.record) for o in self.outcomes]
+
+    def aggregate(self, group_by: Sequence[str] = ()) -> List[GroupStat]:
+        return aggregate(self.rows(), group_by=group_by)
+
+    def format_report(
+        self,
+        group_by: Sequence[str] = (),
+        metrics: Optional[Sequence[str]] = None,
+    ) -> str:
+        return format_report(
+            self.experiment, self.aggregate(group_by), metrics=metrics
+        )
+
+    def report_json(self, group_by: Sequence[str] = ()) -> str:
+        return report_json(self.experiment, self.aggregate(group_by))
+
+    def stats_line(self) -> str:
+        """Run accounting (kept out of the byte-stable report)."""
+        return (
+            f"sweep {self.experiment}: trials={len(self.outcomes)} "
+            f"executed={self.executed} cached={self.cache_hits} "
+            f"workers={self.workers}"
+        )
+
+
+def _run_trial_with_retry(
+    experiment_name: str, task: TrialTask, retry: RetryPolicy
+) -> Tuple[int, Dict[str, object]]:
+    """Execute one trial under the bounded-retry policy.
+
+    Runs in the worker process.  Failures that survive the retries are
+    re-raised as :class:`SweepError` (always picklable) naming the trial,
+    so the parent can report which grid point is broken.
+    """
+    index, params, seed, _key = task
+    exp = get_experiment(experiment_name)
+
+    def attempt() -> Mapping[str, object]:
+        return exp.trial(params, seed)
+
+    try:
+        record = call_with_retry(
+            attempt,
+            policy=retry,
+            retry_on=(ReproError,),
+            # Jitter is seeded from the trial so backoff is reproducible.
+            seed=derive_seed(seed, "retry-jitter"),
+        )
+    except Exception as exc:
+        raise SweepError(
+            f"trial {index} (params={params!r}, seed={seed}) failed after "
+            f"{retry.max_attempts} attempt(s): {exc!r}"
+        ) from None
+    if not isinstance(record, Mapping):
+        raise SweepError(
+            f"trial {index} of experiment {experiment_name!r} returned "
+            f"{type(record).__name__}, expected a mapping of metrics"
+        )
+    return index, dict(record)
+
+
+def _execute_shard(
+    experiment_name: str, shard: List[TrialTask], retry: RetryPolicy
+) -> List[Tuple[int, Dict[str, object]]]:
+    """Worker entry point: run one shard's trials sequentially."""
+    return [_run_trial_with_retry(experiment_name, task, retry) for task in shard]
+
+
+class SweepRunner:
+    """Executes sweeps for one registered experiment.
+
+    ``workers <= 1`` runs serially in-process (bit-for-bit the reference
+    execution); ``workers > 1`` uses a process pool with the given
+    multiprocessing start method (``None`` = platform default).  A
+    :class:`ResultStore` (or a path to one) enables content-addressed
+    caching; a :class:`PipelineCheckpoint` pins the sweep's spec
+    fingerprint so a resumed run cannot silently mix results from a
+    different grid.
+    """
+
+    def __init__(
+        self,
+        experiment: str,
+        *,
+        workers: int = 0,
+        start_method: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
+        store: Union[ResultStore, str, None] = None,
+        checkpoint: Optional[PipelineCheckpoint] = None,
+        on_progress: Optional[Callable[[SweepProgress], None]] = None,
+    ) -> None:
+        if workers < 0:
+            raise SweepError(f"workers must be >= 0, got {workers}")
+        self.experiment = get_experiment(experiment)
+        self.workers = workers
+        self.start_method = start_method
+        # Backoff delays default to zero: trial failures here are
+        # deterministic bugs or solver hiccups, not remote throttling.
+        self.retry = retry or RetryPolicy(
+            max_attempts=2, base_delay_s=0.0, max_delay_s=0.0, jitter=0.0
+        )
+        self.store = ResultStore(store) if isinstance(store, str) else store
+        self.checkpoint = checkpoint
+        self.on_progress = on_progress
+
+    # -- internals ------------------------------------------------------------
+
+    def _tasks(self, spec: SweepSpec) -> List[TrialTask]:
+        tasks: List[TrialTask] = []
+        for trial in spec.trials():
+            params = self.experiment.resolved_params(trial.params)
+            key = trial_key(
+                self.experiment.name, self.experiment.version, params, trial.seed
+            )
+            tasks.append((trial.index, params, trial.seed, key))
+        return tasks
+
+    def _check_checkpoint(self, spec: SweepSpec) -> None:
+        if self.checkpoint is None:
+            return
+        fingerprint = spec.fingerprint()
+        recorded = self.checkpoint.get("sweep-spec")
+        if recorded is not None and recorded.get("fingerprint") != fingerprint:
+            raise SweepError(
+                "checkpoint belongs to a different sweep "
+                f"(fingerprint {recorded.get('fingerprint', '?')[:12]}… != "
+                f"{fingerprint[:12]}…); use a fresh checkpoint path"
+            )
+        if recorded is None:
+            self.checkpoint.save(
+                "sweep-spec",
+                {
+                    "experiment": self.experiment.name,
+                    "version": self.experiment.version,
+                    "fingerprint": fingerprint,
+                },
+            )
+
+    def _progress(self, beat: SweepProgress) -> None:
+        if self.on_progress is not None:
+            self.on_progress(beat)
+
+    def _persist(self, task: TrialTask, record: Dict[str, object]) -> None:
+        """Append one finished trial to the store as soon as it lands.
+
+        Persisting per-trial (not at sweep end) is what makes an
+        interrupted sweep resumable: whatever completed before the crash
+        is already on disk.
+        """
+        if self.store is None:
+            return
+        index, params, seed, key = task
+        self.store.append(
+            key,
+            experiment=self.experiment.name,
+            params=params,
+            seed=seed,
+            record=record,
+        )
+
+    def _execute_pending(
+        self, pending: List[TrialTask], cached: int, total: int, started: float
+    ) -> Dict[int, Dict[str, object]]:
+        name = self.experiment.name
+        records: Dict[int, Dict[str, object]] = {}
+        if self.workers <= 1:
+            for done, task in enumerate(pending, start=1):
+                index, record = _run_trial_with_retry(name, task, self.retry)
+                records[index] = record
+                self._persist(task, record)
+                self._progress(SweepProgress(
+                    done=done, pending=len(pending), cached=cached,
+                    total=total, elapsed_s=time.monotonic() - started,
+                ))
+            return records
+
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+        from concurrent.futures.process import BrokenProcessPool
+
+        n_shards = min(self.workers, len(pending))
+        shards = [pending[k::n_shards] for k in range(n_shards)]
+        context = (
+            multiprocessing.get_context(self.start_method)
+            if self.start_method
+            else None
+        )
+        by_index = {task[0]: task for task in pending}
+        done = 0
+        try:
+            with ProcessPoolExecutor(
+                max_workers=n_shards, mp_context=context
+            ) as pool:
+                futures = [
+                    pool.submit(_execute_shard, name, shard, self.retry)
+                    for shard in shards
+                ]
+                for future in as_completed(futures):
+                    for index, record in future.result():
+                        records[index] = record
+                        self._persist(by_index[index], record)
+                        done += 1
+                    self._progress(SweepProgress(
+                        done=done, pending=len(pending), cached=cached,
+                        total=total, elapsed_s=time.monotonic() - started,
+                    ))
+        except BrokenProcessPool as exc:
+            raise SweepError(
+                f"worker pool died mid-sweep ({exc}); completed trials are "
+                "in the result store — re-run to resume from them"
+            ) from exc
+        return records
+
+    # -- the public entry point -----------------------------------------------
+
+    def run(self, spec: SweepSpec) -> SweepResult:
+        """Execute (or resume) a sweep and return results in trial order."""
+        started = time.monotonic()
+        self._check_checkpoint(spec)
+        tasks = self._tasks(spec)
+        keys = [key for _, _, _, key in tasks]
+        if len(set(keys)) != len(keys):
+            raise SweepError(
+                "spec produces duplicate trials (same params and seed); "
+                "use repeats= or a seed axis to distinguish them"
+            )
+
+        cached_records: Dict[int, Mapping[str, object]] = {}
+        pending: List[TrialTask] = []
+        for task in tasks:
+            index, _params, _seed, key = task
+            record = self.store.record(key) if self.store is not None else None
+            if record is not None:
+                cached_records[index] = record
+            else:
+                pending.append(task)
+
+        self._progress(SweepProgress(
+            done=0, pending=len(pending), cached=len(cached_records),
+            total=len(tasks), elapsed_s=time.monotonic() - started,
+        ))
+        executed = (
+            self._execute_pending(
+                pending, len(cached_records), len(tasks), started
+            )
+            if pending
+            else {}
+        )
+
+        outcomes: List[TrialOutcome] = []
+        for index, params, seed, key in tasks:
+            if index in cached_records:
+                outcomes.append(TrialOutcome(
+                    index=index, params=params, seed=seed, key=key,
+                    record=cached_records[index], cached=True,
+                ))
+                continue
+            record = executed[index]
+            outcomes.append(TrialOutcome(
+                index=index, params=params, seed=seed, key=key,
+                record=record, cached=False,
+            ))
+
+        result = SweepResult(
+            experiment=self.experiment.name,
+            spec=spec,
+            outcomes=outcomes,
+            elapsed_s=time.monotonic() - started,
+            workers=self.workers,
+        )
+        if self.checkpoint is not None:
+            self.checkpoint.save(
+                "sweep-complete",
+                {
+                    "trials": len(outcomes),
+                    "executed": result.executed,
+                    "cache_hits": result.cache_hits,
+                },
+            )
+        return result
+
+
+def run_sweep(
+    experiment: str,
+    spec: SweepSpec,
+    *,
+    workers: int = 0,
+    start_method: Optional[str] = None,
+    retry: Optional[RetryPolicy] = None,
+    store: Union[ResultStore, str, None] = None,
+    checkpoint: Optional[PipelineCheckpoint] = None,
+    on_progress: Optional[Callable[[SweepProgress], None]] = None,
+) -> SweepResult:
+    """One-call convenience wrapper around :class:`SweepRunner`."""
+    runner = SweepRunner(
+        experiment,
+        workers=workers,
+        start_method=start_method,
+        retry=retry,
+        store=store,
+        checkpoint=checkpoint,
+        on_progress=on_progress,
+    )
+    return runner.run(spec)

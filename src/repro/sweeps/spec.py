@@ -1,0 +1,227 @@
+"""Declarative sweep grids.
+
+A :class:`SweepSpec` names the axes of a parameter sweep (each axis a
+name plus its values), how the axes combine (``cartesian`` product, the
+default, or ``zip`` for paired values), constants shared by every trial
+(``base``), a root seed, and a repeat count.  From those it enumerates
+:class:`Trial` points, each carrying the fully-resolved parameter dict
+and a per-trial seed derived via :func:`repro.rand.derive_seed` — so any
+single trial is reproducible in isolation, in any process, without
+replaying the rest of the grid.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.exceptions import SweepError
+from repro.rand import derive_seed
+
+MODES = ("cartesian", "zip")
+
+#: Parameter values must be JSON scalars so trial keys hash canonically.
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def _check_scalar(axis: str, value: object) -> None:
+    if not isinstance(value, _SCALARS):
+        raise SweepError(
+            f"axis {axis!r} value {value!r} is not a JSON scalar "
+            f"(str/int/float/bool/None)"
+        )
+
+
+def canonical_json(payload: object) -> str:
+    """The one true encoding used for fingerprints and trial keys.
+
+    Sorted keys, no whitespace, NaN/inf rejected — identical bytes for
+    identical content on every platform and Python version.
+    """
+    try:
+        return json.dumps(
+            payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except (TypeError, ValueError) as exc:
+        raise SweepError(f"payload is not canonically JSON-encodable: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One named dimension of the sweep."""
+
+    name: str
+    values: Tuple[object, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SweepError(f"axis name must be a non-empty string, got {self.name!r}")
+        if not self.values:
+            raise SweepError(f"axis {self.name!r} has no values")
+        object.__setattr__(self, "values", tuple(self.values))
+        for value in self.values:
+            _check_scalar(self.name, value)
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One fully-resolved grid point: what to run and with which seed."""
+
+    index: int
+    params: Mapping[str, object]
+    seed: int
+    repeat: int = 0
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative grid: axes × combination mode × constants × seeds.
+
+    ``repeats`` runs every grid point that many times under distinct
+    derived seeds (Monte-Carlo over the same parameters).  If a grid
+    point's parameters already contain an explicit ``seed`` key (i.e.
+    ``seed`` is itself an axis or a base constant), that value is used
+    verbatim as the trial seed — sweeping over seeds *is* the common way
+    to sweep over trials — and ``repeats`` must stay 1 to avoid running
+    byte-identical trials.
+    """
+
+    axes: Tuple[Axis, ...]
+    mode: str = "cartesian"
+    base: Mapping[str, object] = field(default_factory=dict)
+    seed: int = 0
+    repeats: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "axes", tuple(self.axes))
+        object.__setattr__(self, "base", dict(self.base))
+        if not self.axes:
+            raise SweepError("a sweep needs at least one axis")
+        if self.mode not in MODES:
+            raise SweepError(f"unknown mode {self.mode!r}; expected one of {MODES}")
+        if self.repeats < 1:
+            raise SweepError(f"repeats must be >= 1, got {self.repeats}")
+        names = [axis.name for axis in self.axes]
+        if len(set(names)) != len(names):
+            raise SweepError(f"duplicate axis names in {names}")
+        for name in names:
+            if name in self.base:
+                raise SweepError(f"{name!r} is both an axis and a base constant")
+        for key, value in self.base.items():
+            _check_scalar(key, value)
+        if self.mode == "zip":
+            lengths = {len(axis.values) for axis in self.axes}
+            if len(lengths) != 1:
+                raise SweepError(
+                    f"zip mode needs equal-length axes, got lengths "
+                    f"{sorted(len(a.values) for a in self.axes)}"
+                )
+        if self.repeats > 1 and self._has_explicit_seed():
+            raise SweepError(
+                "repeats > 1 with an explicit 'seed' parameter would run "
+                "identical trials; sweep the seed axis instead"
+            )
+
+    def _has_explicit_seed(self) -> bool:
+        return "seed" in self.base or any(a.name == "seed" for a in self.axes)
+
+    @property
+    def axis_names(self) -> Tuple[str, ...]:
+        return tuple(axis.name for axis in self.axes)
+
+    def num_points(self) -> int:
+        if self.mode == "zip":
+            return len(self.axes[0].values)
+        count = 1
+        for axis in self.axes:
+            count *= len(axis.values)
+        return count
+
+    def num_trials(self) -> int:
+        return self.num_points() * self.repeats
+
+    def points(self) -> List[Dict[str, object]]:
+        """Parameter dicts (base ∪ axis values), in deterministic order."""
+        out: List[Dict[str, object]] = []
+        if self.mode == "zip":
+            rows = zip(*(axis.values for axis in self.axes))
+        else:
+            rows = itertools.product(*(axis.values for axis in self.axes))
+        for row in rows:
+            params = dict(self.base)
+            params.update(zip(self.axis_names, row))
+            out.append(params)
+        return out
+
+    def trials(self) -> List[Trial]:
+        """Every trial of the sweep, each with its derived seed.
+
+        The seed depends only on the root seed, the point's parameters,
+        and the repeat index — never on the trial's position in the grid
+        — so reordering or subsetting axes leaves surviving trials (and
+        their cached results) untouched.
+        """
+        out: List[Trial] = []
+        index = 0
+        for params in self.points():
+            for repeat in range(self.repeats):
+                if "seed" in params:
+                    trial_seed = int(params["seed"])  # type: ignore[arg-type]
+                else:
+                    trial_seed = derive_seed(
+                        self.seed, canonical_json(params), repeat
+                    )
+                out.append(
+                    Trial(index=index, params=params, seed=trial_seed, repeat=repeat)
+                )
+                index += 1
+        return out
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "axes": [{"name": a.name, "values": list(a.values)} for a in self.axes],
+            "mode": self.mode,
+            "base": dict(self.base),
+            "seed": self.seed,
+            "repeats": self.repeats,
+        }
+
+    def to_json(self) -> str:
+        return canonical_json(self.to_dict())
+
+    def fingerprint(self) -> str:
+        """Content hash of the whole spec (stable across processes)."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "SweepSpec":
+        if not isinstance(payload, Mapping):
+            raise SweepError(f"spec payload must be a mapping, got {type(payload)}")
+        raw_axes = payload.get("axes")
+        if not isinstance(raw_axes, Sequence) or isinstance(raw_axes, (str, bytes)):
+            raise SweepError("spec payload needs an 'axes' list")
+        axes = []
+        for entry in raw_axes:
+            if not isinstance(entry, Mapping) or "name" not in entry or "values" not in entry:
+                raise SweepError(f"malformed axis entry {entry!r}")
+            axes.append(Axis(name=entry["name"], values=tuple(entry["values"])))
+        return cls(
+            axes=tuple(axes),
+            mode=payload.get("mode", "cartesian"),
+            base=dict(payload.get("base", {})),
+            seed=int(payload.get("seed", 0)),
+            repeats=int(payload.get("repeats", 1)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SweepError(f"invalid spec JSON: {exc}") from exc
+        return cls.from_dict(payload)

@@ -27,9 +27,18 @@ class TestPercentileBilling:
         samples = [2.0] * 90 + [50.0] * 10
         assert scheme.monthly_charge_from_samples(samples) == pytest.approx(500.0)
 
-    def test_empty_samples_pay_port_fee(self):
+    def test_empty_samples_rejected(self):
+        # An empty sample vector is a telemetry failure; billing it as
+        # "port fee only" would silently forgive the month.
         scheme = Percentile95Rate(rate_per_gbps=10.0, port_fee=7.0)
-        assert scheme.monthly_charge_from_samples([]) == 7.0
+        with pytest.raises(MarketError):
+            scheme.monthly_charge_from_samples([])
+
+    def test_non_finite_samples_rejected(self):
+        scheme = Percentile95Rate(rate_per_gbps=10.0)
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(MarketError):
+                scheme.monthly_charge_from_samples([1.0, bad, 2.0])
 
     def test_order_invariance(self):
         scheme = Percentile95Rate(rate_per_gbps=1.0)

@@ -1,0 +1,151 @@
+"""Tests for the sweep aggregation layer."""
+
+import json
+import math
+
+import pytest
+
+from repro.exceptions import SweepError
+from repro.sweeps.aggregate import (
+    GroupStat,
+    MetricStat,
+    aggregate,
+    format_report,
+    percentile,
+    report_json,
+)
+
+
+class TestPercentile:
+    def test_endpoints(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 4.0
+
+    def test_linear_interpolation(self):
+        # numpy's default ("linear") on [1..4]: p50 = 2.5, p25 = 1.75.
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 50.0) == pytest.approx(2.5)
+        assert percentile(values, 25.0) == pytest.approx(1.75)
+
+    def test_single_value(self):
+        assert percentile([3.5], 95.0) == 3.5
+
+    def test_validation(self):
+        with pytest.raises(SweepError):
+            percentile([], 50.0)
+        with pytest.raises(SweepError):
+            percentile([1.0], 101.0)
+
+
+class TestMetricStat:
+    def test_known_values(self):
+        stat = MetricStat.from_values([1.0, 2.0, 3.0, 4.0])
+        assert stat.n == 4
+        assert stat.mean == pytest.approx(2.5)
+        # Sample std (ddof=1) of [1,2,3,4].
+        assert stat.std == pytest.approx(math.sqrt(5.0 / 3.0))
+        assert stat.ci95 == pytest.approx(1.959963984540054 * stat.std / 2.0)
+        assert stat.lo == 1.0 and stat.hi == 4.0
+        assert stat.p50 == pytest.approx(2.5)
+
+    def test_single_observation(self):
+        stat = MetricStat.from_values([7.0])
+        assert stat.std == 0.0
+        assert stat.ci95 == 0.0
+        assert stat.mean == stat.p5 == stat.p95 == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(SweepError):
+            MetricStat.from_values([])
+
+
+class TestAggregate:
+    ROWS = [
+        ({"x": 1, "m": "a"}, {"v": 1.0, "w": 10.0}),
+        ({"x": 1, "m": "b"}, {"v": 3.0, "w": 30.0}),
+        ({"x": 2, "m": "a"}, {"v": 5.0, "w": 50.0}),
+    ]
+
+    def test_single_group_by_default(self):
+        groups = aggregate(self.ROWS)
+        assert len(groups) == 1
+        assert groups[0].label() == "(all)"
+        assert groups[0].n == 3
+        assert groups[0].metrics["v"].mean == pytest.approx(3.0)
+
+    def test_group_by_axis(self):
+        groups = aggregate(self.ROWS, group_by=["x"])
+        assert [g.group for g in groups] == [{"x": 1}, {"x": 2}]
+        assert groups[0].n == 2
+        assert groups[0].metrics["v"].mean == pytest.approx(2.0)
+        assert groups[1].metrics["w"].mean == pytest.approx(50.0)
+
+    def test_missing_group_key_is_none(self):
+        rows = [({"x": 1}, {"v": 1.0}), ({}, {"v": 2.0})]
+        groups = aggregate(rows, group_by=["x"])
+        assert {g.group["x"] for g in groups} == {1, None}
+
+    def test_bools_count_as_numeric(self):
+        groups = aggregate([({}, {"flag": True}), ({}, {"flag": False})])
+        assert groups[0].metrics["flag"].mean == pytest.approx(0.5)
+
+    def test_non_numeric_metrics_skipped(self):
+        groups = aggregate([({}, {"v": 1.0, "note": "ok"})])
+        assert "note" not in groups[0].metrics
+
+    def test_non_finite_metric_rejected(self):
+        with pytest.raises(SweepError):
+            aggregate([({}, {"v": float("inf")})])
+
+    def test_no_rows_rejected(self):
+        with pytest.raises(SweepError):
+            aggregate([])
+
+    def test_order_invariance(self):
+        """Byte-stability: shuffled rows give the identical report."""
+        forward = aggregate(self.ROWS, group_by=["x"])
+        backward = aggregate(list(reversed(self.ROWS)), group_by=["x"])
+        assert report_json("t", forward) == report_json("t", backward)
+
+
+class TestReports:
+    def test_format_report_layout(self):
+        groups = aggregate(TestAggregate.ROWS, group_by=["x"])
+        text = format_report("demo", groups)
+        lines = text.splitlines()
+        assert lines[0] == "sweep aggregate — experiment=demo"
+        assert "v" in lines[1] and "±ci95" in lines[1]
+        assert any(line.startswith("x=1") for line in lines)
+        assert any(line.startswith("x=2") for line in lines)
+
+    def test_metric_selection_and_order(self):
+        groups = aggregate(TestAggregate.ROWS)
+        text = format_report("demo", groups, metrics=["w", "v"])
+        header = text.splitlines()[1]
+        assert header.index("w") < header.index("v")
+
+    def test_unknown_metric_shows_dash(self):
+        groups = aggregate(TestAggregate.ROWS)
+        text = format_report("demo", groups, metrics=["absent"])
+        assert "—" in text.splitlines()[-1]
+
+    def test_empty_groups_rejected(self):
+        with pytest.raises(SweepError):
+            format_report("demo", [])
+
+    def test_report_json_canonical(self):
+        groups = aggregate(TestAggregate.ROWS, group_by=["x"])
+        payload = json.loads(report_json("demo", groups))
+        assert payload["experiment"] == "demo"
+        assert len(payload["groups"]) == 2
+        assert payload["groups"][0]["metrics"]["v"]["n"] == 2
+
+    def test_group_stat_to_dict(self):
+        stat = GroupStat(
+            group={"x": 1}, n=1,
+            metrics={"v": MetricStat.from_values([2.0])},
+        )
+        payload = stat.to_dict()
+        assert payload["group"] == {"x": 1}
+        assert payload["metrics"]["v"]["mean"] == 2.0

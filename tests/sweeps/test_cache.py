@@ -1,0 +1,129 @@
+"""Tests for content-addressed trial keys and the JSONL result store."""
+
+import json
+
+import pytest
+
+from repro.exceptions import SweepError
+from repro.sweeps.cache import ResultStore, trial_key
+
+
+class TestTrialKey:
+    def test_deterministic(self):
+        a = trial_key("figure2", "1", {"x": 1, "y": "a"}, 7)
+        b = trial_key("figure2", "1", {"y": "a", "x": 1}, 7)
+        assert a == b
+        assert len(a) == 64  # SHA-256 hex
+
+    def test_sensitive_to_every_component(self):
+        base = trial_key("figure2", "1", {"x": 1}, 7)
+        assert trial_key("chaos", "1", {"x": 1}, 7) != base
+        assert trial_key("figure2", "2", {"x": 1}, 7) != base
+        assert trial_key("figure2", "1", {"x": 2}, 7) != base
+        assert trial_key("figure2", "1", {"x": 1}, 8) != base
+
+    def test_non_canonical_params_rejected(self):
+        with pytest.raises(SweepError):
+            trial_key("figure2", "1", {"x": float("inf")}, 7)
+
+
+class TestResultStore:
+    def _store(self, tmp_path):
+        return ResultStore(tmp_path / "results.jsonl")
+
+    def test_roundtrip(self, tmp_path):
+        store = self._store(tmp_path)
+        key = trial_key("demo", "1", {"x": 1}, 7)
+        assert not store.has(key)
+        store.append(
+            key, experiment="demo", params={"x": 1}, seed=7,
+            record={"mean": 0.5},
+        )
+        assert store.has(key)
+        assert key in store
+        assert len(store) == 1
+        assert store.record(key) == {"mean": 0.5}
+        entry = store.get(key)
+        assert entry["experiment"] == "demo"
+        assert entry["params"] == {"x": 1}
+        assert entry["seed"] == 7
+
+    def test_survives_reload(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        key = trial_key("demo", "1", {"x": 1}, 7)
+        store.append(
+            key, experiment="demo", params={"x": 1}, seed=7,
+            record={"mean": 0.5},
+        )
+        reloaded = ResultStore(path)
+        assert reloaded.record(key) == {"mean": 0.5}
+
+    def test_append_idempotent_per_key(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        key = trial_key("demo", "1", {"x": 1}, 7)
+        for _ in range(3):
+            store.append(
+                key, experiment="demo", params={"x": 1}, seed=7,
+                record={"mean": 0.5},
+            )
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_torn_trailing_line_ignored(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        key = trial_key("demo", "1", {"x": 1}, 7)
+        store.append(
+            key, experiment="demo", params={"x": 1}, seed=7,
+            record={"mean": 0.5},
+        )
+        # Simulate a crash mid-append: a second line cut off mid-JSON.
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"key": "abc", "rec')
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 1
+        assert reloaded.record(key) == {"mean": 0.5}
+
+    def test_duplicate_keys_last_line_wins(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        lines = [
+            {"key": "k1", "experiment": "demo", "params": {}, "seed": 0,
+             "record": {"v": 1.0}},
+            {"key": "k1", "experiment": "demo", "params": {}, "seed": 0,
+             "record": {"v": 2.0}},
+        ]
+        path.write_text("".join(json.dumps(e) + "\n" for e in lines))
+        store = ResultStore(path)
+        assert len(store) == 1
+        assert store.record("k1") == {"v": 2.0}
+
+    def test_malformed_entries_skipped(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        path.write_text('[1, 2]\n{"no_key": true}\n\n')
+        assert len(ResultStore(path)) == 0
+
+    def test_non_finite_record_rejected(self, tmp_path):
+        store = self._store(tmp_path)
+        with pytest.raises(SweepError):
+            store.append(
+                "k" * 64, experiment="demo", params={}, seed=0,
+                record={"mean": float("nan")},
+            )
+        # Nothing was written.
+        assert not store.path.exists() or store.path.read_text() == ""
+
+    def test_entries_sorted_by_key(self, tmp_path):
+        store = self._store(tmp_path)
+        for x in (3, 1, 2):
+            store.append(
+                trial_key("demo", "1", {"x": x}, x), experiment="demo",
+                params={"x": x}, seed=x, record={"v": float(x)},
+            )
+        keys = [entry["key"] for entry in store.entries()]
+        assert keys == sorted(keys) == store.keys()
+
+    def test_missing_key_reads(self, tmp_path):
+        store = self._store(tmp_path)
+        assert store.get("absent") is None
+        assert store.record("absent") is None

@@ -1,0 +1,177 @@
+"""Tests for declarative sweep grids."""
+
+import pytest
+
+from repro.exceptions import SweepError
+from repro.sweeps.spec import Axis, SweepSpec, Trial, canonical_json
+
+
+class TestCanonicalJson:
+    def test_sorted_and_compact(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_identical_content_identical_bytes(self):
+        a = canonical_json({"x": 1, "y": "s"})
+        b = canonical_json({"y": "s", "x": 1})
+        assert a == b
+
+    def test_nan_rejected(self):
+        with pytest.raises(SweepError):
+            canonical_json({"x": float("nan")})
+
+    def test_non_encodable_rejected(self):
+        with pytest.raises(SweepError):
+            canonical_json({"x": object()})
+
+
+class TestAxis:
+    def test_values_become_tuple(self):
+        axis = Axis("load", [0.1, 0.2])
+        assert axis.values == (0.1, 0.2)
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(SweepError):
+            Axis("load", ())
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SweepError):
+            Axis("", (1,))
+
+    def test_non_scalar_value_rejected(self):
+        with pytest.raises(SweepError):
+            Axis("load", ([1, 2],))
+
+
+class TestSpecValidation:
+    def test_needs_an_axis(self):
+        with pytest.raises(SweepError):
+            SweepSpec(axes=())
+
+    def test_unknown_mode(self):
+        with pytest.raises(SweepError):
+            SweepSpec(axes=(Axis("x", (1,)),), mode="outer")
+
+    def test_duplicate_axis_names(self):
+        with pytest.raises(SweepError):
+            SweepSpec(axes=(Axis("x", (1,)), Axis("x", (2,))))
+
+    def test_axis_base_collision(self):
+        with pytest.raises(SweepError):
+            SweepSpec(axes=(Axis("x", (1,)),), base={"x": 3})
+
+    def test_zip_needs_equal_lengths(self):
+        with pytest.raises(SweepError):
+            SweepSpec(
+                axes=(Axis("x", (1, 2)), Axis("y", (1, 2, 3))), mode="zip"
+            )
+
+    def test_repeats_must_be_positive(self):
+        with pytest.raises(SweepError):
+            SweepSpec(axes=(Axis("x", (1,)),), repeats=0)
+
+    def test_repeats_with_explicit_seed_rejected(self):
+        # Repeats under an explicit seed would run byte-identical trials.
+        with pytest.raises(SweepError):
+            SweepSpec(axes=(Axis("seed", (1, 2)),), repeats=3)
+        with pytest.raises(SweepError):
+            SweepSpec(axes=(Axis("x", (1,)),), base={"seed": 9}, repeats=2)
+
+    def test_non_scalar_base_rejected(self):
+        with pytest.raises(SweepError):
+            SweepSpec(axes=(Axis("x", (1,)),), base={"cfg": {"a": 1}})
+
+
+class TestEnumeration:
+    def test_cartesian_counts_and_order(self):
+        spec = SweepSpec(
+            axes=(Axis("x", (1, 2)), Axis("y", ("a", "b", "c"))), base={"k": 0}
+        )
+        assert spec.num_points() == 6
+        points = spec.points()
+        assert points[0] == {"k": 0, "x": 1, "y": "a"}
+        assert points[1] == {"k": 0, "x": 1, "y": "b"}
+        assert points[-1] == {"k": 0, "x": 2, "y": "c"}
+
+    def test_zip_pairs_values(self):
+        spec = SweepSpec(
+            axes=(Axis("x", (1, 2)), Axis("y", ("a", "b"))), mode="zip"
+        )
+        assert spec.points() == [{"x": 1, "y": "a"}, {"x": 2, "y": "b"}]
+
+    def test_repeats_multiply_trials(self):
+        spec = SweepSpec(axes=(Axis("x", (1, 2)),), repeats=3)
+        trials = spec.trials()
+        assert spec.num_trials() == len(trials) == 6
+        assert [t.repeat for t in trials] == [0, 1, 2, 0, 1, 2]
+        assert [t.index for t in trials] == list(range(6))
+
+
+class TestSeedDerivation:
+    def test_seeds_distinct_across_points_and_repeats(self):
+        spec = SweepSpec(axes=(Axis("x", (1, 2, 3)),), repeats=4, seed=11)
+        seeds = [t.seed for t in spec.trials()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_seed_depends_on_root(self):
+        a = SweepSpec(axes=(Axis("x", (1,)),), seed=1).trials()[0].seed
+        b = SweepSpec(axes=(Axis("x", (1,)),), seed=2).trials()[0].seed
+        assert a != b
+
+    def test_seed_position_independent(self):
+        """Subsetting an axis must not change surviving trials' seeds."""
+        full = SweepSpec(axes=(Axis("x", (1, 2, 3)),), seed=5)
+        subset = SweepSpec(axes=(Axis("x", (3,)),), seed=5)
+        by_x = {t.params["x"]: t.seed for t in full.trials()}
+        assert subset.trials()[0].seed == by_x[3]
+
+    def test_seed_axis_order_independent(self):
+        """Same parameter dict ⇒ same seed, whatever the axis order."""
+        ab = SweepSpec(axes=(Axis("a", (1,)), Axis("b", (2,))), seed=3)
+        ba = SweepSpec(axes=(Axis("b", (2,)), Axis("a", (1,))), seed=3)
+        assert ab.trials()[0].seed == ba.trials()[0].seed
+
+    def test_explicit_seed_used_verbatim(self):
+        spec = SweepSpec(axes=(Axis("seed", (17, 42)),))
+        assert [t.seed for t in spec.trials()] == [17, 42]
+
+    def test_known_stable_value(self):
+        # Guards the derivation against accidental change: trial keys
+        # (and therefore every existing result store) depend on it.
+        trial = SweepSpec(axes=(Axis("x", (1,)),), seed=0).trials()[0]
+        from repro.rand import derive_seed
+
+        assert trial.seed == derive_seed(0, '{"x":1}', 0)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        spec = SweepSpec(
+            axes=(Axis("x", (1, 2)), Axis("y", ("a", "b"))),
+            mode="zip",
+            base={"k": 0.5},
+            seed=9,
+            repeats=2,
+        )
+        clone = SweepSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert clone.fingerprint() == spec.fingerprint()
+
+    def test_fingerprint_changes_with_content(self):
+        a = SweepSpec(axes=(Axis("x", (1,)),), seed=0)
+        b = SweepSpec(axes=(Axis("x", (1,)),), seed=1)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(SweepError):
+            SweepSpec.from_json("not json")
+        with pytest.raises(SweepError):
+            SweepSpec.from_json('{"mode": "cartesian"}')
+        with pytest.raises(SweepError):
+            SweepSpec.from_json('{"axes": [{"name": "x"}]}')
+        with pytest.raises(SweepError):
+            SweepSpec.from_json('[1, 2]')
+
+    def test_trial_is_frozen(self):
+        trial = Trial(index=0, params={"x": 1}, seed=7)
+        with pytest.raises(AttributeError):
+            trial.seed = 8

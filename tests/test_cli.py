@@ -152,3 +152,96 @@ class TestChaosCommand:
         ]) == 0
         out = capsys.readouterr().out
         assert "rerouted" in out
+
+
+class TestSweepCommand:
+    def test_list_registered_experiments(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("figure2", "neutrality", "market", "chaos", "demo"):
+            assert name in out
+
+    def test_demo_grid_reports(self, capsys):
+        assert main([
+            "sweep", "--experiment", "demo",
+            "--axis", "loc=0,1", "--set", "draws=8",
+            "--group-by", "loc",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "sweep aggregate — experiment=demo" in captured.out
+        assert "loc=0" in captured.out and "loc=1" in captured.out
+        # Run accounting goes to stderr, never into the report.
+        assert "executed=2" in captured.err
+        assert "executed=2" not in captured.out
+
+    def test_json_report_deterministic(self, capsys):
+        argv = ["sweep", "--experiment", "demo", "--axis", "loc=0,1", "--json"]
+        assert main(argv) == 0
+        a = capsys.readouterr().out
+        assert main(argv) == 0
+        b = capsys.readouterr().out
+        assert a == b
+        import json
+
+        payload = json.loads(a)
+        assert payload["experiment"] == "demo"
+
+    def test_store_caches_second_run(self, capsys, tmp_path):
+        store = str(tmp_path / "results.jsonl")
+        argv = [
+            "sweep", "--experiment", "demo", "--axis", "loc=0:3",
+            "--store", store,
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out  # byte-identical report
+        assert "executed=3 cached=0" in first.err
+        assert "executed=0 cached=3" in second.err
+
+    def test_spec_file(self, capsys, tmp_path):
+        import json
+
+        spec_path = tmp_path / "grid.json"
+        spec_path.write_text(json.dumps({
+            "experiment": "demo",
+            "axes": [{"name": "loc", "values": [0.0, 1.0]}],
+            "base": {"draws": 8},
+            "seed": 3,
+        }))
+        assert main(["sweep", "--spec", str(spec_path)]) == 0
+        assert "experiment=demo" in capsys.readouterr().out
+
+    def test_zip_mode_and_repeats(self, capsys):
+        assert main([
+            "sweep", "--experiment", "demo",
+            "--axis", "loc=0,1", "--axis", "scale=1,2", "--zip",
+            "--repeats", "2",
+        ]) == 0
+        assert "executed=4" in capsys.readouterr().err
+
+    def test_requires_axis_or_spec(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--experiment", "demo"])
+
+    def test_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--axis", "loc=0,1"])
+
+    def test_unknown_experiment_fails(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--experiment", "nope", "--axis", "x=1"])
+
+    def test_bad_axis_syntax(self):
+        for bad in ("loc", "loc=", "loc=5:2", "loc=a:b"):
+            with pytest.raises(SystemExit):
+                main(["sweep", "--experiment", "demo", "--axis", bad])
+
+    def test_progress_beats_on_stderr(self, capsys):
+        assert main([
+            "sweep", "--experiment", "demo", "--axis", "loc=0,1",
+            "--progress",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "sweep:" in err and "executed" in err

@@ -1,9 +1,14 @@
 """Tests for seeded randomness helpers."""
 
+import itertools
+import os
+import subprocess
+import sys
+
 import numpy as np
 import pytest
 
-from repro.rand import make_rng, spawn, stable_choice
+from repro.rand import derive_rng, derive_seed, make_rng, spawn, stable_choice
 
 
 class TestMakeRng:
@@ -39,6 +44,62 @@ class TestSpawn:
 
     def test_zero_children(self):
         assert spawn(make_rng(1), 0) == []
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "trial", 3) == derive_seed(7, "trial", 3)
+
+    def test_distinct_parts_distinct_seeds(self):
+        seeds = {derive_seed(0, "trial", i) for i in range(512)}
+        assert len(seeds) == 512
+
+    def test_sensitive_to_root_and_order(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+        assert derive_seed(0, "a", "b") != derive_seed(0, "b", "a")
+
+    def test_none_root_is_zero(self):
+        assert derive_seed(None, "x") == derive_seed(0, "x")
+
+    def test_fits_in_int64(self):
+        for i in range(64):
+            assert 0 <= derive_seed(i, "x") < 2**63
+
+    def test_nested_json_parts_accepted(self):
+        assert derive_seed(0, {"a": [1, 2]}, ("t", 1)) == derive_seed(
+            0, {"a": [1, 2]}, ["t", 1]
+        )
+
+    def test_generator_root_rejected(self):
+        with pytest.raises(ValueError):
+            derive_seed(np.random.default_rng(1), "x")
+
+    def test_non_json_parts_rejected(self):
+        with pytest.raises(ValueError):
+            derive_seed(0, object())
+        with pytest.raises(ValueError):
+            derive_seed(0, float("nan"))
+
+    def test_pairwise_independence(self):
+        """Derived streams must not be correlated with each other."""
+        streams = [derive_rng(0, "trial", i).normal(size=512) for i in range(6)]
+        for a, b in itertools.combinations(streams, 2):
+            corr = float(np.corrcoef(a, b)[0, 1])
+            assert abs(corr) < 0.2
+
+    def test_independent_of_hash_randomization(self):
+        """The per-trial seed must be identical in a fresh interpreter
+        under any PYTHONHASHSEED — the property spawn pools rely on."""
+        expected = derive_seed(7, '{"x":1}', 0)
+        code = "from repro.rand import derive_seed; print(derive_seed(7, '{\"x\":1}', 0))"
+        for hash_seed in ("0", "4242"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env["PYTHONPATH"] = "src"
+            out = subprocess.run(
+                [sys.executable, "-c", code], env=env, cwd=os.getcwd(),
+                capture_output=True, text=True, check=True,
+            )
+            assert int(out.stdout.strip()) == expected
 
 
 class TestStableChoice:
