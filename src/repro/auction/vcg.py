@@ -101,6 +101,31 @@ class AuctionResult:
     def winners(self) -> List[str]:
         return sorted(p.provider for p in self.providers.values() if p.won)
 
+    @property
+    def num_clamped(self) -> int:
+        """How many payments the IR clamp floored (see module docstring)."""
+        return sum(1 for p in self.providers.values() if p.clamped)
+
+    @property
+    def total_declared_cost(self) -> float:
+        """Declared cost of what the auction participants actually sold."""
+        return sum(p.declared_cost for p in self.providers.values())
+
+    def audit(self, *, require_nonnegative_pivots: bool = False):
+        """Run the §3.3 invariant suite over this result.
+
+        Returns the list of :class:`~repro.validate.invariants.Violation`
+        records (empty when the result honours weak budget balance and
+        bidder individual rationality).  ``require_nonnegative_pivots``
+        additionally demands Clarke pivots ≥ 0, which only an *exact*
+        selection engine guarantees.
+        """
+        from repro.validate.invariants import check_auction_result
+
+        return check_auction_result(
+            self, require_nonnegative_pivots=require_nonnegative_pivots
+        )
+
 
 def run_auction(
     offers: Sequence[Offer],

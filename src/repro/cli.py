@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib as _contextlib
+import math
 import sys
 from typing import List, Optional
 
@@ -244,13 +245,21 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _coerce_scalar(text: str):
-    """CLI axis/constant values: int, then float, then bool/None, then str."""
+    """CLI axis/constant values: int, then float, then bool/None, then str.
+
+    ``nan``/``inf`` stay strings: trial params must be canonically
+    JSON-encodable (finite), so coercing them to floats would only
+    manufacture a spec error — and the demo experiment's ``emit=nan``
+    fault knob needs the literal string to reach the trial.
+    """
     try:
         return int(text)
     except ValueError:
         pass
     try:
-        return float(text)
+        value = float(text)
+        if math.isfinite(value):
+            return value
     except ValueError:
         pass
     return {"true": True, "false": False, "none": None}.get(text.lower(), text)
@@ -286,7 +295,7 @@ def _parse_set_arg(text: str):
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.exceptions import SweepError
+    from repro.exceptions import InvariantViolation, SweepError
     from repro.experiments.pipeline import PipelineCheckpoint
     from repro.sweeps import SweepRunner, SweepSpec, registered_names
     from repro.sweeps.registry import describe_all
@@ -341,6 +350,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             store=args.store,
             checkpoint=PipelineCheckpoint(args.checkpoint) if args.checkpoint else None,
             on_progress=on_progress,
+            trial_timeout_s=args.trial_timeout,
+            supervised=True if args.supervised else None,
+            validation=args.validate,
+            quarantine=args.quarantine,
+            max_trial_attempts=args.max_trial_attempts,
         )
         with _silence_native_stdout():
             result = runner.run(spec)
@@ -351,10 +365,78 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             print(result.report_json(group_by))
         else:
             print(result.format_report(group_by))
-    except SweepError as exc:
+        if args.report:
+            print(result.supervision_report())
+    except (SweepError, InvariantViolation) as exc:
         raise SystemExit(f"sweep failed: {exc}")
     print(result.stats_line(), file=sys.stderr)
     return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    """Replay a result store through the invariant suite (exit 1 on dirt)."""
+    import json as _json
+    import pathlib as _pathlib
+
+    from repro.resilience.supervisor import QuarantineLog
+    from repro.sweeps.cache import ResultStore
+    from repro.validate.invariants import check_record
+
+    if not _pathlib.Path(args.store).exists():
+        raise SystemExit(f"no result store at {args.store!r}")
+    store = ResultStore(args.store)
+    audited = 0
+    dirty = []
+    for entry in store.entries():
+        audited += 1
+        experiment = str(entry.get("experiment", ""))
+        record = entry.get("record")
+        if not isinstance(record, dict):
+            dirty.append((entry.get("key", "?"), experiment,
+                          ["entry has no record mapping"]))
+            continue
+        violations = check_record(experiment, record)
+        if violations:
+            dirty.append((entry.get("key", "?"), experiment,
+                          [str(v) for v in violations]))
+
+    quarantine_path = args.quarantine
+    if quarantine_path is None:
+        default = _pathlib.Path(args.store).parent / "quarantine.jsonl"
+        quarantine_path = str(default) if default.exists() else None
+    quarantine = QuarantineLog(quarantine_path) if quarantine_path else None
+
+    if args.json:
+        payload = {
+            "store": args.store,
+            "entries": audited,
+            "corrupt_lines": store.corrupt_lines,
+            "invalid": [
+                {"key": key, "experiment": experiment, "violations": violations}
+                for key, experiment, violations in dirty
+            ],
+            "quarantined": len(quarantine) if quarantine else 0,
+        }
+        print(_json.dumps(payload, sort_keys=True, indent=2))
+    else:
+        print(f"audit {args.store}: {audited} entr{'y' if audited == 1 else 'ies'}, "
+              f"{store.corrupt_lines} corrupt line(s), "
+              f"{len(dirty)} invalid record(s)")
+        for key, experiment, violations in dirty:
+            print(f"  {str(key)[:12]}… [{experiment}]")
+            for violation in violations:
+                print(f"    {violation}")
+        if quarantine is not None:
+            kinds: dict = {}
+            for entry in quarantine.entries():
+                kind = str(entry.get("kind", "?"))
+                kinds[kind] = kinds.get(kind, 0) + 1
+            summary = "  ".join(
+                f"{kind}={count}" for kind, count in sorted(kinds.items())
+            )
+            print(f"quarantine {quarantine.path}: {len(quarantine)} trial(s)"
+                  + (f"  ({summary})" if summary else ""))
+    return 1 if dirty else 0
 
 
 def cmd_planning(args: argparse.Namespace) -> int:
@@ -496,7 +578,45 @@ def make_parser() -> argparse.ArgumentParser:
                       help="print progress/ETA beats to stderr")
     p_sw.add_argument("--list", action="store_true",
                       help="list registered experiments and exit")
+    p_sw.add_argument("--trial-timeout", type=float, default=None, metavar="S",
+                      help="per-trial wall-clock deadline in seconds; implies "
+                           "supervised execution (watchdog + quarantine)")
+    p_sw.add_argument("--supervised", action="store_true",
+                      help="run under the trial supervisor even without a "
+                           "timeout (crash respawn + poison quarantine)")
+    p_sw.add_argument("--validate", default="off",
+                      choices=("off", "warn", "quarantine", "strict"),
+                      help="invariant suite over every result: warn journals "
+                           "violations, quarantine keeps them out of the "
+                           "store, strict aborts the sweep")
+    p_sw.add_argument("--quarantine", default=None, metavar="PATH",
+                      help="poison-trial ledger (default: quarantine.jsonl "
+                           "next to --store)")
+    p_sw.add_argument("--max-trial-attempts", type=int, default=2,
+                      help="timeouts/crashes a trial may cause before it is "
+                           "quarantined")
+    p_sw.add_argument("--report", action="store_true",
+                      help="print the supervision incident journal after the "
+                           "aggregate")
     p_sw.set_defaults(fn=cmd_sweep)
+
+    p_au = sub.add_parser(
+        "audit",
+        help="replay a sweep result store through the invariant suite",
+        description="Checks every stored record against the paper's "
+                    "machine-checkable invariants (budget balance, IR, "
+                    "welfare ordering, nonprofit surplus, finiteness) and "
+                    "summarizes the quarantine ledger.  Exits 1 if any "
+                    "stored record is invalid.",
+    )
+    p_au.add_argument("--store", required=True, metavar="PATH",
+                      help="JSONL result store to audit")
+    p_au.add_argument("--quarantine", default=None, metavar="PATH",
+                      help="quarantine ledger to summarize (default: "
+                           "quarantine.jsonl next to --store, if present)")
+    p_au.add_argument("--json", action="store_true",
+                      help="emit a JSON audit report")
+    p_au.set_defaults(fn=cmd_audit)
 
     p_pl = sub.add_parser("planning", help="capacity planning / re-auctions")
     p_pl.add_argument("--preset", default="tiny", choices=("tiny", "small", "paper"))

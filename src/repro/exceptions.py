@@ -8,6 +8,8 @@ parsing message strings.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -125,6 +127,65 @@ class SweepError(ReproError):
     experiment names, trial functions returning non-records, and result
     stores that do not match the sweep being resumed.
     """
+
+
+class TrialTimeoutError(SweepError):
+    """A sweep trial exceeded its per-trial wall-clock deadline.
+
+    Raised worker-side by the supervisor's alarm when a trial overruns
+    its budget; the parent-side watchdog raises it on the trial's behalf
+    when the worker is so stuck it cannot even raise (a C-level hang).
+    """
+
+    def __init__(self, index: int, limit_s: float, detail: str = "") -> None:
+        msg = f"trial {index} exceeded its {limit_s:g}s deadline"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+        self.index = index
+        self.limit_s = limit_s
+
+
+class WorkerCrashError(SweepError):
+    """A sweep worker process died while executing a trial.
+
+    Covers segfaults, OOM kills, ``os._exit`` from buggy trial code, and
+    watchdog kills of hung workers.  The supervisor respawns the worker
+    (within its respawn budget) and retries or quarantines the trial.
+    """
+
+    def __init__(self, index: int, exitcode: object, detail: str = "") -> None:
+        msg = f"worker died (exitcode={exitcode}) while running trial {index}"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+        self.index = index
+        self.exitcode = exitcode
+
+
+class SweepInterrupted(SweepError):
+    """A supervised sweep was stopped by SIGINT/SIGTERM.
+
+    Raised *after* the supervisor has drained in-flight results and
+    flushed the checkpoint, so the store and checkpoint on disk are
+    consistent and the sweep is resumable.
+    """
+
+
+class InvariantViolation(ReproError):
+    """A machine-checked contract of the reproduction failed.
+
+    Carries the individual :class:`~repro.validate.invariants.Violation`
+    records so callers can report exactly which economic or flow
+    invariant broke (VCG budget balance, individual rationality,
+    non-negative Clarke pivots, flow conservation, finiteness...).
+    """
+
+    def __init__(self, context: str, violations: Sequence[object]) -> None:
+        lines = "; ".join(str(v) for v in violations)
+        super().__init__(f"{context}: {len(violations)} invariant violation(s): {lines}")
+        self.context = context
+        self.violations = tuple(violations)
 
 
 class NeutralityViolation(ReproError):

@@ -7,6 +7,7 @@ guarantees the CLI, tests, and benchmarks agree on the workload.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import pathlib
 from typing import Any, Dict, List, Union
@@ -18,6 +19,8 @@ from repro.topology.zoo import ZooResult
 from repro.traffic.gravity import gravity_matrix_for_sites
 from repro.traffic.matrix import TrafficMatrix
 from repro.traffic.synthetic import hotspot_matrix, uniform_matrix
+
+logger = logging.getLogger(__name__)
 
 #: Offered load as a fraction of total offered capacity.  Low enough that
 #: acceptable sets exist under all three constraints, high enough that
@@ -127,6 +130,11 @@ class PipelineCheckpoint:
 
     def __init__(self, path: Union[str, pathlib.Path]) -> None:
         self.path = pathlib.Path(path)
+        #: True when an existing checkpoint file could not be read (torn
+        #: write, foreign content, version mismatch) and the pipeline
+        #: starts fresh.  Consumers (e.g. the sweep runner's incident
+        #: journal) surface this so data loss is never silent.
+        self.recovered = False
         self._stages: Dict[str, Any] = self._load()
 
     def _load(self) -> Dict[str, Any]:
@@ -134,12 +142,31 @@ class PipelineCheckpoint:
             return {}
         try:
             payload = json.loads(self.path.read_text())
-        except (OSError, json.JSONDecodeError):
-            return {}  # a torn/corrupt checkpoint is treated as absent
+        except (OSError, json.JSONDecodeError) as exc:
+            # A torn/corrupt checkpoint is treated as absent: the stages
+            # re-run, which is always safe.  But say so.
+            self.recovered = True
+            logger.warning(
+                "checkpoint %s is unreadable (%s); starting fresh",
+                self.path, exc,
+            )
+            return {}
         if not isinstance(payload, dict) or payload.get("version") != self.VERSION:
+            self.recovered = True
+            logger.warning(
+                "checkpoint %s has unexpected shape or version; starting fresh",
+                self.path,
+            )
             return {}
         stages = payload.get("stages", {})
-        return stages if isinstance(stages, dict) else {}
+        if not isinstance(stages, dict):
+            self.recovered = True
+            logger.warning(
+                "checkpoint %s stages are not a mapping; starting fresh",
+                self.path,
+            )
+            return {}
+        return stages
 
     def _flush(self) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)

@@ -274,7 +274,20 @@ def chaos_trial(params: Mapping[str, object], seed: int) -> Dict[str, float]:
 def demo_trial(params: Mapping[str, object], seed: int) -> Dict[str, float]:
     """A milliseconds-fast synthetic experiment for exercising the sweep
     machinery itself: draws from the trial's seeded stream, so identical
-    seeds give identical records in any process."""
+    seeds give identical records in any process.
+
+    Two fault-injection knobs exercise the *supervision* machinery
+    (watchdog, deadlines, quarantine, validation) end to end:
+    ``sleep_s > 0`` stalls the trial that long before computing (a
+    controllable hang for timeout tests and the CI supervisor smoke);
+    ``emit="nan"`` poisons the record's ``mean`` with NaN so the
+    invariant suite has something to reject.
+    """
+    sleep_s = float(params.get("sleep_s", 0.0))
+    if sleep_s > 0:
+        import time
+
+        time.sleep(sleep_s)
     rng = make_rng(int(seed))
     loc = float(params.get("loc", 0.0))
     scale = float(params.get("scale", 1.0))
@@ -284,12 +297,15 @@ def demo_trial(params: Mapping[str, object], seed: int) -> Dict[str, float]:
     if draws < 1:
         raise SweepError(f"draws must be >= 1, got {draws}")
     values = rng.normal(loc=loc, scale=scale, size=draws)
-    return {
+    record = {
         "mean": float(values.mean()),
         "lo": float(values.min()),
         "hi": float(values.max()),
         "first": float(values[0]),
     }
+    if params.get("emit") == "nan":
+        record["mean"] = float("nan")
+    return record
 
 
 # -- registration -------------------------------------------------------------
@@ -329,9 +345,12 @@ def _register_builtins() -> None:
     register(Experiment(
         name="demo",
         trial=demo_trial,
-        version="1",
+        # v2: fault-injection knobs (sleep_s, emit) joined the params.
+        version="2",
         description="synthetic seeded draws (sweep-machinery smoke checks)",
-        defaults={"loc": 0.0, "scale": 1.0, "draws": 16},
+        defaults={
+            "loc": 0.0, "scale": 1.0, "draws": 16, "sleep_s": 0.0, "emit": "",
+        },
     ), replace=True)
 
 

@@ -50,6 +50,12 @@ class MCFResult:
     #: Per-link load (Gbps, both directions summed) of a routing of the TM
     #: itself (flows rescaled to λ = 1 when λ* > 1).  None when infeasible.
     link_loads: Optional[Dict[str, float]] = None
+    #: Raw routing detail for invariant audits, populated only when
+    #: ``keep_flows=True``: ``arcs`` lists (arc_id, tail, head, capacity)
+    #: and ``arc_flows[(arc_id, source)]`` the *unscaled* flow of
+    #: source-sourced traffic on that arc at the solved λ.
+    arcs: Optional[Tuple[Tuple[str, str, str, float], ...]] = None
+    arc_flows: Optional[Dict[Tuple[str, str], float]] = None
 
     @property
     def utilization_headroom(self) -> float:
@@ -74,11 +80,15 @@ def max_concurrent_flow(
     tm: TrafficMatrix,
     *,
     lambda_cap: float = LAMBDA_CAP,
+    keep_flows: bool = False,
 ) -> MCFResult:
     """Solve for the max concurrent flow λ* of ``tm`` on ``network``.
 
     Raises :class:`FlowError` only on solver breakdown; an unreachable
-    demand simply yields λ* = 0 (infeasible).
+    demand simply yields λ* = 0 (infeasible).  ``keep_flows=True``
+    retains the per-arc, per-source routing on the result so the
+    invariant suite (:mod:`repro.validate.invariants`) can audit flow
+    conservation and capacity respect against the LP's own solution.
     """
     tm.validate_against(network.node_ids)
     demands = [(pair, v) for pair, v in tm.pairs() if v > 0]
@@ -165,6 +175,16 @@ def max_concurrent_flow(
 
     flow_km = 0.0
     link_loads: Optional[Dict[str, float]] = None
+    arcs_out: Optional[Tuple[Tuple[str, str, str, float], ...]] = None
+    arc_flows: Optional[Dict[Tuple[str, str], float]] = None
+    if keep_flows and res.x is not None:
+        arcs_out = tuple((aid, tail, head, cap) for aid, tail, head, cap, _l in arcs)
+        arc_flows = {}
+        for a, (aid, _t, _h, _c, _l) in enumerate(arcs):
+            for s, source in enumerate(sources):
+                value = float(res.x[a * n_src + s])
+                if value > 1e-12:
+                    arc_flows[(aid, source)] = value
     if res.x is not None:
         lengths = np.repeat([arc[4] for arc in arcs], n_src)
         flow_km = float(np.dot(res.x[:n_x], lengths))
@@ -186,6 +206,8 @@ def max_concurrent_flow(
         message=res.message,
         flow_km=flow_km,
         link_loads=link_loads,
+        arcs=arcs_out,
+        arc_flows=arc_flows,
     )
 
 

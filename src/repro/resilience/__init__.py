@@ -12,6 +12,9 @@ them in practice:
   mid-epoch, defer re-auction to the next round.
 - :mod:`repro.resilience.chaos` — a deterministic fault-injection
   harness and end-to-end survivability campaigns (``poc-repro chaos``).
+- :mod:`repro.resilience.supervisor` — supervised trial execution for
+  sweeps: per-trial deadlines, a hang watchdog, crashed-worker respawn,
+  and poison-trial quarantine.
 """
 
 from repro.resilience.chaos import (
@@ -19,6 +22,7 @@ from repro.resilience.chaos import (
     ChaosConfig,
     FaultEvent,
     ScenarioResult,
+    injected_link_faults,
     micro_scenario,
     plan_campaign,
     run_campaign,
@@ -31,6 +35,13 @@ from repro.resilience.policy import (
     RetryPolicy,
     call_with_retry,
 )
+from repro.resilience.supervisor import (
+    IncidentRecord,
+    QuarantineLog,
+    SupervisionOutcome,
+    TrialSupervisor,
+    format_incidents,
+)
 
 __all__ = [
     "CampaignReport",
@@ -40,10 +51,16 @@ __all__ = [
     "DegradedModeController",
     "DegradedState",
     "FaultEvent",
+    "IncidentRecord",
+    "QuarantineLog",
     "ResilientAuctioneer",
     "RetryPolicy",
     "ScenarioResult",
+    "SupervisionOutcome",
+    "TrialSupervisor",
     "call_with_retry",
+    "format_incidents",
+    "injected_link_faults",
     "micro_scenario",
     "plan_campaign",
     "run_campaign",

@@ -22,6 +22,7 @@ campaign report byte for byte.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import math
 from dataclasses import asdict, dataclass, field
@@ -334,6 +335,25 @@ def run_campaign(
     return report
 
 
+@contextlib.contextmanager
+def injected_link_faults(poc: PublicOptionCore):
+    """Scope chaos-injected link failures to a block, crash-safe.
+
+    Snapshots the POC's failed-link set on entry and, on *any* exit —
+    normal return, a crashed damage assessment, or a supervisor timeout
+    raised mid-block — restores exactly the failures injected inside the
+    block.  Pre-existing failures (a genuinely degraded POC) are left
+    untouched, so the harness never masks real operational state.
+    """
+    before = poc.failed_links
+    try:
+        yield
+    finally:
+        injected = poc.failed_links - before
+        if injected:
+            poc.restore_links(injected)
+
+
 def _run_epoch(
     poc: PublicOptionCore,
     offers: Sequence[Offer],
@@ -413,17 +433,23 @@ def _run_epoch(
     controller = DegradedModeController(poc, tm)
 
     # -- mid-epoch topology fault ---------------------------------------------
+    # The injected failures live only for the duration of the damage
+    # assessment: the context manager restores them on the way out, so a
+    # trial that crashes mid-assessment (or is killed by the sweep
+    # supervisor and retried in-process) never leaks a degraded POC into
+    # the next scenario.
     target = event.target
-    if event.kind == "link-flap":
-        candidates = sorted(result.selected)
-        target = candidates[event.salt % len(candidates)]
-        state = controller.fail_links([target])
-    elif event.kind == "node-outage":
-        state = controller.fail_node(event.target)
-    elif event.kind == "srlg-cut":
-        state = controller.fail_links(event.link_ids)
-    else:
-        state = controller.assess()
+    with injected_link_faults(poc):
+        if event.kind == "link-flap":
+            candidates = sorted(result.selected)
+            target = candidates[event.salt % len(candidates)]
+            state = controller.fail_links([target])
+        elif event.kind == "node-outage":
+            state = controller.fail_node(event.target)
+        elif event.kind == "srlg-cut":
+            state = controller.fail_links(event.link_ids)
+        else:
+            state = controller.assess()
 
     return ScenarioResult(
         epoch=event.epoch,

@@ -19,12 +19,15 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import pathlib
 from typing import Dict, Iterator, List, Mapping, Optional, Union
 
 from repro.exceptions import SweepError
 from repro.sweeps.spec import canonical_json
+
+logger = logging.getLogger(__name__)
 
 
 def trial_key(
@@ -59,13 +62,18 @@ class ResultStore:
     def __init__(self, path: Union[str, pathlib.Path]) -> None:
         self.path = pathlib.Path(path)
         self._entries: Dict[str, Dict[str, object]] = {}
+        #: Lines the loader had to skip: torn tails from crashed appends
+        #: or foreign garbage.  Skipping is safe (the cache re-executes
+        #: the lost trials) but must be *visible*, not silent — the
+        #: supervision journal and ``poc-repro audit`` report it.
+        self.corrupt_lines = 0
         self._load()
 
     def _load(self) -> None:
         if not self.path.exists():
             return
         with self.path.open("r", encoding="utf-8") as handle:
-            for line in handle:
+            for line_no, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
                     continue
@@ -74,9 +82,20 @@ class ResultStore:
                 except json.JSONDecodeError:
                     # A torn line can only be the tail of a crashed
                     # append; everything before it is intact.
+                    self.corrupt_lines += 1
+                    logger.warning(
+                        "result store %s: skipping corrupt line %d "
+                        "(truncated append?)", self.path, line_no,
+                    )
                     continue
                 if isinstance(entry, dict) and isinstance(entry.get("key"), str):
                     self._entries[entry["key"]] = entry
+                else:
+                    self.corrupt_lines += 1
+                    logger.warning(
+                        "result store %s: skipping line %d without a "
+                        "string 'key'", self.path, line_no,
+                    )
 
     # -- reads ----------------------------------------------------------------
 

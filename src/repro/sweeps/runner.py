@@ -30,14 +30,22 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.exceptions import ReproError, SweepError
+from repro.exceptions import InvariantViolation, ReproError, SweepError
 from repro.experiments.pipeline import PipelineCheckpoint
 from repro.rand import derive_seed
 from repro.resilience.policy import RetryPolicy, call_with_retry
+from repro.resilience.supervisor import (
+    IncidentRecord,
+    QuarantineLog,
+    TrialSupervisor,
+    _seed_worker_globals,
+    format_incidents,
+)
 from repro.sweeps.aggregate import GroupStat, aggregate, format_report, report_json
 from repro.sweeps.cache import ResultStore, trial_key
 from repro.sweeps.registry import get_experiment
 from repro.sweeps.spec import SweepSpec
+from repro.validate.invariants import ValidationPolicy, check_record
 
 #: (index, resolved params, seed, key) — everything a worker needs.
 TrialTask = Tuple[int, Dict[str, object], int, str]
@@ -91,6 +99,15 @@ class SweepResult:
     outcomes: List[TrialOutcome] = field(default_factory=list)
     elapsed_s: float = 0.0
     workers: int = 0
+    #: Supervision journal: every timeout, crash, respawn, quarantine,
+    #: validation failure, … this run endured (empty when nothing happened).
+    incidents: List[IncidentRecord] = field(default_factory=list)
+    #: Trials this run quarantined (poison or invariant-invalid); they are
+    #: excluded from ``outcomes`` so aggregates match a sweep that never
+    #: contained them.
+    quarantined: List[Dict[str, object]] = field(default_factory=list)
+    #: Workers replaced after crashes/hang-kills.
+    respawns: int = 0
 
     @property
     def cache_hits(self) -> int:
@@ -126,11 +143,31 @@ class SweepResult:
 
     def stats_line(self) -> str:
         """Run accounting (kept out of the byte-stable report)."""
-        return (
+        line = (
             f"sweep {self.experiment}: trials={len(self.outcomes)} "
             f"executed={self.executed} cached={self.cache_hits} "
             f"workers={self.workers}"
         )
+        if self.quarantined:
+            line += f" quarantined={len(self.quarantined)}"
+        if self.respawns:
+            line += f" respawns={self.respawns}"
+        return line
+
+    def supervision_report(self) -> str:
+        """The incident journal and quarantine ledger as text (``--report``)."""
+        lines = [format_incidents(self.incidents)]
+        if self.quarantined:
+            lines.append(f"quarantined {len(self.quarantined)} trial(s):")
+            for entry in self.quarantined:
+                lines.append(
+                    f"  {str(entry.get('key', ''))[:12]}… "
+                    f"kind={entry.get('kind')} attempts={entry.get('attempts')} "
+                    f"seed={entry.get('seed')} params={entry.get('params')}"
+                )
+        if self.respawns:
+            lines.append(f"worker respawns: {self.respawns}")
+        return "\n".join(lines)
 
 
 def _run_trial_with_retry(
@@ -146,6 +183,11 @@ def _run_trial_with_retry(
     exp = get_experiment(experiment_name)
 
     def attempt() -> Mapping[str, object]:
+        # Pin the *global* RNG streams per attempt so a trial re-run on a
+        # respawned worker (or retried in place) is byte-identical to its
+        # first-worker execution even if experiment code leaks global
+        # randomness.
+        _seed_worker_globals(seed)
         return exp.trial(params, seed)
 
     try:
@@ -186,6 +228,16 @@ class SweepRunner:
     caching; a :class:`PipelineCheckpoint` pins the sweep's spec
     fingerprint so a resumed run cannot silently mix results from a
     different grid.
+
+    Supervision (``supervised=True``, implied by ``trial_timeout_s``)
+    routes execution through :class:`TrialSupervisor`: per-trial
+    deadlines, crashed-worker respawn, and poison-trial quarantine —
+    see :mod:`repro.resilience.supervisor`.  ``validation`` runs the
+    invariant suite (:mod:`repro.validate.invariants`) over every fresh
+    *and* cached record: ``warn`` journals violations, ``quarantine``
+    additionally keeps invalid results out of the store and the
+    outcomes, ``strict`` aborts the sweep with
+    :class:`InvariantViolation`.
     """
 
     def __init__(
@@ -198,6 +250,12 @@ class SweepRunner:
         store: Union[ResultStore, str, None] = None,
         checkpoint: Optional[PipelineCheckpoint] = None,
         on_progress: Optional[Callable[[SweepProgress], None]] = None,
+        trial_timeout_s: Optional[float] = None,
+        supervised: Optional[bool] = None,
+        validation: Union[str, ValidationPolicy] = "off",
+        quarantine: Union[QuarantineLog, str, None] = None,
+        max_trial_attempts: int = 2,
+        respawn_budget: int = 8,
     ) -> None:
         if workers < 0:
             raise SweepError(f"workers must be >= 0, got {workers}")
@@ -212,6 +270,30 @@ class SweepRunner:
         self.store = ResultStore(store) if isinstance(store, str) else store
         self.checkpoint = checkpoint
         self.on_progress = on_progress
+        self.trial_timeout_s = trial_timeout_s
+        self.supervised = (
+            supervised if supervised is not None else trial_timeout_s is not None
+        )
+        self.validation = (
+            ValidationPolicy(validation) if isinstance(validation, str) else validation
+        )
+        self.max_trial_attempts = max_trial_attempts
+        self.respawn_budget = respawn_budget
+        if isinstance(quarantine, QuarantineLog):
+            self.quarantine = quarantine
+        elif quarantine is not None:
+            self.quarantine = QuarantineLog(quarantine)
+        elif (self.supervised or self.validation.blocks_cache) and self.store is not None:
+            # Default the ledger next to the store so re-runs see it.
+            self.quarantine = QuarantineLog(
+                self.store.path.parent / "quarantine.jsonl"
+            )
+        else:
+            self.quarantine = QuarantineLog(None)
+        # Per-run supervision state, reset by run().
+        self._incidents: List[IncidentRecord] = []
+        self._quarantined: List[Dict[str, object]] = []
+        self._respawns = 0
 
     # -- internals ------------------------------------------------------------
 
@@ -268,6 +350,74 @@ class SweepRunner:
             record=record,
         )
 
+    def _admit(self, task: TrialTask, record: Mapping[str, object]) -> bool:
+        """Gate one result through the invariant suite.
+
+        Returns True when the record may be persisted and reported.
+        Under ``warn`` a violating record is journaled but kept; under
+        ``quarantine`` it is ledgered and dropped; ``strict`` raises.
+        """
+        if not self.validation.enabled:
+            return True
+        index, params, seed, key = task
+        violations = check_record(self.experiment.name, record)
+        if not violations:
+            return True
+        detail = "; ".join(str(v) for v in violations)
+        if self.validation.mode == "strict":
+            raise InvariantViolation(f"trial {index} ({key[:12]}…)", violations)
+        if self.validation.mode == "warn":
+            self._incidents.append(IncidentRecord(
+                kind="invalid", index=index, key=key, attempt=0,
+                wall_time_s=0.0, disposition="warned", detail=detail,
+            ))
+            return True
+        self._incidents.append(IncidentRecord(
+            kind="invalid", index=index, key=key, attempt=0,
+            wall_time_s=0.0, disposition="quarantined", detail=detail,
+        ))
+        entry = {
+            "key": key,
+            "experiment": self.experiment.name,
+            "index": index,
+            "params": dict(params),
+            "seed": seed,
+            "kind": "invalid",
+            "attempts": 1,
+            "wall_time_s": 0.0,
+            "traceback": detail,
+        }
+        self.quarantine.append(entry)
+        self._quarantined.append(entry)
+        return False
+
+    def _admit_cached(self, task: TrialTask, record: Mapping[str, object]) -> bool:
+        """Validate a record served from the store.
+
+        The store is append-only, so an invalid cached record cannot be
+        deleted here — under ``quarantine`` it is journaled and excluded
+        from this run's outcomes (``poc-repro audit`` finds and reports
+        it); ``strict`` refuses to build on a poisoned cache at all.
+        """
+        if not self.validation.enabled:
+            return True
+        index, _params, _seed, key = task
+        violations = check_record(self.experiment.name, record)
+        if not violations:
+            return True
+        detail = "; ".join(str(v) for v in violations)
+        if self.validation.mode == "strict":
+            raise InvariantViolation(
+                f"cached trial {index} ({key[:12]}…)", violations
+            )
+        disposition = "warned" if self.validation.mode == "warn" else "quarantined"
+        self._incidents.append(IncidentRecord(
+            kind="invalid", index=index, key=key, attempt=0,
+            wall_time_s=0.0, disposition=disposition,
+            detail=f"cached record: {detail}",
+        ))
+        return self.validation.mode == "warn"
+
     def _execute_pending(
         self, pending: List[TrialTask], cached: int, total: int, started: float
     ) -> Dict[int, Dict[str, object]]:
@@ -276,8 +426,9 @@ class SweepRunner:
         if self.workers <= 1:
             for done, task in enumerate(pending, start=1):
                 index, record = _run_trial_with_retry(name, task, self.retry)
-                records[index] = record
-                self._persist(task, record)
+                if self._admit(task, record):
+                    records[index] = record
+                    self._persist(task, record)
                 self._progress(SweepProgress(
                     done=done, pending=len(pending), cached=cached,
                     total=total, elapsed_s=time.monotonic() - started,
@@ -307,8 +458,9 @@ class SweepRunner:
                 ]
                 for future in as_completed(futures):
                     for index, record in future.result():
-                        records[index] = record
-                        self._persist(by_index[index], record)
+                        if self._admit(by_index[index], record):
+                            records[index] = record
+                            self._persist(by_index[index], record)
                         done += 1
                     self._progress(SweepProgress(
                         done=done, pending=len(pending), cached=cached,
@@ -321,11 +473,92 @@ class SweepRunner:
             ) from exc
         return records
 
+    def _execute_supervised(
+        self, pending: List[TrialTask], cached: int, total: int, started: float
+    ) -> Dict[int, Dict[str, object]]:
+        """Run the pending trials under the :class:`TrialSupervisor`.
+
+        The supervisor owns execution (deadlines, respawn, quarantine);
+        the runner keeps validation, persistence, progress, and the
+        checkpoint via callbacks.  Even an interrupted run's incident
+        journal is folded into the runner's state before the
+        :class:`~repro.exceptions.SweepInterrupted` propagates.
+        """
+        progress = {"done": 0}
+
+        def on_result(
+            task: TrialTask, record: Dict[str, object], _elapsed: float
+        ) -> bool:
+            keep = self._admit(task, record)
+            if keep:
+                self._persist(task, record)
+            progress["done"] += 1
+            self._progress(SweepProgress(
+                done=progress["done"], pending=len(pending), cached=cached,
+                total=total, elapsed_s=time.monotonic() - started,
+            ))
+            return keep
+
+        def on_interrupt(remaining: int) -> None:
+            if self.checkpoint is not None:
+                self.checkpoint.save(
+                    "sweep-interrupted",
+                    {
+                        "remaining": remaining,
+                        "executed": progress["done"],
+                        "quarantined": len(self._quarantined),
+                    },
+                )
+
+        supervisor = TrialSupervisor(
+            self.experiment.name,
+            workers=self.workers,
+            start_method=self.start_method,
+            retry=self.retry,
+            trial_timeout_s=self.trial_timeout_s,
+            max_trial_attempts=self.max_trial_attempts,
+            respawn_budget=self.respawn_budget,
+            quarantine=self.quarantine,
+            on_result=on_result,
+            on_interrupt=on_interrupt,
+        )
+        try:
+            outcome = supervisor.run(pending)
+        finally:
+            last = supervisor.last_outcome
+            if last is not None:
+                self._incidents.extend(last.incidents)
+                self._quarantined.extend(last.quarantined)
+                self._respawns += last.respawns
+        return outcome.records
+
     # -- the public entry point -----------------------------------------------
 
     def run(self, spec: SweepSpec) -> SweepResult:
-        """Execute (or resume) a sweep and return results in trial order."""
+        """Execute (or resume) a sweep and return results in trial order.
+
+        Quarantined trials (from this run or a previous one) and
+        validation-rejected records are *excluded* from the outcomes, so
+        aggregates equal those of a sweep that never contained them.
+        """
         started = time.monotonic()
+        self._incidents = []
+        self._quarantined = []
+        self._respawns = 0
+        if self.store is not None and self.store.corrupt_lines:
+            self._incidents.append(IncidentRecord(
+                kind="store-corruption", index=-1, key="", attempt=0,
+                wall_time_s=0.0, disposition="recovered",
+                detail=f"{self.store.corrupt_lines} corrupt line(s) skipped "
+                       f"loading {self.store.path}; lost trials re-execute",
+            ))
+        if self.checkpoint is not None and self.checkpoint.recovered:
+            self._incidents.append(IncidentRecord(
+                kind="store-corruption", index=-1, key="", attempt=0,
+                wall_time_s=0.0, disposition="recovered",
+                detail=f"checkpoint {self.checkpoint.path} was unreadable; "
+                       "started fresh",
+            ))
         self._check_checkpoint(spec)
         tasks = self._tasks(spec)
         keys = [key for _, _, _, key in tasks]
@@ -339,9 +572,18 @@ class SweepRunner:
         pending: List[TrialTask] = []
         for task in tasks:
             index, _params, _seed, key = task
+            if self.quarantine.has(key):
+                self._incidents.append(IncidentRecord(
+                    kind="quarantine-skip", index=index, key=key, attempt=0,
+                    wall_time_s=0.0, disposition="skipped",
+                    detail="already quarantined; clear the quarantine "
+                           "ledger to retry",
+                ))
+                continue
             record = self.store.record(key) if self.store is not None else None
             if record is not None:
-                cached_records[index] = record
+                if self._admit_cached(task, record):
+                    cached_records[index] = record
             else:
                 pending.append(task)
 
@@ -349,13 +591,16 @@ class SweepRunner:
             done=0, pending=len(pending), cached=len(cached_records),
             total=len(tasks), elapsed_s=time.monotonic() - started,
         ))
-        executed = (
-            self._execute_pending(
+        if not pending:
+            executed: Dict[int, Dict[str, object]] = {}
+        elif self.supervised:
+            executed = self._execute_supervised(
                 pending, len(cached_records), len(tasks), started
             )
-            if pending
-            else {}
-        )
+        else:
+            executed = self._execute_pending(
+                pending, len(cached_records), len(tasks), started
+            )
 
         outcomes: List[TrialOutcome] = []
         for index, params, seed, key in tasks:
@@ -365,7 +610,9 @@ class SweepRunner:
                     record=cached_records[index], cached=True,
                 ))
                 continue
-            record = executed[index]
+            record = executed.get(index)
+            if record is None:
+                continue  # quarantined or validation-rejected this run
             outcomes.append(TrialOutcome(
                 index=index, params=params, seed=seed, key=key,
                 record=record, cached=False,
@@ -377,6 +624,9 @@ class SweepRunner:
             outcomes=outcomes,
             elapsed_s=time.monotonic() - started,
             workers=self.workers,
+            incidents=list(self._incidents),
+            quarantined=list(self._quarantined),
+            respawns=self._respawns,
         )
         if self.checkpoint is not None:
             self.checkpoint.save(
@@ -400,6 +650,12 @@ def run_sweep(
     store: Union[ResultStore, str, None] = None,
     checkpoint: Optional[PipelineCheckpoint] = None,
     on_progress: Optional[Callable[[SweepProgress], None]] = None,
+    trial_timeout_s: Optional[float] = None,
+    supervised: Optional[bool] = None,
+    validation: Union[str, ValidationPolicy] = "off",
+    quarantine: Union[QuarantineLog, str, None] = None,
+    max_trial_attempts: int = 2,
+    respawn_budget: int = 8,
 ) -> SweepResult:
     """One-call convenience wrapper around :class:`SweepRunner`."""
     runner = SweepRunner(
@@ -410,5 +666,11 @@ def run_sweep(
         store=store,
         checkpoint=checkpoint,
         on_progress=on_progress,
+        trial_timeout_s=trial_timeout_s,
+        supervised=supervised,
+        validation=validation,
+        quarantine=quarantine,
+        max_trial_attempts=max_trial_attempts,
+        respawn_budget=respawn_budget,
     )
     return runner.run(spec)

@@ -1,0 +1,34 @@
+"""Machine-checked contracts for the reproduction's economic claims.
+
+The paper's headline properties — weak budget balance and individual
+rationality of the Clarke-pivot auction (§3.3), the NN-vs-UR welfare
+ordering (§4), the POC's nonprofit zero-surplus invariant (§3.2), flow
+conservation and capacity respect of the MCF routings — are stated here
+as checkable invariants.  The sweep engine runs them over every trial
+result before anything enters the content-addressed cache (see
+:class:`~repro.validate.invariants.ValidationPolicy`), and the
+``poc-repro audit`` subcommand replays a whole result store through the
+same suite.
+"""
+
+from repro.validate.invariants import (
+    VALIDATION_POLICIES,
+    ValidationPolicy,
+    Violation,
+    check_auction_result,
+    check_finite_record,
+    check_mcf_result,
+    check_record,
+    raise_if_violations,
+)
+
+__all__ = [
+    "VALIDATION_POLICIES",
+    "ValidationPolicy",
+    "Violation",
+    "check_auction_result",
+    "check_finite_record",
+    "check_mcf_result",
+    "check_record",
+    "raise_if_violations",
+]

@@ -1,0 +1,355 @@
+"""Checkable invariants: auction economics, flow physics, record hygiene.
+
+Every checker returns a list of :class:`Violation` records (empty =
+clean) instead of raising, so callers choose the enforcement mode:
+
+- the sweep runner consults a :class:`ValidationPolicy`
+  (``off | warn | quarantine | strict``) to decide whether an invalid
+  trial result is logged, quarantined, or fatal;
+- property tests assert the returned list is empty;
+- ``poc-repro audit`` aggregates violations across a whole result store.
+
+The checks come in two depths.  *Record-level* checks
+(:func:`check_record`) see only the flat metric dict a trial emits, so
+they can run over cached results from any process: finiteness and shape
+always, plus per-experiment contracts (VCG payments cover declared
+costs, NN welfare weakly dominates UR, the POC's surplus is zero,
+served fractions are probabilities).  *Object-level* checks
+(:func:`check_auction_result`, :func:`check_mcf_result`) see the live
+:class:`~repro.auction.vcg.AuctionResult` /
+:class:`~repro.netflow.mcf.MCFResult` and verify the §3.3 mechanism and
+the LP routing in full.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import InvariantViolation, SweepError
+
+#: Enforcement modes for invariant-gated caching, mildest first.
+VALIDATION_POLICIES: Tuple[str, ...] = ("off", "warn", "quarantine", "strict")
+
+#: Absolute tolerance for economic identities (dollars / welfare units).
+ECON_TOL = 1e-6
+#: Relative tolerance for LP flow identities (HiGHS default feasibility
+#: tolerance is 1e-7; flows scale with demand, so this is relative).
+FLOW_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed contract: which invariant, where, and the evidence."""
+
+    invariant: str  # e.g. "vcg-individual-rationality"
+    detail: str
+    value: Optional[float] = None
+
+    def __str__(self) -> str:
+        if self.value is None:
+            return f"{self.invariant}: {self.detail}"
+        return f"{self.invariant}: {self.detail} (value={self.value!r})"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"invariant": self.invariant, "detail": self.detail, "value": self.value}
+
+
+@dataclass(frozen=True)
+class ValidationPolicy:
+    """How strictly trial results are held to the invariant suite.
+
+    ``off``         — no checks at all (the pre-PR-4 behaviour);
+    ``warn``        — violations are recorded as incidents, results are
+                      still cached;
+    ``quarantine``  — invalid results never reach the result store; the
+                      trial is recorded in ``quarantine.jsonl`` and the
+                      sweep continues;
+    ``strict``      — the first invalid result aborts the sweep with
+                      :class:`~repro.exceptions.InvariantViolation`.
+    """
+
+    mode: str = "off"
+
+    def __post_init__(self) -> None:
+        if self.mode not in VALIDATION_POLICIES:
+            raise SweepError(
+                f"unknown validation policy {self.mode!r}; "
+                f"expected one of {VALIDATION_POLICIES}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.mode != "off"
+
+    @property
+    def blocks_cache(self) -> bool:
+        """Do invalid results stay out of the result store?"""
+        return self.mode in ("quarantine", "strict")
+
+
+def raise_if_violations(context: str, violations: Sequence[Violation]) -> None:
+    """Strict-mode helper: escalate a non-empty violation list."""
+    if violations:
+        raise InvariantViolation(context, list(violations))
+
+
+# -- record-level checks ------------------------------------------------------
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def check_finite_record(record: object) -> List[Violation]:
+    """Shape and finiteness: flat str→finite-scalar mapping, non-empty.
+
+    This is the contract every trial function signed up to in
+    :mod:`repro.sweeps.registry`; a NaN welfare or an inf payment is a
+    broken trial, and caching it would poison every later aggregate.
+    """
+    out: List[Violation] = []
+    if not isinstance(record, Mapping):
+        return [Violation("record-shape",
+                          f"record is {type(record).__name__}, expected a mapping")]
+    if not record:
+        return [Violation("record-shape", "record is empty")]
+    for key, value in record.items():
+        if not isinstance(key, str):
+            out.append(Violation("record-shape", f"non-string metric key {key!r}"))
+            continue
+        if isinstance(value, bool):
+            continue  # bools are honest scalars (feasibility flags)
+        if not _is_number(value):
+            out.append(Violation(
+                "record-shape",
+                f"metric {key!r} is {type(value).__name__}, expected a scalar",
+            ))
+        elif not math.isfinite(value):
+            out.append(Violation(
+                "record-finite", f"metric {key!r} is non-finite", float(value)
+            ))
+    return out
+
+
+def _check_figure2_record(record: Mapping[str, object]) -> List[Violation]:
+    """§3.3 contracts visible at record level, per cleared constraint."""
+    out: List[Violation] = []
+    constraints = sorted(
+        key[1:-len("_cost")] for key in record
+        if key.startswith("c") and key.endswith("_cost")
+    )
+    for n in constraints:
+        cost = record.get(f"c{n}_cost")
+        payments = record.get(f"c{n}_payments")
+        if _is_number(cost) and _is_number(payments):
+            if payments < cost - ECON_TOL:
+                out.append(Violation(
+                    "vcg-weak-budget-balance",
+                    f"constraint #{n} pays {payments!r} < declared cost {cost!r}",
+                    float(payments - cost),
+                ))
+        over = record.get(f"c{n}_overpayment")
+        if _is_number(over) and over < -ECON_TOL:
+            out.append(Violation(
+                "vcg-individual-rationality",
+                f"constraint #{n} overpayment ratio is negative", float(over),
+            ))
+        for metric in (f"c{n}_selected", f"c{n}_winners"):
+            count = record.get(metric)
+            if _is_number(count) and count < 0:
+                out.append(Violation("record-range", f"{metric} is negative",
+                                     float(count)))
+    return out
+
+
+def _check_neutrality_record(record: Mapping[str, object]) -> List[Violation]:
+    """§4: NN welfare weakly dominates both UR variants."""
+    out: List[Violation] = []
+    nn = record.get("nn_welfare")
+    for regime in ("bargaining", "unilateral"):
+        ur = record.get(f"{regime}_welfare")
+        if _is_number(nn) and _is_number(ur) and ur > nn + ECON_TOL:
+            out.append(Violation(
+                "nn-welfare-dominance",
+                f"{regime} welfare {ur!r} exceeds NN welfare {nn!r}",
+                float(ur - nn),
+            ))
+        loss = record.get(f"{regime}_loss")
+        if _is_number(loss) and loss < -ECON_TOL:
+            out.append(Violation(
+                "nn-welfare-dominance", f"{regime}_loss is negative", float(loss)
+            ))
+    return out
+
+
+def _check_market_record(record: Mapping[str, object]) -> List[Violation]:
+    """§3.2: the POC is a nonprofit — it breaks even exactly."""
+    surplus = record.get("poc_surplus")
+    if _is_number(surplus) and abs(surplus) > ECON_TOL:
+        return [Violation("poc-nonprofit-surplus",
+                          "POC surplus is not zero", float(surplus))]
+    return []
+
+
+def _check_chaos_record(record: Mapping[str, object]) -> List[Violation]:
+    out: List[Violation] = []
+    for metric in ("mean_served", "min_served"):
+        value = record.get(metric)
+        if _is_number(value) and not -ECON_TOL <= value <= 1.0 + ECON_TOL:
+            out.append(Violation(
+                "served-fraction-range", f"{metric} outside [0, 1]", float(value)
+            ))
+    for metric in ("fallbacks", "infeasible", "rerouted"):
+        value = record.get(metric)
+        if _is_number(value) and value < 0:
+            out.append(Violation("record-range", f"{metric} is negative",
+                                 float(value)))
+    return out
+
+
+_RECORD_CHECKS = {
+    "figure2": _check_figure2_record,
+    "neutrality": _check_neutrality_record,
+    "market": _check_market_record,
+    "chaos": _check_chaos_record,
+}
+
+
+def check_record(experiment: str, record: object) -> List[Violation]:
+    """Full record-level audit: hygiene plus the experiment's contracts.
+
+    Unknown experiment names get the generic finiteness/shape checks
+    only — externally-registered experiments are still protected from
+    NaN poisoning without having to ship a contract.
+    """
+    out = check_finite_record(record)
+    if not isinstance(record, Mapping):
+        return out
+    extra = _RECORD_CHECKS.get(experiment)
+    if extra is not None:
+        out.extend(extra(record))
+    return out
+
+
+# -- object-level checks ------------------------------------------------------
+
+
+def check_auction_result(
+    result,
+    *,
+    require_nonnegative_pivots: bool = False,
+    tol: float = ECON_TOL,
+) -> List[Violation]:
+    """Audit a live §3.3 :class:`~repro.auction.vcg.AuctionResult`.
+
+    Checks, per participating provider: the payment is finite, covers
+    the declared cost (individual rationality — with the IR clamp on
+    this is an identity, so a violation means the clamp itself broke),
+    and — under an exact selection engine — the Clarke pivot
+    C(SL_−α) − C(SL) is non-negative (removing a provider cannot lower
+    the optimum).  Globally: total payments cover the selection's
+    declared cost (weak budget balance: the nonprofit POC never
+    underpays what winners declared).
+    """
+    out: List[Violation] = []
+    for name in sorted(result.providers):
+        pr = result.providers[name]
+        if not math.isfinite(pr.payment):
+            out.append(Violation("payment-finite",
+                                 f"provider {name} payment non-finite",
+                                 pr.payment))
+            continue
+        if pr.payment < pr.declared_cost - tol:
+            out.append(Violation(
+                "vcg-individual-rationality",
+                f"provider {name} paid below declared cost",
+                float(pr.payment - pr.declared_cost),
+            ))
+        if require_nonnegative_pivots and pr.pivot_term < -tol:
+            out.append(Violation(
+                "clarke-pivot-nonnegative",
+                f"provider {name} has a negative pivot under an exact engine",
+                float(pr.pivot_term),
+            ))
+    total_declared = result.total_declared_cost
+    paid = result.total_payments - result.external_cost
+    if paid < total_declared - tol:
+        out.append(Violation(
+            "vcg-weak-budget-balance",
+            "total payments fall short of total declared cost",
+            float(paid - total_declared),
+        ))
+    return out
+
+
+def check_mcf_result(mcf, tm, *, tol: float = FLOW_TOL) -> List[Violation]:
+    """Audit a routing from :func:`repro.netflow.mcf.max_concurrent_flow`.
+
+    With ``keep_flows=True`` detail present, verifies the LP's own
+    solution satisfies its physics: per-arc capacity respect, and flow
+    conservation at every (node, source) — net outflow equals λ·supply
+    at the source, −λ·demand at sinks, zero elsewhere.  Without detail,
+    falls back to the aggregate per-link load vs. full-duplex capacity.
+    """
+    out: List[Violation] = []
+    if not math.isfinite(mcf.lam) or mcf.lam < 0:
+        out.append(Violation("lambda-range", "λ* is negative or non-finite",
+                             mcf.lam))
+        return out
+
+    if mcf.arcs is None or mcf.arc_flows is None:
+        if mcf.link_loads:
+            for lid, load in sorted(mcf.link_loads.items()):
+                if not math.isfinite(load) or load < -tol:
+                    out.append(Violation("flow-range",
+                                         f"link {lid} load invalid", load))
+        return out
+
+    demands = [(pair, v) for pair, v in tm.pairs() if v > 0]
+    scale = max(1.0, tm.total_gbps())
+
+    # Capacity respect, per directed arc.
+    arc_total: Dict[str, float] = {}
+    for (aid, source), flow in mcf.arc_flows.items():
+        if flow < -tol * scale:
+            out.append(Violation("flow-nonnegative",
+                                 f"arc {aid} carries negative {source}-flow",
+                                 flow))
+        arc_total[aid] = arc_total.get(aid, 0.0) + flow
+    for aid, tail, head, cap in mcf.arcs:
+        total = arc_total.get(aid, 0.0)
+        if total > cap + tol * max(1.0, cap):
+            out.append(Violation(
+                "capacity-respect",
+                f"arc {aid} ({tail}->{head}) carries {total:.6g} > cap {cap:.6g}",
+                float(total - cap),
+            ))
+
+    # Flow conservation at every (node, source).
+    ends = {aid: (tail, head) for aid, tail, head, _cap in mcf.arcs}
+    net_out: Dict[Tuple[str, str], float] = {}
+    for (aid, source), flow in mcf.arc_flows.items():
+        if aid not in ends:
+            out.append(Violation("flow-shape", f"flow on unknown arc {aid}"))
+            continue
+        tail, head = ends[aid]
+        net_out[(tail, source)] = net_out.get((tail, source), 0.0) + flow
+        net_out[(head, source)] = net_out.get((head, source), 0.0) - flow
+    supply: Dict[Tuple[str, str], float] = {}
+    for (src, dst), value in demands:
+        supply[(src, src)] = supply.get((src, src), 0.0) + value
+        supply[(dst, src)] = supply.get((dst, src), 0.0) - value
+    for key in sorted(set(net_out) | set(supply)):
+        node, source = key
+        expected = mcf.lam * supply.get(key, 0.0)
+        actual = net_out.get(key, 0.0)
+        if abs(actual - expected) > tol * scale:
+            out.append(Violation(
+                "flow-conservation",
+                f"node {node}, source {source}: net outflow {actual:.6g} "
+                f"!= λ·supply {expected:.6g}",
+                float(actual - expected),
+            ))
+    return out

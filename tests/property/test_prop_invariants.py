@@ -1,0 +1,143 @@
+"""Property tests: the invariant suite holds on random instances.
+
+Plain seeded ``random.Random`` generators (not hypothesis) so the
+corpus is fixed: every seed in ``range(N)`` builds one instance, and a
+failure report names the seed that broke.  Instances are constructed
+with two disjoint provider-owned paths so the leave-one-out VCG pricing
+is always feasible — every generated auction actually clears.
+
+Together with :mod:`repro.validate.invariants` this is the §3.3
+contract, checked mechanically: Clarke payments are individually
+rational, weakly budget-balanced, and have non-negative pivots under an
+exact engine; the LP routing conserves flow and respects capacity.
+"""
+
+import random
+
+import pytest
+
+from repro.auction.bids import AdditiveCost
+from repro.auction.constraints import make_constraint
+from repro.auction.provider import Offer
+from repro.auction.vcg import AuctionConfig, run_auction
+from repro.netflow.mcf import max_concurrent_flow
+from repro.topology.geo import GeoPoint
+from repro.topology.graph import Link, Network, Node
+from repro.traffic.matrix import TrafficMatrix
+from repro.validate import check_auction_result, check_mcf_result
+
+N_AUCTIONS = 200
+N_TOPOLOGIES = 200
+
+EXACT = AuctionConfig(method="milp")
+
+
+def _random_auction(seed):
+    """3-5 nodes; providers P and Q each own a complete n0->nlast path.
+
+    Either provider alone can satisfy the demand, so leave-one-out
+    pricing never goes infeasible.  A third provider R adds random
+    (removable) links on top.
+    """
+    rng = random.Random(seed)
+    n_nodes = rng.randint(3, 5)
+    names = [f"n{i}" for i in range(n_nodes)]
+    net = Network(name=f"prop{seed}")
+    for i, name in enumerate(names):
+        net.add_node(Node(id=name, point=GeoPoint(0.0, float(i))))
+
+    links = {"P": [], "Q": [], "R": []}
+    prices = {"P": {}, "Q": {}, "R": {}}
+    idx = 0
+
+    def add(owner, u, v):
+        nonlocal idx
+        link = Link(id=f"L{idx}", u=u, v=v,
+                    capacity_gbps=rng.uniform(2.0, 20.0), owner=owner)
+        net.add_link(link)
+        links[owner].append(link)
+        prices[owner][link.id] = rng.uniform(1.0, 100.0)
+        idx += 1
+
+    for u, v in zip(names, names[1:]):  # P's backbone path
+        add("P", u, v)
+    add("Q", names[0], names[-1])  # Q's parallel direct route
+    for _ in range(rng.randint(0, 3)):  # R: decorative extras
+        u, v = rng.sample(names, 2)
+        add("R", u, v)
+
+    offers = []
+    for owner in ("P", "Q", "R"):
+        if links[owner]:
+            cost = AdditiveCost(prices[owner])
+            offers.append(Offer(provider=owner, links=links[owner],
+                                bid=cost, true_cost=cost))
+    demand = rng.uniform(0.5, 1.5)
+    tm = TrafficMatrix.from_dict(names, {(names[0], names[-1]): demand})
+    return net, offers, tm
+
+
+def _random_topology(seed):
+    """3-6 nodes, backbone path plus extras, 1-3 random demands."""
+    rng = random.Random(seed)
+    n_nodes = rng.randint(3, 6)
+    names = [f"n{i}" for i in range(n_nodes)]
+    net = Network(name=f"flow{seed}")
+    for i, name in enumerate(names):
+        net.add_node(Node(id=name, point=GeoPoint(0.0, float(i))))
+    specs = list(zip(names, names[1:]))
+    for _ in range(rng.randint(0, 4)):
+        u, v = rng.sample(names, 2)
+        specs.append((u, v))
+    for i, (u, v) in enumerate(specs):
+        net.add_link(Link(id=f"L{i}", u=u, v=v,
+                          capacity_gbps=rng.uniform(1.0, 15.0), owner="P"))
+    demands = {}
+    for _ in range(rng.randint(1, 3)):
+        u, v = rng.sample(names, 2)
+        demands[(u, v)] = demands.get((u, v), 0.0) + rng.uniform(0.2, 3.0)
+    return net, TrafficMatrix.from_dict(names, demands)
+
+
+class TestAuctionInvariants:
+    def test_random_auctions_pass_full_audit(self):
+        checked = 0
+        for seed in range(N_AUCTIONS):
+            net, offers, tm = _random_auction(seed)
+            constraint = make_constraint(1, net, tm)
+            result = run_auction(offers, constraint, config=EXACT)
+            violations = check_auction_result(
+                result, require_nonnegative_pivots=True)
+            assert not violations, (
+                f"seed {seed}: " + "; ".join(str(v) for v in violations))
+            checked += 1
+        assert checked == N_AUCTIONS
+
+    def test_audit_method_agrees(self):
+        net, offers, tm = _random_auction(7)
+        constraint = make_constraint(1, net, tm)
+        result = run_auction(offers, constraint, config=EXACT)
+        assert result.audit(require_nonnegative_pivots=True) == (
+            check_auction_result(result, require_nonnegative_pivots=True))
+
+
+class TestFlowInvariants:
+    def test_random_topologies_conserve_flow(self):
+        solved = 0
+        for seed in range(N_TOPOLOGIES):
+            net, tm = _random_topology(seed)
+            mcf = max_concurrent_flow(net, tm, keep_flows=True)
+            violations = check_mcf_result(mcf, tm)
+            assert not violations, (
+                f"seed {seed}: " + "; ".join(str(v) for v in violations))
+            if mcf.lam > 0:
+                assert mcf.arcs is not None and mcf.arc_flows is not None
+                solved += 1
+        # The backbone path guarantees most instances route something.
+        assert solved > N_TOPOLOGIES // 2
+
+    def test_detail_absent_without_keep_flows(self):
+        net, tm = _random_topology(3)
+        mcf = max_concurrent_flow(net, tm)
+        assert mcf.arcs is None and mcf.arc_flows is None
+        assert check_mcf_result(mcf, tm) == []

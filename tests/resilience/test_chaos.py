@@ -241,3 +241,64 @@ class TestCheckpointResume:
             net, [], tm, cfg, checkpoint=PipelineCheckpoint(path)
         )
         assert replay.to_json() == first.to_json()
+
+
+class TestInjectedLinkFaults:
+    @pytest.fixture
+    def provisioned_poc(self):
+        from repro.auction.provider import make_external_contract
+        from repro.core.poc import PublicOptionCore
+
+        from tests.conftest import square_tm
+
+        net = square_network()
+        offers = square_offers(net)
+        poc = PublicOptionCore(offered=net)
+        poc.add_external_contract(make_external_contract(
+            "ext", [("A", "B"), ("B", "C"), ("C", "D"), ("D", "A")],
+            capacity_gbps=10.0, price_per_link=500.0, length_km=100.0,
+        ))
+        poc.provision(offers, square_tm(load=1.0), constraint=1,
+                      method="greedy-drop")
+        return poc
+
+    def test_normal_exit_restores(self, provisioned_poc):
+        from repro.resilience.chaos import injected_link_faults
+
+        poc = provisioned_poc
+        lid = sorted(poc.auction_result.selected)[0]
+        with injected_link_faults(poc):
+            poc.apply_link_failures([lid])
+            assert poc.degraded
+        assert not poc.degraded
+        assert poc.failed_links == frozenset()
+
+    def test_crashed_trial_leaves_poc_pristine(self, provisioned_poc):
+        # The supervisor can kill a trial at any point; whatever faults
+        # the harness injected must not leak into the next scenario.
+        from repro.resilience.chaos import injected_link_faults
+
+        poc = provisioned_poc
+        lid = sorted(poc.auction_result.selected)[0]
+        with pytest.raises(RuntimeError, match="trial crashed"):
+            with injected_link_faults(poc):
+                poc.apply_link_failures([lid])
+                raise RuntimeError("trial crashed mid-assessment")
+        assert not poc.degraded
+        assert poc.failed_links == frozenset()
+        assert lid in poc.backbone.link_ids
+
+    def test_preexisting_degradation_preserved(self, provisioned_poc):
+        # A genuinely failed link from before the block must stay failed:
+        # the harness only undoes its own injections.
+        from repro.resilience.chaos import injected_link_faults
+
+        poc = provisioned_poc
+        selected = sorted(poc.auction_result.selected)
+        real, injected = selected[0], selected[1]
+        poc.apply_link_failures([real])
+        with pytest.raises(ValueError):
+            with injected_link_faults(poc):
+                poc.apply_link_failures([injected])
+                raise ValueError("boom")
+        assert poc.failed_links == frozenset({real})

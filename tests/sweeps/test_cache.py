@@ -127,3 +127,46 @@ class TestResultStore:
         store = self._store(tmp_path)
         assert store.get("absent") is None
         assert store.record("absent") is None
+
+    def test_corrupt_lines_counted_and_warned(self, tmp_path, caplog):
+        import logging
+
+        path = tmp_path / "results.jsonl"
+        good = {"key": "k1", "experiment": "demo", "params": {}, "seed": 0,
+                "record": {"v": 1.0}}
+        path.write_text(
+            json.dumps(good) + "\n"
+            + "{broken json\n"
+            + '{"no_key": true}\n'
+            + json.dumps(dict(good, key="k2")) + "\n"
+        )
+        with caplog.at_level(logging.WARNING, logger="repro.sweeps.cache"):
+            store = ResultStore(path)
+        assert len(store) == 2
+        assert store.corrupt_lines == 2
+        assert any("corrupt" in rec.message for rec in caplog.records)
+
+    def test_clean_store_has_zero_corrupt_lines(self, tmp_path):
+        store = self._store(tmp_path)
+        assert store.corrupt_lines == 0
+        store.append(
+            trial_key("demo", "1", {"x": 1}, 7), experiment="demo",
+            params={"x": 1}, seed=7, record={"mean": 0.5},
+        )
+        assert ResultStore(store.path).corrupt_lines == 0
+
+    def test_torn_tail_not_counted_as_corruption(self, tmp_path):
+        # A cut-off final line is a normal crash artifact, not corruption
+        # worth alarming over -- but it is still counted so the runner can
+        # surface it in the incident journal.
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        store.append(
+            trial_key("demo", "1", {"x": 1}, 7), experiment="demo",
+            params={"x": 1}, seed=7, record={"mean": 0.5},
+        )
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"key": "abc", "rec')
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 1
+        assert reloaded.corrupt_lines == 1

@@ -332,3 +332,36 @@ class TestProgress:
                               elapsed_s=0.0)
         assert first.eta_s is None
         assert "eta" in first.formatted()
+
+
+class TestStoreCorruptionIncidents:
+    def test_corrupt_store_lines_surface_as_incidents(self, tmp_path):
+        store_path = tmp_path / "results.jsonl"
+        run_sweep("demo", demo_spec(), store=str(store_path))
+        with store_path.open("a", encoding="utf-8") as handle:
+            handle.write("{not json at all\n")
+
+        result = run_sweep("demo", demo_spec(), store=str(store_path))
+        assert result.cache_hits == 4  # the valid entries survived
+        corruption = [i for i in result.incidents
+                      if i.kind == "store-corruption"]
+        assert len(corruption) == 1
+        assert "1 corrupt line(s)" in corruption[0].detail
+
+    def test_unreadable_checkpoint_surfaces_as_incident(self, tmp_path):
+        ckpt_path = tmp_path / "sweep.ckpt"
+        ckpt_path.write_text("garbage{{{")
+        result = run_sweep("demo", demo_spec(),
+                           checkpoint=PipelineCheckpoint(ckpt_path))
+        assert result.executed == 4  # fresh start, nothing lost but time
+        corruption = [i for i in result.incidents
+                      if i.kind == "store-corruption"]
+        assert len(corruption) == 1
+        assert "unreadable" in corruption[0].detail
+
+    def test_clean_run_has_no_incidents(self, tmp_path):
+        result = run_sweep("demo", demo_spec(),
+                           store=str(tmp_path / "results.jsonl"))
+        assert result.incidents == []
+        assert result.quarantined == []
+        assert result.respawns == 0

@@ -245,3 +245,99 @@ class TestSweepCommand:
         ]) == 0
         err = capsys.readouterr().err
         assert "sweep:" in err and "executed" in err
+
+
+class TestSweepSupervisionFlags:
+    def test_validate_quarantine_reports(self, capsys, tmp_path):
+        store = str(tmp_path / "results.jsonl")
+        assert main([
+            "sweep", "--experiment", "demo",
+            "--axis", "emit=ok,bad,nan",
+            "--validate", "quarantine", "--store", store, "--report",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "quarantined=1" in captured.err
+        assert "supervision:" in captured.out
+        assert "invalid" in captured.out
+        assert (tmp_path / "quarantine.jsonl").exists()
+
+    def test_nan_scalar_stays_string(self):
+        from repro.cli import _coerce_scalar
+
+        assert _coerce_scalar("nan") == "nan"
+        assert _coerce_scalar("inf") == "inf"
+        assert _coerce_scalar("1.5") == 1.5
+        assert _coerce_scalar("2") == 2
+
+    def test_trial_timeout_flag_accepted(self, capsys):
+        assert main([
+            "sweep", "--experiment", "demo", "--axis", "loc=0,1",
+            "--trial-timeout", "30",
+        ]) == 0
+        assert "executed=2" in capsys.readouterr().err
+
+    def test_strict_validation_fails_run(self, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "sweep", "--experiment", "demo", "--axis", "emit=ok,nan",
+                "--validate", "strict",
+            ])
+
+
+class TestAuditCommand:
+    def _populate(self, tmp_path, emit="ok"):
+        store = str(tmp_path / "results.jsonl")
+        main(["sweep", "--experiment", "demo", "--axis", f"emit={emit},also",
+              "--store", store])
+        return store
+
+    def test_clean_store_exits_zero(self, capsys, tmp_path):
+        store = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["audit", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "2 entries" in out
+        assert "0 invalid record(s)" in out
+
+    def test_poisoned_store_exits_one(self, capsys, tmp_path):
+        import json
+
+        store = self._populate(tmp_path)
+        lines = []
+        with open(store, encoding="utf-8") as handle:
+            for line in handle:
+                entry = json.loads(line)
+                entry["record"]["mean"] = float("nan")
+                lines.append(json.dumps(entry))
+        with open(store, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        capsys.readouterr()
+        assert main(["audit", "--store", store]) == 1
+        out = capsys.readouterr().out
+        assert "2 invalid record(s)" in out
+        assert "record-finite" in out
+
+    def test_json_payload(self, capsys, tmp_path):
+        import json
+
+        store = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["audit", "--store", store, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 2
+        assert payload["invalid"] == []
+        assert payload["corrupt_lines"] == 0
+
+    def test_missing_store_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["audit", "--store", str(tmp_path / "nope.jsonl")])
+
+    def test_reports_adjacent_quarantine(self, capsys, tmp_path):
+        store = str(tmp_path / "results.jsonl")
+        main(["sweep", "--experiment", "demo", "--axis", "emit=ok,nan",
+              "--validate", "quarantine", "--store", store])
+        capsys.readouterr()
+        assert main(["audit", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "quarantine" in out
+        assert "invalid=1" in out

@@ -201,3 +201,37 @@ class TestFigure2Pipeline:
         assert cfg.engine_for(3) == "greedy"
         custom = Figure2Config(engines={1: "greedy"})
         assert custom.engine_for(1) == "greedy"
+
+
+class TestCheckpointRecovery:
+    def test_corrupt_file_sets_recovered_and_warns(self, tmp_path, caplog):
+        import logging
+
+        from repro.experiments.pipeline import PipelineCheckpoint
+
+        path = tmp_path / "ckpt.json"
+        path.write_text("{this is not json")
+        with caplog.at_level(logging.WARNING,
+                             logger="repro.experiments.pipeline"):
+            ckpt = PipelineCheckpoint(path)
+        assert ckpt.recovered
+        assert ckpt.stages() == []
+        assert any("checkpoint" in rec.message for rec in caplog.records)
+
+    def test_wrong_version_sets_recovered(self, tmp_path):
+        import json
+
+        from repro.experiments.pipeline import PipelineCheckpoint
+
+        path = tmp_path / "ckpt.json"
+        path.write_text(json.dumps({"version": 999, "stages": {"x": 1}}))
+        assert PipelineCheckpoint(path).recovered
+
+    def test_clean_and_absent_files_not_recovered(self, tmp_path):
+        from repro.experiments.pipeline import PipelineCheckpoint
+
+        path = tmp_path / "ckpt.json"
+        fresh = PipelineCheckpoint(path)  # no file at all
+        assert not fresh.recovered
+        fresh.save("s", 1)
+        assert not PipelineCheckpoint(path).recovered

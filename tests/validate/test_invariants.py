@@ -1,0 +1,341 @@
+"""Unit tests for the invariant suite and its policy enforcement.
+
+Covers the pure checkers (record hygiene, per-experiment contracts,
+object-level auction/flow audits) and the sweep-runner integration:
+``warn`` journals and keeps, ``quarantine`` keeps invalid results out of
+the store, ``strict`` aborts, and cached poison is excluded on replay.
+"""
+
+import dataclasses
+import json
+import math
+
+import pytest
+
+from repro.auction.bids import AdditiveCost
+from repro.auction.constraints import make_constraint
+from repro.auction.provider import Offer
+from repro.auction.vcg import AuctionConfig, run_auction
+from repro.exceptions import InvariantViolation, SweepError
+from repro.netflow.mcf import max_concurrent_flow
+from repro.sweeps.cache import ResultStore
+from repro.sweeps.runner import run_sweep
+from repro.sweeps.spec import Axis, SweepSpec
+from repro.topology.geo import GeoPoint
+from repro.topology.graph import Link, Network, Node
+from repro.traffic.matrix import TrafficMatrix
+from repro.validate import (
+    VALIDATION_POLICIES,
+    ValidationPolicy,
+    Violation,
+    check_auction_result,
+    check_finite_record,
+    check_mcf_result,
+    check_record,
+    raise_if_violations,
+)
+
+NAN = float("nan")
+
+
+def _invariants(violations):
+    return sorted(v.invariant for v in violations)
+
+
+class TestViolation:
+    def test_str_with_and_without_value(self):
+        bare = Violation("record-shape", "record is empty")
+        assert str(bare) == "record-shape: record is empty"
+        valued = Violation("vcg-individual-rationality", "underpaid", -2.5)
+        assert "value=-2.5" in str(valued)
+
+    def test_to_dict(self):
+        v = Violation("flow-range", "bad load", 1.5)
+        assert v.to_dict() == {
+            "invariant": "flow-range", "detail": "bad load", "value": 1.5,
+        }
+
+
+class TestValidationPolicy:
+    def test_modes(self):
+        assert VALIDATION_POLICIES == ("off", "warn", "quarantine", "strict")
+        assert not ValidationPolicy().enabled
+        assert not ValidationPolicy("off").blocks_cache
+        warn = ValidationPolicy("warn")
+        assert warn.enabled and not warn.blocks_cache
+        for mode in ("quarantine", "strict"):
+            policy = ValidationPolicy(mode)
+            assert policy.enabled and policy.blocks_cache
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SweepError, match="unknown validation policy"):
+            ValidationPolicy("lenient")
+
+    def test_raise_if_violations(self):
+        raise_if_violations("clean", [])  # no-op
+        with pytest.raises(InvariantViolation, match="trial 3"):
+            raise_if_violations("trial 3", [Violation("record-shape", "empty")])
+
+
+class TestFiniteRecord:
+    def test_clean(self):
+        assert check_finite_record({"mean": 1.0, "n": 4, "ok": True}) == []
+
+    def test_non_mapping_and_empty(self):
+        assert _invariants(check_finite_record([1.0])) == ["record-shape"]
+        assert _invariants(check_finite_record({})) == ["record-shape"]
+
+    def test_non_string_key_and_non_scalar_value(self):
+        out = check_finite_record({3: 1.0, "name": "demo"})
+        assert _invariants(out) == ["record-shape", "record-shape"]
+
+    def test_non_finite_values(self):
+        out = check_finite_record({"mean": NAN, "peak": float("inf")})
+        assert _invariants(out) == ["record-finite", "record-finite"]
+
+
+class TestExperimentRecords:
+    FIG2_CLEAN = {
+        "c8_cost": 10.0, "c8_payments": 12.0, "c8_overpayment": 0.2,
+        "c8_selected": 3, "c8_winners": 2,
+    }
+
+    def test_figure2_clean(self):
+        assert check_record("figure2", self.FIG2_CLEAN) == []
+
+    def test_figure2_budget_balance(self):
+        rec = dict(self.FIG2_CLEAN, c8_payments=9.0)
+        assert "vcg-weak-budget-balance" in _invariants(check_record("figure2", rec))
+
+    def test_figure2_negative_overpayment(self):
+        rec = dict(self.FIG2_CLEAN, c8_overpayment=-0.1)
+        assert "vcg-individual-rationality" in _invariants(
+            check_record("figure2", rec))
+
+    def test_figure2_negative_counts(self):
+        rec = dict(self.FIG2_CLEAN, c8_winners=-1)
+        assert "record-range" in _invariants(check_record("figure2", rec))
+
+    def test_neutrality(self):
+        clean = {"nn_welfare": 5.0, "bargaining_welfare": 4.0,
+                 "unilateral_welfare": 3.0, "bargaining_loss": 1.0}
+        assert check_record("neutrality", clean) == []
+        dominated = dict(clean, unilateral_welfare=6.0)
+        assert "nn-welfare-dominance" in _invariants(
+            check_record("neutrality", dominated))
+        negative_loss = dict(clean, bargaining_loss=-0.5)
+        assert "nn-welfare-dominance" in _invariants(
+            check_record("neutrality", negative_loss))
+
+    def test_market(self):
+        assert check_record("market", {"poc_surplus": 0.0, "trades": 2}) == []
+        assert _invariants(check_record("market", {"poc_surplus": 0.5})) == [
+            "poc-nonprofit-surplus"
+        ]
+
+    def test_chaos(self):
+        clean = {"mean_served": 0.9, "min_served": 0.5, "fallbacks": 0}
+        assert check_record("chaos", clean) == []
+        assert "served-fraction-range" in _invariants(
+            check_record("chaos", dict(clean, mean_served=1.2)))
+        assert "record-range" in _invariants(
+            check_record("chaos", dict(clean, fallbacks=-1)))
+
+    def test_unknown_experiment_generic_only(self):
+        # A figure2-shaped violation under an unknown name: only hygiene runs.
+        rec = {"c8_cost": 10.0, "c8_payments": 1.0}
+        assert check_record("external-exp", rec) == []
+        assert _invariants(check_record("external-exp", {"x": NAN})) == [
+            "record-finite"
+        ]
+
+
+def _tiny_auction():
+    """Three nodes, two providers, one a->c demand; MILP-exact clearing."""
+    net = Network(name="tiny")
+    for i, name in enumerate(["a", "b", "c"]):
+        net.add_node(Node(id=name, point=GeoPoint(0.0, float(i))))
+    l0 = Link(id="L0", u="a", v="b", capacity_gbps=10.0, owner="P")
+    l1 = Link(id="L1", u="b", v="c", capacity_gbps=10.0, owner="Q")
+    l2 = Link(id="L2", u="a", v="c", capacity_gbps=10.0, owner="Q")
+    l3 = Link(id="L3", u="a", v="c", capacity_gbps=10.0, owner="P")
+    for link in (l0, l1, l2, l3):
+        net.add_link(link)
+    p_cost = AdditiveCost({"L0": 3.0, "L3": 8.0})
+    q_cost = AdditiveCost({"L1": 4.0, "L2": 9.0})
+    offers = [
+        Offer(provider="P", links=[l0, l3], bid=p_cost, true_cost=p_cost),
+        Offer(provider="Q", links=[l1, l2], bid=q_cost, true_cost=q_cost),
+    ]
+    tm = TrafficMatrix.from_dict(["a", "b", "c"], {("a", "c"): 1.0})
+    constraint = make_constraint(1, net, tm)
+    return run_auction(offers, constraint, config=AuctionConfig(method="milp"))
+
+
+class TestAuctionAudit:
+    def test_real_auction_is_clean(self):
+        result = _tiny_auction()
+        assert check_auction_result(result, require_nonnegative_pivots=True) == []
+        assert result.audit(require_nonnegative_pivots=True) == []
+
+    def test_underpayment_flagged(self):
+        result = _tiny_auction()
+        pr = result.providers["P"]
+        bad_pr = dataclasses.replace(pr, payment=pr.declared_cost - 1000.0)
+        bad = dataclasses.replace(
+            result, providers={**result.providers, "P": bad_pr})
+        found = _invariants(check_auction_result(bad))
+        assert "vcg-individual-rationality" in found
+        assert "vcg-weak-budget-balance" in found
+
+    def test_nonfinite_payment_flagged(self):
+        result = _tiny_auction()
+        pr = result.providers["P"]
+        bad_pr = dataclasses.replace(pr, payment=NAN)
+        bad = dataclasses.replace(
+            result, providers={**result.providers, "P": bad_pr})
+        assert "payment-finite" in _invariants(check_auction_result(bad))
+
+    def test_negative_pivot_flagged_only_when_required(self):
+        result = _tiny_auction()
+        pr = result.providers["P"]
+        bad_pr = dataclasses.replace(pr, pivot_term=-1.0)
+        bad = dataclasses.replace(
+            result, providers={**result.providers, "P": bad_pr})
+        assert "clarke-pivot-nonnegative" not in _invariants(
+            check_auction_result(bad))
+        assert "clarke-pivot-nonnegative" in _invariants(
+            check_auction_result(bad, require_nonnegative_pivots=True))
+
+
+def _tiny_flow():
+    net = Network(name="flow")
+    for i, name in enumerate(["a", "b", "c"]):
+        net.add_node(Node(id=name, point=GeoPoint(0.0, float(i))))
+    net.add_link(Link(id="L0", u="a", v="b", capacity_gbps=5.0, owner="P"))
+    net.add_link(Link(id="L1", u="b", v="c", capacity_gbps=5.0, owner="P"))
+    tm = TrafficMatrix.from_dict(["a", "b", "c"], {("a", "c"): 2.0})
+    return max_concurrent_flow(net, tm, keep_flows=True), tm
+
+
+class TestMCFAudit:
+    def test_real_solution_is_clean(self):
+        mcf, tm = _tiny_flow()
+        assert mcf.lam > 0
+        assert mcf.arcs is not None and mcf.arc_flows is not None
+        assert check_mcf_result(mcf, tm) == []
+
+    def test_negative_lambda(self):
+        mcf, tm = _tiny_flow()
+        bad = dataclasses.replace(mcf, lam=-0.5)
+        assert _invariants(check_mcf_result(bad, tm)) == ["lambda-range"]
+
+    def test_capacity_and_conservation(self):
+        mcf, tm = _tiny_flow()
+        # Inflate every flow 10x: breaks both capacity and conservation.
+        bad = dataclasses.replace(
+            mcf, arc_flows={k: v * 10.0 for k, v in mcf.arc_flows.items()})
+        found = _invariants(check_mcf_result(bad, tm))
+        assert "capacity-respect" in found
+        assert "flow-conservation" in found
+
+    def test_unknown_arc(self):
+        mcf, tm = _tiny_flow()
+        bad = dataclasses.replace(
+            mcf, arc_flows={**mcf.arc_flows, ("ghost", "a"): 1.0})
+        assert "flow-shape" in _invariants(check_mcf_result(bad, tm))
+
+    def test_fallback_link_loads(self):
+        mcf, tm = _tiny_flow()
+        degraded = dataclasses.replace(
+            mcf, arcs=None, arc_flows=None, link_loads={"L0": -5.0})
+        assert _invariants(check_mcf_result(degraded, tm)) == ["flow-range"]
+
+
+def _nan_spec():
+    """Two demo trials, one of which emits a NaN metric."""
+    return SweepSpec(
+        axes=(Axis(name="emit", values=("", "nan")),),
+        base={"draws": 4},
+        seed=11,
+    )
+
+
+class TestRunnerIntegration:
+    def test_warn_keeps_record_and_journals(self):
+        result = run_sweep("demo", _nan_spec(), validation="warn")
+        assert result.executed == 2
+        kinds = [inc.kind for inc in result.incidents]
+        assert kinds == ["invalid"]
+        assert result.incidents[0].disposition == "warned"
+        assert any(math.isnan(o.record["mean"]) for o in result.outcomes)
+        assert result.quarantined == []
+
+    def test_quarantine_blocks_store(self, tmp_path):
+        store_path = tmp_path / "results.jsonl"
+        result = run_sweep(
+            "demo", _nan_spec(), store=str(store_path), validation="quarantine",
+        )
+        assert len(result.outcomes) == 1  # the NaN trial never surfaces
+        assert len(result.quarantined) == 1
+        assert result.quarantined[0]["kind"] == "invalid"
+        store = ResultStore(store_path)
+        assert len(store) == 1
+        quarantine_path = tmp_path / "quarantine.jsonl"
+        assert quarantine_path.exists()
+        entries = [json.loads(line)
+                   for line in quarantine_path.read_text().splitlines()]
+        assert len(entries) == 1
+        assert entries[0]["kind"] == "invalid"
+        assert "record-finite" in entries[0]["traceback"]
+
+        # Replay: valid trial served from cache, poison trial skipped.
+        again = run_sweep(
+            "demo", _nan_spec(), store=str(store_path), validation="quarantine",
+        )
+        assert again.cache_hits == 1
+        assert again.executed == 0
+        assert [inc.kind for inc in again.incidents] == ["quarantine-skip"]
+        assert len(ResultStore(store_path)) == 1
+
+    def test_strict_raises(self, tmp_path):
+        with pytest.raises(InvariantViolation, match="record-finite"):
+            run_sweep(
+                "demo", _nan_spec(),
+                store=str(tmp_path / "results.jsonl"), validation="strict",
+            )
+
+    def test_off_keeps_nan_out_of_store_via_append_guard(self):
+        # Without a store, validation off lets the NaN record through.
+        result = run_sweep("demo", _nan_spec(), validation="off")
+        assert result.executed == 2
+        assert result.incidents == []
+
+    def test_cached_poison_excluded_on_replay(self, tmp_path):
+        store_path = tmp_path / "results.jsonl"
+        clean_spec = SweepSpec(
+            axes=(Axis(name="emit", values=("",)),), base={"draws": 4}, seed=11,
+        )
+        first = run_sweep("demo", clean_spec, store=str(store_path))
+        assert first.executed == 1
+
+        # Poison the cached record on disk (json.loads accepts NaN, so a
+        # corrupted or legacy store can hold what append() would refuse).
+        entry = json.loads(store_path.read_text())
+        entry["record"]["mean"] = NAN
+        store_path.write_text(
+            json.dumps(entry, sort_keys=True) + "\n", encoding="utf-8")
+
+        replay = run_sweep(
+            "demo", clean_spec, store=str(store_path), validation="quarantine",
+        )
+        # Excluded from outcomes but not re-executed: the key is cached.
+        assert replay.outcomes == []
+        incidents = [inc for inc in replay.incidents if inc.kind == "invalid"]
+        assert len(incidents) == 1
+        assert "cached record" in incidents[0].detail
+
+        strict = pytest.raises(InvariantViolation, run_sweep,
+                               "demo", clean_spec, store=str(store_path),
+                               validation="strict")
+        assert "cached trial" in str(strict.value)
