@@ -75,7 +75,10 @@ class AdditiveCost(CostFunction):
 
     def cost(self, subset: Iterable[str]) -> float:
         s = self._validated(subset)
-        return sum(self.prices[lid] for lid in s)
+        # Sorted so the float accumulation order never depends on set
+        # iteration order (PYTHONHASHSEED) — costs must be bit-identical
+        # across interpreter runs.
+        return sum(self.prices[lid] for lid in sorted(s))
 
 
 @dataclass(frozen=True)
@@ -118,7 +121,7 @@ class VolumeDiscountCost(CostFunction):
 
     def cost(self, subset: Iterable[str]) -> float:
         s = self._validated(subset)
-        base = sum(self.prices[lid] for lid in s)
+        base = sum(self.prices[lid] for lid in sorted(s))
         return base * (1.0 - self._discount_for(len(s)))
 
 
@@ -146,7 +149,7 @@ class FixedPlusAdditiveCost(CostFunction):
         s = self._validated(subset)
         if not s:
             return 0.0
-        return self.fixed + sum(self.prices[lid] for lid in s)
+        return self.fixed + sum(self.prices[lid] for lid in sorted(s))
 
 
 @dataclass(frozen=True)

@@ -36,6 +36,7 @@ from repro.exceptions import (
 )
 from repro.auction.bids import AdditiveCost, CostFunction, ScaledCost
 from repro.auction.provider import Offer
+from repro.obs import metrics, span
 from repro.topology.graph import Network
 from repro.traffic.matrix import TrafficMatrix
 
@@ -93,79 +94,82 @@ def exact_selection(
     if not demands:
         return frozenset(), 0.0
 
-    sources = sorted({src for (src, _), _ in demands})
-    nodes = offered.node_ids
-    node_idx = {n: i for i, n in enumerate(nodes)}
-    src_idx = {s: i for i, s in enumerate(sources)}
-    link_idx = {lid: i for i, lid in enumerate(link_ids)}
+    with span("milp.build", links=len(link_ids)):
+        sources = sorted({src for (src, _), _ in demands})
+        nodes = offered.node_ids
+        node_idx = {n: i for i, n in enumerate(nodes)}
+        src_idx = {s: i for i, s in enumerate(sources)}
+        link_idx = {lid: i for i, lid in enumerate(link_ids)}
 
-    arcs: List[Tuple[int, int, int, float]] = []  # (link_i, tail_i, head_i, cap)
-    for lid in link_ids:
-        link = offered.link(lid)
-        li = link_idx[lid]
-        arcs.append((li, node_idx[link.u], node_idx[link.v], link.capacity_gbps))
-        arcs.append((li, node_idx[link.v], node_idx[link.u], link.capacity_gbps))
+        arcs: List[Tuple[int, int, int, float]] = []  # (link_i, tail_i, head_i, cap)
+        for lid in link_ids:
+            link = offered.link(lid)
+            li = link_idx[lid]
+            arcs.append((li, node_idx[link.u], node_idx[link.v], link.capacity_gbps))
+            arcs.append((li, node_idx[link.v], node_idx[link.u], link.capacity_gbps))
 
-    n_links, n_arcs, n_src, n_nodes = len(link_ids), len(arcs), len(sources), len(nodes)
-    n_flow = n_arcs * n_src
-    n_vars = n_flow + n_links  # flows then binaries
+        n_links, n_arcs, n_src, n_nodes = len(link_ids), len(arcs), len(sources), len(nodes)
+        n_flow = n_arcs * n_src
+        n_vars = n_flow + n_links  # flows then binaries
 
-    b = np.zeros((n_src, n_nodes))
-    for (src, dst), value in demands:
-        b[src_idx[src], node_idx[src]] += value
-        b[src_idx[src], node_idx[dst]] -= value
+        b = np.zeros((n_src, n_nodes))
+        for (src, dst), value in demands:
+            b[src_idx[src], node_idx[src]] += value
+            b[src_idx[src], node_idx[dst]] -= value
 
-    rows: List[int] = []
-    cols: List[int] = []
-    vals: List[float] = []
-    for a, (_li, tail, head, _cap) in enumerate(arcs):
-        for s in range(n_src):
-            col = a * n_src + s
-            rows.append(s * n_nodes + tail)
-            cols.append(col)
-            vals.append(1.0)
-            rows.append(s * n_nodes + head)
-            cols.append(col)
-            vals.append(-1.0)
-    a_eq = coo_matrix((vals, (rows, cols)), shape=(n_src * n_nodes, n_vars))
-    b_eq = np.concatenate([b[s] for s in range(n_src)])
-    conservation = LinearConstraint(a_eq.tocsc(), b_eq, b_eq)
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+        for a, (_li, tail, head, _cap) in enumerate(arcs):
+            for s in range(n_src):
+                col = a * n_src + s
+                rows.append(s * n_nodes + tail)
+                cols.append(col)
+                vals.append(1.0)
+                rows.append(s * n_nodes + head)
+                cols.append(col)
+                vals.append(-1.0)
+        a_eq = coo_matrix((vals, (rows, cols)), shape=(n_src * n_nodes, n_vars))
+        b_eq = np.concatenate([b[s] for s in range(n_src)])
+        conservation = LinearConstraint(a_eq.tocsc(), b_eq, b_eq)
 
-    rows, cols, vals = [], [], []
-    for a, (li, _t, _h, cap) in enumerate(arcs):
-        for s in range(n_src):
+        rows, cols, vals = [], [], []
+        for a, (li, _t, _h, cap) in enumerate(arcs):
+            for s in range(n_src):
+                rows.append(a)
+                cols.append(a * n_src + s)
+                vals.append(1.0)
             rows.append(a)
-            cols.append(a * n_src + s)
-            vals.append(1.0)
-        rows.append(a)
-        cols.append(n_flow + li)
-        vals.append(-cap)
-    a_cap = coo_matrix((vals, (rows, cols)), shape=(n_arcs, n_vars))
-    capacity = LinearConstraint(a_cap.tocsc(), -np.inf, np.zeros(n_arcs))
+            cols.append(n_flow + li)
+            vals.append(-cap)
+        a_cap = coo_matrix((vals, (rows, cols)), shape=(n_arcs, n_vars))
+        capacity = LinearConstraint(a_cap.tocsc(), -np.inf, np.zeros(n_arcs))
 
-    c = np.zeros(n_vars)
-    for lid, li in link_idx.items():
-        c[n_flow + li] = prices[lid]
+        c = np.zeros(n_vars)
+        for lid, li in link_idx.items():
+            c[n_flow + li] = prices[lid]
 
-    integrality = np.zeros(n_vars)
-    integrality[n_flow:] = 1
+        integrality = np.zeros(n_vars)
+        integrality[n_flow:] = 1
 
-    from scipy.optimize import Bounds
+        from scipy.optimize import Bounds
 
-    lower = np.zeros(n_vars)
-    upper = np.full(n_vars, np.inf)
-    upper[n_flow:] = 1.0
+        lower = np.zeros(n_vars)
+        upper = np.full(n_vars, np.inf)
+        upper[n_flow:] = 1.0
 
-    options = {"mip_rel_gap": mip_rel_gap}
-    if time_limit_s is not None:
-        options["time_limit"] = time_limit_s
-    res = milp(
-        c,
-        constraints=[conservation, capacity],
-        integrality=integrality,
-        bounds=Bounds(lower, upper),
-        options=options,
-    )
+        options = {"mip_rel_gap": mip_rel_gap}
+        if time_limit_s is not None:
+            options["time_limit"] = time_limit_s
+    with span("milp.solve", variables=n_vars, binaries=n_links):
+        metrics().inc("milp.solves")
+        res = milp(
+            c,
+            constraints=[conservation, capacity],
+            integrality=integrality,
+            bounds=Bounds(lower, upper),
+            options=options,
+        )
     # status 1 = iteration/time limit; accept the incumbent if one exists.
     if res.status == 1 and res.x is not None:
         pass
@@ -182,5 +186,5 @@ def exact_selection(
         )
     y = res.x[n_flow:]
     selected = frozenset(lid for lid, li in link_idx.items() if y[li] > 0.5)
-    cost = float(sum(prices[lid] for lid in selected))
+    cost = float(sum(prices[lid] for lid in sorted(selected)))
     return selected, cost

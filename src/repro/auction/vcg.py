@@ -25,6 +25,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence
 from repro.exceptions import AuctionError, NoFeasibleSelectionError
 from repro.auction.constraints import Constraint
 from repro.auction.provider import Offer
+from repro.obs import metrics, span
 from repro.auction.selection import (
     SelectionOutcome,
     select_links,
@@ -146,10 +147,12 @@ def run_auction(
     if len(set(providers)) != len(providers):
         raise AuctionError("duplicate provider names in offers")
 
-    full = select_links(
-        offers, constraint, method=cfg.method,
-        milp_time_limit_s=cfg.milp_time_limit_s,
-    )
+    metrics().inc("auction.runs")
+    with span("auction.select", method=cfg.method, offers=len(offers)):
+        full = select_links(
+            offers, constraint, method=cfg.method,
+            milp_time_limit_s=cfg.milp_time_limit_s,
+        )
     c_sl = full.total_cost
 
     results: Dict[str, ProviderResult] = {}
@@ -162,11 +165,13 @@ def run_auction(
             external_cost += declared
             continue
         try:
-            without = select_links(
-                offers, constraint, method=cfg.method,
-                exclude_providers=(offer.provider,),
-                milp_time_limit_s=cfg.milp_time_limit_s,
-            )
+            metrics().inc("auction.pivots")
+            with span("auction.pivot", provider=offer.provider):
+                without = select_links(
+                    offers, constraint, method=cfg.method,
+                    exclude_providers=(offer.provider,),
+                    milp_time_limit_s=cfg.milp_time_limit_s,
+                )
         except NoFeasibleSelectionError as exc:
             raise NoFeasibleSelectionError(
                 f"auction cannot price provider {offer.provider}: the constraint "
@@ -179,6 +184,7 @@ def run_auction(
         if cfg.clamp_individual_rationality and payment < declared:
             payment = declared
             clamped = True
+            metrics().inc("auction.clamped")
         results[offer.provider] = ProviderResult(
             provider=offer.provider,
             selected_links=mine,

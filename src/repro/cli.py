@@ -297,7 +297,7 @@ def _parse_set_arg(text: str):
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.exceptions import InvariantViolation, SweepError
     from repro.experiments.pipeline import PipelineCheckpoint
-    from repro.sweeps import SweepRunner, SweepSpec, registered_names
+    from repro.sweeps import Axis, SweepRunner, SweepSpec, registered_names
     from repro.sweeps.registry import describe_all
 
     if args.list:
@@ -321,11 +321,21 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         except SweepError as exc:
             raise SystemExit(f"bad sweep spec {args.spec!r}: {exc}")
     else:
-        if not args.axis:
-            raise SystemExit("a sweep needs --axis name=v1,v2 (or --spec FILE)")
+        axes = tuple(_parse_axis_arg(a) for a in args.axis)
+        if args.preset is not None:
+            # Sugar for a one-point grid: --preset micro means a
+            # single-value "preset" axis, so `sweep --experiment figure2
+            # --preset micro` works without spelling out --axis.
+            if any(axis.name == "preset" for axis in axes):
+                raise SystemExit("--preset conflicts with an --axis named preset")
+            axes += (Axis("preset", (args.preset,)),)
+        if not axes:
+            raise SystemExit(
+                "a sweep needs --axis name=v1,v2, --preset NAME, or --spec FILE"
+            )
         try:
             spec = SweepSpec(
-                axes=tuple(_parse_axis_arg(a) for a in args.axis),
+                axes=axes,
                 mode="zip" if args.zip else "cartesian",
                 base=dict(_parse_set_arg(s) for s in args.set),
                 seed=args.root_seed,
@@ -367,9 +377,44 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             print(result.format_report(group_by))
         if args.report:
             print(result.supervision_report())
+            _print_sweep_timing()
     except (SweepError, InvariantViolation) as exc:
         raise SystemExit(f"sweep failed: {exc}")
     print(result.stats_line(), file=sys.stderr)
+    return 0
+
+
+def _print_sweep_timing() -> None:
+    """The --report timing table, fed by the --metrics sidecar (if any)."""
+    from repro import obs
+
+    path = obs.metrics_path()
+    if path is None:
+        return
+    from repro.exceptions import ObservabilityError
+    from repro.obs.perf import format_perf, load_perf
+
+    try:
+        print(format_perf(load_perf([path])))
+    except ObservabilityError as exc:
+        # A fully-cached sweep writes no trial telemetry; say so rather
+        # than fail the report.
+        print(f"(no timing data: {exc})", file=sys.stderr)
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    """Aggregate metrics/trace JSONL sidecars into a phase breakdown."""
+    from repro.exceptions import ObservabilityError
+    from repro.obs.perf import format_perf, load_perf, perf_json
+
+    try:
+        report = load_perf(args.paths)
+        if args.json:
+            print(perf_json(report))
+        else:
+            print(format_perf(report, top=args.top))
+    except ObservabilityError as exc:
+        raise SystemExit(f"perf failed: {exc}")
     return 0
 
 
@@ -464,42 +509,62 @@ def make_parser() -> argparse.ArgumentParser:
         description="Reproduction experiments for 'A Public Option for the Core'",
     )
     parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+
+    # Observability flags shared by every subcommand.  Defined on a parent
+    # parser (not the main one) so `poc-repro sweep --metrics m.jsonl`
+    # parses without argparse's main-vs-sub default clobbering; main()
+    # configures repro.obs lazily only when a flag is actually given, so
+    # an uninstrumented invocation never even imports the obs package.
+    obs_parent = argparse.ArgumentParser(add_help=False)
+    obs_parent.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="append per-trial metrics (counters, phases, wall/CPU/RSS) "
+             "to this JSONL sidecar",
+    )
+    obs_parent.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="append per-span trace records to this JSONL sidecar",
+    )
+
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_zoo = sub.add_parser("zoo", help="build and describe a synthetic zoo")
+    def add_parser(name: str, **kwargs):
+        return sub.add_parser(name, parents=[obs_parent], **kwargs)
+
+    p_zoo = add_parser("zoo", help="build and describe a synthetic zoo")
     p_zoo.add_argument("--preset", default="small", choices=("tiny", "small", "paper"))
     p_zoo.add_argument("--seed", type=int, default=2020)
     p_zoo.set_defaults(fn=cmd_zoo)
 
-    p_f2 = sub.add_parser("figure2", help="reproduce Figure 2 (PoB margins)")
+    p_f2 = add_parser("figure2", help="reproduce Figure 2 (PoB margins)")
     p_f2.add_argument("--preset", default="tiny", choices=("tiny", "small", "paper"))
     p_f2.add_argument("--seed", type=int, default=2020)
     p_f2.add_argument("--constraints", type=int, nargs="+", default=[1, 2, 3],
                       choices=(1, 2, 3))
     p_f2.set_defaults(fn=cmd_figure2)
 
-    p_nn = sub.add_parser("neutrality", help="§4 regime comparison table")
+    p_nn = add_parser("neutrality", help="§4 regime comparison table")
     p_nn.set_defaults(fn=cmd_neutrality)
 
-    p_mkt = sub.add_parser("market", help="run the agent-based market simulator")
+    p_mkt = add_parser("market", help="run the agent-based market simulator")
     p_mkt.add_argument("--regime", default="nn", choices=("nn", "ur"))
     p_mkt.add_argument("--epochs", type=int, default=24)
     p_mkt.add_argument("--entry-epoch", type=int, default=4)
     p_mkt.add_argument("--poc-cost", type=float, default=5.0)
     p_mkt.set_defaults(fn=cmd_market)
 
-    p_bl = sub.add_parser("baseline", help="status-quo BGP world vs the POC")
+    p_bl = add_parser("baseline", help="status-quo BGP world vs the POC")
     p_bl.add_argument("--usage", type=float, default=10.0)
     p_bl.add_argument("--poc-rate", type=float, default=600.0)
     p_bl.set_defaults(fn=cmd_baseline)
 
-    p_ad = sub.add_parser("adoption", help="POC adoption trajectory (§5)")
+    p_ad = add_parser("adoption", help="POC adoption trajectory (§5)")
     p_ad.add_argument("--lmps", type=int, default=50)
     p_ad.add_argument("--epochs", type=int, default=60)
     p_ad.add_argument("--poc-price", type=float, default=600.0)
     p_ad.set_defaults(fn=cmd_adoption)
 
-    p_pr = sub.add_parser("probe", help="dataplane neutrality probes (§3.4)")
+    p_pr = add_parser("probe", help="dataplane neutrality probes (§3.4)")
     p_pr.add_argument("--preset", default="tiny", choices=("tiny", "small", "paper"))
     p_pr.add_argument("--seed", type=int, default=2020)
     p_pr.add_argument("--throttle", nargs="*", default=[],
@@ -507,7 +572,7 @@ def make_parser() -> argparse.ArgumentParser:
     p_pr.add_argument("--factor", type=float, default=0.25)
     p_pr.set_defaults(fn=cmd_probe)
 
-    p_ch = sub.add_parser(
+    p_ch = add_parser(
         "chaos",
         help="fault-injection campaign: inject failures, report survivability",
     )
@@ -534,7 +599,7 @@ def make_parser() -> argparse.ArgumentParser:
                       help="emit the canonical JSON report instead of the table")
     p_ch.set_defaults(fn=cmd_chaos)
 
-    p_sw = sub.add_parser(
+    p_sw = add_parser(
         "sweep",
         help="run a parameter sweep over any registered experiment",
         description="Declarative scenario sweeps: a grid of named axes is "
@@ -546,6 +611,9 @@ def make_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--axis", action="append", default=[], metavar="NAME=VALUES",
                       help="sweep axis: name=v1,v2,... or name=lo:hi "
                            "(integer range, hi exclusive); repeatable")
+    p_sw.add_argument("--preset", default=None, metavar="NAME",
+                      help="sugar for a one-point grid: adds a single-value "
+                           "'preset' axis (e.g. --preset micro)")
     p_sw.add_argument("--set", action="append", default=[], metavar="KEY=VALUE",
                       help="constant parameter applied to every trial; repeatable")
     p_sw.add_argument("--spec", default=None, metavar="PATH",
@@ -600,7 +668,7 @@ def make_parser() -> argparse.ArgumentParser:
                            "aggregate")
     p_sw.set_defaults(fn=cmd_sweep)
 
-    p_au = sub.add_parser(
+    p_au = add_parser(
         "audit",
         help="replay a sweep result store through the invariant suite",
         description="Checks every stored record against the paper's "
@@ -618,18 +686,41 @@ def make_parser() -> argparse.ArgumentParser:
                       help="emit a JSON audit report")
     p_au.set_defaults(fn=cmd_audit)
 
-    p_pl = sub.add_parser("planning", help="capacity planning / re-auctions")
+    p_pl = add_parser("planning", help="capacity planning / re-auctions")
     p_pl.add_argument("--preset", default="tiny", choices=("tiny", "small", "paper"))
     p_pl.add_argument("--seed", type=int, default=2020)
     p_pl.add_argument("--growth", type=float, default=0.05)
     p_pl.add_argument("--months", type=int, default=12)
     p_pl.set_defaults(fn=cmd_planning)
+
+    p_perf = add_parser(
+        "perf",
+        help="aggregate --metrics/--trace JSONL into a phase breakdown",
+        description="Reads telemetry sidecar files produced by --metrics / "
+                    "--trace and prints where trial wall time went: per-phase "
+                    "totals, shares, percentiles, and the slowest trials.",
+    )
+    p_perf.add_argument("paths", nargs="+", metavar="PATH",
+                        help="one or more telemetry JSONL files")
+    p_perf.add_argument("--json", action="store_true",
+                        help="emit the report as canonical JSON")
+    p_perf.add_argument("--top", type=int, default=5,
+                        help="how many slowest trials to list")
+    p_perf.set_defaults(fn=cmd_perf)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = make_parser()
     args = parser.parse_args(argv)
+    metrics_path = getattr(args, "metrics", None)
+    trace_path = getattr(args, "trace", None)
+    if metrics_path or trace_path:
+        # Imported lazily so uninstrumented invocations never pay for (or
+        # depend on) the obs package at all.
+        from repro import obs
+
+        obs.configure(metrics_path=metrics_path, trace_path=trace_path)
     return args.fn(args)
 
 

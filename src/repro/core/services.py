@@ -134,7 +134,7 @@ def build_multicast_tree(
         g.add_edge(link.u, link.v, weight=link.length_km, link_id=lid)
     tree = nx.minimum_spanning_tree(g, weight="weight")
     tree_links = frozenset(data["link_id"] for _u, _v, data in tree.edges(data=True))
-    total_km = sum(backbone.link(lid).length_km for lid in tree_links)
+    total_km = sum(backbone.link(lid).length_km for lid in sorted(tree_links))
     return MulticastTree(
         group=group,
         source=source,

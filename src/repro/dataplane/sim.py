@@ -17,6 +17,7 @@ from repro.dataplane.fairshare import max_min_allocation
 from repro.dataplane.flows import Flow, RoutedFlow
 from repro.dataplane.shaping import EdgeBehavior, NeutralEdge
 from repro.netflow.paths import shortest_path
+from repro.obs import metrics, span
 from repro.topology.graph import Link, Network, Node
 
 
@@ -141,40 +142,43 @@ class DataplaneSim:
         ids = [f.id for f in flows]
         if len(set(ids)) != len(ids):
             raise FlowError("duplicate flow ids")
-        net = self._composite_network()
+        with span("dataplane.allocate", flows=len(flows)):
+            net = self._composite_network()
 
-        routed: Dict[str, RoutedFlow] = {}
-        blocked: List[str] = []
-        for flow in flows:
-            src = self.attachment(flow.source_party)
-            dst = self.attachment(flow.dest_party)
-            multiplier = dst.behavior.weight_multiplier(flow)
-            if multiplier <= 0.0:
-                blocked.append(flow.id)
-                continue
-            path = shortest_path(net, src.host_node, dst.host_node)
-            if path is None:
-                raise FlowError(
-                    f"no path between {flow.source_party} and {flow.dest_party}"
+            routed: Dict[str, RoutedFlow] = {}
+            blocked: List[str] = []
+            for flow in flows:
+                src = self.attachment(flow.source_party)
+                dst = self.attachment(flow.dest_party)
+                multiplier = dst.behavior.weight_multiplier(flow)
+                if multiplier <= 0.0:
+                    blocked.append(flow.id)
+                    continue
+                path = shortest_path(net, src.host_node, dst.host_node)
+                if path is None:
+                    raise FlowError(
+                        f"no path between {flow.source_party} and {flow.dest_party}"
+                    )
+                routed[flow.id] = RoutedFlow(
+                    flow=flow,
+                    link_ids=path.link_ids,
+                    effective_weight=flow.weight * multiplier,
                 )
-            routed[flow.id] = RoutedFlow(
-                flow=flow,
-                link_ids=path.link_ids,
-                effective_weight=flow.weight * multiplier,
-            )
 
-        capacities = {l.id: l.capacity_gbps for l in net.iter_links()}
-        rates = max_min_allocation(
-            {fid: rf.link_ids for fid, rf in routed.items()},
-            {fid: rf.flow.demand_gbps for fid, rf in routed.items()},
-            {fid: rf.effective_weight for fid, rf in routed.items()},
-            capacities,
-        ) if routed else {}
+            capacities = {l.id: l.capacity_gbps for l in net.iter_links()}
+            rates = max_min_allocation(
+                {fid: rf.link_ids for fid, rf in routed.items()},
+                {fid: rf.flow.demand_gbps for fid, rf in routed.items()},
+                {fid: rf.effective_weight for fid, rf in routed.items()},
+                capacities,
+            ) if routed else {}
 
-        load: Dict[str, float] = {}
-        for fid, rf in routed.items():
-            for lid in rf.link_ids:
-                load[lid] = load.get(lid, 0.0) + rates[fid]
+            load: Dict[str, float] = {}
+            for fid, rf in routed.items():
+                for lid in rf.link_ids:
+                    load[lid] = load.get(lid, 0.0) + rates[fid]
+        metrics().inc("dataplane.flows.routed", len(routed))
+        metrics().inc("dataplane.flows.blocked", len(blocked))
         return AllocationResult(
             rates_gbps=rates,
             routed=routed,

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.exceptions import FlowError
 from repro.dataplane.flows import Flow
 from repro.dataplane.sim import DataplaneSim
+from repro.obs import metrics, span
 
 #: Events closer together than this are coalesced (numerical guard).
 _TIME_EPS = 1e-9
@@ -104,7 +105,6 @@ def simulate_transfers(
     remaining: Dict[str, float] = {}
     active: Dict[str, Transfer] = {}
     result = TimelineResult()
-    now = 0.0
 
     def current_rates() -> Dict[str, float]:
         if not active:
@@ -122,7 +122,21 @@ def simulate_transfers(
             )
         return {fid: allocation.rates_gbps[fid] for fid in active}
 
+    with span("dataplane.timeline", transfers=len(transfers)):
+        _simulate_loop(pending, active, remaining, result, current_rates)
+    return result
+
+
+def _simulate_loop(
+    pending: List[Transfer],
+    active: Dict[str, Transfer],
+    remaining: Dict[str, float],
+    result: TimelineResult,
+    current_rates,
+) -> None:
+    now = 0.0
     while pending or active:
+        metrics().inc("dataplane.timeline.steps")
         rates = current_rates()
         next_arrival = pending[0].arrival_s if pending else float("inf")
         # Earliest completion among active transfers at current rates.
@@ -166,5 +180,3 @@ def simulate_transfers(
             transfer = pending.pop(0)
             active[transfer.flow.id] = transfer
             remaining[transfer.flow.id] = transfer.volume_gbit
-
-    return result

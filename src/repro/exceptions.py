@@ -120,6 +120,16 @@ class PolicyError(ReproError):
     """An interdomain routing policy is invalid or inconsistent."""
 
 
+class ObservabilityError(ReproError):
+    """The observability layer was misused or fed unusable telemetry.
+
+    Covers non-finite metric values (snapshots serialize with
+    ``allow_nan=False``, so they are rejected at the mutator), histogram
+    bucket mismatches, unbalanced span stacks, and corrupt or empty
+    metrics/trace JSONL handed to the ``perf`` aggregator.
+    """
+
+
 class SweepError(ReproError):
     """A parameter sweep is misconfigured or its artifacts are inconsistent.
 

@@ -25,6 +25,7 @@ from repro.auction.metrics import (
 from repro.auction.provider import Offer
 from repro.auction.vcg import AuctionConfig, AuctionResult, run_auction
 from repro.experiments.pipeline import offers_for_zoo, traffic_for_zoo
+from repro.obs import span
 from repro.topology.graph import Network
 from repro.topology.zoo import ZooConfig, ZooResult, build_zoo
 from repro.traffic.matrix import TrafficMatrix
@@ -126,9 +127,10 @@ def run_constraint_auctions(
     for number in constraints:
         engine = (engines or DEFAULT_ENGINES).get(number, "greedy")
         constraint = make_constraint(number, network, tm, engine=engine)
-        result = run_auction(
-            offers, constraint, config=AuctionConfig(method=method)
-        )
+        with span("auction.clear", constraint=number, engine=engine):
+            result = run_auction(
+                offers, constraint, config=AuctionConfig(method=method)
+            )
         results[constraint.name] = result
         summaries.append(summarize(constraint.name, offered_count, result))
     return results, summaries

@@ -105,14 +105,16 @@ def figure2_trial(params: Mapping[str, object], seed: int) -> Dict[str, float]:
     load_fraction = params.get("load_fraction")
 
     if preset == "micro":
+        from repro.obs import span
         from repro.resilience.chaos import micro_scenario
 
-        network, offers, tm = micro_scenario(
-            int(seed),
-            load_fraction=(
-                float(load_fraction) if load_fraction is not None else 0.05
-            ),
-        )
+        with span("workload.build", preset=preset):
+            network, offers, tm = micro_scenario(
+                int(seed),
+                load_fraction=(
+                    float(load_fraction) if load_fraction is not None else 0.05
+                ),
+            )
         results, summaries = run_constraint_auctions(
             network, tm, offers,
             constraints=constraints,

@@ -73,7 +73,10 @@ class LatencyReport:
             raise FlowError(f"percentile must be in (0, 100], got {pct}")
         values = sorted(p.rtt_ms for p in self.pairs.values())
         if not values:
-            return 0.0
+            # Returning 0.0 here would report an impossibly perfect RTT
+            # for a report with no reachable pairs — same contract as the
+            # traffic estimator: a percentile of nothing is an error.
+            raise FlowError("percentile of an empty RTT set (no reachable pairs)")
         idx = min(len(values) - 1, max(0, math.ceil(pct / 100.0 * len(values)) - 1))
         return values[idx]
 

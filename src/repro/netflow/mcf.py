@@ -30,6 +30,7 @@ from scipy.optimize import linprog
 from scipy.sparse import coo_matrix
 
 from repro.exceptions import FlowError
+from repro.obs import metrics, span
 from repro.topology.graph import Network
 from repro.traffic.matrix import TrafficMatrix
 
@@ -104,68 +105,72 @@ def max_concurrent_flow(
     if n_arcs == 0:
         return MCFResult(lam=0.0, feasible=False, status=2, message="no links")
 
-    # Net supply b(s, v).
-    b = np.zeros((n_src, n_nodes))
-    for (src, dst), value in demands:
-        b[src_idx[src], node_idx[src]] += value
-        b[src_idx[src], node_idx[dst]] -= value
+    with span("mcf.build", arcs=n_arcs, sources=n_src, nodes=n_nodes):
+        # Net supply b(s, v).
+        b = np.zeros((n_src, n_nodes))
+        for (src, dst), value in demands:
+            b[src_idx[src], node_idx[src]] += value
+            b[src_idx[src], node_idx[dst]] -= value
 
-    # Variable layout: x[a, s] at index a * n_src + s; λ last.
-    n_x = n_arcs * n_src
-    lam_col = n_x
+        # Variable layout: x[a, s] at index a * n_src + s; λ last.
+        n_x = n_arcs * n_src
+        lam_col = n_x
 
-    eq_rows: List[int] = []
-    eq_cols: List[int] = []
-    eq_vals: List[float] = []
-    # Conservation row index: s * n_nodes + v.
-    for a, (_aid, tail, head, _cap, _len) in enumerate(arcs):
-        ti, hi = node_idx[tail], node_idx[head]
+        eq_rows: List[int] = []
+        eq_cols: List[int] = []
+        eq_vals: List[float] = []
+        # Conservation row index: s * n_nodes + v.
+        for a, (_aid, tail, head, _cap, _len) in enumerate(arcs):
+            ti, hi = node_idx[tail], node_idx[head]
+            for s in range(n_src):
+                col = a * n_src + s
+                eq_rows.append(s * n_nodes + ti)
+                eq_cols.append(col)
+                eq_vals.append(1.0)
+                eq_rows.append(s * n_nodes + hi)
+                eq_cols.append(col)
+                eq_vals.append(-1.0)
+        # -λ·b term.
         for s in range(n_src):
-            col = a * n_src + s
-            eq_rows.append(s * n_nodes + ti)
-            eq_cols.append(col)
-            eq_vals.append(1.0)
-            eq_rows.append(s * n_nodes + hi)
-            eq_cols.append(col)
-            eq_vals.append(-1.0)
-    # -λ·b term.
-    for s in range(n_src):
-        for v in range(n_nodes):
-            if b[s, v] != 0.0:
-                eq_rows.append(s * n_nodes + v)
-                eq_cols.append(lam_col)
-                eq_vals.append(-b[s, v])
-    a_eq = coo_matrix(
-        (eq_vals, (eq_rows, eq_cols)), shape=(n_src * n_nodes, n_x + 1)
-    ).tocsr()
-    b_eq = np.zeros(n_src * n_nodes)
+            for v in range(n_nodes):
+                if b[s, v] != 0.0:
+                    eq_rows.append(s * n_nodes + v)
+                    eq_cols.append(lam_col)
+                    eq_vals.append(-b[s, v])
+        a_eq = coo_matrix(
+            (eq_vals, (eq_rows, eq_cols)), shape=(n_src * n_nodes, n_x + 1)
+        ).tocsr()
+        b_eq = np.zeros(n_src * n_nodes)
 
-    ub_rows: List[int] = []
-    ub_cols: List[int] = []
-    ub_vals: List[float] = []
-    caps = np.empty(n_arcs)
-    for a, (_aid, _t, _h, cap, _len) in enumerate(arcs):
-        caps[a] = cap
-        for s in range(n_src):
-            ub_rows.append(a)
-            ub_cols.append(a * n_src + s)
-            ub_vals.append(1.0)
-    a_ub = coo_matrix((ub_vals, (ub_rows, ub_cols)), shape=(n_arcs, n_x + 1)).tocsr()
+        ub_rows: List[int] = []
+        ub_cols: List[int] = []
+        ub_vals: List[float] = []
+        caps = np.empty(n_arcs)
+        for a, (_aid, _t, _h, cap, _len) in enumerate(arcs):
+            caps[a] = cap
+            for s in range(n_src):
+                ub_rows.append(a)
+                ub_cols.append(a * n_src + s)
+                ub_vals.append(1.0)
+        a_ub = coo_matrix((ub_vals, (ub_rows, ub_cols)), shape=(n_arcs, n_x + 1)).tocsr()
 
-    c = np.zeros(n_x + 1)
-    c[lam_col] = -1.0
-    bounds = [(0, None)] * n_x + [(0, lambda_cap)]
+        c = np.zeros(n_x + 1)
+        c[lam_col] = -1.0
+        bounds = [(0, None)] * n_x + [(0, lambda_cap)]
 
-    res = linprog(
-        c,
-        A_ub=a_ub,
-        b_ub=caps,
-        A_eq=a_eq,
-        b_eq=b_eq,
-        bounds=bounds,
-        method="highs",
-    )
+    with span("mcf.solve", variables=n_x + 1):
+        metrics().inc("mcf.solves")
+        res = linprog(
+            c,
+            A_ub=a_ub,
+            b_ub=caps,
+            A_eq=a_eq,
+            b_eq=b_eq,
+            bounds=bounds,
+            method="highs",
+        )
     if res.status not in (0, 3):  # 3 = unbounded cannot happen with the cap
+        metrics().inc("mcf.failures")
         raise FlowError(f"MCF solver failed: status={res.status} {res.message}")
     lam = float(res.x[lam_col]) if res.x is not None else 0.0
 
@@ -177,27 +182,28 @@ def max_concurrent_flow(
     link_loads: Optional[Dict[str, float]] = None
     arcs_out: Optional[Tuple[Tuple[str, str, str, float], ...]] = None
     arc_flows: Optional[Dict[Tuple[str, str], float]] = None
-    if keep_flows and res.x is not None:
-        arcs_out = tuple((aid, tail, head, cap) for aid, tail, head, cap, _l in arcs)
-        arc_flows = {}
-        for a, (aid, _t, _h, _c, _l) in enumerate(arcs):
-            for s, source in enumerate(sources):
-                value = float(res.x[a * n_src + s])
-                if value > 1e-12:
-                    arc_flows[(aid, source)] = value
-    if res.x is not None:
-        lengths = np.repeat([arc[4] for arc in arcs], n_src)
-        flow_km = float(np.dot(res.x[:n_x], lengths))
-        if lam > 1.0:
-            flow_km /= lam  # report at the TM's own scale
-        if feasible:
-            scale = 1.0 / lam if lam > 1.0 else 1.0
-            per_arc = res.x[:n_x].reshape(n_arcs, n_src).sum(axis=1) * scale
-            link_loads = {}
+    with span("mcf.extract"):
+        if keep_flows and res.x is not None:
+            arcs_out = tuple((aid, tail, head, cap) for aid, tail, head, cap, _l in arcs)
+            arc_flows = {}
             for a, (aid, _t, _h, _c, _l) in enumerate(arcs):
-                if per_arc[a] > 1e-9:
-                    lid = aid[:-2]  # strip the ">f"/">r" direction suffix
-                    link_loads[lid] = link_loads.get(lid, 0.0) + float(per_arc[a])
+                for s, source in enumerate(sources):
+                    value = float(res.x[a * n_src + s])
+                    if value > 1e-12:
+                        arc_flows[(aid, source)] = value
+        if res.x is not None:
+            lengths = np.repeat([arc[4] for arc in arcs], n_src)
+            flow_km = float(np.dot(res.x[:n_x], lengths))
+            if lam > 1.0:
+                flow_km /= lam  # report at the TM's own scale
+            if feasible:
+                scale = 1.0 / lam if lam > 1.0 else 1.0
+                per_arc = res.x[:n_x].reshape(n_arcs, n_src).sum(axis=1) * scale
+                link_loads = {}
+                for a, (aid, _t, _h, _c, _l) in enumerate(arcs):
+                    if per_arc[a] > 1e-9:
+                        lid = aid[:-2]  # strip the ">f"/">r" direction suffix
+                        link_loads[lid] = link_loads.get(lid, 0.0) + float(per_arc[a])
 
     return MCFResult(
         lam=lam,

@@ -1,0 +1,400 @@
+"""Observability: metrics, tracing spans, per-trial resource accounting.
+
+The ROADMAP's "as fast as the hardware allows" needs a way to see where
+time goes.  This package provides three pieces:
+
+- a process-local :class:`~repro.obs.registry.MetricsRegistry`
+  (counters / gauges / fixed-bucket histograms) with deterministic
+  sorted-key, ``allow_nan=False`` snapshots;
+- span tracing (:func:`span` as context manager or decorator) on the
+  monotonic ``time.perf_counter()`` clock, with nested spans, per-span
+  tags, and a JSONL exporter;
+- :func:`trial_scope`, which wraps one sweep trial with a fresh
+  registry + trace collector, accounts wall/CPU time and peak RSS
+  (``resource.getrusage``), and appends one *sidecar* line per trial.
+
+Two invariants the rest of the system relies on:
+
+1. **Zero overhead when disabled.**  The active registry defaults to a
+   shared no-op :class:`~repro.obs.registry.NullRegistry` and ``span``
+   is a no-op unless a collector is active, so un-configured runs pay
+   one attribute lookup per instrumentation point.
+2. **Telemetry is a sidecar, never part of results.**  Nothing here
+   touches trial records, seeds, or the content-addressed result hash;
+   a sweep with observability on produces byte-identical aggregates to
+   one where this package was never imported.
+
+Configuration propagates to sweep worker processes through environment
+variables (``REPRO_METRICS_PATH`` / ``REPRO_TRACE_PATH``), so fork and
+spawn pools instrument themselves without any queue plumbing; each
+process appends whole lines with a single ``O_APPEND`` write, which
+keeps concurrent writers from interleaving.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import functools
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Optional
+
+from repro.exceptions import ObservabilityError
+from repro.obs.registry import (
+    DEFAULT_TIME_BUCKETS,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+from repro.obs.tracing import SpanRecord, TraceCollector
+
+__all__ = [
+    "DEFAULT_TIME_BUCKETS",
+    "MetricsRegistry",
+    "NullRegistry",
+    "SpanRecord",
+    "TraceCollector",
+    "configure",
+    "disable",
+    "is_enabled",
+    "metrics",
+    "metrics_path",
+    "span",
+    "trace_path",
+    "trial_scope",
+    "write_sweep_summary",
+]
+
+#: Environment variables carrying the sidecar paths into worker processes.
+METRICS_ENV = "REPRO_METRICS_PATH"
+TRACE_ENV = "REPRO_TRACE_PATH"
+
+
+@dataclass
+class _ObsState:
+    """Process-local observability state (one per process, never shared)."""
+
+    metrics_path: Optional[str] = None
+    trace_path: Optional[str] = None
+    #: The active registry; NULL_REGISTRY whenever observability is off
+    #: or no trial scope is open.
+    registry: MetricsRegistry = NULL_REGISTRY
+    #: The active trace collector; None = spans are no-ops.
+    trace: Optional[TraceCollector] = None
+    #: Lazily initialised from the environment exactly once per process.
+    env_checked: bool = False
+
+    @property
+    def active(self) -> bool:
+        return self.metrics_path is not None or self.trace_path is not None
+
+
+_state = _ObsState()
+
+
+def _ensure_env_init() -> None:
+    """Pick up sidecar paths exported by a parent process (worker side)."""
+    if _state.env_checked:
+        return
+    _state.env_checked = True
+    if _state.active:
+        return
+    metrics_env = os.environ.get(METRICS_ENV)
+    trace_env = os.environ.get(TRACE_ENV)
+    if metrics_env or trace_env:
+        _state.metrics_path = metrics_env or None
+        _state.trace_path = trace_env or None
+
+
+def configure(
+    metrics_path: Optional[str] = None,
+    trace_path: Optional[str] = None,
+    *,
+    propagate: bool = True,
+) -> None:
+    """Enable observability for this process (and, via env, its workers).
+
+    ``metrics_path`` receives one JSONL line per trial (counters, phase
+    self-times, wall/CPU/RSS) plus one sweep-summary line per sweep;
+    ``trace_path`` receives one line per span.  Either may be omitted.
+    ``propagate=False`` keeps the configuration out of the environment
+    (tests that must not leak state into subprocesses).
+    """
+    if metrics_path is None and trace_path is None:
+        raise ObservabilityError(
+            "configure() needs a metrics_path and/or a trace_path; "
+            "use disable() to turn observability off"
+        )
+    _state.metrics_path = str(metrics_path) if metrics_path is not None else None
+    _state.trace_path = str(trace_path) if trace_path is not None else None
+    _state.env_checked = True
+    if propagate:
+        for env, value in ((METRICS_ENV, _state.metrics_path),
+                           (TRACE_ENV, _state.trace_path)):
+            if value is not None:
+                os.environ[env] = value
+            else:
+                os.environ.pop(env, None)
+
+
+def disable() -> None:
+    """Turn observability off and scrub the environment propagation."""
+    _state.metrics_path = None
+    _state.trace_path = None
+    _state.registry = NULL_REGISTRY
+    _state.trace = None
+    _state.env_checked = True
+    os.environ.pop(METRICS_ENV, None)
+    os.environ.pop(TRACE_ENV, None)
+
+
+def is_enabled() -> bool:
+    _ensure_env_init()
+    return _state.active
+
+
+def metrics_path() -> Optional[str]:
+    _ensure_env_init()
+    return _state.metrics_path
+
+
+def trace_path() -> Optional[str]:
+    _ensure_env_init()
+    return _state.trace_path
+
+
+def metrics() -> MetricsRegistry:
+    """The active registry (the shared no-op one when disabled)."""
+    return _state.registry
+
+
+# -- spans --------------------------------------------------------------------
+
+
+class _Span:
+    """``span(...)`` usable as a context manager *and* a decorator."""
+
+    __slots__ = ("name", "tags", "_open")
+
+    def __init__(self, name: str, tags: Mapping[str, object]) -> None:
+        self.name = name
+        self.tags = tags
+        self._open = None
+
+    def __enter__(self) -> "_Span":
+        collector = _state.trace
+        if collector is not None:
+            self._open = collector.start(self.name, self.tags)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._open is not None:
+            _state.trace.finish(self._open)
+            self._open = None
+
+    def __call__(self, fn):
+        name, tags = self.name, self.tags
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with _Span(name, tags):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+
+def span(name: str, **tags: object) -> _Span:
+    """Time a named phase: ``with span("mcf.solve", arcs=n): ...``.
+
+    No-op (beyond object construction) unless a trace collector is
+    active — i.e. inside :func:`trial_scope` with observability
+    configured.  Also usable as a decorator: ``@span("mcf.solve")``.
+    """
+    return _Span(name, tags)
+
+
+# -- sidecar writing ----------------------------------------------------------
+
+
+def _append_line(path: str, payload: Mapping[str, object]) -> None:
+    """Append one canonical JSON line with a single O_APPEND write.
+
+    A whole-line single ``os.write`` keeps concurrent sweep workers from
+    interleaving bytes; ``allow_nan=False`` keeps the sidecar parseable
+    by strict JSON readers (the ``perf`` aggregator refuses NaN).
+    """
+    line = json.dumps(payload, sort_keys=True, allow_nan=False) + "\n"
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line.encode("utf-8"))
+    finally:
+        os.close(fd)
+
+
+def _rusage() -> tuple:
+    """(cpu_seconds, max_rss_kb) for this process; (process_time, 0) where
+    the ``resource`` module is unavailable (non-POSIX)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return time.process_time(), 0
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    rss_kb = usage.ru_maxrss
+    import sys
+
+    if sys.platform == "darwin":  # pragma: no cover - ru_maxrss is bytes there
+        rss_kb //= 1024
+    return usage.ru_utime + usage.ru_stime, int(rss_kb)
+
+
+#: Span name of the per-trial root; its self time is reported as the
+#: ``overhead`` phase (trial time not inside any named span).
+TRIAL_SPAN = "trial"
+OVERHEAD_PHASE = "overhead"
+
+
+@contextlib.contextmanager
+def trial_scope(
+    experiment: str,
+    *,
+    key: str = "",
+    index: int = -1,
+    seed: int = 0,
+) -> Iterator[Optional[TraceCollector]]:
+    """Instrument one trial: fresh registry + collector, sidecar on exit.
+
+    When observability is off this yields ``None`` and does nothing
+    else.  When on, the scope activates a fresh per-trial registry and
+    trace collector (so per-trial counter snapshots are independent of
+    which worker ran the trial), opens a root ``trial`` span, and on
+    exit — success *or* failure — appends:
+
+    - one ``kind="trial"`` line to the metrics sidecar: counters,
+      per-phase self times, wall/CPU seconds, peak RSS;
+    - one ``kind="span"`` line per span to the trace sidecar.
+
+    Timing lives only in these sidecars; the trial's record (and hence
+    the content-addressed result hash) is never touched.
+    """
+    _ensure_env_init()
+    if not _state.active:
+        yield None
+        return
+    registry = MetricsRegistry()
+    collector = TraceCollector()
+    prev_registry, prev_trace = _state.registry, _state.trace
+    _state.registry, _state.trace = registry, collector
+    cpu0, _rss0 = _rusage()
+    root = collector.start(TRIAL_SPAN, {"experiment": experiment})
+    ok = True
+    try:
+        yield collector
+    except BaseException:
+        ok = False
+        raise
+    finally:
+        # Close any spans a mid-trial BaseException (e.g. the supervisor
+        # alarm firing inside a span start) left open, then the root.
+        collector.close_open(keep_depth=1)
+        collector.finish(root)
+        _state.registry, _state.trace = prev_registry, prev_trace
+        cpu1, rss_kb = _rusage()
+        try:
+            _write_trial_sidecar(
+                experiment, key=key, index=index, seed=seed, ok=ok,
+                registry=registry, collector=collector,
+                cpu_s=max(0.0, cpu1 - cpu0), max_rss_kb=rss_kb,
+            )
+        except Exception:
+            # Sidecar I/O must never take a trial down with it, and it
+            # must never mask the trial's own exception.
+            if ok:
+                raise
+
+
+def _write_trial_sidecar(
+    experiment: str,
+    *,
+    key: str,
+    index: int,
+    seed: int,
+    ok: bool,
+    registry: MetricsRegistry,
+    collector: TraceCollector,
+    cpu_s: float,
+    max_rss_kb: int,
+) -> None:
+    root = next(s for s in collector.spans if s.name == TRIAL_SPAN)
+    phases, phase_calls = collector.self_times()
+    # The root's self time is the trial's "everything else" bucket.
+    phases[OVERHEAD_PHASE] = phases.pop(TRIAL_SPAN, 0.0)
+    phase_calls[OVERHEAD_PHASE] = phase_calls.pop(TRIAL_SPAN, 1)
+    if _state.metrics_path is not None:
+        snapshot = registry.snapshot()
+        _append_line(_state.metrics_path, {
+            "kind": "trial",
+            "experiment": experiment,
+            "key": key,
+            "index": index,
+            "seed": seed,
+            "ok": ok,
+            "wall_s": root.dur_s,
+            "cpu_s": cpu_s,
+            "max_rss_kb": max_rss_kb,
+            "counters": snapshot["counters"],
+            "gauges": snapshot["gauges"],
+            "histograms": snapshot["histograms"],
+            "phases": {name: phases[name] for name in sorted(phases)},
+            "phase_calls": {
+                name: phase_calls[name] for name in sorted(phase_calls)
+            },
+        })
+    if _state.trace_path is not None:
+        for record in collector.ordered_spans():
+            payload = record.to_dict()
+            payload.update({
+                "kind": "span",
+                "experiment": experiment,
+                "trial": key,
+                "index": index,
+            })
+            _append_line(_state.trace_path, payload)
+
+
+def write_sweep_summary(
+    *,
+    experiment: str,
+    trials: int,
+    executed: int,
+    cache_hits: int,
+    elapsed_s: float,
+    workers: int,
+    quarantined: int = 0,
+    respawns: int = 0,
+) -> None:
+    """Append one ``kind="sweep"`` accounting line to the metrics sidecar.
+
+    Called by the sweep runner after every run so ``perf`` and the
+    ``--report`` timing table can show cache hit rates alongside phase
+    timings.  A no-op when no metrics path is configured.
+    """
+    _ensure_env_init()
+    if _state.metrics_path is None:
+        return
+    total = executed + cache_hits
+    _append_line(_state.metrics_path, {
+        "kind": "sweep",
+        "experiment": experiment,
+        "trials": trials,
+        "executed": executed,
+        "cache_hits": cache_hits,
+        "cache_hit_rate": (cache_hits / total) if total else 0.0,
+        "elapsed_s": elapsed_s,
+        "workers": workers,
+        "quarantined": quarantined,
+        "respawns": respawns,
+    })

@@ -1,0 +1,330 @@
+"""Aggregate metrics/trace sidecar JSONL into a phase breakdown.
+
+Feeds the ``poc-repro perf`` subcommand and the ``sweep --report``
+timing table.  The aggregator accepts either sidecar format (or a mix):
+
+- ``kind="trial"`` lines (metrics sidecar): per-trial wall/CPU/RSS plus
+  per-phase *self* times already computed by the trial scope;
+- ``kind="span"`` lines (trace sidecar): reconstructed into the same
+  per-trial phase totals (the root ``trial`` span's self time becomes
+  the ``overhead`` phase);
+- ``kind="sweep"`` lines: cache-hit accounting, latest line per
+  experiment wins.
+
+Parsing is strict on purpose: NaN/Infinity tokens and corrupt lines
+raise :class:`~repro.exceptions.ObservabilityError` — a telemetry file
+that cannot round-trip through ``allow_nan=False`` JSON indicates an
+instrumentation bug and must fail loudly, not average quietly.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ObservabilityError
+from repro.obs import OVERHEAD_PHASE, TRIAL_SPAN
+from repro.sweeps.aggregate import percentile
+
+
+def _reject_constant(token: str) -> float:
+    raise ObservabilityError(
+        f"telemetry contains a non-finite JSON token ({token}); sidecars "
+        "are written allow_nan=False, so this file is corrupt"
+    )
+
+
+def load_jsonl(path: Union[str, pathlib.Path]) -> List[Dict[str, object]]:
+    """Parse one sidecar file, strictly (no NaN, no torn lines)."""
+    path = pathlib.Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ObservabilityError(f"cannot read telemetry file {path}: {exc}")
+    lines: List[Dict[str, object]] = []
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line, parse_constant=_reject_constant)
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(
+                f"{path}:{line_no}: corrupt telemetry line: {exc}"
+            )
+        if not isinstance(payload, dict):
+            raise ObservabilityError(
+                f"{path}:{line_no}: telemetry line is not an object"
+            )
+        lines.append(payload)
+    return lines
+
+
+@dataclass(frozen=True)
+class PhaseStat:
+    """One phase (span name) aggregated across trials."""
+
+    name: str
+    total_s: float
+    calls: int
+    trials: int
+    p50_s: float  # median of per-trial phase totals
+    p95_s: float
+
+    def share_of(self, total_wall_s: float) -> float:
+        if total_wall_s <= 0:
+            return 0.0
+        return self.total_s / total_wall_s
+
+
+@dataclass(frozen=True)
+class TrialTiming:
+    """One trial's timing row (for the slowest-trials table)."""
+
+    experiment: str
+    index: int
+    key: str
+    wall_s: float
+    cpu_s: float
+    max_rss_kb: int
+    ok: bool
+
+
+@dataclass
+class PerfReport:
+    """Everything the phase-breakdown report shows."""
+
+    trials: List[TrialTiming] = field(default_factory=list)
+    phases: List[PhaseStat] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+    sweeps: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    @property
+    def total_wall_s(self) -> float:
+        return sum(t.wall_s for t in self.trials)
+
+    @property
+    def attributed_s(self) -> float:
+        return sum(p.total_s for p in self.phases)
+
+    @property
+    def attributed_fraction(self) -> float:
+        """Fraction of trial wall time inside named phases (incl. overhead).
+
+        By construction ≈ 1.0: per-trial self times partition the root
+        span exactly, so anything below ~1 indicates clock skew between
+        the root span and its children (or a truncated sidecar).
+        """
+        total = self.total_wall_s
+        if total <= 0:
+            return 1.0
+        return min(1.0, self.attributed_s / total)
+
+    def experiments(self) -> List[str]:
+        return sorted({t.experiment for t in self.trials})
+
+    def slowest(self, count: int = 5) -> List[TrialTiming]:
+        return sorted(
+            self.trials, key=lambda t: (-t.wall_s, t.experiment, t.index)
+        )[:count]
+
+
+def _trials_from_span_lines(
+    span_lines: Sequence[Mapping[str, object]],
+) -> Tuple[List[TrialTiming], Dict[Tuple[str, str], Dict[str, float]],
+           Dict[Tuple[str, str], Dict[str, int]]]:
+    """Rebuild per-trial wall time and phase self-times from a trace file."""
+    trials: List[TrialTiming] = []
+    phases: Dict[Tuple[str, str], Dict[str, float]] = {}
+    calls: Dict[Tuple[str, str], Dict[str, int]] = {}
+    for line in span_lines:
+        experiment = str(line.get("experiment", ""))
+        trial_key = str(line.get("trial", ""))
+        name = str(line.get("name", ""))
+        self_s = float(line.get("self_s", 0.0))
+        ident = (experiment, trial_key)
+        phase_name = OVERHEAD_PHASE if name == TRIAL_SPAN else name
+        bucket = phases.setdefault(ident, {})
+        bucket[phase_name] = bucket.get(phase_name, 0.0) + self_s
+        cbucket = calls.setdefault(ident, {})
+        cbucket[phase_name] = cbucket.get(phase_name, 0) + 1
+        if name == TRIAL_SPAN:
+            trials.append(TrialTiming(
+                experiment=experiment,
+                index=int(line.get("index", -1)),
+                key=trial_key,
+                wall_s=float(line.get("dur_s", 0.0)),
+                cpu_s=0.0,
+                max_rss_kb=0,
+                ok=True,
+            ))
+    return trials, phases, calls
+
+
+def aggregate_perf(lines: Sequence[Mapping[str, object]]) -> PerfReport:
+    """Fold sidecar lines (metrics and/or trace) into a :class:`PerfReport`."""
+    report = PerfReport()
+    # (experiment, key) -> phase -> seconds / calls, one entry per trial.
+    trial_phases: Dict[Tuple[str, str], Dict[str, float]] = {}
+    trial_calls: Dict[Tuple[str, str], Dict[str, int]] = {}
+    span_lines: List[Mapping[str, object]] = []
+    seen_trial_keys = set()
+
+    for line in lines:
+        kind = line.get("kind")
+        if kind == "trial":
+            ident = (str(line.get("experiment", "")), str(line.get("key", "")))
+            seen_trial_keys.add(ident)
+            report.trials.append(TrialTiming(
+                experiment=ident[0],
+                index=int(line.get("index", -1)),
+                key=ident[1],
+                wall_s=float(line.get("wall_s", 0.0)),
+                cpu_s=float(line.get("cpu_s", 0.0)),
+                max_rss_kb=int(line.get("max_rss_kb", 0)),
+                ok=bool(line.get("ok", True)),
+            ))
+            phases = line.get("phases")
+            if isinstance(phases, Mapping):
+                bucket = trial_phases.setdefault(ident, {})
+                for name, seconds in phases.items():
+                    bucket[name] = bucket.get(name, 0.0) + float(seconds)
+            phase_calls = line.get("phase_calls")
+            if isinstance(phase_calls, Mapping):
+                cbucket = trial_calls.setdefault(ident, {})
+                for name, count in phase_calls.items():
+                    cbucket[name] = cbucket.get(name, 0) + int(count)
+            counters = line.get("counters")
+            if isinstance(counters, Mapping):
+                for name, value in counters.items():
+                    report.counters[name] = (
+                        report.counters.get(name, 0) + value
+                    )
+        elif kind == "span":
+            span_lines.append(line)
+        elif kind == "sweep":
+            report.sweeps[str(line.get("experiment", ""))] = dict(line)
+
+    if span_lines:
+        span_trials, span_phases, span_calls = _trials_from_span_lines(span_lines)
+        # Metrics lines are authoritative; trace lines only fill in
+        # trials the metrics sidecar does not cover (e.g. perf over a
+        # trace file alone).
+        for trial in span_trials:
+            ident = (trial.experiment, trial.key)
+            if ident not in seen_trial_keys:
+                report.trials.append(trial)
+        for ident, bucket in span_phases.items():
+            if ident not in seen_trial_keys:
+                trial_phases[ident] = bucket
+                trial_calls[ident] = span_calls.get(ident, {})
+
+    # Per-phase aggregation across trials.
+    by_phase: Dict[str, List[float]] = {}
+    call_totals: Dict[str, int] = {}
+    phase_trials: Dict[str, int] = {}
+    for ident, bucket in trial_phases.items():
+        for name, seconds in bucket.items():
+            by_phase.setdefault(name, []).append(seconds)
+            phase_trials[name] = phase_trials.get(name, 0) + 1
+            call_totals[name] = (
+                call_totals.get(name, 0)
+                + trial_calls.get(ident, {}).get(name, 0)
+            )
+    for name in sorted(by_phase):
+        values = sorted(by_phase[name])
+        report.phases.append(PhaseStat(
+            name=name,
+            total_s=sum(values),
+            calls=call_totals.get(name, 0),
+            trials=phase_trials.get(name, 0),
+            p50_s=percentile(values, 50.0),
+            p95_s=percentile(values, 95.0),
+        ))
+    report.phases.sort(key=lambda p: (-p.total_s, p.name))
+    return report
+
+
+def format_perf(report: PerfReport, *, top: int = 5) -> str:
+    """The human-readable phase breakdown, slowest trials, cache rates."""
+    if not report.trials and not report.phases:
+        raise ObservabilityError(
+            "no trial or span telemetry to report; run a sweep with "
+            "--metrics/--trace first"
+        )
+    total = report.total_wall_s
+    experiments = ", ".join(report.experiments()) or "?"
+    lines = [
+        f"perf — {len(report.trials)} trial(s) [{experiments}]  "
+        f"total wall {total:.3f}s  "
+        f"attributed {100.0 * report.attributed_fraction:.1f}%",
+    ]
+    header = (f"{'phase':<24} {'total_s':>10} {'share':>7} {'calls':>7} "
+              f"{'p50_ms':>9} {'p95_ms':>9}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for phase in report.phases:
+        lines.append(
+            f"{phase.name:<24} {phase.total_s:>10.4f} "
+            f"{100.0 * phase.share_of(total):>6.1f}% {phase.calls:>7} "
+            f"{1000.0 * phase.p50_s:>9.2f} {1000.0 * phase.p95_s:>9.2f}"
+        )
+    slowest = report.slowest(top)
+    if slowest:
+        lines.append("slowest trials:")
+        for trial in slowest:
+            key = f"{trial.key[:12]}…" if trial.key else "—"
+            rss = f"  rss {trial.max_rss_kb / 1024.0:.0f}MB" if trial.max_rss_kb else ""
+            flag = "" if trial.ok else "  [failed]"
+            lines.append(
+                f"  [{trial.experiment}] trial {trial.index} {key}  "
+                f"wall {trial.wall_s * 1000.0:.1f}ms  "
+                f"cpu {trial.cpu_s * 1000.0:.1f}ms{rss}{flag}"
+            )
+    for experiment in sorted(report.sweeps):
+        sweep = report.sweeps[experiment]
+        lines.append(
+            f"sweep [{experiment}]: trials={sweep.get('trials')} "
+            f"executed={sweep.get('executed')} "
+            f"cache_hits={sweep.get('cache_hits')} "
+            f"hit_rate={100.0 * float(sweep.get('cache_hit_rate', 0.0)):.1f}% "
+            f"workers={sweep.get('workers')} "
+            f"elapsed={float(sweep.get('elapsed_s', 0.0)):.2f}s"
+        )
+    return "\n".join(lines)
+
+
+def perf_json(report: PerfReport) -> str:
+    """Canonical JSON of the breakdown (sorted keys, no NaN)."""
+    total = report.total_wall_s
+    payload = {
+        "trials": len(report.trials),
+        "experiments": report.experiments(),
+        "total_wall_s": total,
+        "attributed_fraction": report.attributed_fraction,
+        "phases": [
+            {
+                "name": p.name,
+                "total_s": p.total_s,
+                "share": p.share_of(total),
+                "calls": p.calls,
+                "trials": p.trials,
+                "p50_s": p.p50_s,
+                "p95_s": p.p95_s,
+            }
+            for p in report.phases
+        ],
+        "counters": dict(sorted(report.counters.items())),
+        "sweeps": {name: report.sweeps[name] for name in sorted(report.sweeps)},
+    }
+    return json.dumps(payload, sort_keys=True, allow_nan=False, indent=2)
+
+
+def load_perf(paths: Sequence[Union[str, pathlib.Path]]) -> PerfReport:
+    """Read one or more sidecar files and aggregate them."""
+    lines: List[Dict[str, object]] = []
+    for path in paths:
+        lines.extend(load_jsonl(path))
+    return aggregate_perf(lines)

@@ -1,0 +1,212 @@
+"""Process-local metrics: counters, gauges, fixed-bucket histograms.
+
+The registry is deliberately minimal and deterministic:
+
+- **counters** accumulate integer/float increments (monotone by
+  convention; the registry does not enforce it beyond rejecting
+  non-finite increments);
+- **gauges** hold the last value set;
+- **histograms** count observations into *fixed* buckets declared at
+  first observation — no adaptive resizing, so two runs that observe
+  the same values produce byte-identical snapshots.
+
+Snapshots serialize to sorted-key JSON with ``allow_nan=False``, which
+makes them assertable in tests and diffable across runs: any NaN/inf
+sneaking into a metric is an error at serialization time, never a
+silent ``NaN`` in a report.
+
+:class:`NullRegistry` is the zero-overhead disabled form: every mutator
+is a no-op ``pass``, so instrumented hot paths cost one attribute lookup
+and one short call when observability is off.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import ObservabilityError
+
+#: Default histogram buckets (seconds): microseconds to a minute.  The
+#: last bucket is open-ended (the serialized form has one more count
+#: than bucket bounds — the overflow bin).
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+
+def _require_finite(kind: str, name: str, value: float) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ObservabilityError(
+            f"{kind} {name!r} needs a number, got {value!r}"
+        )
+    if not math.isfinite(value):
+        raise ObservabilityError(
+            f"{kind} {name!r} got a non-finite value: {value!r}"
+        )
+    return float(value)
+
+
+class _Histogram:
+    """Fixed-bucket histogram: counts per upper bound plus an overflow bin."""
+
+    __slots__ = ("bounds", "counts", "count", "total")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ObservabilityError(
+                f"histogram buckets must be strictly increasing, got {bounds!r}"
+            )
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "buckets": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+        }
+
+
+class MetricsRegistry:
+    """A process-local bag of named metrics with deterministic snapshots."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, _Histogram] = {}
+
+    # -- mutators -------------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to counter ``name`` (created at 0)."""
+        value = _require_finite("counter", name, value)
+        self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self._gauges[name] = _require_finite("gauge", name, value)
+
+    def observe(
+        self, name: str, value: float,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        """Record ``value`` into histogram ``name``.
+
+        The bucket bounds are fixed by the *first* observation; later
+        calls with different bounds are an error (silently re-bucketing
+        would break snapshot determinism).
+        """
+        value = _require_finite("histogram", name, value)
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = _Histogram(buckets)
+        elif tuple(float(b) for b in buckets) != hist.bounds:
+            raise ObservabilityError(
+                f"histogram {name!r} was created with buckets {hist.bounds}, "
+                f"cannot observe with {tuple(buckets)}"
+            )
+        hist.observe(value)
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # -- reads ----------------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    def gauge(self, name: str) -> Optional[float]:
+        return self._gauges.get(name)
+
+    @property
+    def empty(self) -> bool:
+        return not (self._counters or self._gauges or self._histograms)
+
+    def counters(self) -> Dict[str, float]:
+        """Counter snapshot with int-valued counts emitted as ints."""
+        return {
+            name: int(v) if float(v).is_integer() else v
+            for name, v in sorted(self._counters.items())
+        }
+
+    def snapshot(self) -> Dict[str, object]:
+        """The full registry as plain sorted data (JSON-ready)."""
+        return {
+            "counters": self.counters(),
+            "gauges": dict(sorted(self._gauges.items())),
+            "histograms": {
+                name: hist.to_dict()
+                for name, hist in sorted(self._histograms.items())
+            },
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialization: sorted keys, NaN/inf rejected."""
+        try:
+            return json.dumps(self.snapshot(), sort_keys=True, allow_nan=False)
+        except ValueError as exc:  # pragma: no cover - mutators reject non-finite
+            raise ObservabilityError(f"metrics snapshot not serializable: {exc}")
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in (counters add, gauges last-write-wins,
+        histograms require identical buckets)."""
+        for name, value in other._counters.items():
+            self._counters[name] = self._counters.get(name, 0.0) + value
+        self._gauges.update(other._gauges)
+        for name, hist in other._histograms.items():
+            mine = self._histograms.get(name)
+            if mine is None:
+                mine = self._histograms[name] = _Histogram(hist.bounds)
+            elif mine.bounds != hist.bounds:
+                raise ObservabilityError(
+                    f"cannot merge histogram {name!r}: bucket mismatch"
+                )
+            mine.count += hist.count
+            mine.total += hist.total
+            for i, c in enumerate(hist.counts):
+                mine.counts[i] += c
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled registry: every write is a no-op, every read is empty.
+
+    A shared singleton of this class is the active registry whenever
+    observability is off, so instrumentation in hot paths (MCF build,
+    MILP solve, dataplane allocation) costs one attribute lookup and a
+    ``pass`` — and can never accumulate state across runs.
+    """
+
+    enabled = False
+
+    def inc(self, name: str, value: float = 1) -> None:  # noqa: D102
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:  # noqa: D102
+        pass
+
+    def observe(
+        self, name: str, value: float,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> None:  # noqa: D102
+        pass
+
+
+#: The shared disabled registry (never holds state; see class docstring).
+NULL_REGISTRY = NullRegistry()

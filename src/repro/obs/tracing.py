@@ -1,0 +1,150 @@
+"""Span-based tracing on the monotonic clock.
+
+A :class:`TraceCollector` records a tree of named spans per trial.  All
+timing uses ``time.perf_counter()`` (monotonic, highest available
+resolution) — wall-clock time never enters elapsed math, so an NTP step
+mid-solve cannot produce a negative or inflated duration.
+
+Each finished span knows its *inclusive* duration and its *self* time
+(inclusive minus direct children), which is what phase attribution
+wants: time inside ``mcf.solve`` must not be double-counted against the
+enclosing ``auction.pivot``.  Self times per span name therefore
+partition the root span's duration exactly — the ``perf`` report's
+"attributes 100% of trial wall time" property is by construction, not
+by luck.
+
+Spans are recorded through :func:`repro.obs.span`, which resolves the
+active collector at ``__enter__`` time and is a shared no-op when
+tracing is off.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.exceptions import ObservabilityError
+
+#: Span tag values must be JSON scalars so trace lines encode canonically.
+_TAG_SCALARS = (str, int, float, bool, type(None))
+
+
+def _clean_tags(tags: Mapping[str, object]) -> Dict[str, object]:
+    return {
+        key: value if isinstance(value, _TAG_SCALARS) else str(value)
+        for key, value in tags.items()
+    }
+
+
+@dataclass
+class SpanRecord:
+    """One finished span."""
+
+    index: int  # start order, 0-based; stable across identical runs
+    name: str
+    t0_s: float  # start offset from the collector's origin
+    dur_s: float  # inclusive duration
+    self_s: float  # duration minus direct children
+    depth: int  # 0 = root
+    parent: int  # parent span index, -1 for the root
+    tags: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "span": self.index,
+            "name": self.name,
+            "t0_s": self.t0_s,
+            "dur_s": self.dur_s,
+            "self_s": self.self_s,
+            "depth": self.depth,
+            "parent": self.parent,
+            "tags": self.tags,
+        }
+
+
+class _OpenSpan:
+    __slots__ = ("index", "name", "started", "t0_s", "parent", "tags", "child_s")
+
+    def __init__(self, index, name, started, t0_s, parent, tags) -> None:
+        self.index = index
+        self.name = name
+        self.started = started
+        self.t0_s = t0_s
+        self.parent = parent
+        self.tags = tags
+        self.child_s = 0.0
+
+
+class TraceCollector:
+    """Collects one process-local tree (or forest) of spans."""
+
+    def __init__(self) -> None:
+        self._origin = time.perf_counter()
+        self._stack: List[_OpenSpan] = []
+        self._next_index = 0
+        self.spans: List[SpanRecord] = []
+
+    def start(self, name: str, tags: Mapping[str, object]) -> _OpenSpan:
+        now = time.perf_counter()
+        open_span = _OpenSpan(
+            index=self._next_index,
+            name=name,
+            started=now,
+            t0_s=now - self._origin,
+            parent=self._stack[-1].index if self._stack else -1,
+            tags=_clean_tags(tags) if tags else {},
+        )
+        self._next_index += 1
+        self._stack.append(open_span)
+        return open_span
+
+    def finish(self, open_span: _OpenSpan) -> SpanRecord:
+        if not self._stack or self._stack[-1] is not open_span:
+            raise ObservabilityError(
+                f"span {open_span.name!r} finished out of order; spans must "
+                "nest (exit the innermost span first)"
+            )
+        self._stack.pop()
+        dur = time.perf_counter() - open_span.started
+        if self._stack:
+            self._stack[-1].child_s += dur
+        record = SpanRecord(
+            index=open_span.index,
+            name=open_span.name,
+            t0_s=open_span.t0_s,
+            dur_s=dur,
+            self_s=max(0.0, dur - open_span.child_s),
+            depth=len(self._stack),
+            parent=open_span.parent,
+            tags=open_span.tags,
+        )
+        self.spans.append(record)
+        return record
+
+    @property
+    def open_depth(self) -> int:
+        return len(self._stack)
+
+    def close_open(self, *, keep_depth: int = 0) -> None:
+        """Finish still-open spans innermost-first down to ``keep_depth``.
+
+        Used when an exception (trial timeout, solver failure) unwinds
+        past ``with span(...)`` blocks that a ``BaseException`` skipped,
+        so the trace stays balanced and self-times stay exact.
+        """
+        while len(self._stack) > keep_depth:
+            self.finish(self._stack[-1])
+
+    def ordered_spans(self) -> List[SpanRecord]:
+        """Spans in start order (finish order puts children first)."""
+        return sorted(self.spans, key=lambda s: s.index)
+
+    def self_times(self) -> Tuple[Dict[str, float], Dict[str, int]]:
+        """Per-name self time and call counts over all finished spans."""
+        totals: Dict[str, float] = {}
+        calls: Dict[str, int] = {}
+        for span in self.spans:
+            totals[span.name] = totals.get(span.name, 0.0) + span.self_s
+            calls[span.name] = calls.get(span.name, 0) + 1
+        return totals, calls

@@ -204,6 +204,18 @@ def _seed_worker_globals(trial_seed: int) -> None:
     np.random.seed(trial_seed % 2**32)
 
 
+def _format_wall(wall_s: float) -> str:
+    """Render a wall-clock stamp for incident records (reporting only —
+    elapsed/deadline math never touches wall time)."""
+    from datetime import datetime, timezone
+
+    try:
+        stamp = datetime.fromtimestamp(wall_s, tz=timezone.utc)
+    except (OverflowError, OSError, ValueError):
+        return f"at unix {wall_s:.0f}"
+    return stamp.strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
 def _write_heartbeat(path: str, payload: Dict[str, object]) -> None:
     """Atomically publish this worker's current state for the watchdog."""
     try:
@@ -264,6 +276,12 @@ def _worker_main(
         index, _params, _seed, key = task
         _write_heartbeat(heartbeat_path, {
             "pid": os.getpid(), "busy": True, "index": index, "key": key,
+            # Elapsed-time math uses the monotonic stamp (CLOCK_MONOTONIC is
+            # shared across processes on the same boot, so the parent's
+            # monotonic clock is directly comparable); the wall stamp is kept
+            # purely for human-readable incident records — an NTP step or a
+            # manual clock change must never look like a hung trial.
+            "started_mono": time.monotonic(),
             "started_wall": time.time(),
         })
         started = time.monotonic()
@@ -385,7 +403,9 @@ class TrialSupervisor:
         self.last_outcome: Optional[SupervisionOutcome] = None
         self._lock = threading.Lock()
         self._workers: Dict[int, _Worker] = {}
-        self._hung: Dict[int, float] = {}  # worker_id -> overrun seconds
+        # worker_id -> (overrun seconds, wall-clock trial start or None).
+        # The wall stamp feeds the human-readable incident detail only.
+        self._hung: Dict[int, Tuple[float, Optional[float]]] = {}
         self._watchdog_stop = threading.Event()
 
     # -- shared bookkeeping ---------------------------------------------------
@@ -648,7 +668,10 @@ class TrialSupervisor:
         assert self.trial_timeout_s is not None
         deadline = self.trial_timeout_s + self.watchdog_grace_s
         while not self._watchdog_stop.wait(self.poll_interval_s):
-            now_wall = time.time()
+            # Deadline math runs entirely on the monotonic clock: worker
+            # heartbeats stamp started_mono (comparable across processes on
+            # the same boot), so a wall-clock step (NTP, manual change)
+            # cannot fire a spurious kill or mask a real hang.
             now_mono = time.monotonic()
             with self._lock:
                 workers = dict(self._workers)
@@ -656,20 +679,26 @@ class TrialSupervisor:
                 if worker.busy_index is None or not worker.process.is_alive():
                     continue
                 overrun: Optional[float] = None
+                started_wall: Optional[float] = None
                 beat = _read_heartbeat(worker.heartbeat_path)
                 if beat and beat.get("busy") and isinstance(
-                    beat.get("started_wall"), (int, float)
+                    beat.get("started_mono"), (int, float)
                 ):
-                    hb_elapsed = now_wall - float(beat["started_wall"])
+                    hb_elapsed = now_mono - float(beat["started_mono"])
                     if hb_elapsed > deadline:
                         overrun = hb_elapsed - self.trial_timeout_s
+                        # Wall stamp is reporting-only: it names *when* the
+                        # trial started for the incident record, never how
+                        # long it has been running.
+                        if isinstance(beat.get("started_wall"), (int, float)):
+                            started_wall = float(beat["started_wall"])
                 if overrun is None and worker.busy_since:
                     dispatch_elapsed = now_mono - worker.busy_since
                     if dispatch_elapsed > deadline:
                         overrun = dispatch_elapsed - self.trial_timeout_s
                 if overrun is not None:
                     with self._lock:
-                        self._hung[worker_id] = overrun
+                        self._hung[worker_id] = (overrun, started_wall)
                     worker.process.kill()
 
     def _run_pool(self, tasks: List[TrialTask], outcome: SupervisionOutcome) -> None:
@@ -754,17 +783,25 @@ class TrialSupervisor:
             for worker_id, worker in dead:
                 exitcode = worker.process.exitcode
                 with self._lock:
-                    overrun = self._hung.pop(worker_id, None)
+                    hung = self._hung.pop(worker_id, None)
                     busy_index = worker.busy_index
                     del self._workers[worker_id]
+                overrun = hung[0] if hung is not None else None
                 failure_kind = "hang" if overrun is not None else "crash"
                 if busy_index is not None and busy_index in in_flight:
                     task = in_flight.pop(busy_index)
                     attempts[busy_index] = attempts.get(busy_index, 0) + 1
                     if overrun is not None:
+                        started_wall = hung[1] if hung is not None else None
+                        started_at = (
+                            "" if started_wall is None else
+                            "; trial started "
+                            + _format_wall(started_wall)
+                        )
                         detail = repr(TrialTimeoutError(
                             busy_index, float(self.trial_timeout_s or 0.0),
-                            f"watchdog killed worker {overrun:.1f}s past deadline",
+                            f"watchdog killed worker {overrun:.1f}s past "
+                            f"deadline{started_at}",
                         ))
                     else:
                         detail = repr(WorkerCrashError(busy_index, exitcode))

@@ -55,10 +55,24 @@ class MetricStat:
         n = len(values)
         mean = math.fsum(values) / n
         if n > 1:
-            var = math.fsum((v - mean) ** 2 for v in values) / (n - 1)
+            try:
+                # Clamp guards against any float rounding pushing the sum of
+                # squares fractionally negative (all-equal values must yield
+                # exactly std=0/ci95=0, never a NaN from sqrt of -0.0-ish).
+                var = max(0.0, math.fsum((v - mean) ** 2 for v in values) / (n - 1))
+            except OverflowError:
+                raise SweepError(
+                    f"metric summary overflowed computing variance of {n} "
+                    "values; values too large to aggregate"
+                ) from None
             std = math.sqrt(var)
         else:
             std = 0.0
+        if not (math.isfinite(mean) and math.isfinite(std)):
+            raise SweepError(
+                f"metric summary overflowed (mean={mean!r}, std={std!r}); "
+                "values too large to aggregate"
+            )
         ordered = sorted(values)
         return cls(
             n=n,

@@ -30,6 +30,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.exceptions import InvariantViolation, ReproError, SweepError
 from repro.experiments.pipeline import PipelineCheckpoint
 from repro.rand import derive_seed
@@ -179,7 +180,7 @@ def _run_trial_with_retry(
     re-raised as :class:`SweepError` (always picklable) naming the trial,
     so the parent can report which grid point is broken.
     """
-    index, params, seed, _key = task
+    index, params, seed, key = task
     exp = get_experiment(experiment_name)
 
     def attempt() -> Mapping[str, object]:
@@ -187,17 +188,19 @@ def _run_trial_with_retry(
         # respawned worker (or retried in place) is byte-identical to its
         # first-worker execution even if experiment code leaks global
         # randomness.
+        obs.metrics().inc("trial.attempts")
         _seed_worker_globals(seed)
         return exp.trial(params, seed)
 
     try:
-        record = call_with_retry(
-            attempt,
-            policy=retry,
-            retry_on=(ReproError,),
-            # Jitter is seeded from the trial so backoff is reproducible.
-            seed=derive_seed(seed, "retry-jitter"),
-        )
+        with obs.trial_scope(experiment_name, key=key, index=index, seed=seed):
+            record = call_with_retry(
+                attempt,
+                policy=retry,
+                retry_on=(ReproError,),
+                # Jitter is seeded from the trial so backoff is reproducible.
+                seed=derive_seed(seed, "retry-jitter"),
+            )
     except Exception as exc:
         raise SweepError(
             f"trial {index} (params={params!r}, seed={seed}) failed after "
@@ -636,6 +639,17 @@ class SweepRunner:
                     "executed": result.executed,
                     "cache_hits": result.cache_hits,
                 },
+            )
+        if obs.is_enabled():
+            obs.write_sweep_summary(
+                experiment=result.experiment,
+                trials=len(outcomes),
+                executed=result.executed,
+                cache_hits=result.cache_hits,
+                elapsed_s=result.elapsed_s,
+                workers=result.workers,
+                quarantined=len(result.quarantined),
+                respawns=result.respawns,
             )
         return result
 

@@ -83,7 +83,16 @@ class TrafficSampler:
                 if src == dst:
                     continue
                 samples = self._samples.get((src, dst))
-                if samples:
+                if samples is not None:
+                    if not samples:
+                        # np.percentile([]) would return NaN (with a runtime
+                        # warning) and silently poison the whole TM; an empty
+                        # list here means sampler state was corrupted, which
+                        # must fail loudly rather than become a NaN demand.
+                        raise TrafficError(
+                            f"pair {src}->{dst} has an empty sample list; "
+                            "cannot take a percentile of no samples"
+                        )
                     base = float(np.percentile(samples, config.percentile))
                     demands[(src, dst)] = base * config.safety_factor
                 elif config.unseen_floor_gbps > 0:

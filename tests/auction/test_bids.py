@@ -149,3 +149,38 @@ class TestAxiomChecker:
             check_cost_axioms(
                 Shrinking({"l1": 1.0, "l2": 1.0}), [["l1"], ["l1", "l2"]]
             )
+
+
+class TestSummationOrderDeterminism:
+    """Costs must be bit-identical regardless of subset iteration order.
+
+    Float addition is not associative, and frozenset iteration order
+    depends on PYTHONHASHSEED — summing link prices in set order made
+    VCG payments drift by ulps between interpreter runs, breaking the
+    byte-identity of sweep aggregates.  Costs now accumulate in sorted
+    link-id order.
+    """
+
+    # (0.1 + 0.2) + 0.3 != 0.3 + (0.2 + 0.1): a sum whose value depends
+    # on accumulation order.
+    PRICES = {"a": 0.1, "b": 0.2, "c": 0.3}
+    EXPECTED = (0.1 + 0.2) + 0.3  # sorted-order accumulation
+
+    def _subset_orderings(self):
+        return (["a", "b", "c"], ["c", "b", "a"], ["b", "c", "a"],
+                frozenset("abc"), set("cba"))
+
+    def test_additive_cost_is_order_independent(self):
+        fn = AdditiveCost(self.PRICES)
+        for subset in self._subset_orderings():
+            assert fn.cost(subset) == self.EXPECTED
+
+    def test_fixed_plus_additive_is_order_independent(self):
+        fn = FixedPlusAdditiveCost(self.PRICES, fixed=10.0)
+        for subset in self._subset_orderings():
+            assert fn.cost(subset) == 10.0 + self.EXPECTED
+
+    def test_volume_discount_base_is_order_independent(self):
+        fn = VolumeDiscountCost(self.PRICES, tiers=((2, 0.1),))
+        for subset in self._subset_orderings():
+            assert fn.cost(subset) == self.EXPECTED * 0.9

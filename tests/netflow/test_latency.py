@@ -84,3 +84,15 @@ class TestCompareBackbones:
         report = latency_report(backbone1)
         assert report.num_pairs > 0
         assert report.mean_stretch() >= 1.0  # zoo links have real geometry
+
+
+class TestEmptyRTTSet:
+    def test_percentile_of_empty_rtt_set_raises(self):
+        """Regression: an empty report must not claim a 0.0ms RTT — the
+        (0, 100] percentile contract requires at least one value."""
+        from repro.topology.graph import Network
+
+        report = latency_report(Network())
+        assert report.num_pairs == 0
+        with pytest.raises(FlowError, match="empty RTT set"):
+            report.percentile_rtt_ms(95.0)

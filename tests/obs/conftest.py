@@ -1,0 +1,19 @@
+"""Shared fixtures: every obs test starts and ends with obs disabled.
+
+Observability state is process-global (module-level ``_state`` plus the
+``REPRO_METRICS_PATH``/``REPRO_TRACE_PATH`` environment variables), so a
+test that configures it must never leak into the next test — or into the
+rest of the suite, where a stray metrics path would start writing
+sidecar files next to unrelated tests.
+"""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs_state():
+    obs.disable()
+    yield
+    obs.disable()

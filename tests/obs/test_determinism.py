@@ -1,0 +1,130 @@
+"""The observability layer must never perturb results.
+
+Three guarantees from the design:
+
+1. per-trial counter snapshots are identical whether a sweep ran
+   serially or on a worker pool (fresh registry per trial scope);
+2. the sweep aggregate JSON is byte-identical with and without
+   ``--metrics``/``--trace`` — telemetry is a sidecar, never part of
+   the result records;
+3. the ``perf`` report attributes (essentially all of) trial wall time
+   to named phases.
+"""
+
+import multiprocessing
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro import obs
+from repro.obs.perf import load_jsonl, load_perf
+from repro.sweeps.runner import run_sweep
+from repro.sweeps.spec import Axis, SweepSpec
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def _micro_spec(repeats=2):
+    return SweepSpec(axes=(Axis("preset", ("micro",)),), repeats=repeats)
+
+
+def _trial_counters(path):
+    """{(key, index): counters} from a metrics sidecar."""
+    return {
+        (line["key"], line["index"]): line["counters"]
+        for line in load_jsonl(path)
+        if line["kind"] == "trial"
+    }
+
+
+def _cli_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    # A sidecar path leaking in from the host environment would
+    # instrument the "uninstrumented" control run.
+    env.pop(obs.METRICS_ENV, None)
+    env.pop(obs.TRACE_ENV, None)
+    return env
+
+
+def _run_cli(args, cwd):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        cwd=str(cwd), env=_cli_env(),
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestWorkerIndependence:
+    @pytest.mark.skipif(not HAS_FORK, reason="fork start method unavailable")
+    def test_serial_and_pool_counters_identical(self, tmp_path):
+        serial_m = tmp_path / "serial.jsonl"
+        pool_m = tmp_path / "pool.jsonl"
+
+        obs.configure(metrics_path=str(serial_m), propagate=False)
+        serial = run_sweep("figure2", _micro_spec())
+        obs.configure(metrics_path=str(pool_m), propagate=False)
+        pooled = run_sweep("figure2", _micro_spec(), workers=2,
+                           start_method="fork")
+
+        assert serial.report_json() == pooled.report_json()
+        a, b = _trial_counters(serial_m), _trial_counters(pool_m)
+        assert set(a) == set(b) and len(a) == 2
+        assert a == b  # every trial's counter snapshot matches exactly
+        for counters in a.values():
+            assert counters["trial.attempts"] == 1
+            assert counters["mcf.solves"] > 0
+
+
+class TestByteIdenticalAggregates:
+    def test_sweep_json_unchanged_by_obs_flags(self, tmp_path):
+        base = ["sweep", "--experiment", "figure2", "--preset", "micro",
+                "--repeats", "2", "--json"]
+        plain = _run_cli(base, tmp_path)
+        instrumented = _run_cli(
+            base + ["--metrics", str(tmp_path / "m.jsonl"),
+                    "--trace", str(tmp_path / "t.jsonl")],
+            tmp_path,
+        )
+        assert plain == instrumented
+        # And the sidecars were actually written by the instrumented run.
+        kinds = {line["kind"] for line in load_jsonl(tmp_path / "m.jsonl")}
+        assert kinds == {"trial", "sweep"}
+
+    def test_in_process_obs_does_not_change_records(self, tmp_path):
+        plain = run_sweep("figure2", _micro_spec(repeats=1))
+        obs.configure(metrics_path=str(tmp_path / "m.jsonl"), propagate=False)
+        instrumented = run_sweep("figure2", _micro_spec(repeats=1))
+        assert plain.rows() == instrumented.rows()
+        assert plain.report_json() == instrumented.report_json()
+
+
+class TestPerfAttribution:
+    def test_attributes_at_least_90_percent_of_wall_time(self, tmp_path):
+        metrics = tmp_path / "m.jsonl"
+        obs.configure(metrics_path=str(metrics), propagate=False)
+        run_sweep("figure2", _micro_spec())
+        report = load_perf([metrics])
+        assert len(report.trials) == 2
+        assert report.attributed_fraction >= 0.90
+        phase_names = {p.name for p in report.phases}
+        assert "mcf.solve" in phase_names and "overhead" in phase_names
+
+    def test_perf_cli_end_to_end(self, tmp_path):
+        metrics = tmp_path / "m.jsonl"
+        _run_cli(
+            ["sweep", "--experiment", "figure2", "--preset", "micro",
+             "--metrics", str(metrics)],
+            tmp_path,
+        )
+        out = _run_cli(["perf", str(metrics)], tmp_path)
+        header = out.splitlines()[0]
+        assert header.startswith("perf —")
+        attributed = float(header.rsplit("attributed", 1)[1].strip().rstrip("%"))
+        assert attributed >= 90.0

@@ -1,0 +1,203 @@
+"""Sidecar writing (trial_scope) and the perf aggregator end to end."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.exceptions import ObservabilityError
+from repro.obs.perf import (
+    aggregate_perf,
+    format_perf,
+    load_jsonl,
+    load_perf,
+    perf_json,
+)
+
+
+def _trial_line(**over):
+    line = {
+        "kind": "trial",
+        "experiment": "exp",
+        "key": "k1",
+        "index": 0,
+        "seed": 7,
+        "ok": True,
+        "wall_s": 1.0,
+        "cpu_s": 0.9,
+        "max_rss_kb": 2048,
+        "counters": {"mcf.solves": 3},
+        "gauges": {},
+        "histograms": {},
+        "phases": {"overhead": 0.2, "mcf.solve": 0.8},
+        "phase_calls": {"overhead": 1, "mcf.solve": 3},
+    }
+    line.update(over)
+    return line
+
+
+class TestTrialScopeSidecars:
+    def test_writes_trial_and_span_lines(self, tmp_path):
+        m, t = tmp_path / "m.jsonl", tmp_path / "t.jsonl"
+        obs.configure(metrics_path=str(m), trace_path=str(t), propagate=False)
+        with obs.trial_scope("exp", key="abc", index=2, seed=11):
+            obs.metrics().inc("work.units", 5)
+            with obs.span("phase.a"):
+                pass
+        (trial,) = load_jsonl(m)
+        assert trial["kind"] == "trial"
+        assert trial["key"] == "abc" and trial["index"] == 2 and trial["seed"] == 11
+        assert trial["ok"] is True
+        assert trial["counters"] == {"work.units": 5}
+        assert set(trial["phases"]) == {"overhead", "phase.a"}
+        # Phase self times partition the trial wall time exactly.
+        assert sum(trial["phases"].values()) == pytest.approx(
+            trial["wall_s"], rel=1e-6
+        )
+        spans = load_jsonl(t)
+        assert [s["name"] for s in spans] == ["trial", "phase.a"]
+        assert all(s["kind"] == "span" and s["trial"] == "abc" for s in spans)
+
+    def test_failed_trial_still_writes_sidecar_and_reraises(self, tmp_path):
+        m = tmp_path / "m.jsonl"
+        obs.configure(metrics_path=str(m), propagate=False)
+        with pytest.raises(ValueError, match="boom"):
+            with obs.trial_scope("exp", key="bad"):
+                with obs.span("phase.a"):
+                    raise ValueError("boom")
+        (trial,) = load_jsonl(m)
+        assert trial["ok"] is False
+        assert "phase.a" in trial["phases"]  # span closed despite the raise
+
+    def test_disabled_scope_yields_none_and_writes_nothing(self, tmp_path):
+        with obs.trial_scope("exp", key="k") as collector:
+            assert collector is None
+            obs.metrics().inc("ignored")
+        assert not list(tmp_path.iterdir())
+
+    def test_registry_is_fresh_per_trial(self, tmp_path):
+        m = tmp_path / "m.jsonl"
+        obs.configure(metrics_path=str(m), propagate=False)
+        for key in ("k1", "k2"):
+            with obs.trial_scope("exp", key=key):
+                obs.metrics().inc("n")
+        first, second = load_jsonl(m)
+        assert first["counters"] == {"n": 1}
+        assert second["counters"] == {"n": 1}  # no carry-over between trials
+
+    def test_write_sweep_summary_line(self, tmp_path):
+        m = tmp_path / "m.jsonl"
+        obs.configure(metrics_path=str(m), propagate=False)
+        obs.write_sweep_summary(
+            experiment="exp", trials=4, executed=3, cache_hits=1,
+            elapsed_s=0.5, workers=2,
+        )
+        (line,) = load_jsonl(m)
+        assert line["kind"] == "sweep"
+        assert line["cache_hit_rate"] == pytest.approx(0.25)
+
+
+class TestLoadJsonl:
+    def test_rejects_nan_token(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text('{"kind": "trial", "wall_s": NaN}\n')
+        with pytest.raises(ObservabilityError, match="non-finite"):
+            load_jsonl(p)
+
+    def test_rejects_corrupt_line_with_location(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text('{"ok": true}\n{"torn": \n')
+        with pytest.raises(ObservabilityError, match="bad.jsonl:2"):
+            load_jsonl(p)
+
+    def test_rejects_non_object_line(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text("[1, 2]\n")
+        with pytest.raises(ObservabilityError, match="not an object"):
+            load_jsonl(p)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="cannot read"):
+            load_jsonl(tmp_path / "nope.jsonl")
+
+    def test_skips_blank_lines(self, tmp_path):
+        p = tmp_path / "ok.jsonl"
+        p.write_text('{"a": 1}\n\n{"b": 2}\n')
+        assert len(load_jsonl(p)) == 2
+
+
+class TestAggregatePerf:
+    def test_phase_breakdown_and_attribution(self):
+        report = aggregate_perf([
+            _trial_line(key="k1"),
+            _trial_line(key="k2", wall_s=2.0,
+                        phases={"overhead": 0.5, "mcf.solve": 1.5},
+                        phase_calls={"overhead": 1, "mcf.solve": 5}),
+        ])
+        assert report.total_wall_s == pytest.approx(3.0)
+        assert report.attributed_fraction == pytest.approx(1.0)
+        solve = next(p for p in report.phases if p.name == "mcf.solve")
+        assert solve.total_s == pytest.approx(2.3)
+        assert solve.calls == 8 and solve.trials == 2
+        assert report.counters["mcf.solves"] == 6
+        # Phases sort by total descending.
+        assert report.phases[0].name == "mcf.solve"
+
+    def test_span_lines_fill_in_missing_trials_only(self):
+        span_lines = [
+            {"kind": "span", "experiment": "exp", "trial": "k1", "name": "trial",
+             "dur_s": 9.0, "self_s": 9.0, "index": 0},
+            {"kind": "span", "experiment": "exp", "trial": "k9", "name": "trial",
+             "dur_s": 4.0, "self_s": 3.0, "index": 1},
+            {"kind": "span", "experiment": "exp", "trial": "k9", "name": "solve",
+             "dur_s": 1.0, "self_s": 1.0, "index": 2},
+        ]
+        report = aggregate_perf([_trial_line(key="k1")] + span_lines)
+        # k1's metrics line wins (wall 1.0, not the trace's 9.0); k9 comes
+        # from the trace alone.
+        walls = {t.key: t.wall_s for t in report.trials}
+        assert walls == {"k1": 1.0, "k9": 4.0}
+        overhead = next(p for p in report.phases if p.name == "overhead")
+        assert overhead.total_s == pytest.approx(0.2 + 3.0)
+
+    def test_latest_sweep_line_wins(self):
+        report = aggregate_perf([
+            {"kind": "sweep", "experiment": "exp", "cache_hits": 0},
+            {"kind": "sweep", "experiment": "exp", "cache_hits": 5},
+        ])
+        assert report.sweeps["exp"]["cache_hits"] == 5
+
+    def test_slowest_orders_by_wall(self):
+        report = aggregate_perf([
+            _trial_line(key="fast", index=0, wall_s=0.1),
+            _trial_line(key="slow", index=1, wall_s=5.0),
+        ])
+        assert [t.key for t in report.slowest(1)] == ["slow"]
+
+
+class TestFormatting:
+    def test_format_perf_empty_raises(self):
+        with pytest.raises(ObservabilityError, match="no trial or span"):
+            format_perf(aggregate_perf([]))
+
+    def test_format_perf_table(self):
+        text = format_perf(aggregate_perf([_trial_line()]))
+        assert "attributed 100.0%" in text
+        assert "mcf.solve" in text and "overhead" in text
+        assert "slowest trials:" in text
+
+    def test_failed_trial_flagged(self):
+        text = format_perf(aggregate_perf([_trial_line(ok=False)]))
+        assert "[failed]" in text
+
+    def test_perf_json_is_strict_and_sorted(self):
+        payload = json.loads(perf_json(aggregate_perf([_trial_line()])))
+        assert payload["trials"] == 1
+        assert payload["attributed_fraction"] == pytest.approx(1.0)
+        assert [p["name"] for p in payload["phases"]] == ["mcf.solve", "overhead"]
+
+    def test_load_perf_merges_files(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        a.write_text(json.dumps(_trial_line(key="k1")) + "\n")
+        b.write_text(json.dumps(_trial_line(key="k2")) + "\n")
+        assert len(load_perf([a, b]).trials) == 2

@@ -1,0 +1,130 @@
+"""MetricsRegistry: counters, gauges, histograms, canonical snapshots."""
+
+import json
+import math
+
+import pytest
+
+from repro.exceptions import ObservabilityError
+from repro.obs import DEFAULT_TIME_BUCKETS, MetricsRegistry, NullRegistry
+from repro.obs.registry import NULL_REGISTRY
+
+
+class TestCounters:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        reg.inc("mcf.solves")
+        reg.inc("mcf.solves", 2)
+        assert reg.counter("mcf.solves") == 3
+
+    def test_missing_counter_reads_zero(self):
+        assert MetricsRegistry().counter("never") == 0.0
+
+    def test_integral_counters_snapshot_as_ints(self):
+        reg = MetricsRegistry()
+        reg.inc("a", 2.0)
+        reg.inc("b", 0.5)
+        counters = reg.counters()
+        assert counters["a"] == 2 and isinstance(counters["a"], int)
+        assert counters["b"] == 0.5 and isinstance(counters["b"], float)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), "7", True])
+    def test_rejects_non_finite_and_non_numeric(self, bad):
+        with pytest.raises(ObservabilityError):
+            MetricsRegistry().inc("x", bad)
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("pool.workers", 2)
+        reg.set_gauge("pool.workers", 4)
+        assert reg.gauge("pool.workers") == 4.0
+
+    def test_missing_gauge_is_none(self):
+        assert MetricsRegistry().gauge("never") is None
+
+    def test_rejects_nan(self):
+        with pytest.raises(ObservabilityError):
+            MetricsRegistry().set_gauge("g", float("nan"))
+
+
+class TestHistograms:
+    def test_observations_land_in_buckets(self):
+        reg = MetricsRegistry()
+        reg.observe("t", 0.002, buckets=(0.001, 0.01, 0.1))
+        reg.observe("t", 0.2, buckets=(0.001, 0.01, 0.1))
+        hist = reg.snapshot()["histograms"]["t"]
+        assert hist["counts"] == [0, 1, 0, 1]  # overflow bin gets 0.2
+        assert hist["count"] == 2
+        assert hist["sum"] == pytest.approx(0.202)
+
+    def test_bucket_bounds_fixed_at_first_observation(self):
+        reg = MetricsRegistry()
+        reg.observe("t", 0.5)
+        with pytest.raises(ObservabilityError, match="was created with buckets"):
+            reg.observe("t", 0.5, buckets=(1.0, 2.0))
+
+    def test_default_buckets_are_strictly_increasing(self):
+        assert list(DEFAULT_TIME_BUCKETS) == sorted(set(DEFAULT_TIME_BUCKETS))
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ObservabilityError, match="strictly increasing"):
+            MetricsRegistry().observe("t", 1.0, buckets=(2.0, 1.0))
+
+
+class TestSnapshots:
+    def test_to_json_is_canonical(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("z"), a.inc("a"), a.set_gauge("g", 1.5)
+        b.set_gauge("g", 1.5), b.inc("a"), b.inc("z")
+        assert a.to_json() == b.to_json()
+        # Strict parse round-trips (no NaN can ever be present).
+        parsed = json.loads(
+            a.to_json(), parse_constant=lambda t: pytest.fail(f"NaN leaked: {t}")
+        )
+        assert parsed["counters"] == {"a": 1, "z": 1}
+
+    def test_reset_empties(self):
+        reg = MetricsRegistry()
+        reg.inc("c"), reg.set_gauge("g", 1), reg.observe("h", 0.1)
+        assert not reg.empty
+        reg.reset()
+        assert reg.empty
+
+
+class TestMerge:
+    def test_counters_add_gauges_overwrite_histograms_sum(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("c", 1), b.inc("c", 2)
+        a.set_gauge("g", 1), b.set_gauge("g", 9)
+        a.observe("h", 0.002, buckets=(0.01,))
+        b.observe("h", 0.002, buckets=(0.01,))
+        a.merge(b)
+        assert a.counter("c") == 3
+        assert a.gauge("g") == 9.0
+        assert a.snapshot()["histograms"]["h"]["count"] == 2
+
+    def test_merge_rejects_bucket_mismatch(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("h", 1.0, buckets=(1.0,))
+        b.observe("h", 1.0, buckets=(2.0,))
+        with pytest.raises(ObservabilityError, match="bucket mismatch"):
+            a.merge(b)
+
+
+class TestNullRegistry:
+    def test_all_writes_are_noops(self):
+        reg = NullRegistry()
+        reg.inc("c", 5)
+        reg.set_gauge("g", 1.0)
+        reg.observe("h", 0.5)
+        assert reg.empty
+        assert reg.counter("c") == 0.0
+
+    def test_shared_null_never_accumulates_even_bad_values(self):
+        # The null registry must not even validate — zero work when off.
+        NULL_REGISTRY.inc("c", float("nan"))
+        NULL_REGISTRY.observe("h", math.inf)
+        assert NULL_REGISTRY.empty
+        assert not NULL_REGISTRY.enabled

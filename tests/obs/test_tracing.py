@@ -1,0 +1,112 @@
+"""TraceCollector and the span() context manager / decorator."""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.exceptions import ObservabilityError
+from repro.obs import TraceCollector, span
+from repro.obs.tracing import _clean_tags
+
+
+class TestCollector:
+    def test_nested_spans_partition_parent_time(self):
+        col = TraceCollector()
+        root = col.start("trial", {})
+        child = col.start("solve", {})
+        time.sleep(0.01)
+        col.finish(child)
+        col.finish(root)
+        spans = {s.name: s for s in col.spans}
+        assert spans["solve"].depth == 1
+        assert spans["solve"].parent == spans["trial"].index
+        # Root self time = inclusive minus the child.
+        assert spans["trial"].self_s == pytest.approx(
+            spans["trial"].dur_s - spans["solve"].dur_s, abs=1e-9
+        )
+        totals, calls = col.self_times()
+        assert calls == {"trial": 1, "solve": 1}
+        assert sum(totals.values()) == pytest.approx(spans["trial"].dur_s, rel=1e-6)
+
+    def test_out_of_order_finish_raises(self):
+        col = TraceCollector()
+        outer = col.start("outer", {})
+        col.start("inner", {})
+        with pytest.raises(ObservabilityError, match="out of order"):
+            col.finish(outer)
+
+    def test_close_open_unwinds_to_keep_depth(self):
+        col = TraceCollector()
+        col.start("trial", {})
+        col.start("a", {})
+        col.start("b", {})
+        col.close_open(keep_depth=1)
+        assert col.open_depth == 1
+        assert [s.name for s in col.spans] == ["b", "a"]
+
+    def test_ordered_spans_sorts_by_start(self):
+        col = TraceCollector()
+        r = col.start("r", {})
+        c = col.start("c", {})
+        col.finish(c)
+        col.finish(r)
+        # Finish order put the child first; start order restores the root.
+        assert [s.name for s in col.ordered_spans()] == ["r", "c"]
+
+    def test_sibling_spans_do_not_double_count(self):
+        col = TraceCollector()
+        root = col.start("root", {})
+        for _ in range(3):
+            child = col.start("child", {})
+            col.finish(child)
+        col.finish(root)
+        totals, calls = col.self_times()
+        assert calls["child"] == 3
+        child_incl = sum(s.dur_s for s in col.spans if s.name == "child")
+        root_rec = next(s for s in col.spans if s.name == "root")
+        assert root_rec.self_s == pytest.approx(
+            root_rec.dur_s - child_incl, abs=1e-9
+        )
+
+    def test_tags_are_coerced_to_json_scalars(self):
+        cleaned = _clean_tags({"n": 3, "ok": True, "obj": object(), "s": "x"})
+        assert cleaned["n"] == 3 and cleaned["ok"] is True and cleaned["s"] == "x"
+        assert isinstance(cleaned["obj"], str)
+
+
+class TestSpanHelper:
+    def test_noop_without_collector(self):
+        # No configure, no trial scope: span must be inert.
+        with span("mcf.solve", arcs=5) as s:
+            assert s._open is None
+
+    def test_records_into_active_collector(self, tmp_path):
+        obs.configure(metrics_path=str(tmp_path / "m.jsonl"), propagate=False)
+        with obs.trial_scope("exp") as collector:
+            with span("phase.x", n=1):
+                pass
+        assert "phase.x" in {s.name for s in collector.spans}
+
+    def test_decorator_form(self, tmp_path):
+        obs.configure(metrics_path=str(tmp_path / "m.jsonl"), propagate=False)
+
+        @span("decorated")
+        def work():
+            return 42
+
+        with obs.trial_scope("exp") as collector:
+            assert work() == 42
+            assert work() == 42
+        names = [s.name for s in collector.spans]
+        assert names.count("decorated") == 2
+
+    def test_span_record_to_dict_keys(self):
+        col = TraceCollector()
+        s = col.start("x", {"k": "v"})
+        record = col.finish(s)
+        payload = record.to_dict()
+        assert set(payload) == {
+            "span", "name", "t0_s", "dur_s", "self_s", "depth", "parent", "tags",
+        }
+        assert payload["tags"] == {"k": "v"}

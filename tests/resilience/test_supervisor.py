@@ -401,3 +401,96 @@ class TestGracefulShutdown:
         assert result.cache_hits == completed
         assert len(_read_log(log)) == 12 - completed
         assert first_invocations + len(_read_log(log)) >= 12
+
+
+class _FakeProcess:
+    """Stands in for a worker process: always alive, records kill()."""
+
+    def __init__(self):
+        self.kills = 0
+
+    def is_alive(self):
+        return True
+
+    def kill(self):
+        self.kills += 1
+
+
+def _run_watchdog_briefly(supervisor, duration_s=0.35):
+    """Run the watchdog loop in a thread for a bounded window."""
+    import threading
+
+    thread = threading.Thread(target=supervisor._watchdog_loop, daemon=True)
+    thread.start()
+    time.sleep(duration_s)
+    supervisor._watchdog_stop.set()
+    thread.join(timeout=2.0)
+    assert not thread.is_alive()
+
+
+class TestMonotonicWatchdog:
+    """The deadline clock must be immune to wall-clock steps (NTP, DST,
+    manual changes): elapsed math runs on time.monotonic() only."""
+
+    def _supervisor(self, **kwargs):
+        kwargs.setdefault("trial_timeout_s", 5.0)
+        kwargs.setdefault("watchdog_grace_s", 5.0)
+        kwargs.setdefault("poll_interval_s", 0.02)
+        return TrialSupervisor("_sup_sleep", workers=2, **kwargs)
+
+    def _fake_worker(self, tmp_path, *, started_mono, started_wall):
+        from repro.resilience.supervisor import _Worker, _write_heartbeat
+
+        hb = str(tmp_path / "hb-0.json")
+        _write_heartbeat(hb, {
+            "pid": 12345, "busy": True, "index": 0, "key": "k" * 16,
+            "started_mono": started_mono, "started_wall": started_wall,
+        })
+        return _Worker(
+            process=_FakeProcess(), task_queue=None, heartbeat_path=hb,
+            busy_index=0, busy_since=time.monotonic(),
+        )
+
+    def test_backwards_wall_jump_does_not_kill(self, tmp_path):
+        """Regression: a heartbeat whose wall stamp is hours old (the wall
+        clock stepped forward, or equivalently the comparison clock jumped)
+        must NOT trip the deadline while the monotonic stamp is fresh."""
+        supervisor = self._supervisor()
+        worker = self._fake_worker(
+            tmp_path,
+            started_mono=time.monotonic(),       # trial actually just started
+            started_wall=time.time() - 86400.0,  # wall clock says "yesterday"
+        )
+        supervisor._workers = {0: worker}
+        supervisor._hung = {}
+        _run_watchdog_briefly(supervisor)
+        assert worker.process.kills == 0
+        assert supervisor._hung == {}
+
+    def test_monotonic_overrun_kills_despite_fresh_wall_stamp(self, tmp_path):
+        """The converse: a genuinely hung trial is killed even if a wall
+        step makes its wall stamp look recent."""
+        supervisor = self._supervisor(
+            trial_timeout_s=0.05, watchdog_grace_s=0.05
+        )
+        worker = self._fake_worker(
+            tmp_path,
+            started_mono=time.monotonic() - 120.0,  # hung for 2 minutes
+            started_wall=time.time(),               # wall clock stepped back
+        )
+        # Parent-side dispatch stamp agrees the trial is old.
+        worker.busy_since = time.monotonic() - 120.0
+        supervisor._workers = {0: worker}
+        supervisor._hung = {}
+        _run_watchdog_briefly(supervisor)
+        assert worker.process.kills >= 1
+        overrun, started_wall = supervisor._hung[0]
+        assert overrun > 100.0
+        assert started_wall is not None  # kept for the incident record only
+
+    def test_watchdog_elapsed_math_never_uses_wall_clock(self):
+        """Source-level regression guard: no time.time() in deadline logic."""
+        import inspect
+
+        source = inspect.getsource(TrialSupervisor._watchdog_loop)
+        assert "time.time()" not in source

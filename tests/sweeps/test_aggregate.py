@@ -149,3 +149,36 @@ class TestReports:
         payload = stat.to_dict()
         assert payload["group"] == {"x": 1}
         assert payload["metrics"]["v"]["mean"] == 2.0
+
+
+class TestMetricStatEdgeCases:
+    def test_single_value_has_zero_spread(self):
+        stat = MetricStat.from_values([3.5])
+        assert stat.n == 1
+        assert stat.mean == 3.5
+        assert stat.std == 0.0
+        assert stat.ci95 == 0.0
+        assert stat.p5 == stat.p50 == stat.p95 == 3.5
+        assert stat.lo == stat.hi == 3.5
+
+    def test_all_equal_values_have_exactly_zero_ci(self):
+        """CI width must be exactly 0.0 (not NaN or a rounding residue)."""
+        import math as _math
+
+        for value in (0.0, 1e-300, 0.1, 1e12):
+            stat = MetricStat.from_values([value] * 7)
+            assert stat.std == 0.0
+            assert stat.ci95 == 0.0
+            assert not _math.isnan(stat.std)
+            assert stat.mean == pytest.approx(value)
+
+    def test_overflowing_values_raise_not_nan(self):
+        with pytest.raises(SweepError, match="overflowed"):
+            MetricStat.from_values([1e308, -1e308, 1e308])
+
+    def test_single_value_round_trips_through_json(self):
+        groups = [GroupStat(group={}, n=1,
+                            metrics={"v": MetricStat.from_values([2.0])})]
+        payload = json.loads(report_json("demo", groups))
+        metric = payload["groups"][0]["metrics"]["v"]
+        assert metric["ci95"] == 0.0 and metric["std"] == 0.0

@@ -133,3 +133,20 @@ class TestComparisons:
         empty = TrafficMatrix(nodes=["a", "b"])
         with pytest.raises(TrafficError):
             overprovision_factor(empty, empty)
+
+
+class TestEmptySampleLists:
+    def test_empty_per_pair_list_rejected(self):
+        """Regression: an empty sample list must raise, not silently feed
+        np.percentile (which returns NaN) or fall back to the floor."""
+        sampler = TrafficSampler(["a", "b"])
+        sampler.record("a", "b", 5.0)
+        sampler._samples[("b", "a")] = []  # corrupted sampler state
+        with pytest.raises(TrafficError, match="empty sample list"):
+            sampler.estimate()
+
+    def test_never_sampled_pair_still_gets_floor(self):
+        sampler = TrafficSampler(["a", "b"])
+        sampler.record("a", "b", 5.0)
+        est = sampler.estimate(EstimatorConfig(unseen_floor_gbps=0.25))
+        assert est.demand("b", "a") == pytest.approx(0.25)
