@@ -1,0 +1,129 @@
+"""R3 — extension: online POC service under load with mid-run chaos.
+
+R1/R2 measure the *control plane's* failure tolerance in batch; R3
+measures the operational claim that makes §3 a service anyone can
+attach to: the POC daemon keeps answering — bounded latency, explicit
+shedding, degraded-but-real answers — while links fail and the exact
+solver stalls underneath it.
+
+One deterministic virtual-clock campaign over the chaos micro-scenario:
+
+- sustained load (150 qps) with a mid-run flash crowd (×12 for 2 s);
+- a two-link fault at t=4 s (healthy solver path: re-clear heals it);
+- a second fault at t=13 s *inside* a solver-stall window, so the
+  re-clear must go through the circuit breaker to the fallback engine;
+- SIGTERM-equivalent drain at t=20 s with snapshot persistence.
+
+Headlines asserted, not just reported: **shed, don't stall** (p99 within
+the deadline budget, zero unanswered requests), **degrade, don't
+refuse** (degraded-mode answers while the breaker is open), **recover**
+(healthy snapshot after each background re-clear, in exactly the modeled
+re-clear latency), and the whole report byte-identical per seed.
+"""
+
+import json
+
+from repro.resilience.policy import CircuitBreaker
+from repro.service import (
+    ChaosPlan,
+    LoadgenConfig,
+    ServiceConfig,
+    run_service_benchmark,
+)
+
+SEED = 7
+
+LOAD = LoadgenConfig(
+    duration_s=20.0,
+    base_rate_qps=150.0,
+    flash_start_s=10.0,
+    flash_duration_s=2.0,
+    flash_multiplier=12.0,
+)
+CHAOS = ChaosPlan(
+    fault_times=(4.0, 13.0),
+    links_per_fault=2,
+    stall_window=(12.5, 16.0),
+)
+CONFIG = ServiceConfig(
+    queue_limit=64,
+    batch_max=8,
+    default_deadline_s=0.25,
+    per_request_cost_s=0.001,
+    reclear_delay_s=0.8,
+    milp_time_limit_s=30.0,
+)
+
+
+def run_r3(seed: int = SEED):
+    return run_service_benchmark(
+        seed,
+        load=LOAD,
+        chaos=CHAOS,
+        config=CONFIG,
+        breaker=CircuitBreaker(failure_threshold=1, cooldown_calls=10),
+    )
+
+
+def test_bench_r3_service(benchmark, report):
+    rep = benchmark.pedantic(run_r3, rounds=1, iterations=1)
+
+    # -- shed, don't stall ---------------------------------------------------
+    assert rep.unanswered == 0, "every submitted request must be answered"
+    assert rep.counts.get("overloaded", 0) > 0, "flash crowd must shed"
+    assert rep.latency_p99_ms <= CONFIG.default_deadline_s * 1000.0
+    assert rep.latency_max_ms <= CONFIG.default_deadline_s * 1000.0
+    assert 0.0 < rep.shed_rate < 0.5
+
+    # -- degrade, don't refuse ----------------------------------------------
+    assert rep.faults_injected == 4
+    assert rep.degraded_served > 0, "mid-outage answers must keep flowing"
+
+    # -- recover --------------------------------------------------------------
+    assert rep.reclears == 2
+    assert rep.reclear_failures == 0
+    assert rep.recoveries == (0.8, 0.8), "re-clears heal in modeled latency"
+    assert rep.final_health == "healthy"
+    # The second re-clear ran inside the stall window: the primary
+    # engine was down, so the fallback produced it and the breaker is
+    # still open at drain time.
+    assert rep.final_breaker_state == "open"
+    stalled_publishes = [
+        e for t, e in rep.events
+        if e.startswith("publish") and CHAOS.stall_window[0] <= t <= CHAOS.stall_window[1]
+    ]
+    assert any("health=healthy" in e for e in stalled_publishes)
+
+    # -- determinism -----------------------------------------------------------
+    assert run_r3().to_json() == rep.to_json(), "campaign must replay exactly"
+
+    payload = rep.to_dict()
+    events = payload.pop("events")
+    lines = [
+        "R3: online service, 20 s campaign (virtual clock), seed "
+        f"{SEED}; flash x{LOAD.flash_multiplier:g} at "
+        f"{LOAD.flash_start_s:g}s; faults at "
+        f"{', '.join(f'{t:g}s' for t in CHAOS.fault_times)}; solver stall "
+        f"{CHAOS.stall_window[0]:g}-{CHAOS.stall_window[1]:g}s",
+        "",
+        f"{'offered':>10} {rep.submitted} requests ({rep.qps_offered:g} qps)",
+        f"{'served':>10} {rep.counts.get('ok', 0)} ok + "
+        f"{rep.degraded_served} degraded ({rep.qps_served:g} qps)",
+        f"{'shed':>10} {rep.counts.get('overloaded', 0)} overloaded, "
+        f"{rep.counts.get('deadline-exceeded', 0)} deadline, "
+        f"{rep.counts.get('draining', 0)} draining "
+        f"(rate {rep.shed_rate:.1%}); unanswered {rep.unanswered}",
+        f"{'latency':>10} p50 {rep.latency_p50_ms:g} ms, "
+        f"p99 {rep.latency_p99_ms:g} ms, max {rep.latency_max_ms:g} ms "
+        f"(budget {CONFIG.default_deadline_s * 1000:g} ms)",
+        f"{'faults':>10} {rep.faults_injected} links failed, "
+        f"{rep.reclears} re-clears, recovery {rep.recovery_s:g} s each",
+        f"{'final':>10} snapshot v{rep.final_version} {rep.final_health}, "
+        f"breaker {rep.final_breaker_state} (fallback engine cleared "
+        "during the stall)",
+        "",
+        "timeline:",
+    ]
+    lines += [f"  {t:>7.3f}s  {e}" for t, e in events]
+    lines += ["", "canonical report:", json.dumps(payload, sort_keys=True, indent=2)]
+    report("\n".join(lines))

@@ -418,14 +418,186 @@ def cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_workload(preset: str, seed: int):
+    if preset == "micro":
+        from repro.resilience.chaos import micro_scenario
+
+        return micro_scenario(seed)
+    from repro.experiments.pipeline import offers_for_zoo, traffic_for_zoo
+
+    zoo = _build_zoo(preset, seed)
+    return zoo.offered, offers_for_zoo(zoo, seed=seed), traffic_for_zoo(zoo)
+
+
+def _service_config(args):
+    from repro.service import ServiceConfig
+
+    # A heuristic primary still needs a *different* engine behind it.
+    fallback = "greedy-drop" if args.method != "greedy-drop" else "add-prune"
+    return ServiceConfig(
+        queue_limit=args.queue_limit,
+        batch_max=args.batch_max,
+        default_deadline_s=args.deadline,
+        reclear_delay_s=args.reclear_delay,
+        primary_method=args.method,
+        fallback_method=fallback,
+        milp_time_limit_s=args.time_limit,
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the online POC daemon on the wall clock until drained."""
+    import asyncio
+
+    from repro.experiments.pipeline import PipelineCheckpoint
+    from repro.service import PocService
+
+    network, offers, tm = _service_workload(args.preset, args.seed)
+    config = _service_config(args)
+    checkpoint = PipelineCheckpoint(args.checkpoint) if args.checkpoint else None
+    service = PocService(
+        network, offers, tm, config=config, seed=args.seed, checkpoint=checkpoint,
+    )
+
+    async def _serve() -> None:
+        with _silence_native_stdout():
+            snap = await service.start()
+        service.install_signal_handlers()
+        print(f"serving snapshot v{snap.version} ({snap.health}): "
+              f"{len(snap.selected)} links, {len(snap.sites)} sites, "
+              f"${snap.total_payments:,.0f}/mo", flush=True)
+        deadline = (service.clock.now() + args.duration
+                    if args.duration is not None else None)
+        while not service.drained.is_set():
+            timeout = args.heartbeat
+            if deadline is not None:
+                timeout = min(timeout, max(0.0, deadline - service.clock.now()))
+            try:
+                await asyncio.wait_for(service.drained.wait(), timeout=timeout)
+                break
+            except asyncio.TimeoutError:
+                pass
+            if deadline is not None and service.clock.now() >= deadline:
+                await service.drain()
+                break
+            if service.running and not service.draining:
+                health = await service.submit("health")
+                h = health.payload
+                print(f"  v{h['version']} {h['health']}  served={service.served_total} "
+                      f"shed={service.shed_total} breaker={h['breaker_state']}",
+                      flush=True)
+        snap = service.snapshot
+        print(f"drained at snapshot v{snap.version} ({snap.health}); "
+              f"served {service.served_total}, shed {service.shed_total}"
+              + (f"; snapshot persisted to {args.checkpoint}"
+                 if args.checkpoint else ""))
+
+    asyncio.run(_serve())
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Seeded load + chaos campaign against an in-process daemon."""
+    from repro.experiments.pipeline import PipelineCheckpoint
+    from repro.resilience.policy import CircuitBreaker
+    from repro.service import ChaosPlan, LoadgenConfig, run_service_benchmark
+
+    stall = None
+    if args.stall_window:
+        try:
+            lo, hi = (float(x) for x in args.stall_window.split(":"))
+        except ValueError:
+            raise SystemExit("--stall-window wants START:STOP seconds")
+        stall = (lo, hi)
+    load = LoadgenConfig(
+        duration_s=args.duration,
+        base_rate_qps=args.rate,
+        flash_start_s=args.flash_at,
+        flash_duration_s=args.flash_duration,
+        flash_multiplier=args.flash_mult,
+    )
+    chaos = None
+    if args.fault_at or stall:
+        chaos = ChaosPlan(
+            fault_times=tuple(args.fault_at or ()),
+            links_per_fault=args.links_per_fault,
+            stall_window=stall,
+        )
+    config = _service_config(args)
+    with _silence_native_stdout():
+        report = run_service_benchmark(
+            args.seed,
+            load=load,
+            chaos=chaos,
+            config=config,
+            breaker=CircuitBreaker(failure_threshold=args.breaker_threshold),
+            checkpoint=(PipelineCheckpoint(args.checkpoint)
+                        if args.checkpoint else None),
+        )
+    if args.json:
+        print(report.to_json())
+    else:
+        c = report.counts
+        print(f"loadgen seed={report.seed}: {report.submitted} requests over "
+              f"{report.duration_s:g}s ({report.qps_offered:g} qps offered)")
+        print(f"  served {c.get('ok', 0)} ok + {c.get('degraded', 0)} degraded "
+              f"({report.qps_served:g} qps); shed "
+              f"{c.get('overloaded', 0)} overloaded / "
+              f"{c.get('deadline-exceeded', 0)} deadline / "
+              f"{c.get('draining', 0)} draining "
+              f"(rate {report.shed_rate:.1%}); {report.unanswered} unanswered")
+        print(f"  latency p50={report.latency_p50_ms:g}ms "
+              f"p99={report.latency_p99_ms:g}ms max={report.latency_max_ms:g}ms")
+        print(f"  faults={report.faults_injected} reclears={report.reclears} "
+              f"(failed {report.reclear_failures}); recovery "
+              + (f"{report.recovery_s:g}s" if report.recovery_s is not None else "n/a"))
+        print(f"  final: v{report.final_version} {report.final_health}, "
+              f"breaker {report.final_breaker_state}")
+    # A campaign that lost requests outright (no response at all) is a
+    # daemon bug, not an overload story.
+    return 1 if report.unanswered else 0
+
+
 def cmd_audit(args: argparse.Namespace) -> int:
-    """Replay a result store through the invariant suite (exit 1 on dirt)."""
+    """Replay a result store and/or a service snapshot through the
+    invariant suite (exit 1 on dirt)."""
     import json as _json
     import pathlib as _pathlib
 
     from repro.resilience.supervisor import QuarantineLog
     from repro.sweeps.cache import ResultStore
-    from repro.validate.invariants import check_record
+    from repro.validate.invariants import check_record, check_snapshot
+
+    if args.store is None and args.snapshot is None:
+        raise SystemExit("audit needs --store and/or --snapshot")
+
+    snapshot_dirty = False
+    if args.snapshot is not None:
+        from repro.exceptions import ReproError
+        from repro.service.snapshot import load_snapshot_payload
+
+        try:
+            payload = load_snapshot_payload(args.snapshot)
+        except ReproError as exc:
+            raise SystemExit(f"cannot audit snapshot {args.snapshot!r}: {exc}")
+        with _silence_native_stdout():
+            violations = check_snapshot(payload)
+        snapshot_dirty = bool(violations)
+        if args.json:
+            print(_json.dumps({
+                "snapshot": args.snapshot,
+                "version": payload.get("version"),
+                "health": payload.get("health"),
+                "violations": [v.to_dict() for v in violations],
+            }, sort_keys=True, indent=2))
+        else:
+            print(f"audit snapshot {args.snapshot}: "
+                  f"v{payload.get('version')} {payload.get('health')}, "
+                  f"{len(violations)} violation(s)")
+            for violation in violations:
+                print(f"  {violation}")
+        if args.store is None:
+            return 1 if snapshot_dirty else 0
 
     if not _pathlib.Path(args.store).exists():
         raise SystemExit(f"no result store at {args.store!r}")
@@ -481,7 +653,7 @@ def cmd_audit(args: argparse.Namespace) -> int:
             )
             print(f"quarantine {quarantine.path}: {len(quarantine)} trial(s)"
                   + (f"  ({summary})" if summary else ""))
-    return 1 if dirty else 0
+    return 1 if (dirty or snapshot_dirty) else 0
 
 
 def cmd_planning(args: argparse.Namespace) -> int:
@@ -677,14 +849,87 @@ def make_parser() -> argparse.ArgumentParser:
                     "summarizes the quarantine ledger.  Exits 1 if any "
                     "stored record is invalid.",
     )
-    p_au.add_argument("--store", required=True, metavar="PATH",
+    p_au.add_argument("--store", default=None, metavar="PATH",
                       help="JSONL result store to audit")
+    p_au.add_argument("--snapshot", default=None, metavar="PATH",
+                      help="persisted service snapshot to audit (flow "
+                           "conservation, VCG budget identity, price "
+                           "decomposition, rate determinism)")
     p_au.add_argument("--quarantine", default=None, metavar="PATH",
                       help="quarantine ledger to summarize (default: "
                            "quarantine.jsonl next to --store, if present)")
     p_au.add_argument("--json", action="store_true",
                       help="emit a JSON audit report")
     p_au.set_defaults(fn=cmd_audit)
+
+    service_parent = argparse.ArgumentParser(add_help=False)
+    service_parent.add_argument("--preset", default="micro",
+                                choices=("micro", "tiny", "small", "paper"),
+                                help="workload: the chaos micro-scenario or a zoo")
+    service_parent.add_argument("--seed", type=int, default=2020)
+    service_parent.add_argument("--queue-limit", type=int, default=64,
+                                help="bounded request queue (full = shed)")
+    service_parent.add_argument("--batch-max", type=int, default=8,
+                                help="requests served per batch/snapshot read")
+    service_parent.add_argument("--deadline", type=float, default=0.25,
+                                help="per-request deadline budget (s)")
+    service_parent.add_argument("--reclear-delay", type=float, default=0.8,
+                                help="modeled background re-clear latency (s)")
+    service_parent.add_argument("--method", default="milp",
+                                help="primary clearing engine")
+    service_parent.add_argument("--time-limit", type=float, default=30.0,
+                                help="MILP time limit (s)")
+    service_parent.add_argument("--checkpoint", default=None, metavar="PATH",
+                                help="persist the drained snapshot here "
+                                     "(auditable via `audit --snapshot`)")
+
+    p_srv = sub.add_parser(
+        "serve",
+        parents=[obs_parent, service_parent],
+        help="run the online POC daemon (wall clock, SIGINT/SIGTERM drains)",
+        description="Clears the auction, then serves admission/allocation/"
+                    "pricing/health queries from an immutable snapshot until "
+                    "--duration elapses or SIGINT/SIGTERM arrives; a graceful "
+                    "drain finishes in-flight requests and persists a "
+                    "resumable snapshot to --checkpoint.",
+    )
+    p_srv.add_argument("--duration", type=float, default=None,
+                       help="seconds to serve (default: until signal)")
+    p_srv.add_argument("--heartbeat", type=float, default=5.0,
+                       help="seconds between health heartbeats")
+    p_srv.set_defaults(fn=cmd_serve)
+
+    p_lg = sub.add_parser(
+        "loadgen",
+        parents=[obs_parent, service_parent],
+        help="deterministic load + chaos campaign against the daemon",
+        description="Plays a seeded Poisson request stream (with optional "
+                    "flash crowd) into an in-process daemon on the virtual "
+                    "clock while injecting link faults and solver stalls, "
+                    "then reports latency percentiles, shed accounting, and "
+                    "recovery times.  Byte-identical per seed.  Exits 1 if "
+                    "any request went unanswered.",
+    )
+    p_lg.add_argument("--duration", type=float, default=20.0,
+                      help="campaign length (virtual s)")
+    p_lg.add_argument("--rate", type=float, default=120.0,
+                      help="base arrival rate (qps)")
+    p_lg.add_argument("--flash-at", type=float, default=None,
+                      help="flash-crowd start (s)")
+    p_lg.add_argument("--flash-duration", type=float, default=2.0)
+    p_lg.add_argument("--flash-mult", type=float, default=8.0,
+                      help="flash-crowd rate multiplier")
+    p_lg.add_argument("--fault-at", type=float, action="append", default=None,
+                      metavar="T", help="inject link faults at T seconds "
+                                        "(repeatable)")
+    p_lg.add_argument("--links-per-fault", type=int, default=2)
+    p_lg.add_argument("--stall-window", default=None, metavar="START:STOP",
+                      help="solver-stall window (every primary solve times out)")
+    p_lg.add_argument("--breaker-threshold", type=int, default=3,
+                      help="consecutive failures that open the breaker")
+    p_lg.add_argument("--json", action="store_true",
+                      help="emit the LoadReport as canonical JSON")
+    p_lg.set_defaults(fn=cmd_loadgen)
 
     p_pl = add_parser("planning", help="capacity planning / re-auctions")
     p_pl.add_argument("--preset", default="tiny", choices=("tiny", "small", "paper"))

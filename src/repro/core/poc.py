@@ -182,6 +182,55 @@ class PublicOptionCore:
             raise ReproError("POC is not provisioned yet; call provision() first")
         return self._auction_result
 
+    def export_snapshot(self) -> Dict[str, object]:
+        """Serializable view of the provisioned control plane.
+
+        The online service layer (:mod:`repro.service`) freezes this into
+        an immutable versioned snapshot, and ``poc-repro audit
+        --snapshot`` replays invariant checks against the persisted form.
+        Everything is plain sorted data, canonically JSON-encodable:
+        backbone geometry, the selected/failed link sets, and per-provider
+        auction economics (payment vs declared cost for budget-balance and
+        IR checks).
+        """
+        result = self.auction_result
+        assert self._backbone is not None
+        nodes = []
+        for node in sorted(self._backbone.nodes, key=lambda n: n.id):
+            point = node.point
+            nodes.append({
+                "id": node.id,
+                "lat": point.lat if point is not None else 0.0,
+                "lon": point.lon if point is not None else 0.0,
+            })
+        links = []
+        for link in sorted(self._backbone.links, key=lambda l: l.id):
+            links.append({
+                "id": link.id, "u": link.u, "v": link.v,
+                "capacity_gbps": link.capacity_gbps,
+                "length_km": link.length_km, "owner": link.owner,
+            })
+        providers = []
+        for name in sorted(result.providers):
+            pr = result.providers[name]
+            providers.append({
+                "provider": pr.provider,
+                "won": pr.won,
+                "selected_links": sorted(pr.selected_links),
+                "declared_cost": pr.declared_cost,
+                "payment": pr.payment,
+            })
+        return {
+            "selected": sorted(result.selected),
+            "failed_links": sorted(self._failed_links),
+            "nodes": nodes,
+            "links": links,
+            "providers": providers,
+            "external_cost": result.external_cost,
+            "total_payments": result.total_payments,
+            "total_declared_cost": result.total_declared_cost,
+        }
+
     @property
     def monthly_cost(self) -> float:
         """What the POC disburses per month: VCG payments + contracts."""

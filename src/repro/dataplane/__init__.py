@@ -21,6 +21,7 @@ executable:
 
 from repro.dataplane.bridge import audit_dataplane_conduct, dataplane_for_poc
 from repro.dataplane.fairshare import max_min_allocation
+from repro.dataplane.frozen import FrozenAllocation, freeze_allocation
 from repro.dataplane.flows import Flow
 from repro.dataplane.shaping import (
     DiscriminatoryEdge,
@@ -35,6 +36,8 @@ __all__ = [
     "audit_dataplane_conduct",
     "dataplane_for_poc",
     "max_min_allocation",
+    "FrozenAllocation",
+    "freeze_allocation",
     "Flow",
     "DiscriminatoryEdge",
     "NeutralEdge",

@@ -1,0 +1,109 @@
+"""Frozen allocation tables: the dataplane answer sheet for one snapshot.
+
+The online service (:mod:`repro.service`) answers allocation queries at
+high QPS against an *immutable* clearing snapshot.  Recomputing max-min
+rates per request would make every read a progressive-filling run; this
+module computes the whole table once per snapshot version — route every
+positive traffic-matrix pair over the serviceable backbone, then run one
+weighted max-min allocation over the shared links — and the service
+serves dictionary lookups from then on.
+
+The table is deterministic for a given (backbone, TM): pairs are routed
+in sorted order and the fair-share solver is itself deterministic, so
+two snapshots built from identical inputs answer identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+from repro.dataplane.fairshare import max_min_allocation
+from repro.netflow.paths import shortest_path
+from repro.topology.graph import Network
+from repro.traffic.matrix import TrafficMatrix
+
+Pair = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class FrozenAllocation:
+    """Per-pair routed rates over one frozen backbone.
+
+    ``rates`` maps (src, dst) → allocated Gbps; ``paths`` maps the same
+    pairs to the link ids they cross.  Pairs with positive demand that
+    the backbone cannot connect appear in ``disconnected`` with rate 0.
+    """
+
+    rates: Mapping[Pair, float] = field(default_factory=dict)
+    demands: Mapping[Pair, float] = field(default_factory=dict)
+    paths: Mapping[Pair, Tuple[str, ...]] = field(default_factory=dict)
+    disconnected: Tuple[Pair, ...] = ()
+
+    def rate(self, src: str, dst: str) -> float:
+        return self.rates.get((src, dst), 0.0)
+
+    def connected(self, src: str, dst: str) -> bool:
+        return (src, dst) in self.paths
+
+    @property
+    def total_demand_gbps(self) -> float:
+        return sum(self.demands.values())
+
+    @property
+    def total_rate_gbps(self) -> float:
+        return sum(self.rates.values())
+
+    @property
+    def served_fraction(self) -> float:
+        """Fraction of offered demand the frozen routing carries."""
+        demand = self.total_demand_gbps
+        if demand <= 0:
+            return 1.0
+        return self.total_rate_gbps / demand
+
+
+def freeze_allocation(backbone: Network, tm: TrafficMatrix) -> FrozenAllocation:
+    """Route and fair-share every positive TM pair over ``backbone``.
+
+    Each pair takes its shortest (geographic) path; rates are the
+    weighted max-min allocation of the pair demands over the shared
+    links, so a saturated link throttles exactly the pairs crossing it.
+    """
+    node_set = set(backbone.node_ids)
+    flow_paths: Dict[str, List[str]] = {}
+    demands: Dict[str, float] = {}
+    pair_paths: Dict[Pair, Tuple[str, ...]] = {}
+    disconnected: List[Pair] = []
+    pair_demands: Dict[Pair, float] = {}
+    for (src, dst), value in sorted(tm.pairs()):
+        if value <= 0:
+            continue
+        pair_demands[(src, dst)] = value
+        if src not in node_set or dst not in node_set:
+            disconnected.append((src, dst))
+            continue
+        path = shortest_path(backbone, src, dst)
+        if path is None or not path.link_ids:
+            disconnected.append((src, dst))
+            continue
+        fid = f"{src}→{dst}"
+        flow_paths[fid] = list(path.link_ids)
+        demands[fid] = value
+        pair_paths[(src, dst)] = tuple(path.link_ids)
+
+    rates: Dict[Pair, float] = {}
+    if flow_paths:
+        capacities = {l.id: l.capacity_gbps for l in backbone.links}
+        weights = {fid: 1.0 for fid in flow_paths}
+        shares = max_min_allocation(flow_paths, demands, weights, capacities)
+        for (src, dst) in pair_paths:
+            rates[(src, dst)] = shares[f"{src}→{dst}"]
+    for pair in disconnected:
+        rates[pair] = 0.0
+    return FrozenAllocation(
+        rates=rates,
+        demands=pair_demands,
+        paths=pair_paths,
+        disconnected=tuple(sorted(disconnected)),
+    )

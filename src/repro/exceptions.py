@@ -130,6 +130,15 @@ class ObservabilityError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """The online POC service was misused or reached an unservable state.
+
+    Covers submitting to a daemon that was never started, unknown request
+    kinds, malformed snapshot payloads, and a virtual-clock run that
+    deadlocks (every task blocked with no timer pending).
+    """
+
+
 class SweepError(ReproError):
     """A parameter sweep is misconfigured or its artifacts are inconsistent.
 

@@ -11,6 +11,7 @@ campaign is reproducible from one integer seed.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, Type
 
@@ -52,8 +53,27 @@ class RetryPolicy:
             raise ReproError(f"jitter must be in [0, 1), got {self.jitter}")
 
     def delay_s(self, attempt: int, rng) -> float:
-        """Backoff before retry number ``attempt`` (0-based), jittered."""
-        raw = min(self.base_delay_s * self.multiplier**attempt, self.max_delay_s)
+        """Backoff before retry number ``attempt`` (0-based), jittered.
+
+        The cap is applied *before* exponentiation: ``multiplier**attempt``
+        overflows a float near attempt ≈ 1000, and any attempt past the
+        point where the raw backoff crosses ``max_delay_s`` sleeps exactly
+        ``max_delay_s`` anyway.
+        """
+        if self.base_delay_s == 0.0:
+            raw = 0.0
+        elif self.multiplier == 1.0:
+            raw = min(self.base_delay_s, self.max_delay_s)
+        else:
+            ceiling = max(self.max_delay_s, self.base_delay_s)
+            capped = (
+                attempt * math.log(self.multiplier)
+                > math.log(ceiling / self.base_delay_s)
+            )
+            if capped:
+                raw = self.max_delay_s
+            else:
+                raw = min(self.base_delay_s * self.multiplier**attempt, self.max_delay_s)
         if self.jitter:
             raw *= float(rng.uniform(1.0 - self.jitter, 1.0 + self.jitter))
         return raw
@@ -121,8 +141,27 @@ class CircuitBreaker:
             return "half-open"
         return "closed"
 
+    @property
+    def cooldown_remaining(self) -> int:
+        """Calls left before the next half-open probe (0 when not open)."""
+        return self._cooldown_remaining
+
+    def peek(self) -> bool:
+        """Would :meth:`allow` return True right now?  Never mutates.
+
+        Metrics, logging, and health endpoints must use this (or
+        :attr:`state`) instead of :meth:`allow`: the latter counts the
+        call against the cooldown, so a gauge scraped every second would
+        silently march an open breaker toward half-open.
+        """
+        return self._cooldown_remaining == 0
+
     def allow(self) -> bool:
-        """May the protected call run right now?  (Counts down cooldown.)"""
+        """May the protected call run right now?  (Counts down cooldown.)
+
+        Only the protected call path should invoke this — observers use
+        :meth:`peek`, which answers without spending a cooldown tick.
+        """
         if self._cooldown_remaining > 0:
             self._cooldown_remaining -= 1
             if self._cooldown_remaining == 0:
@@ -207,6 +246,7 @@ class ResilientAuctioneer:
         attempts = 0
         failure: Optional[str] = None
         result: Optional[AuctionResult] = None
+        primary_exc: Optional[BaseException] = None
 
         if self.breaker.allow():
 
@@ -230,6 +270,7 @@ class ResilientAuctioneer:
                 self.breaker.record_success()
             except SolverTimeoutError as exc:
                 failure = repr(exc)
+                primary_exc = exc
                 self.breaker.record_failure()
             except NoFeasibleSelectionError:
                 raise
@@ -238,6 +279,7 @@ class ResilientAuctioneer:
                 # back rather than crash, but don't count it against the
                 # breaker (it is deterministic, not transient).
                 failure = repr(exc)
+                primary_exc = exc
 
         if result is not None:
             prov = ClearingProvenance(
@@ -247,7 +289,27 @@ class ResilientAuctioneer:
                 breaker_state=self.breaker.state,
             )
         else:
-            result = self._run(offers, constraint, self.fallback_method)
+            try:
+                result = self._run(offers, constraint, self.fallback_method)
+            except NoFeasibleSelectionError:
+                raise
+            except ReproError as fb_exc:
+                # The safety net itself gave way.  Surface the *primary*
+                # engine's error (the root cause) with full provenance
+                # attached, keep the provenance in the history, and leave
+                # the breaker untouched — a fallback failure must not
+                # close or advance it.
+                prov = ClearingProvenance(
+                    engine=self.fallback_method,
+                    fallback=True,
+                    attempts=attempts,
+                    breaker_state=self.breaker.state,
+                    failure=failure or repr(fb_exc),
+                )
+                self.history.append(prov)
+                original = primary_exc if primary_exc is not None else fb_exc
+                original.provenance = prov
+                raise original from fb_exc
             prov = ClearingProvenance(
                 engine=self.fallback_method,
                 fallback=True,

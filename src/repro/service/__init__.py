@@ -1,0 +1,73 @@
+"""The online POC service: the paper's market, run as a daemon.
+
+Everything before this package *computes* the public option — auctions,
+allocations, invariants — as batch experiments.  This package keeps one
+POC *running*: an asyncio daemon (:mod:`repro.service.daemon`) that
+answers admission / allocation / pricing / health queries from an
+immutable versioned snapshot (:mod:`repro.service.snapshot`), sheds load
+explicitly when over budget, degrades gracefully under injected link and
+solver faults, and drains cleanly on SIGINT/SIGTERM with a resumable
+persisted snapshot.
+
+Timing is injectable (:mod:`repro.service.clock`): wall clock for real
+serving, virtual clock for the deterministic chaos-under-load campaigns
+in :mod:`repro.service.loadgen` and benchmark R3.
+"""
+
+from repro.service.clock import VirtualClock, WallClock, drive, run_virtual
+from repro.service.daemon import PocService, ServiceConfig
+from repro.service.loadgen import (
+    ChaosPlan,
+    LoadgenConfig,
+    LoadReport,
+    build_request_plan,
+    run_load,
+    run_service_benchmark,
+    summarize,
+)
+from repro.service.requests import (
+    OK_STATUSES,
+    REQUEST_KINDS,
+    SHED_STATUSES,
+    STATUSES,
+    Request,
+    Response,
+)
+from repro.service.snapshot import (
+    SNAPSHOT_STAGE,
+    ServiceSnapshot,
+    load_snapshot,
+    load_snapshot_payload,
+    save_snapshot,
+    snapshot_network,
+    snapshot_tm,
+)
+
+__all__ = [
+    "VirtualClock",
+    "WallClock",
+    "drive",
+    "run_virtual",
+    "PocService",
+    "ServiceConfig",
+    "ChaosPlan",
+    "LoadgenConfig",
+    "LoadReport",
+    "build_request_plan",
+    "run_load",
+    "run_service_benchmark",
+    "summarize",
+    "OK_STATUSES",
+    "REQUEST_KINDS",
+    "SHED_STATUSES",
+    "STATUSES",
+    "Request",
+    "Response",
+    "SNAPSHOT_STAGE",
+    "ServiceSnapshot",
+    "load_snapshot",
+    "load_snapshot_payload",
+    "save_snapshot",
+    "snapshot_network",
+    "snapshot_tm",
+]

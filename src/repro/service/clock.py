@@ -1,0 +1,135 @@
+"""Injectable clocks: wall time for serving, virtual time for benchmarks.
+
+The daemon never calls ``time`` or ``asyncio.sleep`` directly — every
+delay and timestamp goes through a clock object.  :class:`WallClock` is
+the production form.  :class:`VirtualClock` makes the whole service
+deterministic: timers fire in (deadline, sequence) order under an
+explicit driver, so a seeded load-generator run produces byte-identical
+latency percentiles, shed counts, and recovery times on any machine —
+the property benchmark R3 asserts.
+
+Driving virtual time is the standard two-phase dance: *settle* (yield to
+the event loop until every runnable task has blocked on a timer or a
+future another task will resolve) then *fire* the earliest timer.  With
+no real I/O in the system, asyncio's ready-queue processing is itself
+deterministic, so the interleaving — and therefore every measurement —
+replays exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import time
+from typing import Awaitable, List, Tuple, TypeVar
+
+from repro.exceptions import ServiceError
+
+T = TypeVar("T")
+
+#: Event-loop passes per settle step.  Each ``asyncio.sleep(0)`` runs one
+#: full pass of the ready queue; a chain of k task-to-task handoffs
+#: (queue put → get → future resolution) needs k passes, and nothing in
+#: the service chains anywhere near this deep.
+_SETTLE_PASSES = 64
+
+
+class WallClock:
+    """Real time: ``time.monotonic`` + ``asyncio.sleep``."""
+
+    virtual = False
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    async def sleep(self, delay_s: float) -> None:
+        await asyncio.sleep(max(0.0, delay_s))
+
+
+class VirtualClock:
+    """Deterministic simulated time for in-process service benchmarks.
+
+    ``sleep`` parks the caller on a (deadline, sequence) heap;
+    :meth:`fire_next` advances ``now`` to the earliest deadline and wakes
+    that sleeper.  Ties break by submission order, never by wall-clock
+    race, which is what makes runs reproducible.
+    """
+
+    virtual = True
+
+    def __init__(self, start_s: float = 0.0) -> None:
+        self._now = float(start_s)
+        self._timers: List[Tuple[float, int, asyncio.Future]] = []
+        self._seq = 0
+
+    def now(self) -> float:
+        return self._now
+
+    async def sleep(self, delay_s: float) -> None:
+        loop = asyncio.get_running_loop()
+        fut: asyncio.Future = loop.create_future()
+        heapq.heappush(self._timers, (self._now + max(0.0, delay_s), self._seq, fut))
+        self._seq += 1
+        await fut
+
+    @property
+    def pending_timers(self) -> int:
+        return len(self._timers)
+
+    def fire_next(self) -> bool:
+        """Advance to the earliest pending timer and wake its sleeper.
+
+        Returns False when no timers are pending (time cannot advance).
+        Cancelled sleepers are discarded without moving the clock hands
+        past them spuriously waking anyone else.
+        """
+        while self._timers:
+            deadline, _, fut = heapq.heappop(self._timers)
+            self._now = max(self._now, deadline)
+            if fut.cancelled():
+                continue
+            fut.set_result(None)
+            return True
+        return False
+
+
+async def _settle() -> None:
+    """Yield until every runnable task has blocked (bounded, deterministic)."""
+    for _ in range(_SETTLE_PASSES):
+        await asyncio.sleep(0)
+
+
+async def drive(clock: VirtualClock, coro: Awaitable[T]) -> T:
+    """Run ``coro`` to completion under ``clock``, advancing virtual time.
+
+    Alternates settling the event loop with firing the earliest timer.
+    If the main task is still pending when no task is runnable and no
+    timer exists, the system has deadlocked — that is a programming
+    error, reported as :class:`~repro.exceptions.ServiceError` rather
+    than a silent hang.
+    """
+    task = asyncio.ensure_future(coro)
+    while not task.done():
+        await _settle()
+        if task.done():
+            break
+        if not clock.fire_next():
+            # One more settle: the last firing may have unblocked work
+            # that itself completes the main task without a new timer.
+            await _settle()
+            if task.done():
+                break
+            if not clock.fire_next():
+                task.cancel()
+                with_suppressed = asyncio.gather(task, return_exceptions=True)
+                await with_suppressed
+                raise ServiceError(
+                    "virtual-clock deadlock: main task pending with no "
+                    "runnable work and no timers"
+                )
+    return await task
+
+
+def run_virtual(clock: VirtualClock, coro: Awaitable[T]) -> T:
+    """``asyncio.run`` of :func:`drive` — the benchmark entry point."""
+    return asyncio.run(drive(clock, coro))

@@ -1,0 +1,474 @@
+"""The online POC daemon: snapshot-isolated reads, failure-driven re-clears.
+
+:class:`PocService` is the operational form of the paper's public
+option: a long-running asyncio process that answers admission /
+allocation / pricing / health queries from an immutable
+:class:`~repro.service.snapshot.ServiceSnapshot` while the control plane
+churns underneath it.  The robustness contract, in order of the
+machinery that enforces it:
+
+- **Snapshot isolation.**  Readers take one reference to the current
+  snapshot per batch; a background re-clear builds the next version off
+  to the side and installs it with a single attribute assignment.  No
+  reader ever observes a half-updated clearing.
+- **Admission control.**  The request queue is bounded; when it is full
+  the service answers ``overloaded`` *immediately* instead of queueing
+  into unbounded latency.  Requests carry absolute deadlines; one that
+  waited past its budget is answered ``deadline-exceeded`` rather than
+  served stale.  Every submission gets exactly one response.
+- **Batching/coalescing.**  The worker drains up to ``batch_max``
+  queued requests per cycle and serves them from one snapshot reference;
+  concurrent pricing lookups share a single pass over the price table.
+- **Failure policy.**  Injected link faults (from the chaos harness or a
+  real monitor) degrade the serviceable backbone, publish a *degraded*
+  snapshot built from the residual allocation, and schedule a background
+  re-clear through the existing
+  :class:`~repro.resilience.policy.ResilientAuctioneer` — retry +
+  circuit breaker + MILP→heuristic fallback.  While the breaker is open
+  or the fallback also fails, the service keeps serving degraded-mode
+  residual answers; it never stalls and never crashes.
+- **Graceful drain.**  SIGINT/SIGTERM (or :meth:`drain`) stops intake,
+  finishes every in-flight request, and persists the live snapshot via
+  :class:`~repro.experiments.pipeline.PipelineCheckpoint` so the next
+  process resumes from a known-good clearing.
+
+All timing goes through an injectable clock, so the same daemon runs on
+wall time in production and on deterministic virtual time in benchmarks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.exceptions import (
+    NoFeasibleSelectionError,
+    ReproError,
+    ServiceError,
+    SolverTimeoutError,
+)
+from repro.auction.constraints import make_constraint
+from repro.auction.provider import Offer
+from repro.core.poc import PublicOptionCore
+from repro.experiments.pipeline import PipelineCheckpoint
+from repro.resilience.controller import DegradedModeController
+from repro.resilience.policy import CircuitBreaker, ResilientAuctioneer, RetryPolicy
+from repro.service.clock import WallClock
+from repro.service.requests import REQUEST_KINDS, Request, Response
+from repro.service.snapshot import SNAPSHOT_STAGE, ServiceSnapshot
+from repro.topology.graph import Network
+from repro.traffic.matrix import TrafficMatrix
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Operating envelope of one daemon."""
+
+    #: Bounded request queue; a full queue sheds with ``overloaded``.
+    queue_limit: int = 64
+    #: Requests served per worker cycle from one snapshot reference.
+    batch_max: int = 8
+    #: Per-request deadline budget when the caller names none.
+    default_deadline_s: float = 0.25
+    #: Modeled service time: fixed per-batch overhead plus per-request
+    #: marginal cost.  On the virtual clock these are what make latency
+    #: deterministic; on the wall clock they act as pacing.
+    batch_overhead_s: float = 0.002
+    per_request_cost_s: float = 0.0005
+    #: Modeled background re-clear latency (solver + activation).
+    reclear_delay_s: float = 0.8
+    #: Concurrent worker loops (asyncio tasks, deterministic either way).
+    workers: int = 1
+    #: Clearing parameters, mirroring the chaos harness defaults.
+    constraint: int = 1
+    engine: str = "mcf"
+    primary_method: str = "milp"
+    fallback_method: str = "greedy-drop"
+    milp_time_limit_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.queue_limit < 1:
+            raise ServiceError(f"queue_limit must be >= 1, got {self.queue_limit}")
+        if self.batch_max < 1:
+            raise ServiceError(f"batch_max must be >= 1, got {self.batch_max}")
+        if self.workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {self.workers}")
+        if self.default_deadline_s <= 0:
+            raise ServiceError("default_deadline_s must be positive")
+        if self.batch_overhead_s < 0 or self.per_request_cost_s < 0:
+            raise ServiceError("service-time model costs cannot be negative")
+        if self.reclear_delay_s < 0:
+            raise ServiceError("reclear_delay_s cannot be negative")
+
+
+class PocService:
+    """A fault-tolerant in-process POC service over one workload."""
+
+    def __init__(
+        self,
+        network: Network,
+        offers: Sequence[Offer],
+        tm: TrafficMatrix,
+        *,
+        config: Optional[ServiceConfig] = None,
+        clock=None,
+        seed: int = 0,
+        checkpoint: Optional[PipelineCheckpoint] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.clock = clock if clock is not None else WallClock()
+        self.seed = seed
+        self.checkpoint = checkpoint
+        self.offers = list(offers)
+        self.poc = PublicOptionCore(offered=network)
+        self.auctioneer = ResilientAuctioneer(
+            primary_method=self.config.primary_method,
+            fallback_method=self.config.fallback_method,
+            milp_time_limit_s=self.config.milp_time_limit_s,
+            retry=retry or RetryPolicy(max_attempts=2),
+            breaker=breaker or CircuitBreaker(),
+            seed=seed,
+            before_primary=self._maybe_stall,
+        )
+        self.controller: Optional[DegradedModeController] = None
+        self.tm = tm
+
+        self._snapshot: Optional[ServiceSnapshot] = None
+        self._version = 0
+        self._queue: Optional[asyncio.Queue] = None
+        self._worker_tasks: List[asyncio.Task] = []
+        self._reclear_task: Optional[asyncio.Task] = None
+        self._drained_event: Optional[asyncio.Event] = None
+        self._running = False
+        self._draining = False
+        self._stall_primary = False
+        self._next_request_id = 1
+        #: Operational journal: (virtual/wall time, event) pairs.
+        self.events: List[Tuple[float, str]] = []
+        #: Response counts by status, kept even when obs is disabled.
+        self.stats: Dict[str, int] = {status: 0 for status in
+                                      ("ok", "degraded", "overloaded",
+                                       "deadline-exceeded", "draining", "error")}
+        self.stats["coalesced_pricing"] = 0
+        self.stats["reclears"] = 0
+        self.stats["reclear_failures"] = 0
+        self.stats["faults_injected"] = 0
+
+    # -- chaos hook -----------------------------------------------------------
+
+    def _maybe_stall(self) -> None:
+        if self._stall_primary:
+            raise SolverTimeoutError(
+                self.config.primary_method,
+                self.config.milp_time_limit_s or 30.0,
+                detail="injected solver stall",
+            )
+
+    def set_solver_stall(self, stalled: bool) -> None:
+        """Chaos overlay: make every primary-engine attempt time out."""
+        self._stall_primary = bool(stalled)
+        self._log(f"solver-stall={'on' if stalled else 'off'}")
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def snapshot(self) -> ServiceSnapshot:
+        if self._snapshot is None:
+            raise ServiceError("service has no snapshot; call start() first")
+        return self._snapshot
+
+    @property
+    def drained(self) -> asyncio.Event:
+        if self._drained_event is None:
+            raise ServiceError("service is not started")
+        return self._drained_event
+
+    async def start(self) -> ServiceSnapshot:
+        """Clear the initial auction, publish version 1, spawn workers."""
+        if self._running:
+            raise ServiceError("service is already running")
+        cons = make_constraint(
+            self.config.constraint, self.poc.offered, self.tm,
+            engine=self.config.engine,
+        )
+        result, prov = self.auctioneer.clear(self.offers, cons)
+        self.poc.activate(result)
+        self.controller = DegradedModeController(self.poc, self.tm)
+        self._queue = asyncio.Queue(maxsize=self.config.queue_limit)
+        self._drained_event = asyncio.Event()
+        self._running = True
+        self._draining = False
+        self._publish(provenance=prov)
+        self._worker_tasks = [
+            asyncio.ensure_future(self._worker()) for _ in range(self.config.workers)
+        ]
+        return self.snapshot
+
+    def install_signal_handlers(self) -> None:
+        """SIGINT/SIGTERM → graceful drain (wall-clock serving mode)."""
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(
+                sig, lambda: asyncio.ensure_future(self.drain())
+            )
+
+    async def drain(self) -> ServiceSnapshot:
+        """Stop intake, finish in-flight requests, persist the snapshot."""
+        if not self._running:
+            return self.snapshot
+        if not self._draining:
+            self._draining = True
+            self._log("drain-start")
+        assert self._queue is not None
+        await self._queue.join()
+        for task in self._worker_tasks:
+            task.cancel()
+        await asyncio.gather(*self._worker_tasks, return_exceptions=True)
+        self._worker_tasks = []
+        if self._reclear_task is not None and not self._reclear_task.done():
+            self._reclear_task.cancel()
+            await asyncio.gather(self._reclear_task, return_exceptions=True)
+        self._reclear_task = None
+        if self.checkpoint is not None:
+            self.checkpoint.save(SNAPSHOT_STAGE, self.snapshot.to_dict())
+            self._log(f"snapshot-persisted version={self.snapshot.version}")
+        self._running = False
+        self._log("drain-complete")
+        assert self._drained_event is not None
+        self._drained_event.set()
+        return self.snapshot
+
+    # -- publishing -----------------------------------------------------------
+
+    def _publish(self, provenance=None) -> ServiceSnapshot:
+        """Build and atomically install the next snapshot version."""
+        self._version += 1
+        snap = ServiceSnapshot.build(
+            self.poc, self.tm,
+            version=self._version,
+            seed=self.seed,
+            provenance=provenance,
+            breaker_state=self.auctioneer.breaker.state,
+        )
+        # The swap readers race against: one reference assignment.
+        self._snapshot = snap
+        self._log(f"publish version={snap.version} health={snap.health}")
+        reg = obs.metrics()
+        reg.set_gauge("service.version", float(snap.version))
+        reg.set_gauge("service.degraded", 1.0 if snap.health == "degraded" else 0.0)
+        # Observability reads the breaker through peek()/state only — an
+        # allow() here would spend cooldown ticks on telemetry.
+        reg.set_gauge(
+            "service.breaker_allow",
+            1.0 if self.auctioneer.breaker.peek() else 0.0,
+        )
+        return snap
+
+    def _log(self, event: str) -> None:
+        self.events.append((round(self.clock.now(), 9), event))
+
+    # -- fault handling -------------------------------------------------------
+
+    def inject_link_faults(self, link_ids: Iterable[str]) -> int:
+        """Fail serviceable backbone links; publish degraded; re-clear.
+
+        Faults on links that are not currently serviceable cost nothing
+        (mirroring the chaos harness).  Returns the number of links that
+        actually went down.
+        """
+        if not self._running:
+            raise ServiceError("cannot inject faults into a stopped service")
+        serviceable = set(self.poc.auction_result.selected) - self.poc.failed_links
+        hits = sorted(l for l in link_ids if l in serviceable)
+        if not hits:
+            return 0
+        self.poc.apply_link_failures(hits)
+        self.stats["faults_injected"] += len(hits)
+        self._log(f"fault links={','.join(hits)}")
+        obs.metrics().inc("service.faults", len(hits))
+        self._publish()
+        self._schedule_reclear()
+        return len(hits)
+
+    def _schedule_reclear(self) -> None:
+        if self._reclear_task is not None and not self._reclear_task.done():
+            # The pending re-clear reads poc.failed_links at solve time,
+            # so a second fault folds into it for free.
+            return
+        self._reclear_task = asyncio.ensure_future(self._reclear())
+
+    async def _reclear(self) -> None:
+        """Background re-clear: retry/fallback-gated, never crashes."""
+        await self.clock.sleep(self.config.reclear_delay_s)
+        assert self.controller is not None
+        try:
+            self.controller.reprovision(
+                self.offers,
+                auctioneer=self.auctioneer,
+                constraint=self.config.constraint,
+                engine=self.config.engine,
+            )
+        except (NoFeasibleSelectionError, ReproError) as exc:
+            # Both engines down (or nothing feasible to clear): stay on
+            # the degraded residual snapshot and say so.  The next fault
+            # or an operator retry schedules another attempt.
+            self.stats["reclear_failures"] += 1
+            obs.metrics().inc("service.reclear_failures")
+            self._log(f"reclear-failed {type(exc).__name__}")
+            return
+        prov = self.auctioneer.history[-1] if self.auctioneer.history else None
+        self.stats["reclears"] += 1
+        obs.metrics().inc("service.reclears")
+        self._publish(provenance=prov)
+
+    async def retry_reclear(self) -> None:
+        """Operator hook: force another re-clear attempt while degraded."""
+        if self.poc.degraded:
+            self._schedule_reclear()
+
+    # -- request path ---------------------------------------------------------
+
+    def submit(
+        self,
+        kind: str,
+        params: Optional[Mapping[str, object]] = None,
+        *,
+        deadline_s: Optional[float] = None,
+    ) -> "asyncio.Future[Response]":
+        """Enqueue one request; always resolves to exactly one Response.
+
+        Shedding happens *here*, synchronously: a draining service or a
+        full queue answers immediately instead of accepting work it
+        cannot finish within bounds.
+        """
+        if not self._running:
+            raise ServiceError("service is not running; call start() first")
+        loop = asyncio.get_running_loop()
+        fut: "asyncio.Future[Response]" = loop.create_future()
+        now = self.clock.now()
+        budget = self.config.default_deadline_s if deadline_s is None else deadline_s
+        request = Request(
+            id=self._next_request_id,
+            kind=kind,
+            arrival_s=now,
+            deadline_s=now + budget,
+            params=dict(params or {}),
+        )
+        self._next_request_id += 1
+        obs.metrics().inc("service.requests")
+        obs.metrics().inc(f"service.requests.{kind}")
+        if self._draining:
+            self._resolve(fut, self._shed(request, "draining"))
+            return fut
+        assert self._queue is not None
+        try:
+            self._queue.put_nowait((request, fut))
+        except asyncio.QueueFull:
+            self._resolve(fut, self._shed(request, "overloaded"))
+        return fut
+
+    def _shed(self, request: Request, status: str) -> Response:
+        self.stats[status] += 1
+        obs.metrics().inc(f"service.shed.{status}")
+        return Response(
+            request_id=request.id,
+            kind=request.kind,
+            status=status,
+            version=self._snapshot.version if self._snapshot else 0,
+            latency_s=max(0.0, self.clock.now() - request.arrival_s),
+        )
+
+    @staticmethod
+    def _resolve(fut: "asyncio.Future[Response]", response: Response) -> None:
+        if not fut.done():
+            fut.set_result(response)
+
+    async def _worker(self) -> None:
+        """Serve batches: one snapshot reference, one modeled service time."""
+        assert self._queue is not None
+        cfg = self.config
+        reg = obs.metrics()
+        while True:
+            batch = [await self._queue.get()]
+            while len(batch) < cfg.batch_max:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            snap = self._snapshot  # the one atomic read for this batch
+            assert snap is not None
+            pricing = sum(1 for req, _ in batch if req.kind == "pricing")
+            if pricing > 1:
+                # Coalesced: one pass over the price table answers all.
+                self.stats["coalesced_pricing"] += pricing - 1
+                reg.inc("service.pricing_coalesced", pricing - 1)
+            await self.clock.sleep(
+                cfg.batch_overhead_s + cfg.per_request_cost_s * len(batch)
+            )
+            now = self.clock.now()
+            for request, fut in batch:
+                if now > request.deadline_s:
+                    self._resolve(fut, self._shed(request, "deadline-exceeded"))
+                else:
+                    self._resolve(fut, self._answer(snap, request, now))
+                self._queue.task_done()
+            reg.set_gauge("service.queue_depth", float(self._queue.qsize()))
+
+    def _answer(self, snap: ServiceSnapshot, request: Request, now: float) -> Response:
+        status = "degraded" if snap.health == "degraded" else "ok"
+        params = request.params
+        try:
+            if request.kind == "admission":
+                payload = snap.admit(
+                    str(params.get("party", "anon")), str(params["site"])
+                )
+            elif request.kind == "allocation":
+                payload = snap.allocate(str(params["src"]), str(params["dst"]))
+            elif request.kind == "pricing":
+                link = params.get("link_id")
+                payload = snap.price(None if link is None else str(link))
+            else:  # health — REQUEST_KINDS is closed, enforced by Request
+                payload = snap.health_summary()
+                payload["queue_depth"] = self._queue.qsize() if self._queue else 0
+                payload["shed_total"] = self.shed_total
+                payload["breaker_allow"] = self.auctioneer.breaker.peek()
+        except KeyError as exc:
+            status = "error"
+            payload = {"error": f"missing parameter {exc.args[0]!r}"}
+        self.stats[status] += 1
+        latency = max(0.0, now - request.arrival_s)
+        reg = obs.metrics()
+        reg.inc(f"service.responses.{status}")
+        reg.observe("service.latency_s", latency)
+        return Response(
+            request_id=request.id,
+            kind=request.kind,
+            status=status,
+            version=snap.version,
+            latency_s=latency,
+            payload=payload,
+        )
+
+    # -- accounting -----------------------------------------------------------
+
+    @property
+    def shed_total(self) -> int:
+        return (self.stats["overloaded"] + self.stats["deadline-exceeded"]
+                + self.stats["draining"])
+
+    @property
+    def served_total(self) -> int:
+        return self.stats["ok"] + self.stats["degraded"]

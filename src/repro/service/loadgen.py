@@ -1,0 +1,359 @@
+"""Seeded load generation + chaos campaigns against a running PocService.
+
+The generator plays a Poisson request stream (with an optional flash
+crowd) into the daemon while a chaos plan injects link faults and solver
+stalls mid-run, then folds every response into a :class:`LoadReport` —
+latency percentiles, shed accounting, degraded-mode counts, and the
+measured recovery time after each fault.
+
+Run on a :class:`~repro.service.clock.VirtualClock`, the entire campaign
+is a deterministic function of its seed: arrivals, fault targets, batch
+boundaries, and therefore every number in the report reproduce
+byte-identically.  That is what lets benchmark R3 commit its results and
+lets CI assert exact shed bounds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ServiceError
+from repro.rand import make_rng
+from repro.resilience.chaos import micro_scenario
+from repro.resilience.policy import CircuitBreaker
+from repro.service.clock import VirtualClock, run_virtual
+from repro.service.daemon import PocService, ServiceConfig
+from repro.service.requests import REQUEST_KINDS, Response
+
+#: Relative request mix: mostly reads of the clearing, some admission,
+#: a trickle of operator health checks.
+DEFAULT_KIND_WEIGHTS: Tuple[float, ...] = (0.2, 0.45, 0.25, 0.1)
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """Shape of the offered load."""
+
+    duration_s: float = 20.0
+    base_rate_qps: float = 120.0
+    #: Flash crowd: rate × ``flash_multiplier`` inside the window.
+    flash_start_s: Optional[float] = None
+    flash_duration_s: float = 2.0
+    flash_multiplier: float = 8.0
+    #: Per-request deadline override (None → service default).
+    deadline_s: Optional[float] = None
+    kind_weights: Tuple[float, ...] = DEFAULT_KIND_WEIGHTS
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ServiceError("duration_s must be positive")
+        if self.base_rate_qps <= 0:
+            raise ServiceError("base_rate_qps must be positive")
+        if len(self.kind_weights) != len(REQUEST_KINDS):
+            raise ServiceError(
+                f"kind_weights needs {len(REQUEST_KINDS)} entries "
+                f"(one per {REQUEST_KINDS})"
+            )
+        if self.flash_multiplier < 1.0:
+            raise ServiceError("flash_multiplier must be >= 1")
+
+    def rate_at(self, t: float) -> float:
+        if (self.flash_start_s is not None
+                and self.flash_start_s <= t < self.flash_start_s + self.flash_duration_s):
+            return self.base_rate_qps * self.flash_multiplier
+        return self.base_rate_qps
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """When the campaign breaks things (empty plan = pure load test)."""
+
+    #: Times at which ``links_per_fault`` serviceable links fail.
+    fault_times: Tuple[float, ...] = ()
+    links_per_fault: int = 2
+    #: Window during which every primary-engine solve times out.
+    stall_window: Optional[Tuple[float, float]] = None
+
+    def __post_init__(self) -> None:
+        if self.links_per_fault < 1:
+            raise ServiceError("links_per_fault must be >= 1")
+        if self.stall_window is not None and self.stall_window[1] < self.stall_window[0]:
+            raise ServiceError("stall_window must be (start, stop) with stop >= start")
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Everything a campaign measured, in canonical JSON-ready form."""
+
+    seed: int
+    duration_s: float
+    submitted: int
+    counts: Dict[str, int]
+    latency_p50_ms: float
+    latency_p99_ms: float
+    latency_max_ms: float
+    qps_offered: float
+    qps_served: float
+    shed_rate: float
+    degraded_served: int
+    unanswered: int
+    #: Worst fault→healthy-publish gap observed (None: no fault healed).
+    recovery_s: Optional[float]
+    recoveries: Tuple[float, ...]
+    faults_injected: int
+    reclears: int
+    reclear_failures: int
+    coalesced_pricing: int
+    final_version: int
+    final_health: str
+    final_breaker_state: str
+    events: Tuple[Tuple[float, str], ...] = field(repr=False, default=())
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "duration_s": self.duration_s,
+            "submitted": self.submitted,
+            "counts": dict(sorted(self.counts.items())),
+            "latency_ms": {
+                "p50": self.latency_p50_ms,
+                "p99": self.latency_p99_ms,
+                "max": self.latency_max_ms,
+            },
+            "qps_offered": self.qps_offered,
+            "qps_served": self.qps_served,
+            "shed_rate": self.shed_rate,
+            "degraded_served": self.degraded_served,
+            "unanswered": self.unanswered,
+            "recovery_s": self.recovery_s,
+            "recoveries": list(self.recoveries),
+            "faults_injected": self.faults_injected,
+            "reclears": self.reclears,
+            "reclear_failures": self.reclear_failures,
+            "coalesced_pricing": self.coalesced_pricing,
+            "final_version": self.final_version,
+            "final_health": self.final_health,
+            "final_breaker_state": self.final_breaker_state,
+            "events": [[t, e] for t, e in self.events],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+
+def _percentile_ms(sorted_s: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of a sorted latency list, in rounded ms."""
+    if not sorted_s:
+        return 0.0
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_s)))
+    return round(sorted_s[rank - 1] * 1000.0, 6)
+
+
+def build_request_plan(
+    cfg: LoadgenConfig, sites: Sequence[str], links: Sequence[str], seed: int
+) -> List[Tuple[float, str, Dict[str, object]]]:
+    """The deterministic arrival schedule: (time, kind, params) tuples.
+
+    Thinning-free direct simulation: each gap is drawn at the rate in
+    force at the *current* time, which is exact for our piecewise-
+    constant profile as long as gaps are short relative to the window.
+    """
+    rng = make_rng(seed)
+    sites = list(sites)
+    links = list(links)
+    weights = [w / sum(cfg.kind_weights) for w in cfg.kind_weights]
+    plan: List[Tuple[float, str, Dict[str, object]]] = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / cfg.rate_at(t)))
+        if t >= cfg.duration_s:
+            break
+        kind = REQUEST_KINDS[int(rng.choice(len(REQUEST_KINDS), p=weights))]
+        params: Dict[str, object] = {}
+        if kind == "admission":
+            # Mostly real sites; a sprinkle of unknown ones exercises the
+            # "admitted: false" path without erroring.
+            known = float(rng.uniform()) >= 0.05
+            params = {
+                "party": f"lmp-{int(rng.integers(0, 16))}",
+                "site": str(rng.choice(sites)) if known else "nowhere",
+            }
+        elif kind == "allocation":
+            src, dst = (str(s) for s in rng.choice(sites, size=2, replace=False))
+            params = {"src": src, "dst": dst}
+        elif kind == "pricing":
+            if float(rng.uniform()) < 0.3:
+                params = {}  # clearing totals
+            else:
+                params = {"link_id": str(rng.choice(links))}
+        plan.append((t, kind, params))
+    return plan
+
+
+async def run_load(
+    service: PocService,
+    cfg: LoadgenConfig,
+    *,
+    seed: int = 0,
+    chaos: Optional[ChaosPlan] = None,
+) -> List[Response]:
+    """Play the plan into a started service; return every response.
+
+    The chaos plan runs as a sibling task on the same clock, so faults
+    land mid-stream exactly where the plan says.
+    """
+    if not service.running:
+        raise ServiceError("run_load needs a started service")
+    clock = service.clock
+    snap = service.snapshot
+    plan = build_request_plan(cfg, snap.sites, snap.selected, seed)
+    chaos_task = (
+        asyncio.ensure_future(_run_chaos(service, chaos, seed=seed + 1))
+        if chaos is not None else None
+    )
+    futures: List["asyncio.Future[Response]"] = []
+    start = clock.now()
+    for offset, kind, params in plan:
+        delay = (start + offset) - clock.now()
+        if delay > 0:
+            await clock.sleep(delay)
+        futures.append(service.submit(kind, params, deadline_s=cfg.deadline_s))
+    remaining = (start + cfg.duration_s) - clock.now()
+    if remaining > 0:
+        await clock.sleep(remaining)
+    responses = list(await asyncio.gather(*futures))
+    if chaos_task is not None:
+        await chaos_task
+    return responses
+
+
+async def _run_chaos(service: PocService, plan: ChaosPlan, *, seed: int) -> None:
+    """Inject the plan's faults/stalls at their appointed virtual times."""
+    rng = make_rng(seed)
+    clock = service.clock
+    start = clock.now()
+    moments: List[Tuple[float, str]] = [(t, "fault") for t in plan.fault_times]
+    if plan.stall_window is not None:
+        moments.append((plan.stall_window[0], "stall-on"))
+        moments.append((plan.stall_window[1], "stall-off"))
+    for offset, action in sorted(moments):
+        delay = (start + offset) - clock.now()
+        if delay > 0:
+            await clock.sleep(delay)
+        if action == "stall-on":
+            service.set_solver_stall(True)
+        elif action == "stall-off":
+            service.set_solver_stall(False)
+        else:
+            candidates = list(service.snapshot.serviceable_links)
+            if not candidates:
+                continue
+            count = min(plan.links_per_fault, len(candidates))
+            targets = [str(l) for l in rng.choice(candidates, size=count, replace=False)]
+            service.inject_link_faults(targets)
+
+
+def summarize(
+    service: PocService,
+    responses: Sequence[Response],
+    cfg: LoadgenConfig,
+    *,
+    seed: int,
+    submitted: Optional[int] = None,
+) -> LoadReport:
+    """Fold responses + the service journal into a LoadReport."""
+    submitted = len(responses) if submitted is None else submitted
+    counts: Dict[str, int] = {}
+    served_lat: List[float] = []
+    degraded = 0
+    for resp in responses:
+        counts[resp.status] = counts.get(resp.status, 0) + 1
+        if resp.served:
+            served_lat.append(resp.latency_s)
+            if resp.degraded:
+                degraded += 1
+    served_lat.sort()
+    served = sum(counts.get(s, 0) for s in ("ok", "degraded"))
+    shed = sum(counts.get(s, 0) for s in ("overloaded", "deadline-exceeded", "draining"))
+    recoveries = _recovery_times(service.events)
+    snap = service.snapshot
+    return LoadReport(
+        seed=seed,
+        duration_s=cfg.duration_s,
+        submitted=submitted,
+        counts=counts,
+        latency_p50_ms=_percentile_ms(served_lat, 50.0),
+        latency_p99_ms=_percentile_ms(served_lat, 99.0),
+        latency_max_ms=_percentile_ms(served_lat, 100.0),
+        qps_offered=round(submitted / cfg.duration_s, 6),
+        qps_served=round(served / cfg.duration_s, 6),
+        shed_rate=round(shed / submitted, 9) if submitted else 0.0,
+        degraded_served=degraded,
+        unanswered=submitted - len(responses),
+        recovery_s=(round(max(recoveries), 9) if recoveries else None),
+        recoveries=tuple(round(r, 9) for r in recoveries),
+        faults_injected=service.stats["faults_injected"],
+        reclears=service.stats["reclears"],
+        reclear_failures=service.stats["reclear_failures"],
+        coalesced_pricing=service.stats["coalesced_pricing"],
+        final_version=snap.version,
+        final_health=snap.health,
+        final_breaker_state=service.auctioneer.breaker.state,
+        events=tuple(service.events),
+    )
+
+
+def _recovery_times(events: Sequence[Tuple[float, str]]) -> List[float]:
+    """fault → next healthy publish gaps, in event order."""
+    out: List[float] = []
+    pending: Optional[float] = None
+    for t, event in events:
+        if event.startswith("fault "):
+            if pending is None:
+                pending = t
+        elif event.startswith("publish") and "health=healthy" in event:
+            if pending is not None:
+                out.append(t - pending)
+                pending = None
+    return out
+
+
+def run_service_benchmark(
+    seed: int = 0,
+    *,
+    load: Optional[LoadgenConfig] = None,
+    chaos: Optional[ChaosPlan] = None,
+    config: Optional[ServiceConfig] = None,
+    breaker: Optional[CircuitBreaker] = None,
+    scenario_seed: Optional[int] = None,
+    checkpoint=None,
+) -> LoadReport:
+    """One fully deterministic campaign on the chaos micro-scenario.
+
+    Everything — topology costs, arrivals, fault targets, batching —
+    derives from ``seed`` (and ``scenario_seed``, defaulting to it), so
+    two runs anywhere produce byte-identical reports.
+    """
+    cfg = load or LoadgenConfig()
+    net, offers, tm = micro_scenario(seed if scenario_seed is None else scenario_seed)
+    clock = VirtualClock()
+    service = PocService(
+        net, offers, tm,
+        config=config or ServiceConfig(milp_time_limit_s=30.0),
+        clock=clock,
+        seed=seed,
+        breaker=breaker,
+        checkpoint=checkpoint,
+    )
+
+    async def _campaign() -> LoadReport:
+        await service.start()
+        responses = await run_load(service, cfg, seed=seed, chaos=chaos)
+        await service.drain()
+        return summarize(service, responses, cfg, seed=seed)
+
+    return run_virtual(clock, _campaign())

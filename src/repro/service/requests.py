@@ -1,0 +1,99 @@
+"""Request/response envelopes for the online POC service.
+
+Four query kinds, mirroring what BPs and users actually ask a running
+public option (admission is the paper's open-attachment property made a
+query; allocation and pricing read the frozen clearing; health is the
+operator's view):
+
+- ``admission``  — may party X attach at site S?  (Always yes when the
+  site exists: §3's neutrality-by-construction.  The *load* answer can
+  still be "overloaded" — admission control is about the service
+  protecting itself, never about who is asking.)
+- ``allocation`` — the frozen max-min rate and path between two sites;
+- ``pricing``    — the posted per-link monthly price / clearing totals;
+- ``health``     — snapshot version, degradation, breaker state, sheds.
+
+Every submitted request receives exactly one response.  "Shed" is a
+*response* (``overloaded`` / ``deadline-exceeded`` / ``draining``), not
+a dropped connection: bounded latency with explicit refusals instead of
+an unbounded queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+from repro.exceptions import ServiceError
+
+#: Queryable request kinds, in a fixed order (metrics iterate this).
+REQUEST_KINDS: Tuple[str, ...] = ("admission", "allocation", "pricing", "health")
+
+#: Response statuses.  ``ok`` and ``degraded`` carry real answers;
+#: ``shed`` statuses are explicit refusals; ``error`` is a malformed ask.
+OK_STATUSES: Tuple[str, ...] = ("ok", "degraded")
+SHED_STATUSES: Tuple[str, ...] = ("overloaded", "deadline-exceeded", "draining")
+STATUSES: Tuple[str, ...] = OK_STATUSES + SHED_STATUSES + ("error",)
+
+
+@dataclass(frozen=True)
+class Request:
+    """One query with its arrival time and absolute deadline."""
+
+    id: int
+    kind: str
+    arrival_s: float
+    deadline_s: float
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in REQUEST_KINDS:
+            raise ServiceError(
+                f"unknown request kind {self.kind!r}; expected {REQUEST_KINDS}"
+            )
+        if self.deadline_s < self.arrival_s:
+            raise ServiceError(
+                f"request {self.id} has a deadline before its arrival"
+            )
+
+
+@dataclass(frozen=True)
+class Response:
+    """The service's answer: status, payload, and which snapshot spoke."""
+
+    request_id: int
+    kind: str
+    status: str
+    version: int
+    latency_s: float
+    payload: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.status not in STATUSES:
+            raise ServiceError(
+                f"unknown response status {self.status!r}; expected {STATUSES}"
+            )
+
+    @property
+    def served(self) -> bool:
+        """Did the request get a real answer (possibly degraded)?"""
+        return self.status in OK_STATUSES
+
+    @property
+    def shed(self) -> bool:
+        """Was the request refused to protect latency?"""
+        return self.status in SHED_STATUSES
+
+    @property
+    def degraded(self) -> bool:
+        return self.status == "degraded"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "request_id": self.request_id,
+            "kind": self.kind,
+            "status": self.status,
+            "version": self.version,
+            "latency_s": round(self.latency_s, 9),
+            "payload": dict(self.payload),
+        }

@@ -1,0 +1,305 @@
+"""Immutable versioned snapshots of the clearing + allocation plane.
+
+The daemon's readers never lock: each request grabs a reference to the
+current :class:`ServiceSnapshot` and answers entirely from it, while the
+background re-clear builds the *next* snapshot off to the side and
+installs it with one atomic attribute swap.  A snapshot therefore has to
+be self-contained — backbone geometry, per-link posted prices, the
+frozen max-min allocation table, provider economics, and the degradation
+bookkeeping all precomputed at build time.
+
+Snapshots serialize to canonical JSON (sorted keys, lists not sets) so a
+drained daemon can persist one through
+:class:`~repro.experiments.pipeline.PipelineCheckpoint` and ``poc-repro
+audit --snapshot`` can re-run the invariant suite against the file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.exceptions import ServiceError
+from repro.core.poc import PublicOptionCore
+from repro.dataplane.frozen import FrozenAllocation, freeze_allocation
+from repro.experiments.pipeline import PipelineCheckpoint
+from repro.resilience.policy import ClearingProvenance
+from repro.topology.geo import GeoPoint
+from repro.topology.graph import Link, Network, Node
+from repro.traffic.matrix import TrafficMatrix
+
+#: Checkpoint stage name a drained daemon persists its snapshot under.
+SNAPSHOT_STAGE = "service-snapshot"
+
+HEALTH_STATES = ("healthy", "degraded")
+
+
+@dataclass(frozen=True)
+class ServiceSnapshot:
+    """One immutable version of everything the service can be asked.
+
+    ``control`` is the :meth:`~repro.core.poc.PublicOptionCore.
+    export_snapshot` payload (backbone geometry + auction economics);
+    ``allocation`` the frozen per-pair rate table over the *serviceable*
+    backbone; ``prices`` the posted per-link monthly price (the winning
+    provider's VCG payment spread over its sold links).
+    """
+
+    version: int
+    seed: int
+    health: str
+    engine: str
+    fallback: bool
+    breaker_state: str
+    control: Mapping[str, object]
+    prices: Mapping[str, float]
+    allocation: FrozenAllocation
+    tm_pairs: Tuple[Tuple[str, str, float], ...]
+
+    def __post_init__(self) -> None:
+        if self.health not in HEALTH_STATES:
+            raise ServiceError(
+                f"unknown health state {self.health!r}; expected {HEALTH_STATES}"
+            )
+        if self.version < 1:
+            raise ServiceError(f"snapshot versions start at 1, got {self.version}")
+
+    # -- derived views --------------------------------------------------------
+
+    @property
+    def selected(self) -> Tuple[str, ...]:
+        return tuple(self.control["selected"])
+
+    @property
+    def failed_links(self) -> Tuple[str, ...]:
+        return tuple(self.control["failed_links"])
+
+    @property
+    def serviceable_links(self) -> Tuple[str, ...]:
+        failed = set(self.failed_links)
+        return tuple(l for l in self.selected if l not in failed)
+
+    @property
+    def sites(self) -> Tuple[str, ...]:
+        return tuple(row["id"] for row in self.control["nodes"])
+
+    @property
+    def served_fraction(self) -> float:
+        return self.allocation.served_fraction
+
+    @property
+    def total_payments(self) -> float:
+        return float(self.control["total_payments"])
+
+    # -- queries (what the daemon serves) -------------------------------------
+
+    def admit(self, party: str, site: str) -> Dict[str, object]:
+        """Open attachment: any party, any existing site (§3 neutrality)."""
+        known = site in set(self.sites)
+        return {
+            "party": party,
+            "site": site,
+            "admitted": known,
+            "reason": "" if known else "unknown site",
+        }
+
+    def allocate(self, src: str, dst: str) -> Dict[str, object]:
+        """The frozen rate between two sites (0 when disconnected)."""
+        connected = self.allocation.connected(src, dst)
+        path = self.allocation.paths.get((src, dst), ())
+        return {
+            "src": src,
+            "dst": dst,
+            "connected": connected,
+            "rate_gbps": round(self.allocation.rate(src, dst), 9),
+            "demand_gbps": round(self.allocation.demands.get((src, dst), 0.0), 9),
+            "hops": len(path),
+        }
+
+    def price(self, link_id: Optional[str] = None) -> Dict[str, object]:
+        """Posted per-link price, or the clearing totals without one."""
+        if link_id is None:
+            return {
+                "total_payments": round(self.total_payments, 6),
+                "num_links": len(self.selected),
+                "serviceable_links": len(self.serviceable_links),
+            }
+        known = link_id in self.prices
+        return {
+            "link_id": link_id,
+            "known": known,
+            "price": round(self.prices.get(link_id, 0.0), 6),
+            "serviceable": link_id in set(self.serviceable_links),
+        }
+
+    def health_summary(self) -> Dict[str, object]:
+        return {
+            "version": self.version,
+            "health": self.health,
+            "engine": self.engine,
+            "fallback": self.fallback,
+            "breaker_state": self.breaker_state,
+            "failed_links": list(self.failed_links),
+            "served_fraction": round(self.served_fraction, 9),
+            "disconnected_pairs": len(self.allocation.disconnected),
+        }
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        poc: PublicOptionCore,
+        tm: TrafficMatrix,
+        *,
+        version: int,
+        seed: int,
+        provenance: Optional[ClearingProvenance] = None,
+        breaker_state: Optional[str] = None,
+    ) -> "ServiceSnapshot":
+        """Freeze the POC's current control plane into version ``version``.
+
+        Runs the routing + fair-share pass over the *serviceable*
+        backbone (failed links excluded), so a degraded snapshot's
+        allocation table already reflects what still gets through.
+        """
+        control = poc.export_snapshot()
+        prices: Dict[str, float] = {}
+        for row in control["providers"]:
+            sold = row["selected_links"]
+            if not sold:
+                continue
+            per_link = row["payment"] / len(sold)
+            for lid in sold:
+                prices[lid] = per_link
+        allocation = freeze_allocation(poc.backbone, tm)
+        return cls(
+            version=version,
+            seed=seed,
+            health="degraded" if poc.degraded else "healthy",
+            engine=provenance.engine if provenance else "unknown",
+            fallback=provenance.fallback if provenance else False,
+            breaker_state=(
+                breaker_state
+                if breaker_state is not None
+                else (provenance.breaker_state if provenance else "closed")
+            ),
+            control=control,
+            prices=prices,
+            allocation=allocation,
+            tm_pairs=tuple(
+                (src, dst, value) for (src, dst), value in sorted(tm.pairs())
+            ),
+        )
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical, JSON-encodable form (sorted lists, no tuples-as-keys)."""
+        rates = [
+            [src, dst,
+             round(self.allocation.rates.get((src, dst), 0.0), 9),
+             (src, dst) in self.allocation.paths]
+            for (src, dst) in sorted(self.allocation.demands)
+        ]
+        return {
+            "version": self.version,
+            "seed": self.seed,
+            "health": self.health,
+            "engine": self.engine,
+            "fallback": self.fallback,
+            "breaker_state": self.breaker_state,
+            "control": dict(self.control),
+            "prices": {k: round(v, 9) for k, v in sorted(self.prices.items())},
+            "rates": rates,
+            "tm": [[src, dst, value] for src, dst, value in self.tm_pairs],
+            "served_fraction": round(self.served_fraction, 9),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ServiceSnapshot":
+        """Rehydrate a persisted snapshot (rebuilding the rate table)."""
+        try:
+            control = dict(payload["control"])
+            tm_rows = payload["tm"]
+            version = int(payload["version"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(f"malformed snapshot payload: {exc}") from exc
+        tm = snapshot_tm(payload)
+        network = snapshot_network(control, serviceable_only=True)
+        return cls(
+            version=version,
+            seed=int(payload.get("seed", 0)),
+            health=str(payload.get("health", "healthy")),
+            engine=str(payload.get("engine", "unknown")),
+            fallback=bool(payload.get("fallback", False)),
+            breaker_state=str(payload.get("breaker_state", "closed")),
+            control=control,
+            prices={k: float(v) for k, v in dict(payload.get("prices", {})).items()},
+            allocation=freeze_allocation(network, tm),
+            tm_pairs=tuple((str(s), str(d), float(v)) for s, d, v in tm_rows),
+        )
+
+
+# -- rebuild helpers (shared with the snapshot audit) -------------------------
+
+
+def snapshot_network(
+    control: Mapping[str, object], *, serviceable_only: bool = True
+) -> Network:
+    """The backbone a snapshot's ``control`` payload describes.
+
+    ``serviceable_only`` drops the failed links — the network requests
+    were actually answered against.
+    """
+    net = Network(name="snapshot-backbone")
+    try:
+        for row in control["nodes"]:
+            net.add_node(Node(
+                id=str(row["id"]),
+                point=GeoPoint(float(row["lat"]), float(row["lon"])),
+            ))
+        failed = set(control.get("failed_links", ())) if serviceable_only else set()
+        for row in control["links"]:
+            if row["id"] in failed:
+                continue
+            net.add_link(Link(
+                id=str(row["id"]), u=str(row["u"]), v=str(row["v"]),
+                capacity_gbps=float(row["capacity_gbps"]),
+                length_km=float(row["length_km"]),
+                owner=row.get("owner"),
+            ))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServiceError(f"malformed snapshot control payload: {exc}") from exc
+    return net
+
+
+def snapshot_tm(payload: Mapping[str, object]) -> TrafficMatrix:
+    """The traffic matrix a snapshot froze its allocation against."""
+    try:
+        rows = [(str(s), str(d), float(v)) for s, d, v in payload["tm"]]
+        nodes = sorted({row["id"] for row in payload["control"]["nodes"]}
+                       | {s for s, _, _ in rows} | {d for _, d, _ in rows})
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServiceError(f"malformed snapshot TM payload: {exc}") from exc
+    return TrafficMatrix.from_dict(
+        nodes, {(s, d): v for s, d, v in rows}
+    )
+
+
+def save_snapshot(snapshot: ServiceSnapshot, path) -> None:
+    """Persist through the pipeline checkpoint (atomic tmp + replace)."""
+    PipelineCheckpoint(path).save(SNAPSHOT_STAGE, snapshot.to_dict())
+
+
+def load_snapshot_payload(path) -> Dict[str, object]:
+    """The raw persisted payload (audit works on this), or raise."""
+    checkpoint = PipelineCheckpoint(path)
+    payload = checkpoint.get(SNAPSHOT_STAGE)
+    if not isinstance(payload, dict):
+        raise ServiceError(f"no service snapshot stored at {path!r}")
+    return payload
+
+
+def load_snapshot(path) -> ServiceSnapshot:
+    return ServiceSnapshot.from_dict(load_snapshot_payload(path))

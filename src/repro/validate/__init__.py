@@ -19,6 +19,7 @@ from repro.validate.invariants import (
     check_finite_record,
     check_mcf_result,
     check_record,
+    check_snapshot,
     raise_if_violations,
 )
 
@@ -30,5 +31,6 @@ __all__ = [
     "check_finite_record",
     "check_mcf_result",
     "check_record",
+    "check_snapshot",
     "raise_if_violations",
 ]

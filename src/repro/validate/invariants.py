@@ -353,3 +353,193 @@ def check_mcf_result(mcf, tm, *, tol: float = FLOW_TOL) -> List[Violation]:
                 float(actual - expected),
             ))
     return out
+
+
+def check_snapshot(payload: Mapping[str, object], *, tol: float = ECON_TOL) -> List[Violation]:
+    """Audit a persisted service snapshot (``poc-repro audit --snapshot``).
+
+    The snapshot is the daemon's word on what it was serving when it
+    drained; this replays that word against the paper's invariants:
+
+    - *shape*: required keys, version ≥ 1, a known health state, failed
+      links a subset of the selection;
+    - *economics*: per-provider payments finite and individually
+      rational, the budget identity ``total_payments = Σ payments +
+      external_cost``, posted per-link prices decomposing exactly the
+      winners' payments;
+    - *allocation*: served fraction a probability, per-pair rates finite,
+      non-negative, and within demand, and the frozen rate table
+      byte-reproducible from the snapshot's own backbone + TM (the
+      determinism contract snapshots are built on);
+    - *flow physics*: the serviceable backbone re-solved with
+      ``max_concurrent_flow(keep_flows=True)`` and pushed through
+      :func:`check_mcf_result` — capacity respect and per-node flow
+      conservation.
+    """
+    # Service-layer imports are lazy: this module stays light for the
+    # record-level checks, and validate ← service would otherwise be a
+    # heavyweight (near-cyclic) import for every sweep worker.
+    from repro.exceptions import ReproError
+    from repro.dataplane.frozen import freeze_allocation
+    from repro.netflow.mcf import max_concurrent_flow
+    from repro.service.snapshot import snapshot_network, snapshot_tm
+    from repro.traffic.matrix import TrafficMatrix
+
+    out: List[Violation] = []
+    required = ("version", "health", "control", "prices", "rates", "tm")
+    missing = [key for key in required if key not in payload]
+    if missing:
+        return [Violation("snapshot-shape", f"missing keys {missing}")]
+    try:
+        version = int(payload["version"])
+    except (TypeError, ValueError):
+        return [Violation("snapshot-shape", "version is not an integer")]
+    if version < 1:
+        out.append(Violation("snapshot-shape", "snapshot versions start at 1",
+                             float(version)))
+    health = str(payload["health"])
+    if health not in ("healthy", "degraded"):
+        out.append(Violation("snapshot-shape", f"unknown health {health!r}"))
+
+    control = payload["control"]
+    if not isinstance(control, Mapping):
+        return out + [Violation("snapshot-shape", "control is not a mapping")]
+    selected = set(control.get("selected", ()))
+    failed = set(control.get("failed_links", ()))
+    if not failed <= selected:
+        out.append(Violation(
+            "snapshot-failed-subset",
+            f"failed links not within the selection: {sorted(failed - selected)[:3]}",
+        ))
+    if health == "healthy" and failed:
+        out.append(Violation(
+            "snapshot-health-consistent",
+            "healthy snapshot carries failed links",
+        ))
+
+    # -- economics -----------------------------------------------------------
+    providers = control.get("providers", [])
+    payments_sum = 0.0
+    winner_payments = 0.0
+    for row in providers:
+        name = str(row.get("provider", "?"))
+        payment = float(row.get("payment", math.nan))
+        declared = float(row.get("declared_cost", math.nan))
+        if not math.isfinite(payment):
+            out.append(Violation("payment-finite",
+                                 f"provider {name} payment non-finite", payment))
+            continue
+        payments_sum += payment
+        if row.get("won"):
+            winner_payments += payment
+        if math.isfinite(declared) and payment < declared - tol:
+            out.append(Violation(
+                "vcg-individual-rationality",
+                f"provider {name} paid below declared cost",
+                float(payment - declared),
+            ))
+    external = float(control.get("external_cost", 0.0))
+    totals = float(control.get("total_payments", math.nan))
+    if not math.isfinite(totals) or abs(totals - (payments_sum + external)) > tol:
+        out.append(Violation(
+            "vcg-budget-identity",
+            "total_payments != sum of payments + external cost",
+            float(totals - (payments_sum + external)),
+        ))
+    prices = payload["prices"]
+    if isinstance(prices, Mapping):
+        bad = [k for k, v in prices.items()
+               if not math.isfinite(float(v)) or float(v) < -tol]
+        if bad:
+            out.append(Violation("price-range",
+                                 f"non-finite/negative prices on {sorted(bad)[:3]}"))
+        unsold = sorted(set(prices) - selected)
+        if unsold:
+            out.append(Violation(
+                "price-on-unsold-link",
+                f"posted prices on links outside the selection: {unsold[:3]}",
+            ))
+        posted = sum(float(v) for v in prices.values())
+        if abs(posted - winner_payments) > tol * max(1.0, abs(winner_payments)):
+            out.append(Violation(
+                "price-decomposition",
+                "posted per-link prices do not decompose winner payments",
+                float(posted - winner_payments),
+            ))
+    else:
+        out.append(Violation("snapshot-shape", "prices is not a mapping"))
+
+    # -- allocation ----------------------------------------------------------
+    served = float(payload.get("served_fraction", math.nan))
+    if not math.isfinite(served) or not -tol <= served <= 1.0 + tol:
+        out.append(Violation("served-fraction-range",
+                             "served fraction is not a probability", served))
+    try:
+        tm = snapshot_tm(payload)
+        network = snapshot_network(control, serviceable_only=True)
+    except ReproError as exc:
+        return out + [Violation("snapshot-shape", str(exc))]
+    demands = {pair: value for pair, value in tm.pairs()}
+    rate_rows = payload["rates"]
+    seen_rates: Dict[Tuple[str, str], float] = {}
+    for row in rate_rows:
+        src, dst, rate = str(row[0]), str(row[1]), float(row[2])
+        seen_rates[(src, dst)] = rate
+        demand = demands.get((src, dst))
+        if demand is None:
+            out.append(Violation("rate-without-demand",
+                                 f"rate for pair {src}->{dst} not in the TM"))
+            continue
+        if not math.isfinite(rate) or rate < -tol:
+            out.append(Violation("rate-range",
+                                 f"pair {src}->{dst} rate invalid", rate))
+        elif rate > demand + tol * max(1.0, demand):
+            out.append(Violation(
+                "rate-exceeds-demand",
+                f"pair {src}->{dst} allocated above its demand",
+                float(rate - demand),
+            ))
+    # Determinism: the frozen table must reproduce from its own inputs.
+    rebuilt = freeze_allocation(network, tm)
+    for pair, rate in sorted(seen_rates.items()):
+        expect = rebuilt.rate(*pair)
+        if abs(rate - expect) > 1e-6 * max(1.0, expect):
+            out.append(Violation(
+                "rate-determinism",
+                f"pair {pair[0]}->{pair[1]} rate {rate:.9g} does not "
+                f"reproduce ({expect:.9g})",
+                float(rate - expect),
+            ))
+
+    # -- flow physics over the serviceable backbone --------------------------
+    comp_connected = {
+        pair: value for pair, value in tm.pairs()
+        if value > 0 and (pair[0], pair[1]) not in _disconnected_pairs(network, tm)
+    }
+    if comp_connected:
+        sub_tm = TrafficMatrix.from_dict(network.node_ids, comp_connected)
+        mcf = max_concurrent_flow(network, sub_tm, keep_flows=True)
+        out.extend(check_mcf_result(mcf, sub_tm))
+    return out
+
+
+def _disconnected_pairs(network, tm) -> set:
+    """TM pairs with no path over ``network`` (endpoint missing or split)."""
+    comp: Dict[str, int] = {}
+    index = 0
+    for start in network.node_ids:
+        if start in comp:
+            continue
+        stack = [start]
+        comp[start] = index
+        while stack:
+            node = stack.pop()
+            for nbr in sorted(network.neighbors(node)):
+                if nbr not in comp:
+                    comp[nbr] = index
+                    stack.append(nbr)
+        index += 1
+    return {
+        (src, dst) for (src, dst), value in tm.pairs()
+        if value > 0 and (comp.get(src) is None or comp.get(src) != comp.get(dst))
+    }

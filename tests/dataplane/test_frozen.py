@@ -1,0 +1,82 @@
+"""Tests for the frozen per-snapshot allocation table."""
+
+import pytest
+
+from repro.dataplane.frozen import FrozenAllocation, freeze_allocation
+from repro.traffic.matrix import TrafficMatrix
+
+from tests.conftest import square_network
+
+
+def _tm(demands):
+    nodes = ["A", "B", "C", "D"]
+    return TrafficMatrix.from_dict(nodes, demands)
+
+
+class TestFreezeAllocation:
+    def test_unloaded_pairs_get_full_demand(self):
+        net = square_network()
+        alloc = freeze_allocation(net, _tm({("A", "B"): 2.0, ("C", "D"): 3.0}))
+        assert alloc.rate("A", "B") == pytest.approx(2.0)
+        assert alloc.rate("C", "D") == pytest.approx(3.0)
+        assert alloc.connected("A", "B")
+        assert alloc.served_fraction == pytest.approx(1.0)
+        assert alloc.disconnected == ()
+
+    def test_saturated_link_throttles_only_its_pairs(self):
+        net = square_network()
+        # Both pairs shortest-path over AB (A-B direct); 10 Gbps capacity
+        # shared max-min between 8 and 8 → 5 each; CD demand untouched.
+        alloc = freeze_allocation(
+            net, _tm({("A", "B"): 8.0, ("B", "A"): 8.0, ("C", "D"): 4.0})
+        )
+        assert alloc.rate("A", "B") == pytest.approx(5.0)
+        assert alloc.rate("B", "A") == pytest.approx(5.0)
+        assert alloc.rate("C", "D") == pytest.approx(4.0)
+        assert 0.0 < alloc.served_fraction < 1.0
+
+    def test_missing_endpoint_is_disconnected_not_error(self):
+        net = square_network()
+        tm = TrafficMatrix.from_dict(
+            ["A", "B", "Z"], {("A", "B"): 1.0, ("A", "Z"): 2.0}
+        )
+        alloc = freeze_allocation(net, tm)
+        assert alloc.rate("A", "Z") == 0.0
+        assert not alloc.connected("A", "Z")
+        assert ("A", "Z") in alloc.disconnected
+        # Disconnected demand still counts against served_fraction.
+        assert alloc.served_fraction == pytest.approx(1.0 / 3.0)
+
+    def test_zero_demand_pairs_are_skipped(self):
+        net = square_network()
+        alloc = freeze_allocation(net, _tm({("A", "B"): 0.0}))
+        assert alloc.rates == {}
+        assert alloc.total_demand_gbps == 0.0
+        assert alloc.served_fraction == 1.0
+
+    def test_deterministic_rebuild(self):
+        net = square_network()
+        tm = _tm({("A", "C"): 6.0, ("B", "D"): 6.0, ("A", "B"): 1.0})
+        a1 = freeze_allocation(net, tm)
+        a2 = freeze_allocation(square_network(), tm)
+        assert a1.rates == a2.rates
+        assert a1.paths == a2.paths
+
+    def test_degraded_backbone_reroutes_or_disconnects(self):
+        net = square_network()
+        tm = _tm({("A", "B"): 2.0})
+        full = freeze_allocation(net, tm)
+        assert full.paths[("A", "B")] == ("AB",)
+        # Losing AB forces the long way round; the pair stays connected.
+        degraded = freeze_allocation(net.without_links({"AB"}), tm)
+        assert degraded.connected("A", "B")
+        assert "AB" not in degraded.paths[("A", "B")]
+        assert degraded.rate("A", "B") == pytest.approx(2.0)
+
+
+class TestFrozenAllocationViews:
+    def test_defaults_are_empty_and_fully_served(self):
+        alloc = FrozenAllocation()
+        assert alloc.rate("X", "Y") == 0.0
+        assert not alloc.connected("X", "Y")
+        assert alloc.served_fraction == 1.0

@@ -255,3 +255,166 @@ class TestResilientAuctioneer:
     def test_same_engines_rejected(self):
         with pytest.raises(AuctionError):
             ResilientAuctioneer(primary_method="milp", fallback_method="milp")
+
+
+class TestCircuitBreakerPeek:
+    def test_peek_matches_allow_without_mutating(self):
+        br = CircuitBreaker(failure_threshold=1, cooldown_calls=3)
+        assert br.peek() is True
+        br.record_failure()
+        assert br.state == "open"
+        # A metrics scrape polling peek() must not march the breaker
+        # toward half-open: cooldown is spent only by allow().
+        for _ in range(50):
+            assert br.peek() is False
+        assert br.cooldown_remaining == 3
+        assert br.state == "open"
+        # allow(), by contrast, spends cooldown ticks.
+        assert br.allow() is False
+        assert br.cooldown_remaining == 2
+        assert br.peek() is False
+        br.allow()
+        br.allow()
+        assert br.cooldown_remaining == 0
+        assert br.state == "half-open"
+        # Half-open: the probe call may run, and peek agrees — still
+        # without consuming the probe.
+        assert br.peek() is True
+        assert br.state == "half-open"
+        assert br.allow() is True
+
+    def test_peek_on_closed_breaker(self):
+        br = CircuitBreaker()
+        for _ in range(10):
+            assert br.peek() is True
+        assert br.state == "closed"
+
+
+class TestRetryPolicyOverflow:
+    def test_huge_attempt_does_not_overflow(self):
+        from repro.rand import make_rng
+
+        pol = RetryPolicy(base_delay_s=0.05, multiplier=2.0, max_delay_s=2.0, jitter=0.0)
+        rng = make_rng(0)
+        # multiplier**attempt overflows a float near attempt ~ 1000; the
+        # clamp must kick in before exponentiation.
+        for attempt in (10, 1000, 10_000, 2_000_000):
+            assert pol.delay_s(attempt, rng) == pytest.approx(2.0)
+
+    def test_huge_attempt_with_jitter_stays_bounded(self):
+        from repro.rand import make_rng
+
+        pol = RetryPolicy(base_delay_s=0.05, multiplier=2.0, max_delay_s=2.0, jitter=0.25)
+        rng = make_rng(1)
+        delays = [pol.delay_s(100_000, rng) for _ in range(20)]
+        assert all(1.5 <= d <= 2.5 for d in delays)
+
+    def test_zero_base_delay(self):
+        from repro.rand import make_rng
+
+        pol = RetryPolicy(base_delay_s=0.0, multiplier=2.0, jitter=0.0)
+        assert pol.delay_s(10_000, make_rng(0)) == 0.0
+
+    def test_multiplier_one_never_grows(self):
+        from repro.rand import make_rng
+
+        pol = RetryPolicy(base_delay_s=0.5, multiplier=1.0, max_delay_s=2.0, jitter=0.0)
+        assert pol.delay_s(5_000_000, make_rng(0)) == pytest.approx(0.5)
+
+    def test_base_above_cap_clamps_to_cap(self):
+        from repro.rand import make_rng
+
+        pol = RetryPolicy(base_delay_s=5.0, multiplier=2.0, max_delay_s=2.0, jitter=0.0)
+        assert pol.delay_s(0, make_rng(0)) == pytest.approx(2.0)
+        assert pol.delay_s(1_000_000, make_rng(0)) == pytest.approx(2.0)
+
+    def test_boundary_against_exact_formula(self):
+        from repro.rand import make_rng
+
+        pol = RetryPolicy(base_delay_s=0.05, multiplier=2.0, max_delay_s=2.0, jitter=0.0)
+        rng = make_rng(0)
+        # Around the crossover (0.05 * 2**k >= 2.0 at k >= ~5.32) the
+        # clamped path and the raw formula must agree exactly.
+        for attempt in range(0, 12):
+            exact = min(0.05 * 2.0**attempt, 2.0)
+            assert pol.delay_s(attempt, rng) == pytest.approx(exact)
+
+
+class TestFallbackAlsoFails:
+    def test_original_error_surfaces_with_provenance(self, workload, monkeypatch):
+        net, offers, tm = workload
+        cons = make_constraint(1, net, tm, engine="mcf")
+
+        def stall():
+            raise SolverTimeoutError("milp", 0.001, detail="primary down")
+
+        auc = ResilientAuctioneer(
+            primary_method="milp", fallback_method="greedy-drop",
+            retry=RetryPolicy(max_attempts=1),
+            breaker=CircuitBreaker(failure_threshold=1, cooldown_calls=5),
+            seed=0, before_primary=stall,
+        )
+        real_run = auc._run
+
+        def run(offers_, cons_, method):
+            if method == "greedy-drop":
+                raise AuctionError("fallback engine also down")
+            return real_run(offers_, cons_, method)
+
+        monkeypatch.setattr(auc, "_run", run)
+        with pytest.raises(SolverTimeoutError) as excinfo:
+            auc.clear(offers, cons)
+        # The *primary* error (the root cause) surfaces, chained to the
+        # fallback's own failure ...
+        exc = excinfo.value
+        assert isinstance(exc.__cause__, AuctionError)
+        # ... with full provenance attached and kept in the history.
+        prov = exc.provenance
+        assert prov.fallback is True
+        assert prov.engine == "greedy-drop"
+        assert prov.attempts == 1
+        assert "primary down" in prov.failure
+        assert auc.history and auc.history[-1] is prov
+        # The primary's failure opened the breaker; the fallback failing
+        # must neither advance nor reset it.
+        assert auc.breaker.state == "open"
+        assert prov.breaker_state == "open"
+        assert auc.breaker.cooldown_remaining == 5
+
+    def test_fallback_failure_without_primary_attempt(self, workload, monkeypatch):
+        # Breaker already open: primary never runs, fallback fails — the
+        # fallback's own error is all there is to raise.
+        net, offers, tm = workload
+        cons = make_constraint(1, net, tm, engine="mcf")
+        br = CircuitBreaker(failure_threshold=1, cooldown_calls=50)
+        br.record_failure()
+        assert br.state == "open"
+        auc = ResilientAuctioneer(
+            primary_method="milp", fallback_method="greedy-drop",
+            breaker=br, seed=0,
+        )
+        monkeypatch.setattr(
+            auc, "_run",
+            lambda *_a, **_k: (_ for _ in ()).throw(AuctionError("engines down")),
+        )
+        with pytest.raises(AuctionError) as excinfo:
+            auc.clear(offers, cons)
+        assert excinfo.value.provenance.attempts == 0
+        assert excinfo.value.provenance.fallback is True
+
+    def test_infeasible_fallback_still_propagates(self, workload):
+        # NoFeasibleSelectionError from the fallback is not wrapped: no
+        # engine can conjure capacity that was never offered.
+        net, offers, tm = workload
+        heavy = tm.scaled(1000.0)
+        cons = make_constraint(1, net, heavy, engine="mcf")
+
+        def stall():
+            raise SolverTimeoutError("milp", 0.001)
+
+        auc = ResilientAuctioneer(
+            primary_method="milp", retry=RetryPolicy(max_attempts=1),
+            seed=0, before_primary=stall,
+        )
+        with pytest.raises(NoFeasibleSelectionError):
+            auc.clear(offers, cons)

@@ -1,0 +1,40 @@
+"""Shared workload + helpers for service-layer tests.
+
+Everything here runs on the virtual clock so tests are deterministic
+and effectively instant regardless of the modeled service times.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.auction.provider import make_external_contract
+from repro.service import PocService, ServiceConfig, VirtualClock
+
+from tests.conftest import square_network, square_offers, square_tm
+
+
+def service_workload():
+    """The square + an external shadow ring (keeps VCG feasible)."""
+    net = square_network()
+    offers = square_offers(net)
+    contract = make_external_contract(
+        "ext", [("A", "B"), ("B", "C"), ("C", "D"), ("D", "A")],
+        capacity_gbps=10.0, price_per_link=500.0, length_km=100.0,
+    )
+    for link in contract.links:
+        net.add_link(link)
+    return net, list(offers) + [contract.to_offer()], square_tm(load=1.0)
+
+
+def make_service(**kwargs) -> PocService:
+    """A PocService over the square workload on a fresh virtual clock."""
+    net, offers, tm = service_workload()
+    kwargs.setdefault("clock", VirtualClock())
+    kwargs.setdefault("config", ServiceConfig())
+    return PocService(net, offers, tm, **kwargs)
+
+
+@pytest.fixture
+def workload():
+    return service_workload()

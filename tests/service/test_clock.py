@@ -1,0 +1,118 @@
+"""Tests for the injectable wall/virtual clocks and the virtual driver."""
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service.clock import VirtualClock, WallClock, drive, run_virtual
+
+
+class TestVirtualClock:
+    def test_sleepers_wake_in_deadline_order(self):
+        clock = VirtualClock()
+        order = []
+
+        async def sleeper(name, delay):
+            await clock.sleep(delay)
+            order.append((name, clock.now()))
+
+        async def main():
+            await asyncio.gather(
+                sleeper("late", 3.0), sleeper("early", 1.0), sleeper("mid", 2.0)
+            )
+
+        run_virtual(clock, main())
+        assert [n for n, _ in order] == ["early", "mid", "late"]
+        assert [t for _, t in order] == [1.0, 2.0, 3.0]
+        assert clock.now() == 3.0
+
+    def test_ties_break_by_submission_order(self):
+        clock = VirtualClock()
+        order = []
+
+        async def sleeper(name):
+            await clock.sleep(1.0)
+            order.append(name)
+
+        async def main():
+            await asyncio.gather(*(sleeper(i) for i in range(5)))
+
+        run_virtual(clock, main())
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_zero_and_negative_delays_still_park_once(self):
+        clock = VirtualClock()
+
+        async def main():
+            await clock.sleep(0.0)
+            await clock.sleep(-5.0)
+            return clock.now()
+
+        assert run_virtual(clock, main()) == 0.0
+
+    def test_nested_timers_from_woken_tasks(self):
+        clock = VirtualClock()
+        trace = []
+
+        async def chain():
+            await clock.sleep(1.0)
+            trace.append(clock.now())
+            await clock.sleep(1.0)
+            trace.append(clock.now())
+
+        run_virtual(clock, chain())
+        assert trace == [1.0, 2.0]
+
+    def test_deadlock_is_reported_not_hung(self):
+        clock = VirtualClock()
+
+        async def stuck():
+            await asyncio.get_running_loop().create_future()  # never set
+
+        with pytest.raises(ServiceError, match="deadlock"):
+            run_virtual(clock, stuck())
+
+    def test_fire_next_skips_cancelled_sleepers(self):
+        clock = VirtualClock()
+
+        async def main():
+            task = asyncio.ensure_future(clock.sleep(1.0))
+            await asyncio.sleep(0)
+            task.cancel()
+            await asyncio.gather(task, return_exceptions=True)
+            await clock.sleep(2.0)
+            return clock.now()
+
+        assert run_virtual(clock, main()) == 2.0
+
+    def test_drive_returns_value_and_propagates_exceptions(self):
+        clock = VirtualClock()
+
+        async def ok():
+            await clock.sleep(1.0)
+            return "done"
+
+        assert run_virtual(clock, ok()) == "done"
+
+        clock2 = VirtualClock()
+
+        async def boom():
+            await clock2.sleep(1.0)
+            raise ValueError("kaput")
+
+        with pytest.raises(ValueError, match="kaput"):
+            run_virtual(clock2, boom())
+
+
+class TestWallClock:
+    def test_now_is_monotonic_and_sleep_yields(self):
+        clock = WallClock()
+        assert clock.virtual is False
+
+        async def main():
+            t0 = clock.now()
+            await clock.sleep(0.0)
+            return clock.now() - t0
+
+        assert asyncio.run(main()) >= 0.0

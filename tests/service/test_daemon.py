@@ -1,0 +1,326 @@
+"""Tests for the PocService daemon: lifecycle, shedding, faults, drain.
+
+Every test drives the daemon on a virtual clock, so "time" is exact and
+free: a 20-second drain scenario runs in milliseconds and reproduces
+identically.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import ReproError, ServiceError
+from repro.experiments.pipeline import PipelineCheckpoint
+from repro.resilience.policy import CircuitBreaker
+from repro.service import (
+    PocService,
+    ServiceConfig,
+    VirtualClock,
+    load_snapshot,
+    run_virtual,
+)
+
+from tests.service.conftest import make_service
+
+
+def drive_service(service, scenario):
+    """Run ``scenario(service)`` to completion on the service's clock."""
+
+    async def main():
+        await service.start()
+        try:
+            return await scenario(service)
+        finally:
+            if service.running:
+                await service.drain()
+
+    return run_virtual(service.clock, main())
+
+
+class TestConfig:
+    def test_rejects_nonsense(self):
+        for bad in (
+            dict(queue_limit=0),
+            dict(batch_max=0),
+            dict(workers=0),
+            dict(default_deadline_s=0.0),
+            dict(batch_overhead_s=-1.0),
+            dict(reclear_delay_s=-0.1),
+        ):
+            with pytest.raises(ServiceError):
+                ServiceConfig(**bad)
+
+
+class TestLifecycle:
+    def test_start_publishes_version_one(self):
+        service = make_service()
+
+        async def scenario(svc):
+            return svc.snapshot
+
+        snap = drive_service(service, scenario)
+        assert snap.version == 1
+        assert snap.health == "healthy"
+        assert not service.running  # drained by the driver
+
+    def test_all_kinds_answer_ok(self):
+        service = make_service()
+
+        async def scenario(svc):
+            futs = [
+                svc.submit("admission", {"party": "lmp-1", "site": "A"}),
+                svc.submit("allocation", {"src": "A", "dst": "C"}),
+                svc.submit("pricing", {}),
+                svc.submit("health", {}),
+            ]
+            return await asyncio.gather(*futs)
+
+        responses = drive_service(service, scenario)
+        assert [r.status for r in responses] == ["ok"] * 4
+        assert responses[0].payload["admitted"] is True
+        assert responses[1].payload["rate_gbps"] > 0
+        assert responses[2].payload["total_payments"] > 0
+        health = responses[3].payload
+        assert health["health"] == "healthy"
+        assert health["breaker_allow"] is True
+        assert all(r.version == 1 for r in responses)
+
+    def test_malformed_params_are_an_error_response_not_a_crash(self):
+        service = make_service()
+
+        async def scenario(svc):
+            return await svc.submit("allocation", {"src": "A"})  # no dst
+
+        resp = drive_service(service, scenario)
+        assert resp.status == "error"
+        assert "dst" in resp.payload["error"]
+
+    def test_unknown_kind_raises_at_submit(self):
+        service = make_service()
+
+        async def scenario(svc):
+            with pytest.raises(ServiceError):
+                svc.submit("divination", {})
+            return True
+
+        assert drive_service(service, scenario)
+
+    def test_submit_before_start_and_after_drain_raise(self):
+        service = make_service()
+        with pytest.raises(ServiceError):
+            service.submit("health")
+
+        async def scenario(svc):
+            await svc.drain()
+            with pytest.raises(ServiceError):
+                svc.submit("health")
+            return True
+
+        assert drive_service(service, scenario)
+
+    def test_double_start_rejected(self):
+        service = make_service()
+
+        async def scenario(svc):
+            with pytest.raises(ServiceError):
+                await svc.start()
+            return True
+
+        assert drive_service(service, scenario)
+
+
+class TestAdmissionControl:
+    def test_full_queue_sheds_overloaded_immediately(self):
+        service = make_service(config=ServiceConfig(queue_limit=4, batch_max=2))
+
+        async def scenario(svc):
+            futs = [svc.submit("health") for _ in range(10)]
+            return await asyncio.gather(*futs)
+
+        responses = drive_service(service, scenario)
+        shed = [r for r in responses if r.status == "overloaded"]
+        served = [r for r in responses if r.served]
+        assert len(shed) == 6  # queue held 4 of 10
+        assert len(served) == 4
+        # Sheds answer instantly (no queueing), at zero virtual latency.
+        assert all(r.latency_s == 0.0 for r in shed)
+        assert service.stats["overloaded"] == 6
+
+    def test_expired_deadline_sheds_instead_of_serving_stale(self):
+        # Batch service time (0.1s) exceeds the 0.05s budget: every
+        # request times out in queue and is answered as such.
+        service = make_service(
+            config=ServiceConfig(batch_overhead_s=0.1, default_deadline_s=0.05)
+        )
+
+        async def scenario(svc):
+            return await svc.submit("health")
+
+        resp = drive_service(service, scenario)
+        assert resp.status == "deadline-exceeded"
+        # Waited exactly one batch service time (overhead + 1 request).
+        assert resp.latency_s == pytest.approx(0.1005)
+
+    def test_draining_service_refuses_new_work(self):
+        service = make_service()
+
+        async def scenario(svc):
+            ongoing = svc.submit("allocation", {"src": "A", "dst": "B"})
+            drain_task = asyncio.ensure_future(svc.drain())
+            await asyncio.sleep(0)  # let drain flip the flag
+            late = svc.submit("health")
+            await drain_task
+            return await ongoing, await late
+
+        ongoing, late = drive_service(service, scenario)
+        # In-flight work finishes; late arrivals get an explicit refusal.
+        assert ongoing.status == "ok"
+        assert late.status == "draining"
+
+    def test_pricing_lookups_coalesce_within_a_batch(self):
+        service = make_service(config=ServiceConfig(batch_max=8))
+
+        async def scenario(svc):
+            futs = [svc.submit("pricing", {}) for _ in range(6)]
+            return await asyncio.gather(*futs)
+
+        responses = drive_service(service, scenario)
+        assert all(r.status == "ok" for r in responses)
+        assert service.stats["coalesced_pricing"] == 5
+
+
+class TestFaultsAndRecovery:
+    def test_fault_degrades_then_background_reclear_heals(self):
+        service = make_service(config=ServiceConfig(reclear_delay_s=0.5))
+
+        async def scenario(svc):
+            victim = svc.snapshot.serviceable_links[0]
+            assert svc.inject_link_faults([victim]) == 1
+            during = await svc.submit("allocation", {"src": "A", "dst": "C"})
+            await svc.clock.sleep(1.0)  # ride out the re-clear
+            after = await svc.submit("health")
+            return victim, during, after
+
+        victim, during, after = drive_service(service, scenario)
+        # Mid-outage answers are real but flagged degraded, from the
+        # degraded snapshot version.
+        assert during.status == "degraded"
+        assert during.version == 2
+        # The background re-clear published a healthy next version.
+        assert after.status == "ok"
+        assert after.payload["health"] == "healthy"
+        assert after.version == 3
+        assert service.stats["reclears"] == 1
+        assert victim not in service.snapshot.failed_links
+
+    def test_fault_on_unselected_link_is_free(self):
+        service = make_service()
+
+        async def scenario(svc):
+            assert svc.inject_link_faults(["no-such-link"]) == 0
+            return svc.snapshot.version
+
+        assert drive_service(service, scenario) == 1
+
+    def test_stalled_solver_falls_back_and_opens_breaker(self):
+        service = make_service(
+            config=ServiceConfig(reclear_delay_s=0.5),
+            breaker=CircuitBreaker(failure_threshold=1, cooldown_calls=10),
+        )
+
+        async def scenario(svc):
+            svc.set_solver_stall(True)
+            svc.inject_link_faults([svc.snapshot.serviceable_links[0]])
+            await svc.clock.sleep(1.0)
+            return await svc.submit("health")
+
+        health = drive_service(service, scenario)
+        # The fallback engine cleared while the primary stalled: healthy
+        # again, explicitly marked as fallback-produced, breaker open.
+        assert health.status == "ok"
+        assert health.payload["health"] == "healthy"
+        assert health.payload["fallback"] is True
+        assert health.payload["breaker_state"] == "open"
+        assert health.payload["breaker_allow"] is False
+
+    def test_reclear_failure_stays_degraded_without_crashing(self, monkeypatch):
+        service = make_service(config=ServiceConfig(reclear_delay_s=0.5))
+
+        async def scenario(svc):
+            await asyncio.sleep(0)
+            monkeypatch.setattr(
+                svc.controller, "reprovision",
+                lambda *a, **k: (_ for _ in ()).throw(ReproError("all engines down")),
+            )
+            svc.inject_link_faults([svc.snapshot.serviceable_links[0]])
+            await svc.clock.sleep(1.0)
+            still_degraded = await svc.submit("allocation", {"src": "A", "dst": "C"})
+            return still_degraded
+
+        resp = drive_service(service, scenario)
+        # Service of last resort: residual answers keep flowing.
+        assert resp.status == "degraded"
+        assert service.stats["reclear_failures"] == 1
+        assert service.snapshot.health == "degraded"
+
+    def test_second_fault_folds_into_pending_reclear(self):
+        service = make_service(config=ServiceConfig(reclear_delay_s=1.0))
+
+        async def scenario(svc):
+            links = list(svc.snapshot.serviceable_links)
+            svc.inject_link_faults([links[0]])
+            await svc.clock.sleep(0.2)  # re-clear still pending
+            svc.inject_link_faults([links[1]])
+            await svc.clock.sleep(2.0)
+            return await svc.submit("health")
+
+        health = drive_service(service, scenario)
+        assert health.payload["health"] == "healthy"
+        assert service.stats["faults_injected"] == 2
+        # One re-clear healed both faults.
+        assert service.stats["reclears"] == 1
+
+
+class TestDrain:
+    def test_drain_persists_resumable_snapshot(self, tmp_path):
+        path = tmp_path / "service.json"
+        service = make_service(checkpoint=PipelineCheckpoint(path), seed=5)
+
+        async def scenario(svc):
+            await asyncio.gather(*(
+                svc.submit("allocation", {"src": "A", "dst": "C"})
+                for _ in range(3)
+            ))
+            await svc.drain()
+            return True
+
+        assert drive_service(service, scenario)
+        restored = load_snapshot(path)
+        assert restored.version == 1
+        assert restored.seed == 5
+        assert restored.allocate("A", "C")["connected"] is True
+
+    def test_drain_is_idempotent(self):
+        service = make_service()
+
+        async def scenario(svc):
+            snap1 = await svc.drain()
+            snap2 = await svc.drain()
+            return snap1.version, snap2.version
+
+        assert drive_service(service, scenario) == (1, 1)
+
+    def test_every_submitted_request_is_answered(self):
+        service = make_service(config=ServiceConfig(queue_limit=8, batch_max=4))
+
+        async def scenario(svc):
+            futs = [svc.submit("health") for _ in range(30)]
+            responses = await asyncio.gather(*futs)
+            await svc.drain()
+            return responses
+
+        responses = drive_service(service, scenario)
+        assert len(responses) == 30
+        assert all(r is not None for r in responses)
+        statuses = {r.status for r in responses}
+        assert statuses <= {"ok", "overloaded"}

@@ -1,0 +1,131 @@
+"""Tests for the seeded load generator and chaos campaign driver."""
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.resilience.policy import CircuitBreaker
+from repro.service import (
+    ChaosPlan,
+    LoadgenConfig,
+    ServiceConfig,
+    build_request_plan,
+    run_service_benchmark,
+)
+
+SITES = ["A", "B", "C", "D"]
+LINKS = ["AB", "BC", "CD"]
+
+
+class TestConfigs:
+    def test_loadgen_validation(self):
+        with pytest.raises(ServiceError):
+            LoadgenConfig(duration_s=0)
+        with pytest.raises(ServiceError):
+            LoadgenConfig(base_rate_qps=0)
+        with pytest.raises(ServiceError):
+            LoadgenConfig(kind_weights=(1.0,))
+        with pytest.raises(ServiceError):
+            LoadgenConfig(flash_multiplier=0.5)
+
+    def test_chaos_validation(self):
+        with pytest.raises(ServiceError):
+            ChaosPlan(links_per_fault=0)
+        with pytest.raises(ServiceError):
+            ChaosPlan(stall_window=(2.0, 1.0))
+
+    def test_flash_window_boosts_rate(self):
+        cfg = LoadgenConfig(
+            base_rate_qps=100.0, flash_start_s=5.0,
+            flash_duration_s=2.0, flash_multiplier=4.0,
+        )
+        assert cfg.rate_at(4.9) == 100.0
+        assert cfg.rate_at(5.0) == 400.0
+        assert cfg.rate_at(6.9) == 400.0
+        assert cfg.rate_at(7.0) == 100.0
+
+
+class TestRequestPlan:
+    def test_same_seed_same_plan(self):
+        cfg = LoadgenConfig(duration_s=3.0, base_rate_qps=50.0)
+        p1 = build_request_plan(cfg, SITES, LINKS, seed=9)
+        p2 = build_request_plan(cfg, SITES, LINKS, seed=9)
+        assert p1 == p2
+        assert build_request_plan(cfg, SITES, LINKS, seed=10) != p1
+
+    def test_plan_respects_duration_and_kinds(self):
+        cfg = LoadgenConfig(duration_s=2.0, base_rate_qps=100.0)
+        plan = build_request_plan(cfg, SITES, LINKS, seed=0)
+        assert plan  # ~200 arrivals expected
+        assert all(0.0 < t < 2.0 for t, _, _ in plan)
+        assert all(t1 <= t2 for (t1, _, _), (t2, _, _) in zip(plan, plan[1:]))
+        kinds = {k for _, k, _ in plan}
+        assert kinds == {"admission", "allocation", "pricing", "health"}
+        for _, kind, params in plan:
+            if kind == "allocation":
+                assert params["src"] != params["dst"]
+
+
+class TestBenchmarkCampaign:
+    def test_campaign_is_deterministic(self):
+        kwargs = dict(
+            load=LoadgenConfig(duration_s=2.0, base_rate_qps=60.0),
+            chaos=ChaosPlan(fault_times=(0.8,), links_per_fault=1),
+            config=ServiceConfig(primary_method="greedy-drop",
+                                 fallback_method="greedy-cheap"),
+        )
+        r1 = run_service_benchmark(3, **kwargs)
+        r2 = run_service_benchmark(3, **kwargs)
+        assert r1.to_json() == r2.to_json()
+        assert r1.unanswered == 0
+
+    def test_fault_produces_degraded_answers_then_recovery(self):
+        rep = run_service_benchmark(
+            5,
+            load=LoadgenConfig(duration_s=3.0, base_rate_qps=80.0),
+            chaos=ChaosPlan(fault_times=(1.0,), links_per_fault=2),
+            config=ServiceConfig(primary_method="greedy-drop",
+                                 fallback_method="greedy-cheap",
+                                 reclear_delay_s=0.5),
+        )
+        assert rep.faults_injected >= 1
+        assert rep.degraded_served > 0
+        assert rep.reclears == 1
+        assert rep.recovery_s == pytest.approx(0.5)
+        assert rep.final_health == "healthy"
+        assert rep.unanswered == 0
+
+    def test_flash_crowd_sheds_not_stalls(self):
+        rep = run_service_benchmark(
+            2,
+            load=LoadgenConfig(
+                duration_s=3.0, base_rate_qps=100.0,
+                flash_start_s=1.0, flash_duration_s=1.0, flash_multiplier=20.0,
+            ),
+            config=ServiceConfig(
+                primary_method="greedy-drop", fallback_method="greedy-cheap",
+                queue_limit=32, per_request_cost_s=0.002,
+            ),
+        )
+        assert rep.counts.get("overloaded", 0) > 0
+        assert rep.unanswered == 0
+        # Bounded latency: nothing served can have waited past its
+        # deadline budget (the default 250 ms).
+        assert rep.latency_max_ms <= 250.0
+        assert 0.0 < rep.shed_rate < 1.0
+
+    def test_stall_window_forces_fallback_and_opens_breaker(self):
+        rep = run_service_benchmark(
+            4,
+            load=LoadgenConfig(duration_s=3.0, base_rate_qps=60.0),
+            chaos=ChaosPlan(fault_times=(1.5,), links_per_fault=1,
+                            stall_window=(1.0, 2.5)),
+            config=ServiceConfig(primary_method="milp",
+                                 fallback_method="greedy-drop",
+                                 milp_time_limit_s=30.0,
+                                 reclear_delay_s=0.5),
+            breaker=CircuitBreaker(failure_threshold=1, cooldown_calls=10),
+        )
+        assert rep.final_breaker_state == "open"
+        assert rep.final_health == "healthy"  # the fallback engine healed it
+        assert rep.reclears == 1
+        assert rep.unanswered == 0

@@ -1,0 +1,147 @@
+"""Tests for ServiceSnapshot: build, queries, persistence, rebuild."""
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.core.poc import PublicOptionCore
+from repro.service.snapshot import (
+    SNAPSHOT_STAGE,
+    ServiceSnapshot,
+    load_snapshot,
+    load_snapshot_payload,
+    save_snapshot,
+    snapshot_network,
+    snapshot_tm,
+)
+
+from tests.service.conftest import service_workload
+
+
+def provisioned_poc():
+    net, offers, tm = service_workload()
+    poc = PublicOptionCore(offered=net)
+    poc.provision(offers, tm, constraint=1, method="greedy-drop")
+    return poc, tm
+
+
+class TestBuildAndQueries:
+    def test_healthy_snapshot_exposes_clearing(self):
+        poc, tm = provisioned_poc()
+        snap = ServiceSnapshot.build(poc, tm, version=1, seed=0)
+        assert snap.version == 1
+        assert snap.health == "healthy"
+        assert set(snap.selected) == set(poc.auction_result.selected)
+        assert snap.failed_links == ()
+        assert snap.serviceable_links == snap.selected
+        assert set(snap.sites) == {"A", "B", "C", "D"}
+        # Posted per-link prices decompose the winners' payments.
+        winner_payments = sum(
+            r.payment for r in poc.auction_result.providers.values() if r.won
+        )
+        assert sum(snap.prices.values()) == pytest.approx(winner_payments)
+
+    def test_admission_is_open(self):
+        poc, tm = provisioned_poc()
+        snap = ServiceSnapshot.build(poc, tm, version=1, seed=0)
+        yes = snap.admit("some-lmp", "A")
+        assert yes["admitted"] is True and yes["reason"] == ""
+        no = snap.admit("some-lmp", "nowhere")
+        assert no["admitted"] is False and no["reason"] == "unknown site"
+
+    def test_allocation_and_pricing_queries(self):
+        poc, tm = provisioned_poc()
+        snap = ServiceSnapshot.build(poc, tm, version=1, seed=0)
+        alloc = snap.allocate("A", "C")
+        assert alloc["connected"] is True
+        assert alloc["rate_gbps"] > 0
+        assert alloc["hops"] >= 1
+        totals = snap.price()
+        assert totals["total_payments"] == pytest.approx(snap.total_payments, abs=1e-6)
+        some_link = snap.selected[0]
+        row = snap.price(some_link)
+        assert row["known"] is True and row["serviceable"] is True
+        ghost = snap.price("no-such-link")
+        assert ghost["known"] is False and ghost["price"] == 0.0
+
+    def test_degraded_build_reflects_failures(self):
+        poc, tm = provisioned_poc()
+        victim = sorted(poc.auction_result.selected)[0]
+        poc.apply_link_failures([victim])
+        snap = ServiceSnapshot.build(poc, tm, version=2, seed=0)
+        assert snap.health == "degraded"
+        assert victim in snap.failed_links
+        assert victim not in snap.serviceable_links
+        health = snap.health_summary()
+        assert health["health"] == "degraded"
+        assert health["failed_links"] == [victim]
+        assert 0.0 <= health["served_fraction"] <= 1.0
+
+    def test_validation_rejects_bad_states(self):
+        poc, tm = provisioned_poc()
+        with pytest.raises(ServiceError):
+            ServiceSnapshot.build(poc, tm, version=0, seed=0)
+        snap = ServiceSnapshot.build(poc, tm, version=1, seed=0)
+        with pytest.raises(ServiceError):
+            ServiceSnapshot(**{**snap.__dict__, "health": "on-fire"})
+
+
+class TestPersistence:
+    def test_round_trip_preserves_answers(self, tmp_path):
+        poc, tm = provisioned_poc()
+        snap = ServiceSnapshot.build(poc, tm, version=3, seed=11)
+        path = tmp_path / "snap.json"
+        save_snapshot(snap, path)
+        loaded = load_snapshot(path)
+        assert loaded.version == 3
+        assert loaded.seed == 11
+        assert loaded.health == snap.health
+        assert loaded.selected == snap.selected
+        assert loaded.allocate("A", "C") == snap.allocate("A", "C")
+        assert loaded.price(snap.selected[0]) == snap.price(snap.selected[0])
+        assert loaded.served_fraction == pytest.approx(snap.served_fraction)
+
+    def test_degraded_round_trip_keeps_residual_view(self, tmp_path):
+        poc, tm = provisioned_poc()
+        victim = sorted(poc.auction_result.selected)[0]
+        poc.apply_link_failures([victim])
+        snap = ServiceSnapshot.build(poc, tm, version=2, seed=0)
+        path = tmp_path / "snap.json"
+        save_snapshot(snap, path)
+        loaded = load_snapshot(path)
+        assert loaded.health == "degraded"
+        assert loaded.failed_links == snap.failed_links
+        # The rebuilt allocation runs over the *serviceable* backbone.
+        assert victim not in snapshot_network(loaded.control).link_ids
+
+    def test_payload_shape_is_canonical(self, tmp_path):
+        poc, tm = provisioned_poc()
+        snap = ServiceSnapshot.build(poc, tm, version=1, seed=0)
+        d1 = snap.to_dict()
+        d2 = ServiceSnapshot.build(poc, tm, version=1, seed=0).to_dict()
+        assert d1 == d2
+        assert d1["rates"] == sorted(d1["rates"])
+
+    def test_missing_or_malformed_files_raise(self, tmp_path):
+        with pytest.raises(ServiceError):
+            load_snapshot_payload(tmp_path / "absent.json")
+        with pytest.raises(ServiceError):
+            ServiceSnapshot.from_dict({"version": 1})
+        with pytest.raises(ServiceError):
+            snapshot_network({"nodes": [{"id": "A"}], "links": []})
+        with pytest.raises(ServiceError):
+            snapshot_tm({"tm": [["A"]], "control": {"nodes": []}})
+
+
+class TestRebuildHelpers:
+    def test_snapshot_network_rebuilds_geometry(self):
+        poc, tm = provisioned_poc()
+        snap = ServiceSnapshot.build(poc, tm, version=1, seed=0)
+        net = snapshot_network(snap.control, serviceable_only=False)
+        assert set(net.node_ids) == set(snap.sites)
+        assert set(net.link_ids) == set(snap.selected)
+
+    def test_snapshot_tm_matches_original_pairs(self):
+        poc, tm = provisioned_poc()
+        snap = ServiceSnapshot.build(poc, tm, version=1, seed=0)
+        rebuilt = snapshot_tm(snap.to_dict())
+        assert sorted(rebuilt.pairs()) == sorted(tm.pairs())

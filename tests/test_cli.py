@@ -341,3 +341,109 @@ class TestAuditCommand:
         out = capsys.readouterr().out
         assert "quarantine" in out
         assert "invalid=1" in out
+
+
+class TestServeCommand:
+    def test_bounded_run_drains_and_persists(self, capsys, tmp_path):
+        path = tmp_path / "serve-snap.json"
+        assert main([
+            "serve", "--preset", "micro", "--seed", "3",
+            "--method", "greedy-drop",
+            "--duration", "0.2", "--heartbeat", "0.05",
+            "--checkpoint", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "serving snapshot v1 (healthy)" in out
+        assert "drained at snapshot v1" in out
+        assert path.exists()
+
+        from repro.service import load_snapshot
+
+        snap = load_snapshot(path)
+        assert snap.version == 1
+        assert snap.health == "healthy"
+
+
+class TestLoadgenCommand:
+    def test_campaign_reports_and_exits_zero(self, capsys):
+        assert main([
+            "loadgen", "--preset", "micro", "--seed", "5",
+            "--method", "greedy-drop",
+            "--duration", "2", "--rate", "50", "--fault-at", "0.8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0 unanswered" in out
+        assert "degraded" in out
+        assert "recovery 0.8s" in out
+
+    def test_json_is_deterministic(self, capsys):
+        argv = [
+            "loadgen", "--preset", "micro", "--seed", "6",
+            "--method", "greedy-drop",
+            "--duration", "2", "--rate", "40", "--json",
+        ]
+        assert main(argv) == 0
+        a = capsys.readouterr().out
+        assert main(argv) == 0
+        b = capsys.readouterr().out
+        assert a == b
+        import json
+
+        payload = json.loads(a)
+        assert payload["unanswered"] == 0
+        assert payload["counts"]
+
+    def test_bad_stall_window_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["loadgen", "--stall-window", "nonsense"])
+
+
+class TestAuditSnapshot:
+    def _persisted_snapshot(self, tmp_path, seed=4):
+        from repro.service import ChaosPlan, LoadgenConfig, ServiceConfig, run_service_benchmark
+        from repro.experiments.pipeline import PipelineCheckpoint
+
+        path = tmp_path / "svc.json"
+        run_service_benchmark(
+            seed,
+            load=LoadgenConfig(duration_s=1.5, base_rate_qps=30.0),
+            chaos=ChaosPlan(fault_times=(0.3,), links_per_fault=1),
+            config=ServiceConfig(primary_method="greedy-drop",
+                                 fallback_method="greedy-cheap"),
+            checkpoint=PipelineCheckpoint(path),
+        )
+        return path
+
+    def test_clean_snapshot_exits_zero(self, capsys, tmp_path):
+        path = self._persisted_snapshot(tmp_path)
+        assert main(["audit", "--snapshot", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 violation(s)" in out
+
+    def test_tampered_snapshot_exits_one(self, capsys, tmp_path):
+        import json
+
+        path = self._persisted_snapshot(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["stages"]["service-snapshot"]["control"]["total_payments"] = 1.0
+        path.write_text(json.dumps(payload))
+        assert main(["audit", "--snapshot", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "vcg-budget-identity" in out
+
+    def test_json_report(self, capsys, tmp_path):
+        import json
+
+        path = self._persisted_snapshot(tmp_path)
+        assert main(["audit", "--snapshot", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["violations"] == []
+        assert payload["health"] == "healthy"
+
+    def test_missing_snapshot_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["audit", "--snapshot", str(tmp_path / "ghost.json")])
+
+    def test_audit_needs_some_target(self):
+        with pytest.raises(SystemExit):
+            main(["audit"])

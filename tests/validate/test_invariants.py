@@ -339,3 +339,98 @@ class TestRunnerIntegration:
                                "demo", clean_spec, store=str(store_path),
                                validation="strict")
         assert "cached trial" in str(strict.value)
+
+
+class TestCheckSnapshot:
+    """Auditing persisted service snapshots (``audit --snapshot``)."""
+
+    @pytest.fixture()
+    def snapshot_payload(self):
+        from repro.core.poc import PublicOptionCore
+        from repro.service.snapshot import ServiceSnapshot
+
+        from tests.service.conftest import service_workload
+
+        net, offers, tm = service_workload()
+        poc = PublicOptionCore(offered=net)
+        poc.provision(offers, tm, constraint=1, method="greedy-drop")
+        return ServiceSnapshot.build(poc, tm, version=1, seed=0).to_dict()
+
+    def test_clean_snapshot_passes(self, snapshot_payload):
+        from repro.validate import check_snapshot
+
+        assert check_snapshot(snapshot_payload) == []
+
+    def test_missing_keys_reported(self):
+        from repro.validate import check_snapshot
+
+        out = check_snapshot({"version": 1})
+        assert [v.invariant for v in out] == ["snapshot-shape"]
+
+    def test_budget_identity_violation(self, snapshot_payload):
+        from repro.validate import check_snapshot
+
+        bad = dict(snapshot_payload)
+        bad["control"] = dict(bad["control"])
+        bad["control"]["total_payments"] = 1.0
+        assert "vcg-budget-identity" in {
+            v.invariant for v in check_snapshot(bad)
+        }
+
+    def test_individual_rationality_violation(self, snapshot_payload):
+        from repro.validate import check_snapshot
+
+        bad = dict(snapshot_payload)
+        bad["control"] = dict(bad["control"])
+        providers = [dict(row) for row in bad["control"]["providers"]]
+        victim = next(r for r in providers if r["won"])
+        delta = victim["payment"] - (victim["declared_cost"] - 1.0)
+        victim["payment"] -= delta
+        bad["control"]["providers"] = providers
+        bad["control"]["total_payments"] -= delta
+        kinds = {v.invariant for v in check_snapshot(bad)}
+        assert "vcg-individual-rationality" in kinds
+        # Lowering a winner's payment also breaks the price decomposition.
+        assert "price-decomposition" in kinds
+
+    def test_failed_links_must_be_selected(self, snapshot_payload):
+        from repro.validate import check_snapshot
+
+        bad = dict(snapshot_payload)
+        bad["control"] = dict(bad["control"])
+        bad["control"]["failed_links"] = ["phantom-link"]
+        kinds = {v.invariant for v in check_snapshot(bad)}
+        assert "snapshot-failed-subset" in kinds
+        assert "snapshot-health-consistent" in kinds
+
+    def test_inflated_rates_caught(self, snapshot_payload):
+        from repro.validate import check_snapshot
+
+        bad = dict(snapshot_payload)
+        bad["rates"] = [[r[0], r[1], r[2] * 3.0, r[3]] for r in bad["rates"]]
+        kinds = {v.invariant for v in check_snapshot(bad)}
+        assert "rate-exceeds-demand" in kinds
+        assert "rate-determinism" in kinds
+
+    def test_served_fraction_must_be_probability(self, snapshot_payload):
+        from repro.validate import check_snapshot
+
+        bad = dict(snapshot_payload)
+        bad["served_fraction"] = 1.5
+        assert "served-fraction-range" in {
+            v.invariant for v in check_snapshot(bad)
+        }
+
+    def test_degraded_snapshot_audits_residual_backbone(self):
+        from repro.core.poc import PublicOptionCore
+        from repro.service.snapshot import ServiceSnapshot
+        from repro.validate import check_snapshot
+
+        from tests.service.conftest import service_workload
+
+        net, offers, tm = service_workload()
+        poc = PublicOptionCore(offered=net)
+        poc.provision(offers, tm, constraint=1, method="greedy-drop")
+        poc.apply_link_failures([sorted(poc.auction_result.selected)[0]])
+        payload = ServiceSnapshot.build(poc, tm, version=2, seed=0).to_dict()
+        assert check_snapshot(payload) == []
