@@ -307,14 +307,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     experiment = args.experiment
     if args.spec:
-        import json as _json
-        import pathlib as _pathlib
+        from repro.sweeps import load_payload
 
+        # Inline JSON or a file path — the same loader `repro run` uses.
         try:
-            payload = _json.loads(_pathlib.Path(args.spec).read_text())
-        except (OSError, _json.JSONDecodeError) as exc:
-            raise SystemExit(f"cannot read sweep spec {args.spec!r}: {exc}")
-        # A spec file may pin its experiment; the flag still overrides.
+            payload = load_payload(args.spec)
+        except SweepError as exc:
+            raise SystemExit(f"cannot load sweep spec: {exc}")
+        # A spec may pin its experiment; the flag still overrides.
         experiment = args.experiment or payload.pop("experiment", None)
         try:
             spec = SweepSpec.from_dict(payload)
@@ -639,6 +639,10 @@ def cmd_audit(args: argparse.Namespace) -> int:
         print(f"audit {args.store}: {audited} entr{'y' if audited == 1 else 'ies'}, "
               f"{store.corrupt_lines} corrupt line(s), "
               f"{len(dirty)} invalid record(s)")
+        if store.corrupt_lines:
+            print(f"  WARNING: {store.corrupt_lines} unparseable line(s) "
+                  f"skipped — their trials will silently re-execute; "
+                  f"treat the store as damaged")
         for key, experiment, violations in dirty:
             print(f"  {str(key)[:12]}… [{experiment}]")
             for violation in violations:
@@ -653,7 +657,188 @@ def cmd_audit(args: argparse.Namespace) -> int:
             )
             print(f"quarantine {quarantine.path}: {len(quarantine)} trial(s)"
                   + (f"  ({summary})" if summary else ""))
-    return 1 if (dirty or snapshot_dirty) else 0
+    # Corrupt lines are dirt too: the cache silently re-executes their
+    # trials, but an *audit* must refuse to call a damaged store clean.
+    return 1 if (dirty or snapshot_dirty or store.corrupt_lines) else 0
+
+
+def _parse_overrides(extras: List[str]):
+    """``repro run`` pass-through overrides: every extra must be
+    ``--NAME=VALUE`` (collapses a matching axis or lands in base)."""
+    sets = {}
+    for extra in extras:
+        if not extra.startswith("--") or "=" not in extra:
+            raise SystemExit(
+                f"unrecognized argument {extra!r}; pack parameter overrides "
+                f"are written --NAME=VALUE"
+            )
+        key, _, raw = extra[2:].partition("=")
+        if not key:
+            raise SystemExit(f"override {extra!r} has an empty name")
+        sets[key] = _coerce_scalar(raw)
+    return sets
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run a scenario pack (by name, path, or inline JSON) into an archive."""
+    import pathlib as _pathlib
+
+    from repro.exceptions import (
+        InvariantViolation,
+        ScenarioError,
+        SweepError,
+        SweepInterrupted,
+    )
+    from repro.scenarios import PackRegistry, default_archive_dir, run_pack
+
+    registry = PackRegistry(args.packs_dir or ())
+    try:
+        pack = registry.resolve(args.pack)
+        sets = _parse_overrides(getattr(args, "extras", []))
+        axes = tuple(_parse_axis_arg(a) for a in args.axis)
+        if sets or axes or args.root_seed is not None or args.repeats is not None:
+            pack = pack.with_overrides(
+                sets, axes, root_seed=args.root_seed, repeats=args.repeats,
+            )
+        if args.validate is not None:
+            import dataclasses as _dataclasses
+
+            pack = _dataclasses.replace(pack, validation=args.validate)
+        trials = pack.resolve()
+    except ScenarioError as exc:
+        raise SystemExit(f"run failed: {exc}")
+
+    archive_dir = (
+        _pathlib.Path(args.archive)
+        if args.archive
+        else default_archive_dir(pack)
+    )
+    print(f"pack {pack.name} ({pack.fingerprint()[:12]}…): {trials} trial(s) "
+          f"-> {archive_dir}", file=sys.stderr)
+
+    def on_progress(beat) -> None:
+        if args.progress:
+            print(beat.formatted(), file=sys.stderr, flush=True)
+
+    try:
+        with _silence_native_stdout():
+            result = run_pack(
+                pack, archive_dir,
+                workers=args.workers,
+                on_progress=on_progress,
+            )
+    except SweepInterrupted as exc:
+        print(f"run interrupted: {exc}", file=sys.stderr)
+        print(f"archive {archive_dir} holds every finished trial; "
+              f"re-run the same command to resume", file=sys.stderr)
+        return 1
+    except (ScenarioError, SweepError, InvariantViolation) as exc:
+        raise SystemExit(f"run failed: {exc}")
+    if args.json:
+        print(result.report_json(pack.group_by))
+    else:
+        print(result.format_report(pack.group_by))
+    if args.report:
+        print(result.supervision_report())
+    print(result.stats_line(), file=sys.stderr)
+    print(f"archived -> {archive_dir}", file=sys.stderr)
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    """Verify (and by default re-execute) a run archive."""
+    from repro.exceptions import ReproduceMismatch, ScenarioError, SweepError
+    from repro.scenarios import reproduce_archive, verify_archive
+
+    if args.check_only:
+        report = verify_archive(args.archive)
+        print(report.formatted())
+        return 1 if report.problems else 0
+    try:
+        with _silence_native_stdout():
+            report = reproduce_archive(
+                args.archive,
+                workers=args.workers,
+                scratch_dir=args.scratch,
+                keep_scratch=args.keep_scratch,
+            )
+    except ReproduceMismatch as exc:
+        print(f"REPRODUCE FAILED: {exc}", file=sys.stderr)
+        if args.diff:
+            print(f"--- archived\n{exc.expected}", file=sys.stderr)
+            print(f"+++ re-executed\n{exc.actual}", file=sys.stderr)
+        return 1
+    except (ScenarioError, SweepError) as exc:
+        raise SystemExit(f"reproduce failed: {exc}")
+    print(report.formatted())
+    return 0
+
+
+def cmd_packs(args: argparse.Namespace) -> int:
+    """List / show / validate the scenario-pack library."""
+    import json as _json
+
+    from repro.exceptions import ScenarioError
+    from repro.scenarios import PackRegistry
+
+    registry = PackRegistry(args.packs_dir or ())
+    if args.show:
+        try:
+            pack = registry.get(args.show)
+        except ScenarioError as exc:
+            raise SystemExit(f"packs failed: {exc}")
+        if args.json:
+            print(_json.dumps(pack.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(pack.summary())
+            if pack.description:
+                print(f"  {pack.description}")
+            print(f"  fingerprint: {pack.fingerprint()}")
+            print(f"  file:        {registry.find(args.show)}")
+            for axis in pack.spec.axes:
+                print(f"  axis {axis.name} = {list(axis.values)}")
+            if pack.spec.base:
+                print(f"  base {dict(pack.spec.base)}")
+        return 0
+    if args.validate:
+        rows = registry.validate_all()
+        bad = [(name, path, err) for name, path, err in rows if err]
+        if args.json:
+            print(_json.dumps({
+                "packs": [
+                    {"name": name, "path": str(path), "error": err}
+                    for name, path, err in rows
+                ],
+                "valid": len(rows) - len(bad),
+                "invalid": len(bad),
+            }, indent=2, sort_keys=True))
+        else:
+            for name, path, err in rows:
+                status = "ok  " if err is None else "FAIL"
+                print(f"  {status} {name:<28} {path}")
+                if err:
+                    print(f"       {err}")
+            print(f"{len(rows) - len(bad)}/{len(rows)} pack(s) valid")
+        return 1 if bad else 0
+    # Default: list.
+    files = registry.pack_files()
+    if args.json:
+        print(_json.dumps(
+            {name: str(path) for name, path in sorted(files.items())},
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    if not files:
+        print("no packs found; search path:")
+        for directory in registry.dirs:
+            print(f"  {directory}")
+        return 0
+    for name in sorted(files):
+        try:
+            print(registry.get(name).summary())
+        except ScenarioError as exc:
+            print(f"{name:<28} INVALID: {exc}")
+    return 0
 
 
 def cmd_planning(args: argparse.Namespace) -> int:
@@ -952,12 +1137,105 @@ def make_parser() -> argparse.ArgumentParser:
     p_perf.add_argument("--top", type=int, default=5,
                         help="how many slowest trials to list")
     p_perf.set_defaults(fn=cmd_perf)
+
+    p_run = add_parser(
+        "run",
+        help="run a scenario pack into a self-contained archive",
+        description="Resolves PACK (a registered name, a pack file, or "
+                    "inline JSON), applies --PARAM=VALUE overrides, and "
+                    "executes the sweep into an archive directory holding "
+                    "the resolved spec, seeds, results, aggregates, and "
+                    "supervision report — everything `reproduce` needs to "
+                    "re-earn the numbers byte-identically.",
+    )
+    p_run.add_argument("pack", metavar="PACK",
+                       help="pack name, pack file path, or inline JSON")
+    p_run.add_argument("--archive", default=None, metavar="DIR",
+                       help="archive directory (default: "
+                            "archives/<name>-<fingerprint12>; re-running "
+                            "resumes an interrupted run)")
+    p_run.add_argument("--packs-dir", action="append", default=None,
+                       metavar="DIR", help="extra pack search directory "
+                                           "(repeatable, highest priority)")
+    p_run.add_argument("--axis", action="append", default=[],
+                       metavar="NAME=VALUES",
+                       help="replace (or add) a sweep axis; repeatable")
+    p_run.add_argument("--workers", type=int, default=None,
+                       help="override the pack's worker count for this run "
+                            "(not part of the fingerprint: results are "
+                            "scheduling-independent)")
+    p_run.add_argument("--root-seed", type=int, default=None,
+                       help="override the pack's root seed (new fingerprint)")
+    p_run.add_argument("--repeats", type=int, default=None,
+                       help="override seeded repeats per grid point")
+    p_run.add_argument("--validate", default=None,
+                       choices=("off", "warn", "quarantine", "strict"),
+                       help="override the pack's validation policy")
+    p_run.add_argument("--json", action="store_true",
+                       help="emit the canonical JSON aggregate")
+    p_run.add_argument("--progress", action="store_true",
+                       help="print progress/ETA beats to stderr")
+    p_run.add_argument("--report", action="store_true",
+                       help="print the supervision incident journal")
+    p_run.set_defaults(fn=cmd_run, accepts_overrides=True)
+
+    p_rep = add_parser(
+        "reproduce",
+        help="re-execute a run archive and assert byte-identical aggregates",
+        description="First audits the archive's internal consistency (every "
+                    "stored trial re-hashes to its content address, the "
+                    "aggregates recompute from the store), then re-executes "
+                    "the pack with a fresh result store and compares the new "
+                    "aggregates byte-for-byte against the archived ones.  "
+                    "--check-only stops after the audit — it catches edited "
+                    "params or result lines without re-running anything.",
+    )
+    p_rep.add_argument("archive", metavar="ARCHIVE",
+                       help="archive directory produced by `run`")
+    p_rep.add_argument("--check-only", action="store_true",
+                       help="integrity audit only; no re-execution")
+    p_rep.add_argument("--workers", type=int, default=None,
+                       help="worker count for the re-run (any value must "
+                            "reproduce the same bytes)")
+    p_rep.add_argument("--scratch", default=None, metavar="DIR",
+                       help="where the re-run executes (default: a temp dir)")
+    p_rep.add_argument("--keep-scratch", action="store_true",
+                       help="keep the re-run's scratch archive for inspection")
+    p_rep.add_argument("--diff", action="store_true",
+                       help="on mismatch, print both aggregate payloads")
+    p_rep.set_defaults(fn=cmd_reproduce)
+
+    p_pk = add_parser(
+        "packs",
+        help="list / show / validate the scenario-pack library",
+        description="Packs resolve from --packs-dir, $REPRO_PACKS, ./packs, "
+                    "and the repository's committed packs/ library, in that "
+                    "order (first hit wins).",
+    )
+    p_pk.add_argument("--list", action="store_true",
+                      help="list resolvable packs (the default)")
+    p_pk.add_argument("--show", default=None, metavar="NAME",
+                      help="print one pack's resolved spec")
+    p_pk.add_argument("--validate", action="store_true",
+                      help="deep-validate every pack (schema + experiment "
+                           "resolution); exit 1 if any fail")
+    p_pk.add_argument("--packs-dir", action="append", default=None,
+                      metavar="DIR", help="extra pack search directory")
+    p_pk.add_argument("--json", action="store_true",
+                      help="emit machine-readable output")
+    p_pk.set_defaults(fn=cmd_packs)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = make_parser()
-    args = parser.parse_args(argv)
+    # `run` takes open-ended --PARAM=VALUE pack overrides; every other
+    # subcommand still rejects unknown arguments exactly as before.
+    args, extras = parser.parse_known_args(argv)
+    if getattr(args, "accepts_overrides", False):
+        args.extras = extras
+    elif extras:
+        parser.error(f"unrecognized arguments: {' '.join(extras)}")
     metrics_path = getattr(args, "metrics", None)
     trace_path = getattr(args, "trace", None)
     if metrics_path or trace_path:

@@ -191,6 +191,43 @@ class SweepInterrupted(SweepError):
     """
 
 
+class ScenarioError(ReproError):
+    """A scenario pack is malformed, unresolvable, or inconsistent.
+
+    Covers schema violations in pack JSON, unknown pack names, override
+    arguments that do not parse, and archive directories whose recorded
+    pack does not match the one being (re-)run.
+    """
+
+
+class ArchiveError(ScenarioError):
+    """A run archive is missing pieces, tampered with, or unreadable.
+
+    Raised by the archive verifier when stored trial keys no longer match
+    their content, when the stored aggregates cannot be recomputed
+    byte-identically from the result store, or when the manifest and the
+    pack spec disagree.
+    """
+
+
+class ReproduceMismatch(ScenarioError):
+    """A re-execution failed to reproduce an archive byte-identically.
+
+    The archive's stored aggregates and the fresh run's aggregates
+    differ — either the environment drifted (code version, dependency
+    numerics) or the archive was edited.  Carries both serialized
+    aggregate payloads for diffing.
+    """
+
+    def __init__(self, context: str, expected: str, actual: str) -> None:
+        super().__init__(
+            f"{context}: re-executed aggregates are not byte-identical "
+            f"to the archived ones"
+        )
+        self.expected = expected
+        self.actual = actual
+
+
 class InvariantViolation(ReproError):
     """A machine-checked contract of the reproduction failed.
 

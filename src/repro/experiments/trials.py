@@ -270,6 +270,118 @@ def chaos_trial(params: Mapping[str, object], seed: int) -> Dict[str, float]:
     }
 
 
+# -- online service load/chaos campaigns --------------------------------------
+
+
+def _parse_fault_times(value: object) -> Tuple[float, ...]:
+    """Accept ``""`` (no faults), ``"5"``, ``"5,12.5"``, or a sequence."""
+    if value is None:
+        return ()
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (float(value),)
+    if isinstance(value, str):
+        parts = [p.strip() for p in value.split(",") if p.strip()]
+    elif isinstance(value, Sequence):
+        parts = list(value)
+    else:
+        raise SweepError(f"cannot parse fault times from {value!r}")
+    try:
+        return tuple(float(p) for p in parts)
+    except (TypeError, ValueError) as exc:
+        raise SweepError(f"bad fault time list {value!r}: {exc}") from exc
+
+
+def _parse_stall_window(value: object) -> Optional[Tuple[float, float]]:
+    """Accept ``""`` (no stall) or ``"start:stop"`` in campaign seconds."""
+    if value is None or value == "":
+        return None
+    if not isinstance(value, str) or ":" not in value:
+        raise SweepError(
+            f"stall_window wants 'START:STOP' seconds or '', got {value!r}"
+        )
+    lo_text, _, hi_text = value.partition(":")
+    try:
+        return float(lo_text), float(hi_text)
+    except ValueError as exc:
+        raise SweepError(f"bad stall_window {value!r}: {exc}") from exc
+
+
+def service_trial(params: Mapping[str, object], seed: int) -> Dict[str, float]:
+    """One deterministic load+chaos campaign against the online daemon.
+
+    Wraps :func:`repro.service.loadgen.run_service_benchmark` with
+    JSON-scalar parameters so the campaign is sweepable: ``fault_times``
+    is a comma-joined string (``""`` = pure load test), ``stall_window``
+    is ``"start:stop"`` or ``""``, ``flash_at < 0`` means no flash
+    crowd.  The default clearing engine is heuristic (``greedy-drop``)
+    to keep grid points at sweep speed; set ``method="milp"`` for exact
+    clearing.  Byte-identical per seed (virtual clock).
+    """
+    from repro.service import ChaosPlan, LoadgenConfig, ServiceConfig
+    from repro.service.loadgen import run_service_benchmark
+
+    flash_at = float(params.get("flash_at", -1.0))
+    load = LoadgenConfig(
+        duration_s=float(params.get("duration_s", 8.0)),
+        base_rate_qps=float(params.get("rate_qps", 60.0)),
+        flash_start_s=flash_at if flash_at >= 0 else None,
+        flash_duration_s=float(params.get("flash_duration", 2.0)),
+        flash_multiplier=float(params.get("flash_mult", 8.0)),
+        deadline_s=(
+            float(params["deadline_s"])
+            if params.get("deadline_s") is not None else None
+        ),
+    )
+    fault_times = _parse_fault_times(params.get("fault_times", ""))
+    stall = _parse_stall_window(params.get("stall_window", ""))
+    chaos = None
+    if fault_times or stall:
+        chaos = ChaosPlan(
+            fault_times=fault_times,
+            links_per_fault=int(params.get("links_per_fault", 2)),
+            stall_window=stall,
+        )
+    primary = str(params.get("method", "greedy-drop"))
+    fallback = "add-prune" if primary != "add-prune" else "greedy-drop"
+    config = ServiceConfig(
+        queue_limit=int(params.get("queue_limit", 64)),
+        batch_max=int(params.get("batch_max", 8)),
+        primary_method=primary,
+        fallback_method=fallback,
+        milp_time_limit_s=30.0,
+    )
+    report = run_service_benchmark(
+        int(seed), load=load, chaos=chaos, config=config,
+    )
+    counts = report.counts
+    return {
+        "submitted": float(report.submitted),
+        "served": float(counts.get("ok", 0) + counts.get("degraded", 0)),
+        "degraded_served": float(report.degraded_served),
+        "shed": float(
+            counts.get("overloaded", 0) + counts.get("deadline-exceeded", 0)
+            + counts.get("draining", 0)
+        ),
+        "shed_rate": report.shed_rate,
+        "unanswered": float(report.unanswered),
+        "p50_ms": report.latency_p50_ms,
+        "p99_ms": report.latency_p99_ms,
+        "max_ms": report.latency_max_ms,
+        "qps_served": report.qps_served,
+        "faults": float(report.faults_injected),
+        "reclears": float(report.reclears),
+        "reclear_failures": float(report.reclear_failures),
+        # None (no fault healed) encodes as -1.0: records must be flat
+        # finite scalars for the content-addressed store.
+        "recovery_s": (
+            report.recovery_s if report.recovery_s is not None else -1.0
+        ),
+        "coalesced_pricing": float(report.coalesced_pricing),
+        "final_version": float(report.final_version),
+        "healthy": 1.0 if report.final_health == "healthy" else 0.0,
+    }
+
+
 # -- synthetic demo (tests, docs, CI wiring checks) ---------------------------
 
 
@@ -343,6 +455,18 @@ def _register_builtins() -> None:
         version="1",
         description="fault-injection campaign survivability (micro workload)",
         defaults={"scenarios": 6, "constraint": 1, "method": "milp"},
+    ), replace=True)
+    register(Experiment(
+        name="service",
+        trial=service_trial,
+        version="1",
+        description="online-daemon load/chaos campaign (virtual clock)",
+        defaults={
+            "duration_s": 8.0, "rate_qps": 60.0, "flash_at": -1.0,
+            "flash_duration": 2.0, "flash_mult": 8.0, "fault_times": "",
+            "links_per_fault": 2, "stall_window": "", "method": "greedy-drop",
+            "queue_limit": 64, "batch_max": 8,
+        },
     ), replace=True)
     register(Experiment(
         name="demo",

@@ -47,6 +47,7 @@ from repro.obs.registry import (
     MetricsRegistry,
     NULL_REGISTRY,
     NullRegistry,
+    SERVICE_LATENCY_BUCKETS,
 )
 from repro.obs.tracing import SpanRecord, TraceCollector
 
@@ -54,6 +55,7 @@ __all__ = [
     "DEFAULT_TIME_BUCKETS",
     "MetricsRegistry",
     "NullRegistry",
+    "SERVICE_LATENCY_BUCKETS",
     "SpanRecord",
     "TraceCollector",
     "configure",
@@ -61,6 +63,7 @@ __all__ = [
     "is_enabled",
     "metrics",
     "metrics_path",
+    "service_scope",
     "span",
     "trace_path",
     "trial_scope",
@@ -361,6 +364,97 @@ def _write_trial_sidecar(
                 "experiment": experiment,
                 "trial": key,
                 "index": index,
+            })
+            _append_line(_state.trace_path, payload)
+
+
+#: Span name of the per-campaign service root; mirrors :data:`TRIAL_SPAN`.
+SERVICE_SPAN = "service"
+
+
+@contextlib.contextmanager
+def service_scope(name: str) -> Iterator[Optional[TraceCollector]]:
+    """Instrument one online-service campaign (daemon run or loadgen).
+
+    The service counterpart of :func:`trial_scope`: a fresh registry and
+    trace collector are activated for the duration of the campaign so the
+    daemon's instrumentation points (request latency histograms, re-clear
+    spans, shed counters) land somewhere other than the no-op registry.
+    On exit — success *or* failure — appends one ``kind="service"`` line
+    to the metrics sidecar (counters, gauges, latency histograms, phase
+    self-times, wall/CPU/RSS) and one ``kind="span"`` line per span to
+    the trace sidecar.  Yields ``None`` and does nothing when
+    observability is off.
+    """
+    _ensure_env_init()
+    if not _state.active:
+        yield None
+        return
+    registry = MetricsRegistry()
+    collector = TraceCollector()
+    prev_registry, prev_trace = _state.registry, _state.trace
+    _state.registry, _state.trace = registry, collector
+    cpu0, _rss0 = _rusage()
+    root = collector.start(SERVICE_SPAN, {"name": name})
+    ok = True
+    try:
+        yield collector
+    except BaseException:
+        ok = False
+        raise
+    finally:
+        collector.close_open(keep_depth=1)
+        collector.finish(root)
+        _state.registry, _state.trace = prev_registry, prev_trace
+        cpu1, rss_kb = _rusage()
+        try:
+            _write_service_sidecar(
+                name, ok=ok, registry=registry, collector=collector,
+                cpu_s=max(0.0, cpu1 - cpu0), max_rss_kb=rss_kb,
+            )
+        except Exception:
+            if ok:
+                raise
+
+
+def _write_service_sidecar(
+    name: str,
+    *,
+    ok: bool,
+    registry: MetricsRegistry,
+    collector: TraceCollector,
+    cpu_s: float,
+    max_rss_kb: int,
+) -> None:
+    root = next(s for s in collector.spans if s.name == SERVICE_SPAN)
+    phases, phase_calls = collector.self_times()
+    phases[OVERHEAD_PHASE] = phases.pop(SERVICE_SPAN, 0.0)
+    phase_calls[OVERHEAD_PHASE] = phase_calls.pop(SERVICE_SPAN, 1)
+    if _state.metrics_path is not None:
+        snapshot = registry.snapshot()
+        _append_line(_state.metrics_path, {
+            "kind": "service",
+            "name": name,
+            "ok": ok,
+            "wall_s": root.dur_s,
+            "cpu_s": cpu_s,
+            "max_rss_kb": max_rss_kb,
+            "counters": snapshot["counters"],
+            "gauges": snapshot["gauges"],
+            "histograms": snapshot["histograms"],
+            "phases": {p: phases[p] for p in sorted(phases)},
+            "phase_calls": {
+                p: phase_calls[p] for p in sorted(phase_calls)
+            },
+        })
+    if _state.trace_path is not None:
+        for record in collector.ordered_spans():
+            payload = record.to_dict()
+            payload.update({
+                "kind": "span",
+                "experiment": f"service:{name}",
+                "trial": "",
+                "index": -1,
             })
             _append_line(_state.trace_path, payload)
 

@@ -9,7 +9,11 @@ timing table.  The aggregator accepts either sidecar format (or a mix):
   per-trial phase totals (the root ``trial`` span's self time becomes
   the ``overhead`` phase);
 - ``kind="sweep"`` lines: cache-hit accounting, latest line per
-  experiment wins.
+  experiment wins;
+- ``kind="service"`` lines (online-daemon campaigns): folded in as
+  pseudo-trials named ``service:<name>`` so clear/re-clear/serve phases
+  sit next to trial phases, with request-latency histograms merged
+  across campaigns and reported as bucket-interpolated percentiles.
 
 Parsing is strict on purpose: NaN/Infinity tokens and corrupt lines
 raise :class:`~repro.exceptions.ObservabilityError` — a telemetry file
@@ -25,7 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import ObservabilityError
-from repro.obs import OVERHEAD_PHASE, TRIAL_SPAN
+from repro.obs import OVERHEAD_PHASE, SERVICE_SPAN, TRIAL_SPAN
 from repro.sweeps.aggregate import percentile
 
 
@@ -92,6 +96,46 @@ class TrialTiming:
     ok: bool
 
 
+@dataclass(frozen=True)
+class HistogramStat:
+    """One histogram (e.g. service request latency) merged across lines.
+
+    Percentiles are estimated from the fixed buckets by linear
+    interpolation inside the bucket holding the q-th observation; the
+    open overflow bin reports the last finite bound (a floor, flagged
+    as such by callers that care).
+    """
+
+    name: str
+    count: int
+    sum: float
+    bounds: Tuple[float, ...]
+    counts: Tuple[int, ...]
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        if not 0.0 <= q <= 100.0:
+            raise ObservabilityError(f"quantile out of range: {q!r}")
+        if self.count == 0:
+            return 0.0
+        target = q / 100.0 * self.count
+        cumulative = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if cumulative + n >= target:
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                if i >= len(self.bounds):  # overflow bin: floor estimate
+                    return self.bounds[-1]
+                hi = self.bounds[i]
+                return lo + (hi - lo) * (target - cumulative) / n
+            cumulative += n
+        return self.bounds[-1]
+
+
 @dataclass
 class PerfReport:
     """Everything the phase-breakdown report shows."""
@@ -100,6 +144,7 @@ class PerfReport:
     phases: List[PhaseStat] = field(default_factory=list)
     counters: Dict[str, float] = field(default_factory=dict)
     sweeps: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    histograms: List[HistogramStat] = field(default_factory=list)
 
     @property
     def total_wall_s(self) -> float:
@@ -145,12 +190,13 @@ def _trials_from_span_lines(
         name = str(line.get("name", ""))
         self_s = float(line.get("self_s", 0.0))
         ident = (experiment, trial_key)
-        phase_name = OVERHEAD_PHASE if name == TRIAL_SPAN else name
+        is_root = name in (TRIAL_SPAN, SERVICE_SPAN)
+        phase_name = OVERHEAD_PHASE if is_root else name
         bucket = phases.setdefault(ident, {})
         bucket[phase_name] = bucket.get(phase_name, 0.0) + self_s
         cbucket = calls.setdefault(ident, {})
         cbucket[phase_name] = cbucket.get(phase_name, 0) + 1
-        if name == TRIAL_SPAN:
+        if is_root:
             trials.append(TrialTiming(
                 experiment=experiment,
                 index=int(line.get("index", -1)),
@@ -171,6 +217,56 @@ def aggregate_perf(lines: Sequence[Mapping[str, object]]) -> PerfReport:
     trial_calls: Dict[Tuple[str, str], Dict[str, int]] = {}
     span_lines: List[Mapping[str, object]] = []
     seen_trial_keys = set()
+    # name -> {bounds, counts, count, sum}: histograms merged across lines.
+    hist_acc: Dict[str, Dict[str, object]] = {}
+    service_seq = 0
+
+    def _fold_histograms(payload: object) -> None:
+        if not isinstance(payload, Mapping):
+            return
+        for name, hist in payload.items():
+            if not isinstance(hist, Mapping):
+                continue
+            bounds = tuple(float(b) for b in hist.get("buckets", ()))
+            counts = [int(c) for c in hist.get("counts", ())]
+            if not bounds or len(counts) != len(bounds) + 1:
+                raise ObservabilityError(
+                    f"histogram {name!r} has malformed buckets/counts"
+                )
+            acc = hist_acc.get(str(name))
+            if acc is None:
+                hist_acc[str(name)] = {
+                    "bounds": bounds,
+                    "counts": counts,
+                    "count": int(hist.get("count", sum(counts))),
+                    "sum": float(hist.get("sum", 0.0)),
+                }
+                continue
+            if acc["bounds"] != bounds:
+                raise ObservabilityError(
+                    f"cannot merge histogram {name!r}: bucket mismatch "
+                    f"across telemetry lines"
+                )
+            acc["counts"] = [a + b for a, b in zip(acc["counts"], counts)]
+            acc["count"] += int(hist.get("count", sum(counts)))
+            acc["sum"] += float(hist.get("sum", 0.0))
+
+    def _fold_common(ident: Tuple[str, str], line: Mapping[str, object]) -> None:
+        phases = line.get("phases")
+        if isinstance(phases, Mapping):
+            bucket = trial_phases.setdefault(ident, {})
+            for name, seconds in phases.items():
+                bucket[name] = bucket.get(name, 0.0) + float(seconds)
+        phase_calls = line.get("phase_calls")
+        if isinstance(phase_calls, Mapping):
+            cbucket = trial_calls.setdefault(ident, {})
+            for name, count in phase_calls.items():
+                cbucket[name] = cbucket.get(name, 0) + int(count)
+        counters = line.get("counters")
+        if isinstance(counters, Mapping):
+            for name, value in counters.items():
+                report.counters[name] = report.counters.get(name, 0) + value
+        _fold_histograms(line.get("histograms"))
 
     for line in lines:
         kind = line.get("kind")
@@ -186,22 +282,28 @@ def aggregate_perf(lines: Sequence[Mapping[str, object]]) -> PerfReport:
                 max_rss_kb=int(line.get("max_rss_kb", 0)),
                 ok=bool(line.get("ok", True)),
             ))
-            phases = line.get("phases")
-            if isinstance(phases, Mapping):
-                bucket = trial_phases.setdefault(ident, {})
-                for name, seconds in phases.items():
-                    bucket[name] = bucket.get(name, 0.0) + float(seconds)
-            phase_calls = line.get("phase_calls")
-            if isinstance(phase_calls, Mapping):
-                cbucket = trial_calls.setdefault(ident, {})
-                for name, count in phase_calls.items():
-                    cbucket[name] = cbucket.get(name, 0) + int(count)
-            counters = line.get("counters")
-            if isinstance(counters, Mapping):
-                for name, value in counters.items():
-                    report.counters[name] = (
-                        report.counters.get(name, 0) + value
-                    )
+            _fold_common(ident, line)
+        elif kind == "service":
+            # One online-service campaign folds in as a pseudo-trial so
+            # its clear/re-clear/serve phases sit next to trial phases in
+            # the breakdown; its latency histograms merge across lines.
+            service_seq += 1
+            experiment = f"service:{line.get('name', '')}"
+            ident = (experiment, f"#{service_seq}")
+            seen_trial_keys.add(ident)
+            # Service trace spans carry trial="" — claim that ident too,
+            # so a metrics+trace aggregate does not double-count phases.
+            seen_trial_keys.add((experiment, ""))
+            report.trials.append(TrialTiming(
+                experiment=experiment,
+                index=service_seq,
+                key="",
+                wall_s=float(line.get("wall_s", 0.0)),
+                cpu_s=float(line.get("cpu_s", 0.0)),
+                max_rss_kb=int(line.get("max_rss_kb", 0)),
+                ok=bool(line.get("ok", True)),
+            ))
+            _fold_common(ident, line)
         elif kind == "span":
             span_lines.append(line)
         elif kind == "sweep":
@@ -244,6 +346,15 @@ def aggregate_perf(lines: Sequence[Mapping[str, object]]) -> PerfReport:
             p95_s=percentile(values, 95.0),
         ))
     report.phases.sort(key=lambda p: (-p.total_s, p.name))
+    for name in sorted(hist_acc):
+        acc = hist_acc[name]
+        report.histograms.append(HistogramStat(
+            name=name,
+            count=int(acc["count"]),
+            sum=float(acc["sum"]),
+            bounds=tuple(acc["bounds"]),
+            counts=tuple(acc["counts"]),
+        ))
     return report
 
 
@@ -283,6 +394,18 @@ def format_perf(report: PerfReport, *, top: int = 5) -> str:
                 f"wall {trial.wall_s * 1000.0:.1f}ms  "
                 f"cpu {trial.cpu_s * 1000.0:.1f}ms{rss}{flag}"
             )
+    if report.histograms:
+        lines.append("latency histograms (bucket-interpolated):")
+        for hist in report.histograms:
+            overflow = hist.counts[-1]
+            note = f"  (+{overflow} over {hist.bounds[-1]:g}s)" if overflow else ""
+            lines.append(
+                f"  {hist.name}: n={hist.count}  "
+                f"mean {1000.0 * hist.mean:.2f}ms  "
+                f"p50 {1000.0 * hist.quantile(50.0):.2f}ms  "
+                f"p95 {1000.0 * hist.quantile(95.0):.2f}ms  "
+                f"p99 {1000.0 * hist.quantile(99.0):.2f}ms{note}"
+            )
     for experiment in sorted(report.sweeps):
         sweep = report.sweeps[experiment]
         lines.append(
@@ -318,6 +441,20 @@ def perf_json(report: PerfReport) -> str:
         ],
         "counters": dict(sorted(report.counters.items())),
         "sweeps": {name: report.sweeps[name] for name in sorted(report.sweeps)},
+        "histograms": [
+            {
+                "name": h.name,
+                "count": h.count,
+                "sum": h.sum,
+                "mean_s": h.mean,
+                "p50_s": h.quantile(50.0),
+                "p95_s": h.quantile(95.0),
+                "p99_s": h.quantile(99.0),
+                "buckets": list(h.bounds),
+                "counts": list(h.counts),
+            }
+            for h in report.histograms
+        ],
     }
     return json.dumps(payload, sort_keys=True, allow_nan=False, indent=2)
 

@@ -35,6 +35,15 @@ DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
     0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
 )
 
+#: Histogram buckets (seconds) for online-service request latencies:
+#: finer sub-second resolution than the trial-phase buckets, because the
+#: daemon's whole latency story (queueing + batching + deadline margins)
+#: plays out between ~5ms and a few seconds.
+SERVICE_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.005, 0.01, 0.02, 0.035, 0.05, 0.075, 0.1, 0.15,
+    0.25, 0.5, 1.0, 2.0, 5.0,
+)
+
 
 def _require_finite(kind: str, name: str, value: float) -> float:
     if isinstance(value, bool) or not isinstance(value, (int, float)):

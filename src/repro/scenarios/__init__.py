@@ -1,0 +1,50 @@
+"""Declarative scenario packs with exact-reproduce archives.
+
+The subsystem ROADMAP item 4 calls for: scenarios-as-data.  One JSON
+file (:class:`ScenarioPack`) names everything a study needs — the
+experiment, the sweep grid, the execution and validation policy — and
+every run lands in a self-contained archive directory that a later
+``repro reproduce`` can re-execute and hold to byte-identical
+aggregates.  Dataflow::
+
+    pack.json ──PackRegistry──► ScenarioPack ──run_pack──► archive/
+                                     │                        │
+                               with_overrides          reproduce_archive
+                               (--PARAM=value)      (fresh store, byte-equal
+                                                     aggregates or raise)
+
+See DESIGN.md §12 for the pack schema, archive layout, and the
+reproduce contract.
+"""
+
+from repro.scenarios.archive import (
+    Archive,
+    ArchiveWriter,
+    check_archive,
+    load_archive,
+)
+from repro.scenarios.pack import SCHEMA, ScenarioPack, load_pack
+from repro.scenarios.registry import PackRegistry, default_search_dirs
+from repro.scenarios.reproduce import (
+    ReproduceReport,
+    reproduce_archive,
+    verify_archive,
+)
+from repro.scenarios.runner import default_archive_dir, run_pack
+
+__all__ = [
+    "Archive",
+    "ArchiveWriter",
+    "PackRegistry",
+    "ReproduceReport",
+    "SCHEMA",
+    "ScenarioPack",
+    "check_archive",
+    "default_archive_dir",
+    "default_search_dirs",
+    "load_archive",
+    "load_pack",
+    "reproduce_archive",
+    "run_pack",
+    "verify_archive",
+]

@@ -1,0 +1,372 @@
+"""Self-contained run archives: everything needed to re-prove a result.
+
+An archive is one directory per pack run::
+
+    archives/<name>-<fingerprint[:12]>/
+      pack.json          resolved ScenarioPack (canonical form)
+      manifest.json      env/version stamp + run accounting + aggregate hash
+      results.jsonl      the run's ResultStore (content-addressed trials)
+      aggregates.json    byte-stable grouped report (the reproduce target)
+      seeds.json         root seed + every trial's derived seed and key
+      supervision.txt    incident journal + quarantine summary
+      checkpoint.json    PipelineCheckpoint (spec fingerprint pin, resume)
+      quarantine.jsonl   poison-trial ledger (present when non-empty)
+      metrics.jsonl      obs sidecar (when telemetry was enabled)
+
+The store file's *bytes* depend on worker scheduling (append order), so
+integrity never hashes ``results.jsonl`` — instead the verifier
+recomputes every entry's content address from its own fields and
+recomputes the aggregates from the entries in trial order.  Any edit to
+a parameter, seed, or result value breaks one of those equalities.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import platform
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Union
+
+import repro
+from repro.exceptions import ArchiveError, ScenarioError
+from repro.scenarios.pack import ScenarioPack
+from repro.sweeps.cache import ResultStore, trial_key
+from repro.sweeps.registry import get_experiment
+from repro.sweeps.runner import SweepResult
+
+ARCHIVE_SCHEMA = "repro.scenarios.archive/1"
+
+PACK_FILE = "pack.json"
+MANIFEST_FILE = "manifest.json"
+RESULTS_FILE = "results.jsonl"
+AGGREGATES_FILE = "aggregates.json"
+SEEDS_FILE = "seeds.json"
+SUPERVISION_FILE = "supervision.txt"
+CHECKPOINT_FILE = "checkpoint.json"
+QUARANTINE_FILE = "quarantine.jsonl"
+METRICS_FILE = "metrics.jsonl"
+
+
+def _sha256_text(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _write_json(path: pathlib.Path, payload: object) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(
+        json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n",
+        encoding="utf-8",
+    )
+    tmp.replace(path)
+
+
+def _read_json(path: pathlib.Path, what: str) -> Dict[str, object]:
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ArchiveError(f"archive is missing its {what} ({path}): {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ArchiveError(f"archive {what} {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ArchiveError(f"archive {what} {path} must be a JSON object")
+    return payload
+
+
+class ArchiveWriter:
+    """Owns one archive directory for the duration of a pack run.
+
+    Opening an empty (or fresh) directory stamps the pack and a
+    ``status: running`` manifest; opening a directory that already holds
+    a pack requires an identical fingerprint — that is what makes
+    re-running the same command a *resume* and running a different pack
+    into the same directory an error rather than silent contamination.
+    """
+
+    def __init__(self, root: Union[str, pathlib.Path], pack: ScenarioPack) -> None:
+        self.root = pathlib.Path(root)
+        self.pack = pack
+        self.root.mkdir(parents=True, exist_ok=True)
+        existing = self.root / PACK_FILE
+        if existing.exists():
+            recorded = ScenarioPack.from_dict(_read_json(existing, "pack"))
+            if recorded.fingerprint() != pack.fingerprint():
+                raise ScenarioError(
+                    f"archive {self.root} holds pack {recorded.name!r} "
+                    f"(fingerprint {recorded.fingerprint()[:12]}…), refusing "
+                    f"to run {pack.name!r} ({pack.fingerprint()[:12]}…) into "
+                    f"it; pick a fresh --archive directory"
+                )
+            self.resumed = True
+        else:
+            _write_json(existing, pack.to_dict())
+            self.resumed = False
+        self._stamp_manifest(status="running")
+
+    # -- paths the runner plugs into the sweep machinery ----------------------
+
+    @property
+    def store_path(self) -> pathlib.Path:
+        return self.root / RESULTS_FILE
+
+    @property
+    def checkpoint_path(self) -> pathlib.Path:
+        return self.root / CHECKPOINT_FILE
+
+    @property
+    def quarantine_path(self) -> pathlib.Path:
+        return self.root / QUARANTINE_FILE
+
+    @property
+    def metrics_path(self) -> pathlib.Path:
+        return self.root / METRICS_FILE
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _stamp_manifest(self, status: str, **extra: object) -> None:
+        exp = get_experiment(self.pack.experiment)
+        manifest: Dict[str, object] = {
+            "schema": ARCHIVE_SCHEMA,
+            "status": status,
+            "pack": self.pack.name,
+            "pack_fingerprint": self.pack.fingerprint(),
+            "experiment": exp.name,
+            "experiment_version": exp.version,
+            "repro_version": repro.__version__,
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "group_by": list(self.pack.group_by),
+            "root_seed": self.pack.spec.seed,
+        }
+        manifest.update(extra)
+        _write_json(self.root / MANIFEST_FILE, manifest)
+
+    def finalize(self, result: SweepResult) -> pathlib.Path:
+        """Seal the archive after a completed run.
+
+        Writes the byte-stable aggregates (the reproduce target), the
+        per-trial seed ledger, the supervision report, and flips the
+        manifest to ``status: complete`` with the aggregate hash pinned.
+        """
+        aggregates = result.report_json(self.pack.group_by)
+        (self.root / AGGREGATES_FILE).write_text(aggregates, encoding="utf-8")
+        seeds = {
+            "root_seed": self.pack.spec.seed,
+            "trials": [
+                {"index": o.index, "seed": o.seed, "key": o.key}
+                for o in result.outcomes
+            ],
+        }
+        _write_json(self.root / SEEDS_FILE, seeds)
+        (self.root / SUPERVISION_FILE).write_text(
+            result.stats_line() + "\n\n" + result.supervision_report() + "\n",
+            encoding="utf-8",
+        )
+        self._stamp_manifest(
+            status="complete",
+            trials=len(result.outcomes),
+            executed=result.executed,
+            cache_hits=result.cache_hits,
+            quarantined=len(result.quarantined),
+            workers=result.workers,
+            aggregates_sha256=_sha256_text(aggregates),
+        )
+        return self.root
+
+
+@dataclass(frozen=True)
+class Archive:
+    """A loaded (read-only) archive directory."""
+
+    root: pathlib.Path
+    pack: ScenarioPack
+    manifest: Mapping[str, object]
+
+    @property
+    def aggregates_path(self) -> pathlib.Path:
+        return self.root / AGGREGATES_FILE
+
+    def aggregates(self) -> str:
+        try:
+            return self.aggregates_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ArchiveError(
+                f"archive {self.root} has no aggregates ({exc}); "
+                f"was the run interrupted? re-run the pack to finalize it"
+            ) from exc
+
+    def store(self) -> ResultStore:
+        return ResultStore(self.root / RESULTS_FILE)
+
+
+def load_archive(root: Union[str, pathlib.Path]) -> Archive:
+    root = pathlib.Path(root)
+    if not root.is_dir():
+        raise ArchiveError(f"archive {root} is not a directory")
+    pack = ScenarioPack.from_dict(_read_json(root / PACK_FILE, "pack"))
+    manifest = _read_json(root / MANIFEST_FILE, "manifest")
+    if manifest.get("schema") != ARCHIVE_SCHEMA:
+        raise ArchiveError(
+            f"archive {root} has schema {manifest.get('schema')!r}, "
+            f"expected {ARCHIVE_SCHEMA!r}"
+        )
+    return Archive(root=root, pack=pack, manifest=manifest)
+
+
+def check_archive(root: Union[str, pathlib.Path]) -> List[str]:
+    """Verify an archive's internal consistency without re-running it.
+
+    Returns a list of problems (empty = intact).  The checks recompute
+    everything recomputable: each stored entry's content address from
+    its own fields (so an edited parameter, seed, or key is caught), the
+    expected key set from the pack spec, the aggregates from the store
+    in trial order, and the manifest's pinned aggregate hash.
+    """
+    problems: List[str] = []
+    try:
+        archive = load_archive(root)
+    except (ArchiveError, ScenarioError) as exc:
+        return [str(exc)]
+    pack, manifest = archive.pack, archive.manifest
+
+    if manifest.get("pack_fingerprint") != pack.fingerprint():
+        problems.append(
+            "manifest pack_fingerprint does not match pack.json "
+            f"({str(manifest.get('pack_fingerprint'))[:12]}… != "
+            f"{pack.fingerprint()[:12]}…)"
+        )
+    if manifest.get("status") != "complete":
+        problems.append(
+            f"manifest status is {manifest.get('status')!r}, not 'complete' "
+            f"(interrupted run? re-run the pack to finalize)"
+        )
+
+    # Version drift: a reproduce against a newer trial function is a
+    # different experiment, not a failed archive — but it must be loud.
+    try:
+        exp = get_experiment(pack.experiment)
+        if exp.version != manifest.get("experiment_version"):
+            problems.append(
+                f"experiment {pack.experiment!r} is now version "
+                f"{exp.version!r} but the archive ran version "
+                f"{manifest.get('experiment_version')!r}; results are not "
+                f"comparable"
+            )
+    except Exception as exc:  # unknown experiment
+        problems.append(str(exc))
+        return problems
+
+    store = archive.store()
+    if store.corrupt_lines:
+        problems.append(f"results.jsonl has {store.corrupt_lines} corrupt line(s)")
+
+    # Every stored entry must hash to its own key.
+    version = str(manifest.get("experiment_version", exp.version))
+    for entry in store.entries():
+        params = entry.get("params")
+        seed = entry.get("seed")
+        key = str(entry.get("key"))
+        if not isinstance(params, dict) or not isinstance(seed, int):
+            problems.append(f"store entry {key[:12]}… is malformed")
+            continue
+        recomputed = trial_key(pack.experiment, version, params, seed)
+        if recomputed != key:
+            problems.append(
+                f"store entry {key[:12]}… does not hash to its key "
+                f"(params/seed edited?)"
+            )
+
+    # The store must contain exactly the pack's trials (minus quarantined).
+    expected: Dict[str, int] = {}
+    for trial in pack.spec.trials():
+        params = exp.resolved_params(trial.params)
+        expected[trial_key(pack.experiment, version, params, trial.seed)] = trial.index
+    quarantined = _quarantined_keys(archive.root)
+    stored = set(store.keys())
+    missing = sorted(set(expected) - stored - quarantined)
+    foreign = sorted(stored - set(expected))
+    if missing:
+        problems.append(
+            f"{len(missing)} expected trial(s) missing from results.jsonl "
+            f"(first: {missing[0][:12]}…)"
+        )
+    if foreign:
+        problems.append(
+            f"{len(foreign)} stored trial(s) do not belong to this pack "
+            f"(first: {foreign[0][:12]}…)"
+        )
+
+    # The aggregates must be recomputable byte-identically from the store.
+    try:
+        stored_aggregates = archive.aggregates()
+    except ArchiveError as exc:
+        problems.append(str(exc))
+        return problems
+    rows = []
+    for key, index in sorted(expected.items(), key=lambda kv: kv[1]):
+        entry = store.get(key)
+        if entry is None:
+            continue
+        rows.append((entry.get("params", {}), entry.get("record", {})))
+    from repro.sweeps.aggregate import aggregate, report_json
+
+    try:
+        recomputed_aggregates = report_json(
+            pack.experiment, aggregate(rows, group_by=pack.group_by)
+        )
+    except Exception as exc:
+        problems.append(f"aggregates are not recomputable from the store: {exc}")
+        recomputed_aggregates = None
+    if (recomputed_aggregates is not None
+            and recomputed_aggregates != stored_aggregates):
+        problems.append(
+            "aggregates.json is not byte-identical to the aggregates "
+            "recomputed from results.jsonl (result record edited?)"
+        )
+    pinned = manifest.get("aggregates_sha256")
+    if pinned is not None and pinned != _sha256_text(stored_aggregates):
+        problems.append(
+            "manifest aggregates_sha256 does not match aggregates.json"
+        )
+
+    # The seed ledger must match the spec's derived seeds.
+    seeds_path = archive.root / SEEDS_FILE
+    if seeds_path.exists():
+        seeds = _read_json(seeds_path, "seed ledger")
+        ledger = {
+            str(row.get("key")): row.get("seed")
+            for row in seeds.get("trials", ())
+            if isinstance(row, dict)
+        }
+        by_key = {
+            trial_key(pack.experiment, version,
+                      exp.resolved_params(t.params), t.seed): t.seed
+            for t in pack.spec.trials()
+        }
+        for key, seed in ledger.items():
+            if key in by_key and by_key[key] != seed:
+                problems.append(
+                    f"seed ledger entry {key[:12]}… records seed {seed}, "
+                    f"spec derives {by_key[key]}"
+                )
+    return problems
+
+
+def _quarantined_keys(root: pathlib.Path) -> set:
+    path = root / QUARANTINE_FILE
+    keys = set()
+    if not path.exists():
+        return keys
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(entry, dict) and isinstance(entry.get("key"), str):
+            keys.add(entry["key"])
+    return keys

@@ -1,0 +1,303 @@
+"""Declarative scenario packs: one JSON file = one reviewable study.
+
+A :class:`ScenarioPack` names everything a run needs — the registered
+experiment (which fixes topology, traffic model, economic regime, and
+fault campaign through its parameters), the sweep grid over it, the
+execution policy (workers, supervision, deadlines), and the validation
+policy gating results — so a new scenario is a data change, not a code
+change.  The spec is deliberately stdlib-JSON: no new dependency, and
+the canonical serialization doubles as the pack's content fingerprint,
+which archives pin so a re-run can prove it executed the same study.
+
+Schema (``"schema": "repro.scenarios/1"``)::
+
+    {
+      "schema": "repro.scenarios/1",
+      "name": "chaos-regional-blackout",          # [a-z0-9-]+, = file stem
+      "title": "...",                             # optional one-liner
+      "description": "...",                       # optional prose
+      "tags": ["chaos", "resilience"],            # optional labels
+      "experiment": "chaos",                      # registered experiment
+      "sweep": {                                  # SweepSpec payload
+        "axes": [{"name": "seed", "values": [0, 1, 2]}],
+        "mode": "cartesian", "base": {...}, "seed": 0, "repeats": 1
+      },
+      "group_by": ["seed"],                       # aggregate grouping
+      "validation": "quarantine",                 # off|warn|quarantine|strict
+      "execution": {                              # all optional
+        "workers": 2, "supervised": true, "trial_timeout_s": 30.0,
+        "max_trial_attempts": 2, "respawn_budget": 8
+      }
+    }
+
+Override semantics (``repro run PACK --PARAM=value``): a ``--PARAM``
+naming an existing axis collapses that axis to the single given value;
+any other ``--PARAM`` lands in the sweep's ``base`` constants.  A full
+``--axis name=v1,v2`` replaces the axis (or appends a new one).  Either
+way the result is a *new* pack with a new fingerprint — archives never
+mix spec variants.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ScenarioError, SweepError
+from repro.sweeps.spec import Axis, SweepSpec, canonical_json, load_payload
+
+#: The one schema this code reads/writes; bump on incompatible change.
+SCHEMA = "repro.scenarios/1"
+
+_NAME_RE = re.compile(r"^[a-z0-9][a-z0-9-]*$")
+
+_TOP_KEYS = frozenset({
+    "schema", "name", "title", "description", "tags",
+    "experiment", "sweep", "group_by", "validation", "execution",
+})
+_EXECUTION_KEYS = frozenset({
+    "workers", "start_method", "supervised", "trial_timeout_s",
+    "max_trial_attempts", "respawn_budget",
+})
+_VALIDATION_MODES = ("off", "warn", "quarantine", "strict")
+_START_METHODS = (None, "fork", "spawn", "forkserver")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ScenarioError(message)
+
+
+@dataclass(frozen=True)
+class ScenarioPack:
+    """One fully-resolved scenario: what to run, how, and how carefully."""
+
+    name: str
+    experiment: str
+    spec: SweepSpec
+    title: str = ""
+    description: str = ""
+    tags: Tuple[str, ...] = ()
+    group_by: Tuple[str, ...] = ()
+    validation: str = "off"
+    workers: int = 0
+    start_method: Optional[str] = None
+    supervised: bool = False
+    trial_timeout_s: Optional[float] = None
+    max_trial_attempts: int = 2
+    respawn_budget: int = 8
+
+    def __post_init__(self) -> None:
+        _require(bool(_NAME_RE.match(self.name)),
+                 f"pack name {self.name!r} must match [a-z0-9][a-z0-9-]*")
+        _require(self.validation in _VALIDATION_MODES,
+                 f"pack {self.name!r}: validation must be one of "
+                 f"{_VALIDATION_MODES}, got {self.validation!r}")
+        _require(self.workers >= 0,
+                 f"pack {self.name!r}: workers must be >= 0")
+        _require(self.start_method in _START_METHODS,
+                 f"pack {self.name!r}: start_method must be one of "
+                 f"{_START_METHODS[1:]}, got {self.start_method!r}")
+        _require(self.trial_timeout_s is None or self.trial_timeout_s > 0,
+                 f"pack {self.name!r}: trial_timeout_s must be positive")
+        _require(self.max_trial_attempts >= 1,
+                 f"pack {self.name!r}: max_trial_attempts must be >= 1")
+        _require(self.respawn_budget >= 0,
+                 f"pack {self.name!r}: respawn_budget must be >= 0")
+        axis_names = set(self.spec.axis_names) | set(self.spec.base)
+        for key in self.group_by:
+            _require(key in axis_names,
+                     f"pack {self.name!r}: group_by key {key!r} is neither "
+                     f"an axis nor a base constant")
+        object.__setattr__(self, "tags", tuple(str(t) for t in self.tags))
+        object.__setattr__(self, "group_by", tuple(self.group_by))
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ScenarioPack":
+        """Parse + schema-validate one pack payload (strict: unknown keys
+        are errors, so typos fail loudly instead of silently no-op'ing)."""
+        _require(isinstance(payload, Mapping),
+                 f"pack payload must be a JSON object, got {type(payload).__name__}")
+        unknown = sorted(set(payload) - _TOP_KEYS)
+        _require(not unknown, f"pack has unknown key(s) {unknown}; "
+                              f"allowed: {sorted(_TOP_KEYS)}")
+        _require(payload.get("schema") == SCHEMA,
+                 f"pack schema must be {SCHEMA!r}, got {payload.get('schema')!r}")
+        name = payload.get("name")
+        _require(isinstance(name, str) and bool(name),
+                 "pack needs a non-empty string 'name'")
+        experiment = payload.get("experiment")
+        _require(isinstance(experiment, str) and bool(experiment),
+                 f"pack {name!r} needs a non-empty string 'experiment'")
+        sweep = payload.get("sweep")
+        _require(isinstance(sweep, Mapping),
+                 f"pack {name!r} needs a 'sweep' object (axes/mode/base/...)")
+        _require("experiment" not in sweep,
+                 f"pack {name!r}: the experiment is named at pack level, "
+                 f"not inside 'sweep'")
+        try:
+            spec = SweepSpec.from_dict(sweep)
+        except SweepError as exc:
+            raise ScenarioError(f"pack {name!r}: bad sweep spec: {exc}") from exc
+
+        tags = payload.get("tags", ())
+        _require(isinstance(tags, Sequence) and not isinstance(tags, (str, bytes)),
+                 f"pack {name!r}: 'tags' must be a list of strings")
+        group_by = payload.get("group_by", ())
+        _require(isinstance(group_by, Sequence)
+                 and not isinstance(group_by, (str, bytes))
+                 and all(isinstance(g, str) for g in group_by),
+                 f"pack {name!r}: 'group_by' must be a list of axis names")
+
+        execution = payload.get("execution", {})
+        _require(isinstance(execution, Mapping),
+                 f"pack {name!r}: 'execution' must be an object")
+        bad = sorted(set(execution) - _EXECUTION_KEYS)
+        _require(not bad, f"pack {name!r}: unknown execution key(s) {bad}; "
+                          f"allowed: {sorted(_EXECUTION_KEYS)}")
+
+        timeout = execution.get("trial_timeout_s")
+        try:
+            return cls(
+                name=str(name),
+                experiment=str(experiment),
+                spec=spec,
+                title=str(payload.get("title", "")),
+                description=str(payload.get("description", "")),
+                tags=tuple(tags),
+                group_by=tuple(group_by),
+                validation=str(payload.get("validation", "off")),
+                workers=int(execution.get("workers", 0)),
+                start_method=execution.get("start_method"),
+                supervised=bool(execution.get("supervised", False)),
+                trial_timeout_s=None if timeout is None else float(timeout),
+                max_trial_attempts=int(execution.get("max_trial_attempts", 2)),
+                respawn_budget=int(execution.get("respawn_budget", 8)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ScenarioError(f"pack {name!r}: malformed execution value: {exc}")
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """The fully-resolved canonical form (defaults made explicit).
+
+        Two packs that differ only in default elision serialize — and
+        therefore fingerprint — identically.
+        """
+        return {
+            "schema": SCHEMA,
+            "name": self.name,
+            "title": self.title,
+            "description": self.description,
+            "tags": list(self.tags),
+            "experiment": self.experiment,
+            "sweep": self.spec.to_dict(),
+            "group_by": list(self.group_by),
+            "validation": self.validation,
+            "execution": {
+                "workers": self.workers,
+                "start_method": self.start_method,
+                "supervised": self.supervised,
+                "trial_timeout_s": self.trial_timeout_s,
+                "max_trial_attempts": self.max_trial_attempts,
+                "respawn_budget": self.respawn_budget,
+            },
+        }
+
+    def to_json(self) -> str:
+        return canonical_json(self.to_dict())
+
+    def fingerprint(self) -> str:
+        """Content hash of the resolved pack (what archives pin)."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+    # -- deep validation ------------------------------------------------------
+
+    def resolve(self) -> int:
+        """Resolve the pack against the live experiment registry.
+
+        Checks that the experiment exists and that every grid point's
+        parameters merge cleanly with its defaults; returns the trial
+        count.  This is what ``repro packs --validate`` runs over the
+        committed library.
+        """
+        from repro.sweeps.registry import get_experiment
+
+        try:
+            exp = get_experiment(self.experiment)
+        except SweepError as exc:
+            raise ScenarioError(f"pack {self.name!r}: {exc}") from exc
+        trials = self.spec.trials()
+        for trial in trials:
+            exp.resolved_params(trial.params)
+        return len(trials)
+
+    # -- overrides ------------------------------------------------------------
+
+    def with_overrides(
+        self,
+        sets: Optional[Mapping[str, object]] = None,
+        axes: Sequence[Axis] = (),
+        *,
+        root_seed: Optional[int] = None,
+        repeats: Optional[int] = None,
+    ) -> "ScenarioPack":
+        """A new pack with parameter overrides layered onto the sweep.
+
+        ``sets`` entries collapse a matching axis to one value, or land
+        in ``base`` otherwise; ``axes`` replace same-named axes in place
+        (new names append).  The returned pack has a new fingerprint, so
+        an overridden run archives as its own study.
+        """
+        axis_list: List[Axis] = list(self.spec.axes)
+        names = [a.name for a in axis_list]
+        base = dict(self.spec.base)
+        for key, value in (sets or {}).items():
+            if key in names:
+                axis_list[names.index(key)] = Axis(key, (value,))
+            else:
+                base[key] = value
+        for axis in axes:
+            if axis.name in names:
+                axis_list[names.index(axis.name)] = axis
+            else:
+                axis_list.append(axis)
+                names.append(axis.name)
+        try:
+            spec = SweepSpec(
+                axes=tuple(axis_list),
+                mode=self.spec.mode,
+                base=base,
+                seed=self.spec.seed if root_seed is None else int(root_seed),
+                repeats=self.spec.repeats if repeats is None else int(repeats),
+            )
+        except SweepError as exc:
+            raise ScenarioError(
+                f"pack {self.name!r}: overrides produce an invalid sweep: {exc}"
+            ) from exc
+        # group_by keys may have moved between axis and base; re-validated
+        # by __post_init__ on the new instance.
+        return replace(self, spec=spec)
+
+    def summary(self) -> str:
+        grid = " × ".join(
+            f"{a.name}[{len(a.values)}]" for a in self.spec.axes
+        )
+        return (f"{self.name:<28} {self.experiment:<10} {grid:<28} "
+                f"trials={self.spec.num_trials():<4} "
+                f"validate={self.validation} workers={self.workers}"
+                + (f"  {self.title}" if self.title else ""))
+
+
+def load_pack(source: Union[str, "object"]) -> ScenarioPack:
+    """Load a pack from a file path or inline JSON (shared loader)."""
+    try:
+        payload = load_payload(source)
+    except SweepError as exc:
+        raise ScenarioError(str(exc)) from exc
+    return ScenarioPack.from_dict(payload)

@@ -1,0 +1,136 @@
+"""Named-pack resolution: from a name to a :class:`ScenarioPack`.
+
+The registry maps pack *names* to pack *files* across a search path, so
+``repro run chaos-regional-blackout`` works from anywhere in the repo
+(and user studies can shadow committed packs without editing them).
+
+Search order — first directory containing ``<name>.json`` wins:
+
+1. explicit directories (``--packs-dir``, repeatable),
+2. the ``REPRO_PACKS`` environment variable (``os.pathsep``-separated),
+3. ``./packs`` relative to the current working directory,
+4. the repository's committed ``packs/`` library.
+
+A pack file's stem must equal the pack's declared ``name`` — the file
+system is the index, and a mismatch would make ``repro packs --list``
+lie about what ``repro run`` resolves.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ScenarioError
+from repro.scenarios.pack import ScenarioPack, load_pack
+
+#: The committed library, resolved relative to this file:
+#: src/repro/scenarios/registry.py -> parents[3] == the repo root.
+_BUILTIN_DIR = pathlib.Path(__file__).resolve().parents[3] / "packs"
+
+ENV_VAR = "REPRO_PACKS"
+
+
+def default_search_dirs(
+    extra: Sequence[Union[str, pathlib.Path]] = (),
+) -> List[pathlib.Path]:
+    """The resolved search path, in precedence order, existing dirs only."""
+    candidates: List[pathlib.Path] = [pathlib.Path(d) for d in extra]
+    env = os.environ.get(ENV_VAR, "")
+    for part in env.split(os.pathsep):
+        if part.strip():
+            candidates.append(pathlib.Path(part.strip()))
+    candidates.append(pathlib.Path.cwd() / "packs")
+    candidates.append(_BUILTIN_DIR)
+    seen: List[pathlib.Path] = []
+    for cand in candidates:
+        resolved = cand.resolve()
+        if resolved.is_dir() and resolved not in seen:
+            seen.append(resolved)
+    return seen
+
+
+class PackRegistry:
+    """Resolves pack names to files across the search path."""
+
+    def __init__(self, dirs: Sequence[Union[str, pathlib.Path]] = ()) -> None:
+        self.dirs = default_search_dirs(dirs)
+
+    # -- enumeration ----------------------------------------------------------
+
+    def pack_files(self) -> Dict[str, pathlib.Path]:
+        """name -> file for every resolvable pack (first dir wins)."""
+        out: Dict[str, pathlib.Path] = {}
+        for directory in self.dirs:
+            for path in sorted(directory.glob("*.json")):
+                out.setdefault(path.stem, path)
+        return out
+
+    def names(self) -> List[str]:
+        return sorted(self.pack_files())
+
+    # -- resolution -----------------------------------------------------------
+
+    def find(self, name: str) -> Optional[pathlib.Path]:
+        for directory in self.dirs:
+            candidate = directory / f"{name}.json"
+            if candidate.is_file():
+                return candidate
+        return None
+
+    def get(self, name: str) -> ScenarioPack:
+        """Load one pack by name; the file stem must match the name."""
+        path = self.find(name)
+        if path is None:
+            known = ", ".join(self.names()) or "(none found)"
+            raise ScenarioError(
+                f"no pack named {name!r} on the search path "
+                f"{[str(d) for d in self.dirs]}; known packs: {known}"
+            )
+        pack = load_pack(path)
+        if pack.name != name:
+            raise ScenarioError(
+                f"pack file {path} declares name {pack.name!r} but its "
+                f"file stem is {name!r}; rename one to match"
+            )
+        return pack
+
+    def resolve(self, source: str) -> ScenarioPack:
+        """The ``repro run`` front door: name, file path, or inline JSON.
+
+        Inline JSON starts with ``{``; an argument naming an existing
+        file (or containing a path separator / ``.json`` suffix) loads
+        as a file; anything else is looked up as a registered name.
+        """
+        text = source.strip()
+        if text.startswith("{"):
+            return load_pack(text)
+        path = pathlib.Path(source)
+        if path.is_file() or os.sep in source or source.endswith(".json"):
+            return load_pack(path)
+        return self.get(source)
+
+    # -- validation -----------------------------------------------------------
+
+    def validate_all(self) -> List[Tuple[str, pathlib.Path, Optional[str]]]:
+        """Deep-validate every resolvable pack.
+
+        Returns ``(name, path, error)`` rows, ``error=None`` when the
+        pack parses, matches its file stem, and resolves against the
+        experiment registry.
+        """
+        rows: List[Tuple[str, pathlib.Path, Optional[str]]] = []
+        for name, path in sorted(self.pack_files().items()):
+            try:
+                pack = load_pack(path)
+                if pack.name != name:
+                    raise ScenarioError(
+                        f"declared name {pack.name!r} != file stem {name!r}"
+                    )
+                pack.resolve()
+            except ScenarioError as exc:
+                rows.append((name, path, str(exc)))
+            else:
+                rows.append((name, path, None))
+        return rows

@@ -1,0 +1,138 @@
+"""The reproduce contract: an archive must re-earn its own aggregates.
+
+``reproduce_archive`` re-executes an archive's pack through the live
+sweep machinery — with a *fresh* result store, so nothing can be served
+from the archived cache — and compares the newly-computed byte-stable
+aggregates against the archived ``aggregates.json``.  Equality means
+the claim in the archive is re-derivable from code + spec + seeds on
+this machine today; any mismatch raises
+:class:`~repro.exceptions.ReproduceMismatch` carrying both payloads.
+
+``--check-only`` (``verify_archive``) skips re-execution and instead
+audits the archive's internal consistency: every stored trial re-hashes
+to its own content address, the aggregates recompute byte-identically
+from the store, and the manifest's pinned hash matches.  That catches
+tampering (an edited parameter or result line) in milliseconds.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.exceptions import ArchiveError, ReproduceMismatch
+from repro.scenarios.archive import Archive, check_archive, load_archive
+from repro.scenarios.runner import run_pack
+
+
+@dataclass
+class ReproduceReport:
+    """What a reproduction run established."""
+
+    archive: pathlib.Path
+    pack: str
+    fingerprint: str
+    workers: int
+    trials: int = 0
+    executed: int = 0
+    #: Byte-identical aggregates confirmed.
+    reproduced: bool = False
+    #: check_archive problems (pre-flight; empty when intact).
+    problems: List[str] = field(default_factory=list)
+
+    def formatted(self) -> str:
+        lines = [
+            f"archive:     {self.archive}",
+            f"pack:        {self.pack} ({self.fingerprint[:12]}…)",
+        ]
+        if self.problems:
+            lines.append(f"INTEGRITY: {len(self.problems)} problem(s)")
+            lines.extend(f"  - {p}" for p in self.problems)
+            return "\n".join(lines)
+        lines.append("integrity:   ok (keys re-hash, aggregates recompute)")
+        if self.reproduced:
+            lines.append(
+                f"reproduce:   ok — {self.trials} trial(s) re-executed with "
+                f"workers={self.workers}, aggregates byte-identical"
+            )
+        return "\n".join(lines)
+
+
+def verify_archive(root: Union[str, pathlib.Path]) -> ReproduceReport:
+    """The ``--check-only`` path: integrity audit without re-execution."""
+    root = pathlib.Path(root)
+    problems = check_archive(root)
+    pack_name, fingerprint = "?", "?" * 12
+    try:
+        archive = load_archive(root)
+        pack_name = archive.pack.name
+        fingerprint = archive.pack.fingerprint()
+    except (ArchiveError, Exception):
+        pass
+    return ReproduceReport(
+        archive=root,
+        pack=pack_name,
+        fingerprint=fingerprint,
+        workers=0,
+        problems=problems,
+    )
+
+
+def reproduce_archive(
+    root: Union[str, pathlib.Path],
+    *,
+    workers: Optional[int] = None,
+    scratch_dir: Union[str, pathlib.Path, None] = None,
+    keep_scratch: bool = False,
+) -> ReproduceReport:
+    """Re-execute an archive and assert byte-identical aggregates.
+
+    The re-run uses the archived pack verbatim; ``workers`` overrides
+    the worker count (the contract is that serial and any-N-workers all
+    produce the same bytes).  Raises :class:`ArchiveError` when the
+    pre-flight integrity audit fails, :class:`ReproduceMismatch` when
+    the fresh aggregates differ from the archived ones.
+    """
+    root = pathlib.Path(root)
+    problems = check_archive(root)
+    if problems:
+        raise ArchiveError(
+            f"archive {root} fails its integrity audit "
+            f"({len(problems)} problem(s)): " + "; ".join(problems)
+        )
+    archive: Archive = load_archive(root)
+    expected = archive.aggregates()
+
+    scratch = (
+        pathlib.Path(scratch_dir)
+        if scratch_dir is not None
+        else pathlib.Path(tempfile.mkdtemp(prefix=f"reproduce-{archive.pack.name}-"))
+    )
+    try:
+        result = run_pack(
+            archive.pack,
+            scratch,
+            workers=workers,
+        )
+        actual = result.report_json(archive.pack.group_by)
+        if actual != expected:
+            raise ReproduceMismatch(
+                f"archive {root} (pack {archive.pack.name!r})",
+                expected,
+                actual,
+            )
+        return ReproduceReport(
+            archive=root,
+            pack=archive.pack.name,
+            fingerprint=archive.pack.fingerprint(),
+            workers=result.workers,
+            trials=len(result.outcomes),
+            executed=result.executed,
+            reproduced=True,
+        )
+    finally:
+        if not keep_scratch:
+            shutil.rmtree(scratch, ignore_errors=True)

@@ -1,0 +1,92 @@
+"""Pack execution: one call from a :class:`ScenarioPack` to a sealed archive.
+
+``run_pack`` is deliberately a thin seam over the existing sweep
+machinery — the pack *names* the policy, :class:`SweepRunner` and
+:class:`TrialSupervisor` *enforce* it — plus the archive bookkeeping:
+the store, checkpoint, quarantine ledger, and obs sidecar all live
+inside the archive directory, so the directory alone is the experiment.
+
+Interrupts are first-class: a SIGTERM mid-run propagates
+:class:`~repro.exceptions.SweepInterrupted` after the supervisor drains
+in-flight trials, leaving the archive at ``status: running`` with every
+finished trial persisted; re-running the same command resumes from the
+store (cache hits) and finalizes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import pathlib
+from typing import Callable, Iterator, Optional, Union
+
+from repro import obs
+from repro.scenarios.archive import ArchiveWriter
+from repro.scenarios.pack import ScenarioPack
+from repro.sweeps.runner import SweepProgress, SweepResult, SweepRunner
+
+
+@contextlib.contextmanager
+def _archive_telemetry(archive: ArchiveWriter) -> Iterator[None]:
+    """Route the obs metrics sidecar into the archive for this run.
+
+    Only when the user has not already configured observability — an
+    explicit ``--metrics`` destination wins over the archive default, so
+    existing workflows keep their sidecar where they asked for it.
+    """
+    if obs.is_enabled():
+        yield
+        return
+    obs.configure(metrics_path=str(archive.metrics_path))
+    try:
+        yield
+    finally:
+        obs.disable()
+
+
+def run_pack(
+    pack: ScenarioPack,
+    archive_dir: Union[str, pathlib.Path],
+    *,
+    workers: Optional[int] = None,
+    store_path: Union[str, pathlib.Path, None] = None,
+    on_progress: Optional[Callable[[SweepProgress], None]] = None,
+) -> SweepResult:
+    """Execute (or resume) a pack into an archive directory.
+
+    ``workers`` overrides the pack's execution policy for this run only
+    — worker count is *not* part of the pack fingerprint, because the
+    whole point of content-addressed trials is that results are
+    independent of how the work was spread.  ``store_path`` substitutes
+    an external result store (the reproduce engine uses a fresh one to
+    forbid cache reuse); the archive's own store is the default.
+    """
+    archive = ArchiveWriter(archive_dir, pack)
+    runner = SweepRunner(
+        pack.experiment,
+        workers=pack.workers if workers is None else workers,
+        start_method=pack.start_method,
+        store=str(store_path if store_path is not None else archive.store_path),
+        checkpoint=None,
+        on_progress=on_progress,
+        trial_timeout_s=pack.trial_timeout_s,
+        supervised=True if pack.supervised else None,
+        validation=pack.validation,
+        quarantine=str(archive.quarantine_path),
+        max_trial_attempts=pack.max_trial_attempts,
+        respawn_budget=pack.respawn_budget,
+    )
+    from repro.experiments.pipeline import PipelineCheckpoint
+
+    runner.checkpoint = PipelineCheckpoint(archive.checkpoint_path)
+    with _archive_telemetry(archive):
+        result = runner.run(pack.spec)
+    archive.finalize(result)
+    return result
+
+
+def default_archive_dir(
+    pack: ScenarioPack, base: Union[str, pathlib.Path] = "archives"
+) -> pathlib.Path:
+    """``archives/<name>-<fingerprint[:12]>`` — stable across resumes,
+    distinct across override variants."""
+    return pathlib.Path(base) / f"{pack.name}-{pack.fingerprint()[:12]}"

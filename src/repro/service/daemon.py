@@ -204,7 +204,8 @@ class PocService:
             self.config.constraint, self.poc.offered, self.tm,
             engine=self.config.engine,
         )
-        result, prov = self.auctioneer.clear(self.offers, cons)
+        with obs.span("service.clear", engine=self.config.engine):
+            result, prov = self.auctioneer.clear(self.offers, cons)
         self.poc.activate(result)
         self.controller = DegradedModeController(self.poc, self.tm)
         self._queue = asyncio.Queue(maxsize=self.config.queue_limit)
@@ -315,12 +316,13 @@ class PocService:
         await self.clock.sleep(self.config.reclear_delay_s)
         assert self.controller is not None
         try:
-            self.controller.reprovision(
-                self.offers,
-                auctioneer=self.auctioneer,
-                constraint=self.config.constraint,
-                engine=self.config.engine,
-            )
+            with obs.span("service.reclear", engine=self.config.engine):
+                self.controller.reprovision(
+                    self.offers,
+                    auctioneer=self.auctioneer,
+                    constraint=self.config.constraint,
+                    engine=self.config.engine,
+                )
         except (NoFeasibleSelectionError, ReproError) as exc:
             # Both engines down (or nothing feasible to clear): stay on
             # the degraded residual snapshot and say so.  The next fault
@@ -419,12 +421,18 @@ class PocService:
                 cfg.batch_overhead_s + cfg.per_request_cost_s * len(batch)
             )
             now = self.clock.now()
-            for request, fut in batch:
-                if now > request.deadline_s:
-                    self._resolve(fut, self._shed(request, "deadline-exceeded"))
-                else:
-                    self._resolve(fut, self._answer(snap, request, now))
-                self._queue.task_done()
+            # Span around the synchronous serve section only — never
+            # across an await, where task interleaving would nest spans
+            # from concurrent workers into each other.
+            with obs.span("service.serve", batch=len(batch)):
+                for request, fut in batch:
+                    if now > request.deadline_s:
+                        self._resolve(
+                            fut, self._shed(request, "deadline-exceeded")
+                        )
+                    else:
+                        self._resolve(fut, self._answer(snap, request, now))
+                    self._queue.task_done()
             reg.set_gauge("service.queue_depth", float(self._queue.qsize()))
 
     def _answer(self, snap: ServiceSnapshot, request: Request, now: float) -> Response:
@@ -452,7 +460,9 @@ class PocService:
         latency = max(0.0, now - request.arrival_s)
         reg = obs.metrics()
         reg.inc(f"service.responses.{status}")
-        reg.observe("service.latency_s", latency)
+        reg.observe(
+            "service.latency_s", latency, buckets=obs.SERVICE_LATENCY_BUCKETS,
+        )
         return Response(
             request_id=request.id,
             kind=request.kind,

@@ -21,6 +21,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.exceptions import ServiceError
 from repro.rand import make_rng
 from repro.resilience.chaos import micro_scenario
@@ -356,4 +357,7 @@ def run_service_benchmark(
         await service.drain()
         return summarize(service, responses, cfg, seed=seed)
 
-    return run_virtual(clock, _campaign())
+    # One service sidecar line per campaign (latency histograms, shed
+    # counters, clear/re-clear spans); a no-op when obs is unconfigured.
+    with obs.service_scope(f"loadgen-{seed}"):
+        return run_virtual(clock, _campaign())

@@ -31,7 +31,7 @@ from repro.sweeps.runner import (
     TrialOutcome,
     run_sweep,
 )
-from repro.sweeps.spec import Axis, SweepSpec, Trial
+from repro.sweeps.spec import Axis, SweepSpec, Trial, load_payload
 
 __all__ = [
     "Axis",
@@ -48,6 +48,7 @@ __all__ = [
     "aggregate",
     "format_report",
     "get_experiment",
+    "load_payload",
     "register",
     "registered_names",
     "report_json",

@@ -15,8 +15,9 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
+import pathlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
 
 from repro.exceptions import SweepError
 from repro.rand import derive_seed
@@ -47,6 +48,34 @@ def canonical_json(payload: object) -> str:
         )
     except (TypeError, ValueError) as exc:
         raise SweepError(f"payload is not canonically JSON-encodable: {exc}") from exc
+
+
+def load_payload(source: Union[str, pathlib.Path]) -> Dict[str, object]:
+    """Load a JSON object from inline text *or* a file path.
+
+    A source whose first non-whitespace character is ``{`` is parsed as
+    inline JSON; anything else is treated as a path to a JSON file.  The
+    one loader serves both ``sweep --spec`` and ``repro run``, so a spec
+    that works inline works verbatim from a file and vice versa.
+    """
+    text = str(source).strip()
+    origin = "inline spec"
+    if not text.startswith("{"):
+        path = pathlib.Path(source)
+        origin = str(path)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise SweepError(f"cannot read spec file {origin!r}: {exc}") from exc
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SweepError(f"invalid JSON in {origin}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise SweepError(
+            f"{origin}: expected a JSON object, got {type(payload).__name__}"
+        )
+    return payload
 
 
 @dataclass(frozen=True)

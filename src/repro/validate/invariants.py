@@ -209,11 +209,56 @@ def _check_chaos_record(record: Mapping[str, object]) -> List[Violation]:
     return out
 
 
+def _check_service_record(record: Mapping[str, object]) -> List[Violation]:
+    """R3 accounting identities visible at record level."""
+    out: List[Violation] = []
+    submitted = record.get("submitted")
+    served = record.get("served")
+    shed = record.get("shed")
+    unanswered = record.get("unanswered")
+    if all(_is_number(v) for v in (submitted, served, shed, unanswered)):
+        # Every request is served, shed, or unanswered — nothing vanishes.
+        if served + shed + unanswered > submitted + ECON_TOL:
+            out.append(Violation(
+                "service-conservation",
+                f"served {served!r} + shed {shed!r} + unanswered "
+                f"{unanswered!r} exceeds submitted {submitted!r}",
+                float(served + shed + unanswered - submitted),
+            ))
+    rate = record.get("shed_rate")
+    if _is_number(rate) and not -ECON_TOL <= rate <= 1.0 + ECON_TOL:
+        out.append(Violation(
+            "service-shed-range", "shed_rate outside [0, 1]", float(rate)
+        ))
+    if _is_number(unanswered) and unanswered > 0:
+        # A request the daemon never answered at all is a bug, not load.
+        out.append(Violation(
+            "service-unanswered", "campaign lost requests outright",
+            float(unanswered),
+        ))
+    p50, p99, pmax = (record.get(k) for k in ("p50_ms", "p99_ms", "max_ms"))
+    if all(_is_number(v) for v in (p50, p99, pmax)):
+        if not p50 <= p99 + ECON_TOL or not p99 <= pmax + ECON_TOL:
+            out.append(Violation(
+                "service-latency-order",
+                f"latency percentiles are not monotone: "
+                f"p50={p50!r} p99={p99!r} max={pmax!r}",
+            ))
+    for metric in ("faults", "reclears", "reclear_failures",
+                   "coalesced_pricing", "degraded_served"):
+        value = record.get(metric)
+        if _is_number(value) and value < 0:
+            out.append(Violation("record-range", f"{metric} is negative",
+                                 float(value)))
+    return out
+
+
 _RECORD_CHECKS = {
     "figure2": _check_figure2_record,
     "neutrality": _check_neutrality_record,
     "market": _check_market_record,
     "chaos": _check_chaos_record,
+    "service": _check_service_record,
 }
 
 

@@ -1,0 +1,160 @@
+"""Tests for service_scope and the perf handling of kind="service" lines."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.perf import aggregate_perf, format_perf, load_perf, perf_json
+from repro.obs.registry import SERVICE_LATENCY_BUCKETS
+
+
+def _read_lines(path):
+    return [json.loads(line) for line in open(path, encoding="utf-8")]
+
+
+class TestServiceScope:
+    def test_noop_when_disabled(self):
+        with obs.service_scope("x") as collector:
+            assert collector is None
+        assert not obs.metrics().enabled
+
+    def test_writes_service_sidecar_line(self, tmp_path):
+        metrics = tmp_path / "m.jsonl"
+        trace = tmp_path / "t.jsonl"
+        obs.configure(metrics_path=str(metrics), trace_path=str(trace),
+                      propagate=False)
+        with obs.service_scope("campaign-1"):
+            obs.metrics().inc("service.requests", 3)
+            obs.metrics().observe("service.latency_s", 0.03,
+                                  buckets=SERVICE_LATENCY_BUCKETS)
+            with obs.span("service.serve", batch=2):
+                pass
+        lines = _read_lines(metrics)
+        assert [l["kind"] for l in lines] == ["service"]
+        line = lines[0]
+        assert line["name"] == "campaign-1" and line["ok"] is True
+        assert line["counters"]["service.requests"] == 3
+        hist = line["histograms"]["service.latency_s"]
+        assert hist["buckets"] == list(SERVICE_LATENCY_BUCKETS)
+        assert hist["count"] == 1
+        assert "service.serve" in line["phases"]
+        assert "overhead" in line["phases"]  # root self time renamed
+        span_lines = _read_lines(trace)
+        assert {l["name"] for l in span_lines} == {"service", "service.serve"}
+        assert all(l["experiment"] == "service:campaign-1" for l in span_lines)
+
+    def test_failure_still_writes_line(self, tmp_path):
+        metrics = tmp_path / "m.jsonl"
+        obs.configure(metrics_path=str(metrics), propagate=False)
+        with pytest.raises(RuntimeError):
+            with obs.service_scope("boom"):
+                raise RuntimeError("campaign died")
+        (line,) = _read_lines(metrics)
+        assert line["ok"] is False
+
+    def test_restores_previous_registry(self, tmp_path):
+        obs.configure(metrics_path=str(tmp_path / "m.jsonl"), propagate=False)
+        before = obs.metrics()
+        with obs.service_scope("x"):
+            assert obs.metrics() is not before
+        assert obs.metrics() is before
+
+
+def _service_line(name="lg", latency_counts=(3, 1), **over):
+    counts = list(latency_counts) + [0] * (
+        len(SERVICE_LATENCY_BUCKETS) + 1 - len(latency_counts)
+    )
+    line = {
+        "kind": "service",
+        "name": name,
+        "ok": True,
+        "wall_s": 2.0,
+        "cpu_s": 1.5,
+        "max_rss_kb": 1000,
+        "counters": {"service.requests": 4},
+        "gauges": {},
+        "histograms": {
+            "service.latency_s": {
+                "buckets": list(SERVICE_LATENCY_BUCKETS),
+                "counts": counts,
+                "count": sum(counts),
+                "sum": 0.02,
+            },
+        },
+        "phases": {"service.serve": 0.5, "overhead": 1.5},
+        "phase_calls": {"service.serve": 10, "overhead": 1},
+    }
+    line.update(over)
+    return line
+
+
+class TestPerfServiceLines:
+    def test_folds_as_pseudo_trial(self):
+        report = aggregate_perf([_service_line()])
+        (trial,) = report.trials
+        assert trial.experiment == "service:lg"
+        assert trial.wall_s == 2.0
+        assert {p.name for p in report.phases} == {"service.serve", "overhead"}
+        assert report.counters["service.requests"] == 4
+
+    def test_histograms_merge_across_campaigns(self):
+        report = aggregate_perf([
+            _service_line(name="a", latency_counts=(2, 0)),
+            _service_line(name="b", latency_counts=(1, 3)),
+        ])
+        (hist,) = report.histograms
+        assert hist.count == 6
+        assert hist.counts[0] == 3 and hist.counts[1] == 3
+
+    def test_bucket_mismatch_rejected(self):
+        from repro.exceptions import ObservabilityError
+
+        bad = _service_line(name="b")
+        bad["histograms"]["service.latency_s"]["buckets"] = [0.1, 0.2]
+        bad["histograms"]["service.latency_s"]["counts"] = [1, 0, 0]
+        with pytest.raises(ObservabilityError, match="bucket mismatch"):
+            aggregate_perf([_service_line(name="a"), bad])
+
+    def test_quantile_interpolation(self):
+        report = aggregate_perf([_service_line(latency_counts=(4,))])
+        (hist,) = report.histograms
+        # All 4 observations in (0, 0.005]: p50 interpolates to half the
+        # bucket, p100 to the upper bound.
+        assert hist.quantile(50.0) == pytest.approx(0.0025)
+        assert hist.quantile(100.0) == pytest.approx(0.005)
+
+    def test_overflow_bin_reports_last_bound(self):
+        counts = [0] * len(SERVICE_LATENCY_BUCKETS) + [5]
+        line = _service_line()
+        line["histograms"]["service.latency_s"]["counts"] = counts
+        line["histograms"]["service.latency_s"]["count"] = 5
+        report = aggregate_perf([line])
+        (hist,) = report.histograms
+        assert hist.quantile(99.0) == SERVICE_LATENCY_BUCKETS[-1]
+
+    def test_format_and_json_show_latency_section(self):
+        report = aggregate_perf([_service_line()])
+        text = format_perf(report)
+        assert "latency histograms" in text
+        assert "service.latency_s" in text
+        payload = json.loads(perf_json(report))
+        (hist,) = payload["histograms"]
+        assert hist["name"] == "service.latency_s"
+        assert hist["p50_s"] > 0
+
+    def test_end_to_end_with_real_scope(self, tmp_path):
+        metrics = tmp_path / "m.jsonl"
+        trace = tmp_path / "t.jsonl"
+        obs.configure(metrics_path=str(metrics), trace_path=str(trace),
+                      propagate=False)
+        with obs.service_scope("lg"):
+            obs.metrics().observe("service.latency_s", 0.01,
+                                  buckets=SERVICE_LATENCY_BUCKETS)
+            with obs.span("service.serve"):
+                pass
+        report = load_perf([metrics, trace])
+        # One pseudo-trial, no double counting from the trace file.
+        assert len(report.trials) == 1
+        serve = [p for p in report.phases if p.name == "service.serve"]
+        assert serve[0].calls == 1

@@ -1,0 +1,125 @@
+"""Tests for archive writing and the integrity audit (tamper detection)."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ScenarioError
+from repro.scenarios import (
+    ScenarioPack,
+    check_archive,
+    default_archive_dir,
+    load_archive,
+    run_pack,
+)
+from repro.scenarios.archive import (
+    AGGREGATES_FILE,
+    MANIFEST_FILE,
+    RESULTS_FILE,
+    SEEDS_FILE,
+)
+
+from tests.scenarios.test_pack import payload
+
+
+@pytest.fixture()
+def sealed(tmp_path):
+    """One completed demo-pack archive."""
+    pack = ScenarioPack.from_dict(payload())
+    root = tmp_path / "arch"
+    result = run_pack(pack, root)
+    return pack, root, result
+
+
+class TestArchiveWriter:
+    def test_layout_and_manifest(self, sealed):
+        pack, root, result = sealed
+        for name in ("pack.json", MANIFEST_FILE, RESULTS_FILE,
+                     AGGREGATES_FILE, SEEDS_FILE, "supervision.txt",
+                     "checkpoint.json"):
+            assert (root / name).exists(), name
+        archive = load_archive(root)
+        assert archive.manifest["status"] == "complete"
+        assert archive.manifest["pack_fingerprint"] == pack.fingerprint()
+        assert archive.manifest["trials"] == len(result.outcomes) == 2
+        assert archive.pack.fingerprint() == pack.fingerprint()
+
+    def test_seed_ledger_matches_spec(self, sealed):
+        pack, root, result = sealed
+        seeds = json.loads((root / SEEDS_FILE).read_text())
+        assert seeds["root_seed"] == pack.spec.seed
+        by_index = {t.index: t.seed for t in pack.spec.trials()}
+        for row in seeds["trials"]:
+            assert by_index[row["index"]] == row["seed"]
+
+    def test_rerun_same_pack_resumes_from_cache(self, sealed):
+        pack, root, first = sealed
+        second = run_pack(pack, root)
+        assert second.executed == 0
+        assert second.cache_hits == len(first.outcomes)
+
+    def test_different_pack_into_same_dir_refused(self, sealed):
+        pack, root, _ = sealed
+        other = pack.with_overrides({"scale": 9.0})
+        with pytest.raises(ScenarioError, match="refusing"):
+            run_pack(other, root)
+
+    def test_default_archive_dir_is_fingerprint_scoped(self):
+        pack = ScenarioPack.from_dict(payload())
+        path = default_archive_dir(pack, base="archives")
+        assert path.name == f"{pack.name}-{pack.fingerprint()[:12]}"
+        overridden = pack.with_overrides({"scale": 2.0})
+        assert default_archive_dir(overridden) != path
+
+
+class TestCheckArchive:
+    def test_intact_archive_has_no_problems(self, sealed):
+        _, root, _ = sealed
+        assert check_archive(root) == []
+
+    def test_tampered_param_breaks_key_hash(self, sealed):
+        _, root, _ = sealed
+        store = root / RESULTS_FILE
+        lines = [json.loads(l) for l in store.read_text().splitlines()]
+        lines[0]["params"]["scale"] = 777.0
+        store.write_text("\n".join(json.dumps(l) for l in lines) + "\n")
+        problems = check_archive(root)
+        assert any("does not hash to its key" in p for p in problems)
+
+    def test_tampered_record_breaks_aggregates(self, sealed):
+        _, root, _ = sealed
+        store = root / RESULTS_FILE
+        lines = [json.loads(l) for l in store.read_text().splitlines()]
+        record = lines[0]["record"]
+        record[next(iter(record))] = 1e9
+        store.write_text("\n".join(json.dumps(l) for l in lines) + "\n")
+        problems = check_archive(root)
+        assert any("not byte-identical" in p for p in problems)
+
+    def test_tampered_aggregates_file_caught_by_pinned_hash(self, sealed):
+        _, root, _ = sealed
+        path = root / AGGREGATES_FILE
+        path.write_text(path.read_text() + " ")
+        problems = check_archive(root)
+        assert any("aggregates_sha256" in p for p in problems)
+
+    def test_deleted_trial_reported_missing(self, sealed):
+        _, root, _ = sealed
+        store = root / RESULTS_FILE
+        lines = store.read_text().splitlines()
+        store.write_text("\n".join(lines[:-1]) + "\n")
+        problems = check_archive(root)
+        assert any("missing from results.jsonl" in p for p in problems)
+
+    def test_interrupted_manifest_reported(self, sealed):
+        _, root, _ = sealed
+        manifest_path = root / MANIFEST_FILE
+        manifest = json.loads(manifest_path.read_text())
+        manifest["status"] = "running"
+        manifest_path.write_text(json.dumps(manifest))
+        problems = check_archive(root)
+        assert any("not 'complete'" in p for p in problems)
+
+    def test_not_a_directory_is_one_problem(self, tmp_path):
+        problems = check_archive(tmp_path / "nope")
+        assert len(problems) == 1

@@ -1,0 +1,150 @@
+"""End-to-end CLI tests for run/reproduce/packs plus the satellite
+behaviours that rode along: inline --spec JSON and audit's corrupt-line
+accounting."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+from tests.scenarios.test_pack import payload
+
+
+def inline(**over):
+    return json.dumps(payload(**over))
+
+
+class TestRunCommand:
+    def test_run_inline_pack_creates_archive(self, tmp_path, capsys):
+        archive = tmp_path / "arch"
+        assert main(["run", inline(), "--archive", str(archive)]) == 0
+        out = capsys.readouterr()
+        assert (archive / "aggregates.json").exists()
+        assert "archived ->" in out.err
+
+    def test_run_by_name_with_param_override(self, tmp_path, capsys):
+        packs = tmp_path / "packs"
+        packs.mkdir()
+        (packs / "t-micro.json").write_text(inline())
+        archive = tmp_path / "arch"
+        assert main([
+            "run", "t-micro", "--packs-dir", str(packs),
+            "--archive", str(archive), "--scale=2.0",
+        ]) == 0
+        pack = json.loads((archive / "pack.json").read_text())
+        assert pack["sweep"]["base"]["scale"] == 2.0
+
+    def test_run_axis_override_collapses_grid(self, tmp_path, capsys):
+        archive = tmp_path / "arch"
+        assert main([
+            "run", inline(), "--archive", str(archive), "--loc=5.0",
+        ]) == 0
+        assert "1 trial(s)" in capsys.readouterr().err
+
+    def test_run_rejects_malformed_override(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", inline(), "--archive", str(tmp_path / "a"),
+                  "--scale", "2.0"])  # must be --scale=2.0
+
+    def test_non_run_subcommand_rejects_extras(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["neutrality", "--bogus=1"])
+
+
+class TestReproduceCommand:
+    @pytest.fixture()
+    def archive(self, tmp_path, capsys):
+        root = tmp_path / "arch"
+        assert main(["run", inline(), "--archive", str(root)]) == 0
+        capsys.readouterr()
+        return root
+
+    def test_reproduce_ok(self, archive, tmp_path, capsys):
+        assert main(["reproduce", str(archive),
+                     "--scratch", str(tmp_path / "s")]) == 0
+        assert "byte-identical" in capsys.readouterr().out
+
+    def test_check_only_ok_and_tamper_fails(self, archive, capsys):
+        assert main(["reproduce", str(archive), "--check-only"]) == 0
+        capsys.readouterr()
+        store = archive / "results.jsonl"
+        lines = [json.loads(l) for l in store.read_text().splitlines()]
+        lines[0]["params"]["scale"] = 123.0
+        store.write_text("\n".join(json.dumps(l) for l in lines) + "\n")
+        assert main(["reproduce", str(archive), "--check-only"]) == 1
+        assert "INTEGRITY" in capsys.readouterr().out
+
+
+class TestPacksCommand:
+    def test_list_includes_committed_library(self, capsys):
+        assert main(["packs"]) == 0
+        out = capsys.readouterr().out
+        assert "demo-smoke" in out
+
+    def test_show_named_pack(self, capsys):
+        assert main(["packs", "--show", "demo-smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprint" in out and "demo-smoke" in out
+
+    def test_validate_committed_library(self, capsys):
+        assert main(["packs", "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "valid" in out
+
+    def test_validate_flags_broken_pack(self, tmp_path, capsys):
+        packs = tmp_path / "packs"
+        packs.mkdir()
+        (packs / "t-broken.json").write_text('{"schema": "nope"}')
+        assert main(["packs", "--validate", "--packs-dir", str(packs)]) == 1
+        assert "t-broken" in capsys.readouterr().out
+
+
+class TestSweepSpecSatellite:
+    def test_inline_spec_json(self, tmp_path, capsys):
+        spec = json.dumps({
+            "experiment": "demo",
+            "axes": [{"name": "loc", "values": [0.0, 1.0]}],
+            "base": {"draws": 4},
+            "seed": 1,
+        })
+        assert main(["sweep", "--spec", spec, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["experiment"] == "demo"
+        (group,) = report["groups"]
+        assert group["metrics"]["mean"]["n"] == 2
+
+    def test_spec_file_still_works(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({
+            "experiment": "demo",
+            "axes": [{"name": "loc", "values": [0.0]}],
+            "base": {"draws": 4},
+        }))
+        assert main(["sweep", "--spec", str(path), "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["experiment"] == "demo"
+
+
+class TestAuditCorruptLinesSatellite:
+    def test_corrupt_lines_fail_the_audit(self, tmp_path, capsys):
+        store = tmp_path / "store.jsonl"
+        assert main(["sweep", "--spec", json.dumps({
+            "experiment": "demo",
+            "axes": [{"name": "loc", "values": [0.0]}],
+            "base": {"draws": 4},
+        }), "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["audit", "--store", str(store)]) == 0
+
+        with store.open("a", encoding="utf-8") as handle:
+            handle.write('{"key": "torn')
+        assert main(["audit", "--store", str(store)]) == 1
+        out = capsys.readouterr().out
+        assert "1 corrupt line(s)" in out and "WARNING" in out
+
+    def test_corrupt_lines_in_json_report(self, tmp_path, capsys):
+        store = tmp_path / "store.jsonl"
+        store.write_text('not json at all\n')
+        assert main(["audit", "--store", str(store), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["corrupt_lines"] == 1

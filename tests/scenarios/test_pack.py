@@ -1,0 +1,159 @@
+"""Tests for ScenarioPack: schema validation, fingerprints, overrides."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ScenarioError
+from repro.scenarios import ScenarioPack, load_pack
+from repro.scenarios.pack import SCHEMA
+from repro.sweeps.spec import Axis
+
+
+def payload(**over):
+    """A minimal valid pack payload over the demo experiment."""
+    base = {
+        "schema": SCHEMA,
+        "name": "t-micro",
+        "experiment": "demo",
+        "sweep": {
+            "axes": [{"name": "loc", "values": [0.0, 1.0]}],
+            "base": {"scale": 1.0, "draws": 8},
+            "seed": 11,
+        },
+        "group_by": ["loc"],
+    }
+    base.update(over)
+    return base
+
+
+class TestSchemaValidation:
+    def test_minimal_payload_parses(self):
+        pack = ScenarioPack.from_dict(payload())
+        assert pack.name == "t-micro"
+        assert pack.experiment == "demo"
+        assert pack.spec.num_trials() == 2
+        assert pack.validation == "off" and pack.workers == 0
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown key"):
+            ScenarioPack.from_dict(payload(wokers=2))
+
+    def test_unknown_execution_key_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown execution key"):
+            ScenarioPack.from_dict(payload(execution={"worker": 2}))
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ScenarioError, match="schema"):
+            ScenarioPack.from_dict(payload(schema="repro.scenarios/99"))
+
+    def test_experiment_inside_sweep_rejected(self):
+        bad = payload()
+        bad["sweep"]["experiment"] = "demo"
+        with pytest.raises(ScenarioError, match="not inside 'sweep'"):
+            ScenarioPack.from_dict(bad)
+
+    @pytest.mark.parametrize("name", ["", "Has-Upper", "-leading", "sp ace"])
+    def test_bad_names_rejected(self, name):
+        with pytest.raises(ScenarioError):
+            ScenarioPack.from_dict(payload(name=name))
+
+    def test_bad_validation_mode_rejected(self):
+        with pytest.raises(ScenarioError, match="validation"):
+            ScenarioPack.from_dict(payload(validation="paranoid"))
+
+    def test_group_by_must_name_axis_or_base(self):
+        with pytest.raises(ScenarioError, match="group_by"):
+            ScenarioPack.from_dict(payload(group_by=["nonexistent"]))
+
+    def test_group_by_base_constant_allowed(self):
+        pack = ScenarioPack.from_dict(payload(group_by=["scale"]))
+        assert pack.group_by == ("scale",)
+
+    def test_resolve_counts_trials_and_checks_registry(self):
+        assert ScenarioPack.from_dict(payload()).resolve() == 2
+        unknown = ScenarioPack.from_dict(payload(experiment="no-such-exp"))
+        with pytest.raises(ScenarioError):
+            unknown.resolve()
+
+    def test_resolve_passes_extra_params_through(self):
+        # Unknown params flow through to the trial function (which may
+        # ignore them); resolve() only checks the merge is well-formed.
+        extra = payload()
+        extra["sweep"]["base"]["not_a_param"] = 1
+        assert ScenarioPack.from_dict(extra).resolve() == 2
+
+
+class TestFingerprint:
+    def test_stable_across_default_elision(self):
+        explicit = payload(
+            title="", description="", tags=[], validation="off",
+            execution={"workers": 0, "supervised": False},
+        )
+        assert (ScenarioPack.from_dict(payload()).fingerprint()
+                == ScenarioPack.from_dict(explicit).fingerprint())
+
+    def test_changes_with_any_parameter(self):
+        base_fp = ScenarioPack.from_dict(payload()).fingerprint()
+        changed = payload()
+        changed["sweep"]["base"]["scale"] = 2.0
+        assert ScenarioPack.from_dict(changed).fingerprint() != base_fp
+
+    def test_round_trips_through_to_dict(self):
+        pack = ScenarioPack.from_dict(payload(validation="strict", tags=["a"]))
+        again = ScenarioPack.from_dict(pack.to_dict())
+        assert again.fingerprint() == pack.fingerprint()
+
+
+class TestOverrides:
+    def test_base_set(self):
+        pack = ScenarioPack.from_dict(payload())
+        new = pack.with_overrides({"scale": 3.0})
+        assert new.spec.base["scale"] == 3.0
+        assert new.fingerprint() != pack.fingerprint()
+        assert pack.spec.base["scale"] == 1.0  # original untouched
+
+    def test_axis_collapse(self):
+        pack = ScenarioPack.from_dict(payload())
+        new = pack.with_overrides({"loc": 5.0})
+        assert new.spec.num_trials() == 1
+        (axis,) = [a for a in new.spec.axes if a.name == "loc"]
+        assert axis.values == (5.0,)
+
+    def test_axis_replace_and_append(self):
+        pack = ScenarioPack.from_dict(payload())
+        new = pack.with_overrides(
+            axes=[Axis("loc", (1.0, 2.0, 3.0)), Axis("sleep_s", (0.0, 0.001))]
+        )
+        assert new.spec.num_trials() == 6
+
+    def test_axis_clashing_with_base_constant_rejected(self):
+        pack = ScenarioPack.from_dict(payload())
+        with pytest.raises(ScenarioError, match="invalid sweep"):
+            pack.with_overrides(axes=[Axis("draws", (4, 8))])
+
+    def test_root_seed_and_repeats(self):
+        pack = ScenarioPack.from_dict(payload())
+        new = pack.with_overrides(root_seed=99, repeats=3)
+        assert new.spec.seed == 99 and new.spec.repeats == 3
+        assert new.spec.num_trials() == 6
+
+    def test_override_moving_group_by_key_stays_valid(self):
+        # group_by names an axis; collapsing it keeps the key resolvable.
+        pack = ScenarioPack.from_dict(payload(group_by=["loc"]))
+        assert pack.with_overrides({"loc": 2.0}).group_by == ("loc",)
+
+
+class TestLoadPack:
+    def test_inline_json(self):
+        pack = load_pack(json.dumps(payload()))
+        assert pack.name == "t-micro"
+
+    def test_file(self, tmp_path):
+        path = tmp_path / "t-micro.json"
+        path.write_text(json.dumps(payload()))
+        assert load_pack(path).name == "t-micro"
+
+    def test_bad_json_raises_scenario_error(self):
+        with pytest.raises(ScenarioError):
+            load_pack("{not json")

@@ -1,0 +1,87 @@
+"""Tests for the pack registry: search path, name resolution, validation."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ScenarioError
+from repro.scenarios import PackRegistry, default_search_dirs
+from repro.scenarios.registry import ENV_VAR, _BUILTIN_DIR
+
+from tests.scenarios.test_pack import payload
+
+
+def write_pack(directory, name, **over):
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.json"
+    path.write_text(json.dumps(payload(name=name, **over)))
+    return path
+
+
+class TestSearchPath:
+    def test_builtin_library_always_present(self):
+        assert _BUILTIN_DIR in default_search_dirs()
+
+    def test_explicit_dirs_come_first(self, tmp_path):
+        write_pack(tmp_path, "t-a")
+        dirs = default_search_dirs([tmp_path])
+        assert dirs[0] == tmp_path.resolve()
+
+    def test_env_var_dirs_honoured(self, tmp_path, monkeypatch):
+        write_pack(tmp_path / "env", "t-e")
+        monkeypatch.setenv(ENV_VAR, str(tmp_path / "env"))
+        assert (tmp_path / "env").resolve() in default_search_dirs()
+
+    def test_missing_dirs_silently_dropped(self, tmp_path):
+        dirs = default_search_dirs([tmp_path / "does-not-exist"])
+        assert (tmp_path / "does-not-exist") not in dirs
+
+
+class TestResolution:
+    def test_get_by_name(self, tmp_path):
+        write_pack(tmp_path, "t-a")
+        registry = PackRegistry([tmp_path])
+        assert registry.get("t-a").name == "t-a"
+
+    def test_unknown_name_lists_known_packs(self, tmp_path):
+        write_pack(tmp_path, "t-a")
+        with pytest.raises(ScenarioError, match="t-a"):
+            PackRegistry([tmp_path]).get("t-zzz")
+
+    def test_first_dir_shadows_later(self, tmp_path):
+        first, second = tmp_path / "first", tmp_path / "second"
+        write_pack(first, "t-a", title="from-first")
+        write_pack(second, "t-a", title="from-second")
+        pack = PackRegistry([first, second]).get("t-a")
+        assert pack.title == "from-first"
+
+    def test_stem_name_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "wrong-stem.json"
+        path.write_text(json.dumps(payload(name="t-a")))
+        with pytest.raises(ScenarioError, match="file stem"):
+            PackRegistry([tmp_path]).get("wrong-stem")
+
+    def test_resolve_dispatches_inline_file_and_name(self, tmp_path):
+        path = write_pack(tmp_path, "t-a")
+        registry = PackRegistry([tmp_path])
+        assert registry.resolve(json.dumps(payload())).name == "t-micro"
+        assert registry.resolve(str(path)).name == "t-a"
+        assert registry.resolve("t-a").name == "t-a"
+
+
+class TestValidateAll:
+    def test_reports_good_and_bad(self, tmp_path):
+        write_pack(tmp_path, "t-good")
+        (tmp_path / "t-bad.json").write_text('{"schema": "nope"}')
+        rows = {name: err
+                for name, _path, err in PackRegistry([tmp_path]).validate_all()
+                if name.startswith("t-")}
+        assert rows["t-good"] is None
+        assert rows["t-bad"] is not None
+
+    def test_committed_library_all_valid(self):
+        """Every pack shipped in packs/ must parse and resolve."""
+        rows = PackRegistry([_BUILTIN_DIR]).validate_all()
+        failures = [(n, e) for n, _p, e in rows if e is not None]
+        assert not failures, failures
+        assert len(rows) >= 10  # the acceptance floor for the library

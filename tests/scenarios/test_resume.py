@@ -1,0 +1,110 @@
+"""Archive resume after SIGTERM: the interrupted-run contract end-to-end.
+
+A pack run killed mid-flight must leave the archive at ``status:
+running`` with every finished trial persisted; re-running the same
+command resumes from the store (cache hits only for completed work) and
+seals an archive whose audit comes back clean.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.scenarios import check_archive, load_archive, run_pack
+from repro.scenarios.pack import ScenarioPack
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+
+
+def _pack_payload():
+    """12 slow demo trials, 2 supervised workers."""
+    return {
+        "schema": "repro.scenarios/1",
+        "name": "t-sig",
+        "experiment": "demo",
+        "sweep": {
+            "axes": [{"name": "loc", "values": [float(i) for i in range(12)]}],
+            "base": {"scale": 1.0, "draws": 4, "sleep_s": 0.4},
+            "seed": 3,
+        },
+        "group_by": [],
+        "execution": {"workers": 2, "supervised": True,
+                      "start_method": "fork"},
+    }
+
+
+@needs_fork
+class TestSigtermResume:
+    def test_sigterm_leaves_resumable_archive(self, tmp_path):
+        pack_path = tmp_path / "pack.json"
+        pack_path.write_text(json.dumps(_pack_payload()))
+        archive = tmp_path / "arch"
+        script = tmp_path / "run_script.py"
+        script.write_text(textwrap.dedent(f"""
+            import json
+            from repro.scenarios import run_pack
+            from repro.scenarios.pack import load_pack
+
+            pack = load_pack({str(pack_path)!r})
+            print("READY", flush=True)
+            result = run_pack(pack, {str(archive)!r})
+            print("DONE", result.executed, flush=True)
+        """))
+        env = dict(os.environ)
+        repo_src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))), "src")
+        env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+
+        store = archive / "results.jsonl"
+        proc = subprocess.Popen(
+            [sys.executable, str(script)], env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            assert proc.stdout.readline().strip() == "READY"
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline:
+                if store.exists() and sum(1 for _ in open(store)) >= 2:
+                    break
+                time.sleep(0.05)
+            proc.send_signal(signal.SIGTERM)
+            _out, err = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+
+        assert proc.returncode != 0
+        assert "stopped by SIGTERM" in err
+
+        # The archive is visibly interrupted, not silently half-done.
+        manifest = json.loads((archive / "manifest.json").read_text())
+        assert manifest["status"] == "running"
+        assert not (archive / "aggregates.json").exists()
+        problems = check_archive(archive)
+        assert any("not 'complete'" in p for p in problems)
+        completed = sum(1 for _ in open(store))
+        assert 1 <= completed < 12
+
+        # Resume: the same pack into the same directory — completed
+        # trials come back as cache hits, only the rest execute.  (An
+        # overridden pack would be a different fingerprint, which the
+        # archive refuses — resume means *the same study*.)
+        pack = ScenarioPack.from_dict(_pack_payload())
+        result = run_pack(pack, archive, workers=2)
+        assert result.cache_hits == completed
+        assert result.executed == 12 - completed
+
+        sealed = load_archive(archive)
+        assert sealed.manifest["status"] == "complete"
+        assert check_archive(archive) == []

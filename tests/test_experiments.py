@@ -139,6 +139,23 @@ class TestPipelineCheckpoint:
         path.write_text(json.dumps({"version": 999, "stages": {"x": 1}}))
         assert not PipelineCheckpoint(path).has("x")
 
+    def test_recovered_flag_round_trip(self, tmp_path):
+        """``recovered`` marks data loss exactly once: True on the load
+        that discarded an unreadable file, False again after the next
+        save round-trips cleanly."""
+        from repro.experiments.pipeline import PipelineCheckpoint
+
+        path = tmp_path / "ckpt.json"
+        assert PipelineCheckpoint(path).recovered is False  # absent != lost
+        path.write_text("{torn")
+        ckpt = PipelineCheckpoint(path)
+        assert ckpt.recovered is True
+        ckpt.save("stage-a", {"rows": 1})
+
+        fresh = PipelineCheckpoint(path)
+        assert fresh.recovered is False
+        assert fresh.get("stage-a") == {"rows": 1}
+
     def test_atomic_write_leaves_no_tmp(self, tmp_path):
         from repro.experiments.pipeline import PipelineCheckpoint
 
