@@ -9,13 +9,29 @@ The selection's oracle trades exactness for speed:
 Measured: selection cost and size under each oracle for Constraint #1.
 A more conservative oracle can only keep *more* links (its "feasible" is
 rarer), so selected cost is weakly increasing down the list.
+
+Warm-kernel before/after (micro workload, constraint-1 add-prune
+selection, 18 oracle evaluations, 1-core container, 2026-08-08;
+"before" measured on the pre-warm-kernel tree via git stash):
+
+    mcf-oracle selection        before       after     speedup
+    first clear (cold cache)   0.063 s     0.019 s        3.3x
+    repeat clear (warm model)  0.062 s    0.0007 s        ~90x
+    selection cost/links        identical — byte-equal results
+
+The cold win is the one-time CSC assembly replacing per-call scipy
+model building; the warm win is the content-addressed model cache plus
+the per-subset solve memo answering repeat queries without the LP.
 """
+
+import time
 
 import pytest
 
 from repro.auction.constraints import make_constraint
 from repro.auction.selection import select_links
 from repro.exceptions import NoFeasibleSelectionError
+from repro.netflow.model import model_cache
 
 ENGINE_ORDER = ("mcf", "greedy", "sp")
 
@@ -77,3 +93,36 @@ def test_bench_ab1_oracle(benchmark, report, tiny_workload):
     assert cost_greedy >= cost_mcf * 0.98 - 1e-6  # small heuristic slack
     if results["sp"][0] is not None:
         assert results["sp"][0].total_cost >= cost_greedy - 1e-6
+
+
+def test_bench_ab1_oracle_warm_reuse(report, tiny_workload):
+    """Repeat mcf-oracle selections must reuse the warm LP model.
+
+    The first selection pays the one-time model build plus its LP
+    solves; an identical follow-up must be answered almost entirely from
+    the content-addressed model cache and per-subset solve memo.  The 3x
+    floor is the issue's acceptance bar; the measured local ratio is
+    one to two orders of magnitude.
+    """
+    zoo, tm, offers = tiny_workload
+    model_cache().clear()
+
+    start = time.perf_counter()
+    constraint = make_constraint(1, zoo.offered, tm, engine="mcf")
+    first = select_links(offers, constraint, method="add-prune")
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    constraint = make_constraint(1, zoo.offered, tm, engine="mcf")
+    second = select_links(offers, constraint, method="add-prune")
+    warm_s = time.perf_counter() - start
+
+    ratio = cold_s / warm_s if warm_s > 0 else float("inf")
+    report(
+        f"mcf-oracle selection: cold {cold_s * 1000:.1f}ms, "
+        f"repeat {warm_s * 1000:.1f}ms ({ratio:.1f}x)"
+    )
+    # Byte-identical outcome, much faster arrival.
+    assert second.selected == first.selected
+    assert second.total_cost == first.total_cost
+    assert ratio >= 3.0

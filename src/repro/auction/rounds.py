@@ -23,9 +23,10 @@ from repro.exceptions import (
     ProviderDropoutError,
 )
 from repro.auction.collusion import withhold_offer
-from repro.auction.constraints import make_constraint
+from repro.auction.constraints import Constraint, make_constraint
 from repro.auction.provider import Offer
 from repro.auction.vcg import AuctionConfig, AuctionResult, run_auction
+from repro.obs import metrics
 from repro.rand import SeedLike, make_rng
 from repro.topology.graph import Network
 from repro.traffic.matrix import TrafficMatrix
@@ -148,9 +149,14 @@ class RecurringAuction:
         engine: str = "greedy",
         method: str = "add-prune",
         seed: SeedLike = 0,
+        delta_reclear: str = "exact",
     ) -> None:
         if not offers:
             raise AuctionError("need at least one offer")
+        if delta_reclear not in ("off", "exact", "single-link"):
+            raise AuctionError(
+                f"delta_reclear must be 'off', 'exact', or 'single-link', got {delta_reclear!r}"
+            )
         self.network = network
         self.offers = list(offers)
         self.tm = tm
@@ -160,6 +166,26 @@ class RecurringAuction:
         self.config = AuctionConfig(method=method)
         self.rng = make_rng(seed)
         self._withdrawn: Set[str] = set()
+        #: Delta re-clear policy.  "exact" (default) reuses the previous
+        #: round's clearing when the round's offers are identical to the
+        #: last cleared ones — a pure cache hit, provably the same result.
+        #: "single-link" additionally reuses it when exactly one link
+        #: vanished from the universe and that link was not selected; the
+        #: selected set is provably still feasible and still available,
+        #: but VCG pivot payments could in principle differ (the lost
+        #: link may have priced someone's alternative), so this mode is
+        #: an explicit opt-in approximation.  "off" disables both.
+        self.delta_reclear = delta_reclear
+        self.exact_reuses = 0
+        self.single_link_reuses = 0
+        self.full_clears = 0
+        self._last_key: Optional[tuple] = None
+        self._last_result: Optional[AuctionResult] = None
+        # Constraints (and their oracle caches, and through the mcf
+        # engine the warm LP model) are shared across rounds with the
+        # same offered-link universe: feasibility answers are
+        # deterministic, so reuse cannot change any clearing.
+        self._constraints: Dict[FrozenSet[str], Constraint] = {}
 
     # -- mid-round dropouts ---------------------------------------------------
 
@@ -207,13 +233,69 @@ class RecurringAuction:
             round_offers.append(withhold_offer(offer, keep))
         return round_offers
 
-    def _clear(self, round_offers: Sequence[Offer]) -> AuctionResult:
-        universe = frozenset().union(*(o.link_ids for o in round_offers))
-        subnet = self.network.restricted_to_links(universe)
-        constraint = make_constraint(
-            self.constraint_number, subnet, self.tm, engine=self.engine
+    @staticmethod
+    def _clearing_key(round_offers: Sequence[Offer]) -> tuple:
+        """Content key of a clearing's inputs.
+
+        Offer prices are fixed per link for the lifetime of this auction
+        (rounds only *withhold* links), so the per-provider link sets
+        fully determine the clearing inputs.
+        """
+        return tuple(
+            sorted(
+                (o.provider, o.in_auction, tuple(sorted(o.link_ids)))
+                for o in round_offers
+            )
         )
-        return run_auction(round_offers, constraint, config=self.config)
+
+    def _single_link_reusable(self, key: tuple, last_key: tuple) -> bool:
+        """True when exactly one unselected link vanished since last clear."""
+        if self._last_result is None:
+            return False
+        last = {(p, ia): frozenset(links) for p, ia, links in last_key}
+        now = {(p, ia): frozenset(links) for p, ia, links in key}
+        if set(last) != set(now):
+            return False
+        lost: Set[str] = set()
+        for who, links in now.items():
+            if not links <= last[who]:
+                return False  # a link appeared: a cheaper clearing may exist
+            lost |= last[who] - links
+        return len(lost) == 1 and not lost & self._last_result.selected
+
+    def _constraint_for(self, universe: FrozenSet[str]) -> Constraint:
+        constraint = self._constraints.get(universe)
+        if constraint is None:
+            subnet = self.network.restricted_to_links(universe)
+            constraint = make_constraint(
+                self.constraint_number, subnet, self.tm, engine=self.engine
+            )
+            if len(self._constraints) >= 64:
+                self._constraints.pop(next(iter(self._constraints)))
+            self._constraints[universe] = constraint
+        return constraint
+
+    def _clear(self, round_offers: Sequence[Offer]) -> AuctionResult:
+        key = self._clearing_key(round_offers)
+        if self.delta_reclear != "off" and self._last_key is not None:
+            if key == self._last_key and self._last_result is not None:
+                self.exact_reuses += 1
+                metrics().inc("auction.reclear_exact_reuse")
+                return self._last_result
+            if self.delta_reclear == "single-link" and self._single_link_reusable(
+                key, self._last_key
+            ):
+                self.single_link_reuses += 1
+                metrics().inc("auction.reclear_single_link_reuse")
+                return self._last_result
+        universe = frozenset().union(*(o.link_ids for o in round_offers))
+        constraint = self._constraint_for(universe)
+        result = run_auction(round_offers, constraint, config=self.config)
+        self.full_clears += 1
+        metrics().inc("auction.reclear_full")
+        self._last_key = key
+        self._last_result = result
+        return result
 
     def run(self, rounds: int) -> RecurringOutcome:
         if rounds < 1:

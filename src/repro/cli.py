@@ -405,9 +405,35 @@ def _print_sweep_timing() -> None:
 def cmd_perf(args: argparse.Namespace) -> int:
     """Aggregate metrics/trace JSONL sidecars into a phase breakdown."""
     from repro.exceptions import ObservabilityError
-    from repro.obs.perf import format_perf, load_perf, perf_json
+    from repro.obs.perf import (
+        compare_json,
+        compare_perf,
+        expand_sidecar_set,
+        format_compare,
+        format_perf,
+        load_perf,
+        perf_json,
+    )
 
     try:
+        if args.compare:
+            if args.paths:
+                raise SystemExit(
+                    "perf failed: give either PATH arguments or --compare A B, "
+                    "not both"
+                )
+            spec_a, spec_b = args.compare
+            comparison = compare_perf(
+                load_perf(expand_sidecar_set(spec_a)),
+                load_perf(expand_sidecar_set(spec_b)),
+            )
+            if args.json:
+                print(compare_json(comparison))
+            else:
+                print(format_compare(comparison, label_a=spec_a, label_b=spec_b))
+            return 0
+        if not args.paths:
+            raise SystemExit("perf failed: need PATH arguments (or --compare A B)")
         report = load_perf(args.paths)
         if args.json:
             print(perf_json(report))
@@ -1130,8 +1156,12 @@ def make_parser() -> argparse.ArgumentParser:
                     "--trace and prints where trial wall time went: per-phase "
                     "totals, shares, percentiles, and the slowest trials.",
     )
-    p_perf.add_argument("paths", nargs="+", metavar="PATH",
+    p_perf.add_argument("paths", nargs="*", metavar="PATH",
                         help="one or more telemetry JSONL files")
+    p_perf.add_argument("--compare", nargs=2, metavar=("A", "B"), default=None,
+                        help="diff two sidecar sets (file, dir, or "
+                             "comma-joined paths each) and print per-phase "
+                             "speedup of B over A")
     p_perf.add_argument("--json", action="store_true",
                         help="emit the report as canonical JSON")
     p_perf.add_argument("--top", type=int, default=5,

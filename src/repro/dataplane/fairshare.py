@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
+import numpy as np
+
 from repro.exceptions import FlowError
 
 #: Numerical slack when judging link saturation.
@@ -26,12 +28,23 @@ def max_min_allocation(
     demands: Mapping[str, float],
     weights: Mapping[str, float],
     capacities: Mapping[str, float],
+    *,
+    kernel: str = "vector",
 ) -> Dict[str, float]:
     """Weighted max-min rates for flows over shared links.
 
     ``flow_paths`` maps flow id → the link ids it crosses; ``demands``
     and ``weights`` are per flow; ``capacities`` per link.  Flows may
     cross a link at most once (paths, not walks).  Returns flow id → rate.
+
+    ``kernel`` selects the water-filling implementation: ``"vector"``
+    (default) runs each filling iteration as numpy array operations over
+    arrays-of-structs flow/link state; ``"scalar"`` is the original
+    per-flow Python loop, kept as the executable specification.  The two
+    are bit-identical (the vector kernel only uses order-preserving
+    accumulation — ``np.add.at``/``np.subtract.at`` — and operations
+    like min/``x + 0.0`` whose floats do not depend on evaluation
+    order), which the regression suite asserts case by case.
     """
     for fid, path in flow_paths.items():
         if not path:
@@ -48,6 +61,11 @@ def max_min_allocation(
     for lid, cap in capacities.items():
         if cap <= 0:
             raise FlowError(f"link {lid} needs positive capacity")
+
+    if kernel == "vector":
+        return _fill_vector(flow_paths, demands, weights, capacities)
+    if kernel != "scalar":
+        raise FlowError(f"unknown fairshare kernel {kernel!r}; expected 'vector' or 'scalar'")
 
     rates: Dict[str, float] = {fid: 0.0 for fid in flow_paths}
     frozen: Dict[str, bool] = {fid: False for fid in flow_paths}
@@ -96,6 +114,76 @@ def max_min_allocation(
                     frozen[fid] = True
 
     return rates
+
+
+def _fill_vector(
+    flow_paths: Mapping[str, Sequence[str]],
+    demands: Mapping[str, float],
+    weights: Mapping[str, float],
+    capacities: Mapping[str, float],
+) -> Dict[str, float]:
+    """Numpy water-filling over arrays-of-structs flow/link state.
+
+    Bit-identical to the scalar loop: per-link weight sums and residual
+    updates go through ``np.add.at``/``np.subtract.at``, which apply
+    their operands unbuffered in index order — the same flow-major order
+    the scalar loop accumulates in — and frozen flows contribute exact
+    ``0.0`` terms, which never perturb an IEEE sum.
+    """
+    fids = list(flow_paths)
+    lids = list(capacities)
+    n_flows, n_links = len(fids), len(lids)
+    if n_flows == 0:
+        return {}
+    link_index = {lid: i for i, lid in enumerate(lids)}
+
+    w = np.array([weights[fid] for fid in fids])
+    d = np.array([demands[fid] for fid in fids])
+    # Flow/link incidence pairs in flow-major, path order: exactly the
+    # order the scalar loop touches links in.
+    pair_flow: List[int] = []
+    pair_link: List[int] = []
+    for i, fid in enumerate(fids):
+        for lid in flow_paths[fid]:
+            pair_flow.append(i)
+            pair_link.append(link_index[lid])
+    pf = np.asarray(pair_flow, dtype=np.int64)
+    pl = np.asarray(pair_link, dtype=np.int64)
+
+    rates = np.zeros(n_flows)
+    frozen = np.zeros(n_flows, dtype=bool)
+    residual = np.array([capacities[lid] for lid in lids])
+    inf = float("inf")
+
+    while not frozen.all():
+        # The largest uniform water-level increment before something binds.
+        active_w = np.where(frozen, 0.0, w)
+        link_weight = np.zeros(n_links)
+        np.add.at(link_weight, pl, active_w[pf])
+        carrying = link_weight > 0
+        delta = inf
+        if carrying.any():
+            delta = float(np.min(residual[carrying] / link_weight[carrying]))
+        heads = (d[~frozen] - rates[~frozen]) / w[~frozen]
+        if heads.size:
+            delta = min(delta, float(np.min(heads)))
+        if delta == inf:
+            break  # no unfrozen flow crosses any capacitated link
+        delta = max(delta, 0.0)
+
+        increments = np.where(frozen, 0.0, delta * w)
+        rates += increments
+        np.subtract.at(residual, pl, increments[pf])
+
+        # Freeze demand-satisfied flows and flows on saturated links.
+        met = ~frozen & (rates >= d - _EPS)
+        rates[met] = d[met]
+        frozen |= met
+        saturated = residual <= _EPS
+        if saturated.any():
+            frozen[pf[saturated[pl]]] = True
+
+    return {fid: float(rates[i]) for i, fid in enumerate(fids)}
 
 
 def is_max_min_fair(

@@ -20,7 +20,8 @@ from repro.netflow.feasibility import (
     make_oracle,
 )
 from repro.netflow.latency import LatencyReport, latency_report
-from repro.netflow.mcf import max_concurrent_flow
+from repro.netflow.mcf import max_concurrent_flow, mcf_feasible
+from repro.netflow.model import McfModel, ModelCache, get_model, model_cache
 from repro.netflow.paths import Path, k_shortest_paths, shortest_path
 
 __all__ = [
@@ -32,6 +33,11 @@ __all__ = [
     "LatencyReport",
     "latency_report",
     "max_concurrent_flow",
+    "mcf_feasible",
+    "McfModel",
+    "ModelCache",
+    "get_model",
+    "model_cache",
     "Path",
     "k_shortest_paths",
     "shortest_path",

@@ -169,10 +169,30 @@ def max_concurrent_flow(
             bounds=bounds,
             method="highs",
         )
-    if res.status not in (0, 3):  # 3 = unbounded cannot happen with the cap
+    return _finish_result(res.x, res.status, res.message, arcs, sources, keep_flows)
+
+
+def _finish_result(
+    x,
+    status: int,
+    message: str,
+    arcs: List[Tuple[str, str, str, float, float]],
+    sources: List[str],
+    keep_flows: bool,
+) -> MCFResult:
+    """Turn a raw LP solution into an :class:`MCFResult`.
+
+    Shared by the from-scratch path above and the warm-started
+    :class:`repro.netflow.model.McfModel` so both produce bit-identical
+    results from identical solver outputs.
+    """
+    if status not in (0, 3):  # 3 = unbounded cannot happen with the cap
         metrics().inc("mcf.failures")
-        raise FlowError(f"MCF solver failed: status={res.status} {res.message}")
-    lam = float(res.x[lam_col]) if res.x is not None else 0.0
+        raise FlowError(f"MCF solver failed: status={status} {message}")
+    n_arcs, n_src = len(arcs), len(sources)
+    n_x = n_arcs * n_src
+    lam_col = n_x
+    lam = float(x[lam_col]) if x is not None else 0.0
 
     # Numerical tolerance: HiGHS returns e.g. 0.9999999997 for exactly-tight
     # instances.
@@ -183,22 +203,22 @@ def max_concurrent_flow(
     arcs_out: Optional[Tuple[Tuple[str, str, str, float], ...]] = None
     arc_flows: Optional[Dict[Tuple[str, str], float]] = None
     with span("mcf.extract"):
-        if keep_flows and res.x is not None:
+        if keep_flows and x is not None:
             arcs_out = tuple((aid, tail, head, cap) for aid, tail, head, cap, _l in arcs)
             arc_flows = {}
             for a, (aid, _t, _h, _c, _l) in enumerate(arcs):
                 for s, source in enumerate(sources):
-                    value = float(res.x[a * n_src + s])
+                    value = float(x[a * n_src + s])
                     if value > 1e-12:
                         arc_flows[(aid, source)] = value
-        if res.x is not None:
+        if x is not None:
             lengths = np.repeat([arc[4] for arc in arcs], n_src)
-            flow_km = float(np.dot(res.x[:n_x], lengths))
+            flow_km = float(np.dot(x[:n_x], lengths))
             if lam > 1.0:
                 flow_km /= lam  # report at the TM's own scale
             if feasible:
                 scale = 1.0 / lam if lam > 1.0 else 1.0
-                per_arc = res.x[:n_x].reshape(n_arcs, n_src).sum(axis=1) * scale
+                per_arc = x[:n_x].reshape(n_arcs, n_src).sum(axis=1) * scale
                 link_loads = {}
                 for a, (aid, _t, _h, _c, _l) in enumerate(arcs):
                     if per_arc[a] > 1e-9:
@@ -208,8 +228,8 @@ def max_concurrent_flow(
     return MCFResult(
         lam=lam,
         feasible=feasible,
-        status=res.status,
-        message=res.message,
+        status=status,
+        message=message,
         flow_km=flow_km,
         link_loads=link_loads,
         arcs=arcs_out,
@@ -218,5 +238,14 @@ def max_concurrent_flow(
 
 
 def mcf_feasible(network: Network, tm: TrafficMatrix) -> bool:
-    """Convenience wrapper: can ``network`` carry ``tm``?"""
-    return max_concurrent_flow(network, tm).feasible
+    """Convenience wrapper: can ``network`` carry ``tm``?
+
+    Routed through the warm-started model cache
+    (:func:`repro.netflow.model.get_model`) so repeated yes/no queries on
+    the same (topology, TM) never rebuild the LP, and trivially
+    infeasible demand (egress/ingress exceeding a node's incident cut
+    capacity) is answered without any solve at all.
+    """
+    from repro.netflow.model import get_model
+
+    return get_model(network, tm).feasible()

@@ -465,3 +465,175 @@ def load_perf(paths: Sequence[Union[str, pathlib.Path]]) -> PerfReport:
     for path in paths:
         lines.extend(load_jsonl(path))
     return aggregate_perf(lines)
+
+
+# -- A/B comparison -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PhaseDelta:
+    """One phase's wall time in telemetry set A vs set B."""
+
+    name: str
+    a_total_s: float
+    b_total_s: float
+    a_calls: int
+    b_calls: int
+
+    @property
+    def speedup(self) -> Optional[float]:
+        """A/B wall-time ratio (>1 = B is faster); None when B has none."""
+        if self.b_total_s <= 0.0:
+            return None
+        return self.a_total_s / self.b_total_s
+
+
+@dataclass
+class PerfComparison:
+    """Per-phase diff of two sidecar sets (the before/after table)."""
+
+    a: PerfReport
+    b: PerfReport
+    deltas: List[PhaseDelta] = field(default_factory=list)
+
+    @property
+    def wall_speedup(self) -> Optional[float]:
+        if self.b.total_wall_s <= 0.0:
+            return None
+        return self.a.total_wall_s / self.b.total_wall_s
+
+    def counter_deltas(self) -> List[Tuple[str, float, float]]:
+        """(name, A, B) for every counter present in either set."""
+        names = sorted(set(self.a.counters) | set(self.b.counters))
+        return [
+            (name, self.a.counters.get(name, 0.0), self.b.counters.get(name, 0.0))
+            for name in names
+        ]
+
+
+def compare_perf(a: PerfReport, b: PerfReport) -> PerfComparison:
+    """Diff two aggregated reports phase by phase.
+
+    Phases are matched by span name over the union of both sets, ordered
+    by descending wall time in A (the "before" side) so the biggest
+    former costs — and what became of them — top the table.
+    """
+    a_phases = {p.name: p for p in a.phases}
+    b_phases = {p.name: p for p in b.phases}
+    deltas = []
+    for name in set(a_phases) | set(b_phases):
+        pa, pb = a_phases.get(name), b_phases.get(name)
+        deltas.append(PhaseDelta(
+            name=name,
+            a_total_s=pa.total_s if pa else 0.0,
+            b_total_s=pb.total_s if pb else 0.0,
+            a_calls=pa.calls if pa else 0,
+            b_calls=pb.calls if pb else 0,
+        ))
+    deltas.sort(key=lambda d: (-d.a_total_s, d.name))
+    return PerfComparison(a=a, b=b, deltas=deltas)
+
+
+def _ratio_text(ratio: Optional[float]) -> str:
+    return f"{ratio:.2f}x" if ratio is not None else "—"
+
+
+def format_compare(
+    comparison: PerfComparison, *, label_a: str = "A", label_b: str = "B"
+) -> str:
+    """The per-phase speedup table behind ``poc-repro perf --compare``."""
+    a, b = comparison.a, comparison.b
+    if not (a.trials or a.phases) or not (b.trials or b.phases):
+        raise ObservabilityError(
+            "perf compare needs trial or span telemetry on both sides"
+        )
+    lines = [
+        f"perf compare — A = {label_a} · B = {label_b}",
+        f"A: {len(a.trials)} trial(s), {a.total_wall_s:.3f}s wall · "
+        f"B: {len(b.trials)} trial(s), {b.total_wall_s:.3f}s wall · "
+        f"overall speedup {_ratio_text(comparison.wall_speedup)}",
+    ]
+    header = (
+        f"{'phase':<24} {'A_s':>10} {'B_s':>10} "
+        f"{'speedup':>8} {'A_calls':>9} {'B_calls':>9}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for delta in comparison.deltas:
+        lines.append(
+            f"{delta.name:<24} {delta.a_total_s:>10.4f} {delta.b_total_s:>10.4f} "
+            f"{_ratio_text(delta.speedup):>8} {delta.a_calls:>9} {delta.b_calls:>9}"
+        )
+    if len(a.trials) and len(b.trials):
+        mean_a = a.total_wall_s / len(a.trials)
+        mean_b = b.total_wall_s / len(b.trials)
+        ratio = _ratio_text(mean_a / mean_b if mean_b > 0 else None)
+        lines.append(
+            f"per-trial mean wall: A {1000.0 * mean_a:.1f}ms → "
+            f"B {1000.0 * mean_b:.1f}ms ({ratio})"
+        )
+    changed = [
+        (name, va, vb)
+        for name, va, vb in comparison.counter_deltas()
+        if va != vb
+    ]
+    if changed:
+        lines.append("counters (changed):")
+        for name, va, vb in changed:
+            lines.append(f"  {name}: {va:g} → {vb:g}")
+    return "\n".join(lines)
+
+
+def compare_json(comparison: PerfComparison) -> str:
+    """Canonical JSON of the comparison (sorted keys, no NaN)."""
+    payload = {
+        "a": {
+            "trials": len(comparison.a.trials),
+            "total_wall_s": comparison.a.total_wall_s,
+        },
+        "b": {
+            "trials": len(comparison.b.trials),
+            "total_wall_s": comparison.b.total_wall_s,
+        },
+        "wall_speedup": comparison.wall_speedup,
+        "phases": [
+            {
+                "name": d.name,
+                "a_total_s": d.a_total_s,
+                "b_total_s": d.b_total_s,
+                "speedup": d.speedup,
+                "a_calls": d.a_calls,
+                "b_calls": d.b_calls,
+            }
+            for d in comparison.deltas
+        ],
+        "counters": [
+            {"name": name, "a": va, "b": vb}
+            for name, va, vb in comparison.counter_deltas()
+        ],
+    }
+    return json.dumps(payload, sort_keys=True, allow_nan=False, indent=2)
+
+
+def expand_sidecar_set(spec: Union[str, pathlib.Path]) -> List[pathlib.Path]:
+    """Resolve one ``--compare`` operand to sidecar files.
+
+    Accepts a single JSONL file, a directory (all ``*.jsonl`` inside,
+    sorted), or a comma-joined list of either.
+    """
+    paths: List[pathlib.Path] = []
+    for part in str(spec).split(","):
+        part = part.strip()
+        if not part:
+            continue
+        path = pathlib.Path(part)
+        if path.is_dir():
+            found = sorted(path.glob("*.jsonl"))
+            if not found:
+                raise ObservabilityError(f"no *.jsonl sidecars in {path}")
+            paths.extend(found)
+        else:
+            paths.append(path)
+    if not paths:
+        raise ObservabilityError(f"empty sidecar set: {spec!r}")
+    return paths

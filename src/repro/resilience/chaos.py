@@ -469,32 +469,39 @@ def _run_epoch(
 
 # -- the micro workload -------------------------------------------------------
 
-def micro_scenario(
-    seed: int = 7, *, load_fraction: float = 0.05
-) -> Tuple[Network, List[Offer], TrafficMatrix]:
-    """A compact deterministic workload for chaos campaigns and CI smoke.
+#: Per-process memo of the seed-independent micro-scenario parts, keyed
+#: by ``load_fraction``.  Nodes and links are frozen dataclasses and the
+#: base TM is never handed out directly, so the memo is read-only state:
+#: a sweep parent that prewarms it (see ``Experiment.prewarm``) lets
+#: every fork-started worker inherit the built workload for free.
+_MICRO_BASE: Dict[float, Tuple] = {}
 
-    Eight POC sites on a ring (BP ``alpha``), four cross-chords (BP
-    ``beta``), two parallel conduits (BP ``gamma``) that form
-    shared-risk groups, and an external-ISP shadow ring of virtual links
-    (``ext``, contract-priced well above the BPs) so the VCG
-    leave-one-out selections stay feasible — the paper's standing
-    assumption that A(OL − L_α) is nonempty.  Small enough that the
-    exact MILP clears in milliseconds — so campaigns default to the real
-    primary engine and still reproduce byte-identically — while every
-    fault class has a meaningful target.  ``seed`` perturbs per-link
-    costs only; the topology is fixed.
+
+def _micro_base(load_fraction: float) -> Tuple:
+    """Build (once per process) the seed-independent micro parts.
+
+    Returns ``(nodes, links_by_bp, ext_links, total, base_tm)``:
+    the node tuple, the per-BP link lists, the external shadow-ring
+    links, the TM volume, and the base traffic matrix.  Only offer
+    *prices* depend on the scenario seed, so everything here is shared
+    across trials; :func:`micro_scenario` assembles a fresh
+    :class:`Network` and :class:`TrafficMatrix` per call from these
+    immutable parts (in the original insertion order, so results are
+    byte-identical to building from scratch) — callers that mutate
+    their network can never corrupt another trial's workload.
     """
-    from repro.auction.provider import default_monthly_cost, make_external_contract
+    cached = _MICRO_BASE.get(load_fraction)
+    if cached is not None:
+        return cached
 
-    net = Network(name="chaos-micro")
     coords = [
         ("A", 40.0, -100.0), ("B", 42.0, -95.0), ("C", 42.0, -88.0),
         ("D", 40.0, -83.0), ("E", 36.0, -83.0), ("F", 34.0, -88.0),
         ("G", 34.0, -95.0), ("H", 36.0, -100.0),
     ]
-    for node_id, lat, lon in coords:
-        net.add_node(Node(id=node_id, point=GeoPoint(lat, lon)))
+    nodes = tuple(
+        Node(id=node_id, point=GeoPoint(lat, lon)) for node_id, lat, lon in coords
+    )
 
     ring = ["A", "B", "C", "D", "E", "F", "G", "H"]
     links: Dict[str, List[Link]] = {"alpha": [], "beta": [], "gamma": []}
@@ -516,6 +523,54 @@ def micro_scenario(
             id=f"{u}{v}p", u=u, v=v, capacity_gbps=20.0, length_km=460.0,
             owner="gamma",
         ))
+
+    # Load is sized before the external shadow ring joins the offered
+    # network, so the contract adds slack rather than shifting the TM.
+    total = sum(
+        link.capacity_gbps for bp in links for link in links[bp]
+    ) * load_fraction
+
+    ring_pairs = [(u, ring[(i + 1) % len(ring)]) for i, u in enumerate(ring)]
+    ext_links = tuple(
+        Link(
+            id=f"ext:VL{idx:03d}", u=u, v=v, capacity_gbps=40.0,
+            length_km=500.0, owner="ext", virtual=True,
+        )
+        for idx, (u, v) in enumerate(ring_pairs)
+    )
+
+    node_ids = sorted(node.id for node in nodes)
+    base_tm = uniform_matrix(node_ids, total)
+
+    base = (nodes, links, ext_links, total, base_tm)
+    _MICRO_BASE[load_fraction] = base
+    return base
+
+
+def micro_scenario(
+    seed: int = 7, *, load_fraction: float = 0.05
+) -> Tuple[Network, List[Offer], TrafficMatrix]:
+    """A compact deterministic workload for chaos campaigns and CI smoke.
+
+    Eight POC sites on a ring (BP ``alpha``), four cross-chords (BP
+    ``beta``), two parallel conduits (BP ``gamma``) that form
+    shared-risk groups, and an external-ISP shadow ring of virtual links
+    (``ext``, contract-priced well above the BPs) so the VCG
+    leave-one-out selections stay feasible — the paper's standing
+    assumption that A(OL − L_α) is nonempty.  Small enough that the
+    exact MILP clears in milliseconds — so campaigns default to the real
+    primary engine and still reproduce byte-identically — while every
+    fault class has a meaningful target.  ``seed`` perturbs per-link
+    costs only; the topology is fixed (and memoized per process, see
+    :func:`_micro_base`).
+    """
+    from repro.auction.provider import ExternalTransitContract, default_monthly_cost
+
+    nodes, links, ext_links, _total, base_tm = _micro_base(load_fraction)
+
+    net = Network(name="chaos-micro")
+    for node in nodes:
+        net.add_node(node)
     for bp_links in links.values():
         for link in bp_links:
             net.add_link(link)
@@ -533,21 +588,20 @@ def micro_scenario(
         cost = AdditiveCost(prices)
         offers.append(Offer(provider=bp, links=links[bp], bid=cost, true_cost=cost))
 
-    # Load is sized before the external shadow ring joins the offered
-    # network, so the contract adds slack rather than shifting the TM.
-    total = net.total_capacity_gbps() * load_fraction
-
-    ring_pairs = [(u, ring[(i + 1) % len(ring)]) for i, u in enumerate(ring)]
     mean_bp_price = sum(
         o.bid.cost(o.link_ids) for o in offers
     ) / sum(len(o.links) for o in offers)
-    contract = make_external_contract(
-        "ext", ring_pairs, capacity_gbps=40.0,
-        price_per_link=round(3.0 * mean_bp_price, 2), length_km=500.0,
+    price_per_link = round(3.0 * mean_bp_price, 2)
+    contract = ExternalTransitContract(
+        isp="ext",
+        links=list(ext_links),
+        per_link_monthly={link.id: price_per_link for link in ext_links},
     )
     for link in contract.links:
         net.add_link(link)
     offers.append(contract.to_offer())
 
-    tm = uniform_matrix(sorted(net.node_ids), total)
+    # A fresh TM per call (defensive copy of the memoized base: its
+    # demands are plain floats, so the copy is exact).
+    tm = TrafficMatrix.from_dict(base_tm.nodes, dict(base_tm.pairs()))
     return net, offers, tm

@@ -19,11 +19,12 @@ scalar — the record the aggregation layer consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.exceptions import SweepError
 
 TrialFn = Callable[[Mapping[str, object], int], Mapping[str, object]]
+PrewarmFn = Callable[[Mapping[str, object]], None]
 
 
 @dataclass(frozen=True)
@@ -38,6 +39,15 @@ class Experiment:
     description: str = ""
     #: Parameters merged under every sweep point unless overridden.
     defaults: Mapping[str, object] = field(default_factory=dict)
+    #: Optional cache warmer, called with resolved params before trials
+    #: execute: once in the parent before a worker pool starts (so
+    #: fork-started workers inherit the warmed read-only state — e.g.
+    #: the :mod:`repro.netflow.model` LP model for the sweep's shared
+    #: topology) and once per spawn-started worker.  Must be a pure
+    #: cache population: results are required to be byte-identical with
+    #: and without it, and any failure is swallowed (prewarming is an
+    #: optimization, never a correctness dependency).
+    prewarm: Optional[PrewarmFn] = None
 
     def __post_init__(self) -> None:
         if not self.name:

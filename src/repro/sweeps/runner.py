@@ -221,6 +221,27 @@ def _execute_shard(
     return [_run_trial_with_retry(experiment_name, task, retry) for task in shard]
 
 
+def _prewarm_worker(
+    experiment_name: str, param_sets: List[Dict[str, object]]
+) -> None:
+    """Pool initializer: warm per-process caches in a fresh worker.
+
+    Spawn-started workers begin with cold caches (fork-started ones
+    inherit the parent's warm state, and re-warming is then a cheap
+    cache hit).  Prewarming is an optimization, never a correctness
+    dependency, so any failure is swallowed — the trial itself will
+    rebuild whatever is missing.
+    """
+    try:
+        exp = get_experiment(experiment_name)
+        if exp.prewarm is None:
+            return
+        for params in param_sets:
+            exp.prewarm(params)
+    except Exception:
+        pass
+
+
 class SweepRunner:
     """Executes sweeps for one registered experiment.
 
@@ -421,11 +442,54 @@ class SweepRunner:
         ))
         return self.validation.mode == "warn"
 
+    def _prewarm_param_sets(self, pending: List[TrialTask]) -> List[Dict[str, object]]:
+        """Distinct resolved-param sets to warm caches for (bounded).
+
+        Grids typically share one workload across many (seed, method)
+        points, so a handful of distinct param sets covers the whole
+        sweep; the bound keeps pathological grids from turning the warm
+        pass into a second sweep.
+        """
+        if self.experiment.prewarm is None:
+            return []
+        seen = set()
+        out: List[Dict[str, object]] = []
+        for _index, params, _seed, _key in pending:
+            marker = repr(sorted(params.items(), key=lambda kv: kv[0]))
+            if marker in seen:
+                continue
+            seen.add(marker)
+            out.append(params)
+            if len(out) >= 8:
+                break
+        return out
+
+    def _prewarm_parent(self, param_sets: List[Dict[str, object]]) -> None:
+        """Warm this process's caches before trials execute.
+
+        With ``workers <= 1`` this just front-loads the first trial's
+        build work; with a fork-started pool the workers inherit the
+        warmed read-only state (LP model templates, the memoized micro
+        workload) at no per-worker cost.  Failures are swallowed: the
+        prewarm contract (:class:`repro.sweeps.registry.Experiment`)
+        makes it a pure optimization.
+        """
+        prewarm = self.experiment.prewarm
+        if prewarm is None:
+            return
+        for params in param_sets:
+            try:
+                prewarm(params)
+            except Exception:
+                continue
+
     def _execute_pending(
         self, pending: List[TrialTask], cached: int, total: int, started: float
     ) -> Dict[int, Dict[str, object]]:
         name = self.experiment.name
         records: Dict[int, Dict[str, object]] = {}
+        prewarm_params = self._prewarm_param_sets(pending)
+        self._prewarm_parent(prewarm_params)
         if self.workers <= 1:
             for done, task in enumerate(pending, start=1):
                 index, record = _run_trial_with_retry(name, task, self.retry)
@@ -451,9 +515,17 @@ class SweepRunner:
         )
         by_index = {task[0]: task for task in pending}
         done = 0
+        # Spawn-started workers warm their own caches on startup; with
+        # fork the initializer is a no-op-cheap cache hit on inherited
+        # state.
+        init_kwargs = (
+            {"initializer": _prewarm_worker, "initargs": (name, prewarm_params)}
+            if prewarm_params
+            else {}
+        )
         try:
             with ProcessPoolExecutor(
-                max_workers=n_shards, mp_context=context
+                max_workers=n_shards, mp_context=context, **init_kwargs
             ) as pool:
                 futures = [
                     pool.submit(_execute_shard, name, shard, self.retry)
@@ -487,6 +559,9 @@ class SweepRunner:
         journal is folded into the runner's state before the
         :class:`~repro.exceptions.SweepInterrupted` propagates.
         """
+        # Fork-started supervisor workers inherit the warmed caches;
+        # spawn-started ones simply rebuild in the first trial.
+        self._prewarm_parent(self._prewarm_param_sets(pending))
         progress = {"done": 0}
 
         def on_result(

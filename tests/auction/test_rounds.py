@@ -193,3 +193,137 @@ class TestWithdrawal:
         auction = RecurringAuction(net, offers, tm, seed=1)
         auction.rejoin("nobody")  # does not raise
         assert auction.withdrawn == frozenset()
+
+
+class TestDeltaReclear:
+    """Round-over-round clearing reuse: exact is free, single-link opt-in."""
+
+    def _stable_recall(self):
+        # Availability pinned at 1.0: every round offers the same links.
+        return RecallModel(min_availability=1.0, persistence=1.0, step=0.0)
+
+    def test_invalid_mode_rejected(self, setup):
+        net, offers, tm = setup
+        with pytest.raises(AuctionError, match="delta_reclear"):
+            RecurringAuction(net, offers, tm, delta_reclear="fuzzy")
+
+    def test_exact_mode_identical_to_off(self, setup):
+        """'exact' reuse may never change any observable outcome."""
+        net, offers, tm = setup
+        runs = {}
+        for mode in ("off", "exact"):
+            outcome = RecurringAuction(
+                net, offers, tm, seed=9, engine="mcf", delta_reclear=mode
+            ).run(6)
+            runs[mode] = outcome
+        assert runs["exact"].cost_series() == runs["off"].cost_series()
+        for bp in ("P", "Q"):
+            assert runs["exact"].payment_series(bp) == runs[
+                "off"
+            ].payment_series(bp)
+        assert [r.result.selected for r in runs["exact"].rounds] == [
+            r.result.selected for r in runs["off"].rounds
+        ]
+
+    def test_stable_supply_clears_once(self, setup):
+        net, offers, tm = setup
+        auction = RecurringAuction(
+            net, offers, tm, seed=3, engine="mcf",
+            recall=self._stable_recall(), delta_reclear="exact",
+        )
+        outcome = auction.run(5)
+        assert auction.full_clears == 1
+        assert auction.exact_reuses == 4
+        assert len(set(outcome.cost_series())) == 1
+
+    def test_off_mode_always_clears(self, setup):
+        net, offers, tm = setup
+        auction = RecurringAuction(
+            net, offers, tm, seed=3, engine="mcf",
+            recall=self._stable_recall(), delta_reclear="off",
+        )
+        auction.run(5)
+        assert auction.full_clears == 5
+        assert auction.exact_reuses == 0
+        assert auction.single_link_reuses == 0
+
+    def test_single_link_reuse_fires_for_unselected_loss(self, setup):
+        from repro.auction.collusion import withhold_offer
+
+        net, offers, tm = setup
+        auction = RecurringAuction(
+            net, offers, tm, seed=1, engine="mcf", delta_reclear="single-link"
+        )
+        base = auction._active_offers()
+        first = auction._clear(base)
+        # Drop one unselected link whose provider keeps others.
+        lost = next(
+            lid
+            for o in base
+            for lid in sorted(o.link_ids)
+            if lid not in first.selected and len(o.link_ids) > 1
+        )
+        shrunk = [
+            withhold_offer(o, o.link_ids - {lost}) if lost in o.link_ids else o
+            for o in base
+        ]
+        second = auction._clear(shrunk)
+        assert second is first  # provably the same clearing, reused
+        assert auction.single_link_reuses == 1
+        assert auction.full_clears == 1
+
+    def test_exact_mode_never_single_link_reuses(self, setup):
+        from repro.auction.collusion import withhold_offer
+
+        net, offers, tm = setup
+        auction = RecurringAuction(
+            net, offers, tm, seed=1, engine="mcf", delta_reclear="exact"
+        )
+        base = auction._active_offers()
+        first = auction._clear(base)
+        lost = next(
+            lid
+            for o in base
+            for lid in sorted(o.link_ids)
+            if lid not in first.selected and len(o.link_ids) > 1
+        )
+        shrunk = [
+            withhold_offer(o, o.link_ids - {lost}) if lost in o.link_ids else o
+            for o in base
+        ]
+        auction._clear(shrunk)
+        assert auction.single_link_reuses == 0
+        assert auction.full_clears == 2
+
+    def test_selected_link_loss_is_not_reusable(self, setup):
+        net, offers, tm = setup
+        auction = RecurringAuction(
+            net, offers, tm, seed=1, engine="mcf", delta_reclear="single-link"
+        )
+        base = auction._active_offers()
+        first = auction._clear(base)
+        key = auction._clearing_key(base)
+        lost = next(iter(sorted(first.selected)))
+        new_key = tuple(
+            sorted(
+                (p, ia, tuple(l for l in links if l != lost))
+                for p, ia, links in key
+            )
+        )
+        assert not auction._single_link_reusable(new_key, key)
+
+    def test_appeared_link_is_not_reusable(self, setup):
+        net, offers, tm = setup
+        auction = RecurringAuction(
+            net, offers, tm, seed=1, engine="mcf", delta_reclear="single-link"
+        )
+        base = auction._active_offers()
+        auction._clear(base)
+        key = auction._clearing_key(base)
+        new_key = tuple(
+            sorted(
+                (p, ia, tuple(sorted(links + ("ZZ",))))
+                for p, ia, links in key
+            )
+        )
+        assert not auction._single_link_reusable(new_key, key)

@@ -113,3 +113,58 @@ class TestValidation:
 
     def test_no_flows(self):
         assert max_min_allocation({}, {}, {}, {"l": 5.0}) == {}
+
+
+class TestKernelEquivalence:
+    """The vector kernel is the scalar specification, bit for bit."""
+
+    def _random_case(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n_links = int(rng.integers(2, 9))
+        links = [f"l{i}" for i in range(n_links)]
+        capacities = {
+            lid: float(np.round(rng.uniform(0.5, 40.0), 3)) for lid in links
+        }
+        n_flows = int(rng.integers(1, 13))
+        flow_paths, demands, weights = {}, {}, {}
+        for f in range(n_flows):
+            length = int(rng.integers(1, n_links + 1))
+            path = [links[int(i)] for i in
+                    rng.choice(n_links, size=length, replace=False)]
+            fid = f"f{f}"
+            flow_paths[fid] = path
+            demands[fid] = float(np.round(rng.uniform(0.1, 25.0), 3))
+            weights[fid] = float(np.round(rng.uniform(0.2, 5.0), 3))
+        return flow_paths, demands, weights, capacities
+
+    @pytest.mark.parametrize("seed", range(60))
+    def test_vector_matches_scalar_exactly(self, seed):
+        flow_paths, demands, weights, capacities = self._random_case(seed)
+        scalar = max_min_allocation(
+            flow_paths, demands, weights, capacities, kernel="scalar"
+        )
+        vector = max_min_allocation(
+            flow_paths, demands, weights, capacities, kernel="vector"
+        )
+        assert vector == scalar  # exact float equality, not approx
+
+    def test_default_kernel_is_vector(self):
+        """Parking-lot instance: default must equal an explicit vector run."""
+        args = (
+            {"long": ["l1", "l2"], "s1": ["l1"], "s2": ["l2"]},
+            {"long": 10.0, "s1": 10.0, "s2": 10.0},
+            {"long": 1.0, "s1": 1.0, "s2": 1.0},
+            {"l1": 10.0, "l2": 10.0},
+        )
+        assert max_min_allocation(*args) == max_min_allocation(
+            *args, kernel="vector"
+        )
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(FlowError, match="unknown fairshare kernel"):
+            max_min_allocation(
+                {"a": ["l"]}, {"a": 1.0}, {"a": 1.0}, {"l": 1.0},
+                kernel="numpy",
+            )

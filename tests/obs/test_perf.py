@@ -8,6 +8,10 @@ from repro import obs
 from repro.exceptions import ObservabilityError
 from repro.obs.perf import (
     aggregate_perf,
+    compare_json,
+    compare_perf,
+    expand_sidecar_set,
+    format_compare,
     format_perf,
     load_jsonl,
     load_perf,
@@ -201,3 +205,133 @@ class TestFormatting:
         a.write_text(json.dumps(_trial_line(key="k1")) + "\n")
         b.write_text(json.dumps(_trial_line(key="k2")) + "\n")
         assert len(load_perf([a, b]).trials) == 2
+
+
+class TestCompare:
+    """The A/B sidecar diff behind ``perf --compare``."""
+
+    def _report(self, tmp_path, name, lines):
+        path = tmp_path / f"{name}.jsonl"
+        with path.open("w", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(json.dumps(line) + "\n")
+        return load_perf([path])
+
+    def _pair(self, tmp_path):
+        before = self._report(tmp_path, "before", [
+            _trial_line(key="k1", wall_s=4.0,
+                        phases={"mcf.solve": 3.0, "overhead": 1.0},
+                        phase_calls={"mcf.solve": 6, "overhead": 1},
+                        counters={"mcf.solves": 6, "mcf.fallback_solves": 6}),
+            _trial_line(key="k2", wall_s=4.0,
+                        phases={"mcf.solve": 3.0, "overhead": 1.0},
+                        phase_calls={"mcf.solve": 6, "overhead": 1},
+                        counters={"mcf.solves": 6, "mcf.fallback_solves": 6}),
+        ])
+        after = self._report(tmp_path, "after", [
+            _trial_line(key="k1", wall_s=2.0,
+                        phases={"mcf.solve": 1.0, "overhead": 1.0},
+                        phase_calls={"mcf.solve": 6, "overhead": 1},
+                        counters={"mcf.solves": 6, "mcf.warm_solves": 6}),
+            _trial_line(key="k2", wall_s=2.0,
+                        phases={"mcf.solve": 1.0, "overhead": 1.0},
+                        phase_calls={"mcf.solve": 6, "overhead": 1},
+                        counters={"mcf.solves": 6, "mcf.warm_solves": 6}),
+        ])
+        return before, after
+
+    def test_phase_deltas_and_speedups(self, tmp_path):
+        before, after = self._pair(tmp_path)
+        comparison = compare_perf(before, after)
+        assert comparison.wall_speedup == pytest.approx(2.0)
+        by_name = {d.name: d for d in comparison.deltas}
+        assert by_name["mcf.solve"].speedup == pytest.approx(3.0)
+        assert by_name["overhead"].speedup == pytest.approx(1.0)
+        # Ordered by descending wall time on the A (before) side.
+        assert [d.name for d in comparison.deltas] == ["mcf.solve", "overhead"]
+
+    def test_phase_only_on_one_side(self, tmp_path):
+        before = self._report(tmp_path, "a", [
+            _trial_line(phases={"gone": 2.0}, phase_calls={"gone": 4},
+                        counters={}),
+        ])
+        after = self._report(tmp_path, "b", [
+            _trial_line(phases={"new": 1.0}, phase_calls={"new": 2},
+                        counters={}),
+        ])
+        by_name = {d.name: d for d in compare_perf(before, after).deltas}
+        assert by_name["gone"].b_total_s == 0.0
+        assert by_name["gone"].b_calls == 0
+        assert by_name["gone"].speedup is None  # nothing to divide by
+        assert by_name["new"].a_total_s == 0.0
+        assert by_name["new"].speedup == pytest.approx(0.0)
+
+    def test_counter_deltas_cover_union(self, tmp_path):
+        before, after = self._pair(tmp_path)
+        deltas = dict(
+            (name, (va, vb))
+            for name, va, vb in compare_perf(before, after).counter_deltas()
+        )
+        assert deltas["mcf.fallback_solves"] == (12.0, 0.0)
+        assert deltas["mcf.warm_solves"] == (0.0, 12.0)
+        assert deltas["mcf.solves"] == (12.0, 12.0)
+
+    def test_format_compare_table(self, tmp_path):
+        before, after = self._pair(tmp_path)
+        text = format_compare(
+            compare_perf(before, after), label_a="base", label_b="warm"
+        )
+        assert "A = base · B = warm" in text
+        assert "overall speedup 2.00x" in text
+        assert "mcf.solve" in text and "3.00x" in text
+        assert "per-trial mean wall" in text
+        assert "mcf.fallback_solves: 12 → 0" in text
+        # Unchanged counters stay out of the changed section.
+        assert "mcf.solves: 12 → 12" not in text
+
+    def test_format_compare_rejects_empty_side(self, tmp_path):
+        before, _after = self._pair(tmp_path)
+        empty = aggregate_perf([])
+        with pytest.raises(ObservabilityError, match="both sides"):
+            format_compare(compare_perf(before, empty))
+
+    def test_compare_json_round_trips(self, tmp_path):
+        before, after = self._pair(tmp_path)
+        payload = json.loads(compare_json(compare_perf(before, after)))
+        assert payload["wall_speedup"] == pytest.approx(2.0)
+        assert payload["a"]["trials"] == 2 and payload["b"]["trials"] == 2
+        names = [p["name"] for p in payload["phases"]]
+        assert names == ["mcf.solve", "overhead"]
+
+
+class TestExpandSidecarSet:
+    def test_single_file(self, tmp_path):
+        f = tmp_path / "m.jsonl"
+        f.write_text("")
+        assert expand_sidecar_set(str(f)) == [f]
+
+    def test_directory_globs_sorted(self, tmp_path):
+        d = tmp_path / "run"
+        d.mkdir()
+        for name in ("b.jsonl", "a.jsonl", "ignored.txt"):
+            (d / name).write_text("")
+        assert expand_sidecar_set(d) == [d / "a.jsonl", d / "b.jsonl"]
+
+    def test_comma_joined_mix(self, tmp_path):
+        d = tmp_path / "run"
+        d.mkdir()
+        (d / "x.jsonl").write_text("")
+        lone = tmp_path / "lone.jsonl"
+        lone.write_text("")
+        got = expand_sidecar_set(f"{lone}, {d}")
+        assert got == [lone, d / "x.jsonl"]
+
+    def test_empty_directory_rejected(self, tmp_path):
+        d = tmp_path / "empty"
+        d.mkdir()
+        with pytest.raises(ObservabilityError, match="no .*jsonl"):
+            expand_sidecar_set(d)
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ObservabilityError, match="empty sidecar set"):
+            expand_sidecar_set(" , ")

@@ -365,3 +365,112 @@ class TestStoreCorruptionIncidents:
         assert result.incidents == []
         assert result.quarantined == []
         assert result.respawns == 0
+
+
+def _logging_prewarm(params):
+    """Prewarm hook that records (pid, x) so tests can see who warmed."""
+    with open(params["plog"], "a", encoding="utf-8") as handle:
+        handle.write(f"{os.getpid()}:{params['x']}\n")
+
+
+def _broken_prewarm(params):
+    raise RuntimeError("prewarm blew up; the sweep must not care")
+
+
+for _exp in (
+    Experiment(name="_test_prewarmed", trial=_counting_trial, version="1",
+               prewarm=_logging_prewarm),
+    Experiment(name="_test_prewarm_broken", trial=_counting_trial,
+               version="1", prewarm=_broken_prewarm),
+):
+    register(_exp, replace=True)
+
+
+class TestPrewarm:
+    """The byte-neutral cache-warming hook around trial dispatch."""
+
+    def _spec(self, tmp_path, xs=(0, 1, 2)):
+        return SweepSpec(
+            axes=(Axis("x", tuple(xs)),),
+            base={"log": str(tmp_path / "trials.log"),
+                  "plog": str(tmp_path / "prewarm.log")},
+            seed=5,
+        )
+
+    def test_serial_run_prewarms_in_parent(self, tmp_path):
+        result = run_sweep("_test_prewarmed", self._spec(tmp_path))
+        assert result.executed == 3
+        lines = _read_log(tmp_path / "prewarm.log")
+        # One warm call per distinct param set, all in this process.
+        assert sorted(line.split(":")[1] for line in lines) == ["0", "1", "2"]
+        assert {line.split(":")[0] for line in lines} == {str(os.getpid())}
+
+    def test_prewarm_bounded_to_eight_param_sets(self, tmp_path):
+        run_sweep("_test_prewarmed", self._spec(tmp_path, xs=tuple(range(12))))
+        assert len(_read_log(tmp_path / "prewarm.log")) == 8
+
+    def test_prewarm_runs_before_any_trial(self, tmp_path):
+        beats = []
+
+        def watch(progress):
+            if progress.done == 1 and len(beats) == 0:
+                beats.append(_read_log(tmp_path / "prewarm.log"))
+
+        run_sweep("_test_prewarmed", self._spec(tmp_path), on_progress=watch)
+        # When the first trial finished, every warm call had already run.
+        assert len(beats[0]) == 3
+
+    def test_broken_prewarm_is_swallowed(self, tmp_path):
+        result = run_sweep("_test_prewarm_broken", self._spec(tmp_path))
+        assert result.executed == 3
+        assert [o.record["square"] for o in result.outcomes] == [0.0, 1.0, 4.0]
+
+    def test_prewarm_does_not_change_records(self, tmp_path):
+        """Byte-neutrality: removing the hook leaves records untouched.
+
+        Seeds derive from (experiment, params), so the comparison must
+        rerun the *same* experiment name with prewarm stripped.
+        """
+        spec = self._spec(tmp_path)
+        warmed = run_sweep("_test_prewarmed", spec)
+        try:
+            register(Experiment(name="_test_prewarmed",
+                                trial=_counting_trial, version="1"),
+                     replace=True)
+            plain = run_sweep("_test_prewarmed", spec)
+        finally:
+            register(Experiment(name="_test_prewarmed",
+                                trial=_counting_trial, version="1",
+                                prewarm=_logging_prewarm),
+                     replace=True)
+        assert [o.record for o in warmed.outcomes] == [
+            o.record for o in plain.outcomes
+        ]
+        assert warmed.report_json(group_by=["x"]) == plain.report_json(
+            group_by=["x"]
+        )
+
+    @pytest.mark.skipif("fork" not in START_METHODS, reason="no fork")
+    def test_fork_pool_prewarms_and_matches_serial(self, tmp_path):
+        spec = self._spec(tmp_path)  # same spec: seeds derive from params
+        serial = run_sweep("_test_prewarmed", spec)
+        pooled = run_sweep("_test_prewarmed", spec, workers=2,
+                           start_method="fork")
+        assert [o.record for o in pooled.outcomes] == [
+            o.record for o in serial.outcomes
+        ]
+        lines = _read_log(tmp_path / "prewarm.log")
+        # The parent warmed each param set in both runs (serial + pooled
+        # pre-pool warm); worker initializers add their own lines.
+        parent = [l for l in lines if l.startswith(f"{os.getpid()}:")]
+        assert sorted(l.split(":")[1] for l in parent) == [
+            "0", "0", "1", "1", "2", "2"
+        ]
+
+    @pytest.mark.skipif("fork" not in START_METHODS, reason="no fork")
+    def test_builtin_experiments_still_poolable_without_prewarm(self):
+        """No prewarm hook → no initializer: the pool path is unchanged."""
+        serial = run_sweep("demo", demo_spec(n=2))
+        pooled = run_sweep("demo", demo_spec(n=2), workers=2,
+                           start_method="fork")
+        assert pooled.report_json() == serial.report_json()
