@@ -94,6 +94,18 @@ def test_bench_r3_service(benchmark, report):
     ]
     assert any("health=healthy" in e for e in stalled_publishes)
 
+    # -- shed accounting closes ----------------------------------------------
+    # The per-kind shed breakdown must sum back to the shed totals: no
+    # refusal is uncategorized, none is double-counted.
+    for status, by_kind in rep.shed_breakdown.items():
+        assert sum(by_kind.values()) == rep.counts.get(status, 0), (
+            f"shed breakdown for {status!r} does not sum to its total"
+        )
+    # An in-process campaign never touches the wire: the transport-side
+    # reliability columns exist but stay empty.
+    assert sum(rep.retry_breakdown.values()) == 0
+    assert rep.failovers == ()
+
     # -- determinism -----------------------------------------------------------
     assert run_r3().to_json() == rep.to_json(), "campaign must replay exactly"
 

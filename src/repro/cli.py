@@ -471,55 +471,216 @@ def _service_config(args):
     )
 
 
+def _parse_endpoint(text: str, flag: str):
+    host, sep, port = str(text).rpartition(":")
+    if not sep or not host:
+        raise SystemExit(f"{flag} wants HOST:PORT, got {text!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise SystemExit(f"{flag} wants a numeric port, got {text!r}")
+
+
+async def _serve_until_drained(service, args) -> None:
+    """The shared wall-clock serve loop: heartbeats, --duration, drain."""
+    import asyncio
+
+    deadline = (service.clock.now() + args.duration
+                if args.duration is not None else None)
+    while not service.drained.is_set():
+        timeout = args.heartbeat
+        if deadline is not None:
+            timeout = min(timeout, max(0.0, deadline - service.clock.now()))
+        try:
+            await asyncio.wait_for(service.drained.wait(), timeout=timeout)
+            break
+        except asyncio.TimeoutError:
+            pass
+        if deadline is not None and service.clock.now() >= deadline:
+            await service.drain()
+            break
+        if service.running and not service.draining:
+            health = await service.submit("health")
+            h = health.payload
+            print(f"  v{h['version']} {h['health']}  served={service.served_total} "
+                  f"shed={service.shed_total} breaker={h['breaker_state']}",
+                  flush=True)
+    snap = service.snapshot
+    print(f"drained at snapshot v{snap.version} ({snap.health}); "
+          f"served {service.served_total}, shed {service.shed_total}"
+          + (f"; snapshot persisted to {args.checkpoint}"
+             if args.checkpoint else ""))
+
+
+def _cmd_serve_standby(args) -> int:
+    """Hot standby: tail the primary's journal, probe it, take over."""
+    import asyncio
+
+    from repro.experiments.pipeline import PipelineCheckpoint
+    from repro.service import (
+        Journal, ServiceClient, ServiceServer, StandbyReplica, standby_handler,
+    )
+
+    if args.primary is None:
+        raise SystemExit("--standby-of needs --primary HOST:PORT to probe")
+    primary = _parse_endpoint(args.primary, "--primary")
+    network, offers, tm = _service_workload(args.preset, args.seed)
+    config = _service_config(args)
+    replica = StandbyReplica(
+        args.standby_of, network, offers, tm,
+        config=config, seed=args.seed,
+        journal=Journal(args.journal) if args.journal else None,
+        checkpoint=(PipelineCheckpoint(args.checkpoint)
+                    if args.checkpoint else None),
+        poll_interval_s=args.poll_interval,
+        probe_failures=args.probe_failures,
+    )
+
+    async def _standby() -> None:
+        probe_client = ServiceClient([primary], seed=args.seed)
+
+        async def probe() -> bool:
+            resp = await probe_client.health(deadline_s=0.5)
+            return resp.status in ("ok", "degraded")
+
+        replica._probe = probe
+        server = None
+        if args.listen is not None:
+            host, port = _parse_endpoint(args.listen, "--listen")
+            server = ServiceServer(standby_handler(replica), host=host, port=port)
+            addr = await server.start()
+            print(f"standby listening on {addr[0]}:{addr[1]}, tailing "
+                  f"{args.standby_of} (probing {primary[0]}:{primary[1]})",
+                  flush=True)
+        try:
+            with _silence_native_stdout():
+                service = await replica.run()
+            if service is None:
+                print(f"primary drained cleanly at v{replica.state.version}; "
+                      f"standby exiting without promotion")
+                return
+            await probe_client.close()
+            snap = service.snapshot
+            print(f"promoted to primary at snapshot v{snap.version} "
+                  f"({snap.health}), recovered seq={replica.state.seq}",
+                  flush=True)
+            service.install_signal_handlers()
+            await _serve_until_drained(service, args)
+        finally:
+            await probe_client.close()
+            if server is not None:
+                await server.stop()
+
+    asyncio.run(_standby())
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the online POC daemon on the wall clock until drained."""
     import asyncio
 
     from repro.experiments.pipeline import PipelineCheckpoint
-    from repro.service import PocService
+    from repro.service import Journal, PocService, ServiceServer, service_handler
+
+    if args.standby_of is not None:
+        return _cmd_serve_standby(args)
 
     network, offers, tm = _service_workload(args.preset, args.seed)
     config = _service_config(args)
     checkpoint = PipelineCheckpoint(args.checkpoint) if args.checkpoint else None
+    journal = Journal(args.journal) if args.journal else None
     service = PocService(
-        network, offers, tm, config=config, seed=args.seed, checkpoint=checkpoint,
+        network, offers, tm, config=config, seed=args.seed,
+        checkpoint=checkpoint, journal=journal,
     )
 
     async def _serve() -> None:
         with _silence_native_stdout():
             snap = await service.start()
         service.install_signal_handlers()
+        server = None
+        if args.listen is not None:
+            host, port = _parse_endpoint(args.listen, "--listen")
+            server = ServiceServer(service_handler(service), host=host, port=port)
+            addr = await server.start()
+            print(f"listening on {addr[0]}:{addr[1]}", flush=True)
         print(f"serving snapshot v{snap.version} ({snap.health}): "
               f"{len(snap.selected)} links, {len(snap.sites)} sites, "
-              f"${snap.total_payments:,.0f}/mo", flush=True)
-        deadline = (service.clock.now() + args.duration
-                    if args.duration is not None else None)
-        while not service.drained.is_set():
-            timeout = args.heartbeat
-            if deadline is not None:
-                timeout = min(timeout, max(0.0, deadline - service.clock.now()))
-            try:
-                await asyncio.wait_for(service.drained.wait(), timeout=timeout)
-                break
-            except asyncio.TimeoutError:
-                pass
-            if deadline is not None and service.clock.now() >= deadline:
-                await service.drain()
-                break
-            if service.running and not service.draining:
-                health = await service.submit("health")
-                h = health.payload
-                print(f"  v{h['version']} {h['health']}  served={service.served_total} "
-                      f"shed={service.shed_total} breaker={h['breaker_state']}",
-                      flush=True)
-        snap = service.snapshot
-        print(f"drained at snapshot v{snap.version} ({snap.health}); "
-              f"served {service.served_total}, shed {service.shed_total}"
-              + (f"; snapshot persisted to {args.checkpoint}"
-                 if args.checkpoint else ""))
+              f"${snap.total_payments:,.0f}/mo"
+              + (f"; journaling to {args.journal}" if args.journal else ""),
+              flush=True)
+        try:
+            await _serve_until_drained(service, args)
+        finally:
+            if server is not None:
+                await server.stop()
 
     asyncio.run(_serve())
     return 0
+
+
+def _cmd_loadgen_socket(args, load) -> int:
+    """Play the seeded plan over real sockets against remote daemon(s)."""
+    import asyncio
+    import json as _json
+
+    from repro.service import run_socket_campaign
+
+    endpoints = [_parse_endpoint(e.strip(), "--connect")
+                 for e in args.connect.split(",") if e.strip()]
+    if not endpoints:
+        raise SystemExit("--connect wants HOST:PORT[,HOST:PORT...]")
+    # The plan's sites/links pool comes from the locally-built workload
+    # (same preset + seed the daemon was started with); unknown links
+    # still get well-formed "known: false" pricing answers.
+    network, _offers, _tm = _service_workload(args.preset, args.seed)
+
+    async def _campaign():
+        return await run_socket_campaign(
+            endpoints, load, seed=args.seed,
+            sites=network.node_ids, links=network.link_ids,
+        )
+
+    responses, client = asyncio.run(_campaign())
+    counts: dict = {}
+    for resp in responses:
+        counts[resp.status] = counts.get(resp.status, 0) + 1
+    latencies = sorted(r.latency_s for r in responses)
+
+    def pct(p: float) -> float:
+        if not latencies:
+            return 0.0
+        return latencies[min(len(latencies) - 1, int(p * len(latencies)))]
+
+    served = sum(counts.get(s, 0) for s in ("ok", "degraded"))
+    if args.json:
+        print(_json.dumps({
+            "seed": args.seed,
+            "endpoints": [f"{h}:{p}" for h, p in endpoints],
+            "submitted": len(responses),
+            "counts": dict(sorted(counts.items())),
+            "latency_p50_ms": round(pct(0.50) * 1e3, 6),
+            "latency_p99_ms": round(pct(0.99) * 1e3, 6),
+            "retries": dict(sorted(client.retry_counts.items())),
+            "failovers": list(client.failovers),
+        }, sort_keys=True, indent=2))
+    else:
+        print(f"socket loadgen seed={args.seed} -> "
+              + ",".join(f"{h}:{p}" for h, p in endpoints))
+        print(f"  {len(responses)} requests: {served} served, "
+              + ", ".join(f"{v} {k}" for k, v in sorted(counts.items())
+                          if k not in ("ok", "degraded")))
+        print(f"  latency p50={pct(0.50)*1e3:g}ms p99={pct(0.99)*1e3:g}ms")
+        print(f"  retries: "
+              + (", ".join(f"{k}={v}" for k, v in
+                           sorted(client.retry_counts.items())) or "none"))
+        for failover in client.failovers:
+            print(f"  failover at t={failover['t']:g}s: "
+                  f"{failover['from']} -> {failover['to']} "
+                  f"({failover['reason']})")
+    # Zero-unanswered holds over sockets by construction (transport
+    # failures fold into deadline-exceeded); an empty campaign is a bug.
+    return 0 if responses else 1
 
 
 def cmd_loadgen(args: argparse.Namespace) -> int:
@@ -542,6 +703,8 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         flash_duration_s=args.flash_duration,
         flash_multiplier=args.flash_mult,
     )
+    if args.connect:
+        return _cmd_loadgen_socket(args, load)
     chaos = None
     if args.fault_at or stall:
         chaos = ChaosPlan(
@@ -559,6 +722,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             breaker=CircuitBreaker(failure_threshold=args.breaker_threshold),
             checkpoint=(PipelineCheckpoint(args.checkpoint)
                         if args.checkpoint else None),
+            journal_path=args.journal,
         )
     if args.json:
         print(report.to_json())
@@ -585,17 +749,55 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
 
 
 def cmd_audit(args: argparse.Namespace) -> int:
-    """Replay a result store and/or a service snapshot through the
-    invariant suite (exit 1 on dirt)."""
+    """Replay a result store, service snapshot, and/or write-ahead
+    journal through the invariant suite (exit 1 on dirt)."""
     import json as _json
     import pathlib as _pathlib
 
     from repro.resilience.supervisor import QuarantineLog
     from repro.sweeps.cache import ResultStore
-    from repro.validate.invariants import check_record, check_snapshot
+    from repro.validate.invariants import (
+        check_journal, check_record, check_snapshot,
+    )
 
-    if args.store is None and args.snapshot is None:
-        raise SystemExit("audit needs --store and/or --snapshot")
+    if args.store is None and args.snapshot is None and args.journal is None:
+        raise SystemExit("audit needs --store, --snapshot, and/or --journal")
+
+    journal_dirty = False
+    if args.journal is not None:
+        from repro.exceptions import JournalError
+        from repro.service.journal import read_records, replay
+
+        with _silence_native_stdout():
+            violations = check_journal(args.journal)
+        journal_dirty = bool(violations)
+        records, torn, state = [], None, None
+        try:
+            records, torn = read_records(args.journal)
+            state = replay(records)
+        except JournalError:
+            pass  # already reported as a journal-parse violation
+        if args.json:
+            print(_json.dumps({
+                "journal": args.journal,
+                "records": len(records),
+                "torn_tail": torn is not None,
+                "seq": state.seq if state else None,
+                "version": state.version if state else None,
+                "drained": state.drained if state else None,
+                "violations": [v.to_dict() for v in violations],
+            }, sort_keys=True, indent=2))
+        else:
+            closing = ("drained" if state and state.drained else "open")
+            print(f"audit journal {args.journal}: {len(records)} record(s), "
+                  f"{closing} at seq={state.seq if state else '?'} "
+                  f"v{state.version if state else '?'}, "
+                  f"{len(violations)} violation(s)"
+                  + ("; torn tail (crash signature) dropped" if torn else ""))
+            for violation in violations:
+                print(f"  {violation}")
+        if args.store is None and args.snapshot is None:
+            return 1 if journal_dirty else 0
 
     snapshot_dirty = False
     if args.snapshot is not None:
@@ -623,7 +825,7 @@ def cmd_audit(args: argparse.Namespace) -> int:
             for violation in violations:
                 print(f"  {violation}")
         if args.store is None:
-            return 1 if snapshot_dirty else 0
+            return 1 if (snapshot_dirty or journal_dirty) else 0
 
     if not _pathlib.Path(args.store).exists():
         raise SystemExit(f"no result store at {args.store!r}")
@@ -685,7 +887,8 @@ def cmd_audit(args: argparse.Namespace) -> int:
                   + (f"  ({summary})" if summary else ""))
     # Corrupt lines are dirt too: the cache silently re-executes their
     # trials, but an *audit* must refuse to call a damaged store clean.
-    return 1 if (dirty or snapshot_dirty or store.corrupt_lines) else 0
+    return 1 if (dirty or snapshot_dirty or journal_dirty
+                 or store.corrupt_lines) else 0
 
 
 def _parse_overrides(extras: List[str]):
@@ -1066,6 +1269,10 @@ def make_parser() -> argparse.ArgumentParser:
                       help="persisted service snapshot to audit (flow "
                            "conservation, VCG budget identity, price "
                            "decomposition, rate determinism)")
+    p_au.add_argument("--journal", default=None, metavar="PATH",
+                      help="write-ahead service journal to audit (CRC + "
+                           "sequence integrity, monotone time/versions, "
+                           "drain accounting, last published snapshot)")
     p_au.add_argument("--quarantine", default=None, metavar="PATH",
                       help="quarantine ledger to summarize (default: "
                            "quarantine.jsonl next to --store, if present)")
@@ -1108,6 +1315,22 @@ def make_parser() -> argparse.ArgumentParser:
                        help="seconds to serve (default: until signal)")
     p_srv.add_argument("--heartbeat", type=float, default=5.0,
                        help="seconds between health heartbeats")
+    p_srv.add_argument("--listen", default=None, metavar="HOST:PORT",
+                       help="serve queries over a length-prefixed JSON "
+                            "socket at this address")
+    p_srv.add_argument("--journal", default=None, metavar="PATH",
+                       help="write-ahead intent journal (fsynced; replayable "
+                            "after kill -9, auditable via `audit --journal`)")
+    p_srv.add_argument("--standby-of", default=None, metavar="JOURNAL",
+                       help="run as a hot standby tailing this journal; "
+                            "promotes to primary when --primary stops "
+                            "answering health probes")
+    p_srv.add_argument("--primary", default=None, metavar="HOST:PORT",
+                       help="primary address a standby probes for liveness")
+    p_srv.add_argument("--poll-interval", type=float, default=0.05,
+                       help="standby journal-tail / probe interval (s)")
+    p_srv.add_argument("--probe-failures", type=int, default=3,
+                       help="consecutive failed probes before promotion")
     p_srv.set_defaults(fn=cmd_serve)
 
     p_lg = sub.add_parser(
@@ -1138,6 +1361,14 @@ def make_parser() -> argparse.ArgumentParser:
                       help="solver-stall window (every primary solve times out)")
     p_lg.add_argument("--breaker-threshold", type=int, default=3,
                       help="consecutive failures that open the breaker")
+    p_lg.add_argument("--journal", default=None, metavar="PATH",
+                      help="journal the in-process daemon's intents here "
+                           "(auditable via `audit --journal`)")
+    p_lg.add_argument("--connect", default=None, metavar="HOST:PORT[,HOST:PORT]",
+                      help="play the seeded plan over real sockets against "
+                           "running daemon(s) instead of in-process; extra "
+                           "endpoints are failover targets (wall clock — "
+                           "chaos flags are ignored)")
     p_lg.add_argument("--json", action="store_true",
                       help="emit the LoadReport as canonical JSON")
     p_lg.set_defaults(fn=cmd_loadgen)

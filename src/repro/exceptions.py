@@ -139,6 +139,29 @@ class ServiceError(ReproError):
     """
 
 
+class JournalError(ServiceError):
+    """The service's write-ahead journal is unusable or corrupt.
+
+    Covers missing journal files, checksum mismatches anywhere but the
+    final (torn) line, sequence gaps, unknown record kinds, and appends
+    to a closed journal.  A torn tail alone is *not* an error — it is
+    the expected signature of ``kill -9`` and is dropped on replay.
+    """
+
+
+class TransportError(ServiceError):
+    """The socket transport failed to deliver a request or response.
+
+    Covers oversized/malformed frames, connections that die mid-request,
+    servers that answer with an error frame, and a client whose deadline
+    budget is exhausted before any endpoint produced a terminal answer.
+    """
+
+    def __init__(self, detail: str, *, retryable: bool = False) -> None:
+        super().__init__(detail)
+        self.retryable = retryable
+
+
 class SweepError(ReproError):
     """A parameter sweep is misconfigured or its artifacts are inconsistent.
 

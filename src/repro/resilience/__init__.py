@@ -15,6 +15,8 @@ them in practice:
 - :mod:`repro.resilience.supervisor` — supervised trial execution for
   sweeps: per-trial deadlines, a hang watchdog, crashed-worker respawn,
   and poison-trial quarantine.
+- :mod:`repro.resilience.netfaults` — a seeded TCP fault proxy (drop,
+  delay, truncate, duplicate, reset) for breaking the service's wire.
 """
 
 from repro.resilience.chaos import (
@@ -28,6 +30,7 @@ from repro.resilience.chaos import (
     run_campaign,
 )
 from repro.resilience.controller import DegradedModeController, DegradedState
+from repro.resilience.netfaults import FAULT_KINDS, FaultProxy, NetFaultConfig
 from repro.resilience.policy import (
     CircuitBreaker,
     ClearingProvenance,
@@ -50,7 +53,10 @@ __all__ = [
     "ClearingProvenance",
     "DegradedModeController",
     "DegradedState",
+    "FAULT_KINDS",
     "FaultEvent",
+    "FaultProxy",
+    "NetFaultConfig",
     "IncidentRecord",
     "QuarantineLog",
     "ResilientAuctioneer",

@@ -1,0 +1,205 @@
+"""Seeded network-fault injection at the TCP layer.
+
+The chaos harness breaks *links and solvers*; this module breaks the
+*wire*.  :class:`FaultProxy` sits between a transport client and the
+service's socket server and, per forwarded chunk, draws one decision
+from a seeded rng: forward, drop, delay, truncate, duplicate — or reset
+the whole connection.  That exercises every failure branch of the
+client (timeout, short frame, connection reset, stale duplicate reply)
+without patching any code under test.
+
+Fault decisions are a deterministic function of ``(seed, connection,
+direction, chunk index)`` via :func:`repro.rand.derive_rng`.  TCP chunk
+*boundaries* are up to the OS, so a wall-clock campaign through the
+proxy is not byte-reproducible — the proxy is chaos gear for semantic
+assertions (every request still gets a terminal answer), not a
+determinism vehicle.  Its decision *schedule* for a given chunk
+sequence is reproducible, which is what the unit tests pin.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import ServiceError
+from repro.rand import SeedLike, derive_rng
+
+#: Forwarding verdicts, in the order probability mass is assigned.
+FAULT_KINDS: Tuple[str, ...] = ("reset", "drop", "truncate", "duplicate", "delay")
+
+
+@dataclass(frozen=True)
+class NetFaultConfig:
+    """Per-chunk fault probabilities (the rest of the mass forwards)."""
+
+    reset_p: float = 0.0
+    drop_p: float = 0.0
+    truncate_p: float = 0.0
+    duplicate_p: float = 0.0
+    delay_p: float = 0.0
+    #: Uniform delay bound applied when a ``delay`` verdict fires.
+    delay_max_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        probs = (self.reset_p, self.drop_p, self.truncate_p,
+                 self.duplicate_p, self.delay_p)
+        if any(p < 0 for p in probs) or sum(probs) > 1.0:
+            raise ServiceError(
+                "fault probabilities must be non-negative and sum to <= 1"
+            )
+        if self.delay_max_s < 0:
+            raise ServiceError("delay_max_s cannot be negative")
+
+    def verdict(self, u: float) -> str:
+        """Map one uniform draw to a verdict ('forward' if no fault)."""
+        edge = 0.0
+        for kind, p in zip(FAULT_KINDS, (self.reset_p, self.drop_p,
+                                         self.truncate_p, self.duplicate_p,
+                                         self.delay_p)):
+            edge += p
+            if u < edge:
+                return kind
+        return "forward"
+
+
+class FaultProxy:
+    """A TCP proxy that forwards both directions through the fault dice."""
+
+    def __init__(
+        self,
+        upstream: Tuple[str, int],
+        config: NetFaultConfig,
+        *,
+        seed: SeedLike = 0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.upstream = (str(upstream[0]), int(upstream[1]))
+        self.config = config
+        self.seed = seed
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_count = 0
+        self._tasks: "set[asyncio.Task]" = set()
+        #: Verdict tally across the proxy's lifetime.
+        self.stats: Dict[str, int] = {k: 0 for k in FAULT_KINDS + ("forward",)}
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._server is None:
+            raise ServiceError("fault proxy is not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return str(host), int(port)
+
+    async def start(self) -> Tuple[str, int]:
+        if self._server is not None:
+            raise ServiceError("fault proxy is already started")
+        self._server = await asyncio.start_server(
+            self._on_connection, self._host, self._port
+        )
+        return self.address
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        self._conn_count += 1
+        conn = self._conn_count
+        try:
+            up_reader, up_writer = await asyncio.open_connection(*self.upstream)
+        except (ConnectionError, OSError):
+            writer.close()
+            return
+        reset = asyncio.Event()
+        pumps = [
+            asyncio.ensure_future(
+                self._pump(reader, up_writer, conn, "c2s", reset)
+            ),
+            asyncio.ensure_future(
+                self._pump(up_reader, writer, conn, "s2c", reset)
+            ),
+        ]
+        for pump in pumps:
+            self._tasks.add(pump)
+            pump.add_done_callback(self._tasks.discard)
+        try:
+            await asyncio.gather(*pumps, return_exceptions=True)
+        except asyncio.CancelledError:
+            for pump in pumps:
+                pump.cancel()
+        for w in (writer, up_writer):
+            try:
+                w.close()
+            except Exception:
+                pass
+
+    async def _pump(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        conn: int,
+        direction: str,
+        reset: asyncio.Event,
+    ) -> None:
+        """Forward one direction chunk-by-chunk through the fault dice."""
+        chunk_index = 0
+        try:
+            while not reset.is_set():
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                rng = derive_rng(self.seed, "netfault", conn, direction,
+                                 chunk_index)
+                chunk_index += 1
+                verdict = self.config.verdict(float(rng.uniform()))
+                self.stats[verdict] += 1
+                if verdict == "reset":
+                    # Kill both directions abruptly — RST, not FIN.
+                    reset.set()
+                    break
+                if verdict == "drop":
+                    continue
+                if verdict == "truncate":
+                    half = max(1, len(chunk) // 2)
+                    writer.write(chunk[:half])
+                    await writer.drain()
+                    reset.set()
+                    break
+                if verdict == "delay":
+                    await asyncio.sleep(
+                        float(rng.uniform(0.0, self.config.delay_max_s))
+                    )
+                    writer.write(chunk)
+                    await writer.drain()
+                    continue
+                if verdict == "duplicate":
+                    writer.write(chunk + chunk)
+                    await writer.drain()
+                    continue
+                writer.write(chunk)
+                await writer.drain()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass

@@ -24,7 +24,7 @@ from repro.exceptions import (
 from repro.auction.constraints import Constraint
 from repro.auction.provider import Offer
 from repro.auction.vcg import AuctionConfig, AuctionResult, run_auction
-from repro.rand import SeedLike, make_rng
+from repro.rand import SeedLike, derive_rng, make_rng
 
 
 @dataclass(frozen=True)
@@ -77,6 +77,21 @@ class RetryPolicy:
         if self.jitter:
             raw *= float(rng.uniform(1.0 - self.jitter, 1.0 + self.jitter))
         return raw
+
+    def delay_for(self, attempt: int, root: SeedLike, *parts: object) -> float:
+        """Stateless jittered backoff: reproducible without shared state.
+
+        :meth:`delay_s` draws jitter from a *stream* — callers that share
+        an rng get delays that depend on call order, which is fine inside
+        one retry loop but not across concurrent transport requests.
+        This derives a fresh rng from ``(root, "retry-delay", attempt,
+        *parts)`` via :func:`repro.rand.derive_rng`, so the schedule for
+        any (request, attempt) pair is a pure function of the seed —
+        byte-reproducible regardless of interleaving, never the global
+        ``random`` module.
+        """
+        rng = derive_rng(root, "retry-delay", int(attempt), *parts)
+        return self.delay_s(attempt, rng)
 
 
 def call_with_retry(

@@ -12,10 +12,25 @@ persisted snapshot.
 Timing is injectable (:mod:`repro.service.clock`): wall clock for real
 serving, virtual clock for the deterministic chaos-under-load campaigns
 in :mod:`repro.service.loadgen` and benchmark R3.
+
+Crash safety rides on three siblings: a write-ahead intent journal
+(:mod:`repro.service.journal`, replayable after ``kill -9``), a real
+socket transport with a deadline-budgeted retry client
+(:mod:`repro.service.transport`), and a hot-standby replica that tails
+the journal and promotes on primary death
+(:mod:`repro.service.replica`).
 """
 
 from repro.service.clock import VirtualClock, WallClock, drive, run_virtual
 from repro.service.daemon import PocService, ServiceConfig
+from repro.service.journal import (
+    JOURNAL_EVENTS,
+    Journal,
+    JournalState,
+    read_records,
+    recover,
+    replay,
+)
 from repro.service.loadgen import (
     ChaosPlan,
     LoadgenConfig,
@@ -24,6 +39,13 @@ from repro.service.loadgen import (
     run_load,
     run_service_benchmark,
     summarize,
+)
+from repro.service.replica import (
+    FailoverHarness,
+    StandbyReplica,
+    run_failover_benchmark,
+    run_socket_campaign,
+    standby_handler,
 )
 from repro.service.requests import (
     OK_STATUSES,
@@ -42,6 +64,14 @@ from repro.service.snapshot import (
     snapshot_network,
     snapshot_tm,
 )
+from repro.service.transport import (
+    RETRY_REASONS,
+    ServiceClient,
+    ServiceServer,
+    read_frame,
+    service_handler,
+    write_frame,
+)
 
 __all__ = [
     "VirtualClock",
@@ -50,6 +80,23 @@ __all__ = [
     "run_virtual",
     "PocService",
     "ServiceConfig",
+    "JOURNAL_EVENTS",
+    "Journal",
+    "JournalState",
+    "read_records",
+    "recover",
+    "replay",
+    "FailoverHarness",
+    "StandbyReplica",
+    "run_failover_benchmark",
+    "run_socket_campaign",
+    "standby_handler",
+    "RETRY_REASONS",
+    "ServiceClient",
+    "ServiceServer",
+    "read_frame",
+    "service_handler",
+    "write_frame",
     "ChaosPlan",
     "LoadgenConfig",
     "LoadReport",

@@ -31,6 +31,12 @@ machinery that enforces it:
   finishes every in-flight request, and persists the live snapshot via
   :class:`~repro.experiments.pipeline.PipelineCheckpoint` so the next
   process resumes from a known-good clearing.
+- **Crash safety.**  With a :class:`~repro.service.journal.Journal`
+  attached, every state transition is appended inside the same
+  synchronous section that mutates memory, so after ``kill -9`` (or the
+  simulated :meth:`kill`) replaying the journal reconstructs the
+  snapshot, counters, and event log byte-identically; a hot standby
+  tails the file and :meth:`start_from_recovery` resumes from it.
 
 All timing goes through an injectable clock, so the same daemon runs on
 wall time in production and on deterministic virtual time in benchmarks.
@@ -57,6 +63,7 @@ from repro.experiments.pipeline import PipelineCheckpoint
 from repro.resilience.controller import DegradedModeController
 from repro.resilience.policy import CircuitBreaker, ResilientAuctioneer, RetryPolicy
 from repro.service.clock import WallClock
+from repro.service.journal import Journal, JournalState, served_tally
 from repro.service.requests import REQUEST_KINDS, Request, Response
 from repro.service.snapshot import SNAPSHOT_STAGE, ServiceSnapshot
 from repro.topology.graph import Network
@@ -119,11 +126,13 @@ class PocService:
         checkpoint: Optional[PipelineCheckpoint] = None,
         breaker: Optional[CircuitBreaker] = None,
         retry: Optional[RetryPolicy] = None,
+        journal: Optional[Journal] = None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.clock = clock if clock is not None else WallClock()
         self.seed = seed
         self.checkpoint = checkpoint
+        self._journal = journal
         self.offers = list(offers)
         self.poc = PublicOptionCore(offered=network)
         self.auctioneer = ResilientAuctioneer(
@@ -172,7 +181,10 @@ class PocService:
     def set_solver_stall(self, stalled: bool) -> None:
         """Chaos overlay: make every primary-engine attempt time out."""
         self._stall_primary = bool(stalled)
-        self._log(f"solver-stall={'on' if stalled else 'off'}")
+        self._record(
+            "stall", {"on": self._stall_primary},
+            log=f"solver-stall={'on' if stalled else 'off'}",
+        )
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -196,10 +208,23 @@ class PocService:
             raise ServiceError("service is not started")
         return self._drained_event
 
+    @property
+    def journal(self) -> Optional[Journal]:
+        return self._journal
+
     async def start(self) -> ServiceSnapshot:
         """Clear the initial auction, publish version 1, spawn workers."""
         if self._running:
             raise ServiceError("service is already running")
+        self._record("start", {
+            "seed": self.seed,
+            "config": {
+                "engine": self.config.engine,
+                "primary_method": self.config.primary_method,
+                "queue_limit": self.config.queue_limit,
+                "workers": self.config.workers,
+            },
+        })
         cons = make_constraint(
             self.config.constraint, self.poc.offered, self.tm,
             engine=self.config.engine,
@@ -213,6 +238,65 @@ class PocService:
         self._running = True
         self._draining = False
         self._publish(provenance=prov)
+        self._worker_tasks = [
+            asyncio.ensure_future(self._worker()) for _ in range(self.config.workers)
+        ]
+        return self.snapshot
+
+    async def start_from_recovery(self, state: JournalState) -> ServiceSnapshot:
+        """Promote: resume journaled state, re-arm the control plane.
+
+        The recovered snapshot keeps serving as-is — same version, same
+        prices and rates, byte-identical answers — while a fresh clear
+        re-arms the auctioneer/POC pair so later faults and re-clears
+        work.  Journaled failed links are re-applied, so a primary that
+        died degraded stays degraded after failover.  Counters, the
+        event log, and the request-id stream continue where the journal
+        left off; the takeover is recorded as a ``promote`` record in
+        *this* service's journal, which therefore stands alone for
+        audit and any subsequent failover.
+        """
+        if self._running:
+            raise ServiceError("service is already running")
+        if state.snapshot_payload is None:
+            raise ServiceError(
+                "recovered journal has no published snapshot to resume from"
+            )
+        cons = make_constraint(
+            self.config.constraint, self.poc.offered, self.tm,
+            engine=self.config.engine,
+        )
+        with obs.span("service.recover", engine=self.config.engine):
+            result, _ = self.auctioneer.clear(self.offers, cons)
+        self.poc.activate(result)
+        failed = [l for l in state.failed_links() if l in result.selected]
+        if failed:
+            self.poc.apply_link_failures(failed)
+        self.controller = DegradedModeController(self.poc, self.tm)
+        self._queue = asyncio.Queue(maxsize=self.config.queue_limit)
+        self._drained_event = asyncio.Event()
+        self._running = True
+        self._draining = False
+        self._stall_primary = False
+        self._version = state.version
+        self._snapshot = ServiceSnapshot.from_dict(state.snapshot_payload)
+        self.stats = {key: int(value) for key, value in state.stats.items()}
+        self.events = list(state.events)
+        self._next_request_id = state.next_request_id
+        obs.metrics().inc("service.promotions")
+        self._record(
+            "promote",
+            {
+                "seed": self.seed if state.seed is None else state.seed,
+                "version": state.version,
+                "recovered_seq": state.seq,
+                "next_request_id": state.next_request_id,
+                "stats": dict(sorted(self.stats.items())),
+                "events": [[t, e] for t, e in state.events],
+                "snapshot": state.snapshot_payload,
+            },
+            log=f"promote version={state.version} recovered_seq={state.seq}",
+        )
         self._worker_tasks = [
             asyncio.ensure_future(self._worker()) for _ in range(self.config.workers)
         ]
@@ -232,7 +316,7 @@ class PocService:
             return self.snapshot
         if not self._draining:
             self._draining = True
-            self._log("drain-start")
+            self._record("drain-start", {}, log="drain-start")
         assert self._queue is not None
         await self._queue.join()
         for task in self._worker_tasks:
@@ -245,12 +329,45 @@ class PocService:
         self._reclear_task = None
         if self.checkpoint is not None:
             self.checkpoint.save(SNAPSHOT_STAGE, self.snapshot.to_dict())
-            self._log(f"snapshot-persisted version={self.snapshot.version}")
+            self._record(
+                "checkpoint", {"version": self.snapshot.version},
+                log=f"snapshot-persisted version={self.snapshot.version}",
+            )
         self._running = False
-        self._log("drain-complete")
+        self._record(
+            "drain-complete", {"stats": dict(sorted(self.stats.items()))},
+            log="drain-complete",
+        )
+        if self._journal is not None:
+            self._journal.close()
         assert self._drained_event is not None
         self._drained_event.set()
         return self.snapshot
+
+    async def kill(self) -> None:
+        """Simulated ``kill -9``: die abruptly, mid-whatever.
+
+        No drain record, no checkpoint, no final journal entry — the
+        journal simply stops where the last synchronous section left
+        it (tests additionally cut the file mid-line to model a torn
+        write).  Queued requests are abandoned with their futures
+        unresolved; a failover client re-submits them elsewhere.
+        """
+        if not self._running:
+            return
+        self._running = False
+        self._draining = False
+        tasks = list(self._worker_tasks)
+        if self._reclear_task is not None and not self._reclear_task.done():
+            tasks.append(self._reclear_task)
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        self._worker_tasks = []
+        self._reclear_task = None
+        if self._journal is not None:
+            self._journal.close()
 
     # -- publishing -----------------------------------------------------------
 
@@ -266,7 +383,10 @@ class PocService:
         )
         # The swap readers race against: one reference assignment.
         self._snapshot = snap
-        self._log(f"publish version={snap.version} health={snap.health}")
+        self._record(
+            "publish", {"version": snap.version, "snapshot": snap.to_dict()},
+            log=f"publish version={snap.version} health={snap.health}",
+        )
         reg = obs.metrics()
         reg.set_gauge("service.version", float(snap.version))
         reg.set_gauge("service.degraded", 1.0 if snap.health == "degraded" else 0.0)
@@ -280,6 +400,30 @@ class PocService:
 
     def _log(self, event: str) -> None:
         self.events.append((round(self.clock.now(), 9), event))
+
+    def _record(
+        self,
+        event: str,
+        payload: Dict[str, object],
+        *,
+        log: Optional[str] = None,
+    ) -> None:
+        """Journal one state transition (and mirror it to the event log).
+
+        Called only from synchronous sections, *after* the in-memory
+        mutation it describes, so the journal position is always an
+        exact cut of the live state — the invariant the crash-recovery
+        property suite replays against.
+        """
+        t = round(self.clock.now(), 9)
+        if log is not None:
+            self.events.append((t, log))
+        if self._journal is not None and not self._journal.closed:
+            body = dict(payload)
+            if log is not None:
+                body["log"] = log
+            self._journal.append(event, body, t=t)
+            obs.metrics().inc("service.journal_records")
 
     # -- fault handling -------------------------------------------------------
 
@@ -298,7 +442,9 @@ class PocService:
             return 0
         self.poc.apply_link_failures(hits)
         self.stats["faults_injected"] += len(hits)
-        self._log(f"fault links={','.join(hits)}")
+        self._record(
+            "fault", {"links": hits}, log=f"fault links={','.join(hits)}"
+        )
         obs.metrics().inc("service.faults", len(hits))
         self._publish()
         self._schedule_reclear()
@@ -329,11 +475,15 @@ class PocService:
             # or an operator retry schedules another attempt.
             self.stats["reclear_failures"] += 1
             obs.metrics().inc("service.reclear_failures")
-            self._log(f"reclear-failed {type(exc).__name__}")
+            self._record(
+                "reclear-failed", {"error": type(exc).__name__},
+                log=f"reclear-failed {type(exc).__name__}",
+            )
             return
         prov = self.auctioneer.history[-1] if self.auctioneer.history else None
         self.stats["reclears"] += 1
         obs.metrics().inc("service.reclears")
+        self._record("reclear", {})
         self._publish(provenance=prov)
 
     async def retry_reclear(self) -> None:
@@ -385,6 +535,9 @@ class PocService:
     def _shed(self, request: Request, status: str) -> Response:
         self.stats[status] += 1
         obs.metrics().inc(f"service.shed.{status}")
+        self._record(
+            "shed", {"id": request.id, "kind": request.kind, "status": status}
+        )
         return Response(
             request_id=request.id,
             kind=request.kind,
@@ -413,25 +566,40 @@ class PocService:
             snap = self._snapshot  # the one atomic read for this batch
             assert snap is not None
             pricing = sum(1 for req, _ in batch if req.kind == "pricing")
-            if pricing > 1:
-                # Coalesced: one pass over the price table answers all.
-                self.stats["coalesced_pricing"] += pricing - 1
-                reg.inc("service.pricing_coalesced", pricing - 1)
+            coalesced = pricing - 1 if pricing > 1 else 0
             await self.clock.sleep(
                 cfg.batch_overhead_s + cfg.per_request_cost_s * len(batch)
             )
             now = self.clock.now()
             # Span around the synchronous serve section only — never
             # across an await, where task interleaving would nest spans
-            # from concurrent workers into each other.
+            # from concurrent workers into each other.  Stats mutation
+            # and journaling both live inside this section, so every
+            # journal append observes (and records) a consistent cut.
             with obs.span("service.serve", batch=len(batch)):
-                for request, fut in batch:
-                    if now > request.deadline_s:
-                        self._resolve(
-                            fut, self._shed(request, "deadline-exceeded")
-                        )
-                    else:
-                        self._resolve(fut, self._answer(snap, request, now))
+                if coalesced:
+                    # Coalesced: one pass over the price table answers
+                    # every pricing lookup in the batch.
+                    self.stats["coalesced_pricing"] += coalesced
+                    reg.inc("service.pricing_coalesced", coalesced)
+                # Sheds first: each writes its own journal record, and
+                # answered-request counters must not precede them in the
+                # live state or replay would disagree mid-batch.
+                expired = [pair for pair in batch if now > pair[0].deadline_s]
+                live = [pair for pair in batch if now <= pair[0].deadline_s]
+                for request, fut in expired:
+                    self._resolve(fut, self._shed(request, "deadline-exceeded"))
+                statuses: List[str] = []
+                for request, fut in live:
+                    response = self._answer(snap, request, now)
+                    statuses.append(response.status)
+                    self._resolve(fut, response)
+                self._record("serve", {
+                    "served": served_tally(statuses),
+                    "coalesced": coalesced,
+                    "last_id": max(req.id for req, _ in batch),
+                })
+                for _ in batch:
                     self._queue.task_done()
             reg.set_gauge("service.queue_depth", float(self._queue.qsize()))
 

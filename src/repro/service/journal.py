@@ -1,0 +1,308 @@
+"""Write-ahead intent journal: the service's crash-survivable memory.
+
+Every state transition the daemon makes — start, snapshot publish, shed,
+served batch, fault, stall toggle, re-clear, drain, standby promotion —
+is appended to a JSONL journal *inside the same synchronous section that
+mutates the in-memory state*, so the journal position is always an exact
+cut of the service's counters, version, event log, and current snapshot.
+
+Record format (one canonical-JSON line each)::
+
+    {"crc": "9f2a11c4", "event": "publish", "payload": {...},
+     "seq": 7, "t": 1.2345}
+
+- ``seq`` is contiguous from 1 within one journal file.
+- ``t`` is the service clock (wall or virtual) rounded to 9 places.
+- ``crc`` is the CRC-32 of the canonical JSON of the record *without*
+  the crc field, hex-encoded.  A torn tail (a partial last line from
+  ``kill -9`` mid-write) fails the checksum and is discarded by
+  :func:`read_records`; a bad checksum anywhere *else* is corruption and
+  raises :class:`~repro.exceptions.JournalError`.
+
+Replay (:func:`replay`) folds records into a :class:`JournalState`:
+the stats counters, operational event log, published snapshot payload,
+version, and next request id — byte-identical to the live service's
+state at the same journal position.  That is the recovery contract the
+crash-recovery property suite enforces, and what lets a hot standby
+(:mod:`repro.service.replica`) tail the file and take over.
+
+Durability: writes are a single ``os.write`` of the full line to an
+``O_APPEND`` descriptor, followed by ``fsync`` unless the journal was
+opened with ``fsync=False`` (virtual-clock campaigns skip the syscall
+cost; crash *simulation* there cuts the file explicitly instead).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import JournalError
+
+#: Closed set of record kinds; anything else is corruption.
+JOURNAL_EVENTS: Tuple[str, ...] = (
+    "start",
+    "publish",
+    "shed",
+    "serve",
+    "fault",
+    "stall",
+    "reclear",
+    "reclear-failed",
+    "checkpoint",
+    "drain-start",
+    "drain-complete",
+    "promote",
+)
+
+#: Record kinds that begin a journal (a fresh start, or a standby
+#: taking over with recovered state).
+_OPENING_EVENTS = ("start", "promote")
+
+_SERVED_STATUSES = ("ok", "degraded", "error")
+
+
+def _canonical(payload: Dict[str, object]) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def _crc(body: Dict[str, object]) -> str:
+    return format(zlib.crc32(_canonical(body).encode("utf-8")), "08x")
+
+
+def encode_record(event: str, payload: Dict[str, object], *,
+                  seq: int, t: float) -> str:
+    """One journal line (no trailing newline), checksummed."""
+    body: Dict[str, object] = {
+        "event": event, "payload": payload, "seq": seq, "t": t,
+    }
+    body["crc"] = _crc({k: body[k] for k in ("event", "payload", "seq", "t")})
+    return _canonical(body)
+
+
+def decode_record(line: str) -> Dict[str, object]:
+    """Parse + checksum-verify one line; raises JournalError if bad."""
+    try:
+        body = json.loads(line)
+    except ValueError as exc:
+        raise JournalError(f"unparseable journal line: {exc}") from exc
+    if not isinstance(body, dict):
+        raise JournalError(f"journal line is not an object: {line[:80]!r}")
+    missing = {"crc", "event", "payload", "seq", "t"} - set(body)
+    if missing:
+        raise JournalError(f"journal record missing fields {sorted(missing)}")
+    expect = _crc({k: body[k] for k in ("event", "payload", "seq", "t")})
+    if body["crc"] != expect:
+        raise JournalError(
+            f"journal checksum mismatch at seq={body.get('seq')}: "
+            f"recorded {body['crc']} != computed {expect}"
+        )
+    if body["event"] not in JOURNAL_EVENTS:
+        raise JournalError(f"unknown journal event {body['event']!r}")
+    return body
+
+
+class Journal:
+    """Append-only, checksummed, optionally-fsynced intent journal."""
+
+    def __init__(self, path, *, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self._fd: Optional[int] = os.open(
+            str(self.path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        self._seq = 0
+
+    @property
+    def seq(self) -> int:
+        return self._seq
+
+    @property
+    def closed(self) -> bool:
+        return self._fd is None
+
+    def append(self, event: str, payload: Dict[str, object], *, t: float) -> int:
+        """Durably append one record; returns its sequence number."""
+        if self._fd is None:
+            raise JournalError(f"journal {self.path} is closed")
+        if event not in JOURNAL_EVENTS:
+            raise JournalError(f"unknown journal event {event!r}")
+        self._seq += 1
+        line = encode_record(event, payload, seq=self._seq, t=t)
+        # One write syscall for the whole line: concurrent writers would
+        # interleave, but the daemon journals only from synchronous
+        # sections, so a record is torn only by the process dying mid-
+        # write — exactly the case the checksum catches on replay.
+        os.write(self._fd, (line + "\n").encode("utf-8"))
+        if self.fsync:
+            os.fsync(self._fd)
+        return self._seq
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_records(path) -> Tuple[List[Dict[str, object]], Optional[str]]:
+    """Read every intact record; returns ``(records, torn_tail)``.
+
+    A defective *last* line is the expected signature of ``kill -9``
+    mid-append: it is returned as ``torn_tail`` (its raw text) rather
+    than raised.  A defective line anywhere else, or a sequence gap,
+    is corruption and raises :class:`JournalError`.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise JournalError(f"journal {path} does not exist")
+    raw = path.read_bytes().decode("utf-8", errors="replace")
+    lines = raw.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    records: List[Dict[str, object]] = []
+    torn: Optional[str] = None
+    for index, line in enumerate(lines):
+        try:
+            body = decode_record(line)
+        except JournalError:
+            if index == len(lines) - 1:
+                torn = line
+                break
+            raise
+        records.append(body)
+    for position, body in enumerate(records, start=1):
+        if body["seq"] != position:
+            raise JournalError(
+                f"journal sequence gap: expected seq={position}, "
+                f"found seq={body['seq']}"
+            )
+    return records, torn
+
+
+@dataclass
+class JournalState:
+    """Service state reconstructed by replaying a journal prefix."""
+
+    seq: int = 0
+    seed: Optional[int] = None
+    version: int = 0
+    next_request_id: int = 1
+    draining: bool = False
+    drained: bool = False
+    stalled: bool = False
+    promoted_from: Optional[int] = None
+    snapshot_payload: Optional[Dict[str, object]] = None
+    stats: Dict[str, int] = field(default_factory=dict)
+    events: List[Tuple[float, str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.stats:
+            self.stats = {status: 0 for status in
+                          ("ok", "degraded", "overloaded",
+                           "deadline-exceeded", "draining", "error")}
+            self.stats["coalesced_pricing"] = 0
+            self.stats["reclears"] = 0
+            self.stats["reclear_failures"] = 0
+            self.stats["faults_injected"] = 0
+
+    def apply(self, record: Dict[str, object]) -> None:
+        """Fold one journal record into the state (in seq order)."""
+        event = str(record["event"])
+        payload = record["payload"]
+        t = float(record["t"])
+        self.seq = int(record["seq"])
+        if event == "start":
+            self.seed = int(payload["seed"])
+        elif event == "publish":
+            self.version = int(payload["version"])
+            self.snapshot_payload = payload["snapshot"]
+        elif event == "shed":
+            self.stats[str(payload["status"])] += 1
+            self.next_request_id = max(
+                self.next_request_id, int(payload["id"]) + 1
+            )
+        elif event == "serve":
+            for status, count in payload["served"].items():
+                self.stats[status] += int(count)
+            self.stats["coalesced_pricing"] += int(payload["coalesced"])
+            self.next_request_id = max(
+                self.next_request_id, int(payload["last_id"]) + 1
+            )
+        elif event == "fault":
+            self.stats["faults_injected"] += len(payload["links"])
+        elif event == "stall":
+            self.stalled = bool(payload["on"])
+        elif event == "reclear":
+            self.stats["reclears"] += 1
+        elif event == "reclear-failed":
+            self.stats["reclear_failures"] += 1
+        elif event == "drain-start":
+            self.draining = True
+        elif event == "drain-complete":
+            self.drained = True
+        elif event == "promote":
+            self.seed = int(payload["seed"])
+            self.version = int(payload["version"])
+            self.snapshot_payload = payload["snapshot"]
+            self.stats = {k: int(v) for k, v in payload["stats"].items()}
+            self.next_request_id = int(payload["next_request_id"])
+            self.events = [(float(et), str(ev)) for et, ev in payload["events"]]
+            self.promoted_from = int(payload["recovered_seq"])
+        if "log" in payload:
+            self.events.append((t, str(payload["log"])))
+
+    def failed_links(self) -> Tuple[str, ...]:
+        """Failed links per the last published snapshot (empty if none)."""
+        if self.snapshot_payload is None:
+            return ()
+        control = self.snapshot_payload.get("control", {})
+        return tuple(str(l) for l in control.get("failed_links", ()))
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical form, for byte-comparison in the recovery suite."""
+        return {
+            "seq": self.seq,
+            "seed": self.seed,
+            "version": self.version,
+            "next_request_id": self.next_request_id,
+            "draining": self.draining,
+            "drained": self.drained,
+            "stalled": self.stalled,
+            "stats": dict(sorted(self.stats.items())),
+            "events": [[t, e] for t, e in self.events],
+            "snapshot": self.snapshot_payload,
+        }
+
+
+def replay(records: Iterable[Dict[str, object]]) -> JournalState:
+    """Fold a record sequence into the state it implies."""
+    state = JournalState()
+    for record in records:
+        state.apply(record)
+    return state
+
+
+def recover(path) -> Tuple[JournalState, Optional[str]]:
+    """Read + replay a journal file; returns ``(state, torn_tail)``."""
+    records, torn = read_records(path)
+    return replay(records), torn
+
+
+def served_tally(batch_statuses: Sequence[str]) -> Dict[str, int]:
+    """The ``serve`` record's status tally (only answered statuses)."""
+    tally = {status: 0 for status in _SERVED_STATUSES}
+    for status in batch_statuses:
+        if status in tally:
+            tally[status] += 1
+    return tally

@@ -28,7 +28,7 @@ from repro.resilience.chaos import micro_scenario
 from repro.resilience.policy import CircuitBreaker
 from repro.service.clock import VirtualClock, run_virtual
 from repro.service.daemon import PocService, ServiceConfig
-from repro.service.requests import REQUEST_KINDS, Response
+from repro.service.requests import REQUEST_KINDS, SHED_STATUSES, Response
 
 #: Relative request mix: mostly reads of the clearing, some admission,
 #: a trickle of operator health checks.
@@ -113,6 +113,13 @@ class LoadReport:
     final_health: str
     final_breaker_state: str
     events: Tuple[Tuple[float, str], ...] = field(repr=False, default=())
+    #: Reason breakdowns: every shed status split by request kind, every
+    #: transport retry split by failure reason, and each failover the
+    #: client performed.  In-process campaigns have empty retry/failover
+    #: sections; the sums are asserted against the totals in bench R3.
+    shed_breakdown: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    retry_breakdown: Dict[str, int] = field(default_factory=dict)
+    failovers: Tuple[Dict[str, object], ...] = ()
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -139,6 +146,12 @@ class LoadReport:
             "final_version": self.final_version,
             "final_health": self.final_health,
             "final_breaker_state": self.final_breaker_state,
+            "shed_breakdown": {
+                status: dict(sorted(kinds.items()))
+                for status, kinds in sorted(self.shed_breakdown.items())
+            },
+            "retry_breakdown": dict(sorted(self.retry_breakdown.items())),
+            "failovers": [dict(sorted(f.items())) for f in self.failovers],
             "events": [[t, e] for t, e in self.events],
         }
 
@@ -265,14 +278,25 @@ def summarize(
     *,
     seed: int,
     submitted: Optional[int] = None,
+    retry_counts: Optional[Dict[str, int]] = None,
+    failovers: Sequence[Dict[str, object]] = (),
 ) -> LoadReport:
-    """Fold responses + the service journal into a LoadReport."""
+    """Fold responses + the service journal into a LoadReport.
+
+    ``retry_counts`` and ``failovers`` come from a transport client (or
+    failover harness) when the campaign ran over the wire; in-process
+    campaigns leave them empty.
+    """
     submitted = len(responses) if submitted is None else submitted
     counts: Dict[str, int] = {}
     served_lat: List[float] = []
     degraded = 0
+    shed_breakdown: Dict[str, Dict[str, int]] = {s: {} for s in SHED_STATUSES}
     for resp in responses:
         counts[resp.status] = counts.get(resp.status, 0) + 1
+        if resp.shed:
+            kinds = shed_breakdown[resp.status]
+            kinds[resp.kind] = kinds.get(resp.kind, 0) + 1
         if resp.served:
             served_lat.append(resp.latency_s)
             if resp.degraded:
@@ -305,6 +329,9 @@ def summarize(
         final_health=snap.health,
         final_breaker_state=service.auctioneer.breaker.state,
         events=tuple(service.events),
+        shed_breakdown=shed_breakdown,
+        retry_breakdown=dict(retry_counts or {}),
+        failovers=tuple(failovers),
     )
 
 
@@ -332,16 +359,25 @@ def run_service_benchmark(
     breaker: Optional[CircuitBreaker] = None,
     scenario_seed: Optional[int] = None,
     checkpoint=None,
+    journal_path=None,
 ) -> LoadReport:
     """One fully deterministic campaign on the chaos micro-scenario.
 
     Everything — topology costs, arrivals, fault targets, batching —
     derives from ``seed`` (and ``scenario_seed``, defaulting to it), so
-    two runs anywhere produce byte-identical reports.
+    two runs anywhere produce byte-identical reports.  With
+    ``journal_path`` set, the campaign writes a write-ahead journal
+    (unfsynced — virtual time makes fsync pacing meaningless) that
+    ``repro audit --journal`` can replay and verify.
     """
     cfg = load or LoadgenConfig()
     net, offers, tm = micro_scenario(seed if scenario_seed is None else scenario_seed)
     clock = VirtualClock()
+    journal = None
+    if journal_path is not None:
+        from repro.service.journal import Journal
+
+        journal = Journal(journal_path, fsync=False)
     service = PocService(
         net, offers, tm,
         config=config or ServiceConfig(milp_time_limit_s=30.0),
@@ -349,6 +385,7 @@ def run_service_benchmark(
         seed=seed,
         breaker=breaker,
         checkpoint=checkpoint,
+        journal=journal,
     )
 
     async def _campaign() -> LoadReport:

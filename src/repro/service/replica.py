@@ -1,0 +1,517 @@
+"""Hot-standby replication and failover for the POC service.
+
+The availability story has three parts, all built on the write-ahead
+journal (:mod:`repro.service.journal`):
+
+- :class:`StandbyReplica` *tails* the primary's journal file —
+  incremental reads, torn-tail tolerant — and folds each record into a
+  :class:`~repro.service.journal.JournalState`, so at every moment it
+  holds the primary's snapshot, counters, and event log.  It answers
+  health probes about its lag while in the ``standby`` role, and when
+  its liveness probe of the primary fails ``probe_failures`` times in a
+  row it **promotes**: one final journal catch-up, then
+  :meth:`~repro.service.daemon.PocService.start_from_recovery` brings
+  up a full service that continues exactly where the primary died.
+
+- :class:`FailoverHarness` is the deterministic, in-process form of the
+  client's failover protocol: it routes ``submit`` calls to the active
+  service, detects the requests the dying primary abandoned, parks
+  arrivals during the dead gap, and replays them (within their original
+  deadline budgets) into the promoted standby — recording exactly one
+  failover incident.  On a virtual clock the whole
+  kill-mid-campaign run (:func:`run_failover_benchmark`) is a pure
+  function of its seed: two runs produce byte-identical
+  :class:`~repro.service.loadgen.LoadReport` s.
+
+- :func:`run_socket_campaign` is the wall-clock, real-socket form used
+  by the CLI and the CI failover smoke: the same request plan played
+  through a :class:`~repro.service.transport.ServiceClient` whose
+  endpoint list includes the standby, with ``SIGKILL``-the-primary
+  chaos handled by retry + endpoint failover.  Wall time is not
+  reproducible, so this path asserts semantics (zero unanswered, one
+  failover, clean journal) rather than bytes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.exceptions import JournalError, ServiceError, TransportError
+from repro.service.clock import VirtualClock, WallClock, run_virtual
+from repro.service.daemon import PocService, ServiceConfig
+from repro.service.journal import Journal, JournalState, decode_record
+from repro.service.loadgen import (
+    ChaosPlan,
+    LoadgenConfig,
+    LoadReport,
+    build_request_plan,
+    run_load,
+    summarize,
+)
+from repro.service.requests import Response
+from repro.service.transport import ServiceClient, service_handler
+
+
+class StandbyReplica:
+    """Tail the primary's journal; promote when the primary goes dark."""
+
+    def __init__(
+        self,
+        journal_path,
+        network,
+        offers,
+        tm,
+        *,
+        config: Optional[ServiceConfig] = None,
+        clock=None,
+        seed: int = 0,
+        probe: Optional[Callable[[], "asyncio.Future"]] = None,
+        journal: Optional[Journal] = None,
+        checkpoint=None,
+        poll_interval_s: float = 0.05,
+        probe_failures: int = 3,
+    ) -> None:
+        if probe_failures < 1:
+            raise ServiceError("probe_failures must be >= 1")
+        self.journal_path = journal_path
+        self.clock = clock if clock is not None else WallClock()
+        self.poll_interval_s = float(poll_interval_s)
+        self.probe_failures = int(probe_failures)
+        self._probe = probe
+        self.state = JournalState()
+        self.role = "standby"
+        self.service: Optional[PocService] = None
+        self._offset = 0
+        self._pending_tail = b""
+        self._make_service = lambda: PocService(
+            network, offers, tm,
+            config=config, clock=self.clock, seed=seed,
+            journal=journal, checkpoint=checkpoint,
+        )
+
+    # -- journal tailing ------------------------------------------------------
+
+    def poll(self) -> int:
+        """Fold newly-appended journal records into the state.
+
+        Returns the number of records applied.  A partial last line is
+        held back (the primary may still be mid-write); corruption
+        *before* the tail raises :class:`JournalError`.
+        """
+        try:
+            with open(self.journal_path, "rb") as handle:
+                handle.seek(self._offset)
+                fresh = handle.read()
+        except FileNotFoundError:
+            return 0
+        if not fresh:
+            return 0
+        buffer = self._pending_tail + fresh
+        self._offset += len(fresh)
+        applied = 0
+        while True:
+            newline = buffer.find(b"\n")
+            if newline < 0:
+                break
+            line, buffer = buffer[:newline], buffer[newline + 1:]
+            record = decode_record(line.decode("utf-8"))
+            if record["seq"] != self.state.seq + 1:
+                raise JournalError(
+                    f"standby tail out of sequence: expected "
+                    f"{self.state.seq + 1}, found {record['seq']}"
+                )
+            self.state.apply(record)
+            applied += 1
+        self._pending_tail = buffer
+        if applied:
+            obs.metrics().inc("service.standby_records", applied)
+        return applied
+
+    @property
+    def lag_bytes(self) -> int:
+        return len(self._pending_tail)
+
+    def health_summary(self) -> Dict[str, object]:
+        """What a pre-promotion health probe of the standby sees."""
+        return {
+            "role": self.role,
+            "seq": self.state.seq,
+            "version": self.state.version,
+            "primary_drained": self.state.drained,
+            "has_snapshot": self.state.snapshot_payload is not None,
+        }
+
+    # -- promotion ------------------------------------------------------------
+
+    async def promote(self) -> PocService:
+        """Catch up one last time and take over as primary."""
+        if self.role == "primary":
+            assert self.service is not None
+            return self.service
+        self.poll()
+        # Whatever remains buffered now is a torn tail from the dead
+        # primary's final, interrupted write: checksum-unverifiable by
+        # construction, and dropped exactly as recovery drops it.
+        self._pending_tail = b""
+        service = self._make_service()
+        await service.start_from_recovery(self.state)
+        self.service = service
+        self.role = "primary"
+        obs.metrics().inc("service.failovers")
+        return service
+
+    async def run(self) -> Optional[PocService]:
+        """Watch loop: tail, probe, and promote on sustained probe failure.
+
+        Returns the promoted service, or ``None`` if the primary
+        drained cleanly (an orderly shutdown needs no failover).
+        """
+        if self._probe is None:
+            raise ServiceError("standby needs a liveness probe to run()")
+        failures = 0
+        while True:
+            self.poll()
+            if self.state.drained:
+                return None
+            try:
+                alive = bool(await self._probe())
+            except Exception:
+                alive = False
+            failures = 0 if alive else failures + 1
+            if failures >= self.probe_failures:
+                self.poll()
+                if self.state.drained:
+                    return None
+                return await self.promote()
+            await self.clock.sleep(self.poll_interval_s)
+
+
+def standby_handler(replica: StandbyReplica):
+    """Wire adapter for a standby: health answers, everything else waits.
+
+    Before promotion only ``health`` gets a real answer (role, lag,
+    replicated version); other kinds get a *retryable* error frame so a
+    failing-over client keeps retrying until promotion completes.
+    After promotion this delegates to the promoted service's handler.
+    """
+    promoted_handler = None
+
+    async def handle(message: Dict[str, object]) -> Dict[str, object]:
+        nonlocal promoted_handler
+        if replica.service is not None:
+            if promoted_handler is None:
+                promoted_handler = service_handler(replica.service)
+            return await promoted_handler(message)
+        if message.get("kind") == "health":
+            response = Response(
+                request_id=0, kind="health", status="ok",
+                version=replica.state.version, latency_s=0.0,
+                payload=replica.health_summary(),
+            )
+            return {"response": response.to_dict()}
+        return {"error": "standby-not-promoted", "retryable": True}
+
+    return handle
+
+
+class FailoverHarness:
+    """Deterministic in-process client failover across a kill.
+
+    Duck-types the slice of :class:`PocService` that
+    :func:`~repro.service.loadgen.run_load` uses (``running``,
+    ``clock``, ``snapshot``, ``submit``, fault hooks), so an unmodified
+    load campaign plays through it.  Requests the primary abandoned at
+    :meth:`kill_primary` — and any that arrive while nobody is serving —
+    are parked and re-submitted to the standby the moment it promotes,
+    under their original deadline budgets: a request whose budget died
+    with the primary is answered ``deadline-exceeded`` rather than
+    dropped, so every submission still resolves to exactly one response.
+    """
+
+    def __init__(self, primary: PocService, standby: StandbyReplica) -> None:
+        if primary.clock is not standby.clock:
+            raise ServiceError("harness needs primary and standby on one clock")
+        self.primary = primary
+        self.standby = standby
+        self.clock = primary.clock
+        self.incidents: List[Dict[str, object]] = []
+        self._active: Optional[PocService] = primary
+        self._watch_task: Optional[asyncio.Task] = None
+        self._waiting: List[Dict[str, object]] = []
+        self._inflight: Dict[int, Dict[str, object]] = {}
+        self._entry_seq = 0
+
+    # -- the service facade run_load drives -----------------------------------
+
+    @property
+    def active(self) -> PocService:
+        service = self._active
+        if service is None:
+            raise ServiceError("no active service (failover in progress)")
+        return service
+
+    @property
+    def running(self) -> bool:
+        return True  # the *harness* stays up across the failover gap
+
+    @property
+    def snapshot(self):
+        if self._active is not None and self._active._snapshot is not None:
+            return self._active.snapshot
+        return self.primary.snapshot
+
+    def inject_link_faults(self, link_ids) -> int:
+        if self._active is not None and self._active.running:
+            return self._active.inject_link_faults(link_ids)
+        return 0
+
+    def set_solver_stall(self, stalled: bool) -> None:
+        if self._active is not None and self._active.running:
+            self._active.set_solver_stall(stalled)
+
+    def submit(self, kind, params=None, *, deadline_s=None):
+        loop = asyncio.get_running_loop()
+        outer: "asyncio.Future[Response]" = loop.create_future()
+        now = self.clock.now()
+        budget = deadline_s
+        if budget is None:
+            config = (self._active or self.primary).config
+            budget = config.default_deadline_s
+        self._entry_seq += 1
+        entry = {
+            "key": self._entry_seq,
+            "kind": kind,
+            "params": dict(params or {}),
+            "arrival": now,
+            "deadline": now + budget,
+            "outer": outer,
+        }
+        self._route(entry)
+        return outer
+
+    def _route(self, entry: Dict[str, object]) -> None:
+        service = self._active
+        if service is None or not service.running:
+            self._waiting.append(entry)
+            return
+        now = self.clock.now()
+        remaining = entry["deadline"] - now
+        if remaining < 0:
+            self._expire(entry, now)
+            return
+        inner = service.submit(
+            entry["kind"], entry["params"], deadline_s=remaining
+        )
+        self._inflight[entry["key"]] = entry
+
+        def copy(fut: "asyncio.Future[Response]", key=entry["key"]) -> None:
+            pending = self._inflight.pop(key, None)
+            if pending is None or fut.cancelled() or fut.exception() is not None:
+                return
+            outer = pending["outer"]
+            if not outer.done():
+                outer.set_result(fut.result())
+
+        inner.add_done_callback(copy)
+
+    def _expire(self, entry: Dict[str, object], now: float) -> None:
+        """The budget died with the primary: answer, don't hang."""
+        outer = entry["outer"]
+        if outer.done():
+            return
+        version = 0
+        try:
+            version = self.snapshot.version
+        except ServiceError:
+            pass
+        outer.set_result(Response(
+            request_id=0,
+            kind=entry["kind"],
+            status="deadline-exceeded",
+            version=version,
+            latency_s=max(0.0, now - entry["arrival"]),
+        ))
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        await self.primary.start()
+        self._watch_task = asyncio.ensure_future(self._watch())
+
+    async def _watch(self) -> None:
+        async def probe() -> bool:
+            return self.primary.running
+
+        self.standby._probe = probe
+        service = await self.standby.run()
+        if service is None:
+            return
+        self._active = service
+        if self.incidents:
+            self.incidents[-1]["t_promoted"] = round(self.clock.now(), 9)
+            self.incidents[-1]["replayed"] = len(self._waiting)
+        replays, self._waiting = self._waiting, []
+        for entry in replays:
+            self._route(entry)
+
+    async def kill_primary(self) -> None:
+        """SIGKILL, simulated: the primary vanishes mid-batch."""
+        abandoned = [
+            self._inflight.pop(key)
+            for key in sorted(self._inflight)
+        ]
+        await self.primary.kill()
+        self._active = None
+        self.incidents.append({
+            "t_killed": round(self.clock.now(), 9),
+            "reason": "primary-killed",
+            "abandoned": len(abandoned),
+        })
+        obs.metrics().inc("service.client_failovers")
+        self._waiting = abandoned + self._waiting
+
+    async def finish(self) -> PocService:
+        """Settle the failover (if any), drain whoever is active."""
+        if self._watch_task is not None:
+            if self._active is self.primary and self.primary.running:
+                # No kill happened: the standby is still watching a
+                # healthy primary; stop it rather than wait forever.
+                self._watch_task.cancel()
+                await asyncio.gather(self._watch_task, return_exceptions=True)
+            else:
+                await self._watch_task
+            self._watch_task = None
+        service = self.active
+        await service.drain()
+        return service
+
+
+async def _run_kill(harness: FailoverHarness, kill_at: float) -> None:
+    delay = kill_at - harness.clock.now()
+    if delay > 0:
+        await harness.clock.sleep(delay)
+    await harness.kill_primary()
+
+
+def run_failover_benchmark(
+    seed: int = 0,
+    *,
+    journal_dir,
+    load: Optional[LoadgenConfig] = None,
+    chaos: Optional[ChaosPlan] = None,
+    config: Optional[ServiceConfig] = None,
+    kill_at: Optional[float] = None,
+    probe_failures: int = 2,
+    poll_interval_s: float = 0.05,
+) -> LoadReport:
+    """A kill-mid-campaign failover run, deterministic end to end.
+
+    Primary and hot standby share one virtual clock; the primary
+    journals to ``journal_dir/primary.journal`` (unfsynced — the crash
+    here is task death, not machine death), the standby tails it, and
+    at ``kill_at`` the primary dies mid-batch.  The harness replays
+    abandoned and parked requests into the promoted standby, so the
+    report has zero unanswered requests and exactly one failover
+    incident — and, being virtual-time, is byte-identical across runs.
+    """
+    from pathlib import Path
+
+    from repro.resilience.chaos import micro_scenario
+
+    cfg = load or LoadgenConfig()
+    if kill_at is not None and not 0 < kill_at < cfg.duration_s:
+        raise ServiceError("kill_at must fall inside the campaign window")
+    journal_dir = Path(journal_dir)
+    journal_dir.mkdir(parents=True, exist_ok=True)
+    primary_journal = journal_dir / "primary.journal"
+    standby_journal = journal_dir / "standby.journal"
+    for stale in (primary_journal, standby_journal):
+        if stale.exists():
+            stale.unlink()
+    net, offers, tm = micro_scenario(seed)
+    service_config = config or ServiceConfig(milp_time_limit_s=30.0)
+    clock = VirtualClock()
+    primary = PocService(
+        net, offers, tm,
+        config=service_config, clock=clock, seed=seed,
+        journal=Journal(primary_journal, fsync=False),
+    )
+    standby_net, standby_offers, standby_tm = micro_scenario(seed)
+    standby = StandbyReplica(
+        primary_journal, standby_net, standby_offers, standby_tm,
+        config=service_config, clock=clock, seed=seed,
+        journal=Journal(standby_journal, fsync=False),
+        poll_interval_s=poll_interval_s,
+        probe_failures=probe_failures,
+    )
+    harness = FailoverHarness(primary, standby)
+
+    async def _campaign() -> LoadReport:
+        await harness.start()
+        kill_task = (
+            asyncio.ensure_future(_run_kill(harness, kill_at))
+            if kill_at is not None else None
+        )
+        responses = await run_load(harness, cfg, seed=seed, chaos=chaos)
+        if kill_task is not None:
+            await kill_task
+        service = await harness.finish()
+        return summarize(
+            service, responses, cfg, seed=seed,
+            failovers=harness.incidents,
+        )
+
+    with obs.service_scope(f"failover-{seed}"):
+        return run_virtual(clock, _campaign())
+
+
+async def run_socket_campaign(
+    endpoints: Sequence[Tuple[str, int]],
+    cfg: LoadgenConfig,
+    *,
+    seed: int,
+    sites: Sequence[str],
+    links: Sequence[str],
+    retry=None,
+    client: Optional[ServiceClient] = None,
+) -> Tuple[List[Response], ServiceClient]:
+    """Play a seeded request plan over real sockets, with failover.
+
+    The plan (arrival times, kinds, params) is the same deterministic
+    function of the seed as the in-process campaigns; delivery is wall
+    clock through a :class:`ServiceClient`, so a primary killed mid-run
+    turns into retries that land on the next endpoint.  A request whose
+    whole budget dies on the wire is folded into a synthesized
+    ``deadline-exceeded`` response — the zero-unanswered contract holds
+    over sockets too.
+    """
+    own_client = client is None
+    if client is None:
+        client = ServiceClient(endpoints, retry=retry, seed=seed)
+    plan = build_request_plan(cfg, sites, links, seed)
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+
+    async def play(offset: float, kind: str, params: Dict[str, object]):
+        delay = (start + offset) - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        budget = cfg.deadline_s if cfg.deadline_s is not None else 1.0
+        try:
+            return await client.request(kind, params, deadline_s=budget)
+        except TransportError:
+            return Response(
+                request_id=0, kind=kind, status="deadline-exceeded",
+                version=0, latency_s=budget,
+            )
+
+    tasks = [
+        asyncio.ensure_future(play(offset, kind, params))
+        for offset, kind, params in plan
+    ]
+    responses = list(await asyncio.gather(*tasks))
+    if own_client:
+        await client.close()
+    return responses, client

@@ -97,3 +97,18 @@ class Response:
             "latency_s": round(self.latency_s, 9),
             "payload": dict(self.payload),
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Response":
+        """Rebuild a response from its wire/JSON form (strictly typed)."""
+        try:
+            return cls(
+                request_id=int(payload["request_id"]),  # type: ignore[arg-type]
+                kind=str(payload["kind"]),
+                status=str(payload["status"]),
+                version=int(payload["version"]),  # type: ignore[arg-type]
+                latency_s=float(payload["latency_s"]),  # type: ignore[arg-type]
+                payload=dict(payload.get("payload", {})),  # type: ignore[arg-type]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(f"malformed response payload: {exc}") from exc

@@ -1,0 +1,477 @@
+"""Socket transport for the POC service: length-prefixed JSON frames.
+
+The daemon so far has been in-process; this module puts it on the wire.
+The protocol is deliberately minimal — a 4-byte big-endian length prefix
+followed by one JSON object — because everything interesting (admission
+control, deadlines, shedding, degradation) already lives in the service
+itself; the transport's only jobs are framing, multiplexing, and honest
+failure reporting.
+
+Wire messages:
+
+- request:  ``{"id": 7, "kind": "pricing", "params": {...},
+  "deadline_s": 0.25}``
+- response: ``{"id": 7, "response": {<Response.to_dict()>}}``
+- error:    ``{"id": 7, "error": "standby-not-promoted",
+  "retryable": true}``
+
+``id`` is a per-connection correlation id chosen by the client, which
+may pipeline many requests over one connection; the server answers each
+as its future resolves, in completion order.
+
+:class:`ServiceClient` implements the caller side of the reliability
+story: one deadline *budget* per logical request, spent across connect
+attempts, in-flight waits, and exponential-backoff retries (jitter from
+:meth:`~repro.resilience.policy.RetryPolicy.delay_for`, so the schedule
+is a pure function of the client seed).  Connection-level failures
+advance to the next endpoint in the list — that is the whole failover
+protocol: a primary that dies mid-campaign simply stops answering, and
+the client's next attempt lands on the hot standby.
+
+Everything here runs on the *wall* clock: real sockets cannot be driven
+by the virtual clock (a task blocked on a read parks on the OS, not on
+a timer).  Deterministic byte-identity claims live in the in-process
+harnesses; the socket path asserts semantics — every accepted request
+gets a terminal answer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.exceptions import ServiceError, TransportError
+from repro.rand import SeedLike
+from repro.resilience.policy import RetryPolicy
+from repro.service.requests import Response
+
+#: Frames larger than this are refused — a corrupt length prefix must
+#: not make either side try to allocate gigabytes.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+#: Error-frame reasons the client treats as retryable even when the
+#: server forgot the flag.
+RETRY_REASONS: Tuple[str, ...] = ("connect", "timeout", "reset", "server")
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Dict[str, object]:
+    """Read one length-prefixed JSON object; raises TransportError."""
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        raise TransportError("connection closed mid-frame", retryable=True) from exc
+    except (ConnectionError, OSError) as exc:
+        # A reset peer surfaces here as the OS error, not a short read.
+        raise TransportError(f"connection lost: {exc}", retryable=True) from exc
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        # Almost always a corrupt/duplicated stream, not a real giant
+        # frame — retryable, because a fresh connection resynchronizes.
+        raise TransportError(
+            f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES} limit",
+            retryable=True,
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise TransportError("connection closed mid-frame", retryable=True) from exc
+    except (ConnectionError, OSError) as exc:
+        raise TransportError(f"connection lost: {exc}", retryable=True) from exc
+    try:
+        message = json.loads(body)
+    except ValueError as exc:
+        raise TransportError(f"unparseable frame: {exc}", retryable=True) from exc
+    if not isinstance(message, dict):
+        raise TransportError("frame is not a JSON object", retryable=True)
+    return message
+
+
+def _encode_frame(message: Dict[str, object]) -> bytes:
+    body = json.dumps(
+        message, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise TransportError(f"frame of {len(body)} bytes exceeds the limit")
+    return _LEN.pack(len(body)) + body
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter,
+    message: Dict[str, object],
+    *,
+    lock: Optional[asyncio.Lock] = None,
+) -> None:
+    """Write one frame (atomically w.r.t. other writers via ``lock``)."""
+    frame = _encode_frame(message)
+    if lock is not None:
+        async with lock:
+            writer.write(frame)
+            await writer.drain()
+    else:
+        writer.write(frame)
+        await writer.drain()
+
+
+class ServiceServer:
+    """Serve a request handler over asyncio streams.
+
+    ``handler`` is an async callable taking the decoded request message
+    and returning the reply message (minus the ``id``, which the server
+    adds back).  :func:`service_handler` adapts a :class:`PocService`;
+    the hot standby supplies its own pre-promotion handler.
+    """
+
+    def __init__(self, handler, *, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._handler = handler
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: "set[asyncio.Task]" = set()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._server is None:
+            raise TransportError("server is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return str(host), int(port)
+
+    async def start(self) -> Tuple[str, int]:
+        if self._server is not None:
+            raise TransportError("server is already started")
+        self._server = await asyncio.start_server(
+            self._on_connection, self._host, self._port
+        )
+        return self.address
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._conn_tasks.clear()
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One connection: read frames, answer each in its own task."""
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        lock = asyncio.Lock()
+        pending: "set[asyncio.Task]" = set()
+
+        async def respond(message: Dict[str, object]) -> None:
+            corr = message.get("id")
+            try:
+                reply = await self._handler(message)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # the wire gets an answer, not a traceback
+                reply = {"error": f"{type(exc).__name__}: {exc}", "retryable": False}
+            reply = dict(reply)
+            reply["id"] = corr
+            try:
+                await write_frame(writer, reply, lock=lock)
+            except (TransportError, ConnectionError, OSError):
+                pass  # client went away; nothing to tell it
+
+        try:
+            while True:
+                try:
+                    message = await read_frame(reader)
+                except TransportError:
+                    break  # client closed (cleanly or not): end the session
+                reply_task = asyncio.ensure_future(respond(message))
+                pending.add(reply_task)
+                reply_task.add_done_callback(pending.discard)
+        except asyncio.CancelledError:
+            pass  # server stopping: close this session quietly
+        finally:
+            # In-flight answers still complete: a drain must terminate
+            # every accepted request, so we wait rather than cancel.
+            if pending:
+                await asyncio.shield(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+
+def service_handler(service):
+    """Adapt a :class:`~repro.service.daemon.PocService` to the wire.
+
+    A stopped or draining service still answers: accepted requests ride
+    the normal shed path (``draining``), and submissions that arrive
+    after the drain finished get a synthesized terminal ``draining``
+    response instead of a hang or a dropped connection.
+    """
+
+    async def handle(message: Dict[str, object]) -> Dict[str, object]:
+        kind = str(message.get("kind", ""))
+        params = message.get("params") or {}
+        deadline = message.get("deadline_s")
+        if not isinstance(params, dict):
+            return {"error": "params must be an object", "retryable": False}
+        try:
+            fut = service.submit(
+                kind, params,
+                deadline_s=None if deadline is None else float(deadline),
+            )
+        except ServiceError as exc:
+            if service.draining or not service.running:
+                version = 0
+                if getattr(service, "_snapshot", None) is not None:
+                    version = service.snapshot.version
+                service.stats["draining"] += 1
+                response = Response(
+                    request_id=0, kind=kind if kind else "health",
+                    status="draining", version=version, latency_s=0.0,
+                )
+                return {"response": response.to_dict()}
+            return {"error": str(exc), "retryable": False}
+        response = await fut
+        return {"response": response.to_dict()}
+
+    return handle
+
+
+class ServiceClient:
+    """Multiplexing client with deadline-budgeted retry and failover.
+
+    One logical :meth:`request` spends a single deadline budget across
+    connects, waits, and backoff sleeps.  Transient failures — refused
+    or dropped connections, timeouts, retryable error frames — advance
+    through the endpoint list (wrapping around), record a retry reason,
+    and when the endpoint actually changes, a failover incident.  The
+    budget exhausting without a terminal answer raises
+    :class:`~repro.exceptions.TransportError`.
+    """
+
+    def __init__(
+        self,
+        endpoints: Sequence[Tuple[str, int]],
+        *,
+        retry: Optional[RetryPolicy] = None,
+        seed: SeedLike = 0,
+        default_deadline_s: float = 1.0,
+        connect_timeout_s: float = 1.0,
+        attempt_timeout_s: float = 0.25,
+    ) -> None:
+        if not endpoints:
+            raise TransportError("client needs at least one endpoint")
+        self.endpoints: List[Tuple[str, int]] = [
+            (str(h), int(p)) for h, p in endpoints
+        ]
+        self.retry = retry or RetryPolicy(
+            max_attempts=8, base_delay_s=0.02, max_delay_s=0.5
+        )
+        self.seed = seed
+        self.default_deadline_s = float(default_deadline_s)
+        self.connect_timeout_s = float(connect_timeout_s)
+        #: Ceiling on any single attempt's wait, so one lost frame costs
+        #: a slice of the budget, not all of it.
+        self.attempt_timeout_s = float(attempt_timeout_s)
+        self._endpoint_index = 0
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._write_lock = asyncio.Lock()
+        self._pending: Dict[int, "asyncio.Future[Dict[str, object]]"] = {}
+        self._next_corr = 1
+        self._serial = 0
+        #: Reliability accounting, folded into LoadReports by callers.
+        self.retry_counts: Dict[str, int] = {r: 0 for r in RETRY_REASONS}
+        self.failovers: List[Dict[str, object]] = []
+        self._t0: Optional[float] = None
+
+    # -- connection management ------------------------------------------------
+
+    @property
+    def endpoint(self) -> Tuple[str, int]:
+        return self.endpoints[self._endpoint_index]
+
+    async def _ensure_connected(self) -> None:
+        if self._writer is not None and not self._writer.is_closing():
+            return
+        await self._teardown()
+        host, port = self.endpoint
+        try:
+            self._reader, self._writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), self.connect_timeout_s
+            )
+        except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+            raise TransportError(
+                f"connect to {host}:{port} failed: {exc!r}", retryable=True
+            ) from exc
+        self._reader_task = asyncio.ensure_future(self._read_loop(self._reader))
+
+    async def _read_loop(self, reader: asyncio.StreamReader) -> None:
+        """Dispatch replies to their waiting futures by correlation id."""
+        try:
+            while True:
+                message = await read_frame(reader)
+                corr = message.get("id")
+                fut = self._pending.pop(corr, None) if corr is not None else None
+                if fut is not None and not fut.done():
+                    fut.set_result(message)
+        except (TransportError, ConnectionError, OSError):
+            pass
+        finally:
+            self._fail_pending("connection lost")
+
+    def _fail_pending(self, reason: str) -> None:
+        for fut in self._pending.values():
+            if not fut.done():
+                fut.set_exception(TransportError(reason, retryable=True))
+        self._pending.clear()
+
+    async def _teardown(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+            self._reader = None
+        self._fail_pending("connection torn down")
+
+    def _advance_endpoint(self, reason: str, now: float) -> None:
+        if len(self.endpoints) < 2:
+            return
+        before = self.endpoint
+        self._endpoint_index = (self._endpoint_index + 1) % len(self.endpoints)
+        if self._t0 is None:
+            self._t0 = now
+        self.failovers.append({
+            "t": round(now - self._t0, 6),
+            "from": f"{before[0]}:{before[1]}",
+            "to": f"{self.endpoint[0]}:{self.endpoint[1]}",
+            "reason": reason,
+        })
+        obs.metrics().inc("service.client_failovers")
+
+    async def close(self) -> None:
+        await self._teardown()
+
+    # -- the request path -----------------------------------------------------
+
+    async def request(
+        self,
+        kind: str,
+        params: Optional[Dict[str, object]] = None,
+        *,
+        deadline_s: Optional[float] = None,
+    ) -> Response:
+        """One logical request under one deadline budget, retried/failed-over."""
+        loop = asyncio.get_running_loop()
+        budget = self.default_deadline_s if deadline_s is None else float(deadline_s)
+        if self._t0 is None:
+            # Failover incidents are stamped relative to the first request.
+            self._t0 = loop.time()
+        deadline = loop.time() + budget
+        self._serial += 1
+        serial = self._serial
+        attempt = 0
+        last_reason = "timeout"
+        while True:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                raise TransportError(
+                    f"deadline budget exhausted after {attempt} attempt(s) "
+                    f"(last failure: {last_reason})"
+                )
+            try:
+                return await self._attempt(kind, params or {}, remaining)
+            except TransportError as exc:
+                if not exc.retryable:
+                    raise
+                last_reason = self._classify(exc)
+                self.retry_counts[last_reason] += 1
+                obs.metrics().inc(f"service.client_retries.{last_reason}")
+                await self._teardown()
+                if last_reason in ("connect", "reset"):
+                    self._advance_endpoint(last_reason, loop.time())
+            delay = self.retry.delay_for(attempt, self.seed, "transport", serial)
+            attempt += 1
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                raise TransportError(
+                    f"deadline budget exhausted after {attempt} attempt(s) "
+                    f"(last failure: {last_reason})"
+                )
+            if delay > 0:
+                await asyncio.sleep(min(delay, remaining))
+
+    @staticmethod
+    def _classify(exc: TransportError) -> str:
+        text = str(exc)
+        if "connect to" in text:
+            return "connect"
+        if "timed out" in text:
+            return "timeout"
+        if "error frame" in text:
+            return "server"
+        return "reset"
+
+    async def _attempt(
+        self, kind: str, params: Dict[str, object], remaining: float
+    ) -> Response:
+        await self._ensure_connected()
+        assert self._writer is not None
+        wait = min(remaining, self.attempt_timeout_s)
+        corr = self._next_corr
+        self._next_corr += 1
+        fut: "asyncio.Future[Dict[str, object]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending[corr] = fut
+        try:
+            await write_frame(
+                self._writer,
+                {"id": corr, "kind": kind, "params": params,
+                 "deadline_s": round(wait, 6)},
+                lock=self._write_lock,
+            )
+        except (ConnectionError, OSError) as exc:
+            self._pending.pop(corr, None)
+            raise TransportError(f"write failed: {exc!r}", retryable=True) from exc
+        try:
+            message = await asyncio.wait_for(fut, wait)
+        except asyncio.TimeoutError as exc:
+            self._pending.pop(corr, None)
+            raise TransportError(
+                f"request timed out after {wait:.3f}s", retryable=True
+            ) from exc
+        if "response" in message:
+            return Response.from_dict(message["response"])
+        reason = str(message.get("error", "unknown server error"))
+        raise TransportError(
+            f"server answered with an error frame: {reason}",
+            retryable=bool(message.get("retryable", False)),
+        )
+
+    async def health(self, *, deadline_s: Optional[float] = None) -> Response:
+        return await self.request("health", {}, deadline_s=deadline_s)

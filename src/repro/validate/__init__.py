@@ -17,6 +17,7 @@ from repro.validate.invariants import (
     Violation,
     check_auction_result,
     check_finite_record,
+    check_journal,
     check_mcf_result,
     check_record,
     check_snapshot,
@@ -29,6 +30,7 @@ __all__ = [
     "Violation",
     "check_auction_result",
     "check_finite_record",
+    "check_journal",
     "check_mcf_result",
     "check_record",
     "check_snapshot",

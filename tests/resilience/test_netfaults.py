@@ -1,0 +1,144 @@
+"""Tests for the seeded TCP fault proxy.
+
+Chunk boundaries are OS-scheduling-dependent, so these tests pin the
+*decision schedule* (a pure function of seed/connection/direction/chunk)
+and the *semantics* under faults — a clean proxy is transparent, a
+hostile one still yields terminal client outcomes — not byte timing.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import ServiceError, TransportError
+from repro.rand import derive_rng
+from repro.resilience import FAULT_KINDS, FaultProxy, NetFaultConfig
+from repro.service import ServiceClient, ServiceServer
+
+
+async def echo_handler(message):
+    return {"response": {"request_id": 1, "kind": "health", "status": "ok",
+                         "version": 1, "latency_s": 0.0,
+                         "payload": {"echo": message.get("params", {})}}}
+
+
+class TestConfig:
+    def test_negative_probability_refused(self):
+        with pytest.raises(ServiceError, match="non-negative"):
+            NetFaultConfig(drop_p=-0.1)
+
+    def test_mass_over_one_refused(self):
+        with pytest.raises(ServiceError, match="sum"):
+            NetFaultConfig(drop_p=0.6, reset_p=0.6)
+
+    def test_negative_delay_bound_refused(self):
+        with pytest.raises(ServiceError, match="delay_max_s"):
+            NetFaultConfig(delay_max_s=-1.0)
+
+    def test_verdict_maps_cumulative_mass_in_kind_order(self):
+        config = NetFaultConfig(reset_p=0.1, drop_p=0.1, truncate_p=0.1,
+                                duplicate_p=0.1, delay_p=0.1)
+        assert config.verdict(0.05) == "reset"
+        assert config.verdict(0.15) == "drop"
+        assert config.verdict(0.25) == "truncate"
+        assert config.verdict(0.35) == "duplicate"
+        assert config.verdict(0.45) == "delay"
+        assert config.verdict(0.75) == "forward"
+
+    def test_zero_config_always_forwards(self):
+        config = NetFaultConfig()
+        assert all(config.verdict(u / 10) == "forward" for u in range(10))
+
+    def test_decision_schedule_is_seed_deterministic(self):
+        config = NetFaultConfig(drop_p=0.3, delay_p=0.3)
+
+        def schedule(seed):
+            return [
+                config.verdict(float(
+                    derive_rng(seed, "netfault", 1, "c2s", i).uniform()))
+                for i in range(32)
+            ]
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+
+
+class TestProxy:
+    def test_clean_proxy_is_transparent(self):
+        async def main():
+            server = ServiceServer(echo_handler)
+            upstream = await server.start()
+            proxy = FaultProxy(upstream, NetFaultConfig(), seed=1)
+            addr = await proxy.start()
+            client = ServiceClient([addr], seed=1)
+            try:
+                resp = await client.request(
+                    "health", {"mark": 42}, deadline_s=2.0)
+            finally:
+                await client.close()
+                await proxy.stop()
+                await server.stop()
+            assert resp.status == "ok"
+            assert resp.payload["echo"] == {"mark": 42}
+            assert proxy.stats["forward"] >= 2  # request + reply chunks
+            assert sum(proxy.stats[k] for k in FAULT_KINDS) == 0
+
+        asyncio.run(main())
+
+    def test_always_reset_kills_every_attempt(self):
+        async def main():
+            server = ServiceServer(echo_handler)
+            upstream = await server.start()
+            proxy = FaultProxy(upstream, NetFaultConfig(reset_p=1.0), seed=2)
+            addr = await proxy.start()
+            client = ServiceClient([addr], seed=2)
+            try:
+                with pytest.raises(TransportError, match="budget exhausted"):
+                    await client.request("health", deadline_s=0.5)
+                assert proxy.stats["reset"] >= 1
+                assert (client.retry_counts["reset"]
+                        + client.retry_counts["timeout"]
+                        + client.retry_counts["connect"]) >= 1
+            finally:
+                await client.close()
+                await proxy.stop()
+                await server.stop()
+
+        asyncio.run(main())
+
+    def test_faulty_wire_still_yields_terminal_answers(self):
+        """Drops and delays cost retries, never a hung request."""
+
+        async def main():
+            server = ServiceServer(echo_handler)
+            upstream = await server.start()
+            proxy = FaultProxy(
+                upstream, NetFaultConfig(drop_p=0.15, delay_p=0.2,
+                                         delay_max_s=0.01),
+                seed=3,
+            )
+            addr = await proxy.start()
+            client = ServiceClient([addr], seed=3)
+            outcomes = []
+            try:
+                for _ in range(12):
+                    try:
+                        resp = await client.request("health", deadline_s=2.0)
+                        outcomes.append(resp.status)
+                    except TransportError:
+                        outcomes.append("exhausted")
+            finally:
+                await client.close()
+                await proxy.stop()
+                await server.stop()
+            return outcomes, proxy
+
+        outcomes, proxy = asyncio.run(main())
+        assert len(outcomes) == 12  # nothing hung
+        assert outcomes.count("ok") >= 8  # retries recover most drops
+        assert sum(proxy.stats.values()) > 0
+
+    def test_address_requires_started_proxy(self):
+        proxy = FaultProxy(("127.0.0.1", 1), NetFaultConfig())
+        with pytest.raises(ServiceError, match="not started"):
+            proxy.address

@@ -49,6 +49,33 @@ class TestRetryPolicy:
         assert all(0.75 <= d <= 1.25 for d in delays)
         assert len(set(delays)) > 1  # jitter actually varies
 
+    def test_delay_for_is_a_pure_function_of_seed_and_parts(self):
+        """Stateless jitter: no shared rng stream, so concurrent callers
+        can't perturb each other's backoff schedules."""
+        pol = RetryPolicy(max_attempts=8, base_delay_s=0.02, max_delay_s=0.5)
+        first = [pol.delay_for(a, 2020, "transport", 1) for a in range(4)]
+        again = [pol.delay_for(a, 2020, "transport", 1) for a in range(4)]
+        assert first == again
+        # Different serial or seed → a different (still pinned) schedule.
+        assert first != [pol.delay_for(a, 2020, "transport", 2)
+                         for a in range(4)]
+        assert first != [pol.delay_for(a, 2021, "transport", 1)
+                         for a in range(4)]
+
+    def test_delay_for_pinned_sequence(self):
+        """Regression pin: the derive_rng("retry-delay", ...) schedule.
+
+        If this moves, every byte-reproducible transport campaign
+        re-times — bump it knowingly or not at all.
+        """
+        pol = RetryPolicy(max_attempts=8, base_delay_s=0.02, max_delay_s=0.5)
+        expect = [0.01594677, 0.042437607, 0.064254811,
+                  0.177291247, 0.258064695, 0.531289353]
+        got = [pol.delay_for(a, 2020, "transport", 1) for a in range(6)]
+        assert got == pytest.approx(expect, abs=1e-9)
+        # Jittered, but never negative and never past cap*(1+jitter).
+        assert all(0.0 <= d <= 0.5 * (1 + pol.jitter) for d in got)
+
 
 class TestCallWithRetry:
     def test_succeeds_after_transient_failures(self):

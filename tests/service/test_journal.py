@@ -1,0 +1,230 @@
+"""Tests for the write-ahead intent journal: framing, torn tails, replay.
+
+The journal's contract is narrow but absolute: every intact prefix
+replays to exactly the state the daemon was in when that record was
+appended, a defective *last* line is a crash signature (tolerated), and
+a defective line anywhere else is corruption (refused).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import JournalError
+from repro.service import (
+    Journal,
+    JournalState,
+    PocService,
+    ServiceConfig,
+    VirtualClock,
+    read_records,
+    recover,
+    replay,
+    run_virtual,
+)
+from repro.service.journal import decode_record, encode_record
+
+from tests.service.conftest import make_service
+
+
+class TestFraming:
+    def test_encode_decode_round_trip(self):
+        line = encode_record("start", {"seed": 7}, seq=1, t=0.0)
+        body = decode_record(line)
+        assert body["event"] == "start"
+        assert body["payload"] == {"seed": 7}
+        assert body["seq"] == 1
+        assert body["t"] == 0.0
+
+    def test_checksum_catches_tampering(self):
+        line = encode_record("start", {"seed": 7}, seq=1, t=0.0)
+        tampered = line.replace('"seed":7', '"seed":8')
+        with pytest.raises(JournalError, match="checksum"):
+            decode_record(tampered)
+
+    def test_unparseable_line_refused(self):
+        with pytest.raises(JournalError, match="unparseable"):
+            decode_record("not json at all")
+
+    def test_non_object_refused(self):
+        with pytest.raises(JournalError, match="not an object"):
+            decode_record("[1, 2, 3]")
+
+    def test_missing_fields_refused(self):
+        with pytest.raises(JournalError, match="missing fields"):
+            decode_record('{"event": "start"}')
+
+    def test_unknown_event_refused(self):
+        from repro.service.journal import _canonical, _crc
+
+        body = {"event": "launch", "payload": {}, "seq": 1, "t": 0.0}
+        body["crc"] = _crc(dict(body))
+        with pytest.raises(JournalError, match="unknown journal event"):
+            decode_record(_canonical(body))
+
+
+class TestJournalFile:
+    def test_append_assigns_contiguous_seq(self, tmp_path):
+        with Journal(tmp_path / "j.journal", fsync=False) as journal:
+            assert journal.append("start", {"seed": 1}, t=0.0) == 1
+            assert journal.append("stall", {"on": True}, t=0.5) == 2
+            assert journal.seq == 2
+        records, torn = read_records(tmp_path / "j.journal")
+        assert [r["seq"] for r in records] == [1, 2]
+        assert torn is None
+
+    def test_append_after_close_refused(self, tmp_path):
+        journal = Journal(tmp_path / "j.journal", fsync=False)
+        journal.close()
+        assert journal.closed
+        with pytest.raises(JournalError, match="closed"):
+            journal.append("start", {}, t=0.0)
+
+    def test_unknown_event_refused_at_append(self, tmp_path):
+        with Journal(tmp_path / "j.journal", fsync=False) as journal:
+            with pytest.raises(JournalError, match="unknown journal event"):
+                journal.append("launch", {}, t=0.0)
+
+    def test_missing_file_refused(self, tmp_path):
+        with pytest.raises(JournalError, match="does not exist"):
+            read_records(tmp_path / "nope.journal")
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = tmp_path / "j.journal"
+        with Journal(path, fsync=False) as journal:
+            journal.append("start", {"seed": 1}, t=0.0)
+            journal.append("stall", {"on": True}, t=0.5)
+        # kill -9 mid-append: the last line is half a record.
+        with open(path, "a") as handle:
+            handle.write('{"crc": "dead', )
+        records, torn = read_records(path)
+        assert len(records) == 2
+        assert torn is not None and torn.startswith('{"crc"')
+
+    def test_mid_file_corruption_refused(self, tmp_path):
+        path = tmp_path / "j.journal"
+        with Journal(path, fsync=False) as journal:
+            journal.append("start", {"seed": 1}, t=0.0)
+            journal.append("stall", {"on": True}, t=0.5)
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0].replace('"seed":1', '"seed":2')
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="checksum"):
+            read_records(path)
+
+    def test_sequence_gap_refused(self, tmp_path):
+        path = tmp_path / "j.journal"
+        lines = [
+            encode_record("start", {"seed": 1}, seq=1, t=0.0),
+            encode_record("stall", {"on": True}, seq=3, t=0.5),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="sequence gap"):
+            read_records(path)
+
+
+class TestReplay:
+    def test_replay_folds_counters(self):
+        records = [
+            {"event": "start", "payload": {"seed": 5}, "seq": 1, "t": 0.0},
+            {"event": "shed", "payload": {"id": 1, "kind": "pricing",
+                                          "status": "overloaded"},
+             "seq": 2, "t": 1.0},
+            {"event": "serve", "payload": {"served": {"ok": 2, "degraded": 1,
+                                                      "error": 0},
+                                           "coalesced": 1, "last_id": 4},
+             "seq": 3, "t": 2.0},
+            {"event": "fault", "payload": {"links": ["l1", "l2"]},
+             "seq": 4, "t": 3.0},
+        ]
+        state = replay(records)
+        assert state.seed == 5
+        assert state.stats["overloaded"] == 1
+        assert state.stats["ok"] == 2
+        assert state.stats["degraded"] == 1
+        assert state.stats["coalesced_pricing"] == 1
+        assert state.stats["faults_injected"] == 2
+        assert state.next_request_id == 5
+        assert state.seq == 4
+
+    def test_log_payloads_become_events(self):
+        state = JournalState()
+        state.apply({"event": "stall",
+                     "payload": {"on": True, "log": "stall on"},
+                     "seq": 1, "t": 1.5})
+        assert state.events == [(1.5, "stall on")]
+        assert state.stalled
+
+
+class TestDaemonJournaling:
+    """The daemon writes a journal whose replay matches its live state."""
+
+    def _run_campaign(self, tmp_path):
+        journal = Journal(tmp_path / "svc.journal", fsync=False)
+        service = make_service(journal=journal, seed=3)
+
+        async def scenario():
+            await service.start()
+            futures = [service.submit("pricing") for _ in range(4)]
+            futures.append(service.submit("health"))
+            await asyncio.gather(*futures)
+            service.inject_link_faults([service.snapshot.selected[0]])
+            await service.clock.sleep(2.0)
+            await service.drain()
+            return service
+
+        run_virtual(service.clock, scenario())
+        return service, tmp_path / "svc.journal"
+
+    def test_replay_matches_drained_state(self, tmp_path):
+        service, path = self._run_campaign(tmp_path)
+        state, torn = recover(path)
+        assert torn is None
+        assert state.drained
+        assert state.stats == service.stats
+        assert state.version == service.snapshot.version
+        assert state.events == service.events
+        assert state.snapshot_payload == service.snapshot.to_dict()
+
+    def test_journal_closed_by_drain(self, tmp_path):
+        service, _ = self._run_campaign(tmp_path)
+        assert service.journal is not None and service.journal.closed
+
+    def test_kill_leaves_replayable_prefix(self, tmp_path):
+        journal = Journal(tmp_path / "svc.journal", fsync=False)
+        service = make_service(journal=journal, seed=4)
+
+        async def scenario():
+            await service.start()
+            await asyncio.gather(*[service.submit("allocation",
+                                                  {"src": "A", "dst": "C"})
+                                   for _ in range(3)])
+            await service.kill()
+
+        run_virtual(service.clock, scenario())
+        state, torn = recover(tmp_path / "svc.journal")
+        assert torn is None
+        assert not state.drained
+        assert state.stats["ok"] + state.stats["degraded"] == 3
+        assert state.snapshot_payload is not None
+
+    def test_recovered_service_continues(self, tmp_path):
+        """start_from_recovery serves from the journaled snapshot."""
+        service, path = self._run_campaign(tmp_path)
+        state, _ = recover(path)
+        state.drained = False  # recover as if the drain never finished
+
+        recovered = make_service(seed=3)
+
+        async def scenario():
+            await recovered.start_from_recovery(state)
+            resp = await recovered.submit("health")
+            await recovered.drain()
+            return resp
+
+        resp = run_virtual(recovered.clock, scenario())
+        assert resp.status in ("ok", "degraded")
+        assert recovered.snapshot.version == service.snapshot.version
+        assert recovered.snapshot.to_dict() == service.snapshot.to_dict()
+        # counters continue from the recovered values, not from zero
+        assert recovered.stats["ok"] >= state.stats["ok"]

@@ -1,0 +1,246 @@
+"""Tests for the hot standby: journal tailing, promotion, failover runs.
+
+The deterministic failover benchmark is the headline: primary and
+standby share one virtual clock, the primary is killed mid-campaign,
+and the resulting LoadReport must be byte-identical across runs with
+exactly one failover incident and zero unanswered requests.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import JournalError, ServiceError
+from repro.service import (
+    FailoverHarness,
+    Journal,
+    LoadgenConfig,
+    PocService,
+    ServiceConfig,
+    StandbyReplica,
+    VirtualClock,
+    recover,
+    run_failover_benchmark,
+    run_virtual,
+    standby_handler,
+)
+from repro.service.journal import encode_record
+
+from tests.service.conftest import service_workload
+
+FAST_CONFIG = ServiceConfig(
+    primary_method="greedy-drop", fallback_method="greedy-prune",
+    reclear_delay_s=0.3,
+)
+
+
+def make_standby(tmp_path, **kwargs):
+    net, offers, tm = service_workload()
+    kwargs.setdefault("config", FAST_CONFIG)
+    kwargs.setdefault("seed", 5)
+    return StandbyReplica(tmp_path / "primary.journal", net, offers, tm,
+                          **kwargs)
+
+
+def run_primary_campaign(tmp_path, *, kill=False, seed=5):
+    """A journaled campaign on the square workload; returns the service."""
+    net, offers, tm = service_workload()
+    service = PocService(
+        net, offers, tm, config=FAST_CONFIG, clock=VirtualClock(), seed=seed,
+        journal=Journal(tmp_path / "primary.journal", fsync=False),
+    )
+
+    async def scenario():
+        await service.start()
+        await asyncio.gather(*[service.submit("pricing") for _ in range(6)])
+        service.inject_link_faults([service.snapshot.selected[0]])
+        await service.clock.sleep(1.0)
+        if kill:
+            await service.kill()
+        else:
+            await service.drain()
+
+    run_virtual(service.clock, scenario())
+    return service
+
+
+class TestTailing:
+    def test_poll_applies_complete_records_only(self, tmp_path):
+        path = tmp_path / "primary.journal"
+        replica = make_standby(tmp_path)
+        with open(path, "w") as handle:
+            handle.write(encode_record("start", {"seed": 5}, seq=1, t=0.0) + "\n")
+            half = encode_record("stall", {"on": True}, seq=2, t=1.0)
+            handle.write(half[: len(half) // 2])
+        assert replica.poll() == 1
+        assert replica.state.seq == 1
+        assert replica.lag_bytes > 0
+        # The primary finishes its write: the held-back tail completes.
+        with open(path, "a") as handle:
+            handle.write(half[len(half) // 2:] + "\n")
+        assert replica.poll() == 1
+        assert replica.state.seq == 2
+        assert replica.state.stalled
+        assert replica.lag_bytes == 0
+
+    def test_poll_before_journal_exists_is_noop(self, tmp_path):
+        replica = make_standby(tmp_path)
+        assert replica.poll() == 0
+
+    def test_out_of_sequence_tail_refused(self, tmp_path):
+        path = tmp_path / "primary.journal"
+        replica = make_standby(tmp_path)
+        with open(path, "w") as handle:
+            handle.write(encode_record("start", {"seed": 5}, seq=2, t=0.0) + "\n")
+        with pytest.raises(JournalError, match="out of sequence"):
+            replica.poll()
+
+    def test_health_summary_reports_replication_position(self, tmp_path):
+        run_primary_campaign(tmp_path)
+        replica = make_standby(tmp_path)
+        replica.poll()
+        summary = replica.health_summary()
+        assert summary["role"] == "standby"
+        assert summary["primary_drained"] is True
+        assert summary["has_snapshot"] is True
+        assert summary["seq"] == replica.state.seq > 0
+
+
+class TestPromotion:
+    def test_promote_recovers_killed_primary_state(self, tmp_path):
+        primary = run_primary_campaign(tmp_path, kill=True)
+        replica = make_standby(tmp_path, clock=VirtualClock())
+
+        async def scenario():
+            service = await replica.promote()
+            resp = await service.submit("health")
+            await service.drain()
+            return service, resp
+
+        service, resp = run_virtual(replica.clock, scenario())
+        assert replica.role == "primary"
+        assert resp.status in ("ok", "degraded")
+        assert service.snapshot.to_dict() == primary.snapshot.to_dict()
+        # Counters continue from the replicated position.
+        assert service.stats["ok"] >= 6
+
+    def test_promote_discards_torn_tail(self, tmp_path):
+        run_primary_campaign(tmp_path, kill=True)
+        path = tmp_path / "primary.journal"
+        with open(path, "a") as handle:
+            handle.write('{"crc": "de')  # primary died mid-write
+        replica = make_standby(tmp_path, clock=VirtualClock())
+
+        async def scenario():
+            service = await replica.promote()
+            await service.drain()
+            return service
+
+        service = run_virtual(replica.clock, scenario())
+        assert service.snapshot is not None
+        assert replica.lag_bytes == 0
+
+    def test_run_promotes_after_sustained_probe_failure(self, tmp_path):
+        run_primary_campaign(tmp_path, kill=True)
+        clock = VirtualClock()
+        replica = make_standby(tmp_path, clock=clock, probe_failures=3)
+        probes = {"n": 0}
+
+        async def probe():
+            probes["n"] += 1
+            return probes["n"] <= 2  # alive twice, then dark
+
+        replica._probe = probe
+
+        async def scenario():
+            service = await replica.run()
+            await service.drain()
+            return service
+
+        service = run_virtual(clock, scenario())
+        assert service is not None
+        assert probes["n"] == 5  # 2 alive + 3 consecutive failures
+        assert replica.role == "primary"
+
+    def test_run_returns_none_when_primary_drained(self, tmp_path):
+        run_primary_campaign(tmp_path, kill=False)
+        clock = VirtualClock()
+        replica = make_standby(tmp_path, clock=clock)
+        replica._probe = lambda: asyncio.sleep(0, result=False)
+        result = run_virtual(clock, replica.run())
+        assert result is None
+        assert replica.role == "standby"
+
+    def test_run_without_probe_refused(self, tmp_path):
+        replica = make_standby(tmp_path, clock=VirtualClock())
+        with pytest.raises(ServiceError, match="probe"):
+            run_virtual(replica.clock, replica.run())
+
+
+class TestStandbyHandler:
+    def test_health_answered_before_promotion(self, tmp_path):
+        run_primary_campaign(tmp_path)
+        replica = make_standby(tmp_path)
+        replica.poll()
+        handle = standby_handler(replica)
+
+        async def main():
+            health = await handle({"id": 1, "kind": "health"})
+            other = await handle({"id": 2, "kind": "pricing"})
+            return health, other
+
+        health, other = asyncio.run(main())
+        assert health["response"]["payload"]["role"] == "standby"
+        assert other["error"] == "standby-not-promoted"
+        assert other["retryable"] is True
+
+    def test_delegates_after_promotion(self, tmp_path):
+        run_primary_campaign(tmp_path, kill=True)
+        replica = make_standby(tmp_path, clock=VirtualClock())
+        handle = standby_handler(replica)
+
+        async def scenario():
+            await replica.promote()
+            reply = await handle(
+                {"id": 1, "kind": "health", "deadline_s": 1.0})
+            await replica.service.drain()
+            return reply
+
+        reply = run_virtual(replica.clock, scenario())
+        assert reply["response"]["status"] in ("ok", "degraded")
+        # A real daemon answer, not the pre-promotion stub.
+        assert "breaker_state" in reply["response"]["payload"]
+
+
+class TestFailoverBenchmark:
+    LOAD = LoadgenConfig(duration_s=3.0, base_rate_qps=40.0)
+
+    def _run(self, tmp_path, label, **kwargs):
+        return run_failover_benchmark(
+            11, journal_dir=tmp_path / label, load=self.LOAD,
+            config=FAST_CONFIG, **kwargs,
+        )
+
+    def test_kill_mid_campaign_zero_unanswered_one_incident(self, tmp_path):
+        report = self._run(tmp_path, "a", kill_at=1.3)
+        assert report.unanswered == 0
+        assert report.submitted > 50
+        assert len(report.failovers) == 1
+        incident = report.failovers[0]
+        assert incident["reason"] == "primary-killed"
+        assert incident["t_killed"] == pytest.approx(1.3)
+        assert incident["t_promoted"] > incident["t_killed"]
+
+    def test_failover_report_byte_identical_across_runs(self, tmp_path):
+        first = self._run(tmp_path, "a", kill_at=1.3)
+        second = self._run(tmp_path, "b", kill_at=1.3)
+        assert first.to_json() == second.to_json()
+
+    def test_no_kill_report_has_no_incidents(self, tmp_path):
+        report = self._run(tmp_path, "a")
+        assert report.unanswered == 0
+        assert report.failovers == ()
+
+    def test_kill_outside_window_refused(self, tmp_path):
+        with pytest.raises(ServiceError, match="inside the campaign"):
+            self._run(tmp_path, "a", kill_at=99.0)

@@ -1,0 +1,298 @@
+"""Tests for the socket transport: framing, retry budget, drains.
+
+Real sockets cannot ride the virtual clock, so everything here runs on
+the wall clock with small workloads and asserts *semantics* — every
+accepted request gets exactly one terminal answer — rather than byte
+timing.  The square workload clears in milliseconds with the greedy
+pair, which keeps these tests fast.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import struct
+
+import pytest
+
+from repro.exceptions import TransportError
+from repro.experiments.pipeline import PipelineCheckpoint
+from repro.service import (
+    PocService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceServer,
+    WallClock,
+    read_frame,
+    service_handler,
+    write_frame,
+)
+from repro.service.transport import MAX_FRAME_BYTES, _encode_frame
+from repro.validate import check_snapshot
+
+from tests.service.conftest import service_workload
+
+FAST_CONFIG = ServiceConfig(
+    primary_method="greedy-drop", fallback_method="greedy-prune",
+    batch_overhead_s=0.0, per_request_cost_s=0.0,
+)
+
+
+def wall_service(**kwargs) -> PocService:
+    net, offers, tm = service_workload()
+    kwargs.setdefault("clock", WallClock())
+    kwargs.setdefault("config", FAST_CONFIG)
+    return PocService(net, offers, tm, **kwargs)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        async def main():
+            reader = asyncio.StreamReader()
+            reader.feed_data(_encode_frame({"id": 1, "kind": "health"}))
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        message = run(main())
+        assert message == {"id": 1, "kind": "health"}
+
+    def test_oversized_frame_refused_retryable(self):
+        async def main():
+            reader = asyncio.StreamReader()
+            reader.feed_data(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            reader.feed_eof()
+            with pytest.raises(TransportError, match="exceeds") as err:
+                await read_frame(reader)
+            return err.value
+
+        assert run(main()).retryable
+
+    def test_unparseable_frame_refused_retryable(self):
+        async def main():
+            body = b"not json"
+            reader = asyncio.StreamReader()
+            reader.feed_data(struct.pack(">I", len(body)) + body)
+            reader.feed_eof()
+            with pytest.raises(TransportError, match="unparseable") as err:
+                await read_frame(reader)
+            return err.value
+
+        assert run(main()).retryable
+
+    def test_eof_mid_frame_retryable(self):
+        async def main():
+            reader = asyncio.StreamReader()
+            reader.feed_data(struct.pack(">I", 100) + b"short")
+            reader.feed_eof()
+            with pytest.raises(TransportError, match="mid-frame") as err:
+                await read_frame(reader)
+            return err.value
+
+        assert run(main()).retryable
+
+
+class TestClientServer:
+    def test_all_kinds_round_trip(self):
+        async def main():
+            service = wall_service(seed=1)
+            await service.start()
+            server = ServiceServer(service_handler(service))
+            addr = await server.start()
+            client = ServiceClient([addr], seed=1)
+            try:
+                health = await client.request("health", deadline_s=2.0)
+                admit = await client.request(
+                    "admission", {"party": "bp", "site": "A"}, deadline_s=2.0)
+                alloc = await client.request(
+                    "allocation", {"src": "A", "dst": "C"}, deadline_s=2.0)
+                price = await client.request(
+                    "pricing", {"link_id": service.snapshot.selected[0]},
+                    deadline_s=2.0)
+            finally:
+                await client.close()
+                await service.drain()
+                await server.stop()
+            for resp in (health, admit, alloc, price):
+                assert resp.status in ("ok", "degraded")
+            assert admit.payload["admitted"] is True
+            assert alloc.payload["connected"] is True
+            assert price.payload["known"] is True
+
+        run(main())
+
+    def test_pipelined_requests_multiplex(self):
+        async def main():
+            service = wall_service(seed=2)
+            await service.start()
+            server = ServiceServer(service_handler(service))
+            addr = await server.start()
+            client = ServiceClient([addr], seed=2)
+            try:
+                responses = await asyncio.gather(*[
+                    client.request("pricing", deadline_s=2.0)
+                    for _ in range(20)
+                ])
+            finally:
+                await client.close()
+                await service.drain()
+                await server.stop()
+            assert len(responses) == 20
+            assert all(r.status in ("ok", "degraded") for r in responses)
+
+        run(main())
+
+    def test_unknown_kind_is_error_frame_not_retried(self):
+        async def main():
+            service = wall_service(seed=3)
+            await service.start()
+            server = ServiceServer(service_handler(service))
+            addr = await server.start()
+            client = ServiceClient([addr], seed=3)
+            try:
+                with pytest.raises(TransportError, match="error frame"):
+                    await client.request("teleport", deadline_s=2.0)
+                assert client.retry_counts["server"] == 0
+            finally:
+                await client.close()
+                await service.drain()
+                await server.stop()
+
+        run(main())
+
+    def test_dead_endpoint_fails_over_to_live_one(self):
+        async def main():
+            service = wall_service(seed=4)
+            await service.start()
+            server = ServiceServer(service_handler(service))
+            live = await server.start()
+            # Reserve a port that refuses connections by binding+closing.
+            probe = ServiceServer(service_handler(service))
+            dead = await probe.start()
+            await probe.stop()
+            client = ServiceClient([dead, live], seed=4)
+            try:
+                resp = await client.request("health", deadline_s=3.0)
+            finally:
+                await client.close()
+                await service.drain()
+                await server.stop()
+            assert resp.status in ("ok", "degraded")
+            assert client.retry_counts["connect"] >= 1
+            assert client.failovers
+            assert client.failovers[0]["reason"] == "connect"
+            assert client.failovers[0]["to"] == f"{live[0]}:{live[1]}"
+
+        run(main())
+
+    def test_budget_exhaustion_raises(self):
+        async def main():
+            probe = ServiceServer(lambda m: None)
+            dead = await probe.start()
+            await probe.stop()
+            client = ServiceClient([dead], seed=5)
+            try:
+                with pytest.raises(TransportError, match="budget exhausted"):
+                    await client.request("health", deadline_s=0.3)
+            finally:
+                await client.close()
+
+        run(main())
+
+
+class TestSigtermDrain:
+    """Satellite: SIGTERM mid-burst — every accepted request terminates."""
+
+    def test_sigterm_drains_with_inflight_socket_requests(self, tmp_path):
+        checkpoint_path = tmp_path / "drain.ckpt"
+
+        async def main():
+            service = wall_service(
+                seed=6,
+                checkpoint=PipelineCheckpoint(checkpoint_path),
+                # Visible service time so the burst is genuinely in
+                # flight when the signal lands.
+                config=ServiceConfig(
+                    primary_method="greedy-drop",
+                    fallback_method="greedy-prune",
+                    batch_overhead_s=0.01, per_request_cost_s=0.002,
+                ),
+            )
+            await service.start()
+            service.install_signal_handlers()
+            server = ServiceServer(service_handler(service))
+            addr = await server.start()
+            client = ServiceClient([addr], seed=6, attempt_timeout_s=5.0)
+            try:
+                burst = [
+                    asyncio.ensure_future(
+                        client.request("pricing", deadline_s=5.0))
+                    for _ in range(30)
+                ]
+                await asyncio.sleep(0.02)  # let the burst reach the queue
+                os.kill(os.getpid(), signal.SIGTERM)
+                responses = await asyncio.gather(*burst)
+                await service.drained.wait()
+            finally:
+                await client.close()
+                await server.stop()
+            return service, responses
+
+        service, responses = run(main())
+        # Every accepted request got a terminal answer: served before
+        # the drain finished, or an explicit draining refusal — never a
+        # hang, never a dropped connection.
+        assert len(responses) == 30
+        for resp in responses:
+            assert resp.status in ("ok", "degraded", "draining")
+        assert not service.running
+        # The persisted checkpoint is a clean, auditable snapshot.
+        payload = json.loads(
+            checkpoint_path.read_text())["stages"]["service-snapshot"]
+        assert check_snapshot(payload) == []
+
+    def test_post_drain_submissions_get_terminal_draining(self):
+        async def main():
+            service = wall_service(seed=7)
+            await service.start()
+            server = ServiceServer(service_handler(service))
+            addr = await server.start()
+            client = ServiceClient([addr], seed=7)
+            try:
+                await service.drain()
+                resp = await client.request("pricing", deadline_s=2.0)
+            finally:
+                await client.close()
+                await server.stop()
+            return resp
+
+        resp = run(main())
+        assert resp.status == "draining"
+
+    def test_server_stop_waits_for_pending_answers(self):
+        """stop() after drain still flushes in-flight replies."""
+
+        async def main():
+            service = wall_service(seed=8)
+            await service.start()
+            server = ServiceServer(service_handler(service))
+            addr = await server.start()
+            client = ServiceClient([addr], seed=8, attempt_timeout_s=5.0)
+            try:
+                futures = [
+                    asyncio.ensure_future(
+                        client.request("health", deadline_s=5.0))
+                    for _ in range(5)
+                ]
+                responses = await asyncio.gather(*futures)
+            finally:
+                await client.close()
+                await service.drain()
+                await server.stop()
+            return responses
+
+        responses = run(main())
+        assert all(r.status in ("ok", "degraded") for r in responses)
