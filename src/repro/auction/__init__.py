@@ -14,6 +14,8 @@ Public entry points:
   :mod:`repro.auction.bids` — the bid language.
 - :func:`repro.auction.constraints.make_constraint` — Constraints #1/#2/#3.
 - :func:`repro.auction.vcg.run_auction` — selection + payments + PoB.
+- :func:`repro.auction.sharded.clear_sharded` — continental-scale
+  region-sharded clearing with a cross-region stitch market.
 """
 
 from repro.auction.bids import (
@@ -28,6 +30,16 @@ from repro.auction.milp import exact_selection
 from repro.auction.provider import ExternalTransitContract, Offer, default_monthly_cost
 from repro.auction.rounds import RecallModel, RecurringAuction
 from repro.auction.selection import SelectionOutcome, select_links
+from repro.auction.sharded import (
+    RegionPartition,
+    ShardedClearResult,
+    SubMarketClear,
+    clear_sharded,
+    clear_sharded_spec,
+    continental_workload,
+    split_offers,
+    split_traffic,
+)
 from repro.auction.vcg import AuctionConfig, AuctionResult, run_auction
 
 __all__ = [
@@ -46,6 +58,14 @@ __all__ = [
     "default_monthly_cost",
     "SelectionOutcome",
     "select_links",
+    "RegionPartition",
+    "ShardedClearResult",
+    "SubMarketClear",
+    "clear_sharded",
+    "clear_sharded_spec",
+    "continental_workload",
+    "split_offers",
+    "split_traffic",
     "AuctionConfig",
     "AuctionResult",
     "run_auction",

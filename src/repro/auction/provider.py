@@ -201,7 +201,7 @@ def make_external_contract(
     prices = {}
     for idx, (u, v) in enumerate(attachment_pairs):
         link = Link(
-            id=f"{isp}:VL{idx:03d}",
+            id=f"{isp}:VL{idx:05d}",
             u=u,
             v=v,
             capacity_gbps=capacity_gbps,

@@ -9,6 +9,10 @@ does not specify its optimizer, so we ship three deterministic engines:
 - ``add-prune`` — binary-search the cheapest prefix of links (ascending
   standalone cost) that is acceptable — feasibility is monotone in the
   link set, so the prefix property holds — then run a drop pass.
+- ``prefix`` — the binary-searched prefix alone, no drop pass.  O(log n)
+  oracle calls instead of the drop pass's O(n²); coarser selections than
+  add-prune, but the only engine whose call count is tractable on the
+  continental (T2) universe of ≥100k offered links.
 - ``local-search`` — greedy-drop followed by bounded 1-swap improvement.
 
 What matters for the VCG stage is that one *fixed* engine is used for the
@@ -29,7 +33,7 @@ LinkSet = FrozenSet[str]
 
 #: Engines accepted by :func:`select_links`.  ``milp`` is exact but only
 #: supports additive bids under Constraint #1 (see repro.auction.milp).
-ENGINES = ("greedy-drop", "add-prune", "local-search", "milp")
+ENGINES = ("greedy-drop", "add-prune", "prefix", "local-search", "milp")
 
 
 @dataclass(frozen=True)
@@ -120,11 +124,16 @@ def _greedy_drop(
     return current
 
 
-def _add_prune(
+def _cheapest_prefix(
     offers: Sequence[Offer],
     constraint: Constraint,
     universe: LinkSet,
 ) -> LinkSet:
+    """Smallest acceptable prefix of the cost-ranked link ordering.
+
+    Feasibility is monotone in the set, so binary search applies; the
+    whole selection costs O(log n) oracle calls.
+    """
     offers_by_link = _owner_index(offers)
     ranked = sorted(
         universe,
@@ -134,8 +143,6 @@ def _add_prune(
         raise NoFeasibleSelectionError(
             "the full offered link set does not satisfy the constraint"
         )
-    # Feasibility is monotone in the set, so binary-search the smallest
-    # acceptable prefix of the cost-ranked ordering.
     lo, hi = 1, len(ranked)
     while lo < hi:
         mid = (lo + hi) // 2
@@ -143,7 +150,15 @@ def _add_prune(
             hi = mid
         else:
             lo = mid + 1
-    prefix = frozenset(ranked[:lo])
+    return frozenset(ranked[:lo])
+
+
+def _add_prune(
+    offers: Sequence[Offer],
+    constraint: Constraint,
+    universe: LinkSet,
+) -> LinkSet:
+    prefix = _cheapest_prefix(offers, constraint, universe)
     return _greedy_drop(offers, constraint, prefix)
 
 
@@ -217,6 +232,8 @@ def select_links(
         selected = _greedy_drop(active, constraint, universe)
     elif method == "add-prune":
         selected = _add_prune(active, constraint, universe)
+    elif method == "prefix":
+        selected = _cheapest_prefix(active, constraint, universe)
     elif method == "local-search":
         selected = _local_search(active, constraint, universe)
     elif method == "milp":

@@ -45,6 +45,56 @@ def cmd_zoo(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_continental(args: argparse.Namespace) -> int:
+    """Build a continental preset; optionally clear it region-sharded."""
+    from repro.auction.sharded import clear_sharded_spec, continental_workload
+
+    zoo, offers, tm, partition = continental_workload(
+        args.preset, args.seed, load_fraction=args.load_fraction
+    )
+    print(f"preset={args.preset} seed={args.seed}")
+    print(f"BPs: {len(zoo.bps)}   POC sites: {len(zoo.sites)}   "
+          f"logical links: {zoo.num_logical_links}")
+    print(f"regions: {', '.join(partition.regions)}   "
+          f"demand: {tm.total_gbps():,.0f} Gbps over "
+          f"{sum(1 for _ in tm.pairs())} pairs")
+
+    if args.graphml:
+        from repro.topology.io import roundtrip_check
+
+        copy = roundtrip_check(zoo.offered, args.graphml)
+        print(f"graphml roundtrip {args.graphml}: "
+              f"{len(copy)} nodes / {copy.num_links} links ok")
+
+    if args.clear or args.verify_identity:
+        with _silence_native_stdout():
+            result = clear_sharded_spec(
+                args.preset, args.seed,
+                engine=args.engine, method=args.method, pricing=args.pricing,
+                load_fraction=args.load_fraction, workers=args.workers,
+            )
+        for sub in result.submarkets:
+            print(f"  {sub.label:>8}: {len(sub.selected):>6} links  "
+                  f"cost {sub.total_cost:>14,.2f}  "
+                  f"({sub.oracle_evaluations} oracle calls)")
+        print(f"total: {len(result.selected)} links, "
+              f"cost {result.total_cost:,.2f} "
+              f"({result.pricing} pricing, {result.method}/{result.engine})")
+        if args.verify_identity:
+            with _silence_native_stdout():
+                serial = clear_sharded_spec(
+                    args.preset, args.seed,
+                    engine=args.engine, method=args.method,
+                    pricing=args.pricing,
+                    load_fraction=args.load_fraction, workers=0,
+                )
+            if serial.canonical_json() != result.canonical_json():
+                print("serial/parallel byte-identity: MISMATCH")
+                return 1
+            print("serial/parallel byte-identity: ok")
+    return 0
+
+
 def cmd_figure2(args: argparse.Namespace) -> int:
     from repro.experiments.figure2 import Figure2Config, run_figure2
 
@@ -1121,6 +1171,42 @@ def make_parser() -> argparse.ArgumentParser:
     p_zoo.add_argument("--preset", default="small", choices=("tiny", "small", "paper"))
     p_zoo.add_argument("--seed", type=int, default=2020)
     p_zoo.set_defaults(fn=cmd_zoo)
+
+    p_ct = add_parser(
+        "continental",
+        help="build a continental-scale topology; region-sharded clearing",
+        description="Builds the T2 continental substrate (or its 2-region "
+                    "smoke preset), prints its scale, and optionally clears "
+                    "the market region-sharded — serially or on a worker "
+                    "pool.  --verify-identity re-clears serially and exits 1 "
+                    "unless both paths produce byte-identical results.",
+    )
+    p_ct.add_argument("--preset", default="smoke", choices=("smoke", "t2"))
+    p_ct.add_argument("--seed", type=int, default=2026)
+    p_ct.add_argument("--load-fraction", type=float, default=0.02,
+                      help="total demand as a fraction of offered capacity")
+    p_ct.add_argument("--clear", action="store_true",
+                      help="clear the market region-sharded and print the "
+                           "per-region breakdown")
+    p_ct.add_argument("--workers", type=int, default=0,
+                      help="worker-pool size for the region sub-markets; "
+                           "0 or 1 clears serially")
+    p_ct.add_argument("--method", default="greedy-drop",
+                      choices=("greedy-drop", "add-prune", "prefix",
+                               "local-search"),
+                      help="selection engine per sub-market")
+    p_ct.add_argument("--engine", default="mcf",
+                      choices=("mcf", "path", "greedy", "sp"),
+                      help="feasibility oracle per sub-market")
+    p_ct.add_argument("--pricing", default="bid", choices=("bid", "vcg"),
+                      help="pay-as-bid (scales) or per-region VCG pivots")
+    p_ct.add_argument("--verify-identity", action="store_true",
+                      help="also clear serially and require byte-identical "
+                           "canonical JSON (implies --clear)")
+    p_ct.add_argument("--graphml", default=None, metavar="PATH",
+                      help="export the offered network as GraphML and "
+                           "verify the file round-trips")
+    p_ct.set_defaults(fn=cmd_continental)
 
     p_f2 = add_parser("figure2", help="reproduce Figure 2 (PoB margins)")
     p_f2.add_argument("--preset", default="tiny", choices=("tiny", "small", "paper"))

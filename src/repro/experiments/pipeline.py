@@ -43,7 +43,9 @@ def traffic_for_zoo(
     total = zoo.offered.total_capacity_gbps() * load_fraction
     nodes = [site.router_id for site in zoo.sites]
     if model == "gravity":
-        return gravity_matrix_for_sites(zoo.sites, total_gbps=total)
+        return gravity_matrix_for_sites(
+            zoo.sites, total_gbps=total, catalog=zoo.catalog
+        )
     if model == "uniform":
         return uniform_matrix(nodes, total)
     if model == "hotspot":

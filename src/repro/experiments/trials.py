@@ -454,6 +454,20 @@ def demo_trial(params: Mapping[str, object], seed: int) -> Dict[str, float]:
     return record
 
 
+def region_clear_trial(params: Mapping[str, object], seed: int) -> Dict[str, object]:
+    """One region sub-market of the continental sharded clearing.
+
+    Thin sweepable wrapper around
+    :func:`repro.auction.sharded.region_clear_record`: the heavy lifting
+    (continental workload build, offer/traffic splitting, sub-market
+    clear) lives next to the sharded-clearing code so the serial and
+    worker-pool paths share one implementation byte for byte.
+    """
+    from repro.auction.sharded import region_clear_record
+
+    return region_clear_record(params, int(seed))
+
+
 # -- registration -------------------------------------------------------------
 
 
@@ -502,6 +516,18 @@ def _register_builtins() -> None:
             "queue_limit": 64, "batch_max": 8,
         },
         prewarm=micro_prewarm,
+    ), replace=True)
+    register(Experiment(
+        name="region_clear",
+        trial=region_clear_trial,
+        version="1",
+        description="one region sub-market of the continental sharded clear",
+        defaults={
+            "preset": "smoke", "region": "na", "engine": "mcf",
+            "method": "greedy-drop", "pricing": "bid",
+            "load_fraction": 0.02, "inter_region_fraction": 0.3,
+            "offer_seed": 7,
+        },
     ), replace=True)
     register(Experiment(
         name="demo",

@@ -16,20 +16,25 @@ from repro.netflow.feasibility import (
     FeasibilityResult,
     GreedyOracle,
     MCFOracle,
+    PathOracle,
     ShortestPathOracle,
     make_oracle,
 )
 from repro.netflow.latency import LatencyReport, latency_report
 from repro.netflow.mcf import max_concurrent_flow, mcf_feasible
 from repro.netflow.model import McfModel, ModelCache, get_model, model_cache
+from repro.netflow.pathmcf import PathMcfModel, k_diverse_paths
 from repro.netflow.paths import Path, k_shortest_paths, shortest_path
 
 __all__ = [
     "FeasibilityResult",
     "GreedyOracle",
     "MCFOracle",
+    "PathOracle",
     "ShortestPathOracle",
     "make_oracle",
+    "PathMcfModel",
+    "k_diverse_paths",
     "LatencyReport",
     "latency_report",
     "max_concurrent_flow",

@@ -4,6 +4,11 @@ The auction evaluates feasibility of *many* candidate link subsets, so the
 oracle is a first-class, swappable object:
 
 - :class:`MCFOracle` — exact, via the max-concurrent-flow LP.
+- :class:`PathOracle` — the path-column LP of
+  :class:`repro.netflow.pathmcf.PathMcfModel`; exact-equivalent verdicts
+  by default (infeasible path verdicts re-checked on the node-arc model)
+  at a fraction of the variable count, which is what scales feasibility
+  to the continental (T2) link universe.
 - :class:`GreedyOracle` — heuristic multipath routing (conservative:
   "feasible" answers are trustworthy, "infeasible" may be false).
 - :class:`ShortestPathOracle` — plain IGP routing, the most conservative.
@@ -21,6 +26,7 @@ from repro.exceptions import FlowError
 from repro.topology.graph import Network
 from repro.netflow.mcf import max_concurrent_flow
 from repro.netflow.model import get_model
+from repro.netflow.pathmcf import PathMcfModel
 from repro.netflow.routing import route_greedy_multipath, route_shortest_path
 from repro.traffic.matrix import TrafficMatrix
 
@@ -132,6 +138,56 @@ class MCFOracle(BaseOracle):
         )
 
 
+class PathOracle(BaseOracle):
+    """Feasibility via the k-diverse-path LP, exact on fallback.
+
+    The path LP is a restriction of the exact MCF, so its "feasible"
+    verdicts are sound.  With ``exact_fallback`` (the default) the
+    "infeasible" ones are re-checked on the warm node-arc model, making
+    verdicts identical to :class:`MCFOracle` while the cheap path solve
+    absorbs the common case; with ``exact_fallback=False`` the oracle is
+    conservative like :class:`GreedyOracle` but LP-grade at splitting.
+    """
+
+    name = "path"
+
+    def __init__(
+        self,
+        network: Network,
+        tm: TrafficMatrix,
+        *,
+        k_paths: int = 4,
+        exact_fallback: bool = True,
+    ) -> None:
+        super().__init__(network, tm)
+        self._model = PathMcfModel(
+            network, tm, k_paths=k_paths, exact_fallback=exact_fallback
+        )
+
+    @property
+    def exact_fallbacks(self) -> int:
+        return self._model.exact_fallbacks
+
+    def check(self, link_ids: Iterable[str]) -> FeasibilityResult:
+        key = frozenset(link_ids)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.evaluations += 1
+        solved = self._model.solve(key)
+        result = FeasibilityResult(
+            feasible=solved.feasible,
+            headroom=solved.lam,
+            link_loads=solved.link_loads,
+        )
+        self._cache[key] = result
+        return result
+
+    def _evaluate(self, subnet: Network) -> FeasibilityResult:
+        raise NotImplementedError("PathOracle overrides check() directly")
+
+
 class GreedyOracle(BaseOracle):
     """Heuristic feasibility via greedy multipath routing."""
 
@@ -182,13 +238,14 @@ class ShortestPathOracle(BaseOracle):
 
 _ORACLES: Dict[str, Callable[..., BaseOracle]] = {
     "mcf": MCFOracle,
+    "path": PathOracle,
     "greedy": GreedyOracle,
     "sp": ShortestPathOracle,
 }
 
 
 def make_oracle(engine: str, network: Network, tm: TrafficMatrix, **kwargs) -> BaseOracle:
-    """Factory: ``engine`` is one of ``"mcf"``, ``"greedy"``, ``"sp"``."""
+    """Factory: ``engine`` is one of ``"mcf"``, ``"path"``, ``"greedy"``, ``"sp"``."""
     try:
         cls = _ORACLES[engine]
     except KeyError:

@@ -16,13 +16,19 @@ Public entry points:
   operators → BPs → POC routers → offered logical links.
 """
 
+from repro.topology.cities import BUILTIN_CATALOG, CityCatalog
 from repro.topology.graph import Link, Network, Node
+from repro.topology.sparse import SharedTopologyHandle, SparseTopology
 from repro.topology.zoo import BPFootprint, SyntheticZoo, ZooConfig
 
 __all__ = [
+    "BUILTIN_CATALOG",
+    "CityCatalog",
     "Link",
     "Network",
     "Node",
+    "SharedTopologyHandle",
+    "SparseTopology",
     "BPFootprint",
     "SyntheticZoo",
     "ZooConfig",

@@ -14,7 +14,7 @@ colocate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.topology.geo import GeoPoint
 
@@ -191,23 +191,75 @@ BY_NAME: Dict[str, City] = {c.name: c for c in ALL_CITIES}
 REGIONS: Tuple[str, ...] = ("na", "eu", "ap", "mea", "sa")
 
 
-def cities_in_region(region: str) -> List[City]:
+class CityCatalog:
+    """An immutable city database with name lookup.
+
+    The built-in world-city list is one catalog (:data:`BUILTIN_CATALOG`);
+    the continental-scale generator (:mod:`repro.topology.continental`)
+    synthesizes much larger ones.  Pipeline stages that resolve city names
+    (colocation clustering, logical-link anchoring, gravity traffic) accept
+    an optional catalog and default to the built-in database, so existing
+    callers are unaffected.
+    """
+
+    def __init__(self, cities: Sequence[City], name: str = "catalog") -> None:
+        self.name = name
+        self.cities: Tuple[City, ...] = tuple(cities)
+        by_name: Dict[str, City] = {}
+        for city in self.cities:
+            if city.name in by_name:
+                raise ValueError(
+                    f"duplicate city name {city.name!r} in catalog {name!r}"
+                )
+            by_name[city.name] = city
+        self.by_name: Dict[str, City] = by_name
+        regions: List[str] = []
+        for city in self.cities:
+            if city.region not in regions:
+                regions.append(city.region)
+        self.regions: Tuple[str, ...] = tuple(regions)
+
+    def __len__(self) -> int:
+        return len(self.cities)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self.by_name
+
+    def get(self, name: str) -> City:
+        try:
+            return self.by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown city {name!r} (catalog {self.name!r})"
+            ) from None
+
+    def in_region(self, region: str) -> List[City]:
+        if region not in self.regions:
+            raise ValueError(
+                f"unknown region {region!r}; expected one of {self.regions}"
+            )
+        return [c for c in self.cities if c.region == region]
+
+    def largest(self, count: int) -> List[City]:
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        return sorted(self.cities, key=lambda c: -c.population_m)[:count]
+
+
+#: The built-in world-city database as a catalog.
+BUILTIN_CATALOG = CityCatalog(ALL_CITIES, name="builtin")
+
+
+def cities_in_region(region: str, catalog: Optional[CityCatalog] = None) -> List[City]:
     """All cities in one region code (see :data:`REGIONS`)."""
-    if region not in REGIONS:
-        raise ValueError(f"unknown region {region!r}; expected one of {REGIONS}")
-    return [c for c in ALL_CITIES if c.region == region]
+    return (catalog or BUILTIN_CATALOG).in_region(region)
 
 
-def get_city(name: str) -> City:
-    """Look up a city by exact name."""
-    try:
-        return BY_NAME[name]
-    except KeyError:
-        raise KeyError(f"unknown city {name!r}") from None
+def get_city(name: str, catalog: Optional[CityCatalog] = None) -> City:
+    """Look up a city by exact name, in ``catalog`` or the built-in database."""
+    return (catalog or BUILTIN_CATALOG).get(name)
 
 
-def largest_cities(count: int) -> List[City]:
+def largest_cities(count: int, catalog: Optional[CityCatalog] = None) -> List[City]:
     """The ``count`` most populous cities, useful for small demo topologies."""
-    if count <= 0:
-        raise ValueError(f"count must be positive, got {count}")
-    return sorted(ALL_CITIES, key=lambda c: -c.population_m)[:count]
+    return (catalog or BUILTIN_CATALOG).largest(count)

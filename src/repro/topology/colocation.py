@@ -9,10 +9,12 @@ least ``min_bps`` distinct Bandwidth Providers have a PoP.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Sequence, Set
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set
 
-from repro.topology.cities import City, get_city
-from repro.topology.geo import haversine_km
+import numpy as np
+
+from repro.topology.cities import City, CityCatalog, get_city
+from repro.topology.geo import EARTH_RADIUS_KM
 
 #: Default radius within which two PoP cities count as "closely colocated".
 DEFAULT_COLOCATION_RADIUS_KM = 60.0
@@ -39,27 +41,54 @@ class ColocationSite:
         return f"POC:{self.city}"
 
 
-def _cluster_cities(city_names: Sequence[str], radius_km: float) -> List[Set[str]]:
-    """Greedy single-linkage clustering of cities within ``radius_km``."""
-    cities: List[City] = [get_city(name) for name in sorted(set(city_names))]
-    clusters: List[Set[str]] = []
-    assigned: Dict[str, int] = {}
-    for city in cities:
-        target = None
-        for idx, cluster in enumerate(clusters):
-            if any(
-                haversine_km(city.point, get_city(member).point) <= radius_km
-                for member in cluster
-            ):
-                target = idx
-                break
-        if target is None:
-            clusters.append({city.name})
-            assigned[city.name] = len(clusters) - 1
-        else:
-            clusters[target].add(city.name)
-            assigned[city.name] = target
-    return clusters
+def _cluster_cities(
+    city_names: Sequence[str],
+    radius_km: float,
+    catalog: Optional[CityCatalog] = None,
+) -> List[Set[str]]:
+    """True single-linkage clustering of cities within ``radius_km``.
+
+    Two cities share a cluster iff a chain of pairwise hops, each at most
+    ``radius_km``, connects them — the connected components of the
+    proximity graph.  (A first-fit scan is not enough: a city bridging two
+    existing clusters must merge them, and the answer must not depend on
+    iteration order.)  Union-find over the vectorized pairwise haversine
+    matrix; deterministic because names are canonicalized to sorted order
+    and components are emitted in order of their smallest-index member.
+    """
+    names = sorted(set(city_names))
+    cities: List[City] = [get_city(name, catalog=catalog) for name in names]
+    n = len(cities)
+    if n == 0:
+        return []
+    lat = np.radians(np.array([c.lat for c in cities], dtype=np.float64))
+    lon = np.radians(np.array([c.lon for c in cities], dtype=np.float64))
+    dlat = lat[:, None] - lat[None, :]
+    dlon = lon[:, None] - lon[None, :]
+    h = (
+        np.sin(dlat / 2.0) ** 2
+        + np.cos(lat)[:, None] * np.cos(lat)[None, :] * np.sin(dlon / 2.0) ** 2
+    )
+    dist = 2.0 * EARTH_RADIUS_KM * np.arcsin(np.minimum(1.0, np.sqrt(h)))
+
+    parent = list(range(n))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    ii, jj = np.nonzero(np.triu(dist <= radius_km, k=1))
+    for i, j in zip(ii.tolist(), jj.tolist()):
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[max(ri, rj)] = min(ri, rj)
+
+    groups: Dict[int, Set[str]] = {}
+    for idx, name in enumerate(names):
+        groups.setdefault(find(idx), set()).add(name)
+    return [groups[root] for root in sorted(groups)]
 
 
 def find_colocation_sites(
@@ -67,6 +96,7 @@ def find_colocation_sites(
     *,
     min_bps: int = DEFAULT_MIN_BPS,
     radius_km: float = DEFAULT_COLOCATION_RADIUS_KM,
+    catalog: Optional[CityCatalog] = None,
 ) -> List[ColocationSite]:
     """Find all sites where at least ``min_bps`` BPs are closely colocated.
 
@@ -77,7 +107,7 @@ def find_colocation_sites(
     if min_bps < 1:
         raise ValueError(f"min_bps must be >= 1, got {min_bps}")
     all_cities = sorted({c for cities in bp_cities.values() for c in cities})
-    clusters = _cluster_cities(all_cities, radius_km)
+    clusters = _cluster_cities(all_cities, radius_km, catalog=catalog)
 
     sites: List[ColocationSite] = []
     for cluster in clusters:
@@ -86,8 +116,12 @@ def find_colocation_sites(
         )
         if len(present) < min_bps:
             continue
-        # Representative city: the most populous member.
-        rep = max(cluster, key=lambda name: get_city(name).population_m)
+        # Representative city: the most populous member (population ties
+        # broken by name, so the pick never depends on set order).
+        rep = max(
+            sorted(cluster),
+            key=lambda name: get_city(name, catalog=catalog).population_m,
+        )
         sites.append(
             ColocationSite(
                 city=rep,
@@ -119,11 +153,14 @@ def place_poc_routers(
     *,
     min_bps: int = DEFAULT_MIN_BPS,
     radius_km: float = DEFAULT_COLOCATION_RADIUS_KM,
+    catalog: Optional[CityCatalog] = None,
 ) -> PlacementReport:
     """Run placement and return sites plus diagnostics."""
     all_cities = {c for cities in bp_cities.values() for c in cities}
-    clusters = _cluster_cities(sorted(all_cities), radius_km)
-    sites = find_colocation_sites(bp_cities, min_bps=min_bps, radius_km=radius_km)
+    clusters = _cluster_cities(sorted(all_cities), radius_km, catalog=catalog)
+    sites = find_colocation_sites(
+        bp_cities, min_bps=min_bps, radius_km=radius_km, catalog=catalog
+    )
     return PlacementReport(
         sites=sites,
         cities_considered=len(all_cities),

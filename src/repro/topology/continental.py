@@ -1,0 +1,170 @@
+"""Continental-scale synthetic city catalogs and the T2 topology.
+
+The built-in city database (~140 real cities) tops out at paper scale
+(bench T1: 20 BPs, 61 sites, ~4.7k logical links).  ROADMAP item 2 grows
+the substrate two orders of magnitude, which needs *more cities than
+exist in the database* — so this module synthesizes them: each region
+gets a jittered grid of cities inside a plausible lat/lon box, with
+power-law metro populations (few giants, many small towns), named
+``{region}-C{idx:04d}`` so ids stay lexicographically ordered.
+
+The synthetic catalog then drives the *same* §3.3 pipeline as the paper
+topology — :class:`~repro.topology.zoo.SyntheticZoo` with a ``catalog``
+argument — so every downstream invariant (colocation threshold, logical
+links, offered-network shape) holds at T2 exactly as at T1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+from repro.rand import derive_seed, make_rng
+from repro.topology.cities import City, CityCatalog
+from repro.topology.zoo import SyntheticZoo, ZooConfig, ZooResult
+
+#: Plausible (lat_min, lat_max, lon_min, lon_max) boxes per region code.
+#: These only shape geography (link lengths, clustering); they are not a
+#: claim about borders.
+REGION_BOXES: Dict[str, Tuple[float, float, float, float]] = {
+    "na": (25.0, 50.0, -125.0, -65.0),
+    "eu": (36.0, 60.0, -10.0, 30.0),
+    "ap": (-10.0, 45.0, 70.0, 145.0),
+    "mea": (-35.0, 40.0, -15.0, 55.0),
+    "sa": (-40.0, 12.0, -80.0, -35.0),
+}
+
+
+@dataclass(frozen=True)
+class ContinentalConfig:
+    """Parameters of a continental-scale run: catalog + zoo in one place.
+
+    The default preset is **T2** (ROADMAP item 2): 110 BPs over 600
+    synthetic cities in 5 regions, yielding 500+ colocation sites and
+    ≥100k offered logical links.  Use :meth:`smoke` for CI and tests.
+    """
+
+    seed: int = 2026
+    regions: Tuple[str, ...] = ("na", "eu", "ap", "mea", "sa")
+    cities_per_region: int = 120
+    num_bps: int = 110
+    min_cities_per_bp: int = 40
+    max_cities_per_bp: int = 100
+    size_skew: float = 1.6
+    operators_per_bp: Tuple[int, int] = (1, 2)
+    home_region_bias: float = 0.8
+    min_bps_colocated: int = 4
+    colocation_radius_km: float = 60.0
+    waxman_alpha: float = 0.35
+    waxman_beta: float = 0.3
+    capacity_scale: float = 1.0
+    max_detour: float = 2.5
+    #: Power-law exponent for metro populations: higher → steeper tail.
+    #: Kept fairly flat so population-weighted footprint sampling spreads
+    #: BP PoPs wide enough that 500+ cities clear the 4-BP threshold.
+    population_skew: float = 0.8
+    #: Largest synthetic metro, in millions.
+    population_max_m: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.cities_per_region < 2:
+            raise ValueError("need at least two cities per region")
+        for region in self.regions:
+            if region not in REGION_BOXES:
+                raise ValueError(
+                    f"unknown region {region!r}; expected one of "
+                    f"{sorted(REGION_BOXES)}"
+                )
+
+    @classmethod
+    def t2(cls, seed: int = 2026) -> "ContinentalConfig":
+        """The bench-T2 preset (the defaults, spelled out)."""
+        return cls(seed=seed)
+
+    @classmethod
+    def smoke(cls, seed: int = 2026) -> "ContinentalConfig":
+        """A miniature multi-region preset for CI: 2 regions, 8 BPs."""
+        return cls(
+            seed=seed,
+            regions=("na", "eu"),
+            cities_per_region=14,
+            num_bps=8,
+            min_cities_per_bp=6,
+            max_cities_per_bp=12,
+            operators_per_bp=(1, 1),
+            home_region_bias=0.7,
+            min_bps_colocated=2,
+        )
+
+    def with_seed(self, seed: int) -> "ContinentalConfig":
+        return replace(self, seed=seed)
+
+    def zoo_config(self) -> ZooConfig:
+        """The ZooConfig half: everything the §3.3 pipeline consumes."""
+        return ZooConfig(
+            num_bps=self.num_bps,
+            seed=self.seed,
+            min_cities_per_bp=self.min_cities_per_bp,
+            max_cities_per_bp=self.max_cities_per_bp,
+            size_skew=self.size_skew,
+            operators_per_bp=self.operators_per_bp,
+            home_region_bias=self.home_region_bias,
+            min_bps_colocated=self.min_bps_colocated,
+            colocation_radius_km=self.colocation_radius_km,
+            waxman_alpha=self.waxman_alpha,
+            waxman_beta=self.waxman_beta,
+            capacity_scale=self.capacity_scale,
+            max_detour=self.max_detour,
+            regions=self.regions,
+        )
+
+
+def synthetic_catalog(config: ContinentalConfig) -> CityCatalog:
+    """Generate the continental city catalog deterministically.
+
+    Cities sit on a jittered grid inside each region's box — jitter keeps
+    colocation clustering non-trivial without making city pairs collide —
+    and populations follow a bounded power law so gravity traffic and
+    population-weighted footprint sampling behave like they do on real
+    metros.
+    """
+    cities: List[City] = []
+    for region in config.regions:
+        lat_min, lat_max, lon_min, lon_max = REGION_BOXES[region]
+        rng = make_rng(derive_seed(config.seed, "catalog", region))
+        k = config.cities_per_region
+        side = int(math.ceil(math.sqrt(k)))
+        cell_lat = (lat_max - lat_min) / side
+        cell_lon = (lon_max - lon_min) / side
+        for idx in range(k):
+            row, col = divmod(idx, side)
+            lat = lat_min + (row + float(rng.uniform(0.15, 0.85))) * cell_lat
+            lon = lon_min + (col + float(rng.uniform(0.15, 0.85))) * cell_lon
+            u = float(rng.random())
+            population = max(
+                0.1, config.population_max_m * (u ** config.population_skew)
+            )
+            cities.append(
+                City(
+                    name=f"{region}-C{idx:04d}",
+                    country="XX",
+                    region=region,
+                    lat=round(lat, 4),
+                    lon=round(lon, 4),
+                    population_m=round(population, 3),
+                )
+            )
+    return CityCatalog(cities, name=f"continental-{config.seed}")
+
+
+def build_continental(config: ContinentalConfig) -> ZooResult:
+    """Build the continental topology: catalog → SyntheticZoo pipeline.
+
+    Returns a standard :class:`~repro.topology.zoo.ZooResult` whose
+    ``catalog`` field carries the synthetic catalog, so every downstream
+    stage (gravity traffic, hierarchical demand, region sharding) can
+    resolve the synthetic city names.
+    """
+    catalog = synthetic_catalog(config)
+    return SyntheticZoo(config.zoo_config(), catalog=catalog).build()

@@ -19,6 +19,7 @@ import itertools
 import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.exceptions import TopologyError
 from repro.rand import SeedLike, make_rng
 from repro.topology.cities import City
 from repro.topology.geo import FIBER_ROUTE_FACTOR, haversine_km
@@ -113,7 +114,7 @@ def waxman_network(
         a, b = cities[i], cities[j]
         length = haversine_km(a.point, b.point) * route_factor
         link = Link(
-            id=f"{name}-L{next(counter):04d}",
+            id=f"{name}-L{next(counter):06d}",
             u=f"{node_prefix}{a.name}",
             v=f"{node_prefix}{b.name}",
             capacity_gbps=sample_wave_gbps(rng, capacity_scale),
@@ -172,7 +173,7 @@ def ring_network(
         length = haversine_km(city.point, nxt.point) * FIBER_ROUTE_FACTOR
         net.add_link(
             Link(
-                id=f"{name}-L{idx:04d}",
+                id=f"{name}-L{idx:06d}",
                 u=f"{node_prefix}{city.name}",
                 v=f"{node_prefix}{nxt.name}",
                 capacity_gbps=sample_wave_gbps(rng, capacity_scale),
@@ -204,7 +205,7 @@ def star_network(
         length = haversine_km(hub.point, leaf.point) * FIBER_ROUTE_FACTOR
         net.add_link(
             Link(
-                id=f"{name}-L{idx:04d}",
+                id=f"{name}-L{idx:06d}",
                 u=f"{node_prefix}{hub.name}",
                 v=f"{node_prefix}{leaf.name}",
                 capacity_gbps=sample_wave_gbps(rng, capacity_scale),
@@ -217,14 +218,28 @@ def star_network(
 def merge_networks(networks: Sequence[Network], name: str) -> Network:
     """Union several operator networks into one (shared cities merge).
 
-    Nodes with the same id are merged; links always keep their distinct
-    ids, producing parallel links where two operators span the same pair.
-    This is the "combined some networks to form 20 BPs" step of §3.3.
+    Nodes with the same id are merged *only* when the operators agree on
+    the node's attributes (location, city, kind); a shared id with
+    conflicting attributes raises :class:`~repro.exceptions.TopologyError`
+    rather than silently keeping whichever operator came first.  Links
+    always keep their distinct ids, producing parallel links where two
+    operators span the same pair.  This is the "combined some networks to
+    form 20 BPs" step of §3.3.
     """
     merged = Network(name=name)
     seen_links: Dict[str, str] = {}
+    node_origin: Dict[str, str] = {}
     for net in networks:
         for node in net.nodes:
+            existing = merged.node(node.id) if merged.has_node(node.id) else None
+            if existing is not None and existing != node:
+                raise TopologyError(
+                    f"node {node.id!r} has conflicting attributes across "
+                    f"merged networks: {node_origin[node.id]} has {existing!r}, "
+                    f"{net.name} has {node!r}"
+                )
+            if existing is None:
+                node_origin[node.id] = net.name
             merged.ensure_node(node)
         for link in net.iter_links():
             if link.id in seen_links:

@@ -105,7 +105,10 @@ def network_from_graphml(
             length = haversine_km(nu.point, nv.point)
         net.add_link(
             Link(
-                id=f"{net.name}-E{next(counter):04d}",
+                # 7-digit padding: ids must stay lexicographically ordered
+                # (incident_links and sweep determinism rely on it) past the
+                # 9,999 links where 4 digits overflow — T2 mints >100k.
+                id=f"{net.name}-E{next(counter):07d}",
                 u=str(u),
                 v=str(v),
                 capacity_gbps=capacity,

@@ -1,0 +1,361 @@
+"""Sparse arrays-of-structs topology representation.
+
+The dict-backed :class:`~repro.topology.graph.Network` is the canonical
+mutable store, but at continental scale (hundreds of sites, ≥100k logical
+links) per-object overhead dominates: a million small Python objects cost
+gigabytes and cannot be shared across spawn workers without re-pickling
+the whole graph into every process.
+
+:class:`SparseTopology` is the read-only flat view: contiguous numpy
+arrays for node ids/coordinates/regions and link endpoints/capacities/
+lengths/owners, plus a CSR-style adjacency (``adj_indptr``/``adj_node``/
+``adj_link``) over directed arcs.  It is constructed **once** from a
+``Network`` and then:
+
+- answers adjacency and capacity queries without touching Python objects,
+- round-trips losslessly back to ``Network`` (property-tested), and
+- shares its arrays **zero-copy** across spawn workers through
+  ``multiprocessing.shared_memory``: the parent calls :meth:`share`, ships
+  the small picklable :class:`SharedTopologyHandle` to workers, and each
+  worker calls :meth:`attach` to map the same physical pages read-only.
+
+Array order is deterministic: nodes in ``Network`` insertion order, links
+in insertion order, and each adjacency row sorted by link id — matching
+``Network.incident_links``'s sorted contract.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import UnknownNodeError
+from repro.topology.cities import CityCatalog
+from repro.topology.geo import GeoPoint
+from repro.topology.graph import Link, Network, Node
+
+#: Sentinel latitude/longitude for nodes without coordinates.
+_NO_COORD = float("nan")
+
+#: Names of the numpy arrays a SparseTopology carries, in pack order.
+_ARRAY_FIELDS = (
+    "node_ids",
+    "node_lat",
+    "node_lon",
+    "node_city",
+    "node_kind",
+    "node_region",
+    "link_ids",
+    "link_u",
+    "link_v",
+    "capacity_gbps",
+    "length_km",
+    "link_owner",
+    "link_virtual",
+    "adj_indptr",
+    "adj_node",
+    "adj_link",
+)
+
+
+@dataclass(frozen=True)
+class SharedTopologyHandle:
+    """A picklable ticket for attaching to a shared SparseTopology.
+
+    Small enough to ship in a spawn worker's initializer args: the
+    segment name plus a JSON header describing dtype/shape/offset of each
+    packed array.
+    """
+
+    shm_name: str
+    meta_json: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(json.loads(self.meta_json)["total_bytes"])
+
+
+@dataclass
+class SparseTopology:
+    """Flat numpy view of a Network (see module docstring)."""
+
+    name: str
+    node_ids: np.ndarray
+    node_lat: np.ndarray
+    node_lon: np.ndarray
+    node_city: np.ndarray
+    node_kind: np.ndarray
+    node_region: np.ndarray
+    link_ids: np.ndarray
+    link_u: np.ndarray
+    link_v: np.ndarray
+    capacity_gbps: np.ndarray
+    length_km: np.ndarray
+    link_owner: np.ndarray
+    link_virtual: np.ndarray
+    adj_indptr: np.ndarray
+    adj_node: np.ndarray
+    adj_link: np.ndarray
+    #: Kept alive while attached to shared memory so the mapping persists.
+    _shm: Optional[shared_memory.SharedMemory] = field(
+        default=None, repr=False, compare=False
+    )
+    _node_index: Optional[Dict[str, int]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_network(
+        cls,
+        network: Network,
+        *,
+        catalog: Optional[CityCatalog] = None,
+    ) -> "SparseTopology":
+        """Flatten a Network into contiguous arrays.
+
+        ``catalog`` (when given) resolves each node's city to its region
+        code, which the region-sharded clearing partitions on; nodes
+        whose city is absent get region ``""``.
+        """
+        nodes = network.nodes
+        node_pos = {node.id: i for i, node in enumerate(nodes)}
+        n = len(nodes)
+
+        node_ids = np.array([node.id for node in nodes], dtype=np.str_)
+        node_lat = np.array(
+            [node.point.lat if node.point else _NO_COORD for node in nodes],
+            dtype=np.float64,
+        )
+        node_lon = np.array(
+            [node.point.lon if node.point else _NO_COORD for node in nodes],
+            dtype=np.float64,
+        )
+        node_city = np.array([node.city or "" for node in nodes], dtype=np.str_)
+        node_kind = np.array([node.kind for node in nodes], dtype=np.str_)
+        regions: List[str] = []
+        for node in nodes:
+            region = ""
+            if catalog is not None and node.city and node.city in catalog:
+                region = catalog.get(node.city).region
+            regions.append(region)
+        node_region = np.array(regions, dtype=np.str_)
+
+        links = list(network.iter_links())
+        m = len(links)
+        link_ids = np.array([l.id for l in links], dtype=np.str_)
+        link_u = np.array([node_pos[l.u] for l in links], dtype=np.int32)
+        link_v = np.array([node_pos[l.v] for l in links], dtype=np.int32)
+        capacity = np.array([l.capacity_gbps for l in links], dtype=np.float64)
+        length = np.array([l.length_km for l in links], dtype=np.float64)
+        owner = np.array([l.owner or "" for l in links], dtype=np.str_)
+        virtual = np.array([l.virtual for l in links], dtype=np.bool_)
+
+        # CSR adjacency over directed arcs: each undirected link appears
+        # in both endpoints' rows, each row sorted by link id to mirror
+        # Network.incident_links.
+        incident: List[List[Tuple[str, int, int]]] = [[] for _ in range(n)]
+        for li, l in enumerate(links):
+            ui, vi = node_pos[l.u], node_pos[l.v]
+            incident[ui].append((l.id, vi, li))
+            incident[vi].append((l.id, ui, li))
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        adj_node = np.zeros(2 * m, dtype=np.int32)
+        adj_link = np.zeros(2 * m, dtype=np.int32)
+        cursor = 0
+        for i in range(n):
+            row = sorted(incident[i])
+            for _, neighbor, li in row:
+                adj_node[cursor] = neighbor
+                adj_link[cursor] = li
+                cursor += 1
+            indptr[i + 1] = cursor
+
+        return cls(
+            name=network.name,
+            node_ids=node_ids,
+            node_lat=node_lat,
+            node_lon=node_lon,
+            node_city=node_city,
+            node_kind=node_kind,
+            node_region=node_region,
+            link_ids=link_ids,
+            link_u=link_u,
+            link_v=link_v,
+            capacity_gbps=capacity,
+            length_km=length,
+            link_owner=owner,
+            link_virtual=virtual,
+            adj_indptr=indptr,
+            adj_node=adj_node,
+            adj_link=adj_link,
+        )
+
+    # -- basic queries -----------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.node_ids.shape[0])
+
+    @property
+    def num_links(self) -> int:
+        return int(self.link_ids.shape[0])
+
+    @property
+    def memory_bytes(self) -> int:
+        """Total bytes across all arrays (the shareable footprint)."""
+        return int(sum(getattr(self, f).nbytes for f in _ARRAY_FIELDS))
+
+    def node_index(self, node_id: str) -> int:
+        """Position of ``node_id`` in the node arrays."""
+        if self._node_index is None:
+            object.__setattr__(
+                self,
+                "_node_index",
+                {str(nid): i for i, nid in enumerate(self.node_ids)},
+            )
+        try:
+            return self._node_index[node_id]
+        except KeyError:
+            raise UnknownNodeError(node_id) from None
+
+    def neighbors_of(self, idx: int) -> np.ndarray:
+        """Neighbor node indices of node ``idx`` (parallel links repeat)."""
+        return self.adj_node[self.adj_indptr[idx] : self.adj_indptr[idx + 1]]
+
+    def incident_link_indices(self, idx: int) -> np.ndarray:
+        """Incident link indices of node ``idx``, sorted by link id."""
+        return self.adj_link[self.adj_indptr[idx] : self.adj_indptr[idx + 1]]
+
+    def degree_of(self, idx: int) -> int:
+        return int(self.adj_indptr[idx + 1] - self.adj_indptr[idx])
+
+    def total_capacity_gbps(self) -> float:
+        return float(self.capacity_gbps.sum())
+
+    # -- round-trip --------------------------------------------------------
+
+    def to_network(self) -> Network:
+        """Rebuild the dict-backed Network (lossless; property-tested)."""
+        net = Network(name=self.name)
+        for i in range(self.num_nodes):
+            lat = float(self.node_lat[i])
+            lon = float(self.node_lon[i])
+            point = None if np.isnan(lat) or np.isnan(lon) else GeoPoint(lat, lon)
+            city = str(self.node_city[i]) or None
+            net.add_node(
+                Node(
+                    id=str(self.node_ids[i]),
+                    point=point,
+                    city=city,
+                    kind=str(self.node_kind[i]),
+                )
+            )
+        ids = self.node_ids
+        for j in range(self.num_links):
+            net.add_link(
+                Link(
+                    id=str(self.link_ids[j]),
+                    u=str(ids[self.link_u[j]]),
+                    v=str(ids[self.link_v[j]]),
+                    capacity_gbps=float(self.capacity_gbps[j]),
+                    length_km=float(self.length_km[j]),
+                    owner=str(self.link_owner[j]) or None,
+                    virtual=bool(self.link_virtual[j]),
+                )
+            )
+        return net
+
+    # -- shared memory -----------------------------------------------------
+
+    def share(self) -> SharedTopologyHandle:
+        """Copy all arrays into one shared-memory segment.
+
+        Returns the picklable handle workers pass to :meth:`attach`.  The
+        parent owns the segment: call :func:`unlink_shared` (or the
+        handle-holding pool's teardown) when every worker is done.
+        """
+        arrays = {f: np.ascontiguousarray(getattr(self, f)) for f in _ARRAY_FIELDS}
+        offsets: Dict[str, Dict] = {}
+        cursor = 0
+        for fname, arr in arrays.items():
+            # 64-byte alignment keeps every dtype happy and cache-friendly.
+            cursor = (cursor + 63) & ~63
+            offsets[fname] = {
+                "offset": cursor,
+                "dtype": arr.dtype.str,
+                "shape": list(arr.shape),
+            }
+            cursor += arr.nbytes
+        total = max(cursor, 1)
+        shm = shared_memory.SharedMemory(create=True, size=total)
+        try:
+            for fname, arr in arrays.items():
+                spec = offsets[fname]
+                dest = np.ndarray(
+                    arr.shape,
+                    dtype=arr.dtype,
+                    buffer=shm.buf,
+                    offset=spec["offset"],
+                )
+                dest[...] = arr
+            meta = {
+                "name": self.name,
+                "total_bytes": total,
+                "arrays": offsets,
+            }
+            handle = SharedTopologyHandle(
+                shm_name=shm.name, meta_json=json.dumps(meta, sort_keys=True)
+            )
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
+        shm.close()
+        return handle
+
+    @classmethod
+    def attach(cls, handle: SharedTopologyHandle) -> "SparseTopology":
+        """Map a shared segment as a read-only SparseTopology (zero-copy).
+
+        The returned object keeps the mapping alive; call :meth:`close`
+        when the worker is done with it.
+        """
+        meta = json.loads(handle.meta_json)
+        shm = shared_memory.SharedMemory(name=handle.shm_name)
+        kwargs = {}
+        for fname in _ARRAY_FIELDS:
+            spec = meta["arrays"][fname]
+            arr = np.ndarray(
+                tuple(spec["shape"]),
+                dtype=np.dtype(spec["dtype"]),
+                buffer=shm.buf,
+                offset=spec["offset"],
+            )
+            arr.flags.writeable = False
+            kwargs[fname] = arr
+        return cls(name=meta["name"], _shm=shm, **kwargs)
+
+    def close(self) -> None:
+        """Drop this process's mapping (attached views only)."""
+        if self._shm is not None:
+            # Views into the buffer must die before the mapping can close.
+            for fname in _ARRAY_FIELDS:
+                setattr(self, fname, np.array(getattr(self, fname)))
+            self._shm.close()
+            self._shm = None
+
+
+def unlink_shared(handle: SharedTopologyHandle) -> None:
+    """Destroy the shared segment (owner-side, after all workers closed)."""
+    try:
+        shm = shared_memory.SharedMemory(name=handle.shm_name)
+    except FileNotFoundError:
+        return
+    shm.close()
+    shm.unlink()

@@ -18,10 +18,15 @@ generator (DESIGN.md §3 documents the substitution):
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.rand import SeedLike, make_rng
-from repro.topology.cities import ALL_CITIES, REGIONS, City, cities_in_region
+from repro.topology.cities import (
+    BUILTIN_CATALOG,
+    REGIONS,
+    City,
+    CityCatalog,
+)
 from repro.topology.colocation import (
     ColocationSite,
     PlacementReport,
@@ -143,6 +148,10 @@ class ZooResult:
     offers_by_bp: Dict[str, List[LogicalLink]]
     offered: Network
     placement: PlacementReport
+    #: City catalog the topology was drawn from (None = built-in database).
+    #: Downstream stages that resolve city names (gravity traffic, region
+    #: sharding) must thread this through.
+    catalog: Optional[CityCatalog] = None
 
     @property
     def num_logical_links(self) -> int:
@@ -160,10 +169,23 @@ class ZooResult:
 
 
 class SyntheticZoo:
-    """Builds a :class:`ZooResult` from a :class:`ZooConfig`."""
+    """Builds a :class:`ZooResult` from a :class:`ZooConfig`.
 
-    def __init__(self, config: ZooConfig) -> None:
+    ``catalog`` selects the city database the footprints draw from; the
+    default is the built-in world-city list (paper scale).  The
+    continental generator passes a much larger synthetic catalog through
+    the same pipeline.
+    """
+
+    def __init__(self, config: ZooConfig, catalog: Optional[CityCatalog] = None) -> None:
         self.config = config
+        self.catalog = catalog or BUILTIN_CATALOG
+        for region in config.regions:
+            if region not in self.catalog.regions:
+                raise ValueError(
+                    f"config region {region!r} absent from catalog "
+                    f"{self.catalog.name!r} (has {self.catalog.regions})"
+                )
 
     def _bp_sizes(self, rng) -> List[int]:
         """Heterogeneous footprint sizes via a power-law-skewed draw."""
@@ -177,8 +199,12 @@ class SyntheticZoo:
     def _pick_cities(self, rng, count: int, home_region: str) -> List[City]:
         """Population-weighted sampling, biased toward the home region."""
         cfg = self.config
-        home = cities_in_region(home_region)
-        away = [c for c in ALL_CITIES if c.region != home_region and c.region in cfg.regions]
+        home = self.catalog.in_region(home_region)
+        away = [
+            c
+            for c in self.catalog.cities
+            if c.region != home_region and c.region in cfg.regions
+        ]
         n_home = min(len(home), max(2, int(round(count * cfg.home_region_bias))))
         n_away = min(len(away), count - n_home)
 
@@ -203,7 +229,7 @@ class SyntheticZoo:
 
     def _build_bp(self, rng, name: str, size: int) -> BPFootprint:
         cfg = self.config
-        region_weights = [len(cities_in_region(r)) for r in cfg.regions]
+        region_weights = [len(self.catalog.in_region(r)) for r in cfg.regions]
         total_w = sum(region_weights)
         probs = [w / total_w for w in region_weights]
         home_region = cfg.regions[int(rng.choice(len(cfg.regions), p=probs))]
@@ -252,25 +278,30 @@ class SyntheticZoo:
         cfg = self.config
         rng = make_rng(cfg.seed)
         sizes = self._bp_sizes(rng)
+        # Keep 2-digit names at paper scale (committed bench text says
+        # "BP01"); widen past 99 BPs so ids stay lexicographically ordered.
+        width = max(2, len(str(cfg.num_bps)))
         bps: Dict[str, BPFootprint] = {}
         for idx, size in enumerate(sizes):
-            name = f"BP{idx + 1:02d}"
+            name = f"BP{idx + 1:0{width}d}"
             bps[name] = self._build_bp(rng, name, size)
 
         placement = place_poc_routers(
             {name: fp.cities for name, fp in bps.items()},
             min_bps=cfg.min_bps_colocated,
             radius_km=cfg.colocation_radius_km,
+            catalog=self.catalog,
         )
         sites = placement.sites
 
         offers_by_bp: Dict[str, List[LogicalLink]] = {}
         for name, fp in bps.items():
             offers_by_bp[name] = bp_logical_links(
-                name, fp.network, sites, max_detour=cfg.max_detour
+                name, fp.network, sites, max_detour=cfg.max_detour,
+                catalog=self.catalog,
             )
 
-        offered = build_offered_network(sites, offers_by_bp)
+        offered = build_offered_network(sites, offers_by_bp, catalog=self.catalog)
         return ZooResult(
             config=cfg,
             bps=bps,
@@ -278,9 +309,10 @@ class SyntheticZoo:
             offers_by_bp=offers_by_bp,
             offered=offered,
             placement=placement,
+            catalog=self.catalog,
         )
 
 
-def build_zoo(config: ZooConfig) -> ZooResult:
-    """Convenience wrapper: ``SyntheticZoo(config).build()``."""
-    return SyntheticZoo(config).build()
+def build_zoo(config: ZooConfig, catalog: Optional[CityCatalog] = None) -> ZooResult:
+    """Convenience wrapper: ``SyntheticZoo(config, catalog).build()``."""
+    return SyntheticZoo(config, catalog=catalog).build()

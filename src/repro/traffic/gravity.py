@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, Mapping, Optional, Sequence
 
 from repro.exceptions import TrafficError
-from repro.topology.cities import get_city
+from repro.topology.cities import CityCatalog, get_city
 from repro.topology.colocation import ColocationSite
 from repro.topology.geo import haversine_km
 from repro.traffic.matrix import TrafficMatrix
@@ -66,6 +66,7 @@ def gravity_matrix_for_sites(
     total_gbps: float,
     *,
     deterrence: float = 0.0,
+    catalog: Optional[CityCatalog] = None,
 ) -> TrafficMatrix:
     """Gravity TM over POC router sites, massed by metro population.
 
@@ -75,7 +76,8 @@ def gravity_matrix_for_sites(
     if len(sites) < 2:
         raise TrafficError("need at least two POC sites")
     masses = {
-        site.router_id: get_city(site.city).population_m for site in sites
+        site.router_id: get_city(site.city, catalog=catalog).population_m
+        for site in sites
     }
     distances = {}
     if deterrence > 0:
@@ -84,7 +86,8 @@ def gravity_matrix_for_sites(
                 if a.city == b.city:
                     continue
                 distances[(a.router_id, b.router_id)] = haversine_km(
-                    get_city(a.city).point, get_city(b.city).point
+                    get_city(a.city, catalog=catalog).point,
+                    get_city(b.city, catalog=catalog).point,
                 )
     return gravity_matrix(
         masses, total_gbps, distance_km=distances or None, deterrence=deterrence

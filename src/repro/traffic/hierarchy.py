@@ -1,0 +1,226 @@
+"""Hierarchical traffic-matrix aggregation.
+
+At continental scale, "millions of users" cannot enter the pipeline as
+per-user (or even per-site-pair) rows authored by hand.  This module
+models demand **top-down** in two levels:
+
+1. **Region level** — each region carries a :class:`RegionProfile`: a
+   user count (millions) and a demand density (Gbps per million users at
+   peak).  A deterministic split sends ``inter_region_fraction`` of each
+   region's total to other regions (proportional to their totals — a
+   region-level gravity model) and keeps the rest intra-region.
+
+2. **Site level** — each region-pair aggregate is then divided over the
+   concrete site pairs by population-weighted gravity, producing an
+   ordinary :class:`~repro.traffic.matrix.TrafficMatrix` over POC router
+   ids that every downstream consumer (MCF, auction constraints, the
+   service) already understands.
+
+:func:`aggregate_to_regions` is the exact inverse of the second level:
+it rolls a site TM back up to region-pair totals, which is how the
+region-sharded clearing builds its cross-region stitch market — and how
+the tests verify the split is conservative (no demand created or lost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import TrafficError
+from repro.topology.cities import CityCatalog, get_city
+from repro.topology.colocation import ColocationSite
+from repro.traffic.matrix import TrafficMatrix
+
+RegionPair = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class RegionProfile:
+    """Per-region demand distribution: users enter here, not as rows."""
+
+    region: str
+    #: Users in the region, in millions.
+    users_m: float
+    #: Peak demand density, Gbps per million users.
+    gbps_per_m_users: float
+
+    def __post_init__(self) -> None:
+        if self.users_m < 0:
+            raise TrafficError(
+                f"region {self.region!r} has negative users: {self.users_m}"
+            )
+        if self.gbps_per_m_users < 0:
+            raise TrafficError(
+                f"region {self.region!r} has negative demand density"
+            )
+
+    @property
+    def total_gbps(self) -> float:
+        """Total demand originated by this region's users."""
+        return self.users_m * self.gbps_per_m_users
+
+
+def profiles_from_catalog(
+    catalog: CityCatalog,
+    *,
+    users_per_pop: float = 0.6,
+    gbps_per_m_users: float = 25.0,
+) -> List[RegionProfile]:
+    """Derive region profiles from a catalog's metro populations.
+
+    ``users_per_pop`` converts metro population (millions) to subscriber
+    count (millions); ``gbps_per_m_users`` is the uniform demand density.
+    """
+    if users_per_pop <= 0:
+        raise TrafficError(f"users_per_pop must be positive: {users_per_pop}")
+    profiles = []
+    for region in catalog.regions:
+        population = sum(c.population_m for c in catalog.in_region(region))
+        profiles.append(
+            RegionProfile(
+                region=region,
+                users_m=round(population * users_per_pop, 6),
+                gbps_per_m_users=gbps_per_m_users,
+            )
+        )
+    return profiles
+
+
+def region_pair_demands(
+    profiles: Sequence[RegionProfile],
+    *,
+    inter_region_fraction: float = 0.35,
+) -> Dict[RegionPair, float]:
+    """Level 1: the deterministic region-pair demand split.
+
+    Each region keeps ``1 - inter_region_fraction`` of its total as
+    intra-region demand (the ``(r, r)`` entry) and sends the rest to
+    other regions proportional to *their* totals.  Regions with zero
+    demand neither send nor receive.
+    """
+    if not 0.0 <= inter_region_fraction <= 1.0:
+        raise TrafficError(
+            f"inter_region_fraction must be in [0, 1]: {inter_region_fraction}"
+        )
+    seen = set()
+    for p in profiles:
+        if p.region in seen:
+            raise TrafficError(f"duplicate region profile: {p.region!r}")
+        seen.add(p.region)
+
+    totals = {p.region: p.total_gbps for p in profiles}
+    out: Dict[RegionPair, float] = {}
+    for p in sorted(profiles, key=lambda p: p.region):
+        total = totals[p.region]
+        if total <= 0:
+            continue
+        others = {
+            r: t for r, t in totals.items() if r != p.region and t > 0
+        }
+        inter_pool = inter_region_fraction * total if others else 0.0
+        intra = total - inter_pool
+        if intra > 0:
+            out[(p.region, p.region)] = intra
+        denom = sum(others.values())
+        for r in sorted(others):
+            share = inter_pool * others[r] / denom
+            if share > 0:
+                out[(p.region, r)] = share
+    return out
+
+
+def _site_regions(
+    sites: Sequence[ColocationSite],
+    catalog: Optional[CityCatalog],
+) -> Dict[str, str]:
+    """router_id → region code for every site."""
+    return {
+        site.router_id: get_city(site.city, catalog=catalog).region
+        for site in sites
+    }
+
+
+def hierarchical_matrix(
+    sites: Sequence[ColocationSite],
+    profiles: Sequence[RegionProfile],
+    *,
+    catalog: Optional[CityCatalog] = None,
+    inter_region_fraction: float = 0.35,
+) -> TrafficMatrix:
+    """Level 2: expand region-pair demand to a site-level TrafficMatrix.
+
+    Each region-pair aggregate is split over its concrete (source site,
+    destination site) pairs proportional to the product of the sites'
+    metro populations — population gravity, exactly the model the T1
+    pipeline uses at site granularity, applied within each region block.
+
+    A region-pair block with no eligible site pair (an intra block in a
+    single-site region, or a block whose endpoint region hosts no sites)
+    contributes nothing; such demand is *dropped*, never silently
+    reassigned — :func:`aggregate_to_regions` makes the loss visible.
+    """
+    if len(sites) < 2:
+        raise TrafficError("need at least two POC sites")
+    region_of = _site_regions(sites, catalog)
+    demands_by_region = region_pair_demands(
+        profiles, inter_region_fraction=inter_region_fraction
+    )
+
+    by_region: Dict[str, List[ColocationSite]] = {}
+    for site in sites:
+        by_region.setdefault(region_of[site.router_id], []).append(site)
+
+    mass = {
+        site.router_id: get_city(site.city, catalog=catalog).population_m
+        for site in sites
+    }
+
+    demands: Dict[Tuple[str, str], float] = {}
+    for (src_region, dst_region), total in sorted(demands_by_region.items()):
+        srcs = by_region.get(src_region, [])
+        dsts = by_region.get(dst_region, [])
+        pairs = [
+            (a.router_id, b.router_id)
+            for a in srcs
+            for b in dsts
+            if a.router_id != b.router_id
+        ]
+        if not pairs:
+            continue
+        weight = {
+            (s, d): mass[s] * mass[d] for (s, d) in pairs
+        }
+        norm = sum(weight.values())
+        for pair in pairs:
+            value = total * weight[pair] / norm
+            if value > 0:
+                demands[pair] = demands.get(pair, 0.0) + value
+
+    nodes = [site.router_id for site in sites]
+    return TrafficMatrix(nodes=nodes, _demands=demands)
+
+
+def aggregate_to_regions(
+    tm: TrafficMatrix,
+    sites: Sequence[ColocationSite],
+    *,
+    catalog: Optional[CityCatalog] = None,
+) -> Dict[RegionPair, float]:
+    """Roll a site-level TM back up to region-pair totals.
+
+    The exact inverse of :func:`hierarchical_matrix`'s expansion — and
+    the operation the sharded clearing uses to build its coarse
+    cross-region stitch market.
+    """
+    region_of = _site_regions(sites, catalog)
+    missing = set(tm.nodes) - set(region_of)
+    if missing:
+        raise TrafficError(
+            f"TM references sites without a region: {sorted(missing)[:5]}"
+        )
+    out: Dict[RegionPair, float] = {}
+    for (src, dst), value in tm.pairs():
+        key = (region_of[src], region_of[dst])
+        out[key] = out.get(key, 0.0) + value
+    return out

@@ -128,6 +128,46 @@ class TestEngineConsistency:
         assert local.total_cost <= greedy.total_cost + 1e-9
 
 
+class TestPrefixEngine:
+    def test_minimal_prefix_for_single_demand(self, setup):
+        _net, offers, constraint = setup
+        # The 60-unit diagonal is the cheapest ranked link and alone
+        # carries the demand, so the binary search stops at prefix 1.
+        outcome = select_links(offers, constraint, method="prefix")
+        assert outcome.selected == frozenset({"AC"})
+        assert outcome.total_cost == 60.0
+
+    def test_prefix_contains_add_prune_selection(self, setup):
+        _net, offers, constraint = setup
+        prefix = select_links(offers, constraint, method="prefix")
+        pruned = select_links(offers, constraint, method="add-prune")
+        # add-prune starts from the prefix and only drops, so its
+        # selection is a subset and never costs more.
+        assert pruned.selected <= prefix.selected
+        assert pruned.total_cost <= prefix.total_cost + 1e-9
+
+    def test_logarithmic_oracle_call_count(self, tiny_zoo):
+        from repro.experiments.pipeline import offers_for_zoo, traffic_for_zoo
+
+        tm = traffic_for_zoo(tiny_zoo)
+        offers = offers_for_zoo(tiny_zoo)
+        constraint = make_constraint(1, tiny_zoo.offered, tm)
+        outcome = select_links(offers, constraint, method="prefix")
+        assert constraint.satisfied(outcome.selected)
+        # 1 full-universe check + ceil(log2(n)) bisection probes.
+        n = tiny_zoo.num_logical_links
+        bound = 2 + n.bit_length()
+        assert outcome.oracle_evaluations <= bound
+
+    def test_infeasible_raises(self):
+        net = square_network()
+        offers = square_offers(net)
+        tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 100.0})
+        constraint = make_constraint(1, net, tm)
+        with pytest.raises(NoFeasibleSelectionError):
+            select_links(offers, constraint, method="prefix")
+
+
 class TestSelectionOnZoo:
     def test_tiny_zoo_constraint1(self, tiny_zoo):
         from repro.experiments.pipeline import offers_for_zoo, traffic_for_zoo

@@ -1,0 +1,215 @@
+"""Tests for the path-column max-concurrent-flow model and oracle."""
+
+import pytest
+
+from repro.exceptions import FlowError, UnknownLinkError
+from repro.netflow.feasibility import MCFOracle, PathOracle, make_oracle
+from repro.netflow.mcf import max_concurrent_flow
+from repro.netflow.pathmcf import PathMcfModel, k_diverse_paths
+from repro.rand import derive_seed, make_rng
+from repro.topology.graph import Link, Network
+from repro.topology.sparse import SparseTopology
+from repro.traffic.matrix import TrafficMatrix
+
+from tests.conftest import make_node, square_network, square_tm
+
+
+def _link_names(sparse, found):
+    return [tuple(sparse.link_ids[list(links)]) for links, _arcs in found]
+
+
+def _random_instance(seed):
+    """A connected ring + chords multigraph with a random TM."""
+    rng = make_rng(derive_seed(seed, "pathmcf"))
+    n = int(rng.integers(4, 9))
+    net = Network(name=f"rand-{seed}")
+    for i in range(n):
+        net.add_node(make_node(f"N{i}", lat=float(i), lon=float(i % 3)))
+    for i in range(n):
+        net.add_link(
+            Link(
+                id=f"R{i:02d}",
+                u=f"N{i}",
+                v=f"N{(i + 1) % n}",
+                capacity_gbps=float(rng.integers(5, 20)),
+                length_km=float(rng.integers(50, 300)),
+            )
+        )
+    for j in range(int(rng.integers(1, 4))):
+        a, b = rng.choice(n, size=2, replace=False)
+        net.add_link(
+            Link(
+                id=f"C{j:02d}",
+                u=f"N{a}",
+                v=f"N{b}",
+                capacity_gbps=float(rng.integers(5, 20)),
+                length_km=float(rng.integers(50, 300)),
+            )
+        )
+    demands = {}
+    for _ in range(int(rng.integers(2, 5))):
+        a, b = rng.choice(n, size=2, replace=False)
+        pair = (f"N{a}", f"N{b}")
+        demands[pair] = demands.get(pair, 0.0) + float(rng.integers(1, 8))
+    tm = TrafficMatrix(nodes=[f"N{i}" for i in range(n)], _demands=demands)
+    return net, tm
+
+
+class TestKDiversePaths:
+    def test_square_finds_three_diverse_routes(self, square):
+        sparse = SparseTopology.from_network(square)
+        a, c = sparse.node_index("A"), sparse.node_index("C")
+        found = k_diverse_paths(sparse, a, c, 3)
+        names = _link_names(sparse, found)
+        # Shortest first (the 100km diagonal), then the two 2-hop detours.
+        assert names[0] == ("AC",)
+        assert set(names) == {("AC",), ("AB", "BC"), ("DA", "CD")}
+
+    def test_penalty_forces_distinct_links(self, square):
+        sparse = SparseTopology.from_network(square)
+        a, c = sparse.node_index("A"), sparse.node_index("C")
+        found = k_diverse_paths(sparse, a, c, 3)
+        assert len({links for links, _ in found}) == len(found)
+
+    def test_deterministic(self, square):
+        sparse = SparseTopology.from_network(square)
+        a, c = sparse.node_index("A"), sparse.node_index("C")
+        assert k_diverse_paths(sparse, a, c, 4) == k_diverse_paths(sparse, a, c, 4)
+
+    def test_unreachable_returns_empty(self):
+        net = Network(name="split")
+        net.add_node(make_node("X"))
+        net.add_node(make_node("Y"))
+        sparse = SparseTopology.from_network(net)
+        assert k_diverse_paths(sparse, 0, 1, 2) == []
+
+    def test_rejects_bad_k(self, square):
+        sparse = SparseTopology.from_network(square)
+        with pytest.raises(ValueError):
+            k_diverse_paths(sparse, 0, 1, 0)
+
+
+class TestPathMcfModel:
+    def test_matches_exact_on_square(self, square):
+        tm = square_tm(2.0)
+        exact = max_concurrent_flow(square, tm)
+        model = PathMcfModel(square, tm, k_paths=4, exact_fallback=False)
+        got = model.solve()
+        assert got.feasible == exact.feasible
+        # The path LP restricts the exact LP, so its λ is a lower bound.
+        assert got.lam <= exact.lam + 1e-6
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_lambda_is_lower_bound(self, seed):
+        net, tm = _random_instance(seed)
+        exact = max_concurrent_flow(net, tm)
+        model = PathMcfModel(net, tm, k_paths=3, exact_fallback=False)
+        assert model.solve().lam <= exact.lam + 1e-6
+
+    def test_coverage_gap_falls_back_to_exact(self, square):
+        tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 3.0})
+        model = PathMcfModel(square, tm, k_paths=1)
+        # k=1 leaves only the diagonal column; dropping it starves the
+        # pair, but the ring still carries 3G — the exact model must see
+        # that.
+        ring = frozenset({"AB", "BC", "CD", "DA"})
+        assert model.feasible(ring)
+        assert model.exact_fallbacks == 1
+
+    def test_coverage_gap_without_fallback_is_conservative(self, square):
+        tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 3.0})
+        model = PathMcfModel(square, tm, k_paths=1, exact_fallback=False)
+        got = model.solve(frozenset({"AB", "BC", "CD", "DA"}))
+        assert not got.feasible
+        assert "no candidate path" in got.message
+
+    def test_infeasible_verdict_rechecked_exactly(self, square):
+        # 12G A->C exceeds the 5G diagonal + detours — genuinely
+        # infeasible; the fallback confirms rather than flips it.
+        tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 40.0})
+        model = PathMcfModel(square, tm, k_paths=4)
+        got = model.solve()
+        assert not got.feasible
+        assert model.exact_fallbacks == 1
+
+    def test_link_loads_respect_capacity(self, square):
+        tm = square_tm(2.0)
+        model = PathMcfModel(square, tm, k_paths=4, exact_fallback=False)
+        got = model.solve()
+        assert got.feasible
+        for lid, load in got.link_loads.items():
+            assert load <= square.link(lid).capacity_gbps + 1e-6
+
+    def test_empty_tm_feasible(self, square):
+        tm = TrafficMatrix(nodes=["A", "C"], _demands={})
+        model = PathMcfModel(square, tm)
+        assert model.solve().feasible
+
+    def test_empty_subset_infeasible(self, square):
+        tm = square_tm(1.0)
+        model = PathMcfModel(square, tm)
+        assert not model.solve(frozenset()).feasible
+
+    def test_unknown_link_raises(self, square):
+        model = PathMcfModel(square, square_tm(1.0))
+        with pytest.raises(UnknownLinkError):
+            model.solve(frozenset({"nope"}))
+
+    def test_memoizes_subsets(self, square):
+        model = PathMcfModel(square, square_tm(1.0))
+        key = frozenset({"AB", "BC", "CD", "DA", "AC"})
+        model.solve(key)
+        model.solve(key)
+        assert model.memo_hits == 1
+
+    def test_path_columns_exposed(self, square):
+        tm = TrafficMatrix.from_dict(["A", "C"], {("A", "C"): 1.0})
+        model = PathMcfModel(square, tm, k_paths=3)
+        columns = model.path_columns()
+        assert ("A", "C") in columns
+        assert ("AC",) in columns[("A", "C")]
+
+    def test_rejects_bad_k(self, square):
+        with pytest.raises(ValueError):
+            PathMcfModel(square, square_tm(1.0), k_paths=0)
+
+
+class TestPathOracle:
+    def test_factory_builds_path_oracle(self, square):
+        oracle = make_oracle("path", square, square_tm(1.0))
+        assert isinstance(oracle, PathOracle)
+        assert oracle.name == "path"
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_verdicts_match_mcf_oracle(self, seed):
+        net, tm = _random_instance(seed)
+        path = PathOracle(net, tm, k_paths=3)
+        mcf = MCFOracle(net, tm)
+        all_links = frozenset(l.id for l in net.iter_links())
+        subsets = [all_links] + [all_links - {lid} for lid in sorted(all_links)]
+        for subset in subsets:
+            assert path.feasible(subset) == mcf.feasible(subset), (seed, subset)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_no_fallback_is_conservative(self, seed):
+        net, tm = _random_instance(seed)
+        path = PathOracle(net, tm, k_paths=2, exact_fallback=False)
+        mcf = MCFOracle(net, tm)
+        all_links = frozenset(l.id for l in net.iter_links())
+        for subset in [all_links] + [all_links - {lid} for lid in sorted(all_links)]:
+            if path.feasible(subset):
+                assert mcf.feasible(subset)
+
+    def test_caches_verdicts(self, square):
+        oracle = PathOracle(square, square_tm(1.0))
+        key = frozenset({"AB", "BC", "CD", "DA", "AC"})
+        oracle.check(key)
+        oracle.check(key)
+        assert oracle.cache_hits == 1
+        assert oracle.evaluations == 1
+
+    def test_headroom_reported(self, square):
+        oracle = PathOracle(square, square_tm(1.0))
+        result = oracle.check(frozenset({"AB", "BC", "CD", "DA", "AC"}))
+        assert result.feasible
+        assert result.headroom >= 1.0

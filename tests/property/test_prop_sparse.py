@@ -1,0 +1,185 @@
+"""Property tests: the sparse arrays-of-structs view ≡ Network.
+
+100 seeded random topologies (mixed coordinates/cities/owners/parallel
+links) are flattened to :class:`SparseTopology` and checked for exact
+agreement on nodes, links, adjacency, and capacities, plus a lossless
+round-trip back to ``Network``.  A second group exercises the
+shared-memory path, including across a *spawn* worker pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.rand import derive_seed, make_rng
+from repro.topology.geo import GeoPoint
+from repro.topology.graph import Link, Network, Node
+from repro.topology.sparse import SparseTopology, unlink_shared
+
+
+def random_network(seed: int) -> Network:
+    """A small random multigraph with every attribute combination."""
+    rng = make_rng(derive_seed(seed, "sparse-prop"))
+    n = int(rng.integers(2, 30))
+    net = Network(name=f"rand-{seed}")
+    for i in range(n):
+        point = None
+        if rng.random() < 0.8:
+            point = GeoPoint(
+                float(rng.uniform(-80, 80)), float(rng.uniform(-170, 170))
+            )
+        city = f"city{i}" if rng.random() < 0.5 else None
+        kind = "poc-router" if rng.random() < 0.3 else "router"
+        net.add_node(Node(id=f"N{i:03d}", point=point, city=city, kind=kind))
+    m = int(rng.integers(1, 80))
+    counter = 0
+    while counter < m:
+        u, v = (int(x) for x in rng.integers(0, n, size=2))
+        if u == v:
+            continue
+        owner = f"BP{int(rng.integers(0, 5))}" if rng.random() < 0.7 else None
+        net.add_link(
+            Link(
+                id=f"rand-{seed}-L{counter:05d}",
+                u=f"N{u:03d}",
+                v=f"N{v:03d}",
+                capacity_gbps=float(rng.choice([10.0, 40.0, 100.0, 400.0])),
+                length_km=float(rng.uniform(0.0, 5000.0)),
+                owner=owner,
+                virtual=bool(rng.random() < 0.1),
+            )
+        )
+        counter += 1
+    return net
+
+
+class TestSparseEquivalence:
+    @pytest.mark.parametrize("seed", range(100))
+    def test_sparse_view_matches_network(self, seed):
+        net = random_network(seed)
+        sp = SparseTopology.from_network(net)
+
+        # Same nodes, in order.
+        assert [str(x) for x in sp.node_ids] == net.node_ids
+        assert sp.num_nodes == len(net)
+
+        # Same links, endpoints, and capacities, in order.
+        assert [str(x) for x in sp.link_ids] == net.link_ids
+        assert sp.num_links == net.num_links
+        for j, link in enumerate(net.iter_links()):
+            assert str(sp.node_ids[sp.link_u[j]]) == link.u
+            assert str(sp.node_ids[sp.link_v[j]]) == link.v
+            assert float(sp.capacity_gbps[j]) == link.capacity_gbps
+            assert float(sp.length_km[j]) == link.length_km
+        assert sp.total_capacity_gbps() == pytest.approx(
+            net.total_capacity_gbps()
+        )
+
+        # Same adjacency: incident links per node, sorted by link id
+        # (Network.incident_links's contract), and the same neighbor sets.
+        for i, node_id in enumerate(net.node_ids):
+            expect = [l.id for l in net.incident_links(node_id)]
+            got = [str(sp.link_ids[k]) for k in sp.incident_link_indices(i)]
+            assert got == expect
+            neighbors = {str(sp.node_ids[k]) for k in sp.neighbors_of(i)}
+            assert neighbors == net.neighbors(node_id)
+            assert sp.degree_of(i) == net.degree(node_id)
+
+    @pytest.mark.parametrize("seed", [0, 17, 42, 99])
+    def test_round_trip_is_lossless(self, seed):
+        net = random_network(seed)
+        back = SparseTopology.from_network(net).to_network()
+        assert back.name == net.name
+        assert back.node_ids == net.node_ids
+        for node_id in net.node_ids:
+            assert back.node(node_id) == net.node(node_id)
+        assert back.link_ids == net.link_ids
+        for link_id in net.link_ids:
+            assert back.link(link_id) == net.link(link_id)
+
+    def test_node_index_lookup(self):
+        net = random_network(3)
+        sp = SparseTopology.from_network(net)
+        for i, node_id in enumerate(net.node_ids):
+            assert sp.node_index(node_id) == i
+        from repro.exceptions import UnknownNodeError
+
+        with pytest.raises(UnknownNodeError):
+            sp.node_index("no-such-node")
+
+
+def _probe(handle):
+    """Spawn-worker body: attach, summarize, detach."""
+    view = SparseTopology.attach(handle)
+    try:
+        return {
+            "nodes": view.num_nodes,
+            "links": view.num_links,
+            "cap": float(view.capacity_gbps.sum()),
+            "first_link": str(view.link_ids[0]),
+            "last_link": str(view.link_ids[-1]),
+            "adj0": [int(x) for x in view.incident_link_indices(0)],
+            "writable": bool(view.capacity_gbps.flags.writeable),
+        }
+    finally:
+        view.close()
+
+
+class TestSharedMemory:
+    def test_attach_sees_identical_arrays(self):
+        net = random_network(7)
+        sp = SparseTopology.from_network(net)
+        handle = sp.share()
+        try:
+            view = SparseTopology.attach(handle)
+            try:
+                assert view.name == sp.name
+                assert [str(x) for x in view.link_ids] == [
+                    str(x) for x in sp.link_ids
+                ]
+                np.testing.assert_array_equal(view.capacity_gbps, sp.capacity_gbps)
+                np.testing.assert_array_equal(view.adj_indptr, sp.adj_indptr)
+                np.testing.assert_array_equal(view.adj_link, sp.adj_link)
+                assert not view.capacity_gbps.flags.writeable
+            finally:
+                view.close()
+        finally:
+            unlink_shared(handle)
+
+    def test_handle_reports_footprint(self):
+        sp = SparseTopology.from_network(random_network(5))
+        handle = sp.share()
+        try:
+            assert handle.nbytes >= sp.memory_bytes
+        finally:
+            unlink_shared(handle)
+
+    def test_spawn_pool_shares_one_copy(self):
+        net = random_network(11)
+        sp = SparseTopology.from_network(net)
+        handle = sp.share()
+        try:
+            ctx = mp.get_context("spawn")
+            with ctx.Pool(2) as pool:
+                results = pool.map(_probe, [handle, handle])
+        finally:
+            unlink_shared(handle)
+        expect = {
+            "nodes": sp.num_nodes,
+            "links": sp.num_links,
+            "cap": float(sp.capacity_gbps.sum()),
+            "first_link": str(sp.link_ids[0]),
+            "last_link": str(sp.link_ids[-1]),
+            "adj0": [int(x) for x in sp.incident_link_indices(0)],
+            "writable": False,
+        }
+        assert results == [expect, expect]
+
+    def test_unlink_is_idempotent(self):
+        sp = SparseTopology.from_network(random_network(2))
+        handle = sp.share()
+        unlink_shared(handle)
+        unlink_shared(handle)  # second call is a no-op, not an error

@@ -90,3 +90,73 @@ class TestPlacementReport:
         cfg = tiny_zoo.config
         for site in tiny_zoo.sites:
             assert len(site.bps) >= cfg.min_bps_colocated
+
+
+class TestSingleLinkage:
+    """Regression: clustering must be true single-linkage, not first-fit.
+
+    The old implementation attached each city to the *first* existing
+    cluster within radius and stopped, so a city bridging two clusters
+    never merged them and the outcome depended on iteration order.
+    """
+
+    def _bridge_catalog(self):
+        from repro.topology.cities import City, CityCatalog
+
+        # Alpha—Middle and Middle—Beta are ~56 km apart on the equator;
+        # Alpha—Beta is ~111 km, past the 60 km radius.  Names are chosen
+        # so the bridge ("Middle") sorts *after* both endpoints: the old
+        # first-fit scan formed {Alpha} and {Beta} first, then attached
+        # Middle to Alpha's cluster and left Beta stranded.
+        return CityCatalog(
+            [
+                City("Alpha", "XX", "na", 0.0, 0.0, 1.0),
+                City("Beta", "XX", "na", 0.0, 1.0, 2.0),
+                City("Middle", "XX", "na", 0.0, 0.5, 0.5),
+            ],
+            name="bridge",
+        )
+
+    def test_bridge_city_merges_two_clusters(self):
+        catalog = self._bridge_catalog()
+        bp_cities = {"BP1": {"Alpha"}, "BP2": {"Beta"}, "BP3": {"Middle"}}
+        sites = find_colocation_sites(
+            bp_cities, min_bps=3, radius_km=60.0, catalog=catalog
+        )
+        assert len(sites) == 1
+        site = sites[0]
+        assert site.member_cities == frozenset({"Alpha", "Beta", "Middle"})
+        assert site.bps == frozenset({"BP1", "BP2", "BP3"})
+        assert site.city == "Beta"  # most populous member represents
+
+    def test_no_merge_without_the_bridge(self):
+        catalog = self._bridge_catalog()
+        bp_cities = {"BP1": {"Alpha", "Beta"}}
+        sites = find_colocation_sites(
+            bp_cities, min_bps=1, radius_km=60.0, catalog=catalog
+        )
+        assert {s.city for s in sites} == {"Alpha", "Beta"}
+
+    def test_result_is_order_independent(self):
+        catalog = self._bridge_catalog()
+        forward = {"BP1": {"Alpha"}, "BP2": {"Beta"}, "BP3": {"Middle"}}
+        backward = {"BP3": {"Middle"}, "BP2": {"Beta"}, "BP1": {"Alpha"}}
+        a = find_colocation_sites(forward, min_bps=1, radius_km=60.0, catalog=catalog)
+        b = find_colocation_sites(backward, min_bps=1, radius_km=60.0, catalog=catalog)
+        assert [(s.city, s.member_cities) for s in a] == [
+            (s.city, s.member_cities) for s in b
+        ]
+
+    def test_builtin_chain_merges(self):
+        # Washington—Ashburn—... real chain from the built-in database:
+        # Washington and Ashburn are ~50 km apart.  New York is far from
+        # both, so it stays its own cluster.
+        bp_cities = {
+            "BP1": {"Washington"},
+            "BP2": {"Ashburn"},
+            "BP3": {"New York"},
+        }
+        sites = find_colocation_sites(bp_cities, min_bps=1, radius_km=60.0)
+        merged = [s for s in sites if s.member_cities == {"Ashburn", "Washington"}]
+        assert len(merged) == 1
+        assert merged[0].bps == frozenset({"BP1", "BP2"})

@@ -1,0 +1,105 @@
+"""Tests for the continental-scale catalog and topology builder."""
+
+import pytest
+
+from repro.topology.cities import BUILTIN_CATALOG
+from repro.topology.continental import (
+    REGION_BOXES,
+    ContinentalConfig,
+    build_continental,
+    synthetic_catalog,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_zoo():
+    return build_continental(ContinentalConfig.smoke())
+
+
+class TestSyntheticCatalog:
+    def test_size_and_regions(self):
+        cfg = ContinentalConfig.smoke()
+        catalog = synthetic_catalog(cfg)
+        assert len(catalog) == cfg.cities_per_region * len(cfg.regions)
+        assert catalog.regions == cfg.regions
+
+    def test_cities_inside_region_boxes(self):
+        cfg = ContinentalConfig.smoke()
+        for city in synthetic_catalog(cfg).cities:
+            lat_min, lat_max, lon_min, lon_max = REGION_BOXES[city.region]
+            assert lat_min <= city.lat <= lat_max
+            assert lon_min <= city.lon <= lon_max
+
+    def test_names_are_lexicographically_ordered_per_region(self):
+        catalog = synthetic_catalog(ContinentalConfig.smoke())
+        for region in catalog.regions:
+            names = [c.name for c in catalog.in_region(region)]
+            assert names == sorted(names)
+
+    def test_populations_positive_and_bounded(self):
+        cfg = ContinentalConfig.smoke()
+        for city in synthetic_catalog(cfg).cities:
+            assert 0.0 < city.population_m <= cfg.population_max_m
+
+    def test_deterministic_per_seed(self):
+        a = synthetic_catalog(ContinentalConfig.smoke(seed=5))
+        b = synthetic_catalog(ContinentalConfig.smoke(seed=5))
+        c = synthetic_catalog(ContinentalConfig.smoke(seed=6))
+        assert a.cities == b.cities
+        assert a.cities != c.cities
+
+    def test_does_not_collide_with_builtin_names(self):
+        catalog = synthetic_catalog(ContinentalConfig.smoke())
+        for city in catalog.cities:
+            assert city.name not in BUILTIN_CATALOG
+
+    def test_rejects_unknown_region(self):
+        with pytest.raises(ValueError):
+            ContinentalConfig(regions=("na", "atlantis"))
+
+
+class TestBuildContinental:
+    def test_smoke_shape(self, smoke_zoo):
+        cfg = ContinentalConfig.smoke()
+        assert len(smoke_zoo.bps) == cfg.num_bps
+        assert len(smoke_zoo.sites) >= 2
+        assert smoke_zoo.num_logical_links > 0
+        assert smoke_zoo.catalog is not None
+        assert smoke_zoo.catalog.name.startswith("continental-")
+
+    def test_sites_meet_colocation_threshold(self, smoke_zoo):
+        cfg = ContinentalConfig.smoke()
+        for site in smoke_zoo.sites:
+            assert len(site.bps) >= cfg.min_bps_colocated
+
+    def test_all_cities_resolve_in_catalog(self, smoke_zoo):
+        for site in smoke_zoo.sites:
+            assert site.city in smoke_zoo.catalog
+            for member in site.member_cities:
+                assert member in smoke_zoo.catalog
+
+    def test_offered_network_is_site_graph(self, smoke_zoo):
+        router_ids = {s.router_id for s in smoke_zoo.sites}
+        assert set(smoke_zoo.offered.node_ids) == router_ids
+        assert smoke_zoo.offered.num_links == smoke_zoo.num_logical_links
+
+    def test_multi_region_sites_exist(self, smoke_zoo):
+        regions = {
+            smoke_zoo.catalog.get(s.city).region for s in smoke_zoo.sites
+        }
+        assert len(regions) >= 2  # the smoke preset spans na and eu
+
+    def test_deterministic_per_seed(self):
+        a = build_continental(ContinentalConfig.smoke(seed=9))
+        b = build_continental(ContinentalConfig.smoke(seed=9))
+        assert [s.city for s in a.sites] == [s.city for s in b.sites]
+        assert a.offered.link_ids == b.offered.link_ids
+        assert a.num_logical_links == b.num_logical_links
+
+    def test_bp_names_widen_past_99(self):
+        # The T2 preset mints 110 BPs; ids must stay lexicographically
+        # ordered, so the zoo widens the pad to 3 digits there.
+        cfg = ContinentalConfig.t2()
+        zoo_cfg = cfg.zoo_config()
+        width = max(2, len(str(zoo_cfg.num_bps)))
+        assert width == 3

@@ -135,3 +135,42 @@ class TestMerge:
         b = waxman_network(ten_cities[:5], name="same", seed=1)
         with pytest.raises(ValueError):
             merge_networks([a, b], name="bad")
+
+    def test_merge_clean_when_shared_node_agrees(self, ten_cities):
+        # Two operators built over the same city mint identical Node
+        # attributes, so the shared node merges without complaint.
+        a = waxman_network(ten_cities[:4], name="a", seed=1)
+        b = waxman_network(ten_cities[2:6], name="b", seed=2)
+        merged = merge_networks([a, b], name="ab")
+        shared = set(n.id for n in a.nodes) & set(n.id for n in b.nodes)
+        assert shared  # the overlap actually exercises the merge path
+        for node_id in shared:
+            assert merged.node(node_id) == a.node(node_id) == b.node(node_id)
+
+    def test_merge_rejects_conflicting_node_attributes(self, ten_cities):
+        # Regression: a shared node id with *different* attributes used to
+        # silently keep whichever operator came first.
+        from repro.exceptions import TopologyError
+        from repro.topology.graph import Network, Node
+        from repro.topology.geo import GeoPoint
+
+        a = Network(name="a")
+        a.add_node(Node(id="X", point=GeoPoint(10.0, 20.0), city="Foo"))
+        b = Network(name="b")
+        b.add_node(Node(id="X", point=GeoPoint(11.0, 21.0), city="Bar"))
+        with pytest.raises(TopologyError, match="conflicting attributes"):
+            merge_networks([a, b], name="ab")
+
+    def test_merge_conflict_message_names_both_networks(self, ten_cities):
+        from repro.exceptions import TopologyError
+        from repro.topology.graph import Network, Node
+        from repro.topology.geo import GeoPoint
+
+        a = Network(name="first-op")
+        a.add_node(Node(id="X", point=GeoPoint(10.0, 20.0), city="Foo"))
+        b = Network(name="second-op")
+        b.add_node(Node(id="X", point=GeoPoint(10.0, 20.0), city="Bar"))
+        with pytest.raises(TopologyError) as excinfo:
+            merge_networks([a, b], name="ab")
+        assert "first-op" in str(excinfo.value)
+        assert "second-op" in str(excinfo.value)

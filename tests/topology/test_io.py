@@ -114,3 +114,42 @@ class TestExportAndRoundtrip:
         net.add_link(Link(id="AB2", u="A", v="B", capacity_gbps=7.0))
         copy = roundtrip_check(net, tmp_path / "multi.graphml")
         assert len(copy.links_between("A", "B")) == 2
+
+
+class TestLargeImportOrdering:
+    """Regression: minted link ids must stay lexicographically ordered
+    past 9,999 links (4-digit padding overflowed exactly there)."""
+
+    def test_link_ids_ordered_past_ten_thousand(self, tmp_path):
+        g = nx.MultiGraph()
+        g.add_node("a", Latitude=1.0, Longitude=1.0)
+        g.add_node("b", Latitude=2.0, Longitude=2.0)
+        for _ in range(10_500):
+            g.add_edge("a", "b")
+        path = tmp_path / "big.graphml"
+        nx.write_graphml(g, path)
+
+        net = network_from_graphml(path, name="big")
+        assert net.num_links == 10_500
+        ids = net.link_ids
+        # Mint order and lexicographic order must agree, which is what
+        # incident_links' sorted output and the sweep determinism story
+        # assume.
+        assert ids == sorted(ids)
+        # And the padding is wide enough that no id is a prefix-length
+        # outlier (all numeric suffixes are the same width).
+        widths = {len(i.rsplit("E", 1)[1]) for i in ids}
+        assert len(widths) == 1
+
+    def test_incident_links_sorted_on_large_import(self, tmp_path):
+        g = nx.MultiGraph()
+        g.add_node("a")
+        g.add_node("b")
+        for _ in range(10_050):
+            g.add_edge("a", "b")
+        path = tmp_path / "big2.graphml"
+        nx.write_graphml(g, path)
+        net = network_from_graphml(path, name="big2")
+        incident = [l.id for l in net.incident_links("a")]
+        assert incident == sorted(incident)
+        assert len(incident) == 10_050

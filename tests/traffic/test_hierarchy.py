@@ -1,0 +1,171 @@
+"""Tests for hierarchical (region → site) traffic aggregation."""
+
+import pytest
+
+from repro.exceptions import TrafficError
+from repro.topology.cities import City, CityCatalog
+from repro.topology.colocation import ColocationSite
+from repro.traffic.hierarchy import (
+    RegionProfile,
+    aggregate_to_regions,
+    hierarchical_matrix,
+    profiles_from_catalog,
+    region_pair_demands,
+)
+
+
+@pytest.fixture
+def catalog():
+    return CityCatalog(
+        [
+            City("A1", "XX", "na", 40.0, -100.0, 8.0),
+            City("A2", "XX", "na", 42.0, -95.0, 4.0),
+            City("A3", "XX", "na", 38.0, -90.0, 2.0),
+            City("B1", "XX", "eu", 50.0, 5.0, 6.0),
+            City("B2", "XX", "eu", 48.0, 10.0, 3.0),
+        ],
+        name="two-region",
+    )
+
+
+@pytest.fixture
+def sites(catalog):
+    return [
+        ColocationSite(city=c.name, member_cities=frozenset({c.name}), bps=frozenset({"BP1", "BP2"}))
+        for c in catalog.cities
+    ]
+
+
+@pytest.fixture
+def profiles():
+    return [
+        RegionProfile(region="na", users_m=100.0, gbps_per_m_users=10.0),
+        RegionProfile(region="eu", users_m=50.0, gbps_per_m_users=10.0),
+    ]
+
+
+class TestRegionProfiles:
+    def test_total(self):
+        p = RegionProfile(region="na", users_m=3.0, gbps_per_m_users=25.0)
+        assert p.total_gbps == 75.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(TrafficError):
+            RegionProfile(region="na", users_m=-1.0, gbps_per_m_users=1.0)
+
+    def test_profiles_from_catalog(self, catalog):
+        profiles = profiles_from_catalog(
+            catalog, users_per_pop=0.5, gbps_per_m_users=10.0
+        )
+        by_region = {p.region: p for p in profiles}
+        assert set(by_region) == {"na", "eu"}
+        assert by_region["na"].users_m == pytest.approx(0.5 * (8 + 4 + 2))
+        assert by_region["eu"].users_m == pytest.approx(0.5 * (6 + 3))
+
+
+class TestRegionPairDemands:
+    def test_conserves_total(self, profiles):
+        split = region_pair_demands(profiles, inter_region_fraction=0.35)
+        assert sum(split.values()) == pytest.approx(1500.0)
+
+    def test_intra_inter_split(self, profiles):
+        split = region_pair_demands(profiles, inter_region_fraction=0.4)
+        assert split[("na", "na")] == pytest.approx(0.6 * 1000.0)
+        assert split[("na", "eu")] == pytest.approx(0.4 * 1000.0)
+        assert split[("eu", "eu")] == pytest.approx(0.6 * 500.0)
+        assert split[("eu", "na")] == pytest.approx(0.4 * 500.0)
+
+    def test_single_region_keeps_everything_intra(self):
+        split = region_pair_demands(
+            [RegionProfile(region="na", users_m=10.0, gbps_per_m_users=5.0)],
+            inter_region_fraction=0.5,
+        )
+        assert split == {("na", "na"): pytest.approx(50.0)}
+
+    def test_zero_demand_region_excluded(self, profiles):
+        profiles = list(profiles) + [
+            RegionProfile(region="sa", users_m=0.0, gbps_per_m_users=10.0)
+        ]
+        split = region_pair_demands(profiles, inter_region_fraction=0.5)
+        assert not any("sa" in pair for pair in split)
+
+    def test_rejects_duplicate_region(self, profiles):
+        with pytest.raises(TrafficError):
+            region_pair_demands(list(profiles) + [profiles[0]])
+
+    def test_rejects_bad_fraction(self, profiles):
+        with pytest.raises(TrafficError):
+            region_pair_demands(profiles, inter_region_fraction=1.5)
+
+
+class TestHierarchicalMatrix:
+    def test_conserves_total(self, sites, profiles, catalog):
+        tm = hierarchical_matrix(
+            sites, profiles, catalog=catalog, inter_region_fraction=0.35
+        )
+        assert tm.total_gbps() == pytest.approx(1500.0)
+
+    def test_aggregation_inverts_expansion(self, sites, profiles, catalog):
+        tm = hierarchical_matrix(
+            sites, profiles, catalog=catalog, inter_region_fraction=0.4
+        )
+        rolled = aggregate_to_regions(tm, sites, catalog=catalog)
+        expect = region_pair_demands(profiles, inter_region_fraction=0.4)
+        assert set(rolled) == set(expect)
+        for pair, value in expect.items():
+            assert rolled[pair] == pytest.approx(value)
+
+    def test_population_gravity_within_block(self, sites, profiles, catalog):
+        tm = hierarchical_matrix(sites, profiles, catalog=catalog)
+        # Within the na→eu block, demand scales with mass products:
+        # A1 (pop 8) to B1 (pop 6) carries 4x A2 (pop 4) to B2 (pop 3).
+        heavy = tm.demand("POC:A1", "POC:B1")
+        light = tm.demand("POC:A2", "POC:B2")
+        assert heavy == pytest.approx(4.0 * light)
+
+    def test_users_scale_linearly(self, sites, catalog):
+        small = [RegionProfile("na", 10.0, 10.0), RegionProfile("eu", 5.0, 10.0)]
+        double = [RegionProfile("na", 20.0, 10.0), RegionProfile("eu", 10.0, 10.0)]
+        tm1 = hierarchical_matrix(sites, small, catalog=catalog)
+        tm2 = hierarchical_matrix(sites, double, catalog=catalog)
+        for (pair, v1) in tm1.pairs():
+            assert tm2.demand(*pair) == pytest.approx(2.0 * v1)
+
+    def test_region_without_sites_drops_demand(self, sites, catalog):
+        profiles = [
+            RegionProfile("na", 10.0, 10.0),
+            RegionProfile("eu", 5.0, 10.0),
+            RegionProfile("ap", 7.0, 10.0),  # no ap sites in the fixture
+        ]
+        tm = hierarchical_matrix(
+            sites, profiles, catalog=catalog, inter_region_fraction=0.5
+        )
+        rolled = aggregate_to_regions(tm, sites, catalog=catalog)
+        assert not any("ap" in pair for pair in rolled)
+        # The na/eu blocks are intact.
+        assert rolled[("na", "na")] == pytest.approx(0.5 * 100.0)
+
+    def test_deterministic(self, sites, profiles, catalog):
+        tm1 = hierarchical_matrix(sites, profiles, catalog=catalog)
+        tm2 = hierarchical_matrix(sites, profiles, catalog=catalog)
+        assert list(tm1.pairs()) == list(tm2.pairs())
+
+    def test_needs_two_sites(self, profiles, catalog):
+        lone = [
+            ColocationSite(
+                city="A1", member_cities=frozenset({"A1"}), bps=frozenset({"b"})
+            )
+        ]
+        with pytest.raises(TrafficError):
+            hierarchical_matrix(lone, profiles, catalog=catalog)
+
+
+class TestAggregateToRegions:
+    def test_rejects_unknown_site(self, sites, catalog):
+        from repro.traffic.matrix import TrafficMatrix
+
+        tm = TrafficMatrix(
+            nodes=["POC:A1", "ghost"], _demands={("POC:A1", "ghost"): 1.0}
+        )
+        with pytest.raises(TrafficError):
+            aggregate_to_regions(tm, sites, catalog=catalog)
